@@ -1,0 +1,242 @@
+//! STFT + CNN baseline [Truong et al., Neural Networks 2018].
+//!
+//! The reference method feeds short-time-Fourier spectrograms of EEG
+//! windows to a small CNN. Here each 1 s window is turned into a
+//! two-channel time–frequency image — the mean and standard deviation of
+//! the per-electrode log-power spectrograms (keeping the input size
+//! independent of the electrode count) — classified by a
+//! conv → pool → conv → dense stack.
+
+use std::ops::Range;
+
+use laelaps_ieeg::dsp::stft::{stft, StftConfig};
+use laelaps_nn::activations::{relu, relu_backward, softmax_cross_entropy};
+use laelaps_nn::conv::{Conv2d, MaxPool2d};
+use laelaps_nn::dense::Dense;
+use laelaps_nn::param::Optimizer;
+use laelaps_nn::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{labeled_windows, Protocol, Window, WindowClassifier};
+
+/// STFT settings: 128-point segments, 50 % overlap → 7 frames × 65 bins
+/// per 512-sample window.
+fn stft_config() -> StftConfig {
+    StftConfig::default()
+}
+
+/// Time frames per window image.
+pub const FRAMES: usize = 7;
+
+/// Frequency bins per frame.
+pub const BINS: usize = 65;
+
+/// Training epochs.
+const EPOCHS: usize = 20;
+
+/// Builds the 2-channel spectrogram image `[2, FRAMES, BINS]` of a window.
+///
+/// # Panics
+///
+/// Panics if a channel is shorter than one STFT segment.
+pub fn spectrogram_image(window: &Window) -> Tensor {
+    let config = stft_config();
+    let e = window.len();
+    let mut mean = vec![0.0f32; FRAMES * BINS];
+    let mut sq = vec![0.0f32; FRAMES * BINS];
+    for ch in window {
+        let s = stft(ch, &config).expect("window shorter than one STFT segment");
+        for (t, frame) in s.frames.iter().take(FRAMES).enumerate() {
+            for (k, &p) in frame.iter().enumerate() {
+                mean[t * BINS + k] += p;
+                sq[t * BINS + k] += p * p;
+            }
+        }
+    }
+    let n = e.max(1) as f32;
+    let mut data = Vec::with_capacity(2 * FRAMES * BINS);
+    for &m in &mean {
+        data.push(m / n);
+    }
+    for (i, &s) in sq.iter().enumerate() {
+        let m = mean[i] / n;
+        data.push((s / n - m * m).max(0.0).sqrt());
+    }
+    Tensor::from_vec(data, &[2, FRAMES, BINS])
+}
+
+/// The trained STFT+CNN detector.
+#[derive(Debug, Clone)]
+pub struct CnnDetector {
+    conv1: Conv2d,
+    pool: MaxPool2d,
+    conv2: Conv2d,
+    head: Dense,
+    electrodes: usize,
+    flat_dim: usize,
+    conv1_out: Vec<usize>,
+    conv2_out: Vec<usize>,
+}
+
+impl CnnDetector {
+    fn build(rng: &mut StdRng) -> (Conv2d, MaxPool2d, Conv2d, [usize; 3], [usize; 3], usize) {
+        // [2,7,65] → conv(3×5) → [8,5,61] → pool2 → [8,2,30]
+        //          → conv(2×5) → [16,1,26] → flatten 416.
+        let conv1 = Conv2d::new(2, 8, 3, 5, rng);
+        let pool = MaxPool2d::new(2);
+        let conv2 = Conv2d::new(8, 16, 2, 5, rng);
+        let c1 = conv1.output_shape(&[2, FRAMES, BINS]);
+        let p1 = pool.output_shape(&c1);
+        let c2 = conv2.output_shape(&p1);
+        let flat = c2.iter().product();
+        (conv1, pool, conv2, c1, c2, flat)
+    }
+
+    /// Trains on the shared labeled segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segments yield no windows of either class.
+    pub fn train(
+        signal: &[Vec<f32>],
+        ictal: &[Range<usize>],
+        interictal: &[Range<usize>],
+        protocol: &Protocol,
+        seed: u64,
+    ) -> Self {
+        let labeled = labeled_windows(signal, ictal, interictal, protocol);
+        assert!(
+            labeled.iter().any(|(_, y)| *y) && labeled.iter().any(|(_, y)| !*y),
+            "CNN training needs both classes"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut conv1, mut pool, mut conv2, c1, c2, flat) = Self::build(&mut rng);
+        let mut head = Dense::new(flat, 2, &mut rng);
+        let mut opt = Optimizer::adam(1e-3);
+
+        let images: Vec<(Tensor, bool)> = labeled
+            .iter()
+            .map(|(w, y)| (spectrogram_image(w), *y))
+            .collect();
+        let mut order: Vec<usize> = (0..images.len()).collect();
+        for _ in 0..EPOCHS {
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for &idx in &order {
+                let (img, y) = &images[idx];
+                // Forward.
+                let z1 = conv1.forward(img);
+                let a1 = Tensor::from_vec(relu(z1.data()), z1.shape());
+                let p1 = pool.forward(&a1);
+                let z2 = conv2.forward(&p1);
+                let a2 = Tensor::from_vec(relu(z2.data()), z2.shape());
+                let logits = head.forward(a2.data());
+                let (_, dlogits) = softmax_cross_entropy(&logits, *y as usize);
+                // Backward.
+                let dflat = head.backward(&dlogits);
+                let da2 = relu_backward(z2.data(), &dflat);
+                let dp1 = conv2.backward(&Tensor::from_vec(da2, z2.shape()));
+                let da1_pool = pool.backward(&dp1);
+                let da1 = relu_backward(z1.data(), da1_pool.data());
+                let _ = conv1.backward(&Tensor::from_vec(da1, z1.shape()));
+                opt.begin_step();
+                head.step(&opt);
+                conv2.step(&opt);
+                conv1.step(&opt);
+            }
+        }
+        CnnDetector {
+            conv1,
+            pool,
+            conv2,
+            head,
+            electrodes: signal.len(),
+            flat_dim: flat,
+            conv1_out: c1.to_vec(),
+            conv2_out: c2.to_vec(),
+        }
+    }
+
+    /// Number of electrodes the detector was trained for.
+    pub fn electrodes(&self) -> usize {
+        self.electrodes
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.conv1.param_count() + self.conv2.param_count() + self.head.param_count()
+    }
+
+    fn logits(&mut self, img: &Tensor) -> Vec<f32> {
+        let z1 = self.conv1.infer(img);
+        let a1 = Tensor::from_vec(relu(z1.data()), z1.shape());
+        let p1 = self.pool.forward(&a1);
+        let z2 = self.conv2.infer(&p1);
+        let a2 = Tensor::from_vec(relu(z2.data()), z2.shape());
+        debug_assert_eq!(a2.len(), self.flat_dim);
+        debug_assert_eq!(z1.shape(), &self.conv1_out[..]);
+        debug_assert_eq!(z2.shape(), &self.conv2_out[..]);
+        self.head.infer(a2.data())
+    }
+}
+
+impl WindowClassifier for CnnDetector {
+    fn name(&self) -> &'static str {
+        "STFT+CNN"
+    }
+
+    fn classify(&mut self, window: &Window) -> (bool, f64) {
+        let img = spectrogram_image(window);
+        let logits = self.logits(&img);
+        let margin = (logits[1] - logits[0]) as f64;
+        (margin > 0.0, margin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_detector;
+    use crate::testutil::{two_state_recording, TRAIN_ICTAL, TRAIN_INTER};
+
+    #[test]
+    fn image_shape_is_fixed_regardless_of_electrodes() {
+        for e in [2usize, 8, 32] {
+            let window: Window = vec![vec![0.1f32; 512]; e];
+            let img = spectrogram_image(&window);
+            assert_eq!(img.shape(), &[2, FRAMES, BINS]);
+        }
+    }
+
+    #[test]
+    fn std_channel_is_zero_for_identical_electrodes() {
+        let ch: Vec<f32> = (0..512).map(|t| (t as f32 * 0.1).sin()).collect();
+        let window: Window = vec![ch; 4];
+        let img = spectrogram_image(&window);
+        let std_channel = &img.data()[FRAMES * BINS..];
+        assert!(std_channel.iter().all(|&x| x.abs() < 1e-3));
+    }
+
+    #[test]
+    fn detects_held_out_seizure() {
+        let protocol = Protocol::default();
+        let rec = two_state_recording(4, 120, 9);
+        let mut det = CnnDetector::train(
+            rec.channels(),
+            &[TRAIN_ICTAL.0 * 512..TRAIN_ICTAL.1 * 512],
+            &[TRAIN_INTER.0 * 512..TRAIN_INTER.1 * 512],
+            &protocol,
+            0,
+        );
+        let test = two_state_recording(4, 120, 55);
+        let events = run_detector(&mut det, test.channels(), &protocol);
+        let alarms: Vec<_> = events.iter().filter(|e| e.alarm).collect();
+        assert!(!alarms.is_empty(), "CNN should detect the strong seizure");
+        let t = alarms[0].time_secs;
+        assert!((60.0..95.0).contains(&t), "first alarm at {t:.1}s");
+        assert_eq!(det.name(), "STFT+CNN");
+        assert!(det.param_count() > 500);
+    }
+}

@@ -1,0 +1,267 @@
+//! Shared evaluation protocol for the baseline detectors.
+//!
+//! The paper applies every state-of-the-art method "using the same setup
+//! but tr = 0": 1 s analysis windows with 0.5 s hop, the same one-or-two
+//! seizure training budget, and the same postprocessing vote over the last
+//! 10 labels (`tc = 10`) — minus Laelaps' Δ-confidence threshold, which
+//! the baselines have no analogue of.
+
+use std::ops::Range;
+
+/// A multichannel analysis window: `window[j]` is electrode `j`'s slice.
+pub type Window = Vec<Vec<f32>>;
+
+/// Windowing/postprocessing parameters shared by all baselines.
+#[derive(Debug, Clone, Copy)]
+pub struct Protocol {
+    /// Analysis window length in samples (512 = 1 s).
+    pub window: usize,
+    /// Hop in samples (256 = 0.5 s).
+    pub hop: usize,
+    /// Input sample rate in Hz.
+    pub sample_rate: u32,
+    /// Postprocessing window length in labels.
+    pub postprocess_len: usize,
+    /// Ictal labels required inside the postprocessing window.
+    pub tc: usize,
+    /// Post-alarm refractory period in labels.
+    pub refractory_labels: usize,
+}
+
+impl Default for Protocol {
+    fn default() -> Self {
+        Protocol {
+            window: 512,
+            hop: 256,
+            sample_rate: 512,
+            postprocess_len: 10,
+            tc: 10,
+            refractory_labels: 120,
+        }
+    }
+}
+
+/// A binary window classifier (the per-method part of a baseline).
+pub trait WindowClassifier {
+    /// Method name for reports (e.g. `"LBP+SVM"`).
+    fn name(&self) -> &'static str;
+
+    /// Classifies one window; returns `(is_ictal, score)` where `score`
+    /// is a method-specific confidence (decision value, ictal
+    /// probability, …).
+    fn classify(&mut self, window: &Window) -> (bool, f64);
+}
+
+/// One classification event from a baseline run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineEvent {
+    /// Sequential event index.
+    pub index: u64,
+    /// Last sample of the window.
+    pub end_sample: u64,
+    /// Time of `end_sample` in seconds.
+    pub time_secs: f64,
+    /// Window label.
+    pub is_ictal: bool,
+    /// Method-specific confidence score.
+    pub score: f64,
+    /// Whether the postprocessor raised an alarm on this event.
+    pub alarm: bool,
+}
+
+/// Extracts the analysis windows covering `range` of a channel-major
+/// signal (one window every `hop` samples).
+pub fn extract_windows(
+    signal: &[Vec<f32>],
+    range: Range<usize>,
+    protocol: &Protocol,
+) -> Vec<Window> {
+    let mut out = Vec::new();
+    let len = signal.first().map_or(0, |ch| ch.len());
+    let end = range.end.min(len);
+    let mut start = range.start;
+    while start + protocol.window <= end {
+        out.push(
+            signal
+                .iter()
+                .map(|ch| ch[start..start + protocol.window].to_vec())
+                .collect(),
+        );
+        start += protocol.hop;
+    }
+    out
+}
+
+/// Runs a classifier over a whole signal with the shared postprocessing
+/// (count-only vote, `tr = 0`), returning every classification event.
+pub fn run_detector(
+    classifier: &mut dyn WindowClassifier,
+    signal: &[Vec<f32>],
+    protocol: &Protocol,
+) -> Vec<BaselineEvent> {
+    let len = signal.first().map_or(0, |ch| ch.len());
+    let mut events = Vec::new();
+    let mut history: std::collections::VecDeque<bool> =
+        std::collections::VecDeque::with_capacity(protocol.postprocess_len);
+    let mut armed = true;
+    let mut refractory_until: Option<u64> = None;
+    let mut index = 0u64;
+    let mut start = 0usize;
+    while start + protocol.window <= len {
+        let window: Window = signal
+            .iter()
+            .map(|ch| ch[start..start + protocol.window].to_vec())
+            .collect();
+        let (is_ictal, score) = classifier.classify(&window);
+        if history.len() == protocol.postprocess_len {
+            history.pop_front();
+        }
+        history.push_back(is_ictal);
+        let count = history.iter().filter(|&&l| l).count();
+        let condition = count >= protocol.tc;
+        if !condition {
+            armed = true;
+        }
+        let mut alarm = false;
+        let in_refractory = refractory_until.map_or(false, |u| index < u);
+        if !in_refractory {
+            refractory_until = None;
+            if condition && armed {
+                alarm = true;
+                armed = false;
+                refractory_until = Some(index + protocol.refractory_labels as u64);
+            }
+        }
+        let end_sample = (start + protocol.window - 1) as u64;
+        events.push(BaselineEvent {
+            index,
+            end_sample,
+            time_secs: end_sample as f64 / protocol.sample_rate as f64,
+            is_ictal,
+            score,
+            alarm,
+        });
+        index += 1;
+        start += protocol.hop;
+    }
+    events
+}
+
+/// Labeled training windows assembled from ictal/interictal segments
+/// (each segment is windowed independently).
+pub fn labeled_windows(
+    signal: &[Vec<f32>],
+    ictal: &[Range<usize>],
+    interictal: &[Range<usize>],
+    protocol: &Protocol,
+) -> Vec<(Window, bool)> {
+    let mut out = Vec::new();
+    for seg in interictal {
+        for w in extract_windows(signal, seg.clone(), protocol) {
+            out.push((w, false));
+        }
+    }
+    for seg in ictal {
+        for w in extract_windows(signal, seg.clone(), protocol) {
+            out.push((w, true));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysIctal;
+    impl WindowClassifier for AlwaysIctal {
+        fn name(&self) -> &'static str {
+            "always"
+        }
+        fn classify(&mut self, _w: &Window) -> (bool, f64) {
+            (true, 1.0)
+        }
+    }
+
+    struct NeverIctal;
+    impl WindowClassifier for NeverIctal {
+        fn name(&self) -> &'static str {
+            "never"
+        }
+        fn classify(&mut self, _w: &Window) -> (bool, f64) {
+            (false, -1.0)
+        }
+    }
+
+    fn sig(electrodes: usize, len: usize) -> Vec<Vec<f32>> {
+        (0..electrodes)
+            .map(|j| (0..len).map(|t| (t + j) as f32).collect())
+            .collect()
+    }
+
+    #[test]
+    fn window_extraction_counts() {
+        let p = Protocol::default();
+        let s = sig(2, 512 * 3);
+        let ws = extract_windows(&s, 0..512 * 3, &p);
+        // (1536 - 512)/256 + 1 = 5 windows.
+        assert_eq!(ws.len(), 5);
+        assert_eq!(ws[0].len(), 2);
+        assert_eq!(ws[0][0].len(), 512);
+        assert_eq!(ws[1][0][0], 256.0);
+    }
+
+    #[test]
+    fn extraction_clips_to_signal() {
+        let p = Protocol::default();
+        let s = sig(1, 1000);
+        let ws = extract_windows(&s, 600..5000, &p);
+        assert_eq!(ws.len(), 0); // only 400 samples from 600
+        let ws = extract_windows(&s, 0..5000, &p);
+        assert_eq!(ws.len(), 2);
+    }
+
+    #[test]
+    fn alarm_needs_tc_labels_and_is_refractory() {
+        let p = Protocol {
+            refractory_labels: 50,
+            ..Protocol::default()
+        };
+        let s = sig(1, 512 + 256 * 40);
+        let events = run_detector(&mut AlwaysIctal, &s, &p);
+        assert_eq!(events.len(), 41);
+        let alarms: Vec<_> = events.iter().filter(|e| e.alarm).collect();
+        assert_eq!(alarms.len(), 1, "one alarm within the refractory span");
+        assert_eq!(alarms[0].index, 9); // 10th event
+    }
+
+    #[test]
+    fn never_ictal_never_alarms() {
+        let p = Protocol::default();
+        let s = sig(1, 512 * 30);
+        let events = run_detector(&mut NeverIctal, &s, &p);
+        assert!(events.iter().all(|e| !e.alarm));
+        assert!(events.iter().all(|e| !e.is_ictal));
+    }
+
+    #[test]
+    fn labeled_windows_assigns_classes() {
+        let p = Protocol::default();
+        let s = sig(1, 512 * 10);
+        let labeled = labeled_windows(&s, &[512 * 6..512 * 8], &[0..512 * 3], &p);
+        let ictal = labeled.iter().filter(|(_, y)| *y).count();
+        let inter = labeled.iter().filter(|(_, y)| !*y).count();
+        assert_eq!(inter, 5);
+        assert_eq!(ictal, 3);
+    }
+
+    #[test]
+    fn event_timing_matches_hop() {
+        let p = Protocol::default();
+        let s = sig(1, 512 * 4);
+        let events = run_detector(&mut NeverIctal, &s, &p);
+        for pair in events.windows(2) {
+            assert!((pair[1].time_secs - pair[0].time_secs - 0.5).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # laelaps-baselines
+//!
+//! The three state-of-the-art baselines the Laelaps paper compares against,
+//! rebuilt on `laelaps-nn` and evaluated under the paper's shared protocol
+//! (1 s windows, 0.5 s hop, 10-label postprocessing vote, `tr = 0`):
+//!
+//! * [`svm_detector::SvmDetector`] — LBP histograms + linear SVM
+//!   [Jaiswal et al., BSPC 2017];
+//! * [`lstm_detector::LstmDetector`] — recurrent network over pooled raw
+//!   windows [Hussein et al., ICASSP 2018];
+//! * [`cnn_detector::CnnDetector`] — CNN over STFT spectrogram images
+//!   [Truong et al., Neural Networks 2018].
+//!
+//! All three implement [`common::WindowClassifier`] and run through
+//! [`common::run_detector`], so the experiment harness treats them
+//! uniformly.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cnn_detector;
+pub mod common;
+pub mod lstm_detector;
+pub mod svm_detector;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use cnn_detector::CnnDetector;
+pub use common::{
+    extract_windows, labeled_windows, run_detector, BaselineEvent, Protocol, Window,
+    WindowClassifier,
+};
+pub use lstm_detector::LstmDetector;
+pub use svm_detector::SvmDetector;

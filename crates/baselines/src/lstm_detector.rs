@@ -1,0 +1,242 @@
+//! LSTM baseline [Hussein et al., ICASSP 2018].
+//!
+//! The reference network consumes raw EEG segments with an LSTM and a
+//! dense softmax head. Here each 1 s window is temporally pooled to
+//! [`STEPS`] frames (mean over consecutive samples, per electrode,
+//! amplitude-normalized); a single-layer LSTM reads the sequence and a
+//! dense layer classifies its final hidden state.
+
+use std::ops::Range;
+
+use laelaps_nn::activations::softmax_cross_entropy;
+use laelaps_nn::dense::Dense;
+use laelaps_nn::lstm::Lstm;
+use laelaps_nn::param::Optimizer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{labeled_windows, Protocol, Window, WindowClassifier};
+
+/// Sequence length after temporal pooling.
+pub const STEPS: usize = 32;
+
+/// Hidden-state width.
+pub const HIDDEN: usize = 24;
+
+/// Training epochs.
+const EPOCHS: usize = 25;
+
+/// Per-electrode normalization statistics fixed at training time.
+///
+/// Normalizing by *training-set* statistics (rather than per window)
+/// keeps the ictal amplitude elevation visible to the network — the cue
+/// amplitude-based detectors rely on.
+#[derive(Debug, Clone)]
+pub struct ChannelStats {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl ChannelStats {
+    /// Estimates statistics over the given training segments of a
+    /// channel-major signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` covers no samples.
+    pub fn from_segments(signal: &[Vec<f32>], segments: &[Range<usize>]) -> Self {
+        let mut means = Vec::with_capacity(signal.len());
+        let mut stds = Vec::with_capacity(signal.len());
+        for ch in signal {
+            let mut sum = 0.0f64;
+            let mut sq = 0.0f64;
+            let mut count = 0usize;
+            for seg in segments {
+                for &x in &ch[seg.start.min(ch.len())..seg.end.min(ch.len())] {
+                    sum += x as f64;
+                    sq += (x as f64) * (x as f64);
+                    count += 1;
+                }
+            }
+            assert!(count > 0, "channel statistics need at least one sample");
+            let mean = sum / count as f64;
+            let var = (sq / count as f64 - mean * mean).max(1e-12);
+            means.push(mean as f32);
+            stds.push(var.sqrt() as f32);
+        }
+        ChannelStats { means, stds }
+    }
+}
+
+/// Converts a window into the pooled sequence the LSTM consumes:
+/// `STEPS` frames of `electrodes` values, normalized by the training-time
+/// channel statistics.
+pub fn window_to_sequence(
+    window: &Window,
+    steps: usize,
+    stats: &ChannelStats,
+) -> Vec<Vec<f32>> {
+    let electrodes = window.len();
+    let len = window.first().map_or(0, |ch| ch.len());
+    let chunk = (len / steps).max(1);
+    (0..steps)
+        .map(|s| {
+            (0..electrodes)
+                .map(|j| {
+                    let seg = &window[j][s * chunk..((s + 1) * chunk).min(len)];
+                    if seg.is_empty() {
+                        return 0.0;
+                    }
+                    let m = seg.iter().sum::<f32>() / seg.len() as f32;
+                    (m - stats.means[j]) / stats.stds[j]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The trained LSTM detector.
+#[derive(Debug, Clone)]
+pub struct LstmDetector {
+    lstm: Lstm,
+    head: Dense,
+    electrodes: usize,
+    stats: ChannelStats,
+}
+
+impl LstmDetector {
+    /// Trains on the shared labeled segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segments yield no windows of either class.
+    pub fn train(
+        signal: &[Vec<f32>],
+        ictal: &[Range<usize>],
+        interictal: &[Range<usize>],
+        protocol: &Protocol,
+        seed: u64,
+    ) -> Self {
+        let labeled = labeled_windows(signal, ictal, interictal, protocol);
+        assert!(
+            labeled.iter().any(|(_, y)| *y) && labeled.iter().any(|(_, y)| !*y),
+            "LSTM training needs both classes"
+        );
+        let electrodes = signal.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lstm = Lstm::new(electrodes, HIDDEN, &mut rng);
+        let mut head = Dense::new(HIDDEN, 2, &mut rng);
+        let mut opt = Optimizer::adam(5e-3);
+
+        // Normalize by *interictal* statistics so ictal amplitude stands
+        // out (falls back to all training segments if needed).
+        let stat_segments: Vec<Range<usize>> = if interictal.is_empty() {
+            ictal.to_vec()
+        } else {
+            interictal.to_vec()
+        };
+        let stats = ChannelStats::from_segments(signal, &stat_segments);
+
+        let sequences: Vec<(Vec<Vec<f32>>, bool)> = labeled
+            .iter()
+            .map(|(w, y)| (window_to_sequence(w, STEPS, &stats), *y))
+            .collect();
+        let mut order: Vec<usize> = (0..sequences.len()).collect();
+        for _ in 0..EPOCHS {
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            for &idx in &order {
+                let (seq, y) = &sequences[idx];
+                let h = lstm.forward(seq);
+                let logits = head.forward(&h);
+                let (_, dlogits) = softmax_cross_entropy(&logits, *y as usize);
+                let dh = head.backward(&dlogits);
+                lstm.backward(&dh);
+                opt.begin_step();
+                head.step(&opt);
+                lstm.step(&opt);
+            }
+        }
+        LstmDetector {
+            lstm,
+            head,
+            electrodes,
+            stats,
+        }
+    }
+
+    /// Number of electrodes the detector was trained for.
+    pub fn electrodes(&self) -> usize {
+        self.electrodes
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.lstm.param_count() + self.head.param_count()
+    }
+}
+
+impl WindowClassifier for LstmDetector {
+    fn name(&self) -> &'static str {
+        "LSTM"
+    }
+
+    fn classify(&mut self, window: &Window) -> (bool, f64) {
+        let seq = window_to_sequence(window, STEPS, &self.stats);
+        let h = self.lstm.infer(&seq);
+        let logits = self.head.infer(&h);
+        let ictal_margin = (logits[1] - logits[0]) as f64;
+        (ictal_margin > 0.0, ictal_margin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_detector;
+    use crate::testutil::{two_state_recording, TRAIN_ICTAL, TRAIN_INTER};
+
+    #[test]
+    fn sequence_shape_and_normalization() {
+        let signal: Vec<Vec<f32>> = vec![(0..512).map(|t| t as f32).collect(); 2];
+        let stats = ChannelStats::from_segments(&signal, &[0..512]);
+        let window: Window = signal.clone();
+        let seq = window_to_sequence(&window, STEPS, &stats);
+        assert_eq!(seq.len(), STEPS);
+        assert_eq!(seq[0].len(), 2);
+        // A linear ramp normalized by its own stats is symmetric around 0.
+        let first = seq[0][0];
+        let last = seq[STEPS - 1][0];
+        assert!((first + last).abs() < 0.2, "{first} vs {last}");
+    }
+
+    #[test]
+    fn stats_capture_segment_scale() {
+        let signal: Vec<Vec<f32>> = vec![vec![2.0; 1000], vec![-4.0; 1000]];
+        let stats = ChannelStats::from_segments(&signal, &[0..1000]);
+        assert!((stats.means[0] - 2.0).abs() < 1e-6);
+        assert!((stats.means[1] + 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_held_out_seizure() {
+        let protocol = Protocol::default();
+        let rec = two_state_recording(4, 120, 5);
+        let mut det = LstmDetector::train(
+            rec.channels(),
+            &[TRAIN_ICTAL.0 * 512..TRAIN_ICTAL.1 * 512],
+            &[TRAIN_INTER.0 * 512..TRAIN_INTER.1 * 512],
+            &protocol,
+            0,
+        );
+        let test = two_state_recording(4, 120, 77);
+        let events = run_detector(&mut det, test.channels(), &protocol);
+        let alarms: Vec<_> = events.iter().filter(|e| e.alarm).collect();
+        assert!(!alarms.is_empty(), "LSTM should detect the strong seizure");
+        let t = alarms[0].time_secs;
+        assert!((60.0..95.0).contains(&t), "first alarm at {t:.1}s");
+        assert_eq!(det.name(), "LSTM");
+        assert!(det.param_count() > 1000);
+    }
+}

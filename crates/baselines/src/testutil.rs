@@ -1,0 +1,49 @@
+//! Shared fixtures for baseline tests.
+
+use laelaps_ieeg::annotations::SeizureAnnotation;
+use laelaps_ieeg::signal::Recording;
+use laelaps_ieeg::synth::background::BackgroundGenerator;
+use laelaps_ieeg::synth::ictal::{render_seizure, SeizureEvent};
+
+/// Training ictal segment: seconds 60–80 of the fixture recording.
+pub const TRAIN_ICTAL: (usize, usize) = (60, 80);
+
+/// Training interictal segment: seconds 10–40.
+pub const TRAIN_INTER: (usize, usize) = (10, 40);
+
+/// A recording of `secs` seconds with a strong seizure at 60–80 s over
+/// synthetic background (deterministic in `seed`).
+pub fn two_state_recording(electrodes: usize, secs: usize, seed: u64) -> Recording {
+    assert!(secs >= 85, "fixture needs >= 85 s to hold the 60-80 s seizure");
+    let fs = 512.0;
+    let n = secs * 512;
+    let mut bg = BackgroundGenerator::new(fs, electrodes, 50.0, seed);
+    let mut channels = bg.generate(n);
+    let rms = {
+        let take = n.min(8192);
+        let mut acc = 0.0f64;
+        for ch in &channels {
+            for &x in &ch[..take] {
+                acc += (x as f64) * (x as f64);
+            }
+        }
+        (acc / (take * electrodes) as f64).sqrt()
+    };
+    let event = SeizureEvent::strong(20.0, seed ^ 0x5E12);
+    let seizure = render_seizure(&event, fs, electrodes, rms);
+    let onset = TRAIN_ICTAL.0 * 512;
+    for (ch, over) in channels.iter_mut().zip(seizure.iter()) {
+        for (i, &x) in over.iter().enumerate() {
+            if onset + i < ch.len() {
+                ch[onset + i] += x;
+            }
+        }
+    }
+    let mut rec = Recording::from_channels(512, channels).unwrap();
+    rec.annotate(SeizureAnnotation::new(
+        onset as u64,
+        (onset + seizure[0].len()) as u64,
+    ))
+    .unwrap();
+    rec
+}

@@ -1,0 +1,84 @@
+//! Host-side throughput of the three simulated GPU kernels (Fig. 2) and
+//! the baseline feature extractors — the wall-clock complement to the
+//! TX2 cost-model numbers in Table II.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use laelaps_baselines::common::Window;
+use laelaps_baselines::cnn_detector::spectrogram_image;
+use laelaps_baselines::svm_detector::lbp_features;
+use laelaps_core::hv::ItemMemory;
+use laelaps_gpu_sim::kernels::{run_classify_kernel, run_lbp_kernel, GpuEncoder};
+use laelaps_gpu_sim::pack::pack_item_memory;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_gpu_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_kernels_per_event");
+    group.sample_size(10);
+    for &electrodes in &[24usize, 128] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<Vec<f32>> = (0..electrodes)
+            .map(|_| (0..262).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("lbp", electrodes),
+            &electrodes,
+            |bench, _| {
+                bench.iter(|| black_box(run_lbp_kernel(black_box(&samples), 6)));
+            },
+        );
+        let dim = 1_000;
+        let im1 = pack_item_memory(&ItemMemory::new(64, dim, 2));
+        let im2 = pack_item_memory(&ItemMemory::new(electrodes, dim, 3));
+        let codes: Vec<Vec<u8>> = (0..electrodes)
+            .map(|_| (0..256).map(|_| rng.gen_range(0..64u8)).collect())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("encode", electrodes),
+            &electrodes,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut enc = GpuEncoder::new(dim, im1.clone(), im2.clone());
+                    black_box(enc.encode_chunk(black_box(&codes)));
+                });
+            },
+        );
+    }
+    let h = vec![0xA5A5_5A5Au32; 32];
+    let p1 = vec![0x0F0F_F0F0u32; 32];
+    let p2 = vec![0xFFFF_0000u32; 32];
+    group.bench_function("classify", |bench| {
+        bench.iter(|| black_box(run_classify_kernel(&h, &p1, &p2)));
+    });
+    group.finish();
+}
+
+fn bench_baseline_features(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_features_per_window");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(4);
+    for &electrodes in &[24usize, 64] {
+        let window: Window = (0..electrodes)
+            .map(|_| (0..512).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("lbp_histograms", electrodes),
+            &electrodes,
+            |bench, _| {
+                bench.iter(|| black_box(lbp_features(black_box(&window))));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stft_image", electrodes),
+            &electrodes,
+            |bench, _| {
+                bench.iter(|| black_box(spectrogram_image(black_box(&window))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gpu_kernels, bench_baseline_features);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Regenerates the §IV-B dimension-tuning experiment: shrink d from the
+//! 10 kbit golden model while training-set performance is preserved.
+//!
+//! ```text
+//! cargo run -p laelaps-bench --release --bin dtune -- [--ids P1,P5] [--scale N]
+//! ```
+
+use laelaps_bench::arg_value;
+use laelaps_eval::experiments::{render_dtune, run_dtune_patient};
+use laelaps_ieeg::synth::{cohort_subset, CohortOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cohort = CohortOptions::default();
+    cohort.time_scale = 2400.0;
+    if let Some(s) = arg_value(&args, "--scale") {
+        cohort.time_scale = s.parse().expect("--scale takes a number");
+    }
+    let ids: Vec<String> = arg_value(&args, "--ids")
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_else(|| vec!["P3".into(), "P5".into(), "P11".into(), "P17".into()]);
+    let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+    let profiles = cohort_subset(&cohort, &id_refs);
+    let mut results = Vec::new();
+    for profile in &profiles {
+        eprintln!("tuning {} ...", profile.info.id);
+        match run_dtune_patient(profile) {
+            Ok(r) => results.push(r),
+            Err(e) => eprintln!("  {}: {e}", profile.info.id),
+        }
+    }
+    println!("{}", render_dtune(&results));
+}

@@ -1,0 +1,33 @@
+//! Regenerates Fig. 3: FDR vs energy per classification at 64 electrodes.
+//!
+//! Runs a Table I pass for the FDR axis (subset + coarser time scale by
+//! default; use `--full` for the whole cohort) and the TX2 cost models
+//! for the energy axis.
+//!
+//! ```text
+//! cargo run -p laelaps-bench --release --bin fig3 -- [--full] [--scale N] [--seed N]
+//! ```
+
+use laelaps_bench::{arg_present, arg_value};
+use laelaps_eval::experiments::{render_fig3, run_fig3, run_table1, Table1Options};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = Table1Options::default();
+    if !arg_present(&args, "--full") {
+        // Default: a representative six-patient subset around the median
+        // electrode count, at a coarser time scale.
+        options.ids = Some(vec!["P2", "P3", "P7", "P8", "P13", "P17"]);
+        options.time_scale = 2400.0;
+    }
+    if let Some(s) = arg_value(&args, "--scale") {
+        options.time_scale = s.parse().expect("--scale takes a number");
+    }
+    if let Some(s) = arg_value(&args, "--seed") {
+        options.seed = s.parse().expect("--seed takes an integer");
+    }
+    eprintln!("running Fig. 3 FDR pass (scale 1/{}) ...", options.time_scale);
+    let table1 = run_table1(&options);
+    let points = run_fig3(&table1);
+    println!("{}", render_fig3(&points));
+}

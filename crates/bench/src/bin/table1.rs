@@ -1,0 +1,56 @@
+//! Regenerates Table I: per-patient delay / FDR / sensitivity for Laelaps
+//! and the three baselines on the synthetic 18-patient cohort.
+//!
+//! ```text
+//! cargo run -p laelaps-bench --release --bin table1 -- \
+//!     [--scale 1800] [--seed 2019] [--ids P1,P5,P14] [--no-baselines] [--dim 2000]
+//! ```
+
+use laelaps_bench::{arg_present, arg_value};
+use laelaps_eval::experiments::{render_table1, run_table1, Table1Options};
+use laelaps_ieeg::PATIENTS;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut options = Table1Options::default();
+    if let Some(s) = arg_value(&args, "--scale") {
+        options.time_scale = s.parse().expect("--scale takes a number");
+    }
+    if let Some(s) = arg_value(&args, "--seed") {
+        options.seed = s.parse().expect("--seed takes an integer");
+    }
+    if let Some(s) = arg_value(&args, "--dim") {
+        options.dim_override = Some(s.parse().expect("--dim takes an integer"));
+    }
+    if let Some(s) = arg_value(&args, "--ids") {
+        let ids: Vec<&'static str> = s
+            .split(',')
+            .map(|want| {
+                PATIENTS
+                    .iter()
+                    .map(|p| p.id)
+                    .find(|id| *id == want)
+                    .unwrap_or_else(|| panic!("unknown patient id {want:?}"))
+            })
+            .collect();
+        options.ids = Some(ids);
+    }
+    if arg_present(&args, "--no-baselines") {
+        options.with_baselines = false;
+    }
+    if let Some(s) = arg_value(&args, "--threads") {
+        options.threads = s.parse().expect("--threads takes an integer");
+    }
+
+    eprintln!(
+        "running Table I: scale 1/{}, seed {}, {} patients, baselines: {}",
+        options.time_scale,
+        options.seed,
+        options.ids.as_ref().map_or(PATIENTS.len(), |v| v.len()),
+        options.with_baselines
+    );
+    let started = std::time::Instant::now();
+    let result = run_table1(&options);
+    eprintln!("done in {:.1}s (alpha = {:.2})", started.elapsed().as_secs_f64(), result.alpha);
+    println!("{}", render_table1(&result));
+}

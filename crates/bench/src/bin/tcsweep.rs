@@ -1,0 +1,49 @@
+//! Extension experiment: the detection-delay / robustness trade-off of
+//! the postprocessing vote (the paper fixes tc = 10 and names delay
+//! reduction as future work).
+//!
+//! ```text
+//! cargo run -p laelaps-bench --release --bin tcsweep -- [--ids P3,P5] [--scale N]
+//! ```
+
+use laelaps_bench::arg_value;
+use laelaps_core::tuning::tune_tr;
+use laelaps_eval::experiments::{render_tc_sweep, run_tc_sweep, PatientStream};
+use laelaps_eval::runner::{run_laelaps_test, train_laelaps, PreparedPatient};
+use laelaps_ieeg::synth::{cohort_subset, CohortOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cohort = CohortOptions::default();
+    cohort.time_scale = 2400.0;
+    if let Some(s) = arg_value(&args, "--scale") {
+        cohort.time_scale = s.parse().expect("--scale takes a number");
+    }
+    let ids: Vec<String> = arg_value(&args, "--ids")
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_else(|| vec!["P3".into(), "P8".into(), "P11".into(), "P17".into()]);
+    let id_refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+    let mut streams = Vec::new();
+    for profile in cohort_subset(&cohort, &id_refs) {
+        eprintln!("preparing {} ...", profile.info.id);
+        let prep = match PreparedPatient::new(&profile) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("  {}: {e}", profile.info.id);
+                continue;
+            }
+        };
+        let dim = (profile.info.laelaps_d_kbit * 1000.0) as usize;
+        let (model, replay) = train_laelaps(&prep, dim).expect("training succeeds");
+        let run = run_laelaps_test(&model, &prep).expect("test run succeeds");
+        streams.push(PatientStream {
+            classifications: run.classifications,
+            times_secs: run.times_secs,
+            spans: prep.test_seizure_spans(),
+            equivalent_hours: prep.test_equivalent_hours,
+            tr: tune_tr(&replay, 0.0),
+        });
+    }
+    let points = run_tc_sweep(&streams, &[2, 4, 6, 8, 10, 12]);
+    println!("{}", render_tc_sweep(&points));
+}

@@ -1,0 +1,44 @@
+//! # laelaps-bench
+//!
+//! Regeneration entry points for every table and figure in the paper:
+//!
+//! * `cargo run -p laelaps-bench --release --bin table1` — Table I
+//!   (per-patient detection quality, all four methods);
+//! * `… --bin table2` — Table II (time/energy per classification);
+//! * `… --bin fig3` — Fig. 3 (FDR vs energy scatter);
+//! * `… --bin dtune` — §IV-B dimension tuning;
+//! * `… --bin ablation` — §IV-B `tr = 0` ablation;
+//!
+//! plus Criterion micro-benchmarks (`cargo bench -p laelaps-bench`) for
+//! the HD kernels, the streaming encoder, and the end-to-end
+//! classification event.
+
+#![warn(missing_docs)]
+
+/// Parses a `--flag value` style argument list (tiny helper shared by the
+/// table binaries).
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare `--flag` is present.
+pub fn arg_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags() {
+        let args: Vec<String> =
+            ["--scale", "900", "--quick"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_value(&args, "--scale").as_deref(), Some("900"));
+        assert_eq!(arg_value(&args, "--ids"), None);
+        assert!(arg_present(&args, "--quick"));
+        assert!(!arg_present(&args, "--full"));
+    }
+}

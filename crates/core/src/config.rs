@@ -1,0 +1,380 @@
+//! Configuration of the Laelaps pipeline.
+
+use crate::error::{LaelapsError, Result};
+use crate::hv::TiePolicy;
+use crate::lbp::{min_window_samples, MAX_LBP_LEN};
+
+/// The paper's operating sample rate after preprocessing (Hz).
+pub const PAPER_SAMPLE_RATE: u32 = 512;
+
+/// The paper's LBP code length ℓ.
+pub const PAPER_LBP_LEN: usize = 6;
+
+/// The paper's golden-model dimension (10 kbit).
+pub const GOLDEN_DIM: usize = 10_000;
+
+/// The paper's deployment dimension on the TX2 (1 kbit).
+pub const DEPLOY_DIM: usize = 1_000;
+
+/// Complete parameterization of a Laelaps detector.
+///
+/// Defaults follow the paper: 512 Hz input, ℓ = 6, 1 s analysis window with
+/// 0.5 s hop, postprocessing over the last 10 labels with `tc = 10`, and a
+/// 2 kbit hypervector dimension (a mid-range value from Table I; use
+/// [`GOLDEN_DIM`] for the tuning golden model).
+///
+/// # Examples
+///
+/// ```
+/// use laelaps_core::LaelapsConfig;
+///
+/// let config = LaelapsConfig::builder()
+///     .dim(4000)
+///     .seed(99)
+///     .build()?;
+/// assert_eq!(config.window_samples, 512);
+/// assert_eq!(config.hop_samples, 256);
+/// # Ok::<(), laelaps_core::LaelapsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaelapsConfig {
+    /// Hypervector dimension `d` in bits.
+    pub dim: usize,
+    /// LBP code length ℓ in bits.
+    pub lbp_len: usize,
+    /// Sample rate of the (preprocessed) input in Hz.
+    pub sample_rate: u32,
+    /// Analysis window length in samples (1 s in the paper).
+    pub window_samples: usize,
+    /// Hop between successive windows in samples (0.5 s in the paper).
+    pub hop_samples: usize,
+    /// Postprocessing window length in labels (10 in the paper).
+    pub postprocess_len: usize,
+    /// Minimum number of ictal labels within the postprocessing window
+    /// required to flag an alarm (`tc`, 10 in the paper).
+    pub tc: usize,
+    /// Δ-score threshold (`tr`); 0 disables the confidence check. Tuned
+    /// per patient by [`crate::tuning::tune_tr`].
+    pub tr: f64,
+    /// Refractory period after an alarm, in label periods; further alarms
+    /// are suppressed for this long so one seizure raises one alarm.
+    pub refractory_labels: usize,
+    /// Majority tie handling in bundling.
+    pub tie_policy: TiePolicy,
+    /// Seed for the item memories (and tie-break vector if used).
+    pub seed: u64,
+}
+
+impl LaelapsConfig {
+    /// Starts building a configuration from the paper defaults.
+    pub fn builder() -> LaelapsConfigBuilder {
+        LaelapsConfigBuilder::new()
+    }
+
+    /// The paper-default configuration at a given dimension and seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaelapsError::InvalidConfig`] if `dim` is zero.
+    pub fn with_dim(dim: usize, seed: u64) -> Result<Self> {
+        Self::builder().dim(dim).seed(seed).build()
+    }
+
+    /// Seconds spanned by one analysis window.
+    pub fn window_secs(&self) -> f64 {
+        self.window_samples as f64 / self.sample_rate as f64
+    }
+
+    /// Seconds between successive classification events (0.5 s).
+    pub fn label_period_secs(&self) -> f64 {
+        self.hop_samples as f64 / self.sample_rate as f64
+    }
+
+    /// Number of distinct LBP symbols (`2^ℓ`).
+    pub fn symbol_count(&self) -> usize {
+        1 << self.lbp_len
+    }
+
+    /// Validates all invariants; called by the builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaelapsError::InvalidConfig`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.dim == 0 {
+            return Err(invalid("dim", "dimension must be nonzero"));
+        }
+        if self.dim < 64 {
+            return Err(invalid(
+                "dim",
+                format!("dimension {} is below the minimum of 64", self.dim),
+            ));
+        }
+        if self.lbp_len == 0 || self.lbp_len > MAX_LBP_LEN {
+            return Err(invalid(
+                "lbp_len",
+                format!("ℓ must be in 1..={MAX_LBP_LEN}, got {}", self.lbp_len),
+            ));
+        }
+        if self.sample_rate == 0 {
+            return Err(invalid("sample_rate", "sample rate must be nonzero"));
+        }
+        if self.window_samples < min_window_samples(self.lbp_len) {
+            return Err(invalid(
+                "window_samples",
+                format!(
+                    "window of {} samples cannot contain all 2^{} symbols \
+                     (needs > {})",
+                    self.window_samples,
+                    self.lbp_len,
+                    (1 << self.lbp_len)
+                ),
+            ));
+        }
+        if self.hop_samples == 0 || self.hop_samples > self.window_samples {
+            return Err(invalid(
+                "hop_samples",
+                "hop must be in 1..=window_samples",
+            ));
+        }
+        if self.window_samples % self.hop_samples != 0 {
+            return Err(invalid(
+                "hop_samples",
+                "hop must divide the window length (streaming partial sums)",
+            ));
+        }
+        if self.window_samples / self.hop_samples != 2 {
+            return Err(invalid(
+                "hop_samples",
+                "this implementation follows the paper's 50% overlap \
+                 (window = 2 × hop)",
+            ));
+        }
+        if self.tc == 0 || self.tc > self.postprocess_len {
+            return Err(invalid("tc", "tc must be in 1..=postprocess_len"));
+        }
+        if self.postprocess_len == 0 {
+            return Err(invalid("postprocess_len", "must be nonzero"));
+        }
+        if !self.tr.is_finite() || self.tr < 0.0 {
+            return Err(invalid("tr", "tr must be finite and non-negative"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for LaelapsConfig {
+    fn default() -> Self {
+        LaelapsConfig {
+            dim: 2000,
+            lbp_len: PAPER_LBP_LEN,
+            sample_rate: PAPER_SAMPLE_RATE,
+            window_samples: PAPER_SAMPLE_RATE as usize,
+            hop_samples: PAPER_SAMPLE_RATE as usize / 2,
+            postprocess_len: 10,
+            tc: 10,
+            tr: 0.0,
+            refractory_labels: 120, // 60 s at the 0.5 s label period
+            tie_policy: TiePolicy::ZeroOnTie,
+            seed: 0,
+        }
+    }
+}
+
+fn invalid(field: &'static str, reason: impl Into<String>) -> LaelapsError {
+    LaelapsError::InvalidConfig {
+        field,
+        reason: reason.into(),
+    }
+}
+
+/// Builder for [`LaelapsConfig`] (see [`LaelapsConfig::builder`]).
+#[derive(Debug, Clone, Default)]
+pub struct LaelapsConfigBuilder {
+    config: LaelapsConfig,
+}
+
+impl LaelapsConfigBuilder {
+    /// Creates a builder initialized with the paper defaults.
+    pub fn new() -> Self {
+        LaelapsConfigBuilder {
+            config: LaelapsConfig::default(),
+        }
+    }
+
+    /// Sets the hypervector dimension `d`.
+    pub fn dim(mut self, dim: usize) -> Self {
+        self.config.dim = dim;
+        self
+    }
+
+    /// Sets the LBP code length ℓ.
+    pub fn lbp_len(mut self, len: usize) -> Self {
+        self.config.lbp_len = len;
+        self
+    }
+
+    /// Sets the input sample rate and rescales the window/hop to keep the
+    /// paper's 1 s window with 50 % overlap.
+    pub fn sample_rate(mut self, hz: u32) -> Self {
+        self.config.sample_rate = hz;
+        self.config.window_samples = hz as usize;
+        self.config.hop_samples = (hz as usize) / 2;
+        self
+    }
+
+    /// Sets the analysis window length in samples.
+    pub fn window_samples(mut self, n: usize) -> Self {
+        self.config.window_samples = n;
+        self
+    }
+
+    /// Sets the hop length in samples.
+    pub fn hop_samples(mut self, n: usize) -> Self {
+        self.config.hop_samples = n;
+        self
+    }
+
+    /// Sets the postprocessing label-window length.
+    pub fn postprocess_len(mut self, n: usize) -> Self {
+        self.config.postprocess_len = n;
+        self
+    }
+
+    /// Sets the ictal-label count threshold `tc`.
+    pub fn tc(mut self, tc: usize) -> Self {
+        self.config.tc = tc;
+        self
+    }
+
+    /// Sets the Δ-score threshold `tr`.
+    pub fn tr(mut self, tr: f64) -> Self {
+        self.config.tr = tr;
+        self
+    }
+
+    /// Sets the post-alarm refractory period in label periods.
+    pub fn refractory_labels(mut self, n: usize) -> Self {
+        self.config.refractory_labels = n;
+        self
+    }
+
+    /// Sets the bundling tie policy.
+    pub fn tie_policy(mut self, policy: TiePolicy) -> Self {
+        self.config.tie_policy = policy;
+        self
+    }
+
+    /// Sets the model seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaelapsError::InvalidConfig`] if any constraint is violated
+    /// (see [`LaelapsConfig::validate`]).
+    pub fn build(self) -> Result<LaelapsConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_paper() {
+        let c = LaelapsConfig::default();
+        assert_eq!(c.lbp_len, 6);
+        assert_eq!(c.sample_rate, 512);
+        assert_eq!(c.window_samples, 512);
+        assert_eq!(c.hop_samples, 256);
+        assert_eq!(c.tc, 10);
+        assert_eq!(c.postprocess_len, 10);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.window_secs(), 1.0);
+        assert_eq!(c.label_period_secs(), 0.5);
+        assert_eq!(c.symbol_count(), 64);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let c = LaelapsConfig::builder()
+            .dim(1000)
+            .lbp_len(4)
+            .seed(12)
+            .tr(3.5)
+            .build()
+            .unwrap();
+        assert_eq!(c.dim, 1000);
+        assert_eq!(c.lbp_len, 4);
+        assert_eq!(c.seed, 12);
+        assert_eq!(c.tr, 3.5);
+    }
+
+    #[test]
+    fn rejects_window_too_small_for_symbols() {
+        let err = LaelapsConfig::builder()
+            .window_samples(64)
+            .hop_samples(32)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            LaelapsError::InvalidConfig {
+                field: "window_samples",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_overlap() {
+        let err = LaelapsConfig::builder()
+            .window_samples(512)
+            .hop_samples(128)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            LaelapsError::InvalidConfig {
+                field: "hop_samples",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_tc_above_postprocess_len() {
+        let err = LaelapsConfig::builder().tc(11).build().unwrap_err();
+        assert!(matches!(
+            err,
+            LaelapsError::InvalidConfig { field: "tc", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_tiny_dim() {
+        assert!(LaelapsConfig::with_dim(32, 0).is_err());
+        assert!(LaelapsConfig::with_dim(0, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_negative_tr() {
+        assert!(LaelapsConfig::builder().tr(-1.0).build().is_err());
+        assert!(LaelapsConfig::builder().tr(f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn sample_rate_rescales_window() {
+        let c = LaelapsConfig::builder().sample_rate(1024).build().unwrap();
+        assert_eq!(c.window_samples, 1024);
+        assert_eq!(c.hop_samples, 512);
+    }
+}

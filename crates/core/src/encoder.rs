@@ -1,0 +1,474 @@
+//! The Laelaps HD encoder (paper §III-B, Fig. 1).
+//!
+//! For every input sample (one value per electrode) the encoder:
+//!
+//! 1. updates each electrode's streaming LBP extractor;
+//! 2. binds each electrode vector to its current code vector and bundles
+//!    across electrodes into the **spatial record**
+//!    `S = [E1⊕C(1) + … + En⊕C(n)]`;
+//! 3. accumulates `S` into the current half-window partial sum.
+//!
+//! Every `hop` samples (0.5 s) the current partial sum is combined with the
+//! previous one, thresholded at half of the full 1 s window, and emitted as
+//! the **temporal histogram vector** `H` — a holographic representation of
+//! the LBP-code histogram across all electrodes for the last second.
+
+use crate::config::LaelapsConfig;
+use crate::error::{LaelapsError, Result};
+use crate::hv::{BitSliceAccumulator, Hypervector, ItemMemory, TiePolicy};
+use crate::lbp::{LbpCode, LbpExtractor};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seed offset separating IM1 (codes) from IM2 (electrodes) and the
+/// tie-break vector, all derived from the single model seed.
+const IM1_SEED_OFFSET: u64 = 0x1B9_C0DE;
+const IM2_SEED_OFFSET: u64 = 0xE1EC_0DE;
+const TIE_SEED_OFFSET: u64 = 0x71E_B17;
+
+/// Stateless spatial encoder: maps one LBP code per electrode to the
+/// spatial record `S`.
+///
+/// Owns the two item memories (IM1: codes, IM2: electrodes). Reused by the
+/// streaming [`Encoder`] and exposed separately for the GPU-simulator
+/// cross-checks and for batch experiments.
+#[derive(Debug, Clone)]
+pub struct SpatialEncoder {
+    im_codes: ItemMemory,
+    im_electrodes: ItemMemory,
+    tie: Hypervector,
+    tie_policy: TiePolicy,
+    acc: BitSliceAccumulator,
+}
+
+impl SpatialEncoder {
+    /// Builds the item memories for `electrodes` channels from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaelapsError::InvalidConfig`] if `electrodes` is zero.
+    pub fn new(config: &LaelapsConfig, electrodes: usize) -> Result<Self> {
+        if electrodes == 0 {
+            return Err(LaelapsError::InvalidConfig {
+                field: "electrodes",
+                reason: "electrode count must be nonzero".into(),
+            });
+        }
+        let im_codes = ItemMemory::new(
+            config.symbol_count(),
+            config.dim,
+            config.seed.wrapping_add(IM1_SEED_OFFSET),
+        );
+        let im_electrodes = ItemMemory::new(
+            electrodes,
+            config.dim,
+            config.seed.wrapping_add(IM2_SEED_OFFSET),
+        );
+        let mut tie_rng =
+            StdRng::seed_from_u64(config.seed.wrapping_add(TIE_SEED_OFFSET));
+        let tie = Hypervector::random(config.dim, &mut tie_rng);
+        Ok(SpatialEncoder {
+            im_codes,
+            im_electrodes,
+            tie,
+            tie_policy: config.tie_policy,
+            acc: BitSliceAccumulator::new(config.dim),
+        })
+    }
+
+    /// Number of electrodes this encoder binds.
+    pub fn electrodes(&self) -> usize {
+        self.im_electrodes.len()
+    }
+
+    /// Hypervector dimension.
+    pub fn dim(&self) -> usize {
+        self.im_codes.dim()
+    }
+
+    /// The LBP-code item memory (IM1).
+    pub fn code_memory(&self) -> &ItemMemory {
+        &self.im_codes
+    }
+
+    /// The electrode item memory (IM2).
+    pub fn electrode_memory(&self) -> &ItemMemory {
+        &self.im_electrodes
+    }
+
+    /// Encodes one spatial record from the per-electrode LBP codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len()` differs from the electrode count or a code
+    /// is out of range for the configured ℓ.
+    pub fn encode(&mut self, codes: &[LbpCode]) -> Hypervector {
+        assert_eq!(
+            codes.len(),
+            self.im_electrodes.len(),
+            "one LBP code per electrode required"
+        );
+        self.acc.clear();
+        for (j, &code) in codes.iter().enumerate() {
+            self.acc
+                .add_xor(self.im_electrodes.get(j), self.im_codes.get(code as usize));
+        }
+        self.acc.majority_with(self.tie_policy, &self.tie)
+    }
+}
+
+/// A temporal histogram vector with its window provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowVector {
+    /// The encoded `H` vector.
+    pub vector: Hypervector,
+    /// Index of the last sample included in the window (0-based).
+    pub end_sample: u64,
+    /// Sequential index of this window (0-based).
+    pub index: u64,
+}
+
+/// Streaming encoder producing one `H` vector per hop (0.5 s).
+///
+/// # Examples
+///
+/// ```
+/// use laelaps_core::{Encoder, LaelapsConfig};
+///
+/// let config = LaelapsConfig::builder().dim(256).seed(1).build()?;
+/// let mut enc = Encoder::new(&config, 4)?;
+/// let mut produced = 0;
+/// for t in 0..2000 {
+///     let x = (t as f32 * 0.1).sin();
+///     let frame = [x, -x, x * 0.5, 1.0 - x];
+///     if enc.push_frame(&frame)?.is_some() {
+///         produced += 1;
+///     }
+/// }
+/// assert!(produced > 0);
+/// # Ok::<(), laelaps_core::LaelapsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    spatial: SpatialEncoder,
+    extractors: Vec<LbpExtractor>,
+    codes: Vec<LbpCode>,
+    half: BitSliceAccumulator,
+    prev_half: Option<Vec<u32>>,
+    samples_in_half: usize,
+    hop: usize,
+    window: usize,
+    samples_seen: u64,
+    windows_emitted: u64,
+}
+
+impl Encoder {
+    /// Creates a streaming encoder for `electrodes` channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaelapsError::InvalidConfig`] if `electrodes` is zero or
+    /// the configuration is invalid.
+    pub fn new(config: &LaelapsConfig, electrodes: usize) -> Result<Self> {
+        config.validate()?;
+        let spatial = SpatialEncoder::new(config, electrodes)?;
+        Ok(Encoder {
+            spatial,
+            extractors: (0..electrodes)
+                .map(|_| LbpExtractor::new(config.lbp_len))
+                .collect(),
+            codes: vec![0; electrodes],
+            half: BitSliceAccumulator::new(config.dim),
+            prev_half: None,
+            samples_in_half: 0,
+            hop: config.hop_samples,
+            window: config.window_samples,
+            samples_seen: 0,
+            windows_emitted: 0,
+        })
+    }
+
+    /// Number of electrodes.
+    pub fn electrodes(&self) -> usize {
+        self.extractors.len()
+    }
+
+    /// Hypervector dimension.
+    pub fn dim(&self) -> usize {
+        self.spatial.dim()
+    }
+
+    /// Total samples pushed so far.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+
+    /// Borrow the inner spatial encoder (item memories).
+    pub fn spatial(&self) -> &SpatialEncoder {
+        &self.spatial
+    }
+
+    /// Pushes one multichannel frame (one sample per electrode).
+    ///
+    /// Returns `Some(WindowVector)` whenever a full 1 s window (with 0.5 s
+    /// overlap) completes — i.e. every `hop` samples after warm-up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaelapsError::ElectrodeMismatch`] if `frame.len()` differs
+    /// from the electrode count.
+    pub fn push_frame(&mut self, frame: &[f32]) -> Result<Option<WindowVector>> {
+        if frame.len() != self.extractors.len() {
+            return Err(LaelapsError::ElectrodeMismatch {
+                expected: self.extractors.len(),
+                got: frame.len(),
+            });
+        }
+        self.samples_seen += 1;
+        let mut warm = true;
+        for (ex, (&x, code)) in self
+            .extractors
+            .iter_mut()
+            .zip(frame.iter().zip(self.codes.iter_mut()))
+        {
+            match ex.push(x) {
+                Some(c) => *code = c,
+                None => warm = false,
+            }
+        }
+        if !warm {
+            // All extractors warm up simultaneously; nothing to encode yet.
+            return Ok(None);
+        }
+        let s = self.spatial.encode(&self.codes);
+        self.half.add(&s);
+        self.samples_in_half += 1;
+        if self.samples_in_half < self.hop {
+            return Ok(None);
+        }
+        // Half-window boundary: combine with the previous half to form H.
+        let counts = self.half.to_counts();
+        self.half.clear();
+        self.samples_in_half = 0;
+        let out = match self.prev_half.take() {
+            Some(prev) => {
+                let mut h = Hypervector::zero(self.spatial.dim());
+                let threshold = (self.window / 2) as u32;
+                for (i, (&a, &b)) in prev.iter().zip(counts.iter()).enumerate() {
+                    // Majority over the full window, ties to 0: count > N/2.
+                    if a + b > threshold {
+                        h.set(i, true);
+                    }
+                }
+                let wv = WindowVector {
+                    vector: h,
+                    end_sample: self.samples_seen - 1,
+                    index: self.windows_emitted,
+                };
+                self.windows_emitted += 1;
+                Some(wv)
+            }
+            None => None,
+        };
+        self.prev_half = Some(counts);
+        Ok(out)
+    }
+
+    /// Encodes a whole multichannel signal and returns every `H` vector.
+    ///
+    /// `signal[j]` is electrode `j`'s sample vector; all must share one
+    /// length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaelapsError::ElectrodeMismatch`] if `signal.len()` differs
+    /// from the electrode count, or [`LaelapsError::InvalidConfig`] if the
+    /// channels have unequal lengths.
+    pub fn encode_signal(&mut self, signal: &[Vec<f32>]) -> Result<Vec<WindowVector>> {
+        if signal.len() != self.extractors.len() {
+            return Err(LaelapsError::ElectrodeMismatch {
+                expected: self.extractors.len(),
+                got: signal.len(),
+            });
+        }
+        let len = signal.first().map_or(0, |ch| ch.len());
+        if signal.iter().any(|ch| ch.len() != len) {
+            return Err(LaelapsError::InvalidConfig {
+                field: "signal",
+                reason: "all electrode channels must have equal length".into(),
+            });
+        }
+        let mut out = Vec::new();
+        let mut frame = vec![0.0f32; signal.len()];
+        for t in 0..len {
+            for (j, ch) in signal.iter().enumerate() {
+                frame[j] = ch[t];
+            }
+            if let Some(wv) = self.push_frame(&frame)? {
+                out.push(wv);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resets all streaming state (extractors, partial sums, counters).
+    pub fn reset(&mut self) {
+        for ex in &mut self.extractors {
+            ex.reset();
+        }
+        self.half.clear();
+        self.prev_half = None;
+        self.samples_in_half = 0;
+        self.samples_seen = 0;
+        self.windows_emitted = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn test_config(dim: usize) -> LaelapsConfig {
+        LaelapsConfig::builder().dim(dim).seed(7).build().unwrap()
+    }
+
+    fn random_signal(electrodes: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..electrodes)
+            .map(|_| (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn window_cadence_matches_hop() {
+        let config = test_config(128);
+        let mut enc = Encoder::new(&config, 2).unwrap();
+        let signal = random_signal(2, 512 * 3, 1);
+        let windows = enc.encode_signal(&signal).unwrap();
+        // First H needs warmup (7 samples) + 2 half-windows; afterwards one
+        // H every 256 samples. 1536 samples → floor((1536-6)/256) = 5 halves
+        // → 4 full windows.
+        assert_eq!(windows.len(), 4);
+        for w in windows.windows(2) {
+            assert_eq!(w[1].end_sample - w[0].end_sample, 256);
+            assert_eq!(w[1].index - w[0].index, 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let config = test_config(256);
+        let signal = random_signal(3, 1400, 2);
+        let mut e1 = Encoder::new(&config, 3).unwrap();
+        let mut e2 = Encoder::new(&config, 3).unwrap();
+        let w1 = e1.encode_signal(&signal).unwrap();
+        let w2 = e2.encode_signal(&signal).unwrap();
+        assert_eq!(w1, w2);
+        assert!(!w1.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_give_different_encodings() {
+        let signal = random_signal(3, 1400, 3);
+        let c1 = LaelapsConfig::builder().dim(256).seed(1).build().unwrap();
+        let c2 = LaelapsConfig::builder().dim(256).seed(2).build().unwrap();
+        let w1 = Encoder::new(&c1, 3).unwrap().encode_signal(&signal).unwrap();
+        let w2 = Encoder::new(&c2, 3).unwrap().encode_signal(&signal).unwrap();
+        assert_ne!(w1[0].vector, w2[0].vector);
+    }
+
+    #[test]
+    fn reset_reproduces_from_scratch() {
+        let config = test_config(128);
+        let signal = random_signal(2, 1200, 4);
+        let mut enc = Encoder::new(&config, 2).unwrap();
+        let first = enc.encode_signal(&signal).unwrap();
+        enc.reset();
+        let second = enc.encode_signal(&signal).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn rejects_wrong_frame_width() {
+        let config = test_config(128);
+        let mut enc = Encoder::new(&config, 4).unwrap();
+        let err = enc.push_frame(&[0.0; 3]).unwrap_err();
+        assert!(matches!(
+            err,
+            LaelapsError::ElectrodeMismatch {
+                expected: 4,
+                got: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_ragged_signal() {
+        let config = test_config(128);
+        let mut enc = Encoder::new(&config, 2).unwrap();
+        let ragged = vec![vec![0.0; 100], vec![0.0; 99]];
+        assert!(enc.encode_signal(&ragged).is_err());
+    }
+
+    #[test]
+    fn similar_inputs_give_similar_h() {
+        // Two windows of the same stationary process should be much closer
+        // than windows from different processes.
+        let config = test_config(2048);
+        let mut enc = Encoder::new(&config, 4).unwrap();
+        // Slow asymmetric sawtooth — ictal-like, highly regular.
+        let saw: Vec<Vec<f32>> = (0..4)
+            .map(|j| {
+                (0..2048)
+                    .map(|t| {
+                        let phase = ((t + j * 3) % 128) as f32 / 128.0;
+                        if phase < 0.8 {
+                            phase
+                        } else {
+                            (1.0 - phase) * 4.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let ws = enc.encode_signal(&saw).unwrap();
+        assert!(ws.len() >= 4);
+        let noise = random_signal(4, 2048, 5);
+        let mut enc2 = Encoder::new(&config, 4).unwrap();
+        let wn = enc2.encode_signal(&noise).unwrap();
+        let same = ws[1].vector.similarity(&ws[2].vector);
+        let cross = ws[1].vector.similarity(&wn[2].vector);
+        assert!(
+            same > cross + 0.05,
+            "same-state similarity {same} should exceed cross-state {cross}"
+        );
+    }
+
+    #[test]
+    fn spatial_encoder_is_permutation_sensitive() {
+        // Binding electrode identity must make the record depend on *which*
+        // electrode carries which code.
+        let config = test_config(4096);
+        let mut sp = SpatialEncoder::new(&config, 8).unwrap();
+        let codes_a: Vec<u8> = (0..8).collect();
+        let mut codes_b = codes_a.clone();
+        codes_b.swap(0, 7);
+        let sa = sp.encode(&codes_a);
+        let sb = sp.encode(&codes_b);
+        assert!(sa.similarity(&sb) < 0.95);
+        let sa2 = sp.encode(&codes_a);
+        assert_eq!(sa, sa2, "spatial encoding must be deterministic");
+    }
+
+    #[test]
+    fn spatial_encoder_single_electrode_is_pure_binding() {
+        let config = test_config(512);
+        let mut sp = SpatialEncoder::new(&config, 1).unwrap();
+        let s = sp.encode(&[42]);
+        let expected = sp.electrode_memory().get(0).xor(sp.code_memory().get(42));
+        assert_eq!(s, expected);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types for the Laelaps core crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors arising from invalid configurations or training inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LaelapsError {
+    /// A configuration field is out of its valid range.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Training was attempted with no usable windows for a prototype.
+    EmptyTrainingSegment {
+        /// Which prototype lacked data ("ictal" or "interictal").
+        prototype: &'static str,
+    },
+    /// Input frame width does not match the configured electrode count.
+    ElectrodeMismatch {
+        /// Electrodes the model was built for.
+        expected: usize,
+        /// Electrodes in the offending frame.
+        got: usize,
+    },
+    /// A training segment lies outside the provided signal.
+    SegmentOutOfBounds {
+        /// Segment start sample.
+        start: usize,
+        /// Segment end sample (exclusive).
+        end: usize,
+        /// Signal length in samples.
+        signal_len: usize,
+    },
+}
+
+impl fmt::Display for LaelapsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaelapsError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration field `{field}`: {reason}")
+            }
+            LaelapsError::EmptyTrainingSegment { prototype } => {
+                write!(f, "no usable windows to train the {prototype} prototype")
+            }
+            LaelapsError::ElectrodeMismatch { expected, got } => {
+                write!(f, "frame has {got} electrodes, model expects {expected}")
+            }
+            LaelapsError::SegmentOutOfBounds {
+                start,
+                end,
+                signal_len,
+            } => write!(
+                f,
+                "segment [{start}, {end}) exceeds signal of {signal_len} samples"
+            ),
+        }
+    }
+}
+
+impl StdError for LaelapsError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, LaelapsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LaelapsError::ElectrodeMismatch {
+            expected: 64,
+            got: 32,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("64") && msg.contains("32"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LaelapsError>();
+    }
+}

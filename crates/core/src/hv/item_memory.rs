@@ -1,0 +1,178 @@
+//! Item memories: seeded tables of random atomic hypervectors.
+//!
+//! HD computing assigns every symbol an atomic vector drawn i.i.d. with
+//! p = 0.5. Laelaps keeps two item memories (Fig. 2 of the paper):
+//!
+//! * **IM1** — one vector per LBP code (64 entries for ℓ = 6);
+//! * **IM2** — one vector per electrode (up to 128 entries).
+//!
+//! Binding `E_j ⊕ C_{i(j)}` then yields a quasi-orthogonal vector per
+//! (electrode, code) pair while storing only `64 + n` vectors instead of
+//! `64 · n`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::vector::Hypervector;
+
+/// A seeded table of random atomic hypervectors.
+///
+/// Construction is deterministic in `(seed, dim, len)` so that trained
+/// models can be reproduced exactly from their configuration.
+///
+/// # Examples
+///
+/// ```
+/// use laelaps_core::hv::ItemMemory;
+///
+/// // IM1 for 6-bit LBP codes at d = 2000.
+/// let im1 = ItemMemory::new(64, 2000, 0xC0DE);
+/// assert_eq!(im1.len(), 64);
+/// // Atomic vectors are nearly orthogonal.
+/// let eta = im1.get(0).hamming(im1.get(1)) as f64 / 2000.0;
+/// assert!((eta - 0.5).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ItemMemory {
+    items: Vec<Hypervector>,
+    dim: usize,
+    seed: u64,
+}
+
+impl ItemMemory {
+    /// Generates `len` random atomic vectors of dimension `dim` from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or `dim == 0`.
+    pub fn new(len: usize, dim: usize, seed: u64) -> Self {
+        assert!(len > 0, "item memory must contain at least one vector");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items = (0..len)
+            .map(|_| Hypervector::random(dim, &mut rng))
+            .collect();
+        ItemMemory { items, dim, seed }
+    }
+
+    /// Number of atomic vectors stored.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the memory is empty (never true for a constructed memory).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Dimension of the stored vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The seed this memory was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Returns the atomic vector for symbol `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[inline]
+    pub fn get(&self, index: usize) -> &Hypervector {
+        &self.items[index]
+    }
+
+    /// Iterates over the stored vectors in symbol order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Hypervector> {
+        self.items.iter()
+    }
+
+    /// Total storage footprint in bits (`len · dim`), as reported in the
+    /// paper's shared-memory budget (IM1 = 64 kbit, IM2 ≤ 128 kbit at
+    /// d = 1 kbit).
+    pub fn storage_bits(&self) -> usize {
+        self.items.len() * self.dim
+    }
+
+    /// Mean pairwise normalized Hamming distance across all stored vectors;
+    /// ≈ 0.5 for a well-formed memory (quasi-orthogonality diagnostic).
+    pub fn mean_pairwise_distance(&self) -> f64 {
+        let n = self.items.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        let mut pairs = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += self.items[i].hamming(&self.items[j]);
+                pairs += 1;
+            }
+        }
+        total as f64 / (pairs as f64 * self.dim as f64)
+    }
+}
+
+impl<'a> IntoIterator for &'a ItemMemory {
+    type Item = &'a Hypervector;
+    type IntoIter = std::slice::Iter<'a, Hypervector>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = ItemMemory::new(16, 512, 42);
+        let b = ItemMemory::new(16, 512, 42);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ItemMemory::new(4, 512, 1);
+        let b = ItemMemory::new(4, 512, 2);
+        assert_ne!(a.get(0), b.get(0));
+    }
+
+    #[test]
+    fn quasi_orthogonality() {
+        let im = ItemMemory::new(64, 10_000, 7);
+        let mpd = im.mean_pairwise_distance();
+        assert!((mpd - 0.5).abs() < 0.01, "mean pairwise distance {mpd}");
+    }
+
+    #[test]
+    fn storage_matches_paper_budget() {
+        // Paper §V-B: IM1 (64 codes, d = 1 kbit) occupies 64 kbit;
+        // IM2 for 128 electrodes occupies 128 kbit.
+        let im1 = ItemMemory::new(64, 1000, 0);
+        let im2 = ItemMemory::new(128, 1000, 1);
+        assert_eq!(im1.storage_bits(), 64_000);
+        assert_eq!(im2.storage_bits(), 128_000);
+    }
+
+    #[test]
+    fn iteration_order_is_stable() {
+        let im = ItemMemory::new(8, 128, 3);
+        let via_get: Vec<_> = (0..8).map(|i| im.get(i).clone()).collect();
+        let via_iter: Vec<_> = im.iter().cloned().collect();
+        assert_eq!(via_get, via_iter);
+    }
+
+    #[test]
+    fn singleton_memory_distance_zero() {
+        let im = ItemMemory::new(1, 64, 9);
+        assert_eq!(im.mean_pairwise_distance(), 0.0);
+        assert!(!im.is_empty());
+    }
+}

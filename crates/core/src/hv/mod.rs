@@ -1,0 +1,34 @@
+//! Hyperdimensional (HD) computing primitives.
+//!
+//! This module implements the binary HD arithmetic the Laelaps paper builds
+//! on (§II-B): bit-packed [`Hypervector`]s with XOR *binding* and Hamming
+//! similarity, majority-rule *bundling* via [`DenseAccumulator`] /
+//! [`BitSliceAccumulator`], and seeded [`ItemMemory`] tables of atomic
+//! vectors.
+//!
+//! # Examples
+//!
+//! Binding and bundling, end to end:
+//!
+//! ```
+//! use laelaps_core::hv::{BitSliceAccumulator, ItemMemory};
+//!
+//! let codes = ItemMemory::new(64, 2000, 1); // IM1: one vector per LBP code
+//! let elecs = ItemMemory::new(4, 2000, 2);  // IM2: one vector per electrode
+//!
+//! // Spatial record S = [E1⊕C(1) + E2⊕C(2) + E3⊕C(3) + E4⊕C(4)].
+//! let mut acc = BitSliceAccumulator::new(2000);
+//! for (e, code) in [(0, 13usize), (1, 13), (2, 40), (3, 63)] {
+//!     acc.add_xor(elecs.get(e), codes.get(code));
+//! }
+//! let s = acc.majority();
+//! assert_eq!(s.dim(), 2000);
+//! ```
+
+mod accum;
+mod item_memory;
+mod vector;
+
+pub use accum::{BitSliceAccumulator, DenseAccumulator, TiePolicy};
+pub use item_memory::ItemMemory;
+pub use vector::{Hypervector, LIMB_BITS};

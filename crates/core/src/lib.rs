@@ -1,0 +1,89 @@
+//! # laelaps-core
+//!
+//! Reproduction of the core algorithm from *"Laelaps: An Energy-Efficient
+//! Seizure Detection Algorithm from Long-term Human iEEG Recordings without
+//! False Alarms"* (Burrello et al., DATE 2019).
+//!
+//! Laelaps detects epileptic seizures from intracranial EEG using
+//! **end-to-end binary operations**:
+//!
+//! 1. [`lbp`] — each electrode's signal becomes a stream of 6-bit *local
+//!    binary pattern* symbols encoding whether consecutive samples rise or
+//!    fall;
+//! 2. [`hv`] + [`Encoder`] — *hyperdimensional computing* binds each
+//!    electrode to its current symbol and bundles across electrodes and
+//!    time into a single `d`-bit vector `H` holographically representing
+//!    the last second of brain activity;
+//! 3. [`am`] — an associative memory with one interictal and one ictal
+//!    prototype (trained from just one or two seizures) labels each window
+//!    by Hamming distance;
+//! 4. [`postprocess`] — a sliding vote over the last 10 labels with a
+//!    patient-tuned confidence threshold `tr` yields seizure alarms with
+//!    zero false positives in the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use laelaps_core::{Detector, LaelapsConfig, Trainer, TrainingData};
+//!
+//! // A toy 2-electrode recording: noise with a rhythmic "seizure".
+//! let fs = 512usize;
+//! let signal: Vec<Vec<f32>> = (0..2)
+//!     .map(|j| {
+//!         (0..fs * 60)
+//!             .map(|t| {
+//!                 if (fs * 40..fs * 50).contains(&t) {
+//!                     ((t % 100) as f32 / 100.0).powi(2) // slow sawtooth
+//!                 } else {
+//!                     ((t * (j + 3)) as f32 * 0.7).sin()
+//!                         * ((t * 13) as f32 * 0.11).cos()
+//!                 }
+//!             })
+//!             .collect()
+//!     })
+//!     .collect();
+//!
+//! // Train on one seizure and 30 s of background, as in the paper.
+//! let config = LaelapsConfig::builder().dim(1000).seed(42).build()?;
+//! let data = TrainingData::new(&signal)
+//!     .ictal(fs * 40..fs * 50)
+//!     .interictal(fs * 5..fs * 35);
+//! let model = Trainer::new(config).train(&data)?;
+//!
+//! // Stream new data through the detector.
+//! let mut detector = Detector::new(&model)?;
+//! for t in 0..fs * 60 {
+//!     let frame = [signal[0][t], signal[1][t]];
+//!     if let Some(event) = detector.push_frame(&frame)? {
+//!         if let Some(alarm) = event.alarm {
+//!             println!("seizure alarm at {:.1} s (Δ = {:.0})",
+//!                      event.time_secs, alarm.mean_delta);
+//!         }
+//!     }
+//! }
+//! # Ok::<(), laelaps_core::LaelapsError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod am;
+pub mod config;
+pub mod detector;
+pub mod encoder;
+pub mod error;
+pub mod hv;
+pub mod lbp;
+pub mod model;
+pub mod postprocess;
+pub mod train;
+pub mod tuning;
+
+pub use am::{AssociativeMemory, Classification, Label};
+pub use config::{LaelapsConfig, LaelapsConfigBuilder, DEPLOY_DIM, GOLDEN_DIM};
+pub use detector::{Detector, DetectorEvent};
+pub use encoder::{Encoder, SpatialEncoder, WindowVector};
+pub use error::{LaelapsError, Result};
+pub use model::PatientModel;
+pub use postprocess::{Alarm, Postprocessor};
+pub use train::{Trainer, TrainingData};

@@ -1,0 +1,130 @@
+//! Trained patient-specific model.
+
+use crate::am::AssociativeMemory;
+use crate::config::LaelapsConfig;
+use crate::error::{LaelapsError, Result};
+
+/// A trained, patient-specific Laelaps model.
+///
+/// Bundles the configuration (which, via its seed, reproduces the item
+/// memories exactly), the electrode count, and the trained associative
+/// memory. Everything needed to run inference on new data — see
+/// [`crate::Detector::new`].
+#[derive(Debug, Clone)]
+pub struct PatientModel {
+    config: LaelapsConfig,
+    electrodes: usize,
+    am: AssociativeMemory,
+}
+
+impl PatientModel {
+    /// Assembles a model from its parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaelapsError::InvalidConfig`] if the AM dimension differs
+    /// from `config.dim` or `electrodes` is zero.
+    pub fn new(
+        config: LaelapsConfig,
+        electrodes: usize,
+        am: AssociativeMemory,
+    ) -> Result<Self> {
+        config.validate()?;
+        if electrodes == 0 {
+            return Err(LaelapsError::InvalidConfig {
+                field: "electrodes",
+                reason: "electrode count must be nonzero".into(),
+            });
+        }
+        if am.dim() != config.dim {
+            return Err(LaelapsError::InvalidConfig {
+                field: "dim",
+                reason: format!(
+                    "AM dimension {} does not match config dimension {}",
+                    am.dim(),
+                    config.dim
+                ),
+            });
+        }
+        Ok(PatientModel {
+            config,
+            electrodes,
+            am,
+        })
+    }
+
+    /// The model configuration (including tuned `tr` and `d`).
+    pub fn config(&self) -> &LaelapsConfig {
+        &self.config
+    }
+
+    /// Number of electrodes the model was trained for.
+    pub fn electrodes(&self) -> usize {
+        self.electrodes
+    }
+
+    /// The trained associative memory.
+    pub fn am(&self) -> &AssociativeMemory {
+        &self.am
+    }
+
+    /// Returns a copy with the Δ threshold `tr` replaced (after tuning).
+    pub fn with_tr(&self, tr: f64) -> Result<Self> {
+        let mut config = self.config.clone();
+        config.tr = tr;
+        config.validate()?;
+        Ok(PatientModel {
+            config,
+            electrodes: self.electrodes,
+            am: self.am.clone(),
+        })
+    }
+
+    /// Total model storage in bits: the two item memories plus the AM
+    /// prototypes (the paper's memory-footprint metric).
+    pub fn storage_bits(&self) -> usize {
+        let d = self.config.dim;
+        (self.config.symbol_count() + self.electrodes + 2) * d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hv::Hypervector;
+
+    fn dummy_am(dim: usize) -> AssociativeMemory {
+        AssociativeMemory::from_prototypes(
+            Hypervector::zero(dim),
+            Hypervector::ones(dim),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks_dimensions() {
+        let config = LaelapsConfig::with_dim(128, 0).unwrap();
+        assert!(PatientModel::new(config.clone(), 4, dummy_am(128)).is_ok());
+        assert!(PatientModel::new(config.clone(), 4, dummy_am(256)).is_err());
+        assert!(PatientModel::new(config, 0, dummy_am(128)).is_err());
+    }
+
+    #[test]
+    fn with_tr_updates_only_tr() {
+        let config = LaelapsConfig::with_dim(128, 0).unwrap();
+        let m = PatientModel::new(config, 4, dummy_am(128)).unwrap();
+        let m2 = m.with_tr(7.5).unwrap();
+        assert_eq!(m2.config().tr, 7.5);
+        assert_eq!(m2.config().dim, m.config().dim);
+        assert_eq!(m2.electrodes(), 4);
+        assert!(m.with_tr(-3.0).is_err());
+    }
+
+    #[test]
+    fn storage_matches_paper_accounting() {
+        // 64-code IM1 + 128-electrode IM2 + 2 prototypes at d = 1 kbit.
+        let config = LaelapsConfig::with_dim(1000, 0).unwrap();
+        let m = PatientModel::new(config, 128, dummy_am(1000)).unwrap();
+        assert_eq!(m.storage_bits(), (64 + 128 + 2) * 1000);
+    }
+}

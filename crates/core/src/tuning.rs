@@ -1,0 +1,416 @@
+//! Patient-specific threshold and dimension tuning (paper §III-C, §IV-B).
+//!
+//! Two knobs are tuned per patient, both *only on the training portion* of
+//! the recording:
+//!
+//! * **`tr`** — the Δ-score threshold. If the hard `tc` filter alone already
+//!   yields no false alarms on the training data, `tr` is set to the
+//!   minimum ictal Δ (maximum robustness at no sensitivity cost); otherwise
+//!   it is the largest integer multiple of the maximum interictal Δ that
+//!   stays below `max Δ_ictal − α`, where `α` compensates for the
+//!   classifier's extra confidence on the very windows it was trained on.
+//! * **`d`** — the hypervector dimension. A golden model at 10 kbit is
+//!   compared against progressively smaller dimensions; the smallest `d`
+//!   preserving the golden model's training-set performance is kept.
+
+use std::ops::Range;
+
+use crate::am::Label;
+use crate::detector::Detector;
+use crate::error::Result;
+use crate::model::PatientModel;
+
+/// Δ statistics and alarm behaviour of a trained model replayed over its
+/// own training portion.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingReplay {
+    /// Δ of ictal-labeled windows inside the training ictal segments
+    /// (falls back to all windows inside those segments if the classifier
+    /// labeled none ictal).
+    pub delta_ictal: Vec<f64>,
+    /// Δ of all windows outside the training ictal segments.
+    pub delta_interictal: Vec<f64>,
+    /// False alarms raised with the hard `tc` filter only (`tr = 0`),
+    /// counted outside the ictal segments.
+    pub false_alarms_tc_only: usize,
+    /// Training seizures detected with `tr = 0` (sanity diagnostic).
+    pub detected_tc_only: usize,
+    /// Per training seizure: the mean Δ of its ictal-labeled windows —
+    /// the confidence the postprocessor's mean-Δ test would see for that
+    /// event.
+    pub seizure_mean_deltas: Vec<f64>,
+}
+
+impl TrainingReplay {
+    /// Minimum ictal Δ, if any ictal window was observed.
+    pub fn min_delta_ictal(&self) -> Option<f64> {
+        self.delta_ictal.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum ictal Δ, if any.
+    pub fn max_delta_ictal(&self) -> Option<f64> {
+        self.delta_ictal.iter().copied().reduce(f64::max)
+    }
+
+    /// Maximum interictal Δ, if any.
+    pub fn max_delta_interictal(&self) -> Option<f64> {
+        self.delta_interictal.iter().copied().reduce(f64::max)
+    }
+
+    /// Mean ictal Δ, if any.
+    pub fn mean_delta_ictal(&self) -> Option<f64> {
+        if self.delta_ictal.is_empty() {
+            None
+        } else {
+            Some(self.delta_ictal.iter().sum::<f64>() / self.delta_ictal.len() as f64)
+        }
+    }
+
+    /// Mean interictal Δ, if any.
+    pub fn mean_delta_interictal(&self) -> Option<f64> {
+        if self.delta_interictal.is_empty() {
+            None
+        } else {
+            Some(
+                self.delta_interictal.iter().sum::<f64>()
+                    / self.delta_interictal.len() as f64,
+            )
+        }
+    }
+
+    /// This patient's contribution to the cross-patient `α` constant: the
+    /// confidence gap between trained-on ictal windows and the rest of the
+    /// training portion.
+    pub fn alpha_contribution(&self) -> Option<f64> {
+        Some(self.mean_delta_ictal()? - self.mean_delta_interictal()?)
+    }
+}
+
+/// Replays a trained model over its training portion and gathers the Δ
+/// statistics needed for `tr` tuning.
+///
+/// `signal` is the training portion; `ictal_segments` are the training
+/// seizures' sample ranges within it. A window counts as ictal ground
+/// truth if it overlaps any ictal segment.
+///
+/// # Errors
+///
+/// Propagates detector construction/streaming errors.
+pub fn replay_training(
+    model: &PatientModel,
+    signal: &[Vec<f32>],
+    ictal_segments: &[Range<usize>],
+) -> Result<TrainingReplay> {
+    let mut det = Detector::new(model)?;
+    det.set_tr(0.0);
+    let window = model.config().window_samples as u64;
+    let events = det.run(signal)?;
+
+    let mut replay = TrainingReplay::default();
+    let mut detected = vec![false; ictal_segments.len()];
+    let mut ictal_fallback: Vec<f64> = Vec::new();
+    let mut per_seizure: Vec<Vec<f64>> = vec![Vec::new(); ictal_segments.len()];
+
+    for e in &events {
+        let w_start = e.end_sample.saturating_sub(window - 1);
+        let overlaps = ictal_segments
+            .iter()
+            .position(|seg| w_start < seg.end as u64 && e.end_sample >= seg.start as u64);
+        match overlaps {
+            Some(idx) => {
+                ictal_fallback.push(e.classification.delta());
+                if e.classification.label == Label::Ictal {
+                    replay.delta_ictal.push(e.classification.delta());
+                    per_seizure[idx].push(e.classification.delta());
+                }
+                if e.alarm.is_some() {
+                    detected[idx] = true;
+                }
+            }
+            None => {
+                replay.delta_interictal.push(e.classification.delta());
+                if e.alarm.is_some() {
+                    replay.false_alarms_tc_only += 1;
+                }
+            }
+        }
+    }
+    if replay.delta_ictal.is_empty() {
+        replay.delta_ictal = ictal_fallback;
+    }
+    replay.seizure_mean_deltas = per_seizure
+        .iter()
+        .filter(|ds| !ds.is_empty())
+        .map(|ds| ds.iter().sum::<f64>() / ds.len() as f64)
+        .collect();
+    replay.detected_tc_only = detected.iter().filter(|&&d| d).count();
+    Ok(replay)
+}
+
+/// Default `α` when no cross-patient estimate is available (in Δ units of
+/// Hamming-distance difference; conservative small optimism correction).
+pub const DEFAULT_ALPHA: f64 = 0.0;
+
+/// Cross-patient `α`: the mean, over patients, of the confidence gap
+/// between trained-on ictal windows and the remaining training windows.
+pub fn compute_alpha(replays: &[TrainingReplay]) -> f64 {
+    let gaps: Vec<f64> = replays
+        .iter()
+        .filter_map(TrainingReplay::alpha_contribution)
+        .collect();
+    if gaps.is_empty() {
+        DEFAULT_ALPHA
+    } else {
+        gaps.iter().sum::<f64>() / gaps.len() as f64
+    }
+}
+
+/// Tunes the Δ threshold `tr` for one patient per the paper's §III-C rule.
+///
+/// Returns 0 when the replay contains no ictal windows at all (nothing to
+/// calibrate against — `tr = 0` keeps the detector maximally sensitive).
+pub fn tune_tr(replay: &TrainingReplay, alpha: f64) -> f64 {
+    let Some(max_ictal) = replay.max_delta_ictal() else {
+        return 0.0;
+    };
+    if replay.false_alarms_tc_only == 0 {
+        // No false alarms from the hard filter alone: push tr as high as
+        // possible without touching sensitivity. The alarm test compares
+        // the *mean* Δ of the ictal labels in the vote window, so the
+        // sensitivity-preserving ceiling is the weakest training
+        // seizure's mean Δ; half of it leaves generalization margin for
+        // unseen seizures while still towering over background drift.
+        let event_floor = replay
+            .seizure_mean_deltas
+            .iter()
+            .copied()
+            .reduce(f64::min)
+            .map(|m| 0.5 * m);
+        return match event_floor {
+            Some(tr) => tr,
+            // Degenerate case: the classifier labeled no training window
+            // ictal, so nothing is detectable anyway — choose maximum
+            // robustness (the highest Δ the training background showed).
+            None => replay
+                .max_delta_interictal()
+                .unwrap_or(0.0)
+                .max(replay.min_delta_ictal().unwrap_or(0.0)),
+        };
+    }
+    let max_inter = replay.max_delta_interictal().unwrap_or(0.0);
+    if max_inter <= 0.0 {
+        return replay.min_delta_ictal().unwrap_or(0.0);
+    }
+    // Largest integer multiple of max Δ_interictal below max Δ_ictal − α.
+    let ceiling = max_ictal - alpha;
+    if ceiling <= max_inter {
+        // Cannot clear even one multiple: the classes are inseparable on
+        // the training data, so prefer maximum robustness (sensitivity is
+        // already forfeit for such patients).
+        return max_inter;
+    }
+    // Strictly below the ceiling: nudge the quotient down before flooring
+    // so an exactly-divisible ceiling picks the next multiple down.
+    let k = (ceiling / max_inter - 1e-9).floor();
+    (k * max_inter).max(0.0)
+}
+
+/// Outcome of evaluating one candidate dimension on the training set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuningOutcome {
+    /// Training seizures detected.
+    pub detected: usize,
+    /// False alarms on the training portion.
+    pub false_alarms: usize,
+}
+
+/// Result of the per-patient dimension search.
+#[derive(Debug, Clone)]
+pub struct DimensionChoice {
+    /// The selected (smallest performance-preserving) dimension.
+    pub dim: usize,
+    /// The golden model's outcome at the largest dimension.
+    pub golden: TuningOutcome,
+    /// Every candidate evaluated, largest first, with its outcome.
+    pub evaluated: Vec<(usize, TuningOutcome)>,
+}
+
+/// The candidate ladder used by the experiments (kbit steps mirroring the
+/// paper's Table I values).
+pub const DIM_LADDER: &[usize] = &[
+    10_000, 7_000, 6_000, 5_000, 4_000, 3_000, 2_000, 1_000, 500,
+];
+
+/// Per-patient dimension tuning (paper §IV-B): evaluate the golden model at
+/// the largest dimension of `ladder`, then keep shrinking while the
+/// training-set outcome is unchanged.
+///
+/// `eval` maps a candidate dimension to its training-set outcome; the
+/// experiment harness supplies a closure that retrains and replays at that
+/// dimension.
+///
+/// # Panics
+///
+/// Panics if `ladder` is empty.
+pub fn tune_dimension(
+    ladder: &[usize],
+    mut eval: impl FnMut(usize) -> TuningOutcome,
+) -> DimensionChoice {
+    assert!(!ladder.is_empty(), "dimension ladder must be nonempty");
+    let mut sorted: Vec<usize> = ladder.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    sorted.dedup();
+
+    let golden_dim = sorted[0];
+    let golden = eval(golden_dim);
+    let mut evaluated = vec![(golden_dim, golden)];
+    let mut best = golden_dim;
+    for &dim in &sorted[1..] {
+        let outcome = eval(dim);
+        evaluated.push((dim, outcome));
+        if outcome.detected >= golden.detected && outcome.false_alarms <= golden.false_alarms
+        {
+            best = dim;
+        } else {
+            break;
+        }
+    }
+    DimensionChoice {
+        dim: best,
+        golden,
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replay(
+        delta_ictal: &[f64],
+        delta_inter: &[f64],
+        false_alarms: usize,
+    ) -> TrainingReplay {
+        let mean = if delta_ictal.is_empty() {
+            Vec::new()
+        } else {
+            vec![delta_ictal.iter().sum::<f64>() / delta_ictal.len() as f64]
+        };
+        TrainingReplay {
+            delta_ictal: delta_ictal.to_vec(),
+            delta_interictal: delta_inter.to_vec(),
+            false_alarms_tc_only: false_alarms,
+            detected_tc_only: 1,
+            seizure_mean_deltas: mean,
+        }
+    }
+
+    #[test]
+    fn tr_is_half_weakest_event_mean_when_clean() {
+        // Mean Δ of the single training seizure = 400/3; tr = half of it.
+        let r = replay(&[120.0, 80.0, 200.0], &[10.0, 30.0], 0);
+        let expect = 0.5 * (120.0 + 80.0 + 200.0) / 3.0;
+        assert!((tune_tr(&r, 0.0) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tr_clean_falls_back_to_window_min_without_event_stats() {
+        let mut r = replay(&[120.0, 80.0, 200.0], &[10.0, 30.0], 0);
+        r.seizure_mean_deltas.clear();
+        assert_eq!(tune_tr(&r, 0.0), 80.0);
+    }
+
+    #[test]
+    fn tr_is_multiple_of_max_interictal_when_dirty() {
+        // max inter = 30, max ictal = 200, α = 20 → ceiling 180 →
+        // k = floor(180/30) = 5 (180 not strictly below) → 5·30 = 150.
+        let r = replay(&[120.0, 80.0, 200.0], &[10.0, 30.0], 2);
+        let tr = tune_tr(&r, 20.0);
+        assert!((tr - 150.0).abs() < 1e-6, "tr = {tr}");
+        assert!(tr < 200.0 - 20.0 + 1e-9);
+    }
+
+    #[test]
+    fn tr_strictly_below_ceiling() {
+        // ceiling exactly divisible: 90/30 = 3 → must pick k=2? The rule
+        // wants the multiple strictly lower than the ceiling.
+        let r = replay(&[90.0], &[30.0], 1);
+        let tr = tune_tr(&r, 0.0);
+        assert!(tr < 90.0);
+        assert_eq!(tr % 30.0, 0.0);
+    }
+
+    #[test]
+    fn tr_zero_without_ictal_windows() {
+        let r = replay(&[], &[5.0, 9.0], 3);
+        assert_eq!(tune_tr(&r, 0.0), 0.0);
+    }
+
+    #[test]
+    fn tr_falls_back_when_ceiling_unreachable() {
+        // max ictal barely above interictal: can't fit one clean multiple.
+        let r = replay(&[35.0], &[30.0], 1);
+        let tr = tune_tr(&r, 10.0);
+        assert!(tr >= 0.0 && tr <= 30.0);
+    }
+
+    #[test]
+    fn alpha_averages_patient_gaps() {
+        let r1 = replay(&[100.0, 110.0], &[40.0, 60.0], 0); // gap 55
+        let r2 = replay(&[80.0], &[20.0], 0); // gap 60
+        let a = compute_alpha(&[r1, r2]);
+        assert!((a - 57.5).abs() < 1e-9);
+        assert_eq!(compute_alpha(&[]), DEFAULT_ALPHA);
+    }
+
+    #[test]
+    fn replay_stats_helpers() {
+        let r = replay(&[3.0, 9.0, 6.0], &[1.0, 2.0], 0);
+        assert_eq!(r.min_delta_ictal(), Some(3.0));
+        assert_eq!(r.max_delta_ictal(), Some(9.0));
+        assert_eq!(r.max_delta_interictal(), Some(2.0));
+        assert_eq!(r.mean_delta_ictal(), Some(6.0));
+        assert_eq!(r.mean_delta_interictal(), Some(1.5));
+        assert_eq!(r.alpha_contribution(), Some(4.5));
+    }
+
+    #[test]
+    fn dimension_tuning_stops_at_first_regression() {
+        // Outcomes: 10k..2k perfect, 1k drops a seizure → choose 2k.
+        let choice = tune_dimension(DIM_LADDER, |dim| TuningOutcome {
+            detected: if dim >= 2000 { 1 } else { 0 },
+            false_alarms: 0,
+        });
+        assert_eq!(choice.dim, 2000);
+        assert_eq!(choice.golden.detected, 1);
+        // Ladder is evaluated largest-first and stops after the regression.
+        assert_eq!(choice.evaluated.last().unwrap().0, 1000);
+    }
+
+    #[test]
+    fn dimension_tuning_accepts_smallest_when_all_equal() {
+        let choice = tune_dimension(DIM_LADDER, |_| TuningOutcome {
+            detected: 2,
+            false_alarms: 0,
+        });
+        assert_eq!(choice.dim, 500);
+    }
+
+    #[test]
+    fn dimension_tuning_counts_false_alarm_regressions() {
+        let choice = tune_dimension(&[4000, 2000, 1000], |dim| TuningOutcome {
+            detected: 1,
+            false_alarms: if dim < 2000 { 3 } else { 0 },
+        });
+        assert_eq!(choice.dim, 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_ladder_panics() {
+        let _ = tune_dimension(&[], |_| TuningOutcome {
+            detected: 0,
+            false_alarms: 0,
+        });
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the HD-computing and LBP invariants.
+
+use laelaps_core::hv::{
+    BitSliceAccumulator, DenseAccumulator, Hypervector, ItemMemory, TiePolicy,
+};
+use laelaps_core::lbp::{lbp_codes, lbp_histogram, LbpExtractor};
+use proptest::prelude::*;
+
+fn arb_hypervector(dim: usize) -> impl Strategy<Value = Hypervector> {
+    proptest::collection::vec(any::<bool>(), dim).prop_map(Hypervector::from_bits)
+}
+
+fn arb_dim() -> impl Strategy<Value = usize> {
+    // Mix limb-aligned and ragged dimensions.
+    prop_oneof![Just(64usize), Just(100), Just(128), Just(129), Just(500)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn xor_involution(dim in arb_dim(), seed in any::<u64>()) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = Hypervector::random(dim, &mut rng);
+        let b = Hypervector::random(dim, &mut rng);
+        prop_assert_eq!(a.xor(&b).xor(&b), a);
+    }
+
+    #[test]
+    fn hamming_is_a_metric(
+        (a, b, c) in arb_dim().prop_flat_map(|d| {
+            (arb_hypervector(d), arb_hypervector(d), arb_hypervector(d))
+        })
+    ) {
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(a.hamming(&a), 0);
+        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
+        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+    }
+
+    #[test]
+    fn hamming_invariant_under_xor(
+        (a, b, m) in arb_dim().prop_flat_map(|d| {
+            (arb_hypervector(d), arb_hypervector(d), arb_hypervector(d))
+        })
+    ) {
+        // Binding by a common vector preserves distances (isometry).
+        prop_assert_eq!(a.xor(&m).hamming(&b.xor(&m)), a.hamming(&b));
+    }
+
+    #[test]
+    fn bitslice_equals_dense(
+        (dim, vectors) in arb_dim().prop_flat_map(|d| {
+            (Just(d), proptest::collection::vec(arb_hypervector(d), 1..40))
+        }),
+        thresholds in proptest::collection::vec(0u32..45, 4)
+    ) {
+        let mut dense = DenseAccumulator::new(dim);
+        let mut slice = BitSliceAccumulator::new(dim);
+        for v in &vectors {
+            dense.add(v);
+            slice.add(v);
+        }
+        prop_assert_eq!(slice.to_counts(), dense.counts().to_vec());
+        prop_assert_eq!(slice.majority(), dense.majority());
+        for t in thresholds {
+            prop_assert_eq!(slice.threshold(t), dense.threshold(t));
+        }
+    }
+
+    #[test]
+    fn majority_bounded_by_inputs(
+        (dim, vectors) in arb_dim().prop_flat_map(|d| {
+            (Just(d), proptest::collection::vec(arb_hypervector(d), 1..12))
+        })
+    ) {
+        // A component where every input agrees must keep that value.
+        let mut acc = DenseAccumulator::new(dim);
+        for v in &vectors {
+            acc.add(v);
+        }
+        let m = acc.majority();
+        for i in 0..dim {
+            let all_one = vectors.iter().all(|v| v.get(i));
+            let all_zero = vectors.iter().all(|v| !v.get(i));
+            if all_one {
+                prop_assert!(m.get(i));
+            }
+            if all_zero {
+                prop_assert!(!m.get(i));
+            }
+        }
+    }
+
+    #[test]
+    fn tie_break_only_touches_ties(
+        (dim, vectors) in arb_dim().prop_flat_map(|d| {
+            (Just(d), proptest::collection::vec(arb_hypervector(d), 2..10))
+        }),
+        tie_seed in any::<u64>()
+    ) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(tie_seed);
+        let tie = Hypervector::random(dim, &mut rng);
+        let mut acc = DenseAccumulator::new(dim);
+        for v in &vectors {
+            acc.add(v);
+        }
+        let zero_tie = acc.majority();
+        let vec_tie = acc.majority_with(TiePolicy::TieBreakVector, &tie);
+        let k = vectors.len() as u32;
+        for i in 0..dim {
+            let count = acc.counts()[i];
+            if 2 * count != k {
+                prop_assert_eq!(zero_tie.get(i), vec_tie.get(i));
+            } else {
+                prop_assert_eq!(vec_tie.get(i), tie.get(i));
+            }
+        }
+    }
+
+    #[test]
+    fn lbp_codes_in_range(signal in proptest::collection::vec(-100f32..100.0, 10..200),
+                          len in 1usize..=8) {
+        let codes = lbp_codes(&signal, len);
+        let expected = signal.len().saturating_sub(len);
+        prop_assert_eq!(codes.len(), expected);
+        for c in codes {
+            prop_assert!((c as usize) < (1 << len));
+        }
+    }
+
+    #[test]
+    fn lbp_histogram_mass_conserved(
+        signal in proptest::collection::vec(-10f32..10.0, 20..300)
+    ) {
+        let codes = lbp_codes(&signal, 6);
+        let hist = lbp_histogram(&codes, 6);
+        prop_assert_eq!(hist.iter().map(|&c| c as usize).sum::<usize>(), codes.len());
+    }
+
+    #[test]
+    fn lbp_invariant_to_offset_and_scale(
+        signal in proptest::collection::vec(-10f32..10.0, 20..100),
+        offset in -5f32..5.0,
+        scale in 0.5f32..4.0
+    ) {
+        // LBP only sees the sign of differences: positive affine transforms
+        // must not change the codes.
+        let transformed: Vec<f32> = signal.iter().map(|&x| x * scale + offset).collect();
+        prop_assert_eq!(lbp_codes(&signal, 6), lbp_codes(&transformed, 6));
+    }
+
+    #[test]
+    fn streaming_lbp_matches_batch(
+        signal in proptest::collection::vec(-10f32..10.0, 10..150),
+        len in 1usize..=8
+    ) {
+        let mut ex = LbpExtractor::new(len);
+        let streamed: Vec<_> = signal.iter().filter_map(|&x| ex.push(x)).collect();
+        prop_assert_eq!(streamed, lbp_codes(&signal, len));
+    }
+
+    #[test]
+    fn item_memory_deterministic(len in 1usize..64, dim in arb_dim(), seed in any::<u64>()) {
+        let a = ItemMemory::new(len, dim, seed);
+        let b = ItemMemory::new(len, dim, seed);
+        for i in 0..len {
+            prop_assert_eq!(a.get(i), b.get(i));
+        }
+        prop_assert_eq!(a.storage_bits(), len * dim);
+    }
+}

@@ -1,0 +1,89 @@
+//! Experiment E4: per-patient dimension tuning (paper §IV-B).
+//!
+//! A golden model is trained at d = 10 kbit; the dimension is reduced
+//! along a ladder while the *training-set* outcome (training seizures
+//! re-detected, false alarms with the hard `tc` filter) is preserved.
+//! The paper reports a mean tuned dimension of 4.3 kbit across patients.
+
+use laelaps_core::tuning::{tune_dimension, DimensionChoice, TuningOutcome, DIM_LADDER};
+use laelaps_ieeg::synth::PatientProfile;
+
+use crate::runner::{train_laelaps, PreparedPatient, RunError};
+
+/// Dimension-tuning result for one patient.
+#[derive(Debug, Clone)]
+pub struct DtuneResult {
+    /// Patient id.
+    pub id: &'static str,
+    /// The search outcome.
+    pub choice: DimensionChoice,
+    /// The paper's tuned dimension in bits.
+    pub paper_dim: usize,
+}
+
+/// Runs the dimension search for one patient.
+///
+/// # Errors
+///
+/// Propagates synthesis/training errors.
+pub fn run_dtune_patient(profile: &PatientProfile) -> Result<DtuneResult, RunError> {
+    let prep = PreparedPatient::new(profile)?;
+    let mut error: Option<RunError> = None;
+    let choice = tune_dimension(DIM_LADDER, |dim| {
+        match train_laelaps(&prep, dim) {
+            Ok((_, replay)) => TuningOutcome {
+                detected: replay.detected_tc_only,
+                false_alarms: replay.false_alarms_tc_only,
+            },
+            Err(e) => {
+                error = Some(e);
+                TuningOutcome {
+                    detected: 0,
+                    false_alarms: usize::MAX,
+                }
+            }
+        }
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    Ok(DtuneResult {
+        id: profile.info.id,
+        choice,
+        paper_dim: (profile.info.laelaps_d_kbit * 1000.0) as usize,
+    })
+}
+
+/// Renders the tuning ladder results.
+pub fn render_dtune(results: &[DtuneResult]) -> String {
+    let mut out = String::new();
+    out.push_str("§IV-B dimension tuning (golden model at 10 kbit)\n\n");
+    out.push_str(&format!(
+        "{:<5} {:>10} {:>10} {:>26}\n",
+        "ID", "chosen d", "paper d", "ladder (detected/FAs)"
+    ));
+    for r in results {
+        let ladder: Vec<String> = r
+            .choice
+            .evaluated
+            .iter()
+            .map(|(d, o)| format!("{}k:{}/{}", d / 1000, o.detected, o.false_alarms))
+            .collect();
+        out.push_str(&format!(
+            "{:<5} {:>10} {:>10} {:>26}\n",
+            r.id,
+            r.choice.dim,
+            r.paper_dim,
+            ladder.join(" ")
+        ));
+    }
+    if !results.is_empty() {
+        let mean =
+            results.iter().map(|r| r.choice.dim as f64).sum::<f64>() / results.len() as f64;
+        out.push_str(&format!(
+            "\nmean tuned dimension: {:.1} kbit (paper mean: 4.3 kbit)\n",
+            mean / 1000.0
+        ));
+    }
+    out
+}

@@ -1,0 +1,176 @@
+//! Experiment E3: Fig. 3 — false-detection rate vs energy per
+//! classification at 64 electrodes (the cohort's median electrode count).
+
+use laelaps_gpu_sim::baseline_cost::{BaselineMethod, Platform};
+
+use crate::runner::Baseline;
+
+use super::table1::Table1Result;
+use super::table2::laelaps_event_stats;
+
+/// One point of the Fig. 3 scatter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Point {
+    /// Series label (method + platform).
+    pub label: String,
+    /// Energy per classification event at 64 electrodes, mJ.
+    pub energy_mj: f64,
+    /// Mean FDR across patients, alarms per hour.
+    pub fdr_per_hour: f64,
+}
+
+/// Builds the Fig. 3 series from a completed Table I run (for the FDR
+/// axis) and the TX2 models (for the energy axis).
+pub fn run_fig3(table1: &Table1Result) -> Vec<Fig3Point> {
+    let mut points = Vec::new();
+    let laelaps = laelaps_event_stats(64);
+    points.push(Fig3Point {
+        label: "Laelaps (LBP+HD) GPU".into(),
+        energy_mj: laelaps.energy_mj,
+        fdr_per_hour: table1.mean_fdr(|r| &r.laelaps),
+    });
+    let mean_baseline_fdr = |which: Baseline| {
+        let vals: Vec<f64> = table1
+            .rows
+            .iter()
+            .filter_map(|r| Table1Result::baseline(r, which).map(|o| o.fdr_per_hour()))
+            .collect();
+        if vals.is_empty() {
+            f64::NAN
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    let pairs = [
+        (BaselineMethod::Svm, Baseline::Svm),
+        (BaselineMethod::Cnn, Baseline::Cnn),
+        (BaselineMethod::Lstm, Baseline::Lstm),
+    ];
+    for (cost, outcome) in pairs {
+        let fdr = mean_baseline_fdr(outcome);
+        for (platform, tag) in [(Platform::Best, "best"), (Platform::Alternate, "alt")] {
+            points.push(Fig3Point {
+                label: format!("{} {tag}", cost.name()),
+                energy_mj: cost.energy_mj(64, platform),
+                fdr_per_hour: fdr,
+            });
+        }
+    }
+    points
+}
+
+/// Renders the scatter as a table plus a log-energy ASCII plot.
+pub fn render_fig3(points: &[Fig3Point]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Fig. 3 — FDR vs energy per classification (64 electrodes, Max-Q)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<26} {:>14} {:>12}\n",
+        "series", "energy [mJ]", "FDR [1/h]"
+    ));
+    for p in points {
+        out.push_str(&format!(
+            "{:<26} {:>14.1} {:>12.3}\n",
+            p.label, p.energy_mj, p.fdr_per_hour
+        ));
+    }
+    // ASCII scatter: x = log10(energy), y = FDR.
+    let finite: Vec<&Fig3Point> =
+        points.iter().filter(|p| p.fdr_per_hour.is_finite()).collect();
+    if finite.is_empty() {
+        return out;
+    }
+    let max_fdr = finite
+        .iter()
+        .map(|p| p.fdr_per_hour)
+        .fold(0.0f64, f64::max)
+        .max(0.1);
+    let (lo, hi) = (1.0f64, 5.0f64); // log10 mJ range
+    let (w, h) = (64usize, 12usize);
+    let mut grid = vec![vec![' '; w + 1]; h + 1];
+    for (i, p) in finite.iter().enumerate() {
+        let x = ((p.energy_mj.log10() - lo) / (hi - lo) * w as f64)
+            .clamp(0.0, w as f64) as usize;
+        let y = h - ((p.fdr_per_hour / max_fdr) * h as f64).clamp(0.0, h as f64) as usize;
+        grid[y][x] = char::from_digit(i as u32 % 10, 10).unwrap_or('*');
+    }
+    out.push_str("\nFDR\n");
+    for (j, row) in grid.iter().enumerate() {
+        let label = if j == 0 {
+            format!("{max_fdr:5.2}")
+        } else if j == h {
+            " 0.00".to_string()
+        } else {
+            "     ".to_string()
+        };
+        out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "      +{}\n       10 mJ {:>width$}\n",
+        "-".repeat(w + 1),
+        "100 J (log scale); lower-left is better",
+        width = w - 6
+    ));
+    for (i, p) in finite.iter().enumerate() {
+        out.push_str(&format!("  {}: {}\n", i % 10, p.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MethodOutcome;
+    use crate::runner::PatientResult;
+
+    fn outcome(fdr_alarms: usize) -> MethodOutcome {
+        MethodOutcome {
+            detected: 1,
+            test_seizures: 1,
+            false_alarms: fdr_alarms,
+            equivalent_hours: 10.0,
+            delays: vec![12.0],
+        }
+    }
+
+    fn fake_table1() -> Table1Result {
+        Table1Result {
+            rows: vec![PatientResult {
+                id: "P1",
+                dim: 1000,
+                tr: 5.0,
+                laelaps: outcome(0),
+                laelaps_tr0: outcome(2),
+                baselines: vec![
+                    (Baseline::Svm, outcome(3)),
+                    (Baseline::Lstm, outcome(6)),
+                    (Baseline::Cnn, outcome(4)),
+                ],
+            }],
+            alpha: 0.0,
+            failures: vec![],
+        }
+    }
+
+    #[test]
+    fn laelaps_is_pareto_corner() {
+        let points = run_fig3(&fake_table1());
+        let laelaps = &points[0];
+        assert!(laelaps.label.contains("Laelaps"));
+        for p in &points[1..] {
+            assert!(p.energy_mj > laelaps.energy_mj, "{}", p.label);
+            assert!(p.fdr_per_hour >= laelaps.fdr_per_hour, "{}", p.label);
+        }
+    }
+
+    #[test]
+    fn seven_series_rendered() {
+        let points = run_fig3(&fake_table1());
+        assert_eq!(points.len(), 7); // Laelaps + 3 methods × 2 platforms
+        let text = render_fig3(&points);
+        assert!(text.contains("Laelaps"));
+        assert!(text.contains("LBP+SVM best"));
+        assert!(text.contains("LSTM alt"));
+    }
+}

@@ -1,0 +1,24 @@
+//! The paper's experiments, one module per table/figure.
+//!
+//! | module | paper artifact | regenerate with |
+//! |---|---|---|
+//! | [`table1`] | Table I (detection quality) | `cargo run -p laelaps-bench --release --bin table1` |
+//! | [`table2`] | Table II (time/energy on TX2) | `… --bin table2` |
+//! | [`fig3`] | Fig. 3 (FDR vs energy) | `… --bin fig3` |
+//! | [`dtuning`] | §IV-B dimension tuning | `… --bin dtune` |
+//! | [`ablation`] | §IV-B tr = 0 ablation | `… --bin ablation` |
+//! | [`tcsweep`] | extension: delay vs robustness | `… --bin tcsweep` |
+
+pub mod ablation;
+pub mod dtuning;
+pub mod fig3;
+pub mod table1;
+pub mod table2;
+pub mod tcsweep;
+
+pub use ablation::{render_ablation, summarize_ablation, AblationSummary};
+pub use dtuning::{render_dtune, run_dtune_patient, DtuneResult};
+pub use fig3::{render_fig3, run_fig3, Fig3Point};
+pub use table1::{render_table1, run_table1, Table1Options, Table1Result};
+pub use table2::{render_table2, run_table2, Table2Block, Table2Row};
+pub use tcsweep::{render_tc_sweep, run_tc_sweep, PatientStream, TcPoint};

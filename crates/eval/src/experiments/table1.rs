@@ -1,0 +1,291 @@
+//! Experiment E1: Table I — per-patient sensitivity, FDR, and delay for
+//! Laelaps and the three baselines.
+//!
+//! Protocol (paper §IV): chronological split after the first 1–2
+//! seizures; Laelaps trained from one 30 s interictal segment plus the
+//! training seizures; `tr` tuned on the training portion with the
+//! cross-patient `α` constant; baselines trained on the same segments and
+//! evaluated with `tr = 0`. `d` defaults to the paper's per-patient tuned
+//! value (regenerating the tuning itself is experiment E4).
+
+use laelaps_core::tuning::{compute_alpha, tune_tr, TrainingReplay};
+use laelaps_core::LaelapsConfig;
+use laelaps_ieeg::synth::{cohort_subset, paper_cohort, CohortOptions};
+use laelaps_ieeg::{patient, PATIENTS};
+
+use crate::metrics::{MethodOutcome, SeizureSpan};
+use crate::parallel::{default_threads, parallel_map};
+use crate::runner::{
+    outcome_from_spans, run_baseline, train_laelaps, Baseline, LaelapsTestRun,
+    PatientResult, PreparedPatient, RunError,
+};
+
+/// Options for the Table I run.
+#[derive(Debug, Clone)]
+pub struct Table1Options {
+    /// Interictal time compression (see `PatientProfile`).
+    pub time_scale: f64,
+    /// Cohort master seed.
+    pub seed: u64,
+    /// Restrict to these patient ids (`None` = all 18).
+    pub ids: Option<Vec<&'static str>>,
+    /// Whether to also train/evaluate SVM, LSTM, and CNN.
+    pub with_baselines: bool,
+    /// Worker threads.
+    pub threads: usize,
+    /// Override the hypervector dimension (`None` = paper's tuned d).
+    pub dim_override: Option<usize>,
+}
+
+impl Default for Table1Options {
+    fn default() -> Self {
+        Table1Options {
+            time_scale: 1800.0,
+            seed: 2019,
+            ids: None,
+            with_baselines: true,
+            threads: default_threads(),
+            dim_override: None,
+        }
+    }
+}
+
+/// Everything kept per patient after the heavy signal data is dropped.
+#[derive(Debug)]
+struct PatientStreams {
+    id: &'static str,
+    dim: usize,
+    config: LaelapsConfig,
+    replay: TrainingReplay,
+    test_run: LaelapsTestRun,
+    spans: Vec<SeizureSpan>,
+    equivalent_hours: f64,
+    baselines: Vec<(Baseline, MethodOutcome)>,
+}
+
+/// The completed Table I experiment.
+#[derive(Debug)]
+pub struct Table1Result {
+    /// Per-patient rows (cohort order).
+    pub rows: Vec<PatientResult>,
+    /// The cross-patient `α` used for `tr` tuning.
+    pub alpha: f64,
+    /// Patients that failed to run, with reasons.
+    pub failures: Vec<(String, String)>,
+}
+
+impl Table1Result {
+    /// Mean sensitivity across patients for the given extractor.
+    pub fn mean_sensitivity(&self, f: impl Fn(&PatientResult) -> &MethodOutcome) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| f(r).sensitivity_pct()).sum::<f64>()
+            / self.rows.len() as f64
+    }
+
+    /// Mean FDR across patients.
+    pub fn mean_fdr(&self, f: impl Fn(&PatientResult) -> &MethodOutcome) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| f(r).fdr_per_hour()).sum::<f64>()
+            / self.rows.len() as f64
+    }
+
+    /// Total detected / total test seizures for the given extractor.
+    pub fn totals(&self, f: impl Fn(&PatientResult) -> &MethodOutcome) -> (usize, usize) {
+        let detected = self.rows.iter().map(|r| f(r).detected).sum();
+        let total = self.rows.iter().map(|r| f(r).test_seizures).sum();
+        (detected, total)
+    }
+
+    /// A baseline's outcome for a row, if it was run.
+    pub fn baseline<'a>(
+        row: &'a PatientResult,
+        which: Baseline,
+    ) -> Option<&'a MethodOutcome> {
+        row.baselines
+            .iter()
+            .find(|(b, _)| *b == which)
+            .map(|(_, o)| o)
+    }
+}
+
+/// Runs experiment E1.
+pub fn run_table1(options: &Table1Options) -> Table1Result {
+    let cohort_options = CohortOptions {
+        seed: options.seed,
+        time_scale: options.time_scale,
+    };
+    let profiles = match &options.ids {
+        Some(ids) => cohort_subset(&cohort_options, ids),
+        None => paper_cohort(&cohort_options),
+    };
+
+    // Single pass per patient: heavy signal work happens here; only the
+    // tiny label/Δ streams survive, so the cross-patient α can be applied
+    // afterwards without recomputation.
+    let streams: Vec<Result<PatientStreams, RunError>> =
+        parallel_map(&profiles, options.threads, |profile| {
+            let prep = PreparedPatient::new(profile)?;
+            let dim = options
+                .dim_override
+                .unwrap_or((profile.info.laelaps_d_kbit * 1000.0) as usize);
+            let (model, replay) = train_laelaps(&prep, dim)?;
+            let test_run = crate::runner::run_laelaps_test(&model, &prep)?;
+            let mut baselines = Vec::new();
+            if options.with_baselines {
+                for b in Baseline::ALL {
+                    baselines.push((b, run_baseline(&prep, b)));
+                }
+            }
+            Ok(PatientStreams {
+                id: profile.info.id,
+                dim,
+                config: model.config().clone(),
+                replay,
+                test_run,
+                spans: prep.test_seizure_spans(),
+                equivalent_hours: prep.test_equivalent_hours,
+                baselines,
+            })
+        });
+
+    let mut ok: Vec<PatientStreams> = Vec::new();
+    let mut failures = Vec::new();
+    for (profile, s) in profiles.iter().zip(streams) {
+        match s {
+            Ok(s) => ok.push(s),
+            Err(e) => failures.push((profile.info.id.to_string(), e.to_string())),
+        }
+    }
+
+    let replays: Vec<TrainingReplay> = ok.iter().map(|s| s.replay.clone()).collect();
+    let alpha = compute_alpha(&replays);
+
+    let rows = ok
+        .into_iter()
+        .map(|s| {
+            let tr = tune_tr(&s.replay, alpha);
+            let alarm_times = |tr: f64| -> Vec<f64> {
+                let mut config = s.config.clone();
+                config.tr = tr;
+                let mut post = laelaps_core::Postprocessor::new(&config);
+                s.test_run
+                    .classifications
+                    .iter()
+                    .zip(s.test_run.times_secs.iter())
+                    .filter_map(|(c, &t)| post.push(c).map(|_| t))
+                    .collect()
+            };
+            let laelaps =
+                outcome_from_spans(&alarm_times(tr), &s.spans, s.equivalent_hours);
+            let laelaps_tr0 =
+                outcome_from_spans(&alarm_times(0.0), &s.spans, s.equivalent_hours);
+            PatientResult {
+                id: s.id,
+                dim: s.dim,
+                tr,
+                laelaps,
+                laelaps_tr0,
+                baselines: s.baselines,
+            }
+        })
+        .collect();
+
+    Table1Result {
+        rows,
+        alpha,
+        failures,
+    }
+}
+
+fn fmt_delay(d: Option<f64>) -> String {
+    match d {
+        Some(d) => format!("{d:5.1}"),
+        None => " n.a.".to_string(),
+    }
+}
+
+/// Renders the measured Table I next to the paper's published values.
+pub fn render_table1(result: &Table1Result) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Table I — seizure detection per patient (measured vs paper)\n\
+         method columns: delay[s] / FDR[1/h] / sensitivity[%]\n\n",
+    );
+    out.push_str(&format!(
+        "{:<5} {:>6} {:>7} | {:>22} | {:>22} | {:>22} | {:>22} | {:>22}\n",
+        "ID", "d[bit]", "tr", "Laelaps", "Laelaps paper", "LBP+SVM", "LSTM", "STFT+CNN"
+    ));
+    let cell = |o: &MethodOutcome| {
+        format!(
+            "{} /{:5.2} /{:5.1}",
+            fmt_delay(o.mean_delay_secs()),
+            o.fdr_per_hour(),
+            o.sensitivity_pct()
+        )
+    };
+    for row in &result.rows {
+        let info = patient(row.id).expect("known patient");
+        let paper = format!(
+            "{} /{:5.2} /{:5.1}",
+            fmt_delay(info.laelaps.delay_secs),
+            info.laelaps.fdr_per_hour,
+            info.laelaps.sensitivity_pct
+        );
+        let b = |which: Baseline| {
+            Table1Result::baseline(row, which)
+                .map(&cell)
+                .unwrap_or_else(|| "not run".to_string())
+        };
+        out.push_str(&format!(
+            "{:<5} {:>6} {:>7.1} | {:>22} | {:>22} | {:>22} | {:>22} | {:>22}\n",
+            row.id,
+            row.dim,
+            row.tr,
+            cell(&row.laelaps),
+            paper,
+            b(Baseline::Svm),
+            b(Baseline::Lstm),
+            b(Baseline::Cnn),
+        ));
+    }
+    let (det, tot) = result.totals(|r| &r.laelaps);
+    out.push_str(&format!(
+        "\nLaelaps: {det}/{tot} test seizures detected, mean sensitivity \
+         {:.1}% (paper: 79/92, 85.5%), mean FDR {:.3}/h (paper: 0.00)\n",
+        result.mean_sensitivity(|r| &r.laelaps),
+        result.mean_fdr(|r| &r.laelaps),
+    ));
+    out.push_str(&format!(
+        "tr = 0 ablation: mean FDR {:.3}/h (paper: 0.15/h)\n",
+        result.mean_fdr(|r| &r.laelaps_tr0)
+    ));
+    if result.rows.first().map(|r| !r.baselines.is_empty()) == Some(true) {
+        for which in Baseline::ALL {
+            let sens = result.rows.iter().filter_map(|r| {
+                Table1Result::baseline(r, which).map(|o| o.sensitivity_pct())
+            });
+            let fdr = result.rows.iter().filter_map(|r| {
+                Table1Result::baseline(r, which).map(|o| o.fdr_per_hour())
+            });
+            let n = result.rows.len().max(1) as f64;
+            out.push_str(&format!(
+                "{}: mean sensitivity {:.1}%, mean FDR {:.3}/h\n",
+                which.name(),
+                sens.sum::<f64>() / n,
+                fdr.sum::<f64>() / n,
+            ));
+        }
+    }
+    if !result.failures.is_empty() {
+        out.push_str("\nfailures:\n");
+        for (id, why) in &result.failures {
+            out.push_str(&format!("  {id}: {why}\n"));
+        }
+    }
+    let _ = PATIENTS.len();
+    out
+}

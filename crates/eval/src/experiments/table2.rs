@@ -1,0 +1,187 @@
+//! Experiment E2: Table II — time and energy per classification event on
+//! the (simulated) Tegra X2, for 24 and 128 electrodes.
+//!
+//! Laelaps numbers come from the cycle/energy model executing the actual
+//! three-kernel pipeline (`laelaps-gpu-sim::kernels`); baselines come
+//! from the analytic models calibrated to the published endpoints.
+
+use laelaps_core::am::AssociativeMemory;
+use laelaps_core::hv::Hypervector;
+use laelaps_core::{LaelapsConfig, PatientModel};
+use laelaps_gpu_sim::baseline_cost::{BaselineMethod, Platform};
+use laelaps_gpu_sim::kernels::GpuPipeline;
+use laelaps_gpu_sim::{PowerMode, TegraX2};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One Table II cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Method name.
+    pub method: &'static str,
+    /// Time per classification event, ms.
+    pub time_ms: f64,
+    /// Energy per classification event, mJ.
+    pub energy_mj: f64,
+}
+
+/// Table II for one electrode count.
+#[derive(Debug, Clone)]
+pub struct Table2Block {
+    /// Electrode count (24 or 128 in the paper).
+    pub electrodes: usize,
+    /// Rows in the paper's column order (Laelaps, SVM, CNN, LSTM).
+    pub rows: Vec<Table2Row>,
+}
+
+/// Simulates one Laelaps classification event at the deployment dimension
+/// (d = 1 kbit) for `electrodes` channels.
+///
+/// # Panics
+///
+/// Panics if the simulated pipeline fails to produce an event (internal
+/// invariant).
+pub fn laelaps_event_stats(electrodes: usize) -> laelaps_gpu_sim::ExecutionStats {
+    let config = LaelapsConfig::builder()
+        .dim(laelaps_core::DEPLOY_DIM)
+        .seed(42)
+        .build()
+        .expect("deploy config is valid");
+    let mut rng = StdRng::seed_from_u64(7);
+    let am = AssociativeMemory::from_prototypes(
+        Hypervector::random(config.dim, &mut rng),
+        Hypervector::random(config.dim, &mut rng),
+    )
+    .expect("same dimension");
+    let model =
+        PatientModel::new(config, electrodes, am).expect("valid model");
+    let mut pipeline = GpuPipeline::new(&model).expect("valid pipeline");
+    let device = TegraX2::new(PowerMode::MaxQ);
+    let mut stats = None;
+    for _ in 0..3 {
+        let chunk: Vec<Vec<f32>> = (0..electrodes)
+            .map(|_| (0..256).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        if let Some(event) = pipeline.push_chunk(&chunk) {
+            stats = Some(pipeline.event_stats(&device, &event));
+        }
+    }
+    stats.expect("pipeline warm after three chunks")
+}
+
+/// Runs experiment E2 for the paper's two electrode counts.
+pub fn run_table2() -> Vec<Table2Block> {
+    [24usize, 128]
+        .into_iter()
+        .map(|electrodes| {
+            let laelaps = laelaps_event_stats(electrodes);
+            let mut rows = vec![Table2Row {
+                method: "Laelaps (LBP+HD)",
+                time_ms: laelaps.time_ms,
+                energy_mj: laelaps.energy_mj,
+            }];
+            for m in [BaselineMethod::Svm, BaselineMethod::Cnn, BaselineMethod::Lstm] {
+                rows.push(Table2Row {
+                    method: m.name(),
+                    time_ms: m.time_ms(electrodes, Platform::Best),
+                    energy_mj: m.energy_mj(electrodes, Platform::Best),
+                });
+            }
+            Table2Block { electrodes, rows }
+        })
+        .collect()
+}
+
+/// Published Table II values for comparison: `(method, n, time, energy)`.
+pub const PAPER_TABLE2: [(&str, usize, f64, f64); 8] = [
+    ("Laelaps (LBP+HD)", 128, 13.0, 35.0),
+    ("LBP+SVM", 128, 51.0, 103.0),
+    ("STFT+CNN", 128, 213.0, 556.0),
+    ("LSTM", 128, 6333.0, 16224.0),
+    ("Laelaps (LBP+HD)", 24, 12.5, 32.0),
+    ("LBP+SVM", 24, 20.8, 44.8),
+    ("STFT+CNN", 24, 53.0, 131.0),
+    ("LSTM", 24, 1416.0, 3980.0),
+];
+
+/// Renders Table II with paper values and speedup/saving factors.
+pub fn render_table2(blocks: &[Table2Block]) -> String {
+    let mut out = String::new();
+    out.push_str("Table II — time and energy per classification event (TX2, Max-Q)\n");
+    for block in blocks {
+        out.push_str(&format!("\n#Electrodes: {}\n", block.electrodes));
+        out.push_str(&format!(
+            "{:<18} {:>12} {:>12} {:>10} {:>12} {:>12}\n",
+            "method", "time [ms]", "energy [mJ]", "vs Laelaps", "paper t", "paper e"
+        ));
+        let base = &block.rows[0];
+        for row in &block.rows {
+            let paper = PAPER_TABLE2
+                .iter()
+                .find(|(m, n, _, _)| *m == row.method && *n == block.electrodes);
+            let (pt, pe) = paper.map(|&(_, _, t, e)| (t, e)).unwrap_or((f64::NAN, f64::NAN));
+            out.push_str(&format!(
+                "{:<18} {:>12.1} {:>12.1} {:>9.1}x {:>12.1} {:>12.1}\n",
+                row.method,
+                row.time_ms,
+                row.energy_mj,
+                row.energy_mj / base.energy_mj,
+                pt,
+                pe
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_reproduces_paper_shape() {
+        let blocks = run_table2();
+        assert_eq!(blocks.len(), 2);
+        for block in &blocks {
+            // Laelaps is fastest and most efficient.
+            let laelaps = &block.rows[0];
+            for other in &block.rows[1..] {
+                assert!(other.time_ms > laelaps.time_ms, "{}", other.method);
+                assert!(other.energy_mj > laelaps.energy_mj, "{}", other.method);
+            }
+            // Ordering: SVM < CNN < LSTM.
+            assert!(block.rows[1].energy_mj < block.rows[2].energy_mj);
+            assert!(block.rows[2].energy_mj < block.rows[3].energy_mj);
+        }
+        // Laelaps roughly constant in electrode count; SVM roughly 2.5×.
+        let l24 = blocks[0].rows[0].time_ms;
+        let l128 = blocks[1].rows[0].time_ms;
+        assert!(l128 / l24 < 1.15, "Laelaps scaling {l24} → {l128}");
+        let s24 = blocks[0].rows[1].time_ms;
+        let s128 = blocks[1].rows[1].time_ms;
+        assert!(s128 / s24 > 2.0, "SVM scaling {s24} → {s128}");
+    }
+
+    #[test]
+    fn headline_factors_hold() {
+        // Paper abstract: 1.7–3.9× faster and 1.4–2.9× lower energy than
+        // the SVM — allow a generous band around those factors.
+        let blocks = run_table2();
+        let speedup24 = blocks[0].rows[1].time_ms / blocks[0].rows[0].time_ms;
+        let speedup128 = blocks[1].rows[1].time_ms / blocks[1].rows[0].time_ms;
+        assert!((1.2..2.6).contains(&speedup24), "24el speedup {speedup24}");
+        assert!((2.8..5.2).contains(&speedup128), "128el speedup {speedup128}");
+        let saving24 = blocks[0].rows[1].energy_mj / blocks[0].rows[0].energy_mj;
+        let saving128 = blocks[1].rows[1].energy_mj / blocks[1].rows[0].energy_mj;
+        assert!((1.0..2.2).contains(&saving24), "24el saving {saving24}");
+        assert!((2.0..4.2).contains(&saving128), "128el saving {saving128}");
+    }
+
+    #[test]
+    fn render_contains_all_methods() {
+        let text = render_table2(&run_table2());
+        for m in ["Laelaps", "LBP+SVM", "STFT+CNN", "LSTM"] {
+            assert!(text.contains(m));
+        }
+    }
+}

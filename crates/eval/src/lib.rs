@@ -1,0 +1,22 @@
+//! # laelaps-eval
+//!
+//! The experiment harness reproducing the Laelaps paper's evaluation:
+//! event-based [`metrics`], the per-patient [`runner`] implementing the
+//! clinical train/test protocol, a small [`parallel`] map for cohort
+//! sweeps, and one module per table/figure under [`experiments`].
+//!
+//! See `DESIGN.md` §4 for the experiment ↔ module index and the
+//! `laelaps-bench` binaries for the command-line entry points.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod parallel;
+pub mod runner;
+
+pub use metrics::{score_alarms, AlarmScore, MethodOutcome, SeizureSpan};
+pub use runner::{
+    run_baseline, run_patient, Baseline, PatientResult, PreparedPatient, RunError,
+};

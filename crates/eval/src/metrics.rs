@@ -1,0 +1,178 @@
+//! Event-based evaluation metrics (paper §IV-B).
+//!
+//! * **Sensitivity** — detected seizures / test seizures. An alarm counts
+//!   as a detection if it lands between the expert-marked onset and the
+//!   seizure end plus a tolerance (detection slightly after the offset of
+//!   a short seizure still reflects the same event).
+//! * **FDR** — false alarms per hour. Because the synthetic recordings
+//!   compress interictal time (see `laelaps-ieeg::synth`), FDR is
+//!   reported per *paper-equivalent* hour: alarms divided by the
+//!   uncompressed duration the scaled test set represents.
+//! * **Delay** — alarm time minus expert onset, averaged over detected
+//!   seizures.
+
+/// A seizure interval in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeizureSpan {
+    /// Expert-marked onset.
+    pub onset_secs: f64,
+    /// Seizure end.
+    pub end_secs: f64,
+}
+
+/// Matching of alarms to seizures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlarmScore {
+    /// Per-seizure detection delay (`None` = missed).
+    pub delays: Vec<Option<f64>>,
+    /// Times of false alarms.
+    pub false_alarm_times: Vec<f64>,
+}
+
+/// Matches alarms against ground-truth seizures. `tolerance_secs` extends
+/// each seizure's end for matching purposes. Each seizure absorbs at most
+/// one alarm; alarms matching no seizure are false.
+pub fn score_alarms(
+    alarm_times: &[f64],
+    seizures: &[SeizureSpan],
+    tolerance_secs: f64,
+) -> AlarmScore {
+    let mut delays: Vec<Option<f64>> = vec![None; seizures.len()];
+    let mut false_alarm_times = Vec::new();
+    for &t in alarm_times {
+        let hit = seizures.iter().position(|s| {
+            t >= s.onset_secs && t <= s.end_secs + tolerance_secs
+        });
+        match hit {
+            Some(i) => {
+                if delays[i].is_none() {
+                    delays[i] = Some(t - seizures[i].onset_secs);
+                }
+                // Extra alarms during the same seizure are neither
+                // detections nor false alarms (the refractory hold makes
+                // them rare anyway).
+            }
+            None => false_alarm_times.push(t),
+        }
+    }
+    AlarmScore {
+        delays,
+        false_alarm_times,
+    }
+}
+
+/// Aggregated outcome of one method on one patient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodOutcome {
+    /// Detected test seizures.
+    pub detected: usize,
+    /// Total test seizures.
+    pub test_seizures: usize,
+    /// False alarms on the test portion.
+    pub false_alarms: usize,
+    /// Paper-equivalent test hours (scaled hours × effective time scale).
+    pub equivalent_hours: f64,
+    /// Detection delays of the detected seizures, in seconds.
+    pub delays: Vec<f64>,
+}
+
+impl MethodOutcome {
+    /// Builds an outcome from an [`AlarmScore`].
+    pub fn from_score(score: &AlarmScore, equivalent_hours: f64) -> Self {
+        let delays: Vec<f64> = score.delays.iter().flatten().copied().collect();
+        MethodOutcome {
+            detected: delays.len(),
+            test_seizures: score.delays.len(),
+            false_alarms: score.false_alarm_times.len(),
+            equivalent_hours,
+            delays,
+        }
+    }
+
+    /// Sensitivity in percent.
+    pub fn sensitivity_pct(&self) -> f64 {
+        if self.test_seizures == 0 {
+            return 0.0;
+        }
+        100.0 * self.detected as f64 / self.test_seizures as f64
+    }
+
+    /// False alarms per paper-equivalent hour.
+    pub fn fdr_per_hour(&self) -> f64 {
+        if self.equivalent_hours <= 0.0 {
+            return 0.0;
+        }
+        self.false_alarms as f64 / self.equivalent_hours
+    }
+
+    /// Mean detection delay in seconds (`None` if nothing was detected).
+    pub fn mean_delay_secs(&self) -> Option<f64> {
+        if self.delays.is_empty() {
+            None
+        } else {
+            Some(self.delays.iter().sum::<f64>() / self.delays.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans() -> Vec<SeizureSpan> {
+        vec![
+            SeizureSpan {
+                onset_secs: 100.0,
+                end_secs: 130.0,
+            },
+            SeizureSpan {
+                onset_secs: 500.0,
+                end_secs: 520.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn alarms_match_and_measure_delay() {
+        let score = score_alarms(&[112.0, 700.0], &spans(), 10.0);
+        assert_eq!(score.delays[0], Some(12.0));
+        assert_eq!(score.delays[1], None);
+        assert_eq!(score.false_alarm_times, vec![700.0]);
+        let outcome = MethodOutcome::from_score(&score, 50.0);
+        assert_eq!(outcome.detected, 1);
+        assert_eq!(outcome.test_seizures, 2);
+        assert_eq!(outcome.sensitivity_pct(), 50.0);
+        assert!((outcome.fdr_per_hour() - 0.02).abs() < 1e-12);
+        assert_eq!(outcome.mean_delay_secs(), Some(12.0));
+    }
+
+    #[test]
+    fn tolerance_extends_matching() {
+        let score = score_alarms(&[138.0], &spans(), 10.0);
+        assert_eq!(score.delays[0], Some(38.0));
+        let strict = score_alarms(&[138.0], &spans(), 0.0);
+        assert_eq!(strict.delays[0], None);
+        assert_eq!(strict.false_alarm_times.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_alarms_count_once() {
+        let score = score_alarms(&[105.0, 110.0, 120.0], &spans(), 0.0);
+        assert_eq!(score.delays[0], Some(5.0));
+        assert!(score.false_alarm_times.is_empty());
+        let outcome = MethodOutcome::from_score(&score, 10.0);
+        assert_eq!(outcome.detected, 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let score = score_alarms(&[], &spans(), 0.0);
+        assert_eq!(score.delays, vec![None, None]);
+        let outcome = MethodOutcome::from_score(&score, 0.0);
+        assert_eq!(outcome.sensitivity_pct(), 0.0);
+        assert_eq!(outcome.fdr_per_hour(), 0.0);
+        assert_eq!(outcome.mean_delay_secs(), None);
+        let none = score_alarms(&[5.0], &[], 0.0);
+        assert_eq!(none.false_alarm_times.len(), 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Work-stealing parallel map over patients (crossbeam scoped threads).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item using up to `threads` worker threads,
+/// preserving input order in the output.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<U>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                *results[i].lock().unwrap() = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("missing result"))
+        .collect()
+}
+
+/// Default worker count: the machine's logical cores.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let items: Vec<u32> = (0..50).collect();
+        let out = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let out = parallel_map(&[1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(&[] as &[i32], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_count_is_sane() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,443 @@
+//! Per-patient experiment runner: synthesize → split → train → detect.
+//!
+//! Implements the paper's clinical protocol (§IV-B): chronological split
+//! after the first `TrS` seizures, training from one 30 s interictal
+//! segment (taken well before the first seizure) plus the training
+//! seizures' ictal segments, then streaming detection over the held-out
+//! remainder.
+
+use std::ops::Range;
+
+use laelaps_baselines::common::{run_detector, Protocol, WindowClassifier};
+use laelaps_baselines::{CnnDetector, LstmDetector, SvmDetector};
+use laelaps_core::postprocess::Postprocessor;
+use laelaps_core::tuning::{replay_training, tune_tr, TrainingReplay};
+use laelaps_core::{
+    Classification, Detector, LaelapsConfig, PatientModel, Trainer, TrainingData,
+};
+use laelaps_ieeg::synth::PatientProfile;
+use laelaps_ieeg::{chrono_split, Recording};
+
+use crate::metrics::{score_alarms, MethodOutcome, SeizureSpan};
+
+/// Matching tolerance beyond seizure end, seconds.
+pub const MATCH_TOLERANCE_SECS: f64 = 15.0;
+
+/// Gap between the interictal training segment and the first seizure
+/// onset, seconds (the paper uses 10 min of real time; scaled recordings
+/// compress interictal stretches, so a fixed real-time gap is used).
+const INTER_TRAIN_GAP_SECS: f64 = 45.0;
+
+/// Length of the interictal training segment, seconds (paper: 30 s).
+const INTER_TRAIN_SECS: f64 = 30.0;
+
+/// Errors from the experiment runner.
+#[derive(Debug)]
+pub enum RunError {
+    /// Synthesis failed.
+    Synth(laelaps_ieeg::IeegError),
+    /// Core pipeline failed.
+    Core(laelaps_core::LaelapsError),
+    /// Protocol constraint violated (e.g. no test seizure).
+    Protocol(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Synth(e) => write!(f, "synthesis error: {e}"),
+            RunError::Core(e) => write!(f, "core pipeline error: {e}"),
+            RunError::Protocol(s) => write!(f, "protocol error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<laelaps_ieeg::IeegError> for RunError {
+    fn from(e: laelaps_ieeg::IeegError) -> Self {
+        RunError::Synth(e)
+    }
+}
+
+impl From<laelaps_core::LaelapsError> for RunError {
+    fn from(e: laelaps_core::LaelapsError) -> Self {
+        RunError::Core(e)
+    }
+}
+
+/// A synthesized patient with its chronological split and training
+/// segments resolved.
+#[derive(Debug)]
+pub struct PreparedPatient {
+    /// The profile that produced this data.
+    pub profile: PatientProfile,
+    /// The full recording.
+    pub recording: Recording,
+    /// End of the training portion (samples).
+    pub train_end: usize,
+    /// Training seizures' sample ranges (within the full recording).
+    pub train_ictal: Vec<Range<usize>>,
+    /// Interictal training segment (within the full recording).
+    pub train_interictal: Range<usize>,
+    /// Paper-equivalent hours represented by the test portion.
+    pub test_equivalent_hours: f64,
+}
+
+impl PreparedPatient {
+    /// Synthesizes and splits one patient.
+    ///
+    /// # Errors
+    ///
+    /// Fails if synthesis fails or the protocol cannot be satisfied
+    /// (no test seizure, or no room for the interictal segment).
+    pub fn new(profile: &PatientProfile) -> Result<Self, RunError> {
+        let recording = profile.synthesize()?;
+        let fs = recording.sample_rate();
+        let anns = recording.annotations().to_vec();
+        let split = chrono_split(
+            &anns,
+            profile.info.train_seizures,
+            60.0,
+            fs,
+            recording.len_samples() as u64,
+        )
+        .ok_or_else(|| {
+            RunError::Protocol(format!(
+                "{}: no test seizure after a {}-seizure training split",
+                profile.info.id, profile.info.train_seizures
+            ))
+        })?;
+        let train_ictal: Vec<Range<usize>> = anns
+            [..profile.info.train_seizures]
+            .iter()
+            .map(|a| a.range())
+            .collect();
+        let first_onset = anns[0].onset_sample as f64 / fs as f64;
+        let inter_end = first_onset - INTER_TRAIN_GAP_SECS;
+        let inter_start = inter_end - INTER_TRAIN_SECS;
+        if inter_start < 1.0 {
+            return Err(RunError::Protocol(format!(
+                "{}: first seizure at {first_onset:.0}s leaves no room for \
+                 the interictal training segment",
+                profile.info.id
+            )));
+        }
+        let train_interictal =
+            (inter_start * fs as f64) as usize..(inter_end * fs as f64) as usize;
+        let train_end = split.train_end_sample as usize;
+        let test_secs =
+            (recording.len_samples() - train_end) as f64 / fs as f64;
+        // FDR denominator: hours of signal the detector actually saw.
+        // Interictal compression makes this *harder* than the paper's
+        // setting (artifacts are denser per hour), so a zero-FDR result
+        // here is at least as strong a claim; see EXPERIMENTS.md.
+        let test_equivalent_hours = test_secs / 3600.0;
+        Ok(PreparedPatient {
+            profile: profile.clone(),
+            recording,
+            train_end,
+            train_ictal,
+            train_interictal,
+            test_equivalent_hours,
+        })
+    }
+
+    /// Ground-truth test seizures, in seconds relative to the test start.
+    pub fn test_seizure_spans(&self) -> Vec<SeizureSpan> {
+        let fs = self.recording.sample_rate() as f64;
+        self.recording
+            .annotations()
+            .iter()
+            .filter(|a| a.onset_sample as usize >= self.train_end)
+            .map(|a| SeizureSpan {
+                onset_secs: (a.onset_sample as usize - self.train_end) as f64 / fs,
+                end_secs: (a.end_sample as usize - self.train_end) as f64 / fs,
+            })
+            .collect()
+    }
+
+    /// The test portion of the signal (borrowed channels, re-sliced).
+    pub fn test_signal(&self) -> Vec<Vec<f32>> {
+        self.recording
+            .channels()
+            .iter()
+            .map(|ch| ch[self.train_end..].to_vec())
+            .collect()
+    }
+
+    /// The training portion of the signal.
+    pub fn train_signal(&self) -> Vec<Vec<f32>> {
+        self.recording
+            .channels()
+            .iter()
+            .map(|ch| ch[..self.train_end].to_vec())
+            .collect()
+    }
+}
+
+/// The Laelaps configuration for a patient at dimension `dim`.
+pub fn patient_config(dim: usize, seed: u64) -> LaelapsConfig {
+    LaelapsConfig::builder()
+        .dim(dim)
+        .seed(seed)
+        .build()
+        .expect("paper-default configuration is valid")
+}
+
+/// Trains a Laelaps model on the prepared patient's training segments and
+/// replays the training portion for Δ statistics.
+///
+/// # Errors
+///
+/// Propagates training/streaming errors.
+pub fn train_laelaps(
+    prep: &PreparedPatient,
+    dim: usize,
+) -> Result<(PatientModel, TrainingReplay), RunError> {
+    let config = patient_config(dim, prep.profile.seed);
+    let train_signal = prep.train_signal();
+    let mut data = TrainingData::new(&train_signal)
+        .interictal(prep.train_interictal.clone());
+    for seg in &prep.train_ictal {
+        data = data.ictal(seg.clone());
+    }
+    let model = Trainer::new(config).train(&data)?;
+    let replay = replay_training(&model, &train_signal, &prep.train_ictal)?;
+    Ok((model, replay))
+}
+
+/// Label/Δ stream of the Laelaps classifier over the test portion
+/// (postprocessing-independent; alarms are derived separately so `tr`
+/// sweeps are free).
+#[derive(Debug, Clone)]
+pub struct LaelapsTestRun {
+    /// Classifier outputs every 0.5 s.
+    pub classifications: Vec<Classification>,
+    /// Time of each classification, seconds from test start.
+    pub times_secs: Vec<f64>,
+}
+
+/// Runs the trained model over the test portion.
+///
+/// # Errors
+///
+/// Propagates streaming errors.
+pub fn run_laelaps_test(
+    model: &PatientModel,
+    prep: &PreparedPatient,
+) -> Result<LaelapsTestRun, RunError> {
+    let mut detector = Detector::new(model)?;
+    detector.set_tr(0.0);
+    let test = prep.test_signal();
+    let events = detector.run(&test)?;
+    Ok(LaelapsTestRun {
+        classifications: events.iter().map(|e| e.classification).collect(),
+        times_secs: events.iter().map(|e| e.time_secs).collect(),
+    })
+}
+
+/// Applies the Δ-threshold postprocessor to a stored label stream,
+/// returning alarm times (seconds from test start).
+pub fn alarms_with_tr(run: &LaelapsTestRun, model: &PatientModel, tr: f64) -> Vec<f64> {
+    let mut config = model.config().clone();
+    config.tr = tr;
+    let mut post = Postprocessor::new(&config);
+    let mut alarms = Vec::new();
+    for (c, &t) in run.classifications.iter().zip(run.times_secs.iter()) {
+        if post.push(c).is_some() {
+            alarms.push(t);
+        }
+    }
+    alarms
+}
+
+/// Scores a set of alarm times against ground-truth spans.
+pub fn outcome_from_spans(
+    alarms: &[f64],
+    spans: &[SeizureSpan],
+    equivalent_hours: f64,
+) -> MethodOutcome {
+    let score = score_alarms(alarms, spans, MATCH_TOLERANCE_SECS);
+    MethodOutcome::from_score(&score, equivalent_hours)
+}
+
+/// Scores a set of alarm times against the prepared patient's test
+/// seizures.
+pub fn outcome_from_alarms(prep: &PreparedPatient, alarms: &[f64]) -> MethodOutcome {
+    outcome_from_spans(
+        alarms,
+        &prep.test_seizure_spans(),
+        prep.test_equivalent_hours,
+    )
+}
+
+/// Which baseline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Baseline {
+    /// LBP + linear SVM.
+    Svm,
+    /// LSTM.
+    Lstm,
+    /// STFT + CNN.
+    Cnn,
+}
+
+impl Baseline {
+    /// All baselines in Table I column order.
+    pub const ALL: [Baseline; 3] = [Baseline::Svm, Baseline::Lstm, Baseline::Cnn];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Baseline::Svm => "LBP+SVM",
+            Baseline::Lstm => "LSTM",
+            Baseline::Cnn => "STFT+CNN",
+        }
+    }
+}
+
+/// Trains and evaluates one baseline under the shared protocol
+/// (`tr = 0`, same training segments, same postprocessing vote).
+pub fn run_baseline(prep: &PreparedPatient, which: Baseline) -> MethodOutcome {
+    let protocol = Protocol::default();
+    let train_signal = prep.train_signal();
+    let seed = prep.profile.seed;
+    let mut classifier: Box<dyn WindowClassifier> = match which {
+        Baseline::Svm => Box::new(SvmDetector::train(
+            &train_signal,
+            &prep.train_ictal,
+            std::slice::from_ref(&prep.train_interictal),
+            &protocol,
+            seed,
+        )),
+        Baseline::Lstm => Box::new(LstmDetector::train(
+            &train_signal,
+            &prep.train_ictal,
+            std::slice::from_ref(&prep.train_interictal),
+            &protocol,
+            seed,
+        )),
+        Baseline::Cnn => Box::new(CnnDetector::train(
+            &train_signal,
+            &prep.train_ictal,
+            std::slice::from_ref(&prep.train_interictal),
+            &protocol,
+            seed,
+        )),
+    };
+    let test = prep.test_signal();
+    let events = run_detector(classifier.as_mut(), &test, &protocol);
+    let alarms: Vec<f64> = events
+        .iter()
+        .filter(|e| e.alarm)
+        .map(|e| e.time_secs)
+        .collect();
+    outcome_from_alarms(prep, &alarms)
+}
+
+/// Complete per-patient result for Table I.
+#[derive(Debug, Clone)]
+pub struct PatientResult {
+    /// Patient id.
+    pub id: &'static str,
+    /// Hypervector dimension used.
+    pub dim: usize,
+    /// Tuned Δ threshold.
+    pub tr: f64,
+    /// Laelaps with tuned `tr`.
+    pub laelaps: MethodOutcome,
+    /// Laelaps with `tr = 0` (the §IV-B ablation).
+    pub laelaps_tr0: MethodOutcome,
+    /// Baselines (in [`Baseline::ALL`] order), if run.
+    pub baselines: Vec<(Baseline, MethodOutcome)>,
+}
+
+/// Runs one patient end to end.
+///
+/// `dim` falls back to the paper's per-patient tuned dimension;
+/// `alpha` is the cross-patient confidence-gap constant for `tr` tuning.
+///
+/// # Errors
+///
+/// Propagates synthesis/protocol/pipeline errors.
+pub fn run_patient(
+    profile: &PatientProfile,
+    dim: Option<usize>,
+    alpha: f64,
+    with_baselines: bool,
+) -> Result<PatientResult, RunError> {
+    let prep = PreparedPatient::new(profile)?;
+    let dim = dim.unwrap_or((profile.info.laelaps_d_kbit * 1000.0) as usize);
+    let (model, replay) = train_laelaps(&prep, dim)?;
+    let tr = tune_tr(&replay, alpha);
+    let test_run = run_laelaps_test(&model, &prep)?;
+    let laelaps = outcome_from_alarms(&prep, &alarms_with_tr(&test_run, &model, tr));
+    let laelaps_tr0 = outcome_from_alarms(&prep, &alarms_with_tr(&test_run, &model, 0.0));
+    let mut baselines = Vec::new();
+    if with_baselines {
+        for b in Baseline::ALL {
+            baselines.push((b, run_baseline(&prep, b)));
+        }
+    }
+    Ok(PatientResult {
+        id: profile.info.id,
+        dim,
+        tr,
+        laelaps,
+        laelaps_tr0,
+        baselines,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laelaps_ieeg::synth::demo_patient;
+
+    #[test]
+    fn prepared_patient_has_consistent_protocol() {
+        let profile = demo_patient(3);
+        let prep = PreparedPatient::new(&profile).unwrap();
+        assert_eq!(prep.train_ictal.len(), 1);
+        assert!(prep.train_interictal.end <= prep.train_end);
+        assert!(prep.train_ictal[0].end <= prep.train_end);
+        assert_eq!(prep.test_seizure_spans().len(), 2);
+        assert!(prep.test_equivalent_hours > 0.0);
+        // Interictal training segment is 30 s.
+        let len = prep.train_interictal.end - prep.train_interictal.start;
+        assert_eq!(len, (30.0 * 512.0) as usize);
+    }
+
+    #[test]
+    fn laelaps_detects_demo_patient() {
+        let profile = demo_patient(5);
+        let prep = PreparedPatient::new(&profile).unwrap();
+        let (model, replay) = train_laelaps(&prep, 2000).unwrap();
+        assert!(!replay.delta_ictal.is_empty());
+        let tr = tune_tr(&replay, 0.0);
+        let run = run_laelaps_test(&model, &prep).unwrap();
+        let outcome = outcome_from_alarms(&prep, &alarms_with_tr(&run, &model, tr));
+        assert_eq!(outcome.test_seizures, 2);
+        assert_eq!(outcome.detected, 2, "both strong test seizures detected");
+        assert_eq!(outcome.false_alarms, 0, "tuned tr must keep FDR at zero");
+        for d in &outcome.delays {
+            assert!(
+                (0.0..=45.0).contains(d),
+                "delay {d}s outside a plausible range"
+            );
+        }
+    }
+
+    #[test]
+    fn tr_sweep_is_monotone_in_alarms() {
+        let profile = demo_patient(7);
+        let prep = PreparedPatient::new(&profile).unwrap();
+        let (model, _) = train_laelaps(&prep, 1000).unwrap();
+        let run = run_laelaps_test(&model, &prep).unwrap();
+        let a0 = alarms_with_tr(&run, &model, 0.0).len();
+        let ainf = alarms_with_tr(&run, &model, 1e12).len();
+        assert!(a0 >= ainf);
+        assert_eq!(ainf, 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Nvidia Tegra X2 device and power model.
+//!
+//! The paper measures time and energy per 0.5 s classification event on a
+//! Jetson TX2 in the Max-Q power mode (§V-A: 256-core Pascal GPU at
+//! 0.85 GHz, ARM cluster at 1.2 GHz, 58.4 GB/s LPDDR4). Absent the board,
+//! this module provides a mechanistic timing/energy model: kernels report
+//! their work as a [`CostSheet`] (thread-instructions, shared/global
+//! traffic, launches) and the device maps work to time via core
+//! throughput and bandwidth, and to energy via a calibrated power model.
+//!
+//! The constants are calibrated so the full Laelaps pipeline lands on the
+//! paper's published envelope (≈13 ms / 35 mJ per event at 128
+//! electrodes, nearly constant in electrode count, dominated by kernel
+//! launch overhead); the *mechanisms* — launch overhead, compute time,
+//! bandwidth bound — are what produce Table II's scaling shape.
+
+/// TX2 power modes used in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PowerMode {
+    /// Maximum-efficiency mode (paper's setting): GPU 0.85 GHz.
+    #[default]
+    MaxQ,
+    /// Maximum-performance mode: GPU 1.30 GHz, higher power.
+    MaxN,
+}
+
+/// Work accounting for one kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostSheet {
+    /// Total dynamic thread-instructions executed (across all threads).
+    pub thread_instructions: u64,
+    /// Bytes moved to/from global memory (DRAM).
+    pub global_bytes: u64,
+    /// Bytes moved through shared memory (cheap, on-chip).
+    pub shared_bytes: u64,
+    /// Thread blocks launched.
+    pub blocks: u64,
+    /// Threads per block.
+    pub threads_per_block: u64,
+    /// `__syncthreads`-style barriers executed per block.
+    pub syncs_per_block: u64,
+}
+
+impl CostSheet {
+    /// Merges another kernel's accounting into this one (multi-kernel
+    /// pipelines).
+    pub fn merge(&mut self, other: &CostSheet) {
+        self.thread_instructions += other.thread_instructions;
+        self.global_bytes += other.global_bytes;
+        self.shared_bytes += other.shared_bytes;
+        self.blocks += other.blocks;
+        self.threads_per_block = self.threads_per_block.max(other.threads_per_block);
+        self.syncs_per_block += other.syncs_per_block;
+    }
+}
+
+/// Simulated time/energy outcome of executing work on the device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionStats {
+    /// Wall-clock time in milliseconds.
+    pub time_ms: f64,
+    /// Energy in millijoules.
+    pub energy_mj: f64,
+    /// Fraction of time spent in compute (vs. launch overhead + DRAM).
+    pub compute_fraction: f64,
+}
+
+/// The Tegra X2 device model.
+#[derive(Debug, Clone)]
+pub struct TegraX2 {
+    mode: PowerMode,
+}
+
+impl TegraX2 {
+    /// CUDA cores on the GP10B GPU.
+    pub const CUDA_CORES: u64 = 256;
+
+    /// Streaming multiprocessors.
+    pub const SMS: u64 = 2;
+
+    /// Warp width.
+    pub const WARP: u64 = 32;
+
+    /// Shared memory per SM in bytes (64 kB, §V-B).
+    pub const SHARED_MEM_BYTES: u64 = 64 * 1024;
+
+    /// DRAM bandwidth in bytes/second (58.4 GB/s).
+    pub const DRAM_BW: f64 = 58.4e9;
+
+    /// Creates the device in the given power mode.
+    pub fn new(mode: PowerMode) -> Self {
+        TegraX2 { mode }
+    }
+
+    /// The configured power mode.
+    pub fn mode(&self) -> PowerMode {
+        self.mode
+    }
+
+    /// GPU core clock in Hz.
+    pub fn gpu_clock_hz(&self) -> f64 {
+        match self.mode {
+            PowerMode::MaxQ => 0.85e9,
+            PowerMode::MaxN => 1.30e9,
+        }
+    }
+
+    /// Per-kernel launch + synchronization overhead in milliseconds.
+    ///
+    /// Dominates tiny kernels on the TX2 (driver + MMIO + sync on a
+    /// busy-OS Jetson); calibrated so the three-kernel Laelaps pipeline
+    /// matches the paper's ≈13 ms per event.
+    pub fn launch_overhead_ms(&self) -> f64 {
+        match self.mode {
+            PowerMode::MaxQ => 4.1,
+            PowerMode::MaxN => 2.7,
+        }
+    }
+
+    /// Baseline board power (SoC rails active, GPU idling) in watts.
+    pub fn base_power_w(&self) -> f64 {
+        match self.mode {
+            PowerMode::MaxQ => 2.45,
+            PowerMode::MaxN => 4.2,
+        }
+    }
+
+    /// Additional power when the GPU is fully busy, in watts.
+    pub fn compute_power_w(&self) -> f64 {
+        match self.mode {
+            PowerMode::MaxQ => 4.9,
+            PowerMode::MaxN => 10.5,
+        }
+    }
+
+    /// Executes one kernel's cost sheet, returning simulated time/energy.
+    ///
+    /// Time = launch overhead + max(compute, DRAM) where compute assumes
+    /// one instruction per core per cycle with warp-granular occupancy.
+    pub fn execute_kernel(&self, cost: &CostSheet) -> ExecutionStats {
+        self.execute(std::slice::from_ref(cost))
+    }
+
+    /// Executes a pipeline of kernels back to back.
+    pub fn execute(&self, kernels: &[CostSheet]) -> ExecutionStats {
+        let mut time_ms = 0.0f64;
+        let mut compute_ms_total = 0.0f64;
+        for cost in kernels {
+            // Warp-granular throughput: blocks with < 32-thread warps
+            // still occupy whole warps.
+            let warps_per_block = cost.threads_per_block.div_ceil(Self::WARP).max(1);
+            let eff_threads = warps_per_block * Self::WARP;
+            let instr = cost.thread_instructions.max(1) as f64
+                * (eff_threads as f64 / cost.threads_per_block.max(1) as f64);
+            // Sync overhead: ~20 cycles per barrier per block.
+            let sync_cycles = (cost.syncs_per_block * cost.blocks * 20) as f64;
+            let compute_s =
+                (instr + sync_cycles) / (Self::CUDA_CORES as f64 * self.gpu_clock_hz());
+            // Shared memory is pipelined with compute; global memory may
+            // bound the kernel.
+            let dram_s = cost.global_bytes as f64 / Self::DRAM_BW;
+            let busy_ms = compute_s.max(dram_s) * 1e3;
+            time_ms += self.launch_overhead_ms() + busy_ms;
+            compute_ms_total += busy_ms;
+        }
+        let power =
+            self.base_power_w() + self.compute_power_w() * (compute_ms_total / time_ms.max(1e-12));
+        ExecutionStats {
+            time_ms,
+            energy_mj: time_ms * power, // ms × W = mJ
+            compute_fraction: compute_ms_total / time_ms.max(1e-12),
+        }
+    }
+}
+
+impl Default for TegraX2 {
+    fn default() -> Self {
+        TegraX2::new(PowerMode::MaxQ)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_kernel() -> CostSheet {
+        CostSheet {
+            thread_instructions: 100_000,
+            global_bytes: 10_000,
+            shared_bytes: 50_000,
+            blocks: 32,
+            threads_per_block: 32,
+            syncs_per_block: 2,
+        }
+    }
+
+    #[test]
+    fn overhead_dominates_tiny_kernels() {
+        let dev = TegraX2::default();
+        let stats = dev.execute_kernel(&small_kernel());
+        assert!(stats.time_ms > dev.launch_overhead_ms());
+        assert!(stats.time_ms < dev.launch_overhead_ms() * 1.2);
+        assert!(stats.compute_fraction < 0.2);
+    }
+
+    #[test]
+    fn compute_scales_with_instructions() {
+        let dev = TegraX2::default();
+        let mut big = small_kernel();
+        big.thread_instructions = 50_000_000_000;
+        let t_small = dev.execute_kernel(&small_kernel()).time_ms;
+        let t_big = dev.execute_kernel(&big).time_ms;
+        assert!(t_big > t_small * 10.0);
+    }
+
+    #[test]
+    fn bandwidth_bound_kernels_follow_dram() {
+        let dev = TegraX2::default();
+        let cost = CostSheet {
+            thread_instructions: 1000,
+            global_bytes: 584_000_000, // 10 ms at 58.4 GB/s
+            blocks: 1,
+            threads_per_block: 32,
+            ..Default::default()
+        };
+        let stats = dev.execute_kernel(&cost);
+        assert!((stats.time_ms - dev.launch_overhead_ms() - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn maxn_is_faster_but_hungrier() {
+        let q = TegraX2::new(PowerMode::MaxQ);
+        let n = TegraX2::new(PowerMode::MaxN);
+        let mut big = small_kernel();
+        big.thread_instructions = 10_000_000_000;
+        let sq = q.execute_kernel(&big);
+        let sn = n.execute_kernel(&big);
+        assert!(sn.time_ms < sq.time_ms);
+        assert!(sn.energy_mj / sn.time_ms > sq.energy_mj / sq.time_ms);
+    }
+
+    #[test]
+    fn pipeline_accumulates_launches() {
+        let dev = TegraX2::default();
+        let one = dev.execute(&[small_kernel()]).time_ms;
+        let three = dev.execute(&[small_kernel(), small_kernel(), small_kernel()]).time_ms;
+        assert!((three - 3.0 * one).abs() < 0.01);
+    }
+
+    #[test]
+    fn energy_is_time_times_power() {
+        let dev = TegraX2::default();
+        let stats = dev.execute_kernel(&small_kernel());
+        let implied_power = stats.energy_mj / stats.time_ms;
+        assert!(implied_power >= dev.base_power_w());
+        assert!(implied_power <= dev.base_power_w() + dev.compute_power_w());
+    }
+
+    #[test]
+    fn merge_accumulates_costs() {
+        let mut a = small_kernel();
+        a.merge(&small_kernel());
+        assert_eq!(a.thread_instructions, 200_000);
+        assert_eq!(a.blocks, 64);
+    }
+}

@@ -1,0 +1,104 @@
+//! Classification kernel (Fig. 2, right): one 32-thread block computes the
+//! Hamming distances from `H` to the two AM prototypes; the master thread
+//! applies the postprocessing vote.
+
+use crate::device::CostSheet;
+
+/// Output of one classification-kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassifyKernelOutput {
+    /// Distance to the interictal prototype `P1`.
+    pub dist_interictal: u32,
+    /// Distance to the ictal prototype `P2`.
+    pub dist_ictal: u32,
+    /// Whether the window classifies as ictal (ties → interictal).
+    pub is_ictal: bool,
+    /// Confidence `Δ = |η1 − η2|`.
+    pub delta: u32,
+    /// Work accounting.
+    pub cost: CostSheet,
+}
+
+/// Runs the classification kernel on packed vectors.
+///
+/// # Panics
+///
+/// Panics if the word widths differ.
+pub fn run_classify_kernel(
+    h: &[u32],
+    p_interictal: &[u32],
+    p_ictal: &[u32],
+) -> ClassifyKernelOutput {
+    assert_eq!(h.len(), p_interictal.len(), "word width mismatch");
+    assert_eq!(h.len(), p_ictal.len(), "word width mismatch");
+    let d1: u32 = h
+        .iter()
+        .zip(p_interictal.iter())
+        .map(|(&a, &b)| (a ^ b).count_ones())
+        .sum();
+    let d2: u32 = h
+        .iter()
+        .zip(p_ictal.iter())
+        .map(|(&a, &b)| (a ^ b).count_ones())
+        .sum();
+
+    let words = h.len() as u64;
+    // 32 threads stride over the words: load H + prototype, XOR, popcount,
+    // add — for both prototypes — then a log2(32) tree reduction.
+    let per_thread = 2 * words.div_ceil(32) * 5 + 2 * 5;
+    let cost = CostSheet {
+        thread_instructions: 32 * per_thread + 16, // + postprocess on master
+        global_bytes: words * 4 * 3 + 16,
+        shared_bytes: 32 * 8,
+        blocks: 1,
+        threads_per_block: 32,
+        syncs_per_block: 6,
+    };
+    ClassifyKernelOutput {
+        dist_interictal: d1,
+        dist_ictal: d2,
+        is_ictal: d2 < d1,
+        delta: d1.abs_diff(d2),
+        cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::pack_hv;
+    use laelaps_core::hv::Hypervector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distances_match_core_hamming() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let h = Hypervector::random(1000, &mut rng);
+        let p1 = Hypervector::random(1000, &mut rng);
+        let p2 = Hypervector::random(1000, &mut rng);
+        let out = run_classify_kernel(&pack_hv(&h), &pack_hv(&p1), &pack_hv(&p2));
+        assert_eq!(out.dist_interictal as usize, h.hamming(&p1));
+        assert_eq!(out.dist_ictal as usize, h.hamming(&p2));
+        assert_eq!(
+            out.delta as usize,
+            h.hamming(&p1).abs_diff(h.hamming(&p2))
+        );
+    }
+
+    #[test]
+    fn tie_is_interictal() {
+        let h = vec![0u32; 4];
+        let p = vec![0u32; 4];
+        let out = run_classify_kernel(&h, &p, &p);
+        assert!(!out.is_ictal);
+        assert_eq!(out.delta, 0);
+    }
+
+    #[test]
+    fn grid_is_single_warp() {
+        let out = run_classify_kernel(&[0; 32], &[0; 32], &[0; 32]);
+        assert_eq!(out.cost.blocks, 1);
+        assert_eq!(out.cost.threads_per_block, 32);
+    }
+}

@@ -1,0 +1,116 @@
+//! LBP kernel (Fig. 2, left): one thread block per electrode, one thread
+//! per LBP code of the 0.5 s chunk.
+//!
+//! Each block copies its electrode's samples to shared memory, then each
+//! of the 256 threads computes the ℓ-bit code ending at its sample.
+
+use crate::device::CostSheet;
+
+/// Samples per 0.5 s chunk (and threads per block).
+pub const CHUNK: usize = 256;
+
+/// Output of one LBP-kernel launch.
+#[derive(Debug, Clone)]
+pub struct LbpKernelOutput {
+    /// `codes[e][t]`: the code of electrode `e` ending at chunk sample `t`.
+    pub codes: Vec<Vec<u8>>,
+    /// Work accounting.
+    pub cost: CostSheet,
+}
+
+/// Runs the LBP kernel on one chunk.
+///
+/// `samples[e]` must hold `CHUNK + lbp_len` samples: `lbp_len` context
+/// samples (the tail of the previous chunk) followed by the `CHUNK` new
+/// samples, so every one of the 256 threads has a full code history.
+///
+/// # Panics
+///
+/// Panics if channel lengths differ from `CHUNK + lbp_len` or
+/// `lbp_len == 0`.
+pub fn run_lbp_kernel(samples: &[Vec<f32>], lbp_len: usize) -> LbpKernelOutput {
+    assert!(lbp_len > 0, "LBP length must be nonzero");
+    let need = CHUNK + lbp_len;
+    assert!(
+        samples.iter().all(|ch| ch.len() == need),
+        "each electrode needs {need} samples (context + chunk)"
+    );
+    let electrodes = samples.len();
+    let mask = (1u16 << lbp_len) - 1;
+
+    let codes: Vec<Vec<u8>> = samples
+        .iter()
+        .map(|ch| {
+            // Thread t computes the code whose last bit is the sign of
+            // ch[t + lbp_len] - ch[t + lbp_len - 1].
+            (0..CHUNK)
+                .map(|t| {
+                    let mut code = 0u16;
+                    for b in 0..lbp_len {
+                        let idx = t + b + 1;
+                        let bit = (ch[idx] > ch[idx - 1]) as u16;
+                        code = (code << 1) | bit;
+                    }
+                    (code & mask) as u8
+                })
+                .collect()
+        })
+        .collect();
+
+    // Accounting: per thread, one shared-memory stage of the sample
+    // (load + store), then lbp_len compare/shift/or triples and one
+    // global store of the code.
+    let per_thread = 2 + 3 * lbp_len as u64 + 1;
+    let cost = CostSheet {
+        thread_instructions: electrodes as u64 * CHUNK as u64 * per_thread,
+        global_bytes: (electrodes * need * 4 + electrodes * CHUNK) as u64,
+        shared_bytes: (electrodes * need * 4) as u64,
+        blocks: electrodes as u64,
+        threads_per_block: CHUNK as u64,
+        syncs_per_block: 1,
+    };
+    LbpKernelOutput { codes, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laelaps_core::lbp::lbp_codes;
+
+    #[test]
+    fn matches_core_lbp_on_a_chunk() {
+        let lbp_len = 6;
+        let signal: Vec<f32> = (0..CHUNK + lbp_len)
+            .map(|t| ((t * 37) % 17) as f32 - ((t * 13) % 7) as f32)
+            .collect();
+        let out = run_lbp_kernel(&[signal.clone()], lbp_len);
+        let reference = lbp_codes(&signal, lbp_len);
+        assert_eq!(out.codes[0], reference);
+        assert_eq!(out.codes[0].len(), CHUNK);
+    }
+
+    #[test]
+    fn grid_shape_matches_paper() {
+        // Fig. 2: "one thread block per electrode (e.g. 128), one thread
+        // per LBP (i.e. 256)".
+        let samples = vec![vec![0.0f32; CHUNK + 6]; 128];
+        let out = run_lbp_kernel(&samples, 6);
+        assert_eq!(out.cost.blocks, 128);
+        assert_eq!(out.cost.threads_per_block, 256);
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_electrodes() {
+        let a = run_lbp_kernel(&vec![vec![0.0f32; CHUNK + 6]; 24], 6);
+        let b = run_lbp_kernel(&vec![vec![0.0f32; CHUNK + 6]; 128], 6);
+        let ratio =
+            b.cost.thread_instructions as f64 / a.cost.thread_instructions as f64;
+        assert!((ratio - 128.0 / 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "samples")]
+    fn rejects_wrong_length() {
+        let _ = run_lbp_kernel(&[vec![0.0f32; CHUNK]], 6);
+    }
+}

@@ -1,0 +1,16 @@
+//! The three GPU kernels of Fig. 2 and the full pipeline.
+//!
+//! Each kernel is implemented functionally (bit-exact against the
+//! `laelaps-core` reference, property of the tests in this module tree)
+//! while reporting its work as a [`crate::device::CostSheet`] that the
+//! [`crate::device::TegraX2`] model maps to time and energy.
+
+pub mod classify;
+pub mod encode;
+pub mod lbp;
+pub mod pipeline;
+
+pub use classify::{run_classify_kernel, ClassifyKernelOutput};
+pub use encode::{EncodeKernelOutput, GpuEncoder};
+pub use lbp::{run_lbp_kernel, LbpKernelOutput, CHUNK};
+pub use pipeline::{GpuEvent, GpuPipeline};

@@ -1,0 +1,30 @@
+//! # laelaps-gpu-sim
+//!
+//! A timing/energy model of the Laelaps deployment on the Nvidia Tegra X2
+//! (paper §V), standing in for the physical board:
+//!
+//! * [`device::TegraX2`] — the platform model (cores, clocks, bandwidth,
+//!   Max-Q power) mapping kernel work to milliseconds and millijoules;
+//! * [`kernels`] — functional implementations of the paper's three GPU
+//!   kernels (Fig. 2: LBP, HD encoding, classification), *bit-exact*
+//!   against the `laelaps-core` reference and instrumented with cost
+//!   sheets;
+//! * [`baseline_cost`] — analytic per-classification cost models for the
+//!   SVM/CNN/LSTM baselines, calibrated to Table II's published
+//!   endpoints;
+//! * [`pack`] — bit-layout conversion between `laelaps-core`
+//!   hypervectors and the GPU's 32-bit word arrays.
+//!
+//! Together these regenerate Table II and the energy axis of Fig. 3.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baseline_cost;
+pub mod device;
+pub mod kernels;
+pub mod pack;
+
+pub use baseline_cost::{BaselineMethod, Platform};
+pub use device::{CostSheet, ExecutionStats, PowerMode, TegraX2};
+pub use kernels::{GpuEvent, GpuPipeline};

@@ -1,0 +1,170 @@
+//! Seizure annotations and train/test partitioning.
+
+/// An expert-marked seizure: `[onset_sample, end_sample)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeizureAnnotation {
+    /// First sample of the seizure.
+    pub onset_sample: u64,
+    /// One past the last sample of the seizure.
+    pub end_sample: u64,
+}
+
+impl SeizureAnnotation {
+    /// Creates an annotation from sample indices.
+    pub fn new(onset_sample: u64, end_sample: u64) -> Self {
+        SeizureAnnotation {
+            onset_sample,
+            end_sample,
+        }
+    }
+
+    /// Creates an annotation from times in seconds at `sample_rate`.
+    pub fn from_secs(onset_secs: f64, end_secs: f64, sample_rate: u32) -> Self {
+        SeizureAnnotation {
+            onset_sample: (onset_secs * sample_rate as f64).round() as u64,
+            end_sample: (end_secs * sample_rate as f64).round() as u64,
+        }
+    }
+
+    /// Duration in samples.
+    pub fn len_samples(&self) -> u64 {
+        self.end_sample.saturating_sub(self.onset_sample)
+    }
+
+    /// Duration in seconds at `sample_rate`.
+    pub fn duration_secs(&self, sample_rate: u32) -> f64 {
+        self.len_samples() as f64 / sample_rate as f64
+    }
+
+    /// Onset time in seconds at `sample_rate`.
+    pub fn onset_secs(&self, sample_rate: u32) -> f64 {
+        self.onset_sample as f64 / sample_rate as f64
+    }
+
+    /// Whether sample `t` falls inside the seizure.
+    pub fn contains(&self, t: u64) -> bool {
+        t >= self.onset_sample && t < self.end_sample
+    }
+
+    /// Whether the half-open sample range `[start, end)` overlaps the
+    /// seizure.
+    pub fn overlaps(&self, start: u64, end: u64) -> bool {
+        start < self.end_sample && end > self.onset_sample
+    }
+
+    /// The annotation as a `usize` sample range.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.onset_sample as usize..self.end_sample as usize
+    }
+}
+
+/// Chronological train/test split of a recording, following the paper's
+/// protocol: the training set runs from the start of the recording to the
+/// end of the `train_seizures`-th seizure plus a margin; everything after
+/// is the test set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChronoSplit {
+    /// Last sample (exclusive) of the training portion.
+    pub train_end_sample: u64,
+    /// Number of seizures inside the training portion.
+    pub train_seizures: usize,
+    /// Number of seizures in the test portion.
+    pub test_seizures: usize,
+}
+
+/// Computes the paper's chronological split: training covers the recording
+/// through the end of the first `train_seizures` seizures plus
+/// `margin_secs` of slack.
+///
+/// Returns `None` if the recording has fewer than `train_seizures + 1`
+/// seizures (no test seizure would remain).
+pub fn chrono_split(
+    annotations: &[SeizureAnnotation],
+    train_seizures: usize,
+    margin_secs: f64,
+    sample_rate: u32,
+    len_samples: u64,
+) -> Option<ChronoSplit> {
+    if annotations.len() <= train_seizures || train_seizures == 0 {
+        return None;
+    }
+    let margin = (margin_secs * sample_rate as f64).round() as u64;
+    let last_train = &annotations[train_seizures - 1];
+    let next = &annotations[train_seizures];
+    // End of training: after the last training seizure (plus margin), but
+    // strictly before the next seizure begins.
+    let train_end = (last_train.end_sample + margin)
+        .min(next.onset_sample)
+        .min(len_samples);
+    Some(ChronoSplit {
+        train_end_sample: train_end,
+        train_seizures,
+        test_seizures: annotations.len() - train_seizures,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotation_accessors() {
+        let a = SeizureAnnotation::from_secs(10.0, 25.0, 512);
+        assert_eq!(a.onset_sample, 5120);
+        assert_eq!(a.end_sample, 12800);
+        assert_eq!(a.len_samples(), 7680);
+        assert_eq!(a.duration_secs(512), 15.0);
+        assert_eq!(a.onset_secs(512), 10.0);
+        assert!(a.contains(5120));
+        assert!(!a.contains(12800));
+        assert!(a.overlaps(0, 6000));
+        assert!(!a.overlaps(0, 5120));
+        assert_eq!(a.range(), 5120..12800);
+    }
+
+    #[test]
+    fn chrono_split_after_first_seizure() {
+        let fs = 512;
+        let anns = vec![
+            SeizureAnnotation::from_secs(100.0, 120.0, fs),
+            SeizureAnnotation::from_secs(500.0, 530.0, fs),
+        ];
+        let split = chrono_split(&anns, 1, 60.0, fs, 512 * 1000).unwrap();
+        // 120 s end + 60 s margin = 180 s < 500 s next onset.
+        assert_eq!(split.train_end_sample, 512 * 180);
+        assert_eq!(split.train_seizures, 1);
+        assert_eq!(split.test_seizures, 1);
+    }
+
+    #[test]
+    fn chrono_split_clamps_to_next_onset() {
+        let fs = 512;
+        let anns = vec![
+            SeizureAnnotation::from_secs(100.0, 120.0, fs),
+            SeizureAnnotation::from_secs(150.0, 160.0, fs),
+        ];
+        let split = chrono_split(&anns, 1, 60.0, fs, 512 * 1000).unwrap();
+        assert_eq!(split.train_end_sample, 512 * 150);
+    }
+
+    #[test]
+    fn chrono_split_needs_remaining_seizures() {
+        let fs = 512;
+        let anns = vec![SeizureAnnotation::from_secs(100.0, 120.0, fs)];
+        assert!(chrono_split(&anns, 1, 60.0, fs, 512 * 1000).is_none());
+        assert!(chrono_split(&anns, 0, 60.0, fs, 512 * 1000).is_none());
+    }
+
+    #[test]
+    fn chrono_split_two_training_seizures() {
+        let fs = 512;
+        let anns = vec![
+            SeizureAnnotation::from_secs(100.0, 120.0, fs),
+            SeizureAnnotation::from_secs(300.0, 330.0, fs),
+            SeizureAnnotation::from_secs(700.0, 720.0, fs),
+        ];
+        let split = chrono_split(&anns, 2, 60.0, fs, 512 * 1000).unwrap();
+        assert_eq!(split.train_end_sample, 512 * 390);
+        assert_eq!(split.test_seizures, 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! A small self-contained FFT used by the STFT feature extractor of the
+//! CNN baseline and by the filter-design diagnostics. Only power-of-two
+//! lengths are supported (the STFT uses 256-point windows).
+
+use crate::error::{invalid, Result};
+
+/// A complex number in rectangular form.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// # Errors
+///
+/// Returns [`crate::IeegError::InvalidParameter`] if the length is not a
+/// power of two (or is zero).
+pub fn fft_in_place(data: &mut [Complex]) -> Result<()> {
+    let n = data.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(invalid("fft length", format!("{n} is not a power of two")));
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2].mul(w);
+                data[i + k] = u.add(v);
+                data[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Inverse FFT (unscaled conjugate method, normalized by `1/n`).
+///
+/// # Errors
+///
+/// Same conditions as [`fft_in_place`].
+pub fn ifft_in_place(data: &mut [Complex]) -> Result<()> {
+    for c in data.iter_mut() {
+        *c = c.conj();
+    }
+    fft_in_place(data)?;
+    let n = data.len() as f64;
+    for c in data.iter_mut() {
+        *c = Complex::new(c.re / n, -c.im / n);
+    }
+    Ok(())
+}
+
+/// FFT of a real signal; returns the full complex spectrum.
+///
+/// # Errors
+///
+/// Same conditions as [`fft_in_place`].
+pub fn fft_real(signal: &[f32]) -> Result<Vec<Complex>> {
+    let mut data: Vec<Complex> = signal
+        .iter()
+        .map(|&x| Complex::new(x as f64, 0.0))
+        .collect();
+    fft_in_place(&mut data)?;
+    Ok(data)
+}
+
+/// Reference O(n²) DFT used to validate the FFT in tests.
+pub fn dft_naive(signal: &[Complex]) -> Vec<Complex> {
+    let n = signal.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::default();
+            for (t, &x) in signal.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                acc = acc.add(x.mul(Complex::new(ang.cos(), ang.sin())));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// One-sided power spectrum (bins `0 ..= n/2`) of a real signal.
+///
+/// # Errors
+///
+/// Same conditions as [`fft_in_place`].
+pub fn power_spectrum(signal: &[f32]) -> Result<Vec<f64>> {
+    let spec = fft_real(signal)?;
+    let n = signal.len();
+    Ok(spec[..=n / 2].iter().map(|c| c.norm_sq() / n as f64).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut data = vec![Complex::default(); 12];
+        assert!(fft_in_place(&mut data).is_err());
+        let mut empty: Vec<Complex> = vec![];
+        assert!(fft_in_place(&mut empty).is_err());
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let signal: Vec<Complex> = (0..64)
+            .map(|t| Complex::new(((t * 7) % 13) as f64 - 6.0, ((t * 3) % 5) as f64))
+            .collect();
+        let mut fast = signal.clone();
+        fft_in_place(&mut fast).unwrap();
+        let slow = dft_naive(&signal);
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            assert!(close(f.re, s.re, 1e-9) && close(f.im, s.im, 1e-9));
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let signal: Vec<Complex> = (0..128)
+            .map(|t| Complex::new((t as f64 * 0.3).sin(), (t as f64 * 0.11).cos()))
+            .collect();
+        let mut data = signal.clone();
+        fft_in_place(&mut data).unwrap();
+        ifft_in_place(&mut data).unwrap();
+        for (a, b) in data.iter().zip(signal.iter()) {
+            assert!(close(a.re, b.re, 1e-9) && close(a.im, b.im, 1e-9));
+        }
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_its_bin() {
+        let n = 256;
+        let k0 = 19;
+        let signal: Vec<f32> = (0..n)
+            .map(|t| {
+                (2.0 * std::f64::consts::PI * k0 as f64 * t as f64 / n as f64).sin()
+                    as f32
+            })
+            .collect();
+        let ps = power_spectrum(&signal).unwrap();
+        let peak = ps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, k0);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let signal: Vec<f32> = (0..128)
+            .map(|t| ((t * 37 % 19) as f32 - 9.0) * 0.13)
+            .collect();
+        let time_energy: f64 = signal.iter().map(|&x| (x as f64).powi(2)).sum();
+        let spec = fft_real(&signal).unwrap();
+        let freq_energy: f64 =
+            spec.iter().map(|c| c.norm_sq()).sum::<f64>() / signal.len() as f64;
+        assert!(close(time_energy, freq_energy, 1e-6 * time_energy.max(1.0)));
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let signal = vec![3.0f32; 64];
+        let ps = power_spectrum(&signal).unwrap();
+        assert!(ps[0] > 100.0);
+        assert!(ps[1..].iter().all(|&p| p < 1e-9));
+    }
+
+    #[test]
+    fn complex_helpers() {
+        let c = Complex::new(3.0, -4.0);
+        assert_eq!(c.abs(), 5.0);
+        assert_eq!(c.conj().im, 4.0);
+        assert_eq!(c.norm_sq(), 25.0);
+    }
+}

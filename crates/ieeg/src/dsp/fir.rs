@@ -1,0 +1,176 @@
+//! Windowed-sinc FIR filters.
+//!
+//! Used as the anti-aliasing stage of [`crate::dsp::decimate`]: a
+//! linear-phase FIR keeps the LBP bit pattern's timing consistent across
+//! electrodes (IIR phase distortion would skew the symbol streams).
+
+use crate::error::{invalid, Result};
+
+use super::window::WindowKind;
+
+/// A finite-impulse-response filter given by its taps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirFilter {
+    taps: Vec<f32>,
+}
+
+impl FirFilter {
+    /// Creates a filter from explicit taps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::IeegError::InvalidParameter`] if `taps` is empty.
+    pub fn new(taps: Vec<f32>) -> Result<Self> {
+        if taps.is_empty() {
+            return Err(invalid("taps", "FIR filter needs at least one tap"));
+        }
+        Ok(FirFilter { taps })
+    }
+
+    /// Windowed-sinc low-pass design with `num_taps` taps (odd counts give
+    /// exact linear phase) and the given window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::IeegError::InvalidParameter`] if the cutoff is not
+    /// in `(0, fs/2)` or `num_taps == 0`.
+    pub fn lowpass(fs: f64, cutoff: f64, num_taps: usize, window: WindowKind) -> Result<Self> {
+        if num_taps == 0 {
+            return Err(invalid("num_taps", "must be nonzero"));
+        }
+        if !(cutoff > 0.0 && cutoff < fs / 2.0) {
+            return Err(invalid(
+                "cutoff",
+                format!("{cutoff} Hz outside (0, {})", fs / 2.0),
+            ));
+        }
+        let fc = cutoff / fs; // normalized (cycles/sample)
+        let mid = (num_taps - 1) as f64 / 2.0;
+        let win = window.coefficients_symmetric(num_taps);
+        let mut taps: Vec<f32> = (0..num_taps)
+            .map(|i| {
+                let x = i as f64 - mid;
+                let sinc = if x.abs() < 1e-12 {
+                    2.0 * fc
+                } else {
+                    (2.0 * std::f64::consts::PI * fc * x).sin()
+                        / (std::f64::consts::PI * x)
+                };
+                (sinc * win[i] as f64) as f32
+            })
+            .collect();
+        // Normalize to unity DC gain.
+        let sum: f64 = taps.iter().map(|&t| t as f64).sum();
+        if sum.abs() > 1e-12 {
+            for t in taps.iter_mut() {
+                *t = (*t as f64 / sum) as f32;
+            }
+        }
+        Ok(FirFilter { taps })
+    }
+
+    /// The filter taps.
+    pub fn taps(&self) -> &[f32] {
+        &self.taps
+    }
+
+    /// Group delay in samples (`(len − 1) / 2` for linear phase).
+    pub fn group_delay(&self) -> f64 {
+        (self.taps.len() - 1) as f64 / 2.0
+    }
+
+    /// Convolves the signal with the taps ("same" mode: output length
+    /// equals input length, signal zero-padded at the edges).
+    pub fn filter(&self, signal: &[f32]) -> Vec<f32> {
+        let n = signal.len();
+        let k = self.taps.len();
+        let half = k / 2;
+        let mut out = vec![0.0f32; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0f64;
+            for (j, &t) in self.taps.iter().enumerate() {
+                // y[i] = Σ_j h[j] · x[i + half − j]
+                let idx = i as isize + half as isize - j as isize;
+                if idx >= 0 && (idx as usize) < n {
+                    acc += t as f64 * signal[idx as usize] as f64;
+                }
+            }
+            *o = acc as f32;
+        }
+        out
+    }
+
+    /// Magnitude response at frequency `f` Hz for sample rate `fs`.
+    pub fn magnitude_at(&self, fs: f64, f: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * f / fs;
+        let (mut re, mut im) = (0.0f64, 0.0f64);
+        for (i, &t) in self.taps.iter().enumerate() {
+            re += t as f64 * (w * i as f64).cos();
+            im -= t as f64 * (w * i as f64).sin();
+        }
+        (re * re + im * im).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(fs: f64, f: f64, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * f * t as f64 / fs).sin() as f32)
+            .collect()
+    }
+
+    fn rms(signal: &[f32]) -> f64 {
+        (signal.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / signal.len() as f64)
+            .sqrt()
+    }
+
+    #[test]
+    fn lowpass_passes_low_rejects_high() {
+        let fs = 1024.0;
+        let f = FirFilter::lowpass(fs, 100.0, 101, WindowKind::Hann).unwrap();
+        let low = f.filter(&tone(fs, 20.0, 4096));
+        let high = f.filter(&tone(fs, 400.0, 4096));
+        assert!(rms(&low[200..3800]) > 0.65);
+        assert!(rms(&high[200..3800]) < 0.01);
+    }
+
+    #[test]
+    fn unity_dc_gain() {
+        let f = FirFilter::lowpass(512.0, 100.0, 63, WindowKind::Hamming).unwrap();
+        let sum: f64 = f.taps().iter().map(|&t| t as f64).sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!((f.magnitude_at(512.0, 0.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn taps_are_symmetric_linear_phase() {
+        let f = FirFilter::lowpass(512.0, 60.0, 51, WindowKind::Hann).unwrap();
+        let t = f.taps();
+        for i in 0..t.len() {
+            assert!((t[i] - t[t.len() - 1 - i]).abs() < 1e-6);
+        }
+        assert_eq!(f.group_delay(), 25.0);
+    }
+
+    #[test]
+    fn impulse_response_recovers_taps() {
+        let f = FirFilter::new(vec![0.25, 0.5, 0.25]).unwrap();
+        let mut impulse = vec![0.0f32; 9];
+        impulse[4] = 1.0;
+        let out = f.filter(&impulse);
+        assert!((out[3] - 0.25).abs() < 1e-7);
+        assert!((out[4] - 0.5).abs() < 1e-7);
+        assert!((out[5] - 0.25).abs() < 1e-7);
+    }
+
+    #[test]
+    fn design_validation() {
+        assert!(FirFilter::new(vec![]).is_err());
+        assert!(FirFilter::lowpass(512.0, 0.0, 31, WindowKind::Hann).is_err());
+        assert!(FirFilter::lowpass(512.0, 300.0, 31, WindowKind::Hann).is_err());
+        assert!(FirFilter::lowpass(512.0, 60.0, 0, WindowKind::Hann).is_err());
+    }
+}

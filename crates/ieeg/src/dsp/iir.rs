@@ -1,0 +1,387 @@
+//! IIR biquad filters and Butterworth designs.
+//!
+//! Preprocessing in the paper ("after filtering and downsampling the raw
+//! iEEG signals") is reproduced with standard second-order-section
+//! Butterworth filters: a band-pass (0.5–150 Hz by default) followed by
+//! decimation to 512 Hz.
+//!
+//! Designs follow the RBJ audio-EQ cookbook bilinear-transform formulas;
+//! higher orders are realized as cascades of biquads with Butterworth pole
+//! Q values.
+
+use crate::error::{invalid, Result};
+
+/// A single second-order section (biquad) in direct form II transposed.
+#[derive(Debug, Clone)]
+pub struct Biquad {
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    a1: f64,
+    a2: f64,
+    z1: f64,
+    z2: f64,
+}
+
+impl Biquad {
+    /// Creates a biquad from normalized coefficients (`a0 = 1`).
+    pub fn new(b0: f64, b1: f64, b2: f64, a1: f64, a2: f64) -> Self {
+        Biquad {
+            b0,
+            b1,
+            b2,
+            a1,
+            a2,
+            z1: 0.0,
+            z2: 0.0,
+        }
+    }
+
+    /// RBJ cookbook low-pass design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::IeegError::InvalidParameter`] if the cutoff is not
+    /// in `(0, fs/2)` or `q <= 0`.
+    pub fn lowpass(fs: f64, cutoff: f64, q: f64) -> Result<Self> {
+        check_freq(fs, cutoff)?;
+        check_q(q)?;
+        let w0 = 2.0 * std::f64::consts::PI * cutoff / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cosw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Ok(Biquad::new(
+            (1.0 - cosw) / 2.0 / a0,
+            (1.0 - cosw) / a0,
+            (1.0 - cosw) / 2.0 / a0,
+            -2.0 * cosw / a0,
+            (1.0 - alpha) / a0,
+        ))
+    }
+
+    /// RBJ cookbook high-pass design.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Biquad::lowpass`].
+    pub fn highpass(fs: f64, cutoff: f64, q: f64) -> Result<Self> {
+        check_freq(fs, cutoff)?;
+        check_q(q)?;
+        let w0 = 2.0 * std::f64::consts::PI * cutoff / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cosw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Ok(Biquad::new(
+            (1.0 + cosw) / 2.0 / a0,
+            -(1.0 + cosw) / a0,
+            (1.0 + cosw) / 2.0 / a0,
+            -2.0 * cosw / a0,
+            (1.0 - alpha) / a0,
+        ))
+    }
+
+    /// RBJ cookbook notch design (e.g. 50 Hz mains rejection).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Biquad::lowpass`].
+    pub fn notch(fs: f64, center: f64, q: f64) -> Result<Self> {
+        check_freq(fs, center)?;
+        check_q(q)?;
+        let w0 = 2.0 * std::f64::consts::PI * center / fs;
+        let alpha = w0.sin() / (2.0 * q);
+        let cosw = w0.cos();
+        let a0 = 1.0 + alpha;
+        Ok(Biquad::new(
+            1.0 / a0,
+            -2.0 * cosw / a0,
+            1.0 / a0,
+            -2.0 * cosw / a0,
+            (1.0 - alpha) / a0,
+        ))
+    }
+
+    /// Processes one sample (direct form II transposed).
+    #[inline]
+    pub fn process(&mut self, x: f64) -> f64 {
+        let y = self.b0 * x + self.z1;
+        self.z1 = self.b1 * x - self.a1 * y + self.z2;
+        self.z2 = self.b2 * x - self.a2 * y;
+        y
+    }
+
+    /// Clears the delay line.
+    pub fn reset(&mut self) {
+        self.z1 = 0.0;
+        self.z2 = 0.0;
+    }
+
+    /// Magnitude response at frequency `f` (Hz) for sample rate `fs`.
+    pub fn magnitude_at(&self, fs: f64, f: f64) -> f64 {
+        let w = 2.0 * std::f64::consts::PI * f / fs;
+        let (c1, s1) = (w.cos(), w.sin());
+        let (c2, s2) = ((2.0 * w).cos(), (2.0 * w).sin());
+        let num_re = self.b0 + self.b1 * c1 + self.b2 * c2;
+        let num_im = -(self.b1 * s1 + self.b2 * s2);
+        let den_re = 1.0 + self.a1 * c1 + self.a2 * c2;
+        let den_im = -(self.a1 * s1 + self.a2 * s2);
+        ((num_re * num_re + num_im * num_im) / (den_re * den_re + den_im * den_im))
+            .sqrt()
+    }
+}
+
+fn check_freq(fs: f64, f: f64) -> Result<()> {
+    if !(fs > 0.0) {
+        return Err(invalid("fs", "sample rate must be positive"));
+    }
+    if !(f > 0.0 && f < fs / 2.0) {
+        return Err(invalid(
+            "cutoff",
+            format!("{f} Hz outside (0, {}) at fs = {fs}", fs / 2.0),
+        ));
+    }
+    Ok(())
+}
+
+fn check_q(q: f64) -> Result<()> {
+    if !(q > 0.0) {
+        return Err(invalid("q", "quality factor must be positive"));
+    }
+    Ok(())
+}
+
+/// A cascade of biquads forming a higher-order filter.
+#[derive(Debug, Clone)]
+pub struct SosCascade {
+    sections: Vec<Biquad>,
+}
+
+impl SosCascade {
+    /// Butterworth low-pass of even order `order`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::IeegError::InvalidParameter`] for an odd/zero order
+    /// or an out-of-range cutoff.
+    pub fn butterworth_lowpass(fs: f64, cutoff: f64, order: usize) -> Result<Self> {
+        let qs = butterworth_qs(order)?;
+        let sections = qs
+            .into_iter()
+            .map(|q| Biquad::lowpass(fs, cutoff, q))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SosCascade { sections })
+    }
+
+    /// Butterworth high-pass of even order `order`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SosCascade::butterworth_lowpass`].
+    pub fn butterworth_highpass(fs: f64, cutoff: f64, order: usize) -> Result<Self> {
+        let qs = butterworth_qs(order)?;
+        let sections = qs
+            .into_iter()
+            .map(|q| Biquad::highpass(fs, cutoff, q))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SosCascade { sections })
+    }
+
+    /// Butterworth band-pass realized as high-pass(`low`) ∘ low-pass(`high`),
+    /// each of order `order`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::IeegError::InvalidParameter`] if `low >= high` or
+    /// either edge is out of range.
+    pub fn butterworth_bandpass(
+        fs: f64,
+        low: f64,
+        high: f64,
+        order: usize,
+    ) -> Result<Self> {
+        if low >= high {
+            return Err(invalid(
+                "band",
+                format!("low edge {low} must be below high edge {high}"),
+            ));
+        }
+        let hp = Self::butterworth_highpass(fs, low, order)?;
+        let lp = Self::butterworth_lowpass(fs, high, order)?;
+        let mut sections = hp.sections;
+        sections.extend(lp.sections);
+        Ok(SosCascade { sections })
+    }
+
+    /// Number of biquad sections.
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// Whether the cascade has no sections.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Processes one sample through the whole cascade.
+    #[inline]
+    pub fn process(&mut self, x: f64) -> f64 {
+        self.sections.iter_mut().fold(x, |acc, s| s.process(acc))
+    }
+
+    /// Filters a whole signal, resetting state first.
+    pub fn filter(&mut self, signal: &[f32]) -> Vec<f32> {
+        self.reset();
+        signal
+            .iter()
+            .map(|&x| self.process(x as f64) as f32)
+            .collect()
+    }
+
+    /// Clears all delay lines.
+    pub fn reset(&mut self) {
+        for s in &mut self.sections {
+            s.reset();
+        }
+    }
+
+    /// Magnitude response at `f` Hz.
+    pub fn magnitude_at(&self, fs: f64, f: f64) -> f64 {
+        self.sections
+            .iter()
+            .map(|s| s.magnitude_at(fs, f))
+            .product()
+    }
+}
+
+/// Butterworth pole Q values for an even-order cascade.
+fn butterworth_qs(order: usize) -> Result<Vec<f64>> {
+    if order == 0 || order % 2 != 0 {
+        return Err(invalid(
+            "order",
+            format!("only even nonzero orders supported, got {order}"),
+        ));
+    }
+    let n = order as f64;
+    Ok((0..order / 2)
+        .map(|k| {
+            // Pole-pair angle from the negative real axis; Q = 1/(2 cos θ).
+            let theta = std::f64::consts::PI * (2.0 * k as f64 + 1.0) / (2.0 * n);
+            1.0 / (2.0 * theta.cos())
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(fs: f64, f: f64, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * f * t as f64 / fs).sin() as f32)
+            .collect()
+    }
+
+    fn rms(signal: &[f32]) -> f64 {
+        (signal.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / signal.len() as f64)
+            .sqrt()
+    }
+
+    #[test]
+    fn lowpass_attenuates_high_frequencies() {
+        let fs = 1024.0;
+        let mut f = SosCascade::butterworth_lowpass(fs, 100.0, 4).unwrap();
+        let low = f.filter(&tone(fs, 20.0, 4096));
+        let high = f.filter(&tone(fs, 400.0, 4096));
+        // Skip the transient.
+        assert!(rms(&low[1024..]) > 0.65);
+        assert!(rms(&high[1024..]) < 0.02);
+    }
+
+    #[test]
+    fn highpass_attenuates_low_frequencies() {
+        let fs = 1024.0;
+        let mut f = SosCascade::butterworth_highpass(fs, 100.0, 4).unwrap();
+        let low = f.filter(&tone(fs, 5.0, 4096));
+        let high = f.filter(&tone(fs, 300.0, 4096));
+        assert!(rms(&low[1024..]) < 0.02);
+        assert!(rms(&high[1024..]) > 0.65);
+    }
+
+    #[test]
+    fn bandpass_passes_band_rejects_edges() {
+        let fs = 1024.0;
+        let mut f = SosCascade::butterworth_bandpass(fs, 1.0, 150.0, 4).unwrap();
+        let inband = f.filter(&tone(fs, 40.0, 8192));
+        let below = f.filter(&tone(fs, 0.1, 8192));
+        let above = f.filter(&tone(fs, 450.0, 8192));
+        assert!(rms(&inband[2048..]) > 0.6);
+        assert!(rms(&below[2048..]) < 0.05);
+        assert!(rms(&above[2048..]) < 0.05);
+    }
+
+    #[test]
+    fn butterworth_cutoff_is_minus_3db() {
+        let fs = 1024.0;
+        let f = SosCascade::butterworth_lowpass(fs, 128.0, 4).unwrap();
+        let mag = f.magnitude_at(fs, 128.0);
+        let db = 20.0 * mag.log10();
+        assert!((db + 3.01).abs() < 0.3, "cutoff gain {db} dB");
+        // Passband is flat (maximally flat property).
+        assert!((f.magnitude_at(fs, 1.0) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn notch_kills_center_frequency() {
+        let fs = 512.0;
+        let mut sections = Biquad::notch(fs, 50.0, 30.0).unwrap();
+        let hum = tone(fs, 50.0, 8192);
+        let out: Vec<f32> = {
+            sections.reset();
+            hum.iter().map(|&x| sections.process(x as f64) as f32).collect()
+        };
+        assert!(rms(&out[4096..]) < 0.05);
+        assert!(sections.magnitude_at(fs, 10.0) > 0.95);
+    }
+
+    #[test]
+    fn design_validation() {
+        assert!(Biquad::lowpass(512.0, 0.0, 0.707).is_err());
+        assert!(Biquad::lowpass(512.0, 300.0, 0.707).is_err());
+        assert!(Biquad::lowpass(512.0, 100.0, 0.0).is_err());
+        assert!(SosCascade::butterworth_lowpass(512.0, 100.0, 3).is_err());
+        assert!(SosCascade::butterworth_lowpass(512.0, 100.0, 0).is_err());
+        assert!(SosCascade::butterworth_bandpass(512.0, 100.0, 50.0, 4).is_err());
+    }
+
+    #[test]
+    fn butterworth_q_values() {
+        // Order 4: Q = 0.5412, 1.3066 (textbook values).
+        let qs = butterworth_qs(4).unwrap();
+        assert!((qs[0] - 0.5412).abs() < 1e-3);
+        assert!((qs[1] - 1.3066).abs() < 1e-3);
+        // Order 2: Q = 1/√2.
+        let q2 = butterworth_qs(2).unwrap();
+        assert!((q2[0] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn filter_resets_between_calls() {
+        let fs = 512.0;
+        let mut f = SosCascade::butterworth_lowpass(fs, 50.0, 2).unwrap();
+        let sig = tone(fs, 10.0, 1000);
+        let a = f.filter(&sig);
+        let b = f.filter(&sig);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stability_on_noise() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let noise: Vec<f32> = (0..50_000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut f = SosCascade::butterworth_bandpass(512.0, 0.5, 150.0, 4).unwrap();
+        let out = f.filter(&noise);
+        assert!(out.iter().all(|x| x.is_finite()));
+        assert!(rms(&out) < 2.0, "filter must not blow up");
+    }
+}

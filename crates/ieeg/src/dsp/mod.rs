@@ -1,0 +1,145 @@
+//! Digital signal processing substrate.
+//!
+//! Everything the Laelaps preprocessing chain and the baseline feature
+//! extractors need, implemented in-repo: FFT ([`fft`]), tapering windows
+//! ([`window`]), IIR Butterworth filters ([`iir`]), linear-phase FIR
+//! filters ([`fir`]), anti-aliased decimation ([`decimate`]), and the STFT
+//! ([`stft`]).
+
+pub mod decimate;
+pub mod fft;
+pub mod fir;
+pub mod iir;
+pub mod stft;
+pub mod window;
+
+pub use decimate::Decimator;
+pub use fft::{fft_real, power_spectrum, Complex};
+pub use fir::FirFilter;
+pub use iir::{Biquad, SosCascade};
+pub use stft::{stft, Spectrogram, StftConfig};
+pub use window::WindowKind;
+
+use crate::error::Result;
+use crate::signal::Recording;
+
+/// The paper's preprocessing chain: band-pass filter then decimate to
+/// 512 Hz.
+#[derive(Debug, Clone)]
+pub struct Preprocessor {
+    band_low: f64,
+    band_high: f64,
+    order: usize,
+    target_rate: u32,
+}
+
+impl Preprocessor {
+    /// Standard configuration: 0.5–150 Hz band-pass, order 4, target
+    /// 512 Hz.
+    pub fn paper_default() -> Self {
+        Preprocessor {
+            band_low: 0.5,
+            band_high: 150.0,
+            order: 4,
+            target_rate: 512,
+        }
+    }
+
+    /// Overrides the target sample rate.
+    #[must_use]
+    pub fn with_target_rate(mut self, hz: u32) -> Self {
+        self.target_rate = hz;
+        self
+    }
+
+    /// Target sample rate after preprocessing.
+    pub fn target_rate(&self) -> u32 {
+        self.target_rate
+    }
+
+    /// Filters and downsamples a raw recording. If the recording is already
+    /// at the target rate, only the band-pass is applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::IeegError::InvalidParameter`] if the input rate is
+    /// not an integer multiple of the target rate or the band is invalid
+    /// for the input rate.
+    pub fn preprocess(&self, raw: &Recording) -> Result<Recording> {
+        let fs = raw.sample_rate() as f64;
+        let mut filter =
+            SosCascade::butterworth_bandpass(fs, self.band_low, self.band_high, self.order)?;
+        let filtered: Vec<Vec<f32>> = raw
+            .channels()
+            .iter()
+            .map(|ch| filter.filter(ch))
+            .collect();
+        let mut rec = Recording::from_channels(raw.sample_rate(), filtered)?;
+        for a in raw.annotations() {
+            rec.annotate(*a)?;
+        }
+        if raw.sample_rate() == self.target_rate {
+            return Ok(rec);
+        }
+        if raw.sample_rate() % self.target_rate != 0 {
+            return Err(crate::error::invalid(
+                "sample_rate",
+                format!(
+                    "input rate {} is not an integer multiple of target {}",
+                    raw.sample_rate(),
+                    self.target_rate
+                ),
+            ));
+        }
+        let factor = (raw.sample_rate() / self.target_rate) as usize;
+        Decimator::new(fs, factor)?.decimate_recording(&rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotations::SeizureAnnotation;
+
+    #[test]
+    fn preprocess_halves_rate_and_keeps_annotations() {
+        let fs = 1024u32;
+        let sig: Vec<f32> = (0..fs as usize * 10)
+            .map(|t| (t as f32 * 0.05).sin())
+            .collect();
+        let mut raw = Recording::from_channels(fs, vec![sig; 3]).unwrap();
+        raw.annotate(SeizureAnnotation::new(1024 * 2, 1024 * 4)).unwrap();
+        let pre = Preprocessor::paper_default().preprocess(&raw).unwrap();
+        assert_eq!(pre.sample_rate(), 512);
+        assert_eq!(pre.electrodes(), 3);
+        assert_eq!(pre.len_samples(), 512 * 10);
+        assert_eq!(pre.annotations()[0].onset_sample, 512 * 2);
+    }
+
+    #[test]
+    fn preprocess_noop_rate_keeps_length() {
+        let raw =
+            Recording::from_channels(512, vec![vec![0.5f32; 512 * 4]; 2]).unwrap();
+        let pre = Preprocessor::paper_default().preprocess(&raw).unwrap();
+        assert_eq!(pre.sample_rate(), 512);
+        assert_eq!(pre.len_samples(), 512 * 4);
+    }
+
+    #[test]
+    fn preprocess_rejects_non_integer_ratio() {
+        let raw = Recording::from_channels(1000, vec![vec![0.0f32; 4000]]).unwrap();
+        assert!(Preprocessor::paper_default().preprocess(&raw).is_err());
+    }
+
+    #[test]
+    fn preprocess_removes_dc() {
+        let fs = 1024u32;
+        let sig = vec![5.0f32; fs as usize * 8];
+        let raw = Recording::from_channels(fs, vec![sig]).unwrap();
+        let pre = Preprocessor::paper_default().preprocess(&raw).unwrap();
+        let tail = &pre.channel(0)[512 * 4..];
+        let mean: f64 =
+            tail.iter().map(|&x| x as f64).sum::<f64>() / tail.len() as f64;
+        assert!(mean.abs() < 0.05, "DC residue {mean}");
+    }
+}

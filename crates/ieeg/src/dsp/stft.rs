@@ -1,0 +1,209 @@
+//! Short-time Fourier transform.
+//!
+//! Feature front end of the STFT+CNN baseline (Truong et al., reproduced in
+//! `laelaps-baselines`): each 1 s analysis window is split into overlapping
+//! segments, windowed, FFT'd, and reduced to a log-power spectrogram.
+
+use crate::error::{invalid, Result};
+
+use super::fft::fft_real;
+use super::window::WindowKind;
+
+/// STFT configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StftConfig {
+    /// FFT segment length (power of two).
+    pub segment_len: usize,
+    /// Hop between segments.
+    pub hop: usize,
+    /// Tapering window.
+    pub window: WindowKind,
+    /// Whether to take `log10(1 + p)` of the power values.
+    pub log_power: bool,
+}
+
+impl Default for StftConfig {
+    fn default() -> Self {
+        StftConfig {
+            segment_len: 128,
+            hop: 64,
+            window: WindowKind::Hann,
+            log_power: true,
+        }
+    }
+}
+
+/// A time × frequency power matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrogram {
+    /// `frames[t][k]`: power of frequency bin `k` in segment `t`.
+    pub frames: Vec<Vec<f32>>,
+    /// Number of frequency bins per frame (`segment_len / 2 + 1`).
+    pub bins: usize,
+}
+
+impl Spectrogram {
+    /// Number of time frames.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Flattens to a single feature vector (time-major).
+    pub fn flatten(&self) -> Vec<f32> {
+        self.frames.iter().flatten().copied().collect()
+    }
+
+    /// Total spectral energy (diagnostics).
+    pub fn total_energy(&self) -> f64 {
+        self.frames
+            .iter()
+            .flatten()
+            .map(|&p| p as f64)
+            .sum()
+    }
+}
+
+/// Computes the spectrogram of one channel.
+///
+/// # Errors
+///
+/// Returns [`crate::IeegError::InvalidParameter`] if the configuration is
+/// inconsistent (non-power-of-two segment, zero hop, or a signal shorter
+/// than one segment).
+pub fn stft(signal: &[f32], config: &StftConfig) -> Result<Spectrogram> {
+    if !config.segment_len.is_power_of_two() || config.segment_len == 0 {
+        return Err(invalid(
+            "segment_len",
+            format!("{} is not a power of two", config.segment_len),
+        ));
+    }
+    if config.hop == 0 {
+        return Err(invalid("hop", "hop must be nonzero"));
+    }
+    if signal.len() < config.segment_len {
+        return Err(invalid(
+            "signal",
+            format!(
+                "{} samples shorter than one segment of {}",
+                signal.len(),
+                config.segment_len
+            ),
+        ));
+    }
+    let win = config.window.coefficients(config.segment_len);
+    let bins = config.segment_len / 2 + 1;
+    let mut frames = Vec::new();
+    let mut start = 0usize;
+    let mut buf = vec![0.0f32; config.segment_len];
+    while start + config.segment_len <= signal.len() {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = signal[start + i] * win[i];
+        }
+        let spec = fft_real(&buf)?;
+        let frame: Vec<f32> = spec[..bins]
+            .iter()
+            .map(|c| {
+                let p = (c.norm_sq() / config.segment_len as f64) as f32;
+                if config.log_power {
+                    (1.0 + p).log10()
+                } else {
+                    p
+                }
+            })
+            .collect();
+        frames.push(frame);
+        start += config.hop;
+    }
+    Ok(Spectrogram { frames, bins })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(fs: f64, f: f64, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|t| (2.0 * std::f64::consts::PI * f * t as f64 / fs).sin() as f32)
+            .collect()
+    }
+
+    #[test]
+    fn frame_count_and_bins() {
+        let config = StftConfig::default();
+        let s = stft(&vec![0.0f32; 512], &config).unwrap();
+        // (512 - 128) / 64 + 1 = 7 frames.
+        assert_eq!(s.num_frames(), 7);
+        assert_eq!(s.bins, 65);
+        assert_eq!(s.flatten().len(), 7 * 65);
+    }
+
+    #[test]
+    fn tone_energy_lands_in_right_bin() {
+        let fs = 512.0;
+        let config = StftConfig {
+            log_power: false,
+            ..StftConfig::default()
+        };
+        // 64 Hz at fs=512 with 128-point FFT → bin 16.
+        let s = stft(&tone(fs, 64.0, 512), &config).unwrap();
+        for frame in &s.frames {
+            let peak = frame
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(peak, 16);
+        }
+    }
+
+    #[test]
+    fn log_power_compresses_range() {
+        let fs = 512.0;
+        let lin = stft(
+            &tone(fs, 64.0, 512),
+            &StftConfig {
+                log_power: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let log = stft(&tone(fs, 64.0, 512), &StftConfig::default()).unwrap();
+        assert!(log.total_energy() < lin.total_energy());
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let sig = vec![0.0f32; 512];
+        assert!(stft(
+            &sig,
+            &StftConfig {
+                segment_len: 100,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(stft(
+            &sig,
+            &StftConfig {
+                hop: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(stft(&vec![0.0f32; 64], &StftConfig::default()).is_err());
+    }
+
+    #[test]
+    fn silence_has_zero_energy() {
+        let s = stft(
+            &vec![0.0f32; 256],
+            &StftConfig {
+                log_power: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(s.total_energy(), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Tapering windows for spectral analysis.
+
+/// Window function families used by the STFT front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WindowKind {
+    /// No tapering.
+    Rectangular,
+    /// Hann (raised cosine) — the STFT default.
+    #[default]
+    Hann,
+    /// Hamming.
+    Hamming,
+    /// Blackman.
+    Blackman,
+}
+
+impl WindowKind {
+    /// Evaluates the window of length `n` (periodic form, suitable for
+    /// STFT analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn coefficients(self, n: usize) -> Vec<f32> {
+        assert!(n > 0, "window length must be nonzero");
+        let denom = n as f64; // periodic window
+        (0..n)
+            .map(|i| {
+                let x = 2.0 * std::f64::consts::PI * i as f64 / denom;
+                let w = match self {
+                    WindowKind::Rectangular => 1.0,
+                    WindowKind::Hann => 0.5 - 0.5 * x.cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * x.cos(),
+                    WindowKind::Blackman => {
+                        0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos()
+                    }
+                };
+                w as f32
+            })
+            .collect()
+    }
+
+    /// Evaluates the *symmetric* window of length `n` (denominator
+    /// `n − 1`), the form used for linear-phase FIR design where the taps
+    /// must be exactly symmetric about the center.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn coefficients_symmetric(self, n: usize) -> Vec<f32> {
+        assert!(n > 0, "window length must be nonzero");
+        if n == 1 {
+            return vec![1.0];
+        }
+        let denom = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = 2.0 * std::f64::consts::PI * i as f64 / denom;
+                let w = match self {
+                    WindowKind::Rectangular => 1.0,
+                    WindowKind::Hann => 0.5 - 0.5 * x.cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * x.cos(),
+                    WindowKind::Blackman => {
+                        0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos()
+                    }
+                };
+                w as f32
+            })
+            .collect()
+    }
+
+    /// Sum of squared coefficients (for power normalization).
+    pub fn energy(self, n: usize) -> f64 {
+        self.coefficients(n)
+            .iter()
+            .map(|&w| (w as f64).powi(2))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        let w = WindowKind::Rectangular.coefficients(16);
+        assert!(w.iter().all(|&x| x == 1.0));
+        assert_eq!(WindowKind::Rectangular.energy(16), 16.0);
+    }
+
+    #[test]
+    fn hann_starts_at_zero_and_peaks_in_middle() {
+        let w = WindowKind::Hann.coefficients(64);
+        assert!(w[0].abs() < 1e-7);
+        assert!((w[32] - 1.0).abs() < 1e-6);
+        // Symmetric around the center (periodic form: w[i] == w[n-i]).
+        for i in 1..64 {
+            assert!((w[i] - w[64 - i]).abs() < 1e-6, "i = {i}");
+        }
+    }
+
+    #[test]
+    fn hamming_has_nonzero_ends() {
+        let w = WindowKind::Hamming.coefficients(32);
+        assert!((w[0] - 0.08).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blackman_tapers_harder_than_hann() {
+        let b = WindowKind::Blackman.energy(128);
+        let h = WindowKind::Hann.energy(128);
+        assert!(b < h);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length")]
+    fn zero_length_panics() {
+        let _ = WindowKind::Hann.coefficients(0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Sidecar persistence for seizure annotations.
+//!
+//! Plain EDF (unlike EDF+) has no annotation channel, so ground-truth
+//! seizure markings travel in a small tab-separated sidecar file:
+//!
+//! ```text
+//! # laelaps seizure annotations v1
+//! # onset_sample<TAB>end_sample
+//! 1536000     1551360
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::annotations::SeizureAnnotation;
+use crate::error::{IeegError, Result};
+
+const MAGIC: &str = "# laelaps seizure annotations v1";
+
+/// Writes annotations in the sidecar format.
+///
+/// # Errors
+///
+/// Returns [`IeegError::Io`] on write failure.
+pub fn write_annotations<W: Write>(
+    annotations: &[SeizureAnnotation],
+    mut w: W,
+) -> Result<()> {
+    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "# onset_sample\tend_sample")?;
+    for a in annotations {
+        writeln!(w, "{}\t{}", a.onset_sample, a.end_sample)?;
+    }
+    Ok(())
+}
+
+/// Reads annotations from the sidecar format.
+///
+/// # Errors
+///
+/// Returns [`IeegError::EdfFormat`] on a malformed file or
+/// [`IeegError::Io`] on read failure.
+pub fn read_annotations<R: Read>(r: R) -> Result<Vec<SeizureAnnotation>> {
+    let mut lines = BufReader::new(r).lines();
+    let first = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| IeegError::EdfFormat {
+            detail: "empty annotation sidecar".into(),
+        })?;
+    if first.trim() != MAGIC {
+        return Err(IeegError::EdfFormat {
+            detail: format!("bad sidecar magic: {first:?}"),
+        });
+    }
+    let mut out = Vec::new();
+    for line in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let onset: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| IeegError::EdfFormat {
+                detail: format!("bad annotation line: {line:?}"),
+            })?;
+        let end: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| IeegError::EdfFormat {
+                detail: format!("bad annotation line: {line:?}"),
+            })?;
+        if end <= onset {
+            return Err(IeegError::EdfFormat {
+                detail: format!("annotation end {end} <= onset {onset}"),
+            });
+        }
+        out.push(SeizureAnnotation::new(onset, end));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let anns = vec![
+            SeizureAnnotation::new(1000, 2000),
+            SeizureAnnotation::new(50_000, 65_000),
+        ];
+        let mut buf = Vec::new();
+        write_annotations(&anns, &mut buf).unwrap();
+        let back = read_annotations(buf.as_slice()).unwrap();
+        assert_eq!(back, anns);
+    }
+
+    #[test]
+    fn empty_list_roundtrips() {
+        let mut buf = Vec::new();
+        write_annotations(&[], &mut buf).unwrap();
+        assert!(read_annotations(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_lines() {
+        assert!(read_annotations("nope\n".as_bytes()).is_err());
+        assert!(read_annotations("".as_bytes()).is_err());
+        let bad = format!("{MAGIC}\nabc def\n");
+        assert!(read_annotations(bad.as_bytes()).is_err());
+        let inverted = format!("{MAGIC}\n100 50\n");
+        assert!(read_annotations(inverted.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = format!("{MAGIC}\n# c\n\n10 20\n");
+        let anns = read_annotations(text.as_bytes()).unwrap();
+        assert_eq!(anns.len(), 1);
+    }
+}

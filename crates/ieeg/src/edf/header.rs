@@ -1,0 +1,166 @@
+//! EDF (European Data Format) header model.
+//!
+//! EDF is the de-facto interchange format for EEG recordings. A file is a
+//! 256-byte fixed header, followed by 256 bytes of per-signal header fields
+//! (stored field-major), followed by the data records: 16-bit little-endian
+//! samples, linearly mapped between each signal's physical and digital
+//! ranges.
+
+/// Fixed-size EDF header fields (one per file).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdfHeader {
+    /// Local patient identification (80 bytes in the file).
+    pub patient_id: String,
+    /// Local recording identification (80 bytes).
+    pub recording_id: String,
+    /// Start date, `dd.mm.yy`.
+    pub start_date: String,
+    /// Start time, `hh.mm.ss`.
+    pub start_time: String,
+    /// Number of data records (−1 allowed by the spec for "unknown", not
+    /// produced by this writer).
+    pub num_records: i64,
+    /// Duration of one data record in seconds.
+    pub record_duration_secs: f64,
+    /// Per-signal headers.
+    pub signals: Vec<SignalHeader>,
+}
+
+impl EdfHeader {
+    /// Total header size in bytes: 256 + 256 per signal.
+    pub fn header_bytes(&self) -> usize {
+        256 + 256 * self.signals.len()
+    }
+
+    /// Bytes per data record (2 bytes per sample, all signals).
+    pub fn record_bytes(&self) -> usize {
+        self.signals
+            .iter()
+            .map(|s| s.samples_per_record * 2)
+            .sum()
+    }
+}
+
+/// Per-signal EDF header fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalHeader {
+    /// Signal label, e.g. `iEEG 007`.
+    pub label: String,
+    /// Transducer type (free text).
+    pub transducer: String,
+    /// Physical dimension, e.g. `uV`.
+    pub physical_dimension: String,
+    /// Physical minimum (value of digital minimum).
+    pub physical_min: f64,
+    /// Physical maximum (value of digital maximum).
+    pub physical_max: f64,
+    /// Digital minimum (≥ −32768).
+    pub digital_min: i32,
+    /// Digital maximum (≤ 32767).
+    pub digital_max: i32,
+    /// Prefiltering description (free text).
+    pub prefiltering: String,
+    /// Samples of this signal per data record.
+    pub samples_per_record: usize,
+}
+
+impl SignalHeader {
+    /// Gain from digital to physical units.
+    pub fn gain(&self) -> f64 {
+        (self.physical_max - self.physical_min)
+            / (self.digital_max - self.digital_min) as f64
+    }
+
+    /// Converts one digital sample to physical units.
+    pub fn to_physical(&self, digital: i32) -> f64 {
+        self.physical_min + self.gain() * (digital - self.digital_min) as f64
+    }
+
+    /// Converts one physical value to the nearest digital sample, clamped
+    /// to the digital range.
+    pub fn to_digital(&self, physical: f64) -> i32 {
+        let g = self.gain();
+        if g == 0.0 {
+            return self.digital_min;
+        }
+        let raw = ((physical - self.physical_min) / g).round() as i64
+            + self.digital_min as i64;
+        raw.clamp(self.digital_min as i64, self.digital_max as i64) as i32
+    }
+}
+
+/// Writes a string into a fixed-width ASCII field, space-padded, truncated
+/// if necessary; non-ASCII bytes are replaced with `?`.
+pub(crate) fn fixed_field(value: &str, width: usize) -> Vec<u8> {
+    let mut out: Vec<u8> = value
+        .bytes()
+        .map(|b| if b.is_ascii_graphic() || b == b' ' { b } else { b'?' })
+        .take(width)
+        .collect();
+    out.resize(width, b' ');
+    out
+}
+
+/// Parses a fixed-width ASCII field back into a trimmed string.
+pub(crate) fn parse_field(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).trim().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> SignalHeader {
+        SignalHeader {
+            label: "iEEG 1".into(),
+            transducer: "intracranial".into(),
+            physical_dimension: "uV".into(),
+            physical_min: -1000.0,
+            physical_max: 1000.0,
+            digital_min: -32768,
+            digital_max: 32767,
+            prefiltering: "BP 0.5-150Hz".into(),
+            samples_per_record: 512,
+        }
+    }
+
+    #[test]
+    fn digital_physical_roundtrip() {
+        let s = sig();
+        for v in [-1000.0, -250.5, 0.0, 123.4, 999.9] {
+            let d = s.to_digital(v);
+            let back = s.to_physical(d);
+            assert!((back - v).abs() < s.gain() * 0.51, "{v} -> {d} -> {back}");
+        }
+    }
+
+    #[test]
+    fn digital_clamps_out_of_range() {
+        let s = sig();
+        assert_eq!(s.to_digital(1e9), 32767);
+        assert_eq!(s.to_digital(-1e9), -32768);
+    }
+
+    #[test]
+    fn header_sizes() {
+        let h = EdfHeader {
+            patient_id: "X".into(),
+            recording_id: "Y".into(),
+            start_date: "01.01.20".into(),
+            start_time: "00.00.00".into(),
+            num_records: 10,
+            record_duration_secs: 1.0,
+            signals: vec![sig(), sig()],
+        };
+        assert_eq!(h.header_bytes(), 256 + 512);
+        assert_eq!(h.record_bytes(), 2 * 512 * 2);
+    }
+
+    #[test]
+    fn fixed_field_pads_and_truncates() {
+        assert_eq!(fixed_field("ab", 4), b"ab  ".to_vec());
+        assert_eq!(fixed_field("abcdef", 4), b"abcd".to_vec());
+        assert_eq!(fixed_field("a\u{e9}b", 4), b"a??b".to_vec());
+        assert_eq!(parse_field(b"  x y  "), "x y");
+    }
+}

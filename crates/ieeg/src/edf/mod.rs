@@ -1,0 +1,31 @@
+//! EDF (European Data Format) I/O.
+//!
+//! A minimal but standards-faithful reader/writer for plain EDF files
+//! (16-bit samples, field-major per-signal headers), plus a sidecar format
+//! for seizure annotations. This covers the "EEG file parsing" substrate a
+//! user of the released Laelaps dataset would need.
+//!
+//! # Examples
+//!
+//! ```
+//! use laelaps_ieeg::edf::{read_edf, write_edf};
+//! use laelaps_ieeg::signal::Recording;
+//!
+//! let rec = Recording::from_channels(512, vec![vec![0.5f32; 1024]; 8])?;
+//! let mut bytes = Vec::new();
+//! write_edf(&rec, "P01", &mut bytes)?;
+//! let (header, back) = read_edf(bytes.as_slice())?;
+//! assert_eq!(header.signals.len(), 8);
+//! assert_eq!(back.sample_rate(), 512);
+//! # Ok::<(), laelaps_ieeg::IeegError>(())
+//! ```
+
+pub mod annotations_sidecar;
+pub mod header;
+pub mod read;
+pub mod write;
+
+pub use annotations_sidecar::{read_annotations, write_annotations};
+pub use header::{EdfHeader, SignalHeader};
+pub use read::{read_edf, read_header};
+pub use write::write_edf;

@@ -1,0 +1,238 @@
+//! EDF reader.
+
+use std::io::Read;
+
+use crate::error::{IeegError, Result};
+use crate::signal::Recording;
+
+use super::header::{parse_field, EdfHeader, SignalHeader};
+
+fn format_err(detail: impl Into<String>) -> IeegError {
+    IeegError::EdfFormat {
+        detail: detail.into(),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(bytes: &[u8], what: &str) -> Result<T> {
+    parse_field(bytes)
+        .parse::<T>()
+        .map_err(|_| format_err(format!("cannot parse {what}: {:?}", parse_field(bytes))))
+}
+
+/// Parses the full EDF header (fixed part + per-signal fields).
+///
+/// # Errors
+///
+/// Returns [`IeegError::EdfFormat`] on any malformed field, or
+/// [`IeegError::Io`] on a read failure.
+pub fn read_header<R: Read>(r: &mut R) -> Result<EdfHeader> {
+    let mut fixed = [0u8; 256];
+    r.read_exact(&mut fixed)
+        .map_err(|_| format_err("file shorter than the 256-byte fixed header"))?;
+    let version = parse_field(&fixed[0..8]);
+    if version != "0" {
+        return Err(format_err(format!("unsupported EDF version {version:?}")));
+    }
+    let patient_id = parse_field(&fixed[8..88]);
+    let recording_id = parse_field(&fixed[88..168]);
+    let start_date = parse_field(&fixed[168..176]);
+    let start_time = parse_field(&fixed[176..184]);
+    let header_bytes: usize = parse_num(&fixed[184..192], "header size")?;
+    let num_records: i64 = parse_num(&fixed[236..244], "record count")?;
+    let record_duration_secs: f64 = parse_num(&fixed[244..252], "record duration")?;
+    let ns: usize = parse_num(&fixed[252..256], "signal count")?;
+    if ns == 0 {
+        return Err(format_err("EDF file declares zero signals"));
+    }
+    if header_bytes != 256 + 256 * ns {
+        return Err(format_err(format!(
+            "header size {header_bytes} inconsistent with {ns} signals"
+        )));
+    }
+    let mut per = vec![0u8; 256 * ns];
+    r.read_exact(&mut per)
+        .map_err(|_| format_err("truncated per-signal header"))?;
+    let field = |offset: usize, width: usize, j: usize| -> &[u8] {
+        &per[offset * ns + j * width..offset * ns + (j + 1) * width]
+    };
+    let mut signals = Vec::with_capacity(ns);
+    let mut cursor = 0usize;
+    // Field widths in order: label 16, transducer 80, dim 8, phys_min 8,
+    // phys_max 8, dig_min 8, dig_max 8, prefilter 80, samples 8, reserved 32.
+    let widths = [16usize, 80, 8, 8, 8, 8, 8, 80, 8, 32];
+    let mut offsets = [0usize; 10];
+    for (i, w) in widths.iter().enumerate() {
+        offsets[i] = cursor;
+        cursor += w * ns;
+    }
+    let _ = field; // field-major offsets computed manually below
+    for j in 0..ns {
+        let take = |fi: usize| -> &[u8] {
+            let w = widths[fi];
+            &per[offsets[fi] + j * w..offsets[fi] + (j + 1) * w]
+        };
+        signals.push(SignalHeader {
+            label: parse_field(take(0)),
+            transducer: parse_field(take(1)),
+            physical_dimension: parse_field(take(2)),
+            physical_min: parse_num(take(3), "physical minimum")?,
+            physical_max: parse_num(take(4), "physical maximum")?,
+            digital_min: parse_num(take(5), "digital minimum")?,
+            digital_max: parse_num(take(6), "digital maximum")?,
+            prefiltering: parse_field(take(7)),
+            samples_per_record: parse_num(take(8), "samples per record")?,
+        });
+        let s = signals.last().unwrap();
+        if s.digital_min >= s.digital_max {
+            return Err(format_err(format!(
+                "signal {j}: digital range [{}, {}] is empty",
+                s.digital_min, s.digital_max
+            )));
+        }
+        if s.samples_per_record == 0 {
+            return Err(format_err(format!("signal {j}: zero samples per record")));
+        }
+    }
+    Ok(EdfHeader {
+        patient_id,
+        recording_id,
+        start_date,
+        start_time,
+        num_records,
+        record_duration_secs,
+        signals,
+    })
+}
+
+/// Reads a full EDF file into a [`Recording`].
+///
+/// All signals must share one sample rate (`samples_per_record /
+/// record_duration`); that restriction matches this crate's uniform-rate
+/// [`Recording`] model.
+///
+/// # Errors
+///
+/// Returns [`IeegError::EdfFormat`] for malformed or mixed-rate files, or
+/// [`IeegError::Io`] on read failure.
+pub fn read_edf<R: Read>(mut r: R) -> Result<(EdfHeader, Recording)> {
+    let header = read_header(&mut r)?;
+    if header.num_records < 0 {
+        return Err(format_err("unknown record count (-1) is unsupported"));
+    }
+    let spr0 = header.signals[0].samples_per_record;
+    if header.signals.iter().any(|s| s.samples_per_record != spr0) {
+        return Err(format_err("mixed per-signal sample rates are unsupported"));
+    }
+    if header.record_duration_secs <= 0.0 {
+        return Err(format_err("non-positive record duration"));
+    }
+    let rate = spr0 as f64 / header.record_duration_secs;
+    if (rate - rate.round()).abs() > 1e-9 || rate <= 0.0 {
+        return Err(format_err(format!("non-integer sample rate {rate}")));
+    }
+    let ns = header.signals.len();
+    let records = header.num_records as usize;
+    let mut channels = vec![Vec::with_capacity(records * spr0); ns];
+    let mut buf = vec![0u8; spr0 * 2];
+    for _ in 0..records {
+        for (j, s) in header.signals.iter().enumerate() {
+            r.read_exact(&mut buf)
+                .map_err(|_| format_err("truncated data record"))?;
+            for pair in buf.chunks_exact(2) {
+                let d = i16::from_le_bytes([pair[0], pair[1]]) as i32;
+                channels[j].push(s.to_physical(d) as f32);
+            }
+        }
+    }
+    let rec = Recording::from_channels(rate.round() as u32, channels)?;
+    Ok((header, rec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edf::write::write_edf;
+
+    fn sample_recording() -> Recording {
+        let channels: Vec<Vec<f32>> = (0..3)
+            .map(|j| {
+                (0..512 * 4)
+                    .map(|t| (t as f32 * 0.01 + j as f32).sin() * 500.0)
+                    .collect()
+            })
+            .collect();
+        Recording::from_channels(512, channels).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_signal() {
+        let rec = sample_recording();
+        let mut bytes = Vec::new();
+        write_edf(&rec, "P07", &mut bytes).unwrap();
+        let (header, back) = read_edf(bytes.as_slice()).unwrap();
+        assert_eq!(header.patient_id, "P07");
+        assert_eq!(back.sample_rate(), 512);
+        assert_eq!(back.electrodes(), 3);
+        assert_eq!(back.len_samples(), rec.len_samples());
+        // 16-bit quantization over a ±500 µV range: error < 1 LSB.
+        let lsb = 1000.0 / 65535.0;
+        for j in 0..3 {
+            for (a, b) in rec.channel(j).iter().zip(back.channel(j)) {
+                assert!((a - b).abs() <= lsb, "sample error {} > {lsb}", (a - b).abs());
+            }
+        }
+    }
+
+    #[test]
+    fn partial_last_record_padded() {
+        let rec = Recording::from_channels(512, vec![vec![1.0f32; 700]]).unwrap();
+        let mut bytes = Vec::new();
+        write_edf(&rec, "X", &mut bytes).unwrap();
+        let (_, back) = read_edf(bytes.as_slice()).unwrap();
+        assert_eq!(back.len_samples(), 1024);
+        // Padding decodes near zero.
+        assert!(back.channel(0)[700..].iter().all(|&x| x.abs() < 0.1));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let rec = sample_recording();
+        let mut bytes = Vec::new();
+        write_edf(&rec, "P1", &mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 10);
+        assert!(matches!(
+            read_edf(bytes.as_slice()),
+            Err(IeegError::EdfFormat { .. })
+        ));
+        assert!(read_edf(&bytes[..100]).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_header() {
+        let garbage = vec![b'x'; 600];
+        assert!(read_edf(garbage.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let rec = sample_recording();
+        let mut bytes = Vec::new();
+        write_edf(&rec, "P1", &mut bytes).unwrap();
+        bytes[0] = b'9';
+        assert!(read_edf(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn header_fields_roundtrip() {
+        let rec = sample_recording();
+        let mut bytes = Vec::new();
+        write_edf(&rec, "P12", &mut bytes).unwrap();
+        let header = read_header(&mut bytes.as_slice()).unwrap();
+        assert_eq!(header.num_records, 4);
+        assert_eq!(header.record_duration_secs, 1.0);
+        assert_eq!(header.signals.len(), 3);
+        assert_eq!(header.signals[0].samples_per_record, 512);
+        assert_eq!(header.signals[0].label, "iEEG 000");
+        assert_eq!(header.signals[0].physical_dimension, "uV");
+    }
+}

@@ -1,0 +1,194 @@
+//! EDF writer.
+
+use std::io::Write;
+
+use crate::error::{invalid, Result};
+use crate::signal::Recording;
+
+use super::header::{fixed_field, EdfHeader, SignalHeader};
+
+/// Serializes an [`EdfHeader`] into its on-disk byte layout.
+pub fn encode_header(header: &EdfHeader) -> Vec<u8> {
+    let ns = header.signals.len();
+    let mut out = Vec::with_capacity(header.header_bytes());
+    out.extend(fixed_field("0", 8)); // version
+    out.extend(fixed_field(&header.patient_id, 80));
+    out.extend(fixed_field(&header.recording_id, 80));
+    out.extend(fixed_field(&header.start_date, 8));
+    out.extend(fixed_field(&header.start_time, 8));
+    out.extend(fixed_field(&header.header_bytes().to_string(), 8));
+    out.extend(fixed_field("", 44)); // reserved
+    out.extend(fixed_field(&header.num_records.to_string(), 8));
+    out.extend(fixed_field(
+        &format_duration(header.record_duration_secs),
+        8,
+    ));
+    out.extend(fixed_field(&ns.to_string(), 4));
+    // Per-signal fields, field-major.
+    for s in &header.signals {
+        out.extend(fixed_field(&s.label, 16));
+    }
+    for s in &header.signals {
+        out.extend(fixed_field(&s.transducer, 80));
+    }
+    for s in &header.signals {
+        out.extend(fixed_field(&s.physical_dimension, 8));
+    }
+    for s in &header.signals {
+        out.extend(fixed_field(&format_float(s.physical_min), 8));
+    }
+    for s in &header.signals {
+        out.extend(fixed_field(&format_float(s.physical_max), 8));
+    }
+    for s in &header.signals {
+        out.extend(fixed_field(&s.digital_min.to_string(), 8));
+    }
+    for s in &header.signals {
+        out.extend(fixed_field(&s.digital_max.to_string(), 8));
+    }
+    for s in &header.signals {
+        out.extend(fixed_field(&s.prefiltering, 80));
+    }
+    for s in &header.signals {
+        out.extend(fixed_field(&s.samples_per_record.to_string(), 8));
+    }
+    for _ in &header.signals {
+        out.extend(fixed_field("", 32)); // reserved
+    }
+    debug_assert_eq!(out.len(), header.header_bytes());
+    out
+}
+
+fn format_float(v: f64) -> String {
+    // EDF numeric fields are 8 ASCII chars; prefer integral form.
+    if v == v.trunc() && v.abs() < 1e7 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.3}");
+        if s.len() <= 8 {
+            s
+        } else {
+            format!("{v:.1}")
+        }
+    }
+}
+
+fn format_duration(v: f64) -> String {
+    if v == v.trunc() {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Writes a recording as plain EDF.
+///
+/// One data record spans one second; each channel's per-record sample count
+/// equals the sample rate. The recording is zero-padded to a whole number
+/// of records (EDF has no partial records); [`super::read::read_edf`]
+/// returns the padded length.
+///
+/// Seizure annotations are *not* stored in plain EDF; persist them with
+/// [`super::annotations_sidecar::write_annotations`].
+///
+/// # Errors
+///
+/// Returns [`crate::IeegError::InvalidParameter`] if the recording is empty,
+/// or an [`crate::IeegError::Io`] on write failure.
+pub fn write_edf<W: Write>(rec: &Recording, patient_id: &str, mut w: W) -> Result<()> {
+    if rec.is_empty() {
+        return Err(invalid("recording", "cannot write an empty recording"));
+    }
+    let fs = rec.sample_rate() as usize;
+    let num_records = rec.len_samples().div_ceil(fs);
+    let signals: Vec<SignalHeader> = (0..rec.electrodes())
+        .map(|j| {
+            let ch = rec.channel(j);
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &x in ch {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            if !lo.is_finite() || !hi.is_finite() || lo == hi {
+                lo = -1.0;
+                hi = 1.0;
+            }
+            SignalHeader {
+                label: format!("iEEG {j:03}"),
+                transducer: "intracranial electrode".into(),
+                physical_dimension: "uV".into(),
+                physical_min: lo as f64,
+                physical_max: hi as f64,
+                digital_min: -32768,
+                digital_max: 32767,
+                prefiltering: "BP 0.5-150Hz".into(),
+                samples_per_record: fs,
+            }
+        })
+        .collect();
+    let header = EdfHeader {
+        patient_id: patient_id.to_string(),
+        recording_id: "laelaps synthetic iEEG".into(),
+        start_date: "01.01.19".into(),
+        start_time: "00.00.00".into(),
+        num_records: num_records as i64,
+        record_duration_secs: 1.0,
+        signals,
+    };
+    w.write_all(&encode_header(&header))?;
+    let mut buf = Vec::with_capacity(fs * 2);
+    for r in 0..num_records {
+        for (j, s) in header.signals.iter().enumerate() {
+            buf.clear();
+            let ch = rec.channel(j);
+            for i in 0..fs {
+                let t = r * fs + i;
+                let x = ch.get(t).copied().unwrap_or(0.0);
+                let d = s.to_digital(x as f64) as i16;
+                buf.extend_from_slice(&d.to_le_bytes());
+            }
+            w.write_all(&buf)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_layout_is_exact() {
+        let rec = Recording::from_channels(4, vec![vec![0.0f32; 8]; 2]).unwrap();
+        let mut bytes = Vec::new();
+        write_edf(&rec, "P1", &mut bytes).unwrap();
+        // 256 + 2*256 header, 2 records × 2 signals × 4 samples × 2 bytes.
+        assert_eq!(bytes.len(), 768 + 2 * 2 * 4 * 2);
+        assert_eq!(&bytes[0..8], b"0       ");
+        // num signals field at offset 252.
+        assert_eq!(&bytes[252..256], b"2   ");
+    }
+
+    #[test]
+    fn empty_recording_rejected() {
+        let rec = Recording::from_channels(4, vec![vec![]]).unwrap();
+        let mut bytes = Vec::new();
+        assert!(write_edf(&rec, "P1", &mut bytes).is_err());
+    }
+
+    #[test]
+    fn constant_channel_gets_safe_range() {
+        let rec = Recording::from_channels(4, vec![vec![3.0f32; 8]]).unwrap();
+        let mut bytes = Vec::new();
+        // Must not divide by zero on a flat channel.
+        write_edf(&rec, "P1", &mut bytes).unwrap();
+        assert!(!bytes.is_empty());
+    }
+
+    #[test]
+    fn float_formatting_fits_edf_fields() {
+        assert_eq!(format_float(-1000.0), "-1000");
+        assert!(format_float(-1234.56789).len() <= 8);
+        assert_eq!(format_duration(1.0), "1");
+    }
+}

@@ -1,0 +1,121 @@
+//! Error types for the iEEG substrate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors from recording construction, DSP, file I/O, and synthesis.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum IeegError {
+    /// A parameter is out of its valid range.
+    InvalidParameter {
+        /// Offending parameter name.
+        name: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Channels of a recording have inconsistent lengths.
+    RaggedChannels {
+        /// Length of channel 0.
+        expected: usize,
+        /// First offending channel index.
+        channel: usize,
+        /// Its length.
+        got: usize,
+    },
+    /// An annotation lies outside the recording.
+    AnnotationOutOfBounds {
+        /// Annotation onset (samples).
+        onset: u64,
+        /// Annotation end (samples).
+        end: u64,
+        /// Recording length (samples).
+        len: u64,
+    },
+    /// EDF parsing failed.
+    EdfFormat {
+        /// What went wrong and where.
+        detail: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for IeegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IeegError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            IeegError::RaggedChannels {
+                expected,
+                channel,
+                got,
+            } => write!(
+                f,
+                "channel {channel} has {got} samples, expected {expected}"
+            ),
+            IeegError::AnnotationOutOfBounds { onset, end, len } => write!(
+                f,
+                "annotation [{onset}, {end}) exceeds recording of {len} samples"
+            ),
+            IeegError::EdfFormat { detail } => write!(f, "EDF format error: {detail}"),
+            IeegError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl StdError for IeegError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            IeegError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IeegError {
+    fn from(e: std::io::Error) -> Self {
+        IeegError::Io(e)
+    }
+}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, IeegError>;
+
+pub(crate) fn invalid(name: &'static str, reason: impl Into<String>) -> IeegError {
+    IeegError::InvalidParameter {
+        name,
+        reason: reason.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(invalid("x", "bad").to_string().contains("x"));
+        let e = IeegError::RaggedChannels {
+            expected: 10,
+            channel: 2,
+            got: 9,
+        };
+        assert!(e.to_string().contains("channel 2"));
+        let io = IeegError::from(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            "gone",
+        ));
+        assert!(io.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        let io = IeegError::from(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            "gone",
+        ));
+        assert!(StdError::source(&io).is_some());
+    }
+}

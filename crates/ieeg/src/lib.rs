@@ -1,0 +1,40 @@
+//! # laelaps-ieeg
+//!
+//! The iEEG substrate for the Laelaps reproduction: multichannel
+//! [`signal::Recording`]s with seizure [`annotations`], a self-contained
+//! [`dsp`] stack (Butterworth/FIR filters, FFT, STFT, decimation), EDF file
+//! I/O ([`edf`]), the Table I patient [`metadata`], and the synthetic
+//! long-term recording generator ([`synth`]) standing in for the paper's
+//! SWEC-ETHZ dataset.
+//!
+//! # Examples
+//!
+//! Generate a small patient, preprocess, and inspect the annotations:
+//!
+//! ```
+//! use laelaps_ieeg::synth::demo_patient;
+//!
+//! let recording = demo_patient(7).synthesize()?;
+//! assert_eq!(recording.sample_rate(), 512);
+//! for seizure in recording.annotations() {
+//!     println!("seizure at {:.1}s for {:.1}s",
+//!              seizure.onset_secs(512), seizure.duration_secs(512));
+//! }
+//! # Ok::<(), laelaps_ieeg::IeegError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod annotations;
+pub mod dsp;
+pub mod edf;
+pub mod error;
+pub mod metadata;
+pub mod signal;
+pub mod synth;
+
+pub use annotations::{chrono_split, ChronoSplit, SeizureAnnotation};
+pub use error::{IeegError, Result};
+pub use metadata::{patient, MethodResult, PatientInfo, PATIENTS};
+pub use signal::Recording;

@@ -1,0 +1,260 @@
+//! Patient metadata and published results from Table I of the paper.
+//!
+//! The synthetic dataset mirrors each patient's electrode count, seizure
+//! count, recording duration, and training-seizure count; the published
+//! per-method results are carried along so the experiment harness can print
+//! paper-vs-measured comparisons.
+
+/// Published per-method result row (delay ℓ, false detection rate, and
+/// sensitivity). `delay_secs` is `None` where the paper reports `n.a.`
+/// (no seizure detected).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodResult {
+    /// Mean onset-detection delay in seconds.
+    pub delay_secs: Option<f64>,
+    /// False detection rate in alarms per hour.
+    pub fdr_per_hour: f64,
+    /// Sensitivity in percent.
+    pub sensitivity_pct: f64,
+}
+
+impl MethodResult {
+    const fn new(delay_secs: Option<f64>, fdr: f64, sens: f64) -> Self {
+        MethodResult {
+            delay_secs,
+            fdr_per_hour: fdr,
+            sensitivity_pct: sens,
+        }
+    }
+}
+
+/// One patient row of Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatientInfo {
+    /// Patient identifier (`P1` … `P18`).
+    pub id: &'static str,
+    /// Number of implanted iEEG electrodes (24–128).
+    pub electrodes: usize,
+    /// Total (lead) seizures in the recording.
+    pub seizures: usize,
+    /// Total recording duration in hours.
+    pub recording_hours: f64,
+    /// Seizures used for training (1 or 2).
+    pub train_seizures: usize,
+    /// Paper result: Laelaps.
+    pub laelaps: MethodResult,
+    /// Paper result: tuned hypervector dimension in kbit.
+    pub laelaps_d_kbit: f64,
+    /// Paper result: LBP + linear SVM.
+    pub svm: MethodResult,
+    /// Paper result: LSTM.
+    pub lstm: MethodResult,
+    /// Paper result: STFT + CNN.
+    pub cnn: MethodResult,
+}
+
+impl PatientInfo {
+    /// Test seizures (total minus training).
+    pub fn test_seizures(&self) -> usize {
+        self.seizures - self.train_seizures
+    }
+
+    /// Laelaps-detected test seizures implied by the published sensitivity.
+    pub fn laelaps_detected(&self) -> usize {
+        ((self.laelaps.sensitivity_pct / 100.0) * self.test_seizures() as f64).round()
+            as usize
+    }
+}
+
+macro_rules! row {
+    ($id:literal, $el:literal, $sz:literal, $rec:literal, $trs:literal,
+     laelaps($ld:expr, $lf:literal, $ls:literal, $d:literal),
+     svm($sd:expr, $sf:literal, $ss:literal),
+     lstm($td:expr, $tf:literal, $ts:literal),
+     cnn($cd:expr, $cf:literal, $cs:literal)) => {
+        PatientInfo {
+            id: $id,
+            electrodes: $el,
+            seizures: $sz,
+            recording_hours: $rec,
+            train_seizures: $trs,
+            laelaps: MethodResult::new($ld, $lf, $ls),
+            laelaps_d_kbit: $d,
+            svm: MethodResult::new($sd, $sf, $ss),
+            lstm: MethodResult::new($td, $tf, $ts),
+            cnn: MethodResult::new($cd, $cf, $cs),
+        }
+    };
+}
+
+/// The 18 patients of Table I, verbatim from the paper.
+pub const PATIENTS: [PatientInfo; 18] = [
+    row!("P1", 88, 2, 293.0, 1,
+        laelaps(Some(28.5), 0.00, 100.0, 3.0),
+        svm(Some(10.0), 0.00, 100.0),
+        lstm(Some(8.0), 0.10, 100.0),
+        cnn(Some(8.0), 0.00, 100.0)),
+    row!("P2", 66, 2, 235.0, 1,
+        laelaps(Some(16.5), 0.00, 100.0, 10.0),
+        svm(Some(8.0), 0.75, 100.0),
+        lstm(Some(17.0), 0.40, 100.0),
+        cnn(Some(3.0), 0.75, 100.0)),
+    row!("P3", 64, 4, 158.0, 1,
+        laelaps(Some(17.0), 0.00, 100.0, 7.0),
+        svm(Some(7.0), 0.05, 100.0),
+        lstm(Some(5.8), 0.20, 100.0),
+        cnn(Some(2.0), 0.00, 100.0)),
+    row!("P4", 32, 14, 41.0, 2,
+        laelaps(Some(19.8), 0.00, 66.7, 6.0),
+        svm(Some(30.0), 0.65, 50.0),
+        lstm(Some(22.1), 1.20, 91.7),
+        cnn(None, 0.00, 0.0)),
+    row!("P5", 128, 4, 110.0, 1,
+        laelaps(Some(5.3), 0.00, 100.0, 1.0),
+        svm(Some(2.7), 0.25, 100.0),
+        lstm(Some(5.8), 0.30, 100.0),
+        cnn(Some(2.0), 0.15, 66.7)),
+    row!("P6", 32, 8, 146.0, 1,
+        laelaps(Some(17.9), 0.00, 85.7, 10.0),
+        svm(Some(10.0), 0.20, 85.7),
+        lstm(Some(12.4), 0.20, 100.0),
+        cnn(Some(0.8), 1.90, 42.9)),
+    row!("P7", 75, 4, 69.0, 2,
+        laelaps(Some(17.2), 0.00, 50.0, 1.0),
+        svm(Some(26.5), 1.15, 50.0),
+        lstm(Some(9.2), 1.45, 100.0),
+        cnn(Some(26.0), 0.00, 100.0)),
+    row!("P8", 61, 4, 144.0, 2,
+        laelaps(Some(11.0), 0.00, 100.0, 10.0),
+        svm(Some(2.0), 1.30, 100.0),
+        lstm(Some(8.5), 1.05, 100.0),
+        cnn(Some(16.3), 1.20, 100.0)),
+    row!("P9", 48, 23, 41.0, 2,
+        laelaps(Some(8.6), 0.00, 81.0, 6.0),
+        svm(Some(16.3), 0.10, 38.1),
+        lstm(None, 0.05, 0.0),
+        cnn(None, 0.00, 0.0)),
+    row!("P10", 32, 17, 42.0, 1,
+        laelaps(Some(17.4), 0.00, 100.0, 3.0),
+        svm(Some(3.6), 0.10, 100.0),
+        lstm(Some(25.9), 1.60, 100.0),
+        cnn(Some(37.0), 1.00, 93.8)),
+    row!("P11", 32, 2, 212.0, 1,
+        laelaps(Some(19.5), 0.00, 100.0, 3.0),
+        svm(Some(12.0), 0.40, 100.0),
+        lstm(Some(7.0), 0.05, 100.0),
+        cnn(Some(5.0), 0.20, 100.0)),
+    row!("P12", 56, 9, 191.0, 2,
+        laelaps(Some(36.3), 0.00, 100.0, 1.0),
+        svm(Some(27.6), 0.00, 100.0),
+        lstm(Some(28.4), 1.15, 100.0),
+        cnn(Some(7.0), 0.00, 100.0)),
+    row!("P13", 64, 7, 104.0, 2,
+        laelaps(Some(21.1), 0.00, 80.0, 2.0),
+        svm(Some(11.3), 0.00, 100.0),
+        lstm(Some(6.2), 0.90, 100.0),
+        cnn(Some(1.3), 0.40, 100.0)),
+    row!("P14", 24, 2, 161.0, 1,
+        laelaps(None, 0.00, 0.0, 1.0),
+        svm(None, 0.00, 0.0),
+        lstm(None, 0.00, 0.0),
+        cnn(None, 0.00, 0.0)),
+    row!("P15", 98, 2, 196.0, 1,
+        laelaps(Some(20.0), 0.00, 100.0, 1.0),
+        svm(Some(3.0), 0.15, 100.0),
+        lstm(Some(2.5), 0.05, 100.0),
+        cnn(Some(5.0), 0.00, 100.0)),
+    row!("P16", 34, 5, 177.0, 1,
+        laelaps(Some(20.4), 0.00, 100.0, 10.0),
+        svm(Some(9.0), 0.55, 100.0),
+        lstm(Some(8.8), 0.80, 100.0),
+        cnn(Some(7.0), 0.20, 100.0)),
+    row!("P17", 60, 2, 130.0, 1,
+        laelaps(Some(19.0), 0.00, 100.0, 1.0),
+        svm(Some(13.0), 0.00, 100.0),
+        lstm(Some(3.5), 0.10, 100.0),
+        cnn(Some(16.0), 0.45, 100.0)),
+    row!("P18", 42, 5, 205.0, 1,
+        laelaps(Some(25.7), 0.00, 75.0, 1.0),
+        svm(Some(26.3), 0.00, 75.0),
+        lstm(Some(19.0), 0.15, 100.0),
+        cnn(Some(11.0), 0.20, 75.0)),
+];
+
+/// Looks up a patient row by id (`"P1"` … `"P18"`).
+pub fn patient(id: &str) -> Option<&'static PatientInfo> {
+    PATIENTS.iter().find(|p| p.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_totals_match_paper() {
+        // "2656 hours of recording" and "116 seizures of 18 patients".
+        let hours: f64 = PATIENTS.iter().map(|p| p.recording_hours).sum();
+        let seizures: usize = PATIENTS.iter().map(|p| p.seizures).sum();
+        assert_eq!(PATIENTS.len(), 18);
+        assert!((hours - 2656.0).abs() < 2.0, "total hours {hours}"); // rows sum to 2655 (paper rounding)
+        assert_eq!(seizures, 116);
+    }
+
+    #[test]
+    fn training_uses_24_seizures() {
+        // "trains 18 patient-specific models by using only 24 seizures:
+        //  12 models with one seizure, the others with two".
+        let train: usize = PATIENTS.iter().map(|p| p.train_seizures).sum();
+        assert_eq!(train, 24);
+        let one = PATIENTS.iter().filter(|p| p.train_seizures == 1).count();
+        assert_eq!(one, 12);
+    }
+
+    #[test]
+    fn detected_seizures_total_79_of_92() {
+        let test: usize = PATIENTS.iter().map(|p| p.test_seizures()).sum();
+        let detected: usize = PATIENTS.iter().map(|p| p.laelaps_detected()).sum();
+        assert_eq!(test, 92);
+        assert_eq!(detected, 79);
+    }
+
+    #[test]
+    fn electrode_range_is_24_to_128() {
+        let min = PATIENTS.iter().map(|p| p.electrodes).min().unwrap();
+        let max = PATIENTS.iter().map(|p| p.electrodes).max().unwrap();
+        assert_eq!(min, 24); // P14
+        assert_eq!(max, 128); // P5
+    }
+
+    #[test]
+    fn mean_tuned_dimension_is_4_3_kbit() {
+        let mean: f64 = PATIENTS.iter().map(|p| p.laelaps_d_kbit).sum::<f64>()
+            / PATIENTS.len() as f64;
+        assert!((mean - 4.3).abs() < 0.05, "mean d {mean}");
+    }
+
+    #[test]
+    fn laelaps_fdr_is_zero_everywhere() {
+        assert!(PATIENTS.iter().all(|p| p.laelaps.fdr_per_hour == 0.0));
+    }
+
+    #[test]
+    fn mean_sensitivities_match_table_footer() {
+        let mean = |f: fn(&PatientInfo) -> f64| {
+            PATIENTS.iter().map(f).sum::<f64>() / PATIENTS.len() as f64
+        };
+        assert!((mean(|p| p.laelaps.sensitivity_pct) - 85.5).abs() < 0.1);
+        assert!((mean(|p| p.svm.sensitivity_pct) - 83.3).abs() < 0.1);
+        assert!((mean(|p| p.lstm.sensitivity_pct) - 88.4).abs() < 0.1);
+        assert!((mean(|p| p.cnn.sensitivity_pct) - 76.6).abs() < 0.1);
+        assert!((mean(|p| p.svm.fdr_per_hour) - 0.31).abs() < 0.01);
+        assert!((mean(|p| p.lstm.fdr_per_hour) - 0.54).abs() < 0.01);
+        assert!((mean(|p| p.cnn.fdr_per_hour) - 0.36).abs() < 0.01);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert_eq!(patient("P5").unwrap().electrodes, 128);
+        assert!(patient("P19").is_none());
+    }
+}

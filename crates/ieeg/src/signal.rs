@@ -1,0 +1,238 @@
+//! Multichannel recording types.
+
+use crate::annotations::SeizureAnnotation;
+use crate::error::{invalid, IeegError, Result};
+
+/// A multichannel iEEG recording with uniform sample rate and ground-truth
+/// seizure annotations.
+///
+/// Channels are stored channel-major (`channels[j][t]`), the layout the
+/// Laelaps LBP kernel consumes (one thread block per electrode in the
+/// paper's GPU mapping).
+///
+/// # Examples
+///
+/// ```
+/// use laelaps_ieeg::signal::Recording;
+///
+/// let rec = Recording::from_channels(512, vec![vec![0.0f32; 1024]; 4])?;
+/// assert_eq!(rec.electrodes(), 4);
+/// assert_eq!(rec.len_samples(), 1024);
+/// assert_eq!(rec.duration_secs(), 2.0);
+/// # Ok::<(), laelaps_ieeg::IeegError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recording {
+    sample_rate: u32,
+    channels: Vec<Vec<f32>>,
+    annotations: Vec<SeizureAnnotation>,
+}
+
+impl Recording {
+    /// Builds a recording from channel-major sample data.
+    ///
+    /// # Errors
+    ///
+    /// * [`IeegError::InvalidParameter`] — zero sample rate or no channels;
+    /// * [`IeegError::RaggedChannels`] — channels of unequal length.
+    pub fn from_channels(sample_rate: u32, channels: Vec<Vec<f32>>) -> Result<Self> {
+        if sample_rate == 0 {
+            return Err(invalid("sample_rate", "must be nonzero"));
+        }
+        if channels.is_empty() {
+            return Err(invalid("channels", "at least one channel required"));
+        }
+        let expected = channels[0].len();
+        for (i, ch) in channels.iter().enumerate() {
+            if ch.len() != expected {
+                return Err(IeegError::RaggedChannels {
+                    expected,
+                    channel: i,
+                    got: ch.len(),
+                });
+            }
+        }
+        Ok(Recording {
+            sample_rate,
+            channels,
+            annotations: Vec::new(),
+        })
+    }
+
+    /// Attaches a seizure annotation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IeegError::AnnotationOutOfBounds`] if the annotation
+    /// exceeds the recording.
+    pub fn annotate(&mut self, annotation: SeizureAnnotation) -> Result<()> {
+        let len = self.len_samples() as u64;
+        if annotation.end_sample > len || annotation.onset_sample >= annotation.end_sample
+        {
+            return Err(IeegError::AnnotationOutOfBounds {
+                onset: annotation.onset_sample,
+                end: annotation.end_sample,
+                len,
+            });
+        }
+        self.annotations.push(annotation);
+        self.annotations
+            .sort_by_key(|a| (a.onset_sample, a.end_sample));
+        Ok(())
+    }
+
+    /// Sample rate in Hz.
+    pub fn sample_rate(&self) -> u32 {
+        self.sample_rate
+    }
+
+    /// Number of electrodes (channels).
+    pub fn electrodes(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Length in samples (per channel).
+    pub fn len_samples(&self) -> usize {
+        self.channels[0].len()
+    }
+
+    /// Whether the recording contains no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len_samples() == 0
+    }
+
+    /// Duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.len_samples() as f64 / self.sample_rate as f64
+    }
+
+    /// Duration in hours.
+    pub fn duration_hours(&self) -> f64 {
+        self.duration_secs() / 3600.0
+    }
+
+    /// Borrows the channel-major sample data.
+    pub fn channels(&self) -> &[Vec<f32>] {
+        &self.channels
+    }
+
+    /// Borrows one channel's samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.electrodes()`.
+    pub fn channel(&self, index: usize) -> &[f32] {
+        &self.channels[index]
+    }
+
+    /// The seizure annotations, sorted by onset.
+    pub fn annotations(&self) -> &[SeizureAnnotation] {
+        &self.annotations
+    }
+
+    /// Extracts a sub-recording covering `range` (sample indices), with
+    /// annotations clipped and re-based accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IeegError::InvalidParameter`] if the range is empty or
+    /// exceeds the recording.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Result<Recording> {
+        if range.start >= range.end || range.end > self.len_samples() {
+            return Err(invalid(
+                "range",
+                format!(
+                    "[{}, {}) invalid for recording of {} samples",
+                    range.start,
+                    range.end,
+                    self.len_samples()
+                ),
+            ));
+        }
+        let channels = self
+            .channels
+            .iter()
+            .map(|ch| ch[range.clone()].to_vec())
+            .collect();
+        let mut out = Recording::from_channels(self.sample_rate, channels)?;
+        for a in &self.annotations {
+            let onset = a.onset_sample.max(range.start as u64);
+            let end = a.end_sample.min(range.end as u64);
+            if onset < end {
+                out.annotate(SeizureAnnotation {
+                    onset_sample: onset - range.start as u64,
+                    end_sample: end - range.start as u64,
+                })?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Consumes the recording, returning the channel-major samples.
+    pub fn into_channels(self) -> Vec<Vec<f32>> {
+        self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(electrodes: usize, len: usize) -> Recording {
+        Recording::from_channels(512, vec![vec![0.0; len]; electrodes]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Recording::from_channels(0, vec![vec![0.0; 4]]).is_err());
+        assert!(Recording::from_channels(512, vec![]).is_err());
+        let ragged = vec![vec![0.0; 4], vec![0.0; 5]];
+        assert!(matches!(
+            Recording::from_channels(512, ragged),
+            Err(IeegError::RaggedChannels { channel: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn durations() {
+        let r = rec(2, 512 * 3600);
+        assert_eq!(r.duration_secs(), 3600.0);
+        assert_eq!(r.duration_hours(), 1.0);
+    }
+
+    #[test]
+    fn annotations_sorted_and_validated() {
+        let mut r = rec(1, 1000);
+        r.annotate(SeizureAnnotation::new(500, 700)).unwrap();
+        r.annotate(SeizureAnnotation::new(100, 200)).unwrap();
+        assert_eq!(r.annotations()[0].onset_sample, 100);
+        assert!(r.annotate(SeizureAnnotation::new(900, 1100)).is_err());
+        assert!(r.annotate(SeizureAnnotation::new(300, 300)).is_err());
+    }
+
+    #[test]
+    fn slice_rebases_annotations() {
+        let mut r = rec(2, 1000);
+        r.annotate(SeizureAnnotation::new(400, 600)).unwrap();
+        let s = r.slice(350..800).unwrap();
+        assert_eq!(s.len_samples(), 450);
+        assert_eq!(s.annotations().len(), 1);
+        assert_eq!(s.annotations()[0].onset_sample, 50);
+        assert_eq!(s.annotations()[0].end_sample, 250);
+        // Slice that clips the annotation.
+        let s2 = r.slice(500..1000).unwrap();
+        assert_eq!(s2.annotations()[0].onset_sample, 0);
+        assert_eq!(s2.annotations()[0].end_sample, 100);
+        // Slice missing the annotation entirely.
+        let s3 = r.slice(700..900).unwrap();
+        assert!(s3.annotations().is_empty());
+    }
+
+    #[test]
+    fn slice_validates_range() {
+        let r = rec(1, 100);
+        assert!(r.slice(50..40).is_err());
+        assert!(r.slice(0..101).is_err());
+        assert!(r.slice(0..100).is_ok());
+    }
+}

@@ -1,0 +1,86 @@
+//! Cohort builders: the full 18-patient synthetic dataset.
+
+use crate::metadata::{PatientInfo, PATIENTS};
+
+use super::patient::PatientProfile;
+
+/// Options controlling cohort synthesis.
+#[derive(Debug, Clone)]
+pub struct CohortOptions {
+    /// Master seed; patient `i` uses `seed + i`.
+    pub seed: u64,
+    /// Requested interictal compression (see
+    /// [`PatientProfile::effective_time_scale`]).
+    pub time_scale: f64,
+}
+
+impl Default for CohortOptions {
+    fn default() -> Self {
+        CohortOptions {
+            seed: 2019,
+            time_scale: 600.0,
+        }
+    }
+}
+
+/// Profiles for all 18 Table I patients.
+pub fn paper_cohort(options: &CohortOptions) -> Vec<PatientProfile> {
+    PATIENTS
+        .iter()
+        .enumerate()
+        .map(|(i, info)| PatientProfile::from_table(info, options.seed + i as u64, options.time_scale))
+        .collect()
+}
+
+/// A reduced cohort (subset of patients by id) for quick experiments.
+pub fn cohort_subset(options: &CohortOptions, ids: &[&str]) -> Vec<PatientProfile> {
+    paper_cohort(options)
+        .into_iter()
+        .filter(|p| ids.contains(&p.info.id))
+        .collect()
+}
+
+/// A deliberately small fictional patient for tests and examples: not in
+/// Table I, but the same generator machinery.
+pub fn demo_patient(seed: u64) -> PatientProfile {
+    let info = PatientInfo {
+        recording_hours: 0.6,
+        seizures: 3,
+        train_seizures: 1,
+        electrodes: 12,
+        ..PATIENTS[2] // borrow P3's published results for display
+    };
+    let mut profile = PatientProfile::from_table(&info, seed, 2.0);
+    profile.difficulty.weak_test_seizures = 0;
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohort_has_all_patients_with_distinct_seeds() {
+        let cohort = paper_cohort(&CohortOptions::default());
+        assert_eq!(cohort.len(), 18);
+        let mut seeds: Vec<u64> = cohort.iter().map(|p| p.seed).collect();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 18);
+    }
+
+    #[test]
+    fn subset_filters_by_id() {
+        let subset = cohort_subset(&CohortOptions::default(), &["P5", "P14"]);
+        assert_eq!(subset.len(), 2);
+        assert_eq!(subset[0].info.id, "P5");
+        assert_eq!(subset[1].info.id, "P14");
+    }
+
+    #[test]
+    fn demo_patient_synthesizes_quickly() {
+        let rec = demo_patient(1).synthesize().unwrap();
+        assert_eq!(rec.electrodes(), 12);
+        assert_eq!(rec.annotations().len(), 3);
+        assert!(rec.duration_secs() < 1500.0);
+    }
+}

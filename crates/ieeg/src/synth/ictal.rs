@@ -1,0 +1,329 @@
+//! Ictal (seizure) waveform generator.
+//!
+//! Seizures are modeled as rhythmic, *asymmetric* slow oscillations — the
+//! morphology §II-A of the paper identifies as the reason the ictal LBP
+//! histogram concentrates on few codes ("relatively slower and more
+//! asymmetric iEEG oscillations typically emerging during seizures"):
+//! a long rising phase (most sample differences positive) followed by a
+//! sharp collapse. Amplitude ramps in and out to mimic electrographic
+//! onset evolution, and only a patient-specific fraction of electrodes is
+//! involved (focality).
+//!
+//! A second, *symmetric* morphology models the seizures that LBP-based
+//! methods fail on (paper's P7/P14 discussion): a near-sinusoidal rhythm
+//! whose rise/fall sign pattern resembles background, though its energy is
+//! elevated — detectable by amplitude-based methods (LSTM) but nearly
+//! invisible in LBP space.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seizure waveform families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SeizureKind {
+    /// Asymmetric slow sawtooth-like rhythm: strongly LBP-separable.
+    AsymmetricSlow,
+    /// Symmetric sinusoidal rhythm: weak in LBP space.
+    SymmetricRhythmic,
+}
+
+/// Parameters of one seizure event.
+#[derive(Debug, Clone)]
+pub struct SeizureEvent {
+    /// Morphology family.
+    pub kind: SeizureKind,
+    /// Dominant rhythm frequency (Hz), typically 3–6.
+    pub freq_hz: f64,
+    /// Fraction of the cycle spent rising (asymmetry), e.g. 0.8.
+    pub rise_fraction: f64,
+    /// Peak amplitude relative to background RMS.
+    pub amplitude: f64,
+    /// Fraction of electrodes involved (focality), in `(0, 1]`.
+    pub involvement: f64,
+    /// Onset/offset amplitude ramp time in seconds.
+    pub ramp_secs: f64,
+    /// Total duration in seconds.
+    pub duration_secs: f64,
+    /// Seed controlling waveform jitter and phase lags (per seizure).
+    pub seed: u64,
+    /// Seed controlling *which* electrodes form the seizure focus. A
+    /// patient's seizures share their onset zone, so the synthesizer sets
+    /// this per patient, not per seizure.
+    pub focus_seed: u64,
+}
+
+impl SeizureEvent {
+    /// A strong, easily separable seizure (the common case in Table I).
+    pub fn strong(duration_secs: f64, seed: u64) -> Self {
+        SeizureEvent {
+            kind: SeizureKind::AsymmetricSlow,
+            freq_hz: 4.0,
+            rise_fraction: 0.8,
+            amplitude: 4.0,
+            involvement: 0.7,
+            ramp_secs: 8.0,
+            duration_secs,
+            seed,
+            focus_seed: seed,
+        }
+    }
+
+    /// A weak seizure that LBP-based detectors miss (P7/P14-style).
+    pub fn weak(duration_secs: f64, seed: u64) -> Self {
+        SeizureEvent {
+            kind: SeizureKind::SymmetricRhythmic,
+            freq_hz: 9.0,
+            rise_fraction: 0.5,
+            amplitude: 1.3,
+            involvement: 0.15,
+            ramp_secs: 4.0,
+            duration_secs,
+            seed,
+            focus_seed: seed,
+        }
+    }
+
+    /// Interpolates between [`SeizureEvent::weak`] and
+    /// [`SeizureEvent::strong`] with `strength` in `[0, 1]`.
+    pub fn with_strength(duration_secs: f64, strength: f64, seed: u64) -> Self {
+        let s = strength.clamp(0.0, 1.0);
+        let strong = Self::strong(duration_secs, seed);
+        let weak = Self::weak(duration_secs, seed);
+        SeizureEvent {
+            kind: if s >= 0.5 {
+                SeizureKind::AsymmetricSlow
+            } else {
+                SeizureKind::SymmetricRhythmic
+            },
+            freq_hz: weak.freq_hz + (strong.freq_hz - weak.freq_hz) * s,
+            rise_fraction: weak.rise_fraction
+                + (strong.rise_fraction - weak.rise_fraction) * s,
+            amplitude: weak.amplitude + (strong.amplitude - weak.amplitude) * s,
+            involvement: weak.involvement + (strong.involvement - weak.involvement) * s,
+            ramp_secs: 8.0,
+            duration_secs,
+            seed,
+            focus_seed: seed,
+        }
+    }
+}
+
+/// Renders a seizure: per-electrode additive waveforms of
+/// `duration_secs × fs` samples, channel-major. Add these on top of the
+/// background, scaled by the background RMS.
+///
+/// # Panics
+///
+/// Panics if `electrodes == 0` or the event duration is non-positive.
+pub fn render_seizure(
+    event: &SeizureEvent,
+    fs: f64,
+    electrodes: usize,
+    background_rms: f64,
+) -> Vec<Vec<f32>> {
+    assert!(electrodes > 0, "need at least one electrode");
+    assert!(
+        event.duration_secs > 0.0,
+        "seizure duration must be positive"
+    );
+    let n = (event.duration_secs * fs).round() as usize;
+    let mut focus_rng = StdRng::seed_from_u64(event.focus_seed);
+    let mut rng = StdRng::seed_from_u64(event.seed);
+
+    // Electrode involvement: the focal subset gets full weight, the rest a
+    // small residual field (volume conduction). Drawn from the *patient*
+    // focus seed so every seizure of a patient shares its onset zone.
+    let involved = ((electrodes as f64 * event.involvement).round() as usize)
+        .clamp(1, electrodes);
+    let mut weights = vec![0.08f64; electrodes];
+    let mut order: Vec<usize> = (0..electrodes).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, focus_rng.gen_range(0..=i));
+    }
+    for &j in order.iter().take(involved) {
+        weights[j] = 0.7 + focus_rng.gen_range(0.0..0.3);
+    }
+    // Propagation: per-electrode phase lag up to half a cycle.
+    let lags: Vec<f64> = (0..electrodes)
+        .map(|_| rng.gen_range(0.0..0.5 / event.freq_hz))
+        .collect();
+    // Slight per-electrode frequency detuning.
+    let freqs: Vec<f64> = (0..electrodes)
+        .map(|_| event.freq_hz * (1.0 + rng.gen_range(-0.05..0.05)))
+        .collect();
+
+    let ramp_samples = (event.ramp_secs * fs).round().max(1.0);
+    // Electrographic seizures build up gradually but terminate abruptly:
+    // the offset ramp is a quarter of the onset ramp.
+    let ramp_out_samples = (ramp_samples / 4.0).max(1.0);
+    let peak = event.amplitude * background_rms;
+
+    (0..electrodes)
+        .map(|j| {
+            (0..n)
+                .map(|t| {
+                    let time = t as f64 / fs;
+                    // Asymmetric trapezoidal amplitude envelope.
+                    let env_in = (t as f64 / ramp_samples).min(1.0);
+                    let env_out = ((n - t) as f64 / ramp_out_samples).min(1.0);
+                    let env = env_in.min(env_out);
+                    let phase =
+                        ((time - lags[j]) * freqs[j]).rem_euclid(1.0);
+                    let wave = match event.kind {
+                        SeizureKind::AsymmetricSlow => {
+                            asymmetric_cycle(phase, event.rise_fraction)
+                        }
+                        SeizureKind::SymmetricRhythmic => {
+                            (2.0 * std::f64::consts::PI * phase).sin()
+                        }
+                    };
+                    (wave * env * peak * weights[j]) as f32
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One cycle of the asymmetric ictal waveform: a concave rise over
+/// `rise_fraction` of the period, then a convex collapse. Monotone within
+/// each segment so the LBP bit stream is a long run of 1s then a short run
+/// of 0s.
+fn asymmetric_cycle(phase: f64, rise_fraction: f64) -> f64 {
+    let r = rise_fraction.clamp(0.05, 0.95);
+    if phase < r {
+        // Concave-up rise from -1 to +1.
+        let x = phase / r;
+        2.0 * x.powf(1.3) - 1.0
+    } else {
+        // Fast fall from +1 back to -1.
+        let x = (phase - r) / (1.0 - r);
+        1.0 - 2.0 * x.powf(0.8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dominant_lbp6_fraction(signal: &[f32]) -> f64 {
+        let mut hist = [0u32; 64];
+        let mut code = 0usize;
+        for (i, w) in signal.windows(2).enumerate() {
+            code = ((code << 1) | (w[1] > w[0]) as usize) & 0x3F;
+            if i >= 5 {
+                hist[code] += 1;
+            }
+        }
+        let total: f64 = hist.iter().map(|&c| c as f64).sum();
+        *hist.iter().max().unwrap() as f64 / total
+    }
+
+    #[test]
+    fn asymmetric_seizure_dominates_one_lbp_code() {
+        let ev = SeizureEvent::strong(20.0, 1);
+        let chans = render_seizure(&ev, 512.0, 8, 1.0);
+        // On a fully involved electrode the rising phase dominates:
+        // the all-ones code should absorb most of the histogram.
+        let best = chans
+            .iter()
+            .map(|ch| dominant_lbp6_fraction(ch))
+            .fold(0.0f64, f64::max);
+        assert!(best > 0.5, "dominant LBP fraction {best}");
+    }
+
+    #[test]
+    fn symmetric_seizure_less_lbp_dominant() {
+        let strong = SeizureEvent::strong(20.0, 2);
+        let weak = SeizureEvent::weak(20.0, 2);
+        let s = render_seizure(&strong, 512.0, 8, 1.0);
+        let w = render_seizure(&weak, 512.0, 8, 1.0);
+        let dom = |chans: &Vec<Vec<f32>>| {
+            chans
+                .iter()
+                .map(|ch| dominant_lbp6_fraction(ch))
+                .fold(0.0f64, f64::max)
+        };
+        assert!(
+            dom(&s) > dom(&w) + 0.1,
+            "strong {} vs weak {}",
+            dom(&s),
+            dom(&w)
+        );
+    }
+
+    #[test]
+    fn envelope_ramps_in_and_out() {
+        let ev = SeizureEvent::strong(20.0, 3);
+        let chans = render_seizure(&ev, 512.0, 4, 1.0);
+        let ch = &chans[0];
+        let rms = |s: &[f32]| {
+            (s.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / s.len() as f64).sqrt()
+        };
+        let start = rms(&ch[..256]);
+        let mid = rms(&ch[ch.len() / 2 - 512..ch.len() / 2 + 512]);
+        let end = rms(&ch[ch.len() - 256..]);
+        assert!(mid > 2.0 * start.max(1e-9));
+        assert!(mid > 2.0 * end.max(1e-9));
+    }
+
+    #[test]
+    fn involvement_limits_electrodes() {
+        let ev = SeizureEvent {
+            involvement: 0.25,
+            ..SeizureEvent::strong(10.0, 4)
+        };
+        let chans = render_seizure(&ev, 512.0, 16, 1.0);
+        let rms = |s: &[f32]| {
+            (s.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / s.len() as f64).sqrt()
+        };
+        let loud = chans.iter().filter(|ch| rms(ch) > 0.5).count();
+        assert!(loud <= 6, "{loud} electrodes loud, expected ≈4");
+        assert!(loud >= 2);
+    }
+
+    #[test]
+    fn amplitude_scales_with_background_rms() {
+        let ev = SeizureEvent::strong(10.0, 5);
+        let a = render_seizure(&ev, 512.0, 4, 1.0);
+        let b = render_seizure(&ev, 512.0, 4, 10.0);
+        let peak = |chans: &Vec<Vec<f32>>| {
+            chans
+                .iter()
+                .flat_map(|ch| ch.iter())
+                .fold(0.0f32, |m, &x| m.max(x.abs()))
+        };
+        let ratio = peak(&b) / peak(&a);
+        assert!((ratio - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let ev = SeizureEvent::strong(5.0, 77);
+        assert_eq!(
+            render_seizure(&ev, 512.0, 4, 1.0),
+            render_seizure(&ev, 512.0, 4, 1.0)
+        );
+    }
+
+    #[test]
+    fn strength_interpolation_endpoints() {
+        let s1 = SeizureEvent::with_strength(10.0, 1.0, 1);
+        assert_eq!(s1.kind, SeizureKind::AsymmetricSlow);
+        assert!((s1.amplitude - 4.0).abs() < 1e-9);
+        let s0 = SeizureEvent::with_strength(10.0, 0.0, 1);
+        assert_eq!(s0.kind, SeizureKind::SymmetricRhythmic);
+        assert!((s0.amplitude - 1.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycle_is_continuous_and_bounded() {
+        for i in 0..=1000 {
+            let v = asymmetric_cycle(i as f64 / 1000.0, 0.8);
+            assert!((-1.01..=1.01).contains(&v));
+        }
+        // Endpoint continuity across the period boundary.
+        let a = asymmetric_cycle(0.999999, 0.8);
+        let b = asymmetric_cycle(0.0, 0.8);
+        assert!((a - b).abs() < 0.01);
+    }
+}

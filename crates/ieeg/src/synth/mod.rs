@@ -1,0 +1,20 @@
+//! Synthetic long-term iEEG generation.
+//!
+//! Substitute for the paper's (non-redistributable) SWEC-ETHZ dataset; see
+//! DESIGN.md §2 for the substitution rationale. The generator reproduces
+//! the statistical contrast Laelaps exploits — near-uniform interictal LBP
+//! histograms versus few-code-dominated ictal ones — along with the
+//! artifact pressure that drives baseline false alarms, at per-patient
+//! metadata mirroring Table I.
+
+pub mod artifacts;
+pub mod background;
+pub mod dataset;
+pub mod ictal;
+pub mod patient;
+
+pub use artifacts::{ArtifactEvent, ArtifactKind};
+pub use background::BackgroundGenerator;
+pub use dataset::{cohort_subset, demo_patient, paper_cohort, CohortOptions};
+pub use ictal::{render_seizure, SeizureEvent, SeizureKind};
+pub use patient::{Difficulty, PatientProfile, SYNTH_SAMPLE_RATE};

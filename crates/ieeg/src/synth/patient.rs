@@ -1,0 +1,428 @@
+//! Per-patient long-term recording synthesizer.
+//!
+//! Combines [`super::background`], [`super::ictal`], and
+//! [`super::artifacts`] into a full long-term recording whose metadata
+//! (electrodes, seizure count, training seizures) mirrors one Table I
+//! patient. Interictal stretches are compressed by a configurable
+//! `time_scale` (1 paper-hour → `3600 / time_scale` seconds) while seizure
+//! and artifact durations stay physical, so analysis windows, training
+//! segments, and detection delays keep their real-time meaning.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::annotations::SeizureAnnotation;
+use crate::error::{invalid, Result};
+use crate::metadata::PatientInfo;
+use crate::signal::Recording;
+
+use super::artifacts::{render_artifact, ArtifactEvent};
+use super::background::BackgroundGenerator;
+use super::ictal::{render_seizure, SeizureEvent};
+
+/// Difficulty knobs controlling how separable and how artifact-laden a
+/// synthetic patient is.
+#[derive(Debug, Clone)]
+pub struct Difficulty {
+    /// Background amplitude (arbitrary µV-like units).
+    pub background_amplitude: f64,
+    /// Global multiplier on seizure amplitude (SNR knob).
+    pub seizure_snr: f64,
+    /// Artifact events per *scaled* hour of recording.
+    pub artifact_rate_per_hour: f64,
+    /// Number of *test* seizures rendered with weak (LBP-invisible)
+    /// morphology.
+    pub weak_test_seizures: usize,
+    /// Strength of the training seizures in `[0, 1]` (1 = fully
+    /// separable; P14-style patients set this low so even training fails).
+    pub train_strength: f64,
+}
+
+impl Difficulty {
+    /// Derives difficulty from a patient's published Table I row: the
+    /// number of weak seizures reproduces Laelaps' published sensitivity,
+    /// and the artifact pressure scales with the baselines' published
+    /// false-alarm rates.
+    pub fn from_table(info: &PatientInfo) -> Self {
+        let weak = info.test_seizures() - info.laelaps_detected();
+        let all_methods_blind = info.laelaps.sensitivity_pct == 0.0
+            && info.svm.sensitivity_pct == 0.0
+            && info.lstm.sensitivity_pct == 0.0
+            && info.cnn.sensitivity_pct == 0.0;
+        let mean_baseline_fdr = (info.svm.fdr_per_hour
+            + info.lstm.fdr_per_hour
+            + info.cnn.fdr_per_hour)
+            / 3.0;
+        Difficulty {
+            background_amplitude: 50.0,
+            seizure_snr: 1.0,
+            artifact_rate_per_hour: 60.0 + 150.0 * mean_baseline_fdr,
+            weak_test_seizures: weak,
+            train_strength: if all_methods_blind { 0.05 } else { 1.0 },
+        }
+    }
+}
+
+/// A synthetic patient: Table I metadata + difficulty + seed + time scale.
+#[derive(Debug, Clone)]
+pub struct PatientProfile {
+    /// Table I row this patient mirrors.
+    pub info: PatientInfo,
+    /// Master seed (controls everything deterministically).
+    pub seed: u64,
+    /// Requested interictal compression (e.g. 600 → 1 h becomes 6 s).
+    pub time_scale: f64,
+    /// Difficulty knobs.
+    pub difficulty: Difficulty,
+}
+
+/// Sample rate of the synthesized recordings.
+pub const SYNTH_SAMPLE_RATE: u32 = 512;
+
+/// Minimum interictal gap between consecutive seizures, seconds (real
+/// time, not scaled).
+const MIN_GAP_SECS: f64 = 90.0;
+
+/// Lead-in before the first seizure, seconds.
+const LEAD_IN_SECS: f64 = 120.0;
+
+impl PatientProfile {
+    /// Creates a profile from a Table I row with table-derived difficulty.
+    pub fn from_table(info: &PatientInfo, seed: u64, time_scale: f64) -> Self {
+        PatientProfile {
+            info: *info,
+            seed,
+            time_scale,
+            difficulty: Difficulty::from_table(info),
+        }
+    }
+
+    /// The time scale actually usable for this patient: seizure-dense
+    /// records (e.g. P4: 14 seizures in 41 h) cannot be compressed as hard
+    /// as sparse ones while preserving physical seizure durations and
+    /// minimum gaps.
+    pub fn effective_time_scale(&self) -> f64 {
+        let total_paper_secs = self.info.recording_hours * 3600.0;
+        // 15% headroom over the nominal schedule so onset jitter and the
+        // 0.95 placement span always fit.
+        let needed = (LEAD_IN_SECS
+            + self.info.seizures as f64 * (60.0 + MIN_GAP_SECS)
+            + 120.0)
+            * 1.15;
+        let feasible = total_paper_secs / needed;
+        self.time_scale.min(feasible).max(1.0)
+    }
+
+    /// Duration of the synthesized recording in (real) seconds.
+    pub fn scaled_duration_secs(&self) -> f64 {
+        self.info.recording_hours * 3600.0 / self.effective_time_scale()
+    }
+
+    /// Synthesizes the full recording with ground-truth annotations.
+    ///
+    /// Deterministic in `(seed, time_scale, difficulty)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::IeegError::InvalidParameter`] if the metadata and
+    /// scale cannot accommodate the seizure schedule.
+    pub fn synthesize(&self) -> Result<Recording> {
+        let fs = SYNTH_SAMPLE_RATE as f64;
+        let total_secs = self.scaled_duration_secs();
+        let n = (total_secs * fs).round() as usize;
+        let k = self.info.seizures;
+        if k == 0 {
+            return Err(invalid("seizures", "patient must have at least one seizure"));
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // --- Seizure schedule -------------------------------------------
+        // Onsets spread over [LEAD_IN, 0.95 · total], jittered.
+        let span_start = LEAD_IN_SECS;
+        let span_end = 0.95 * total_secs;
+        if span_end - span_start < k as f64 * (60.0 + MIN_GAP_SECS) {
+            return Err(invalid(
+                "time_scale",
+                format!(
+                    "recording of {total_secs:.0}s cannot hold {k} seizures \
+                     with physical durations"
+                ),
+            ));
+        }
+        let slot = (span_end - span_start) / k as f64;
+        let mut onsets: Vec<f64> = (0..k)
+            .map(|i| {
+                let base = span_start + i as f64 * slot;
+                base + rng.gen_range(0.1..0.5) * slot
+            })
+            .collect();
+        // Durations: training seizures 20–30 s (paper trains on 10–30 s),
+        // test seizures 15–45 s.
+        let durations: Vec<f64> = (0..k)
+            .map(|i| {
+                if i < self.info.train_seizures {
+                    rng.gen_range(20.0..30.0)
+                } else {
+                    rng.gen_range(15.0..45.0)
+                }
+            })
+            .collect();
+        // Enforce minimum gaps.
+        for i in 1..k {
+            let min_onset = onsets[i - 1] + durations[i - 1] + MIN_GAP_SECS;
+            if onsets[i] < min_onset {
+                onsets[i] = min_onset;
+            }
+        }
+        if onsets[k - 1] + durations[k - 1] + 30.0 > total_secs {
+            return Err(invalid(
+                "time_scale",
+                "seizure schedule exceeds the recording; lower time_scale",
+            ));
+        }
+
+        // --- Strength assignment ----------------------------------------
+        let trs = self.info.train_seizures;
+        let mut strengths = vec![1.0f64; k];
+        for s in strengths.iter_mut().take(trs) {
+            *s = self.difficulty.train_strength;
+        }
+        if self.difficulty.train_strength < 0.5 {
+            // Globally hard patient (P14): every seizure is weak.
+            for s in strengths.iter_mut() {
+                *s = self.difficulty.train_strength;
+            }
+        } else {
+            // Distribute the weak test seizures over the test range.
+            let mut test_idx: Vec<usize> = (trs..k).collect();
+            for i in (1..test_idx.len()).rev() {
+                test_idx.swap(i, rng.gen_range(0..=i));
+            }
+            for &idx in test_idx
+                .iter()
+                .take(self.difficulty.weak_test_seizures.min(test_idx.len()))
+            {
+                strengths[idx] = 0.0;
+            }
+        }
+
+        // --- Background ---------------------------------------------------
+        let mut bg = BackgroundGenerator::new(
+            fs,
+            self.info.electrodes,
+            self.difficulty.background_amplitude,
+            self.seed ^ 0xBAC6,
+        );
+        let mut channels = bg.generate(n);
+        let rms = estimate_rms(&channels);
+
+        // --- Seizures ------------------------------------------------------
+        let mut annotations = Vec::with_capacity(k);
+        for i in 0..k {
+            let onset_sample = (onsets[i] * fs).round() as usize;
+            let mut event = SeizureEvent::with_strength(
+                durations[i],
+                strengths[i],
+                self.seed ^ ((i as u64 + 1) * 7919),
+            );
+            event.ramp_secs = rng.gen_range(5.0..13.0);
+            // Strong seizures share the patient's focal onset zone (the
+            // consistency Laelaps' one-shot training exploits); weak ones
+            // are multifocal — each arises from its own focus, so a
+            // prototype learned from one does not transfer.
+            if strengths[i] >= 0.5 {
+                event.focus_seed = self.seed ^ 0xF0C5;
+            }
+            event.amplitude *= self.difficulty.seizure_snr;
+            let rendered = render_seizure(&event, fs, self.info.electrodes, rms);
+            add_overlay(&mut channels, &rendered, onset_sample);
+            annotations.push(SeizureAnnotation::new(
+                onset_sample as u64,
+                (onset_sample + rendered[0].len()) as u64,
+            ));
+        }
+
+        // --- Artifacts ------------------------------------------------------
+        let scaled_hours = total_secs / 3600.0;
+        let count =
+            (self.difficulty.artifact_rate_per_hour * scaled_hours).round() as usize;
+        let mut placed = 0usize;
+        let mut attempts = 0usize;
+        while placed < count && attempts < count * 20 + 100 {
+            attempts += 1;
+            let ev = ArtifactEvent::random(&mut rng);
+            let latest = total_secs - ev.duration_secs - 1.0;
+            if latest <= 1.0 {
+                break;
+            }
+            let t0 = rng.gen_range(1.0..latest);
+            let t1 = t0 + ev.duration_secs;
+            // Keep artifacts clear of seizures (±20 s).
+            let clashes = annotations.iter().any(|a| {
+                let s = a.onset_sample as f64 / fs - 20.0;
+                let e = a.end_sample as f64 / fs + 20.0;
+                t0 < e && t1 > s
+            });
+            if clashes {
+                continue;
+            }
+            let rendered = render_artifact(&ev, fs, self.info.electrodes, rms);
+            add_overlay(&mut channels, &rendered, (t0 * fs).round() as usize);
+            placed += 1;
+        }
+
+        let mut rec = Recording::from_channels(SYNTH_SAMPLE_RATE, channels)?;
+        for a in annotations {
+            rec.annotate(a)?;
+        }
+        Ok(rec)
+    }
+}
+
+/// Adds `overlay` (channel-major) onto `channels` starting at `offset`,
+/// clipping at the end of the base signal.
+fn add_overlay(channels: &mut [Vec<f32>], overlay: &[Vec<f32>], offset: usize) {
+    for (base, over) in channels.iter_mut().zip(overlay.iter()) {
+        let end = (offset + over.len()).min(base.len());
+        for (i, slot) in base[offset..end].iter_mut().enumerate() {
+            *slot += over[i];
+        }
+    }
+}
+
+/// RMS estimate over the first seconds of a channel-major signal.
+fn estimate_rms(channels: &[Vec<f32>]) -> f64 {
+    let take = channels[0].len().min(8192);
+    let mut acc = 0.0f64;
+    let mut count = 0usize;
+    for ch in channels {
+        for &x in &ch[..take] {
+            acc += (x as f64) * (x as f64);
+            count += 1;
+        }
+    }
+    (acc / count.max(1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::{patient, PATIENTS};
+
+    fn mini_patient() -> PatientInfo {
+        // A shrunk patient for fast tests: 0.5 h, 3 seizures, 1 train.
+        PatientInfo {
+            recording_hours: 0.5,
+            seizures: 3,
+            train_seizures: 1,
+            electrodes: 8,
+            ..*patient("P3").unwrap()
+        }
+    }
+
+    #[test]
+    fn synthesizes_scheduled_seizures() {
+        let profile = PatientProfile::from_table(&mini_patient(), 42, 2.0);
+        let rec = profile.synthesize().unwrap();
+        assert_eq!(rec.electrodes(), 8);
+        assert_eq!(rec.annotations().len(), 3);
+        assert_eq!(rec.sample_rate(), 512);
+        // Chronological, non-overlapping, physically sized.
+        let anns = rec.annotations();
+        for w in anns.windows(2) {
+            assert!(w[0].end_sample < w[1].onset_sample);
+        }
+        for a in anns {
+            let d = a.duration_secs(512);
+            assert!((10.0..=60.0).contains(&d), "duration {d}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = PatientProfile::from_table(&mini_patient(), 7, 2.0);
+        let a = p.synthesize().unwrap();
+        let b = p.synthesize().unwrap();
+        assert_eq!(a.channels()[0][..1000], b.channels()[0][..1000]);
+        let p2 = PatientProfile::from_table(&mini_patient(), 8, 2.0);
+        let c = p2.synthesize().unwrap();
+        assert_ne!(a.channels()[0][..1000], c.channels()[0][..1000]);
+    }
+
+    #[test]
+    fn seizures_are_louder_than_background() {
+        let profile = PatientProfile::from_table(&mini_patient(), 3, 2.0);
+        let rec = profile.synthesize().unwrap();
+        let a = rec.annotations()[0];
+        let fs = 512usize;
+        let rms = |s: &[f32]| {
+            (s.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / s.len() as f64).sqrt()
+        };
+        // Compare seizure middle vs a background stretch on the most
+        // involved electrode.
+        let mid = (a.onset_sample as usize + a.end_sample as usize) / 2;
+        let best_ratio = (0..rec.electrodes())
+            .map(|j| {
+                let ch = rec.channel(j);
+                let ictal = rms(&ch[mid - fs..mid + fs]);
+                let inter = rms(&ch[fs * 10..fs * 20]);
+                ictal / inter
+            })
+            .fold(0.0f64, f64::max);
+        assert!(best_ratio > 2.0, "seizure/background ratio {best_ratio}");
+    }
+
+    #[test]
+    fn effective_scale_adapts_to_dense_patients() {
+        // P4: 14 seizures in 41 h cannot take time_scale 600.
+        let p4 = patient("P4").unwrap();
+        let profile = PatientProfile::from_table(p4, 1, 600.0);
+        let eff = profile.effective_time_scale();
+        assert!(eff < 600.0, "effective scale {eff}");
+        // Sparse P1 keeps the requested scale.
+        let p1 = patient("P1").unwrap();
+        let profile = PatientProfile::from_table(p1, 1, 600.0);
+        assert_eq!(profile.effective_time_scale(), 600.0);
+    }
+
+    #[test]
+    fn difficulty_from_table_mirrors_sensitivity() {
+        // P4: 12 test seizures, 66.7% → 8 detected → 4 weak.
+        let d = Difficulty::from_table(patient("P4").unwrap());
+        assert_eq!(d.weak_test_seizures, 4);
+        assert_eq!(d.train_strength, 1.0);
+        // P14: everything blind.
+        let d14 = Difficulty::from_table(patient("P14").unwrap());
+        assert!(d14.train_strength < 0.5);
+        // Full-sensitivity patient has no weak seizures.
+        let d1 = Difficulty::from_table(patient("P1").unwrap());
+        assert_eq!(d1.weak_test_seizures, 0);
+    }
+
+    #[test]
+    fn all_patients_have_feasible_schedules() {
+        for info in &PATIENTS {
+            let profile = PatientProfile::from_table(info, 5, 600.0);
+            let secs = profile.scaled_duration_secs();
+            let need = LEAD_IN_SECS
+                + info.seizures as f64 * (60.0 + MIN_GAP_SECS) + 120.0;
+            assert!(
+                secs >= need * 0.95,
+                "{}: {secs:.0}s for {} seizures",
+                info.id,
+                info.seizures
+            );
+        }
+    }
+
+    #[test]
+    fn train_test_ordering_matches_protocol() {
+        let profile = PatientProfile::from_table(&mini_patient(), 11, 2.0);
+        let rec = profile.synthesize().unwrap();
+        // First annotation must leave room for the interictal training
+        // segment (30 s) plus margin before it.
+        let first = rec.annotations()[0];
+        assert!(first.onset_secs(512) >= 60.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the DSP, EDF, and annotation invariants.
+
+use laelaps_ieeg::annotations::SeizureAnnotation;
+use laelaps_ieeg::dsp::fft::{dft_naive, fft_in_place, fft_real, Complex};
+use laelaps_ieeg::dsp::iir::SosCascade;
+use laelaps_ieeg::dsp::stft::{stft, StftConfig};
+use laelaps_ieeg::edf::{read_annotations, read_edf, write_annotations, write_edf};
+use laelaps_ieeg::signal::Recording;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fft_matches_naive_dft(
+        signal in proptest::collection::vec(-100f32..100.0, 64..=64)
+    ) {
+        let mut fast: Vec<Complex> = signal
+            .iter()
+            .map(|&x| Complex::new(x as f64, 0.0))
+            .collect();
+        let reference = dft_naive(&fast);
+        fft_in_place(&mut fast).unwrap();
+        for (f, r) in fast.iter().zip(reference.iter()) {
+            prop_assert!((f.re - r.re).abs() < 1e-6 * (1.0 + r.re.abs()));
+            prop_assert!((f.im - r.im).abs() < 1e-6 * (1.0 + r.im.abs()));
+        }
+    }
+
+    #[test]
+    fn parseval_holds_for_random_signals(
+        signal in proptest::collection::vec(-10f32..10.0, 128..=128)
+    ) {
+        let time: f64 = signal.iter().map(|&x| (x as f64).powi(2)).sum();
+        let spec = fft_real(&signal).unwrap();
+        let freq: f64 =
+            spec.iter().map(|c| c.norm_sq()).sum::<f64>() / signal.len() as f64;
+        prop_assert!((time - freq).abs() < 1e-6 * (1.0 + time));
+    }
+
+    #[test]
+    fn butterworth_is_stable_and_bounded(
+        signal in proptest::collection::vec(-1f32..1.0, 2000..4000),
+        cutoff in 20f64..200.0
+    ) {
+        let mut f = SosCascade::butterworth_lowpass(512.0, cutoff.min(255.0), 4).unwrap();
+        let out = f.filter(&signal);
+        prop_assert!(out.iter().all(|x| x.is_finite()));
+        let max = out.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        prop_assert!(max < 10.0, "output blew up to {max}");
+    }
+
+    #[test]
+    fn stft_energy_nonnegative_and_framecount_exact(
+        signal in proptest::collection::vec(-5f32..5.0, 512..1024)
+    ) {
+        let config = StftConfig { log_power: false, ..StftConfig::default() };
+        let s = stft(&signal, &config).unwrap();
+        let expected = (signal.len() - config.segment_len) / config.hop + 1;
+        prop_assert_eq!(s.num_frames(), expected);
+        prop_assert!(s.frames.iter().flatten().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn edf_roundtrip_bounded_quantization_error(
+        channels in proptest::collection::vec(
+            proptest::collection::vec(-500f32..500.0, 16..=16), 1..4)
+    ) {
+        let rec = Recording::from_channels(16, channels).unwrap();
+        let mut bytes = Vec::new();
+        write_edf(&rec, "PT", &mut bytes).unwrap();
+        let (_, back) = read_edf(bytes.as_slice()).unwrap();
+        prop_assert_eq!(back.electrodes(), rec.electrodes());
+        prop_assert_eq!(back.len_samples(), rec.len_samples());
+        for j in 0..rec.electrodes() {
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &x in rec.channel(j) {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+            let lsb = ((hi - lo) as f64 / 65535.0).max(1e-7);
+            for (a, b) in rec.channel(j).iter().zip(back.channel(j)) {
+                prop_assert!(((a - b).abs() as f64) <= lsb * 1.01);
+            }
+        }
+    }
+
+    #[test]
+    fn annotation_sidecar_roundtrip(
+        spans in proptest::collection::vec((0u64..1_000_000, 1u64..50_000), 0..20)
+    ) {
+        let anns: Vec<SeizureAnnotation> = spans
+            .iter()
+            .map(|&(onset, len)| SeizureAnnotation::new(onset, onset + len))
+            .collect();
+        let mut buf = Vec::new();
+        write_annotations(&anns, &mut buf).unwrap();
+        let back = read_annotations(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, anns);
+    }
+
+    #[test]
+    fn slice_preserves_sample_identity(
+        len in 100usize..1000,
+        start_frac in 0.0f64..0.5,
+        width_frac in 0.1f64..0.5
+    ) {
+        let channel: Vec<f32> = (0..len).map(|t| (t as f32 * 0.37).sin()).collect();
+        let rec = Recording::from_channels(512, vec![channel.clone()]).unwrap();
+        let start = (start_frac * len as f64) as usize;
+        let width = ((width_frac * len as f64) as usize).max(1).min(len - start - 1).max(1);
+        let sliced = rec.slice(start..start + width).unwrap();
+        prop_assert_eq!(sliced.len_samples(), width);
+        for i in 0..width {
+            prop_assert_eq!(sliced.channel(0)[i], channel[start + i]);
+        }
+    }
+
+    #[test]
+    fn annotation_overlap_is_consistent_with_contains(
+        onset in 0u64..10_000, len in 1u64..1000, t in 0u64..12_000
+    ) {
+        let a = SeizureAnnotation::new(onset, onset + len);
+        prop_assert_eq!(a.contains(t), a.overlaps(t, t + 1));
+    }
+}

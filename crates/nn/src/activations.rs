@@ -1,0 +1,125 @@
+//! Activation functions and the softmax cross-entropy loss.
+
+/// ReLU forward: `max(0, x)` elementwise.
+pub fn relu(x: &[f32]) -> Vec<f32> {
+    x.iter().map(|&v| v.max(0.0)).collect()
+}
+
+/// ReLU backward: passes gradients where the *input* was positive.
+pub fn relu_backward(input: &[f32], grad_out: &[f32]) -> Vec<f32> {
+    input
+        .iter()
+        .zip(grad_out.iter())
+        .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+        .collect()
+}
+
+/// Numerically stable sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Hyperbolic tangent (thin wrapper for symmetry with [`sigmoid`]).
+#[inline]
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Softmax cross-entropy: returns `(loss, dlogits)` for a one-hot target
+/// class.
+///
+/// # Panics
+///
+/// Panics if `target >= logits.len()`.
+pub fn softmax_cross_entropy(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
+    assert!(target < logits.len(), "target class out of range");
+    let p = softmax(logits);
+    let loss = -(p[target].max(1e-12)).ln();
+    let mut grad = p;
+    grad[target] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(relu(&[-1.0, 0.0, 2.0]), vec![0.0, 0.0, 2.0]);
+        assert_eq!(
+            relu_backward(&[-1.0, 0.5, 2.0], &[1.0, 1.0, 1.0]),
+            vec![0.0, 1.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_correct() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        // Symmetry: σ(−x) = 1 − σ(x).
+        for x in [-3.0f32, -0.5, 0.7, 2.2] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        assert!((a.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert!(a[2] > a[1] && a[1] > a[0]);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_p_minus_onehot() {
+        let logits = [0.2f32, -1.0, 0.8];
+        let (loss, grad) = softmax_cross_entropy(&logits, 2);
+        let p = softmax(&logits);
+        assert!((loss + p[2].ln()).abs() < 1e-6);
+        assert!((grad[0] - p[0]).abs() < 1e-6);
+        assert!((grad[2] - (p[2] - 1.0)).abs() < 1e-6);
+        // Gradient sums to zero.
+        assert!(grad.iter().sum::<f32>().abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_numerical_gradient_check() {
+        let logits = [0.3f32, -0.7, 1.1, 0.0];
+        let (_, grad) = softmax_cross_entropy(&logits, 1);
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut plus = logits;
+            plus[i] += eps;
+            let mut minus = logits;
+            minus[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&plus, 1);
+            let (lm, _) = softmax_cross_entropy(&minus, 1);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - grad[i]).abs() < 1e-3, "dim {i}: {num} vs {}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn tanh_matches_std() {
+        assert_eq!(tanh(0.7), 0.7f32.tanh());
+    }
+}

@@ -1,0 +1,334 @@
+//! 2-D convolution and max-pooling layers.
+//!
+//! Minimal single-sample implementations (valid padding, stride 1 conv,
+//! non-overlapping pooling) for the STFT+CNN baseline.
+
+use rand::rngs::StdRng;
+
+use crate::param::{Optimizer, Param};
+use crate::tensor::Tensor;
+
+/// 2-D convolution: input `[C_in, H, W]` → output `[C_out, H−kh+1, W−kw+1]`.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    kh: usize,
+    kw: usize,
+    w: Param, // [out_ch, in_ch, kh, kw]
+    b: Param, // [out_ch]
+    input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Glorot-initialized kernels.
+    pub fn new(in_ch: usize, out_ch: usize, kh: usize, kw: usize, rng: &mut StdRng) -> Self {
+        Conv2d {
+            in_ch,
+            out_ch,
+            kh,
+            kw,
+            w: Param::glorot(&[out_ch, in_ch, kh, kw], rng),
+            b: Param::zeros(&[out_ch]),
+            input: None,
+        }
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.w.value.len() + self.b.value.len()
+    }
+
+    /// Output shape for a given input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is smaller than the kernel or has the wrong
+    /// channel count.
+    pub fn output_shape(&self, input: &[usize]) -> [usize; 3] {
+        assert_eq!(input.len(), 3, "conv input must be [C, H, W]");
+        assert_eq!(input[0], self.in_ch, "channel mismatch");
+        assert!(
+            input[1] >= self.kh && input[2] >= self.kw,
+            "input {input:?} smaller than kernel {}x{}",
+            self.kh,
+            self.kw
+        );
+        [self.out_ch, input[1] - self.kh + 1, input[2] - self.kw + 1]
+    }
+
+    #[inline]
+    fn widx(&self, o: usize, c: usize, i: usize, j: usize) -> usize {
+        ((o * self.in_ch + c) * self.kh + i) * self.kw + j
+    }
+
+    /// Forward pass (caches the input).
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let out = self.infer(x);
+        self.input = Some(x.clone());
+        out
+    }
+
+    /// Inference-only forward.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let [oc, oh, ow] = self.output_shape(x.shape());
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        let mut out = Tensor::zeros(&[oc, oh, ow]);
+        for o in 0..oc {
+            let bias = self.b.value.data()[o];
+            for y in 0..oh {
+                for xw in 0..ow {
+                    let mut acc = bias;
+                    for c in 0..self.in_ch {
+                        for i in 0..self.kh {
+                            let xrow = &x.data()
+                                [(c * h + y + i) * w + xw..(c * h + y + i) * w + xw + self.kw];
+                            let wrow = &self.w.value.data()
+                                [self.widx(o, c, i, 0)..self.widx(o, c, i, 0) + self.kw];
+                            for (xv, wv) in xrow.iter().zip(wrow.iter()) {
+                                acc += xv * wv;
+                            }
+                        }
+                    }
+                    out.data_mut()[(o * oh + y) * ow + xw] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: accumulates kernel/bias gradients, returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Conv2d::forward`].
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.input.as_ref().expect("backward before forward").clone();
+        let [oc, oh, ow] = self.output_shape(x.shape());
+        assert_eq!(grad_out.shape(), &[oc, oh, ow], "grad shape mismatch");
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        let mut dx = Tensor::zeros(x.shape());
+        for o in 0..oc {
+            for y in 0..oh {
+                for xw in 0..ow {
+                    let g = grad_out.data()[(o * oh + y) * ow + xw];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.b.grad.data_mut()[o] += g;
+                    for c in 0..self.in_ch {
+                        for i in 0..self.kh {
+                            for j in 0..self.kw {
+                                let xi = (c * h + y + i) * w + xw + j;
+                                let wi = self.widx(o, c, i, j);
+                                self.w.grad.data_mut()[wi] += g * x.data()[xi];
+                                dx.data_mut()[xi] += g * self.w.value.data()[wi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    /// Applies accumulated gradients.
+    pub fn step(&mut self, opt: &Optimizer) {
+        opt.update(&mut self.w);
+        opt.update(&mut self.b);
+    }
+}
+
+/// Non-overlapping 2-D max pooling over `[C, H, W]`.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    size: usize,
+    argmax: Vec<usize>,
+    in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with `size × size` windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "pool size must be nonzero");
+        MaxPool2d {
+            size,
+            argmax: Vec::new(),
+            in_shape: Vec::new(),
+        }
+    }
+
+    /// Output shape (floor division; trailing rows/cols dropped).
+    pub fn output_shape(&self, input: &[usize]) -> [usize; 3] {
+        [input[0], input[1] / self.size, input[2] / self.size]
+    }
+
+    /// Forward pass (records argmax positions for backward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spatial dims are smaller than the pool size.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let [c, oh, ow] = self.output_shape(x.shape());
+        assert!(oh > 0 && ow > 0, "input too small for pooling");
+        let (h, w) = (x.shape()[1], x.shape()[2]);
+        let mut out = Tensor::zeros(&[c, oh, ow]);
+        self.argmax = vec![0; c * oh * ow];
+        self.in_shape = x.shape().to_vec();
+        for ch in 0..c {
+            for y in 0..oh {
+                for xw in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for i in 0..self.size {
+                        for j in 0..self.size {
+                            let idx =
+                                (ch * h + y * self.size + i) * w + xw * self.size + j;
+                            if x.data()[idx] > best {
+                                best = x.data()[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = (ch * oh + y) * ow + xw;
+                    out.data_mut()[oidx] = best;
+                    self.argmax[oidx] = best_idx;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: routes gradients to argmax positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`MaxPool2d::forward`].
+    pub fn backward(&self, grad_out: &Tensor) -> Tensor {
+        assert!(!self.in_shape.is_empty(), "backward before forward");
+        let mut dx = Tensor::zeros(&self.in_shape);
+        for (oidx, &g) in grad_out.data().iter().enumerate() {
+            dx.data_mut()[self.argmax[oidx]] += g;
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn conv_known_kernel() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(1, 1, 2, 2, &mut rng);
+        // Overwrite with a known edge kernel.
+        conv.w.value.data_mut().copy_from_slice(&[1.0, -1.0, 1.0, -1.0]);
+        conv.b.value.data_mut()[0] = 0.5;
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 3, 3],
+        );
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        // (1-2+4-5)+0.5 = -1.5, etc.
+        assert_eq!(y.data(), &[-1.5, -1.5, -1.5, -1.5]);
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(2, 3, 2, 2, &mut rng);
+        let x = Tensor::from_vec(
+            (0..2 * 4 * 4).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            &[2, 4, 4],
+        );
+        let y = conv.forward(&x);
+        let gout = Tensor::full(y.shape(), 1.0);
+        let dx = conv.backward(&gout);
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 9, 17, 31] {
+            let orig = x.data()[idx];
+            let mut xp = x.clone();
+            xp.data_mut()[idx] = orig + eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] = orig - eps;
+            let lp = conv.infer(&xp).sum();
+            let lm = conv.infer(&xm).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data()[idx]).abs() < 1e-2,
+                "idx {idx}: {numeric} vs {}",
+                dx.data()[idx]
+            );
+        }
+        // Weight gradient probe.
+        for &widx in &[0usize, 7, 15] {
+            let analytic = conv.w.grad.data()[widx];
+            let orig = conv.w.value.data()[widx];
+            conv.w.value.data_mut()[widx] = orig + eps;
+            let lp = conv.infer(&x).sum();
+            conv.w.value.data_mut()[widx] = orig - eps;
+            let lm = conv.infer(&x).sum();
+            conv.w.value.data_mut()[widx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "w idx {widx}: {numeric} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_forward_and_routing() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 0.0, //
+                3.0, 4.0, 1.0, 1.0, //
+                0.0, 0.0, 9.0, 8.0, //
+                0.0, 7.0, 6.0, 5.0,
+            ],
+            &[1, 4, 4],
+        );
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 5.0, 7.0, 9.0]);
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]);
+        let dx = pool.backward(&g);
+        assert_eq!(dx.data()[5], 1.0); // position of the 4
+        assert_eq!(dx.data()[2], 2.0); // position of the 5
+        assert_eq!(dx.data()[13], 3.0); // position of the 7
+        assert_eq!(dx.data()[10], 4.0); // position of the 9
+        assert_eq!(dx.sum(), 10.0);
+    }
+
+    #[test]
+    fn pool_drops_trailing_odd_edge() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::full(&[1, 5, 5], 1.0);
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+    }
+
+    #[test]
+    fn conv_output_shape_validation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = Conv2d::new(1, 1, 3, 3, &mut rng);
+        assert_eq!(conv.output_shape(&[1, 5, 7]), [1, 3, 5]);
+        assert_eq!(conv.param_count(), 9 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn conv_rejects_small_input() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let conv = Conv2d::new(1, 1, 3, 3, &mut rng);
+        let _ = conv.output_shape(&[1, 2, 5]);
+    }
+}

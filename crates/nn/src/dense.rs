@@ -1,0 +1,190 @@
+//! Fully connected layer.
+
+use rand::rngs::StdRng;
+
+use crate::param::{Optimizer, Param};
+use crate::tensor::Tensor;
+
+/// A dense (fully connected) layer: `y = W·x + b`, single-sample.
+///
+/// Caches the last input for the backward pass.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: Param,
+    b: Param,
+    input: Option<Vec<f32>>,
+}
+
+impl Dense {
+    /// Creates a layer mapping `in_dim → out_dim` with Glorot init.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        Dense {
+            w: Param::glorot(&[out_dim, in_dim], rng),
+            b: Param::zeros(&[out_dim]),
+            input: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.shape()[1]
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.shape()[0]
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.w.value.len() + self.b.value.len()
+    }
+
+    /// Forward pass (caches the input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.in_dim()`.
+    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        let mut y = self.w.value.matvec(x);
+        for (yi, &bi) in y.iter_mut().zip(self.b.value.data()) {
+            *yi += bi;
+        }
+        self.input = Some(x.to_vec());
+        y
+    }
+
+    /// Inference-only forward (no caching).
+    pub fn infer(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = self.w.value.matvec(x);
+        for (yi, &bi) in y.iter_mut().zip(self.b.value.data()) {
+            *yi += bi;
+        }
+        y
+    }
+
+    /// Backward pass: accumulates `dW`, `db` and returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Dense::forward`] or with a gradient of
+    /// the wrong width.
+    pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        let x = self
+            .input
+            .as_ref()
+            .expect("backward called before forward");
+        let (out_dim, in_dim) = (self.out_dim(), self.in_dim());
+        assert_eq!(grad_out.len(), out_dim, "gradient width mismatch");
+        for i in 0..out_dim {
+            let g = grad_out[i];
+            self.b.grad.data_mut()[i] += g;
+            if g != 0.0 {
+                let row = &mut self.w.grad.data_mut()[i * in_dim..(i + 1) * in_dim];
+                for (w, &xi) in row.iter_mut().zip(x.iter()) {
+                    *w += g * xi;
+                }
+            }
+        }
+        let mut dx = vec![0.0f32; in_dim];
+        for i in 0..out_dim {
+            let g = grad_out[i];
+            if g != 0.0 {
+                let row = &self.w.value.data()[i * in_dim..(i + 1) * in_dim];
+                for (d, &wij) in dx.iter_mut().zip(row.iter()) {
+                    *d += g * wij;
+                }
+            }
+        }
+        dx
+    }
+
+    /// Applies accumulated gradients with `opt`.
+    pub fn step(&mut self, opt: &Optimizer) {
+        opt.update(&mut self.w);
+        opt.update(&mut self.b);
+    }
+
+    /// Immutable access to the weights (diagnostics).
+    pub fn weights(&self) -> &Tensor {
+        &self.w.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = Dense::new(3, 2, &mut rng);
+        let x = [1.0, -1.0, 0.5];
+        let y = d.forward(&x);
+        let w = d.weights();
+        let manual0 = w.at2(0, 0) - w.at2(0, 1) + 0.5 * w.at2(0, 2);
+        assert!((y[0] - manual0).abs() < 1e-6);
+        assert_eq!(y.len(), 2);
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        // Numerical gradient check of ∂(sum y)/∂W against backward().
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut d = Dense::new(4, 3, &mut rng);
+        let x: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let _ = d.forward(&x);
+        let dx = d.backward(&vec![1.0; 3]);
+        // Analytic dx = Wᵀ·1 (column sums).
+        for j in 0..4 {
+            let col: f32 = (0..3).map(|i| d.weights().at2(i, j)).sum();
+            assert!((dx[j] - col).abs() < 1e-5);
+        }
+        // dW for loss = sum(y): dW[i][j] = x[j].
+        for i in 0..3 {
+            for j in 0..4 {
+                let g = d.w.grad.at2(i, j);
+                assert!((g - x[j]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn learns_linear_map() {
+        // Fit y = 2x0 - x1 with MSE via SGD.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut d = Dense::new(2, 1, &mut rng);
+        let opt = Optimizer::sgd(0.05);
+        for step in 0..2000 {
+            let x = [
+                ((step * 7) % 11) as f32 / 11.0 - 0.5,
+                ((step * 5) % 13) as f32 / 13.0 - 0.5,
+            ];
+            let target = 2.0 * x[0] - x[1];
+            let y = d.forward(&x)[0];
+            let dy = 2.0 * (y - target);
+            d.backward(&[dy]);
+            d.step(&opt);
+        }
+        assert!((d.weights().at2(0, 0) - 2.0).abs() < 0.05);
+        assert!((d.weights().at2(0, 1) + 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut d = Dense::new(5, 2, &mut rng);
+        let x = [0.1, 0.2, 0.3, 0.4, 0.5];
+        assert_eq!(d.forward(&x), d.infer(&x));
+        assert_eq!(d.param_count(), 5 * 2 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_requires_forward() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut d = Dense::new(2, 2, &mut rng);
+        let _ = d.backward(&[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,52 @@
+//! # laelaps-nn
+//!
+//! A minimal from-scratch neural-network and SVM library — just enough to
+//! reproduce the Laelaps paper's three baselines without external ML
+//! frameworks:
+//!
+//! * [`svm::LinearSvm`] — hinge-loss linear SVM (LBP+SVM baseline);
+//! * [`lstm::Lstm`] — single-layer LSTM with BPTT (LSTM baseline);
+//! * [`conv::Conv2d`] / [`conv::MaxPool2d`] / [`dense::Dense`] — the
+//!   STFT+CNN baseline's building blocks;
+//! * [`param::Optimizer`] — SGD (momentum) and Adam;
+//! * [`tensor::Tensor`] — a small dense row-major tensor.
+//!
+//! All layers operate on single samples (online training); every layer's
+//! backward pass is validated against numerical gradients in its tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use laelaps_nn::dense::Dense;
+//! use laelaps_nn::param::Optimizer;
+//! use laelaps_nn::activations::softmax_cross_entropy;
+//! use rand::{SeedableRng, rngs::StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut layer = Dense::new(4, 2, &mut rng);
+//! let opt = Optimizer::sgd(0.1);
+//!
+//! let logits = layer.forward(&[0.5, -0.5, 1.0, 0.0]);
+//! let (loss, dlogits) = softmax_cross_entropy(&logits, 1);
+//! layer.backward(&dlogits);
+//! layer.step(&opt);
+//! assert!(loss > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod activations;
+pub mod conv;
+pub mod dense;
+pub mod lstm;
+pub mod param;
+pub mod svm;
+pub mod tensor;
+
+pub use conv::{Conv2d, MaxPool2d};
+pub use dense::Dense;
+pub use lstm::Lstm;
+pub use param::{Optimizer, Param};
+pub use svm::{LinearSvm, SvmConfig};
+pub use tensor::Tensor;

@@ -1,0 +1,342 @@
+//! Single-layer LSTM with backpropagation through time.
+//!
+//! Implements the classic LSTM cell (input/forget/output gates, tanh
+//! candidate) for single sequences — the network family of the paper's
+//! deep-learning baseline [Hussein et al., ICASSP'18]. The classifier in
+//! `laelaps-baselines` reads the final hidden state.
+
+use rand::rngs::StdRng;
+
+use crate::activations::{sigmoid, tanh};
+use crate::param::{Optimizer, Param};
+
+/// Per-step cache for BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    c: Vec<f32>,
+    tanh_c: Vec<f32>,
+}
+
+/// A single-layer LSTM over sequences of `input_dim`-dimensional frames.
+///
+/// Gate weights are packed as `[4·hidden, ·]` in i, f, g, o order.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    input_dim: usize,
+    hidden: usize,
+    w: Param, // input weights  [4H, I]
+    u: Param, // recurrent weights [4H, H]
+    b: Param, // bias [4H]
+    cache: Vec<StepCache>,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Glorot-initialized weights and forget-gate
+    /// bias 1 (standard trick for gradient flow).
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        let w = Param::glorot(&[4 * hidden, input_dim], rng);
+        let u = Param::glorot(&[4 * hidden, hidden], rng);
+        let mut b = Param::zeros(&[4 * hidden]);
+        for j in hidden..2 * hidden {
+            b.value.data_mut()[j] = 1.0;
+        }
+        Lstm {
+            input_dim,
+            hidden,
+            w,
+            u,
+            b,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Hidden-state width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input frame width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Number of trainable scalars.
+    pub fn param_count(&self) -> usize {
+        self.w.value.len() + self.u.value.len() + self.b.value.len()
+    }
+
+    /// Runs the sequence, returning the final hidden state. Caches every
+    /// step for [`Lstm::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty or a frame has the wrong width.
+    pub fn forward(&mut self, seq: &[Vec<f32>]) -> Vec<f32> {
+        assert!(!seq.is_empty(), "LSTM sequence must be nonempty");
+        self.cache.clear();
+        let hh = self.hidden;
+        let mut h = vec![0.0f32; hh];
+        let mut c = vec![0.0f32; hh];
+        for x in seq {
+            assert_eq!(x.len(), self.input_dim, "frame width mismatch");
+            let mut a = self.w.value.matvec(x);
+            let ua = self.u.value.matvec(&h);
+            for (ai, (&ui, &bi)) in a
+                .iter_mut()
+                .zip(ua.iter().zip(self.b.value.data().iter()))
+            {
+                *ai += ui + bi;
+            }
+            let mut step = StepCache {
+                x: x.clone(),
+                h_prev: h.clone(),
+                c_prev: c.clone(),
+                i: vec![0.0; hh],
+                f: vec![0.0; hh],
+                g: vec![0.0; hh],
+                o: vec![0.0; hh],
+                c: vec![0.0; hh],
+                tanh_c: vec![0.0; hh],
+            };
+            for j in 0..hh {
+                step.i[j] = sigmoid(a[j]);
+                step.f[j] = sigmoid(a[hh + j]);
+                step.g[j] = tanh(a[2 * hh + j]);
+                step.o[j] = sigmoid(a[3 * hh + j]);
+                step.c[j] = step.f[j] * c[j] + step.i[j] * step.g[j];
+                step.tanh_c[j] = step.c[j].tanh();
+                h[j] = step.o[j] * step.tanh_c[j];
+            }
+            c.copy_from_slice(&step.c);
+            self.cache.push(step);
+        }
+        h
+    }
+
+    /// Inference-only forward pass (no caching).
+    pub fn infer(&self, seq: &[Vec<f32>]) -> Vec<f32> {
+        let hh = self.hidden;
+        let mut h = vec![0.0f32; hh];
+        let mut c = vec![0.0f32; hh];
+        for x in seq {
+            let mut a = self.w.value.matvec(x);
+            let ua = self.u.value.matvec(&h);
+            for (ai, (&ui, &bi)) in a
+                .iter_mut()
+                .zip(ua.iter().zip(self.b.value.data().iter()))
+            {
+                *ai += ui + bi;
+            }
+            for j in 0..hh {
+                let i = sigmoid(a[j]);
+                let f = sigmoid(a[hh + j]);
+                let g = tanh(a[2 * hh + j]);
+                let o = sigmoid(a[3 * hh + j]);
+                c[j] = f * c[j] + i * g;
+                h[j] = o * c[j].tanh();
+            }
+        }
+        h
+    }
+
+    /// Backpropagation through time from a gradient on the final hidden
+    /// state. Accumulates parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Lstm::forward`] or with the wrong width.
+    pub fn backward(&mut self, grad_h_last: &[f32]) {
+        assert!(!self.cache.is_empty(), "backward called before forward");
+        assert_eq!(grad_h_last.len(), self.hidden, "gradient width mismatch");
+        let hh = self.hidden;
+        let mut dh = grad_h_last.to_vec();
+        let mut dc = vec![0.0f32; hh];
+        let mut da = vec![0.0f32; 4 * hh];
+        for t in (0..self.cache.len()).rev() {
+            let step = &self.cache[t];
+            for j in 0..hh {
+                let o = step.o[j];
+                let tc = step.tanh_c[j];
+                let dco = dc[j] + dh[j] * o * (1.0 - tc * tc);
+                let di = dco * step.g[j];
+                let df = dco * step.c_prev[j];
+                let dg = dco * step.i[j];
+                let do_ = dh[j] * tc;
+                da[j] = di * step.i[j] * (1.0 - step.i[j]);
+                da[hh + j] = df * step.f[j] * (1.0 - step.f[j]);
+                da[2 * hh + j] = dg * (1.0 - step.g[j] * step.g[j]);
+                da[3 * hh + j] = do_ * o * (1.0 - o);
+                dc[j] = dco * step.f[j];
+            }
+            // Parameter gradients: dW += da ⊗ x, dU += da ⊗ h_prev, db += da.
+            for r in 0..4 * hh {
+                let g = da[r];
+                if g == 0.0 {
+                    continue;
+                }
+                self.b.grad.data_mut()[r] += g;
+                let wrow =
+                    &mut self.w.grad.data_mut()[r * self.input_dim..(r + 1) * self.input_dim];
+                for (wg, &xj) in wrow.iter_mut().zip(step.x.iter()) {
+                    *wg += g * xj;
+                }
+                let urow = &mut self.u.grad.data_mut()[r * hh..(r + 1) * hh];
+                for (ug, &hj) in urow.iter_mut().zip(step.h_prev.iter()) {
+                    *ug += g * hj;
+                }
+            }
+            // dh_prev = Uᵀ·da.
+            for d in dh.iter_mut() {
+                *d = 0.0;
+            }
+            for r in 0..4 * hh {
+                let g = da[r];
+                if g == 0.0 {
+                    continue;
+                }
+                let urow = &self.u.value.data()[r * hh..(r + 1) * hh];
+                for (d, &u) in dh.iter_mut().zip(urow.iter()) {
+                    *d += g * u;
+                }
+            }
+        }
+    }
+
+    /// Applies accumulated gradients.
+    pub fn step(&mut self, opt: &Optimizer) {
+        opt.update(&mut self.w);
+        opt.update(&mut self.u);
+        opt.update(&mut self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn forward_shapes_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lstm = Lstm::new(3, 8, &mut rng);
+        let seq: Vec<Vec<f32>> = (0..10)
+            .map(|t| vec![t as f32 * 0.1, -0.2, 0.3])
+            .collect();
+        let h1 = lstm.forward(&seq);
+        assert_eq!(h1.len(), 8);
+        assert_eq!(lstm.infer(&seq), h1);
+        assert_eq!(lstm.param_count(), 4 * 8 * 3 + 4 * 8 * 8 + 4 * 8);
+    }
+
+    #[test]
+    fn hidden_state_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lstm = Lstm::new(2, 4, &mut rng);
+        let seq: Vec<Vec<f32>> = (0..200).map(|_| vec![10.0, -10.0]).collect();
+        let h = lstm.forward(&seq);
+        assert!(h.iter().all(|&x| x.abs() <= 1.0), "h = {h:?}");
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        // Check dW numerically on a tiny LSTM with loss = sum(h_T).
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let seq: Vec<Vec<f32>> = (0..4)
+            .map(|_| (0..2).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let _ = lstm.forward(&seq);
+        lstm.backward(&vec![1.0; 3]);
+        let eps = 1e-3f32;
+        // Probe a handful of weight entries.
+        for &idx in &[0usize, 5, 11, 17, 23] {
+            let analytic = lstm.w.grad.data()[idx];
+            let orig = lstm.w.value.data()[idx];
+            lstm.w.value.data_mut()[idx] = orig + eps;
+            let lp: f32 = lstm.infer(&seq).iter().sum();
+            lstm.w.value.data_mut()[idx] = orig - eps;
+            let lm: f32 = lstm.infer(&seq).iter().sum();
+            lstm.w.value.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn recurrent_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let seq: Vec<Vec<f32>> = (0..5)
+            .map(|_| (0..2).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let _ = lstm.forward(&seq);
+        lstm.backward(&vec![1.0; 3]);
+        let eps = 1e-3f32;
+        for &idx in &[0usize, 7, 20, 35] {
+            let analytic = lstm.u.grad.data()[idx];
+            let orig = lstm.u.value.data()[idx];
+            lstm.u.value.data_mut()[idx] = orig + eps;
+            let lp: f32 = lstm.infer(&seq).iter().sum();
+            lstm.u.value.data_mut()[idx] = orig - eps;
+            let lm: f32 = lstm.infer(&seq).iter().sum();
+            lstm.u.value.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn learns_sign_of_mean() {
+        // Classify whether the sequence mean is positive: LSTM + fixed
+        // readout of h[0] with logistic loss.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lstm = Lstm::new(1, 6, &mut rng);
+        let opt = Optimizer::adam(0.02);
+        let mut opt = opt;
+        let mut correct_late = 0;
+        let trials = 600;
+        for step in 0..trials {
+            let positive = step % 2 == 0;
+            let base: f32 = if positive { 0.4 } else { -0.4 };
+            let seq: Vec<Vec<f32>> = (0..12)
+                .map(|_| vec![base + rng.gen_range(-0.3..0.3)])
+                .collect();
+            let h = lstm.forward(&seq);
+            let z = h[0];
+            let p = sigmoid(z * 4.0);
+            let target = positive as u8 as f32;
+            // dL/dz for logistic loss with gain 4.
+            let dz = 4.0 * (p - target);
+            let mut grad = vec![0.0f32; 6];
+            grad[0] = dz;
+            lstm.backward(&grad);
+            opt.begin_step();
+            lstm.step(&opt);
+            if step >= trials - 100 && ((p > 0.5) == positive) {
+                correct_late += 1;
+            }
+        }
+        assert!(correct_late >= 90, "late accuracy {correct_late}/100");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_sequence_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut lstm = Lstm::new(1, 2, &mut rng);
+        let _ = lstm.forward(&[]);
+    }
+}

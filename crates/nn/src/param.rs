@@ -1,0 +1,184 @@
+//! Trainable parameters and optimizers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// A trainable parameter: value, accumulated gradient, and Adam moments.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (cleared by the optimizer step).
+    pub grad: Tensor,
+    m: Tensor,
+    v: Tensor,
+}
+
+impl Param {
+    /// Zero-initialized parameter.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Param {
+            value: Tensor::zeros(shape),
+            grad: Tensor::zeros(shape),
+            m: Tensor::zeros(shape),
+            v: Tensor::zeros(shape),
+        }
+    }
+
+    /// Uniform Glorot/Xavier initialization for a weight of shape
+    /// `[fan_out, fan_in]` (or any shape, using the first two dims).
+    pub fn glorot(shape: &[usize], rng: &mut StdRng) -> Self {
+        let fan_out = shape[0] as f32;
+        let fan_in: f32 = shape[1..].iter().product::<usize>() as f32;
+        let limit = (6.0 / (fan_in + fan_out)).sqrt();
+        let mut p = Self::zeros(shape);
+        for x in p.value.data_mut() {
+            *x = rng.gen_range(-limit..limit);
+        }
+        p
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+/// Optimization algorithms over [`Param`]s.
+#[derive(Debug, Clone)]
+pub enum Optimizer {
+    /// Plain stochastic gradient descent with optional momentum (stored in
+    /// the parameter's `m` slot).
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (0 disables).
+        momentum: f32,
+    },
+    /// Adam with standard defaults.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay (0.9).
+        beta1: f32,
+        /// Second-moment decay (0.999).
+        beta2: f32,
+        /// Numerical floor (1e-8).
+        eps: f32,
+        /// Step counter for bias correction.
+        t: u64,
+    },
+}
+
+impl Optimizer {
+    /// SGD with momentum 0.9.
+    pub fn sgd(lr: f32) -> Self {
+        Optimizer::Sgd { lr, momentum: 0.9 }
+    }
+
+    /// Adam with standard hyperparameters.
+    pub fn adam(lr: f32) -> Self {
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+
+    /// Advances internal counters; call once per optimization step
+    /// (before updating the step's parameters).
+    pub fn begin_step(&mut self) {
+        if let Optimizer::Adam { t, .. } = self {
+            *t += 1;
+        }
+    }
+
+    /// Applies the accumulated gradient of one parameter and clears it.
+    pub fn update(&self, p: &mut Param) {
+        match *self {
+            Optimizer::Sgd { lr, momentum } => {
+                for i in 0..p.value.len() {
+                    let g = p.grad.data()[i];
+                    let vel = momentum * p.m.data()[i] - lr * g;
+                    p.m.data_mut()[i] = vel;
+                    p.value.data_mut()[i] += vel;
+                }
+            }
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+                t,
+            } => {
+                let t = t.max(1) as f32;
+                let bc1 = 1.0 - beta1.powf(t);
+                let bc2 = 1.0 - beta2.powf(t);
+                for i in 0..p.value.len() {
+                    let g = p.grad.data()[i];
+                    let m = beta1 * p.m.data()[i] + (1.0 - beta1) * g;
+                    let v = beta2 * p.v.data()[i] + (1.0 - beta2) * g * g;
+                    p.m.data_mut()[i] = m;
+                    p.v.data_mut()[i] = v;
+                    let mhat = m / bc1;
+                    let vhat = v / bc2;
+                    p.value.data_mut()[i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            }
+        }
+        p.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Minimizes f(x) = (x - 3)² with each optimizer.
+    fn minimize(mut opt: Optimizer) -> f32 {
+        let mut p = Param::zeros(&[1]);
+        for _ in 0..600 {
+            opt.begin_step();
+            let x = p.value.data()[0];
+            p.grad.data_mut()[0] = 2.0 * (x - 3.0);
+            opt.update(&mut p);
+        }
+        p.value.data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = minimize(Optimizer::sgd(0.05));
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = minimize(Optimizer::adam(0.05));
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn glorot_is_bounded_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Param::glorot(&[64, 32], &mut rng);
+        let limit = (6.0f32 / 96.0).sqrt();
+        assert!(p.value.data().iter().all(|&x| x.abs() <= limit));
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let q = Param::glorot(&[64, 32], &mut rng2);
+        assert_eq!(p.value, q.value);
+    }
+
+    #[test]
+    fn update_clears_gradient() {
+        let mut p = Param::zeros(&[2]);
+        p.grad.data_mut()[0] = 1.0;
+        Optimizer::sgd(0.1).update(&mut p);
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,339 @@
+//! A minimal dense tensor (row-major `f32`).
+
+use std::fmt;
+
+/// Dense row-major tensor of `f32`.
+///
+/// Supports the handful of shapes the baselines need: vectors (`[n]`),
+/// matrices (`[r, c]`), and 3-D feature maps (`[c, h, w]`).
+///
+/// # Examples
+///
+/// ```
+/// use laelaps_nn::tensor::Tensor;
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = Tensor::eye(2);
+/// assert_eq!(a.matmul(&b), a);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = check_shape(shape);
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n = check_shape(shape);
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; n],
+        }
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Builds a tensor from a flat vector and shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape volume.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let n = check_shape(shape);
+        assert_eq!(data.len(), n, "data length {} != shape volume {n}", data.len());
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat immutable view.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterprets with a new shape of identical volume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volumes differ.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        let n = check_shape(shape);
+        assert_eq!(self.data.len(), n, "reshape volume mismatch");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// 2-D element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or the indices are out of range.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[r * self.shape[1] + c]
+    }
+
+    /// 2-D mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or the indices are out of range.
+    #[inline]
+    pub fn at2_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        &mut self.data[r * self.shape[1] + c]
+    }
+
+    /// Matrix product of two 2-D tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not 2-D or the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row = &rhs.data[p * n..(p + 1) * n];
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product: `self (m×k) · v (k) → (m)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(self.shape.len(), 2, "matvec lhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        assert_eq!(v.len(), k, "matvec dim mismatch");
+        (0..m)
+            .map(|i| {
+                self.data[i * k..(i + 1) * k]
+                    .iter()
+                    .zip(v.iter())
+                    .map(|(&a, &b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose needs a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// Elementwise `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise `self *= s`.
+    pub fn scale(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Applies `f` elementwise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Euclidean norm of all elements.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+fn check_shape(shape: &[usize]) -> usize {
+    assert!(!shape.is_empty(), "shape must have at least one dimension");
+    assert!(
+        shape.iter().all(|&d| d > 0),
+        "shape {shape:?} has a zero dimension"
+    );
+    shape.iter().product()
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor {{ shape: {:?}, norm: {:.4}, first: {:?} }}",
+            self.shape,
+            self.norm(),
+            &self.data[..self.data.len().min(4)]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], &[2, 2]);
+        assert_eq!(a.matmul(&Tensor::eye(2)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let v = vec![1.0, 0.5, -1.0];
+        let got = a.matvec(&v);
+        let expected = a.matmul(&Tensor::from_vec(v, &[3, 1]));
+        assert_eq!(got, expected.data());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().at2(1, 2), a.at2(2, 1));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut a = Tensor::full(&[2, 2], 1.0);
+        let b = Tensor::full(&[2, 2], 2.0);
+        a.add_assign(&b);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[1.5; 4]);
+        assert_eq!(a.sum(), 6.0);
+        let m = a.map(|x| x * 2.0);
+        assert_eq!(m.data(), &[3.0; 4]);
+        a.fill_zero();
+        assert_eq!(a.norm(), 0.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let b = a.clone().reshape(&[3, 2]);
+        assert_eq!(b.shape(), &[3, 2]);
+        assert_eq!(b.data(), a.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "volume mismatch")]
+    fn reshape_rejects_bad_volume() {
+        let _ = Tensor::zeros(&[2, 3]).reshape(&[4, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_rejects_mismatch() {
+        let _ = Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn zero_dimension_rejected() {
+        let _ = Tensor::zeros(&[2, 0]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", Tensor::zeros(&[2])).is_empty());
+    }
+}

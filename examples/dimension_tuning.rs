@@ -1,0 +1,26 @@
+//! Per-patient hypervector dimension tuning (paper §IV-B): start from the
+//! 10 kbit golden model and shrink while training-set performance holds.
+//!
+//! ```text
+//! cargo run --release --example dimension_tuning
+//! ```
+
+use laelaps::eval::experiments::{render_dtune, run_dtune_patient};
+use laelaps::ieeg::synth::demo_patient;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = demo_patient(11);
+    eprintln!(
+        "tuning d for a demo patient ({} electrodes, {} training seizure) ...",
+        profile.info.electrodes, profile.info.train_seizures
+    );
+    let result = run_dtune_patient(&profile)?;
+    println!("{}", render_dtune(std::slice::from_ref(&result)));
+    println!(
+        "model storage at the chosen dimension: {} kbit \
+         (vs {} kbit for the golden model)",
+        (64 + profile.info.electrodes + 2) * result.choice.dim / 1000,
+        (64 + profile.info.electrodes + 2) * 10_000 / 1000,
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! EDF workflow: persist a synthetic recording (plus its seizure
+//! annotations) to the standard EEG interchange format, read it back, and
+//! run detection on the loaded copy.
+//!
+//! ```text
+//! cargo run --release --example edf_roundtrip
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use laelaps::core::{Detector, LaelapsConfig, Trainer, TrainingData};
+use laelaps::ieeg::edf::{read_annotations, read_edf, write_annotations, write_edf};
+use laelaps::ieeg::synth::demo_patient;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let recording = demo_patient(3).synthesize()?;
+    let dir = std::env::temp_dir().join("laelaps_edf_example");
+    std::fs::create_dir_all(&dir)?;
+    let edf_path = dir.join("demo.edf");
+    let ann_path = dir.join("demo.seizures");
+
+    // Persist.
+    write_edf(&recording, "DEMO-P03", BufWriter::new(File::create(&edf_path)?))?;
+    write_annotations(
+        recording.annotations(),
+        BufWriter::new(File::create(&ann_path)?),
+    )?;
+    println!(
+        "wrote {} ({:.1} MB) and {}",
+        edf_path.display(),
+        std::fs::metadata(&edf_path)?.len() as f64 / 1e6,
+        ann_path.display()
+    );
+
+    // Load.
+    let (header, loaded) = read_edf(BufReader::new(File::open(&edf_path)?))?;
+    let annotations = read_annotations(BufReader::new(File::open(&ann_path)?))?;
+    println!(
+        "read back: patient {:?}, {} signals × {} records of {} s",
+        header.patient_id,
+        header.signals.len(),
+        header.num_records,
+        header.record_duration_secs
+    );
+    assert_eq!(loaded.electrodes(), recording.electrodes());
+    assert_eq!(annotations.len(), recording.annotations().len());
+
+    // Train and detect on the LOADED copy (16-bit quantization must not
+    // hurt an algorithm that only looks at sample-difference signs).
+    let fs = loaded.sample_rate() as usize;
+    let first = annotations[0];
+    let inter_end = first.onset_sample as usize - 45 * fs;
+    let config = LaelapsConfig::builder().dim(1000).seed(5).build()?;
+    let data = TrainingData::new(loaded.channels())
+        .ictal(first.range())
+        .interictal(inter_end - 30 * fs..inter_end);
+    let model = Trainer::new(config).train(&data)?;
+    let mut detector = Detector::new(&model)?;
+    let events = detector.run(loaded.channels())?;
+    let alarms = events.iter().filter(|e| e.alarm.is_some()).count();
+    println!(
+        "detection on the EDF round-trip copy: {alarms} alarms over \
+         {} events ({} annotated seizures)",
+        events.len(),
+        annotations.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Embedded deployment profile: per-classification time and energy on the
+//! simulated Tegra X2 across electrode counts — the scalability study
+//! behind Table II ("almost constant execution time and energy of Laelaps
+//! with respect to the number of electrodes").
+//!
+//! ```text
+//! cargo run --release --example embedded_profile
+//! ```
+
+use laelaps::eval::experiments::table2::laelaps_event_stats;
+use laelaps::gpu_sim::baseline_cost::{BaselineMethod, Platform};
+
+fn main() {
+    println!("per-classification cost on the simulated TX2 (Max-Q, d = 1 kbit)\n");
+    println!(
+        "{:>10} {:>16} {:>16} {:>14} {:>14}",
+        "electrodes", "Laelaps t [ms]", "Laelaps e [mJ]", "SVM e [mJ]", "LSTM e [mJ]"
+    );
+    for electrodes in [24usize, 32, 48, 64, 96, 128] {
+        let laelaps = laelaps_event_stats(electrodes);
+        println!(
+            "{:>10} {:>16.2} {:>16.2} {:>14.1} {:>14.0}",
+            electrodes,
+            laelaps.time_ms,
+            laelaps.energy_mj,
+            BaselineMethod::Svm.energy_mj(electrodes, Platform::Best),
+            BaselineMethod::Lstm.energy_mj(electrodes, Platform::Best),
+        );
+    }
+    println!(
+        "\nLaelaps' kernels stay resident in shared memory, so electrode \
+         count only\nchanges the popcount loop depth; the baselines move \
+         (and compute) linearly more."
+    );
+    let l24 = laelaps_event_stats(24);
+    let l128 = laelaps_event_stats(128);
+    println!(
+        "\nscaling 24→128 electrodes: Laelaps ×{:.2} energy, SVM ×{:.2}, LSTM ×{:.2}",
+        l128.energy_mj / l24.energy_mj,
+        BaselineMethod::Svm.energy_mj(128, Platform::Best)
+            / BaselineMethod::Svm.energy_mj(24, Platform::Best),
+        BaselineMethod::Lstm.energy_mj(128, Platform::Best)
+            / BaselineMethod::Lstm.energy_mj(24, Platform::Best),
+    );
+}

@@ -1,0 +1,35 @@
+//! Long-term monitoring scenario: the paper's full clinical protocol
+//! (chronological split, tr tuning, baselines) on a subset of the
+//! synthetic 18-patient cohort — a miniature Table I.
+//!
+//! ```text
+//! cargo run --release --example long_term_monitoring [-- P1,P5,P14]
+//! ```
+
+use laelaps::eval::experiments::{render_table1, run_table1, Table1Options};
+use laelaps::ieeg::PATIENTS;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let ids: Vec<&'static str> = match &arg {
+        Some(list) => list
+            .split(',')
+            .map(|want| {
+                PATIENTS
+                    .iter()
+                    .map(|p| p.id)
+                    .find(|id| *id == want)
+                    .unwrap_or_else(|| panic!("unknown patient {want:?}"))
+            })
+            .collect(),
+        None => vec!["P3", "P14", "P17"],
+    };
+    let options = Table1Options {
+        ids: Some(ids),
+        time_scale: 2400.0,
+        ..Table1Options::default()
+    };
+    eprintln!("running the clinical protocol on {:?} ...", options.ids);
+    let result = run_table1(&options);
+    println!("{}", render_table1(&result));
+}

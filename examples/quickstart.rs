@@ -1,0 +1,67 @@
+//! Quickstart: train a patient-specific Laelaps model from one seizure
+//! and stream new data through the detector.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use laelaps::core::{Detector, LaelapsConfig, Trainer, TrainingData};
+use laelaps::ieeg::synth::demo_patient;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small synthetic patient: 12 electrodes, 3 seizures, ~18 min.
+    let recording = demo_patient(7).synthesize()?;
+    let fs = recording.sample_rate() as usize;
+    println!(
+        "recording: {} electrodes, {:.1} min, {} annotated seizures",
+        recording.electrodes(),
+        recording.duration_secs() / 60.0,
+        recording.annotations().len()
+    );
+
+    // 2. Train from the FIRST seizure only (paper protocol: one or two
+    //    training seizures + 30 s of interictal background).
+    let first = recording.annotations()[0];
+    let interictal_end = first.onset_sample as usize - 45 * fs;
+    let config = LaelapsConfig::builder().dim(2000).seed(42).build()?;
+    let data = TrainingData::new(recording.channels())
+        .ictal(first.range())
+        .interictal(interictal_end - 30 * fs..interictal_end);
+    let model = Trainer::new(config).train(&data)?;
+    println!(
+        "trained model: d = {} bits, {} kbit total storage",
+        model.config().dim,
+        model.storage_bits() / 1000
+    );
+
+    // 3. Stream the rest of the recording through the detector.
+    let test_start = first.end_sample as usize + 30 * fs;
+    let mut detector = Detector::new(&model)?;
+    let mut frame = vec![0.0f32; recording.electrodes()];
+    let mut alarms = 0;
+    for t in test_start..recording.len_samples() {
+        for (j, ch) in recording.channels().iter().enumerate() {
+            frame[j] = ch[t];
+        }
+        if let Some(event) = detector.push_frame(&frame)? {
+            if let Some(alarm) = event.alarm {
+                alarms += 1;
+                println!(
+                    "ALARM at {:>7.1} s  (mean Δ = {:.0})",
+                    test_start as f64 / fs as f64 + event.time_secs,
+                    alarm.mean_delta
+                );
+            }
+        }
+    }
+    println!(
+        "{} alarm(s); ground truth: {} unseen seizures",
+        alarms,
+        recording
+            .annotations()
+            .iter()
+            .filter(|a| a.onset_sample as usize >= test_start)
+            .count()
+    );
+    Ok(())
+}

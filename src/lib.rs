@@ -1,0 +1,24 @@
+//! # laelaps
+//!
+//! Facade crate for the Laelaps reproduction (Burrello et al., DATE 2019):
+//! an energy-efficient seizure-detection pipeline from long-term human
+//! iEEG built on local binary patterns and hyperdimensional computing.
+//!
+//! This crate re-exports the workspace members under stable paths:
+//!
+//! * [`core`] — the Laelaps algorithm (LBP, HD encoder, AM, postprocess);
+//! * [`ieeg`] — recordings, DSP, EDF I/O, synthetic dataset;
+//! * [`nn`] — the mini NN/SVM library behind the baselines;
+//! * [`baselines`] — LBP+SVM, LSTM, and STFT+CNN detectors;
+//! * [`gpu_sim`] — the Tegra X2 timing/energy model;
+//! * [`eval`] — metrics and the table/figure experiment harness.
+//!
+//! See the runnable binaries under `examples/` for end-to-end usage, and
+//! `laelaps-bench` for the table/figure regeneration commands.
+
+pub use laelaps_baselines as baselines;
+pub use laelaps_core as core;
+pub use laelaps_eval as eval;
+pub use laelaps_gpu_sim as gpu_sim;
+pub use laelaps_ieeg as ieeg;
+pub use laelaps_nn as nn;

@@ -1,0 +1,97 @@
+//! End-to-end integration: synthesize → train → detect → score, across
+//! crate boundaries through the public API.
+
+use laelaps::core::tuning::{tune_tr, DEFAULT_ALPHA};
+use laelaps::eval::runner::{
+    alarms_with_tr, outcome_from_alarms, run_laelaps_test, train_laelaps,
+    PreparedPatient,
+};
+use laelaps::ieeg::synth::demo_patient;
+
+#[test]
+fn full_protocol_detects_all_strong_seizures_without_false_alarms() {
+    let profile = demo_patient(21);
+    let prep = PreparedPatient::new(&profile).expect("preparation succeeds");
+    let (model, replay) = train_laelaps(&prep, 2000).expect("training succeeds");
+    let tr = tune_tr(&replay, DEFAULT_ALPHA);
+    let run = run_laelaps_test(&model, &prep).expect("test run succeeds");
+    let outcome = outcome_from_alarms(&prep, &alarms_with_tr(&run, &model, tr));
+    assert_eq!(outcome.test_seizures, 2);
+    assert_eq!(
+        outcome.detected, 2,
+        "both held-out strong seizures must be detected"
+    );
+    assert_eq!(outcome.false_alarms, 0, "tuned tr must yield zero false alarms");
+    let delay = outcome.mean_delay_secs().expect("delays recorded");
+    assert!(
+        (2.0..40.0).contains(&delay),
+        "mean delay {delay:.1}s outside the plausible range"
+    );
+}
+
+#[test]
+fn detection_is_reproducible_bit_for_bit() {
+    let profile = demo_patient(22);
+    let prep = PreparedPatient::new(&profile).unwrap();
+    let (model_a, _) = train_laelaps(&prep, 1000).unwrap();
+    let (model_b, _) = train_laelaps(&prep, 1000).unwrap();
+    assert_eq!(model_a.am().interictal(), model_b.am().interictal());
+    assert_eq!(model_a.am().ictal(), model_b.am().ictal());
+    let run_a = run_laelaps_test(&model_a, &prep).unwrap();
+    let run_b = run_laelaps_test(&model_b, &prep).unwrap();
+    assert_eq!(run_a.classifications, run_b.classifications);
+}
+
+#[test]
+fn pure_background_never_alarms_with_tuned_tr() {
+    use laelaps::core::tuning::{replay_training, tune_tr};
+    use laelaps::core::{Detector, LaelapsConfig, Trainer, TrainingData};
+    use laelaps::ieeg::synth::background::BackgroundGenerator;
+    use laelaps::ieeg::synth::ictal::{render_seizure, SeizureEvent};
+
+    // Train on background + an injected seizure, tune tr per the paper's
+    // §III-C rule, then run on *fresh pure background*: the headline
+    // zero-false-alarm property.
+    let fs = 512usize;
+    let electrodes = 8;
+    let mut gen = BackgroundGenerator::new(fs as f64, electrodes, 50.0, 31);
+    let mut train_sig = gen.generate(fs * 120);
+    let rms = {
+        let mut acc = 0.0f64;
+        let take = fs * 10;
+        for ch in &train_sig {
+            for &x in &ch[..take] {
+                acc += (x as f64) * (x as f64);
+            }
+        }
+        (acc / (take * electrodes) as f64).sqrt()
+    };
+    let seizure =
+        render_seizure(&SeizureEvent::strong(20.0, 32), fs as f64, electrodes, rms);
+    let onset = fs * 80;
+    for (ch, over) in train_sig.iter_mut().zip(seizure.iter()) {
+        for (i, &x) in over.iter().enumerate() {
+            ch[onset + i] += x;
+        }
+    }
+    let config = LaelapsConfig::builder().dim(2000).seed(33).build().unwrap();
+    let ictal_range = onset..onset + seizure[0].len();
+    let data = TrainingData::new(&train_sig)
+        .interictal(fs * 10..fs * 40)
+        .ictal(ictal_range.clone());
+    let model = Trainer::new(config).train(&data).unwrap();
+    let replay = replay_training(&model, &train_sig, &[ictal_range]).unwrap();
+    let tr = tune_tr(&replay, 0.0);
+
+    let mut fresh = BackgroundGenerator::new(fs as f64, electrodes, 50.0, 999);
+    let background_only = fresh.generate(fs * 300);
+    let mut detector = Detector::new(&model).unwrap();
+    detector.set_tr(tr);
+    let events = detector.run(&background_only).unwrap();
+    assert!(events.len() > 500);
+    let alarms = events.iter().filter(|e| e.alarm.is_some()).count();
+    assert_eq!(
+        alarms, 0,
+        "pure background must not alarm once tr is tuned (tr = {tr})"
+    );
+}

@@ -1,0 +1,58 @@
+//! A miniature Table I run through the experiment harness: two patients,
+//! aggressive compression, no baselines — the structural smoke test for
+//! the full experiment path.
+
+use laelaps::eval::experiments::{
+    render_table1, run_table1, summarize_ablation, Table1Options,
+};
+
+#[test]
+fn mini_table1_runs_and_reports() {
+    let options = Table1Options {
+        ids: Some(vec!["P5", "P14"]),
+        time_scale: 6000.0,
+        with_baselines: false,
+        ..Table1Options::default()
+    };
+    let result = run_table1(&options);
+    assert!(result.failures.is_empty(), "failures: {:?}", result.failures);
+    assert_eq!(result.rows.len(), 2);
+
+    let p5 = result.rows.iter().find(|r| r.id == "P5").unwrap();
+    assert_eq!(p5.laelaps.test_seizures, 3);
+    assert_eq!(
+        p5.laelaps.detected, 3,
+        "P5's strong seizures must all be detected"
+    );
+    assert_eq!(p5.laelaps.false_alarms, 0);
+    assert_eq!(p5.dim, 1000, "paper's tuned d for P5 is 1 kbit");
+
+    let p14 = result.rows.iter().find(|r| r.id == "P14").unwrap();
+    assert_eq!(
+        p14.laelaps.detected, 0,
+        "P14 is blind for every method in the paper"
+    );
+    assert_eq!(p14.laelaps.false_alarms, 0);
+
+    // Rendering includes both measured and paper columns.
+    let text = render_table1(&result);
+    assert!(text.contains("P5"));
+    assert!(text.contains("Laelaps paper"));
+
+    // Ablation machinery consumes the same result.
+    let ablation = summarize_ablation(&result);
+    assert!(ablation.fdr_tr0 >= ablation.fdr_tuned);
+}
+
+#[test]
+fn dim_override_applies_to_all_rows() {
+    let options = Table1Options {
+        ids: Some(vec!["P5"]),
+        time_scale: 6000.0,
+        with_baselines: false,
+        dim_override: Some(512),
+        ..Table1Options::default()
+    };
+    let result = run_table1(&options);
+    assert!(result.rows.iter().all(|r| r.dim == 512));
+}
