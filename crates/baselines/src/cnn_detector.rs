@@ -223,13 +223,12 @@ mod tests {
     fn detects_held_out_seizure() {
         let protocol = Protocol::default();
         let rec = two_state_recording(4, 120, 9);
-        let mut det = CnnDetector::train(
-            rec.channels(),
-            &[TRAIN_ICTAL.0 * 512..TRAIN_ICTAL.1 * 512],
-            &[TRAIN_INTER.0 * 512..TRAIN_INTER.1 * 512],
-            &protocol,
-            0,
+        #[allow(clippy::single_range_in_vec_init)] // one segment each
+        let (ictal, inter) = (
+            [TRAIN_ICTAL.0 * 512..TRAIN_ICTAL.1 * 512],
+            [TRAIN_INTER.0 * 512..TRAIN_INTER.1 * 512],
         );
+        let mut det = CnnDetector::train(rec.channels(), &ictal, &inter, &protocol, 0);
         let test = two_state_recording(4, 120, 55);
         let events = run_detector(&mut det, test.channels(), &protocol);
         let alarms: Vec<_> = events.iter().filter(|e| e.alarm).collect();

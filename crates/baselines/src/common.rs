@@ -123,7 +123,7 @@ pub fn run_detector(
             armed = true;
         }
         let mut alarm = false;
-        let in_refractory = refractory_until.map_or(false, |u| index < u);
+        let in_refractory = refractory_until.is_some_and(|u| index < u);
         if !in_refractory {
             refractory_until = None;
             if condition && armed {
@@ -170,6 +170,7 @@ pub fn labeled_windows(
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // single training segments
 mod tests {
     use super::*;
 

@@ -71,11 +71,7 @@ impl ChannelStats {
 /// Converts a window into the pooled sequence the LSTM consumes:
 /// `STEPS` frames of `electrodes` values, normalized by the training-time
 /// channel statistics.
-pub fn window_to_sequence(
-    window: &Window,
-    steps: usize,
-    stats: &ChannelStats,
-) -> Vec<Vec<f32>> {
+pub fn window_to_sequence(window: &Window, steps: usize, stats: &ChannelStats) -> Vec<Vec<f32>> {
     let electrodes = window.len();
     let len = window.first().map_or(0, |ch| ch.len());
     let chunk = (len / steps).max(1);
@@ -192,6 +188,7 @@ impl WindowClassifier for LstmDetector {
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // single training segments
 mod tests {
     use super::*;
     use crate::common::run_detector;

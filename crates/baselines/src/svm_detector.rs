@@ -49,10 +49,8 @@ impl SvmDetector {
         seed: u64,
     ) -> Self {
         let labeled = labeled_windows(signal, ictal, interictal, protocol);
-        let samples: Vec<(Vec<f32>, bool)> = labeled
-            .iter()
-            .map(|(w, y)| (lbp_features(w), *y))
-            .collect();
+        let samples: Vec<(Vec<f32>, bool)> =
+            labeled.iter().map(|(w, y)| (lbp_features(w), *y)).collect();
         let svm = LinearSvm::train(
             &samples,
             &SvmConfig {
@@ -90,6 +88,7 @@ impl WindowClassifier for SvmDetector {
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // single training segments
 mod tests {
     use super::*;
     use crate::common::run_detector;
@@ -108,11 +107,7 @@ mod tests {
     #[test]
     fn features_are_normalized() {
         let rec = two_state_recording(4, 90, 1);
-        let window: Window = rec
-            .channels()
-            .iter()
-            .map(|ch| ch[..512].to_vec())
-            .collect();
+        let window: Window = rec.channels().iter().map(|ch| ch[..512].to_vec()).collect();
         let f = lbp_features(&window);
         for e in 0..4 {
             let mass: f32 = f[e * 64..(e + 1) * 64].iter().sum();

@@ -14,7 +14,10 @@ pub const TRAIN_INTER: (usize, usize) = (10, 40);
 /// A recording of `secs` seconds with a strong seizure at 60–80 s over
 /// synthetic background (deterministic in `seed`).
 pub fn two_state_recording(electrodes: usize, secs: usize, seed: u64) -> Recording {
-    assert!(secs >= 85, "fixture needs >= 85 s to hold the 60-80 s seizure");
+    assert!(
+        secs >= 85,
+        "fixture needs >= 85 s to hold the 60-80 s seizure"
+    );
     let fs = 512.0;
     let n = secs * 512;
     let mut bg = BackgroundGenerator::new(fs, electrodes, 50.0, seed);

@@ -3,8 +3,8 @@
 //! TX2 cost-model numbers in Table II.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use laelaps_baselines::common::Window;
 use laelaps_baselines::cnn_detector::spectrogram_image;
+use laelaps_baselines::common::Window;
 use laelaps_baselines::svm_detector::lbp_features;
 use laelaps_core::hv::ItemMemory;
 use laelaps_gpu_sim::kernels::{run_classify_kernel, run_lbp_kernel, GpuEncoder};

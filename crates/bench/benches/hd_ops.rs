@@ -33,8 +33,9 @@ fn bench_bundling(c: &mut Criterion) {
     group.sample_size(20);
     for &dim in &[1_000usize, 4_000, 10_000] {
         let mut rng = StdRng::seed_from_u64(2);
-        let vs: Vec<Hypervector> =
-            (0..64).map(|_| Hypervector::random(dim, &mut rng)).collect();
+        let vs: Vec<Hypervector> = (0..64)
+            .map(|_| Hypervector::random(dim, &mut rng))
+            .collect();
         group.bench_with_input(BenchmarkId::new("bitslice", dim), &dim, |bench, _| {
             bench.iter(|| {
                 let mut acc = BitSliceAccumulator::new(dim);

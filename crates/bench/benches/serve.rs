@@ -1,0 +1,112 @@
+//! Throughput of the multi-patient streaming service: wall time per 10 s
+//! of cohort signal as the session count grows, plus the cost of one
+//! model save/load round-trip (the registry's cold path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use laelaps_core::{LaelapsConfig, PatientModel, Trainer, TrainingData};
+use laelaps_serve::{load_model, save_model, DetectionService, PushError, ServeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const FS: usize = 512;
+const ELECTRODES: usize = 8;
+
+fn trained_model(dim: usize) -> PatientModel {
+    let mut rng = StdRng::seed_from_u64(7);
+    let len = FS * 45;
+    let seizure = FS * 30..FS * 40;
+    let signal: Vec<Vec<f32>> = (0..ELECTRODES)
+        .map(|_| {
+            (0..len)
+                .map(|t| {
+                    if seizure.contains(&t) {
+                        (t % 120) as f32 / 120.0
+                    } else {
+                        rng.gen_range(-1.0f32..1.0)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let config = LaelapsConfig::builder().dim(dim).seed(11).build().unwrap();
+    let data = TrainingData::new(&signal)
+        .ictal(seizure)
+        .interictal(FS * 2..FS * 28);
+    Trainer::new(config).train(&data).unwrap()
+}
+
+/// Streams `secs` seconds of pre-generated signal through `sessions`
+/// concurrent sessions and flushes.
+fn bench_session_scaling(c: &mut Criterion) {
+    let model = trained_model(1000);
+    let mut rng = StdRng::seed_from_u64(3);
+    let chunk_frames = 256;
+    let secs = 10;
+    let chunks_per_session = secs * FS / chunk_frames;
+    let chunk: Vec<f32> = (0..chunk_frames * ELECTRODES)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+
+    let mut group = c.benchmark_group("serve_throughput_10s_per_session");
+    group.sample_size(10);
+    for &sessions in &[1usize, 4, 16] {
+        group.throughput(Throughput::Elements((sessions * secs * FS) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sessions),
+            &sessions,
+            |bench, &sessions| {
+                let service = DetectionService::new(ServeConfig::default());
+                let mut handles: Vec<_> = (0..sessions)
+                    .map(|i| service.open_session(&format!("bench-{i}"), &model).unwrap())
+                    .collect();
+                bench.iter(|| {
+                    for _ in 0..chunks_per_session {
+                        for handle in &mut handles {
+                            let mut pending: Box<[f32]> = chunk.as_slice().into();
+                            loop {
+                                match handle.try_push_chunk(pending) {
+                                    Ok(()) => break,
+                                    Err(PushError::Full(back)) => {
+                                        pending = back;
+                                        std::thread::yield_now();
+                                    }
+                                    Err(e) => panic!("{e}"),
+                                }
+                            }
+                        }
+                    }
+                    service.flush();
+                    for handle in &handles {
+                        black_box(handle.take_events().len());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_model_persistence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_model_persistence");
+    group.sample_size(20);
+    for &dim in &[1_000usize, 10_000] {
+        let model = trained_model(dim);
+        let mut bytes = Vec::new();
+        save_model(&model, &mut bytes).unwrap();
+        group.bench_with_input(BenchmarkId::new("save", dim), &model, |bench, model| {
+            bench.iter(|| {
+                let mut out = Vec::with_capacity(bytes.len());
+                save_model(black_box(model), &mut out).unwrap();
+                black_box(out.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("load", dim), &bytes, |bench, bytes| {
+            bench.iter(|| black_box(load_model(&mut bytes.as_slice()).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_session_scaling, bench_model_persistence);
+criterion_main!(benches);

@@ -6,9 +6,7 @@
 //! ```
 
 use laelaps_bench::{arg_present, arg_value};
-use laelaps_eval::experiments::{
-    render_ablation, run_table1, summarize_ablation, Table1Options,
-};
+use laelaps_eval::experiments::{render_ablation, run_table1, summarize_ablation, Table1Options};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -26,7 +26,10 @@ fn main() {
     if let Some(s) = arg_value(&args, "--seed") {
         options.seed = s.parse().expect("--seed takes an integer");
     }
-    eprintln!("running Fig. 3 FDR pass (scale 1/{}) ...", options.time_scale);
+    eprintln!(
+        "running Fig. 3 FDR pass (scale 1/{}) ...",
+        options.time_scale
+    );
     let table1 = run_table1(&options);
     let points = run_fig3(&table1);
     println!("{}", render_fig3(&points));

@@ -51,6 +51,10 @@ fn main() {
     );
     let started = std::time::Instant::now();
     let result = run_table1(&options);
-    eprintln!("done in {:.1}s (alpha = {:.2})", started.elapsed().as_secs_f64(), result.alpha);
+    eprintln!(
+        "done in {:.1}s (alpha = {:.2})",
+        started.elapsed().as_secs_f64(),
+        result.alpha
+    );
     println!("{}", render_table1(&result));
 }

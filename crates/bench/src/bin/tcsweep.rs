@@ -14,8 +14,10 @@ use laelaps_ieeg::synth::{cohort_subset, CohortOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cohort = CohortOptions::default();
-    cohort.time_scale = 2400.0;
+    let mut cohort = CohortOptions {
+        time_scale: 2400.0,
+        ..CohortOptions::default()
+    };
     if let Some(s) = arg_value(&args, "--scale") {
         cohort.time_scale = s.parse().expect("--scale takes a number");
     }

@@ -34,8 +34,10 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let args: Vec<String> =
-            ["--scale", "900", "--quick"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--scale", "900", "--quick"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_value(&args, "--scale").as_deref(), Some("900"));
         assert_eq!(arg_value(&args, "--ids"), None);
         assert!(arg_present(&args, "--quick"));

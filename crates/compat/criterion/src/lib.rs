@@ -1,0 +1,317 @@
+//! Offline shim for the subset of `criterion` used by this workspace.
+//!
+//! Same source syntax as real criterion (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `Bencher::iter`, throughput), but a
+//! deliberately simple measurement loop: per benchmark it warms up, then
+//! takes `sample_size` timed samples of an adaptively sized inner loop and
+//! reports min/median/mean nanoseconds per iteration to stdout.
+//!
+//! Under `cargo test` (which runs bench targets with `--test`) each
+//! benchmark body executes exactly once, so benches double as smoke tests.
+//!
+//! Replace the path dependency with the registry crate when networked
+//! builds are available; bench sources need no changes.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time per measured sample.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(8);
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`--test` → single-shot
+    /// mode, used by `cargo test`; a bare string filters benchmark names).
+    pub fn from_args() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = name.to_string();
+        self.run_one(&label, 20, None, f);
+        self
+    }
+
+    fn run_one<F>(
+        &mut self,
+        label: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("{label}: ok (test mode)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = bencher.samples;
+        if per_iter.is_empty() {
+            println!("{label}: no measurements");
+            return;
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let _ = sample_size;
+        let rate = throughput.map_or(String::new(), |t| t.render(median));
+        println!(
+            "{label}: min {} · median {} · mean {}{rate}",
+            format_ns(min),
+            format_ns(median),
+            format_ns(mean)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Throughput annotation for a group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn render(self, median_ns: f64) -> String {
+        match self {
+            Throughput::Elements(n) => {
+                let per_sec = n as f64 / (median_ns / 1e9);
+                format!(" · {per_sec:.0} elem/s")
+            }
+            Throughput::Bytes(n) => {
+                let per_sec = n as f64 / (median_ns / 1e9) / (1 << 20) as f64;
+                format!(" · {per_sec:.1} MiB/s")
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        let (sample_size, throughput) = (self.sample_size, self.throughput);
+        self.criterion
+            .run_one(&label, sample_size, throughput, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with an input value, labeled by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let (sample_size, throughput) = (self.sample_size, self.throughput);
+        self.criterion
+            .run_one(&label, sample_size, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; mirrors the criterion API).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{parameter}"`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs the measured closure; handed to benchmark bodies.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing per-iteration nanosecond samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up and inner-loop calibration: grow the batch until one
+        // batch costs at least the sample budget (or a cap is reached).
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= SAMPLE_BUDGET || batch >= 1 << 20 {
+                break;
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+        let samples = 10usize;
+        self.samples.reserve(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// Declares a group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_in_test_mode() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut calls = 0u32;
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("g", 3), &3, |b, &x| {
+            b.iter(|| black_box(x))
+        });
+        group.finish();
+        assert_eq!(calls, 1, "test mode runs the body exactly once");
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("xor", 1000).label, "xor/1000");
+        assert_eq!(BenchmarkId::from_parameter(24).label, "24");
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

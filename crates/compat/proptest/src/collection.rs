@@ -1,0 +1,67 @@
+//! Collection strategies (shim for `proptest::collection`).
+
+use crate::{Strategy, TestRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Sizes accepted by [`vec`]: an exact length or a length range.
+pub trait IntoSizeRange {
+    /// Draws a concrete length.
+    fn pick_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn pick_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn pick_len(&self, rng: &mut TestRng) -> usize {
+        rng.sample(self.clone())
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn pick_len(&self, rng: &mut TestRng) -> usize {
+        rng.sample(self.clone())
+    }
+}
+
+/// Strategy for `Vec<T>` with elements drawn from `element` and length
+/// drawn from `size`.
+pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    size: L,
+}
+
+impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick_len(rng);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = TestRng::deterministic("vec", 0);
+        let exact = vec(0u32..10, 7usize).new_value(&mut rng);
+        assert_eq!(exact.len(), 7);
+        for _ in 0..50 {
+            let ranged = vec(0u32..10, 2usize..5).new_value(&mut rng);
+            assert!((2..5).contains(&ranged.len()));
+            let inclusive = vec(0u32..10, 3usize..=3).new_value(&mut rng);
+            assert_eq!(inclusive.len(), 3);
+        }
+    }
+}

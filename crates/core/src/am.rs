@@ -88,10 +88,7 @@ impl AssociativeMemory {
     /// # Errors
     ///
     /// Returns [`LaelapsError::InvalidConfig`] if dimensions differ.
-    pub fn from_prototypes(
-        interictal: Hypervector,
-        ictal: Hypervector,
-    ) -> Result<Self> {
+    pub fn from_prototypes(interictal: Hypervector, ictal: Hypervector) -> Result<Self> {
         if interictal.dim() != ictal.dim() {
             return Err(LaelapsError::InvalidConfig {
                 field: "prototypes",
@@ -136,7 +133,11 @@ impl AssociativeMemory {
         let d2 = self.ictal.hamming(query);
         Classification {
             // Ties favor interictal: an alarm needs strict evidence.
-            label: if d2 < d1 { Label::Ictal } else { Label::Interictal },
+            label: if d2 < d1 {
+                Label::Ictal
+            } else {
+                Label::Interictal
+            },
             dist_interictal: d1,
             dist_ictal: d2,
         }
@@ -201,10 +202,7 @@ impl AmTrainer {
         if self.ictal.is_empty() {
             return Err(LaelapsError::EmptyTrainingSegment { prototype: "ictal" });
         }
-        AssociativeMemory::from_prototypes(
-            self.interictal.majority(),
-            self.ictal.majority(),
-        )
+        AssociativeMemory::from_prototypes(self.interictal.majority(), self.ictal.majority())
     }
 }
 

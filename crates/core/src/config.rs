@@ -133,12 +133,9 @@ impl LaelapsConfig {
             ));
         }
         if self.hop_samples == 0 || self.hop_samples > self.window_samples {
-            return Err(invalid(
-                "hop_samples",
-                "hop must be in 1..=window_samples",
-            ));
+            return Err(invalid("hop_samples", "hop must be in 1..=window_samples"));
         }
-        if self.window_samples % self.hop_samples != 0 {
+        if !self.window_samples.is_multiple_of(self.hop_samples) {
             return Err(invalid(
                 "hop_samples",
                 "hop must divide the window length (streaming partial sums)",

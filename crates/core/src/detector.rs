@@ -202,7 +202,11 @@ mod tests {
     }
 
     fn trained_model(seed: u64) -> (crate::PatientModel, Vec<Vec<f32>>) {
-        let config = LaelapsConfig::builder().dim(1024).seed(seed).build().unwrap();
+        let config = LaelapsConfig::builder()
+            .dim(1024)
+            .seed(seed)
+            .build()
+            .unwrap();
         let len = 512 * 60;
         let seizure = 512 * 40..512 * 55;
         let signal = two_state_signal(4, len, seizure.clone(), seed);

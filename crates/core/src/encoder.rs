@@ -24,7 +24,7 @@ use rand::SeedableRng;
 /// Seed offset separating IM1 (codes) from IM2 (electrodes) and the
 /// tie-break vector, all derived from the single model seed.
 const IM1_SEED_OFFSET: u64 = 0x1B9_C0DE;
-const IM2_SEED_OFFSET: u64 = 0xE1EC_0DE;
+const IM2_SEED_OFFSET: u64 = 0x0E1E_C0DE;
 const TIE_SEED_OFFSET: u64 = 0x71E_B17;
 
 /// Stateless spatial encoder: maps one LBP code per electrode to the
@@ -65,8 +65,7 @@ impl SpatialEncoder {
             config.dim,
             config.seed.wrapping_add(IM2_SEED_OFFSET),
         );
-        let mut tie_rng =
-            StdRng::seed_from_u64(config.seed.wrapping_add(TIE_SEED_OFFSET));
+        let mut tie_rng = StdRng::seed_from_u64(config.seed.wrapping_add(TIE_SEED_OFFSET));
         let tie = Hypervector::random(config.dim, &mut tie_rng);
         Ok(SpatialEncoder {
             im_codes,
@@ -375,8 +374,14 @@ mod tests {
         let signal = random_signal(3, 1400, 3);
         let c1 = LaelapsConfig::builder().dim(256).seed(1).build().unwrap();
         let c2 = LaelapsConfig::builder().dim(256).seed(2).build().unwrap();
-        let w1 = Encoder::new(&c1, 3).unwrap().encode_signal(&signal).unwrap();
-        let w2 = Encoder::new(&c2, 3).unwrap().encode_signal(&signal).unwrap();
+        let w1 = Encoder::new(&c1, 3)
+            .unwrap()
+            .encode_signal(&signal)
+            .unwrap();
+        let w2 = Encoder::new(&c2, 3)
+            .unwrap()
+            .encode_signal(&signal)
+            .unwrap();
         assert_ne!(w1[0].vector, w2[0].vector);
     }
 

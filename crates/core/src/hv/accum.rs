@@ -603,8 +603,7 @@ mod tests {
         assert_eq!(slice.to_counts(), dense.counts().to_vec());
         assert_eq!(slice.threshold(257), dense.threshold(257));
         // Sanity: counts hover around 256.
-        let mean =
-            dense.counts().iter().map(|&c| c as f64).sum::<f64>() / dim as f64;
+        let mean = dense.counts().iter().map(|&c| c as f64).sum::<f64>() / dim as f64;
         assert!((mean - 256.0).abs() < 30.0);
         let _ = rng.gen::<u8>();
     }

@@ -94,6 +94,27 @@ impl Hypervector {
         v
     }
 
+    /// Reconstructs a vector from raw limbs (the inverse of
+    /// [`Hypervector::limbs`]) — the deserialization hook used by the
+    /// model-persistence layer in `laelaps-serve`.
+    ///
+    /// Returns `None` if `dim` is zero, the limb count does not match
+    /// `dim.div_ceil(64)`, or any padding bit above `dim` is set (a sign
+    /// of corrupted input).
+    pub fn from_limbs(dim: usize, limbs: Vec<u64>) -> Option<Self> {
+        if dim == 0 || limbs.len() != dim.div_ceil(LIMB_BITS) {
+            return None;
+        }
+        let rem = dim % LIMB_BITS;
+        if rem != 0 && limbs[limbs.len() - 1] & !((1u64 << rem) - 1) != 0 {
+            return None;
+        }
+        Some(Hypervector {
+            limbs: limbs.into_boxed_slice(),
+            dim,
+        })
+    }
+
     /// The dimension `d` of this vector.
     #[inline]
     pub fn dim(&self) -> usize {
@@ -132,7 +153,11 @@ impl Hypervector {
     /// Panics if `i >= self.dim()`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.dim, "component {i} out of range (dim {})", self.dim);
+        assert!(
+            i < self.dim,
+            "component {i} out of range (dim {})",
+            self.dim
+        );
         (self.limbs[i / LIMB_BITS] >> (i % LIMB_BITS)) & 1 == 1
     }
 
@@ -143,7 +168,11 @@ impl Hypervector {
     /// Panics if `i >= self.dim()`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.dim, "component {i} out of range (dim {})", self.dim);
+        assert!(
+            i < self.dim,
+            "component {i} out of range (dim {})",
+            self.dim
+        );
         let mask = 1u64 << (i % LIMB_BITS);
         if value {
             self.limbs[i / LIMB_BITS] |= mask;
@@ -371,5 +400,25 @@ mod tests {
     fn debug_is_nonempty() {
         let v = Hypervector::zero(64);
         assert!(!format!("{v:?}").is_empty());
+    }
+
+    #[test]
+    fn from_limbs_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for dim in [64usize, 70, 128, 1000] {
+            let v = Hypervector::random(dim, &mut rng);
+            let back = Hypervector::from_limbs(dim, v.limbs().to_vec()).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn from_limbs_rejects_bad_input() {
+        assert!(Hypervector::from_limbs(0, vec![]).is_none());
+        assert!(Hypervector::from_limbs(64, vec![0, 0]).is_none());
+        assert!(Hypervector::from_limbs(128, vec![0]).is_none());
+        // Padding bit above dim = 70 set → reject.
+        assert!(Hypervector::from_limbs(70, vec![0, 1 << 6]).is_none());
+        assert!(Hypervector::from_limbs(70, vec![0, (1 << 6) - 1]).is_some());
     }
 }

@@ -24,11 +24,7 @@ impl PatientModel {
     ///
     /// Returns [`LaelapsError::InvalidConfig`] if the AM dimension differs
     /// from `config.dim` or `electrodes` is zero.
-    pub fn new(
-        config: LaelapsConfig,
-        electrodes: usize,
-        am: AssociativeMemory,
-    ) -> Result<Self> {
+    pub fn new(config: LaelapsConfig, electrodes: usize, am: AssociativeMemory) -> Result<Self> {
         config.validate()?;
         if electrodes == 0 {
             return Err(LaelapsError::InvalidConfig {
@@ -94,11 +90,7 @@ mod tests {
     use crate::hv::Hypervector;
 
     fn dummy_am(dim: usize) -> AssociativeMemory {
-        AssociativeMemory::from_prototypes(
-            Hypervector::zero(dim),
-            Hypervector::ones(dim),
-        )
-        .unwrap()
+        AssociativeMemory::from_prototypes(Hypervector::zero(dim), Hypervector::ones(dim)).unwrap()
     }
 
     #[test]

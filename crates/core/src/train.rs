@@ -250,9 +250,7 @@ mod tests {
     #[test]
     fn empty_signal_rejected() {
         let signal: Vec<Vec<f32>> = Vec::new();
-        let data = TrainingData::new(&signal)
-            .interictal(0..10)
-            .ictal(0..10);
+        let data = TrainingData::new(&signal).interictal(0..10).ictal(0..10);
         assert!(Trainer::new(config()).train(&data).is_err());
     }
 

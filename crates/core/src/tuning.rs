@@ -71,10 +71,7 @@ impl TrainingReplay {
         if self.delta_interictal.is_empty() {
             None
         } else {
-            Some(
-                self.delta_interictal.iter().sum::<f64>()
-                    / self.delta_interictal.len() as f64,
-            )
+            Some(self.delta_interictal.iter().sum::<f64>() / self.delta_interictal.len() as f64)
         }
     }
 
@@ -237,9 +234,7 @@ pub struct DimensionChoice {
 
 /// The candidate ladder used by the experiments (kbit steps mirroring the
 /// paper's Table I values).
-pub const DIM_LADDER: &[usize] = &[
-    10_000, 7_000, 6_000, 5_000, 4_000, 3_000, 2_000, 1_000, 500,
-];
+pub const DIM_LADDER: &[usize] = &[10_000, 7_000, 6_000, 5_000, 4_000, 3_000, 2_000, 1_000, 500];
 
 /// Per-patient dimension tuning (paper §IV-B): evaluate the golden model at
 /// the largest dimension of `ladder`, then keep shrinking while the
@@ -268,8 +263,7 @@ pub fn tune_dimension(
     for &dim in &sorted[1..] {
         let outcome = eval(dim);
         evaluated.push((dim, outcome));
-        if outcome.detected >= golden.detected && outcome.false_alarms <= golden.false_alarms
-        {
+        if outcome.detected >= golden.detected && outcome.false_alarms <= golden.false_alarms {
             best = dim;
         } else {
             break;
@@ -286,11 +280,7 @@ pub fn tune_dimension(
 mod tests {
     use super::*;
 
-    fn replay(
-        delta_ictal: &[f64],
-        delta_inter: &[f64],
-        false_alarms: usize,
-    ) -> TrainingReplay {
+    fn replay(delta_ictal: &[f64], delta_inter: &[f64], false_alarms: usize) -> TrainingReplay {
         let mean = if delta_ictal.is_empty() {
             Vec::new()
         } else {
@@ -351,7 +341,7 @@ mod tests {
         // max ictal barely above interictal: can't fit one clean multiple.
         let r = replay(&[35.0], &[30.0], 1);
         let tr = tune_tr(&r, 10.0);
-        assert!(tr >= 0.0 && tr <= 30.0);
+        assert!((0.0..=30.0).contains(&tr));
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Property-based tests for the HD-computing and LBP invariants.
 
-use laelaps_core::hv::{
-    BitSliceAccumulator, DenseAccumulator, Hypervector, ItemMemory, TiePolicy,
-};
+use laelaps_core::hv::{BitSliceAccumulator, DenseAccumulator, Hypervector, ItemMemory, TiePolicy};
 use laelaps_core::lbp::{lbp_codes, lbp_histogram, LbpExtractor};
 use proptest::prelude::*;
 

@@ -29,18 +29,16 @@ pub struct DtuneResult {
 pub fn run_dtune_patient(profile: &PatientProfile) -> Result<DtuneResult, RunError> {
     let prep = PreparedPatient::new(profile)?;
     let mut error: Option<RunError> = None;
-    let choice = tune_dimension(DIM_LADDER, |dim| {
-        match train_laelaps(&prep, dim) {
-            Ok((_, replay)) => TuningOutcome {
-                detected: replay.detected_tc_only,
-                false_alarms: replay.false_alarms_tc_only,
-            },
-            Err(e) => {
-                error = Some(e);
-                TuningOutcome {
-                    detected: 0,
-                    false_alarms: usize::MAX,
-                }
+    let choice = tune_dimension(DIM_LADDER, |dim| match train_laelaps(&prep, dim) {
+        Ok((_, replay)) => TuningOutcome {
+            detected: replay.detected_tc_only,
+            false_alarms: replay.false_alarms_tc_only,
+        },
+        Err(e) => {
+            error = Some(e);
+            TuningOutcome {
+                detected: 0,
+                false_alarms: usize::MAX,
             }
         }
     });
@@ -78,8 +76,7 @@ pub fn render_dtune(results: &[DtuneResult]) -> String {
         ));
     }
     if !results.is_empty() {
-        let mean =
-            results.iter().map(|r| r.choice.dim as f64).sum::<f64>() / results.len() as f64;
+        let mean = results.iter().map(|r| r.choice.dim as f64).sum::<f64>() / results.len() as f64;
         out.push_str(&format!(
             "\nmean tuned dimension: {:.1} kbit (paper mean: 4.3 kbit)\n",
             mean / 1000.0

@@ -62,9 +62,7 @@ pub fn run_fig3(table1: &Table1Result) -> Vec<Fig3Point> {
 /// Renders the scatter as a table plus a log-energy ASCII plot.
 pub fn render_fig3(points: &[Fig3Point]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Fig. 3 — FDR vs energy per classification (64 electrodes, Max-Q)\n\n",
-    );
+    out.push_str("Fig. 3 — FDR vs energy per classification (64 electrodes, Max-Q)\n\n");
     out.push_str(&format!(
         "{:<26} {:>14} {:>12}\n",
         "series", "energy [mJ]", "FDR [1/h]"
@@ -76,8 +74,10 @@ pub fn render_fig3(points: &[Fig3Point]) -> String {
         ));
     }
     // ASCII scatter: x = log10(energy), y = FDR.
-    let finite: Vec<&Fig3Point> =
-        points.iter().filter(|p| p.fdr_per_hour.is_finite()).collect();
+    let finite: Vec<&Fig3Point> = points
+        .iter()
+        .filter(|p| p.fdr_per_hour.is_finite())
+        .collect();
     if finite.is_empty() {
         return out;
     }
@@ -90,8 +90,7 @@ pub fn render_fig3(points: &[Fig3Point]) -> String {
     let (w, h) = (64usize, 12usize);
     let mut grid = vec![vec![' '; w + 1]; h + 1];
     for (i, p) in finite.iter().enumerate() {
-        let x = ((p.energy_mj.log10() - lo) / (hi - lo) * w as f64)
-            .clamp(0.0, w as f64) as usize;
+        let x = ((p.energy_mj.log10() - lo) / (hi - lo) * w as f64).clamp(0.0, w as f64) as usize;
         let y = h - ((p.fdr_per_hour / max_fdr) * h as f64).clamp(0.0, h as f64) as usize;
         grid[y][x] = char::from_digit(i as u32 % 10, 10).unwrap_or('*');
     }

@@ -16,8 +16,8 @@ use laelaps_ieeg::{patient, PATIENTS};
 use crate::metrics::{MethodOutcome, SeizureSpan};
 use crate::parallel::{default_threads, parallel_map};
 use crate::runner::{
-    outcome_from_spans, run_baseline, train_laelaps, Baseline, LaelapsTestRun,
-    PatientResult, PreparedPatient, RunError,
+    outcome_from_spans, run_baseline, train_laelaps, Baseline, LaelapsTestRun, PatientResult,
+    PreparedPatient, RunError,
 };
 
 /// Options for the Table I run.
@@ -80,7 +80,10 @@ impl Table1Result {
         if self.rows.is_empty() {
             return 0.0;
         }
-        self.rows.iter().map(|r| f(r).sensitivity_pct()).sum::<f64>()
+        self.rows
+            .iter()
+            .map(|r| f(r).sensitivity_pct())
+            .sum::<f64>()
             / self.rows.len() as f64
     }
 
@@ -89,8 +92,7 @@ impl Table1Result {
         if self.rows.is_empty() {
             return 0.0;
         }
-        self.rows.iter().map(|r| f(r).fdr_per_hour()).sum::<f64>()
-            / self.rows.len() as f64
+        self.rows.iter().map(|r| f(r).fdr_per_hour()).sum::<f64>() / self.rows.len() as f64
     }
 
     /// Total detected / total test seizures for the given extractor.
@@ -101,10 +103,7 @@ impl Table1Result {
     }
 
     /// A baseline's outcome for a row, if it was run.
-    pub fn baseline<'a>(
-        row: &'a PatientResult,
-        which: Baseline,
-    ) -> Option<&'a MethodOutcome> {
+    pub fn baseline(row: &PatientResult, which: Baseline) -> Option<&MethodOutcome> {
         row.baselines
             .iter()
             .find(|(b, _)| *b == which)
@@ -179,10 +178,8 @@ pub fn run_table1(options: &Table1Options) -> Table1Result {
                     .filter_map(|(c, &t)| post.push(c).map(|_| t))
                     .collect()
             };
-            let laelaps =
-                outcome_from_spans(&alarm_times(tr), &s.spans, s.equivalent_hours);
-            let laelaps_tr0 =
-                outcome_from_spans(&alarm_times(0.0), &s.spans, s.equivalent_hours);
+            let laelaps = outcome_from_spans(&alarm_times(tr), &s.spans, s.equivalent_hours);
+            let laelaps_tr0 = outcome_from_spans(&alarm_times(0.0), &s.spans, s.equivalent_hours);
             PatientResult {
                 id: s.id,
                 dim: s.dim,
@@ -265,12 +262,14 @@ pub fn render_table1(result: &Table1Result) -> String {
     ));
     if result.rows.first().map(|r| !r.baselines.is_empty()) == Some(true) {
         for which in Baseline::ALL {
-            let sens = result.rows.iter().filter_map(|r| {
-                Table1Result::baseline(r, which).map(|o| o.sensitivity_pct())
-            });
-            let fdr = result.rows.iter().filter_map(|r| {
-                Table1Result::baseline(r, which).map(|o| o.fdr_per_hour())
-            });
+            let sens = result
+                .rows
+                .iter()
+                .filter_map(|r| Table1Result::baseline(r, which).map(|o| o.sensitivity_pct()));
+            let fdr = result
+                .rows
+                .iter()
+                .filter_map(|r| Table1Result::baseline(r, which).map(|o| o.fdr_per_hour()));
             let n = result.rows.len().max(1) as f64;
             out.push_str(&format!(
                 "{}: mean sensitivity {:.1}%, mean FDR {:.3}/h\n",

@@ -53,8 +53,7 @@ pub fn laelaps_event_stats(electrodes: usize) -> laelaps_gpu_sim::ExecutionStats
         Hypervector::random(config.dim, &mut rng),
     )
     .expect("same dimension");
-    let model =
-        PatientModel::new(config, electrodes, am).expect("valid model");
+    let model = PatientModel::new(config, electrodes, am).expect("valid model");
     let mut pipeline = GpuPipeline::new(&model).expect("valid pipeline");
     let device = TegraX2::new(PowerMode::MaxQ);
     let mut stats = None;
@@ -80,7 +79,11 @@ pub fn run_table2() -> Vec<Table2Block> {
                 time_ms: laelaps.time_ms,
                 energy_mj: laelaps.energy_mj,
             }];
-            for m in [BaselineMethod::Svm, BaselineMethod::Cnn, BaselineMethod::Lstm] {
+            for m in [
+                BaselineMethod::Svm,
+                BaselineMethod::Cnn,
+                BaselineMethod::Lstm,
+            ] {
                 rows.push(Table2Row {
                     method: m.name(),
                     time_ms: m.time_ms(electrodes, Platform::Best),
@@ -119,7 +122,9 @@ pub fn render_table2(blocks: &[Table2Block]) -> String {
             let paper = PAPER_TABLE2
                 .iter()
                 .find(|(m, n, _, _)| *m == row.method && *n == block.electrodes);
-            let (pt, pe) = paper.map(|&(_, _, t, e)| (t, e)).unwrap_or((f64::NAN, f64::NAN));
+            let (pt, pe) = paper
+                .map(|&(_, _, t, e)| (t, e))
+                .unwrap_or((f64::NAN, f64::NAN));
             out.push_str(&format!(
                 "{:<18} {:>12.1} {:>12.1} {:>9.1}x {:>12.1} {:>12.1}\n",
                 row.method,
@@ -170,7 +175,10 @@ mod tests {
         let speedup24 = blocks[0].rows[1].time_ms / blocks[0].rows[0].time_ms;
         let speedup128 = blocks[1].rows[1].time_ms / blocks[1].rows[0].time_ms;
         assert!((1.2..2.6).contains(&speedup24), "24el speedup {speedup24}");
-        assert!((2.8..5.2).contains(&speedup128), "128el speedup {speedup128}");
+        assert!(
+            (2.8..5.2).contains(&speedup128),
+            "128el speedup {speedup128}"
+        );
         let saving24 = blocks[0].rows[1].energy_mj / blocks[0].rows[0].energy_mj;
         let saving128 = blocks[1].rows[1].energy_mj / blocks[1].rows[0].energy_mj;
         assert!((1.0..2.2).contains(&saving24), "24el saving {saving24}");

@@ -71,8 +71,7 @@ pub fn run_tc_sweep(streams: &[PatientStream], tcs: &[usize]) -> Vec<TcPoint> {
                     .zip(s.times_secs.iter())
                     .filter_map(|(c, &t)| post.push(c).map(|_| t))
                     .collect();
-                let outcome =
-                    outcome_from_spans(&alarms, &s.spans, s.equivalent_hours);
+                let outcome = outcome_from_spans(&alarms, &s.spans, s.equivalent_hours);
                 detected += outcome.detected;
                 total += outcome.test_seizures;
                 false_alarms += outcome.false_alarms;
@@ -104,9 +103,7 @@ pub fn run_tc_sweep(streams: &[PatientStream], tcs: &[usize]) -> Vec<TcPoint> {
 /// Renders the sweep table.
 pub fn render_tc_sweep(points: &[TcPoint]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "tc sweep — detection delay vs robustness (paper fixes tc = 10)\n\n",
-    );
+    out.push_str("tc sweep — detection delay vs robustness (paper fixes tc = 10)\n\n");
     out.push_str(&format!(
         "{:>4} {:>12} {:>16} {:>12}\n",
         "tc", "delay [s]", "sensitivity [%]", "FDR [1/h]"

@@ -17,6 +17,4 @@ pub mod parallel;
 pub mod runner;
 
 pub use metrics::{score_alarms, AlarmScore, MethodOutcome, SeizureSpan};
-pub use runner::{
-    run_baseline, run_patient, Baseline, PatientResult, PreparedPatient, RunError,
-};
+pub use runner::{run_baseline, run_patient, Baseline, PatientResult, PreparedPatient, RunError};

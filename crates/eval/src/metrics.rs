@@ -40,9 +40,9 @@ pub fn score_alarms(
     let mut delays: Vec<Option<f64>> = vec![None; seizures.len()];
     let mut false_alarm_times = Vec::new();
     for &t in alarm_times {
-        let hit = seizures.iter().position(|s| {
-            t >= s.onset_secs && t <= s.end_secs + tolerance_secs
-        });
+        let hit = seizures
+            .iter()
+            .position(|s| t >= s.onset_secs && t <= s.end_secs + tolerance_secs);
         match hit {
             Some(i) => {
                 if delays[i].is_none() {

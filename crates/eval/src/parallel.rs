@@ -1,10 +1,25 @@
-//! Work-stealing parallel map over patients (crossbeam scoped threads).
+//! Work-stealing parallelism for cohort sweeps and the serving layer.
+//!
+//! Two tools live here:
+//!
+//! * [`parallel_map`] — a one-shot, order-preserving parallel map used by
+//!   the experiment harness (one item ≈ one patient);
+//! * [`ShardedPool`] — persistent worker threads, one per shard, used by
+//!   `laelaps-serve` to drain per-session frame queues continuously.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Applies `f` to every item using up to `threads` worker threads,
 /// preserving input order in the output.
+///
+/// Items are claimed dynamically (an atomic cursor), so uneven per-item
+/// cost still balances across workers. Results travel through an
+/// index-stamped channel and land directly in the output vector — no
+/// per-item locking.
 ///
 /// # Panics
 ///
@@ -17,24 +32,34 @@ where
 {
     let threads = threads.max(1).min(items.len().max(1));
     let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<U>>> =
-        (0..items.len()).map(|_| Mutex::new(None)).collect();
-    crossbeam::scope(|scope| {
+    let mut results: Vec<Option<U>> = Vec::new();
+    results.resize_with(items.len(), || None);
+    let (sender, receiver) = mpsc::channel::<(usize, U)>();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            let sender = sender.clone();
+            let (next, f) = (&next, &f);
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                let out = f(&items[i]);
-                *results[i].lock().unwrap() = Some(out);
+                // A send error means the receiver side already tore down
+                // because another worker panicked; stop quietly and let
+                // the scope propagate that panic.
+                if sender.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
             });
         }
-    })
-    .expect("worker thread panicked");
+        drop(sender);
+        for (i, value) in receiver {
+            results[i] = Some(value);
+        }
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("missing result"))
+        .map(|slot| slot.expect("worker produced every claimed index"))
         .collect()
 }
 
@@ -45,9 +70,132 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// How long an idle [`ShardedPool`] worker sleeps before re-polling.
+const IDLE_POLL: Duration = Duration::from_millis(2);
+
+/// Persistent worker threads, one per shard.
+///
+/// Worker `i` repeatedly invokes the pool closure with shard index `i`.
+/// The closure returns `true` when it found work; a worker whose closure
+/// found nothing parks briefly (or until [`ShardedPool::notify`]) before
+/// retrying, so an idle pool costs almost nothing while a busy one runs
+/// hot. Dropping the pool shuts the workers down and joins them.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// use laelaps_eval::parallel::ShardedPool;
+///
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// let pool = {
+///     let hits = Arc::clone(&hits);
+///     ShardedPool::new(4, move |_shard| {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///         false // nothing left to do
+///     })
+/// };
+/// pool.notify();
+/// while hits.load(Ordering::Relaxed) < 4 {
+///     std::thread::yield_now();
+/// }
+/// drop(pool); // joins the four workers
+/// ```
+pub struct ShardedPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+struct PoolShared {
+    shutdown: AtomicBool,
+    // Guards nothing by itself; pairs with `wake` so notify() cannot race
+    // with a worker that is about to wait.
+    idle: Mutex<()>,
+    wake: Condvar,
+}
+
+impl ShardedPool {
+    /// Spawns `shards` workers, each looping over `run(shard_index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new<F>(shards: usize, run: F) -> Self
+    where
+        F: Fn(usize) -> bool + Send + Sync + 'static,
+    {
+        assert!(shards > 0, "a pool needs at least one shard");
+        let shared = Arc::new(PoolShared {
+            shutdown: AtomicBool::new(false),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        let run = Arc::new(run);
+        let workers = (0..shards)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                let run = Arc::clone(&run);
+                std::thread::Builder::new()
+                    .name(format!("laelaps-shard-{shard}"))
+                    .spawn(move || {
+                        while !shared.shutdown.load(Ordering::Acquire) {
+                            let worked = run(shard);
+                            if !worked {
+                                let guard = shared.idle.lock().expect("pool lock poisoned");
+                                if shared.shutdown.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                let _ = shared
+                                    .wake
+                                    .wait_timeout(guard, IDLE_POLL)
+                                    .expect("pool lock poisoned");
+                            }
+                        }
+                    })
+                    .expect("failed to spawn shard worker")
+            })
+            .collect();
+        ShardedPool { shared, workers }
+    }
+
+    /// Number of shards (and worker threads).
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Wakes all parked workers (call after enqueueing new work).
+    pub fn notify(&self) {
+        let _guard = self.shared.idle.lock().expect("pool lock poisoned");
+        self.shared.wake.notify_all();
+    }
+}
+
+impl Drop for ShardedPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.notify();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked already unwound; surface that here.
+            if worker.join().is_err() && !std::thread::panicking() {
+                panic!("shard worker panicked");
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPool")
+            .field("shards", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU64;
 
     #[test]
     fn maps_in_order() {
@@ -69,7 +217,79 @@ mod tests {
     }
 
     #[test]
+    fn uneven_items_still_complete() {
+        let items: Vec<u64> = (0..40).collect();
+        let out = parallel_map(&items, 8, |&x| {
+            if x % 7 == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            x * x
+        });
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let items = [1u32, 2, 3];
+        let _ = parallel_map(&items, 2, |&x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
     fn thread_count_is_sane() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_runs_every_shard_and_shuts_down() {
+        let counts: Arc<Vec<AtomicU64>> = Arc::new((0..3).map(|_| AtomicU64::new(0)).collect());
+        let pool = {
+            let counts = Arc::clone(&counts);
+            ShardedPool::new(3, move |shard| {
+                counts[shard].fetch_add(1, Ordering::Relaxed);
+                false
+            })
+        };
+        assert_eq!(pool.shards(), 3);
+        pool.notify();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while counts.iter().any(|c| c.load(Ordering::Relaxed) == 0) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "pool workers never ran"
+            );
+            std::thread::yield_now();
+        }
+        drop(pool);
+    }
+
+    #[test]
+    fn pool_drains_queued_work() {
+        let queue: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new((0..100).collect()));
+        let drained = Arc::new(AtomicU64::new(0));
+        let pool = {
+            let (queue, drained) = (Arc::clone(&queue), Arc::clone(&drained));
+            ShardedPool::new(4, move |_shard| {
+                let item = queue.lock().unwrap().pop();
+                match item {
+                    Some(_) => {
+                        drained.fetch_add(1, Ordering::Relaxed);
+                        true
+                    }
+                    None => false,
+                }
+            })
+        };
+        pool.notify();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while drained.load(Ordering::Relaxed) < 100 {
+            assert!(std::time::Instant::now() < deadline, "queue never drained");
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 }

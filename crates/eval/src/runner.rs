@@ -12,9 +12,7 @@ use laelaps_baselines::common::{run_detector, Protocol, WindowClassifier};
 use laelaps_baselines::{CnnDetector, LstmDetector, SvmDetector};
 use laelaps_core::postprocess::Postprocessor;
 use laelaps_core::tuning::{replay_training, tune_tr, TrainingReplay};
-use laelaps_core::{
-    Classification, Detector, LaelapsConfig, PatientModel, Trainer, TrainingData,
-};
+use laelaps_core::{Classification, Detector, LaelapsConfig, PatientModel, Trainer, TrainingData};
 use laelaps_ieeg::synth::PatientProfile;
 use laelaps_ieeg::{chrono_split, Recording};
 
@@ -108,8 +106,7 @@ impl PreparedPatient {
                 profile.info.id, profile.info.train_seizures
             ))
         })?;
-        let train_ictal: Vec<Range<usize>> = anns
-            [..profile.info.train_seizures]
+        let train_ictal: Vec<Range<usize>> = anns[..profile.info.train_seizures]
             .iter()
             .map(|a| a.range())
             .collect();
@@ -123,11 +120,9 @@ impl PreparedPatient {
                 profile.info.id
             )));
         }
-        let train_interictal =
-            (inter_start * fs as f64) as usize..(inter_end * fs as f64) as usize;
+        let train_interictal = (inter_start * fs as f64) as usize..(inter_end * fs as f64) as usize;
         let train_end = split.train_end_sample as usize;
-        let test_secs =
-            (recording.len_samples() - train_end) as f64 / fs as f64;
+        let test_secs = (recording.len_samples() - train_end) as f64 / fs as f64;
         // FDR denominator: hours of signal the detector actually saw.
         // Interictal compression makes this *harder* than the paper's
         // setting (artifacts are denser per hour), so a zero-FDR result
@@ -197,8 +192,7 @@ pub fn train_laelaps(
 ) -> Result<(PatientModel, TrainingReplay), RunError> {
     let config = patient_config(dim, prep.profile.seed);
     let train_signal = prep.train_signal();
-    let mut data = TrainingData::new(&train_signal)
-        .interictal(prep.train_interictal.clone());
+    let mut data = TrainingData::new(&train_signal).interictal(prep.train_interictal.clone());
     for seg in &prep.train_ictal {
         data = data.ictal(seg.clone());
     }

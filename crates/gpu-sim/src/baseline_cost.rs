@@ -54,8 +54,11 @@ impl Linear {
 
 impl BaselineMethod {
     /// All methods, in Table II column order.
-    pub const ALL: [BaselineMethod; 3] =
-        [BaselineMethod::Svm, BaselineMethod::Cnn, BaselineMethod::Lstm];
+    pub const ALL: [BaselineMethod; 3] = [
+        BaselineMethod::Svm,
+        BaselineMethod::Cnn,
+        BaselineMethod::Lstm,
+    ];
 
     /// Human-readable name.
     pub fn name(&self) -> &'static str {
@@ -168,9 +171,7 @@ mod tests {
     #[test]
     fn alternate_platform_is_worse() {
         for m in BaselineMethod::ALL {
-            assert!(
-                m.energy_mj(64, Platform::Alternate) > m.energy_mj(64, Platform::Best)
-            );
+            assert!(m.energy_mj(64, Platform::Alternate) > m.energy_mj(64, Platform::Best));
         }
     }
 

@@ -154,8 +154,7 @@ impl TegraX2 {
                 * (eff_threads as f64 / cost.threads_per_block.max(1) as f64);
             // Sync overhead: ~20 cycles per barrier per block.
             let sync_cycles = (cost.syncs_per_block * cost.blocks * 20) as f64;
-            let compute_s =
-                (instr + sync_cycles) / (Self::CUDA_CORES as f64 * self.gpu_clock_hz());
+            let compute_s = (instr + sync_cycles) / (Self::CUDA_CORES as f64 * self.gpu_clock_hz());
             // Shared memory is pipelined with compute; global memory may
             // bound the kernel.
             let dram_s = cost.global_bytes as f64 / Self::DRAM_BW;
@@ -243,7 +242,9 @@ mod tests {
     fn pipeline_accumulates_launches() {
         let dev = TegraX2::default();
         let one = dev.execute(&[small_kernel()]).time_ms;
-        let three = dev.execute(&[small_kernel(), small_kernel(), small_kernel()]).time_ms;
+        let three = dev
+            .execute(&[small_kernel(), small_kernel(), small_kernel()])
+            .time_ms;
         assert!((three - 3.0 * one).abs() < 0.01);
     }
 

@@ -80,10 +80,7 @@ mod tests {
         let out = run_classify_kernel(&pack_hv(&h), &pack_hv(&p1), &pack_hv(&p2));
         assert_eq!(out.dist_interictal as usize, h.hamming(&p1));
         assert_eq!(out.dist_ictal as usize, h.hamming(&p2));
-        assert_eq!(
-            out.delta as usize,
-            h.hamming(&p1).abs_diff(h.hamming(&p2))
-        );
+        assert_eq!(out.delta as usize, h.hamming(&p1).abs_diff(h.hamming(&p2)));
     }
 
     #[test]

@@ -79,6 +79,8 @@ impl GpuEncoder {
     /// # Panics
     ///
     /// Panics if the code matrix shape is wrong.
+    // Index loops deliberately mirror the CUDA thread/word mapping.
+    #[allow(clippy::needless_range_loop)]
     pub fn encode_chunk(&mut self, codes: &[Vec<u8>]) -> EncodeKernelOutput {
         assert_eq!(codes.len(), self.electrodes, "one code row per electrode");
         assert!(
@@ -94,8 +96,7 @@ impl GpuEncoder {
                 let b = comp % 32;
                 let mut count = 0u32;
                 for e in 0..n {
-                    let bound =
-                        self.im2[e][w] ^ self.im1[codes[e][t] as usize][w];
+                    let bound = self.im2[e][w] ^ self.im1[codes[e][t] as usize][w];
                     count += (bound >> b) & 1;
                 }
                 acc[comp] += (count > majority) as u16;
@@ -122,8 +123,7 @@ impl GpuEncoder {
         let per_thread_per_t = groups * (3 + 2 + 2) + 2;
         let threads = self.words as u64 * 32;
         let cost = CostSheet {
-            thread_instructions: threads * CHUNK as u64 * per_thread_per_t
-                + threads * 4, // H production
+            thread_instructions: threads * CHUNK as u64 * per_thread_per_t + threads * 4, // H production
             // IMs are staged into shared memory once per launch.
             global_bytes: (self.shared_footprint_bytes()
                 + n * CHUNK // codes
@@ -157,6 +157,7 @@ mod tests {
 
     /// Dense reference: spatial majority then temporal threshold, built on
     /// laelaps-core accumulators.
+    #[allow(clippy::needless_range_loop)] // mirrors the kernel's index mapping
     fn reference_h(
         codes_a: &[Vec<u8>],
         codes_b: &[Vec<u8>],

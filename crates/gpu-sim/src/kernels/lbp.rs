@@ -83,7 +83,7 @@ mod tests {
         let signal: Vec<f32> = (0..CHUNK + lbp_len)
             .map(|t| ((t * 37) % 17) as f32 - ((t * 13) % 7) as f32)
             .collect();
-        let out = run_lbp_kernel(&[signal.clone()], lbp_len);
+        let out = run_lbp_kernel(std::slice::from_ref(&signal), lbp_len);
         let reference = lbp_codes(&signal, lbp_len);
         assert_eq!(out.codes[0], reference);
         assert_eq!(out.codes[0].len(), CHUNK);
@@ -103,8 +103,7 @@ mod tests {
     fn cost_scales_linearly_with_electrodes() {
         let a = run_lbp_kernel(&vec![vec![0.0f32; CHUNK + 6]; 24], 6);
         let b = run_lbp_kernel(&vec![vec![0.0f32; CHUNK + 6]; 128], 6);
-        let ratio =
-            b.cost.thread_instructions as f64 / a.cost.thread_instructions as f64;
+        let ratio = b.cost.thread_instructions as f64 / a.cost.thread_instructions as f64;
         assert!((ratio - 128.0 / 24.0).abs() < 1e-9);
     }
 

@@ -209,10 +209,7 @@ mod tests {
                 g.classification.dist_ictal as usize,
                 c.classification.dist_ictal
             );
-            assert_eq!(
-                g.classification.is_ictal,
-                c.classification.label.is_ictal()
-            );
+            assert_eq!(g.classification.is_ictal, c.classification.label.is_ictal());
         }
     }
 
@@ -264,10 +261,7 @@ mod tests {
         }
         assert!(produced > 0);
         gpu.reset();
-        let chunk: Vec<Vec<f32>> = signal
-            .iter()
-            .map(|ch| ch[..256].to_vec())
-            .collect();
+        let chunk: Vec<Vec<f32>> = signal.iter().map(|ch| ch[..256].to_vec()).collect();
         assert!(gpu.push_chunk(&chunk).is_none());
     }
 }

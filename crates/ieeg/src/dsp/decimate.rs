@@ -51,11 +51,7 @@ impl Decimator {
     /// Decimates one channel.
     pub fn decimate(&self, signal: &[f32]) -> Vec<f32> {
         let filtered = self.filter.filter(signal);
-        filtered
-            .iter()
-            .step_by(self.factor)
-            .copied()
-            .collect()
+        filtered.iter().step_by(self.factor).copied().collect()
     }
 
     /// Decimates a whole recording, rescaling its annotations.
@@ -64,11 +60,7 @@ impl Decimator {
     ///
     /// Propagates recording reconstruction errors.
     pub fn decimate_recording(&self, rec: &Recording) -> Result<Recording> {
-        let channels: Vec<Vec<f32>> = rec
-            .channels()
-            .iter()
-            .map(|ch| self.decimate(ch))
-            .collect();
+        let channels: Vec<Vec<f32>> = rec.channels().iter().map(|ch| self.decimate(ch)).collect();
         let new_rate = rec.sample_rate() / self.factor as u32;
         let mut out = Recording::from_channels(new_rate, channels)?;
         for a in rec.annotations() {
@@ -93,8 +85,7 @@ mod tests {
     }
 
     fn rms(signal: &[f32]) -> f64 {
-        (signal.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / signal.len() as f64)
-            .sqrt()
+        (signal.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / signal.len() as f64).sqrt()
     }
 
     #[test]
@@ -125,8 +116,7 @@ mod tests {
     #[test]
     fn recording_rate_and_annotations_rescaled() {
         let fs = 1024;
-        let mut rec =
-            Recording::from_channels(fs, vec![tone(fs as f64, 10.0, 10_240); 2]).unwrap();
+        let mut rec = Recording::from_channels(fs, vec![tone(fs as f64, 10.0, 10_240); 2]).unwrap();
         rec.annotate(SeizureAnnotation::new(2048, 4096)).unwrap();
         let d = Decimator::new(fs as f64, 2).unwrap();
         let out = d.decimate_recording(&rec).unwrap();

@@ -147,7 +147,10 @@ pub fn dft_naive(signal: &[Complex]) -> Vec<Complex> {
 pub fn power_spectrum(signal: &[f32]) -> Result<Vec<f64>> {
     let spec = fft_real(signal)?;
     let n = signal.len();
-    Ok(spec[..=n / 2].iter().map(|c| c.norm_sq() / n as f64).collect())
+    Ok(spec[..=n / 2]
+        .iter()
+        .map(|c| c.norm_sq() / n as f64)
+        .collect())
 }
 
 #[cfg(test)]
@@ -197,10 +200,7 @@ mod tests {
         let n = 256;
         let k0 = 19;
         let signal: Vec<f32> = (0..n)
-            .map(|t| {
-                (2.0 * std::f64::consts::PI * k0 as f64 * t as f64 / n as f64).sin()
-                    as f32
-            })
+            .map(|t| (2.0 * std::f64::consts::PI * k0 as f64 * t as f64 / n as f64).sin() as f32)
             .collect();
         let ps = power_spectrum(&signal).unwrap();
         let peak = ps
@@ -219,8 +219,7 @@ mod tests {
             .collect();
         let time_energy: f64 = signal.iter().map(|&x| (x as f64).powi(2)).sum();
         let spec = fft_real(&signal).unwrap();
-        let freq_energy: f64 =
-            spec.iter().map(|c| c.norm_sq()).sum::<f64>() / signal.len() as f64;
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sq()).sum::<f64>() / signal.len() as f64;
         assert!(close(time_energy, freq_energy, 1e-6 * time_energy.max(1.0)));
     }
 

@@ -53,8 +53,7 @@ impl FirFilter {
                 let sinc = if x.abs() < 1e-12 {
                     2.0 * fc
                 } else {
-                    (2.0 * std::f64::consts::PI * fc * x).sin()
-                        / (std::f64::consts::PI * x)
+                    (2.0 * std::f64::consts::PI * fc * x).sin() / (std::f64::consts::PI * x)
                 };
                 (sinc * win[i] as f64) as f32
             })
@@ -123,8 +122,7 @@ mod tests {
     }
 
     fn rms(signal: &[f32]) -> f64 {
-        (signal.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / signal.len() as f64)
-            .sqrt()
+        (signal.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / signal.len() as f64).sqrt()
     }
 
     #[test]

@@ -125,13 +125,12 @@ impl Biquad {
         let num_im = -(self.b1 * s1 + self.b2 * s2);
         let den_re = 1.0 + self.a1 * c1 + self.a2 * c2;
         let den_im = -(self.a1 * s1 + self.a2 * s2);
-        ((num_re * num_re + num_im * num_im) / (den_re * den_re + den_im * den_im))
-            .sqrt()
+        ((num_re * num_re + num_im * num_im) / (den_re * den_re + den_im * den_im)).sqrt()
     }
 }
 
 fn check_freq(fs: f64, f: f64) -> Result<()> {
-    if !(fs > 0.0) {
+    if fs.is_nan() || fs <= 0.0 {
         return Err(invalid("fs", "sample rate must be positive"));
     }
     if !(f > 0.0 && f < fs / 2.0) {
@@ -144,7 +143,7 @@ fn check_freq(fs: f64, f: f64) -> Result<()> {
 }
 
 fn check_q(q: f64) -> Result<()> {
-    if !(q > 0.0) {
+    if q.is_nan() || q <= 0.0 {
         return Err(invalid("q", "quality factor must be positive"));
     }
     Ok(())
@@ -193,12 +192,7 @@ impl SosCascade {
     ///
     /// Returns [`crate::IeegError::InvalidParameter`] if `low >= high` or
     /// either edge is out of range.
-    pub fn butterworth_bandpass(
-        fs: f64,
-        low: f64,
-        high: f64,
-        order: usize,
-    ) -> Result<Self> {
+    pub fn butterworth_bandpass(fs: f64, low: f64, high: f64, order: usize) -> Result<Self> {
         if low >= high {
             return Err(invalid(
                 "band",
@@ -255,7 +249,7 @@ impl SosCascade {
 
 /// Butterworth pole Q values for an even-order cascade.
 fn butterworth_qs(order: usize) -> Result<Vec<f64>> {
-    if order == 0 || order % 2 != 0 {
+    if order == 0 || !order.is_multiple_of(2) {
         return Err(invalid(
             "order",
             format!("only even nonzero orders supported, got {order}"),
@@ -282,8 +276,7 @@ mod tests {
     }
 
     fn rms(signal: &[f32]) -> f64 {
-        (signal.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / signal.len() as f64)
-            .sqrt()
+        (signal.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / signal.len() as f64).sqrt()
     }
 
     #[test]
@@ -337,7 +330,9 @@ mod tests {
         let hum = tone(fs, 50.0, 8192);
         let out: Vec<f32> = {
             sections.reset();
-            hum.iter().map(|&x| sections.process(x as f64) as f32).collect()
+            hum.iter()
+                .map(|&x| sections.process(x as f64) as f32)
+                .collect()
         };
         assert!(rms(&out[4096..]) < 0.05);
         assert!(sections.magnitude_at(fs, 10.0) > 0.95);

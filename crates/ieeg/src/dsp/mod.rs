@@ -69,11 +69,7 @@ impl Preprocessor {
         let fs = raw.sample_rate() as f64;
         let mut filter =
             SosCascade::butterworth_bandpass(fs, self.band_low, self.band_high, self.order)?;
-        let filtered: Vec<Vec<f32>> = raw
-            .channels()
-            .iter()
-            .map(|ch| filter.filter(ch))
-            .collect();
+        let filtered: Vec<Vec<f32>> = raw.channels().iter().map(|ch| filter.filter(ch)).collect();
         let mut rec = Recording::from_channels(raw.sample_rate(), filtered)?;
         for a in raw.annotations() {
             rec.annotate(*a)?;
@@ -81,7 +77,7 @@ impl Preprocessor {
         if raw.sample_rate() == self.target_rate {
             return Ok(rec);
         }
-        if raw.sample_rate() % self.target_rate != 0 {
+        if !raw.sample_rate().is_multiple_of(self.target_rate) {
             return Err(crate::error::invalid(
                 "sample_rate",
                 format!(
@@ -108,7 +104,8 @@ mod tests {
             .map(|t| (t as f32 * 0.05).sin())
             .collect();
         let mut raw = Recording::from_channels(fs, vec![sig; 3]).unwrap();
-        raw.annotate(SeizureAnnotation::new(1024 * 2, 1024 * 4)).unwrap();
+        raw.annotate(SeizureAnnotation::new(1024 * 2, 1024 * 4))
+            .unwrap();
         let pre = Preprocessor::paper_default().preprocess(&raw).unwrap();
         assert_eq!(pre.sample_rate(), 512);
         assert_eq!(pre.electrodes(), 3);
@@ -118,8 +115,7 @@ mod tests {
 
     #[test]
     fn preprocess_noop_rate_keeps_length() {
-        let raw =
-            Recording::from_channels(512, vec![vec![0.5f32; 512 * 4]; 2]).unwrap();
+        let raw = Recording::from_channels(512, vec![vec![0.5f32; 512 * 4]; 2]).unwrap();
         let pre = Preprocessor::paper_default().preprocess(&raw).unwrap();
         assert_eq!(pre.sample_rate(), 512);
         assert_eq!(pre.len_samples(), 512 * 4);
@@ -138,8 +134,7 @@ mod tests {
         let raw = Recording::from_channels(fs, vec![sig]).unwrap();
         let pre = Preprocessor::paper_default().preprocess(&raw).unwrap();
         let tail = &pre.channel(0)[512 * 4..];
-        let mean: f64 =
-            tail.iter().map(|&x| x as f64).sum::<f64>() / tail.len() as f64;
+        let mean: f64 = tail.iter().map(|&x| x as f64).sum::<f64>() / tail.len() as f64;
         assert!(mean.abs() < 0.05, "DC residue {mean}");
     }
 }

@@ -55,11 +55,7 @@ impl Spectrogram {
 
     /// Total spectral energy (diagnostics).
     pub fn total_energy(&self) -> f64 {
-        self.frames
-            .iter()
-            .flatten()
-            .map(|&p| p as f64)
-            .sum()
+        self.frames.iter().flatten().map(|&p| p as f64).sum()
     }
 }
 

@@ -31,9 +31,7 @@ impl WindowKind {
                     WindowKind::Rectangular => 1.0,
                     WindowKind::Hann => 0.5 - 0.5 * x.cos(),
                     WindowKind::Hamming => 0.54 - 0.46 * x.cos(),
-                    WindowKind::Blackman => {
-                        0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos()
-                    }
+                    WindowKind::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
                 };
                 w as f32
             })
@@ -60,9 +58,7 @@ impl WindowKind {
                     WindowKind::Rectangular => 1.0,
                     WindowKind::Hann => 0.5 - 0.5 * x.cos(),
                     WindowKind::Hamming => 0.54 - 0.46 * x.cos(),
-                    WindowKind::Blackman => {
-                        0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos()
-                    }
+                    WindowKind::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
                 };
                 w as f32
             })

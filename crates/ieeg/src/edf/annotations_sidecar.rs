@@ -21,10 +21,7 @@ const MAGIC: &str = "# laelaps seizure annotations v1";
 /// # Errors
 ///
 /// Returns [`IeegError::Io`] on write failure.
-pub fn write_annotations<W: Write>(
-    annotations: &[SeizureAnnotation],
-    mut w: W,
-) -> Result<()> {
+pub fn write_annotations<W: Write>(annotations: &[SeizureAnnotation], mut w: W) -> Result<()> {
     writeln!(w, "{MAGIC}")?;
     writeln!(w, "# onset_sample\tend_sample")?;
     for a in annotations {
@@ -60,18 +57,20 @@ pub fn read_annotations<R: Read>(r: R) -> Result<Vec<SeizureAnnotation>> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let onset: u64 = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| IeegError::EdfFormat {
-                detail: format!("bad annotation line: {line:?}"),
-            })?;
-        let end: u64 = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| IeegError::EdfFormat {
-                detail: format!("bad annotation line: {line:?}"),
-            })?;
+        let onset: u64 =
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| IeegError::EdfFormat {
+                    detail: format!("bad annotation line: {line:?}"),
+                })?;
+        let end: u64 =
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| IeegError::EdfFormat {
+                    detail: format!("bad annotation line: {line:?}"),
+                })?;
         if end <= onset {
             return Err(IeegError::EdfFormat {
                 detail: format!("annotation end {end} <= onset {onset}"),

@@ -34,10 +34,7 @@ impl EdfHeader {
 
     /// Bytes per data record (2 bytes per sample, all signals).
     pub fn record_bytes(&self) -> usize {
-        self.signals
-            .iter()
-            .map(|s| s.samples_per_record * 2)
-            .sum()
+        self.signals.iter().map(|s| s.samples_per_record * 2).sum()
     }
 }
 
@@ -67,8 +64,7 @@ pub struct SignalHeader {
 impl SignalHeader {
     /// Gain from digital to physical units.
     pub fn gain(&self) -> f64 {
-        (self.physical_max - self.physical_min)
-            / (self.digital_max - self.digital_min) as f64
+        (self.physical_max - self.physical_min) / (self.digital_max - self.digital_min) as f64
     }
 
     /// Converts one digital sample to physical units.
@@ -83,8 +79,7 @@ impl SignalHeader {
         if g == 0.0 {
             return self.digital_min;
         }
-        let raw = ((physical - self.physical_min) / g).round() as i64
-            + self.digital_min as i64;
+        let raw = ((physical - self.physical_min) / g).round() as i64 + self.digital_min as i64;
         raw.clamp(self.digital_min as i64, self.digital_max as i64) as i32
     }
 }
@@ -94,7 +89,13 @@ impl SignalHeader {
 pub(crate) fn fixed_field(value: &str, width: usize) -> Vec<u8> {
     let mut out: Vec<u8> = value
         .bytes()
-        .map(|b| if b.is_ascii_graphic() || b == b' ' { b } else { b'?' })
+        .map(|b| {
+            if b.is_ascii_graphic() || b == b' ' {
+                b
+            } else {
+                b'?'
+            }
+        })
         .take(width)
         .collect();
     out.resize(width, b' ');

@@ -178,7 +178,11 @@ mod tests {
         let lsb = 1000.0 / 65535.0;
         for j in 0..3 {
             for (a, b) in rec.channel(j).iter().zip(back.channel(j)) {
-                assert!((a - b).abs() <= lsb, "sample error {} > {lsb}", (a - b).abs());
+                assert!(
+                    (a - b).abs() <= lsb,
+                    "sample error {} > {lsb}",
+                    (a - b).abs()
+                );
             }
         }
     }

@@ -103,19 +103,13 @@ mod tests {
             got: 9,
         };
         assert!(e.to_string().contains("channel 2"));
-        let io = IeegError::from(std::io::Error::new(
-            std::io::ErrorKind::NotFound,
-            "gone",
-        ));
+        let io = IeegError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
         assert!(io.to_string().contains("gone"));
     }
 
     #[test]
     fn io_source_is_preserved() {
-        let io = IeegError::from(std::io::Error::new(
-            std::io::ErrorKind::NotFound,
-            "gone",
-        ));
+        let io = IeegError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
         assert!(StdError::source(&io).is_some());
     }
 }

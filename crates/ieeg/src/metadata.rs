@@ -61,8 +61,7 @@ impl PatientInfo {
 
     /// Laelaps-detected test seizures implied by the published sensitivity.
     pub fn laelaps_detected(&self) -> usize {
-        ((self.laelaps.sensitivity_pct / 100.0) * self.test_seizures() as f64).round()
-            as usize
+        ((self.laelaps.sensitivity_pct / 100.0) * self.test_seizures() as f64).round() as usize
     }
 }
 
@@ -89,96 +88,204 @@ macro_rules! row {
 
 /// The 18 patients of Table I, verbatim from the paper.
 pub const PATIENTS: [PatientInfo; 18] = [
-    row!("P1", 88, 2, 293.0, 1,
+    row!(
+        "P1",
+        88,
+        2,
+        293.0,
+        1,
         laelaps(Some(28.5), 0.00, 100.0, 3.0),
         svm(Some(10.0), 0.00, 100.0),
         lstm(Some(8.0), 0.10, 100.0),
-        cnn(Some(8.0), 0.00, 100.0)),
-    row!("P2", 66, 2, 235.0, 1,
+        cnn(Some(8.0), 0.00, 100.0)
+    ),
+    row!(
+        "P2",
+        66,
+        2,
+        235.0,
+        1,
         laelaps(Some(16.5), 0.00, 100.0, 10.0),
         svm(Some(8.0), 0.75, 100.0),
         lstm(Some(17.0), 0.40, 100.0),
-        cnn(Some(3.0), 0.75, 100.0)),
-    row!("P3", 64, 4, 158.0, 1,
+        cnn(Some(3.0), 0.75, 100.0)
+    ),
+    row!(
+        "P3",
+        64,
+        4,
+        158.0,
+        1,
         laelaps(Some(17.0), 0.00, 100.0, 7.0),
         svm(Some(7.0), 0.05, 100.0),
         lstm(Some(5.8), 0.20, 100.0),
-        cnn(Some(2.0), 0.00, 100.0)),
-    row!("P4", 32, 14, 41.0, 2,
+        cnn(Some(2.0), 0.00, 100.0)
+    ),
+    row!(
+        "P4",
+        32,
+        14,
+        41.0,
+        2,
         laelaps(Some(19.8), 0.00, 66.7, 6.0),
         svm(Some(30.0), 0.65, 50.0),
         lstm(Some(22.1), 1.20, 91.7),
-        cnn(None, 0.00, 0.0)),
-    row!("P5", 128, 4, 110.0, 1,
+        cnn(None, 0.00, 0.0)
+    ),
+    row!(
+        "P5",
+        128,
+        4,
+        110.0,
+        1,
         laelaps(Some(5.3), 0.00, 100.0, 1.0),
         svm(Some(2.7), 0.25, 100.0),
         lstm(Some(5.8), 0.30, 100.0),
-        cnn(Some(2.0), 0.15, 66.7)),
-    row!("P6", 32, 8, 146.0, 1,
+        cnn(Some(2.0), 0.15, 66.7)
+    ),
+    row!(
+        "P6",
+        32,
+        8,
+        146.0,
+        1,
         laelaps(Some(17.9), 0.00, 85.7, 10.0),
         svm(Some(10.0), 0.20, 85.7),
         lstm(Some(12.4), 0.20, 100.0),
-        cnn(Some(0.8), 1.90, 42.9)),
-    row!("P7", 75, 4, 69.0, 2,
+        cnn(Some(0.8), 1.90, 42.9)
+    ),
+    row!(
+        "P7",
+        75,
+        4,
+        69.0,
+        2,
         laelaps(Some(17.2), 0.00, 50.0, 1.0),
         svm(Some(26.5), 1.15, 50.0),
         lstm(Some(9.2), 1.45, 100.0),
-        cnn(Some(26.0), 0.00, 100.0)),
-    row!("P8", 61, 4, 144.0, 2,
+        cnn(Some(26.0), 0.00, 100.0)
+    ),
+    row!(
+        "P8",
+        61,
+        4,
+        144.0,
+        2,
         laelaps(Some(11.0), 0.00, 100.0, 10.0),
         svm(Some(2.0), 1.30, 100.0),
         lstm(Some(8.5), 1.05, 100.0),
-        cnn(Some(16.3), 1.20, 100.0)),
-    row!("P9", 48, 23, 41.0, 2,
+        cnn(Some(16.3), 1.20, 100.0)
+    ),
+    row!(
+        "P9",
+        48,
+        23,
+        41.0,
+        2,
         laelaps(Some(8.6), 0.00, 81.0, 6.0),
         svm(Some(16.3), 0.10, 38.1),
         lstm(None, 0.05, 0.0),
-        cnn(None, 0.00, 0.0)),
-    row!("P10", 32, 17, 42.0, 1,
+        cnn(None, 0.00, 0.0)
+    ),
+    row!(
+        "P10",
+        32,
+        17,
+        42.0,
+        1,
         laelaps(Some(17.4), 0.00, 100.0, 3.0),
         svm(Some(3.6), 0.10, 100.0),
         lstm(Some(25.9), 1.60, 100.0),
-        cnn(Some(37.0), 1.00, 93.8)),
-    row!("P11", 32, 2, 212.0, 1,
+        cnn(Some(37.0), 1.00, 93.8)
+    ),
+    row!(
+        "P11",
+        32,
+        2,
+        212.0,
+        1,
         laelaps(Some(19.5), 0.00, 100.0, 3.0),
         svm(Some(12.0), 0.40, 100.0),
         lstm(Some(7.0), 0.05, 100.0),
-        cnn(Some(5.0), 0.20, 100.0)),
-    row!("P12", 56, 9, 191.0, 2,
+        cnn(Some(5.0), 0.20, 100.0)
+    ),
+    row!(
+        "P12",
+        56,
+        9,
+        191.0,
+        2,
         laelaps(Some(36.3), 0.00, 100.0, 1.0),
         svm(Some(27.6), 0.00, 100.0),
         lstm(Some(28.4), 1.15, 100.0),
-        cnn(Some(7.0), 0.00, 100.0)),
-    row!("P13", 64, 7, 104.0, 2,
+        cnn(Some(7.0), 0.00, 100.0)
+    ),
+    row!(
+        "P13",
+        64,
+        7,
+        104.0,
+        2,
         laelaps(Some(21.1), 0.00, 80.0, 2.0),
         svm(Some(11.3), 0.00, 100.0),
         lstm(Some(6.2), 0.90, 100.0),
-        cnn(Some(1.3), 0.40, 100.0)),
-    row!("P14", 24, 2, 161.0, 1,
+        cnn(Some(1.3), 0.40, 100.0)
+    ),
+    row!(
+        "P14",
+        24,
+        2,
+        161.0,
+        1,
         laelaps(None, 0.00, 0.0, 1.0),
         svm(None, 0.00, 0.0),
         lstm(None, 0.00, 0.0),
-        cnn(None, 0.00, 0.0)),
-    row!("P15", 98, 2, 196.0, 1,
+        cnn(None, 0.00, 0.0)
+    ),
+    row!(
+        "P15",
+        98,
+        2,
+        196.0,
+        1,
         laelaps(Some(20.0), 0.00, 100.0, 1.0),
         svm(Some(3.0), 0.15, 100.0),
         lstm(Some(2.5), 0.05, 100.0),
-        cnn(Some(5.0), 0.00, 100.0)),
-    row!("P16", 34, 5, 177.0, 1,
+        cnn(Some(5.0), 0.00, 100.0)
+    ),
+    row!(
+        "P16",
+        34,
+        5,
+        177.0,
+        1,
         laelaps(Some(20.4), 0.00, 100.0, 10.0),
         svm(Some(9.0), 0.55, 100.0),
         lstm(Some(8.8), 0.80, 100.0),
-        cnn(Some(7.0), 0.20, 100.0)),
-    row!("P17", 60, 2, 130.0, 1,
+        cnn(Some(7.0), 0.20, 100.0)
+    ),
+    row!(
+        "P17",
+        60,
+        2,
+        130.0,
+        1,
         laelaps(Some(19.0), 0.00, 100.0, 1.0),
         svm(Some(13.0), 0.00, 100.0),
         lstm(Some(3.5), 0.10, 100.0),
-        cnn(Some(16.0), 0.45, 100.0)),
-    row!("P18", 42, 5, 205.0, 1,
+        cnn(Some(16.0), 0.45, 100.0)
+    ),
+    row!(
+        "P18",
+        42,
+        5,
+        205.0,
+        1,
         laelaps(Some(25.7), 0.00, 75.0, 1.0),
         svm(Some(26.3), 0.00, 75.0),
         lstm(Some(19.0), 0.15, 100.0),
-        cnn(Some(11.0), 0.20, 75.0)),
+        cnn(Some(11.0), 0.20, 75.0)
+    ),
 ];
 
 /// Looks up a patient row by id (`"P1"` … `"P18"`).
@@ -228,8 +335,8 @@ mod tests {
 
     #[test]
     fn mean_tuned_dimension_is_4_3_kbit() {
-        let mean: f64 = PATIENTS.iter().map(|p| p.laelaps_d_kbit).sum::<f64>()
-            / PATIENTS.len() as f64;
+        let mean: f64 =
+            PATIENTS.iter().map(|p| p.laelaps_d_kbit).sum::<f64>() / PATIENTS.len() as f64;
         assert!((mean - 4.3).abs() < 0.05, "mean d {mean}");
     }
 

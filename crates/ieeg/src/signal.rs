@@ -67,8 +67,7 @@ impl Recording {
     /// exceeds the recording.
     pub fn annotate(&mut self, annotation: SeizureAnnotation) -> Result<()> {
         let len = self.len_samples() as u64;
-        if annotation.end_sample > len || annotation.onset_sample >= annotation.end_sample
-        {
+        if annotation.end_sample > len || annotation.onset_sample >= annotation.end_sample {
             return Err(IeegError::AnnotationOutOfBounds {
                 onset: annotation.onset_sample,
                 end: annotation.end_sample,
@@ -172,6 +171,88 @@ impl Recording {
     pub fn into_channels(self) -> Vec<Vec<f32>> {
         self.channels
     }
+
+    /// A streaming cursor over the recording's sample frames (one value
+    /// per electrode per time step) — the adapter the serving layer uses
+    /// to feed channel-major synthetic recordings into frame-oriented
+    /// detector sessions.
+    pub fn frames(&self) -> FrameCursor<'_> {
+        FrameCursor {
+            recording: self,
+            position: 0,
+            buf: vec![0.0; self.electrodes()],
+        }
+    }
+}
+
+/// Streaming frame cursor returned by [`Recording::frames`].
+///
+/// Converts the channel-major storage (`channels[j][t]`) into the
+/// frame-major order (`frame[t][j]`) a streaming detector consumes,
+/// without materializing the transposed signal.
+///
+/// # Examples
+///
+/// ```
+/// use laelaps_ieeg::signal::Recording;
+///
+/// let rec = Recording::from_channels(512, vec![vec![1.0; 8], vec![2.0; 8]])?;
+/// let mut frames = rec.frames();
+/// let mut count = 0;
+/// while let Some(frame) = frames.next_frame() {
+///     assert_eq!(frame, &[1.0, 2.0]);
+///     count += 1;
+/// }
+/// assert_eq!(count, 8);
+/// # Ok::<(), laelaps_ieeg::IeegError>(())
+/// ```
+#[derive(Debug)]
+pub struct FrameCursor<'a> {
+    recording: &'a Recording,
+    position: usize,
+    buf: Vec<f32>,
+}
+
+impl FrameCursor<'_> {
+    /// The next frame, or `None` at the end of the recording.
+    pub fn next_frame(&mut self) -> Option<&[f32]> {
+        if self.position >= self.recording.len_samples() {
+            return None;
+        }
+        for (j, slot) in self.buf.iter_mut().enumerate() {
+            *slot = self.recording.channels[j][self.position];
+        }
+        self.position += 1;
+        Some(&self.buf)
+    }
+
+    /// Appends up to `max_frames` frames to `out` in frame-major
+    /// (interleaved) order; returns the number of frames appended.
+    ///
+    /// This is the bulk path for feeding a session's frame queue in
+    /// chunks instead of one ring-buffer operation per sample.
+    pub fn read_chunk(&mut self, max_frames: usize, out: &mut Vec<f32>) -> usize {
+        let available = self.recording.len_samples() - self.position;
+        let take = max_frames.min(available);
+        out.reserve(take * self.recording.electrodes());
+        for t in self.position..self.position + take {
+            for ch in &self.recording.channels {
+                out.push(ch[t]);
+            }
+        }
+        self.position += take;
+        take
+    }
+
+    /// Current position in samples from the start of the recording.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+
+    /// Frames left to stream.
+    pub fn remaining(&self) -> usize {
+        self.recording.len_samples() - self.position
+    }
 }
 
 #[cfg(test)]
@@ -231,8 +312,36 @@ mod tests {
     #[test]
     fn slice_validates_range() {
         let r = rec(1, 100);
-        assert!(r.slice(50..40).is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = 50..40;
+        assert!(r.slice(reversed).is_err());
         assert!(r.slice(0..101).is_err());
         assert!(r.slice(0..100).is_ok());
+    }
+
+    #[test]
+    fn frame_cursor_interleaves_channels() {
+        let channels = vec![
+            (0..10).map(|t| t as f32).collect::<Vec<_>>(),
+            (0..10).map(|t| 100.0 + t as f32).collect::<Vec<_>>(),
+        ];
+        let r = Recording::from_channels(512, channels).unwrap();
+        let mut cursor = r.frames();
+        assert_eq!(cursor.remaining(), 10);
+        assert_eq!(cursor.next_frame().unwrap(), &[0.0, 100.0]);
+        assert_eq!(cursor.next_frame().unwrap(), &[1.0, 101.0]);
+        assert_eq!(cursor.position(), 2);
+
+        let mut chunk = Vec::new();
+        assert_eq!(cursor.read_chunk(3, &mut chunk), 3);
+        assert_eq!(chunk, vec![2.0, 102.0, 3.0, 103.0, 4.0, 104.0]);
+
+        // Over-asking clips to what's left; the cursor then drains.
+        let mut rest = Vec::new();
+        assert_eq!(cursor.read_chunk(100, &mut rest), 5);
+        assert_eq!(rest.len(), 10);
+        assert_eq!(cursor.remaining(), 0);
+        assert!(cursor.next_frame().is_none());
+        assert_eq!(cursor.read_chunk(4, &mut rest), 0);
     }
 }

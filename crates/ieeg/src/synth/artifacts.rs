@@ -160,10 +160,7 @@ pub fn render_artifact(
                         .map(|t| {
                             let time = t as f64 / fs;
                             let env = hann_env(t, n);
-                            let wave = (2.0 * std::f64::consts::PI
-                                * (time - lag)
-                                * freq)
-                                .sin();
+                            let wave = (2.0 * std::f64::consts::PI * (time - lag) * freq).sin();
                             let jitter = 0.10 * rng.gen_range(-1.0..1.0f64);
                             ((wave + jitter) * env * peak * weights[j]) as f32
                         })
@@ -207,7 +204,7 @@ mod tests {
             (s.iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / s.len() as f64).sqrt()
         };
         let loud = chans.iter().filter(|ch| rms(ch) > 0.3).count();
-        assert!(loud >= 1 && loud <= 8, "{loud} electrodes loud");
+        assert!((1..=8).contains(&loud), "{loud} electrodes loud");
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub fn paper_cohort(options: &CohortOptions) -> Vec<PatientProfile> {
     PATIENTS
         .iter()
         .enumerate()
-        .map(|(i, info)| PatientProfile::from_table(info, options.seed + i as u64, options.time_scale))
+        .map(|(i, info)| {
+            PatientProfile::from_table(info, options.seed + i as u64, options.time_scale)
+        })
         .collect()
 }
 

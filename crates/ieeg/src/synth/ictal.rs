@@ -96,8 +96,7 @@ impl SeizureEvent {
                 SeizureKind::SymmetricRhythmic
             },
             freq_hz: weak.freq_hz + (strong.freq_hz - weak.freq_hz) * s,
-            rise_fraction: weak.rise_fraction
-                + (strong.rise_fraction - weak.rise_fraction) * s,
+            rise_fraction: weak.rise_fraction + (strong.rise_fraction - weak.rise_fraction) * s,
             amplitude: weak.amplitude + (strong.amplitude - weak.amplitude) * s,
             involvement: weak.involvement + (strong.involvement - weak.involvement) * s,
             ramp_secs: 8.0,
@@ -133,8 +132,7 @@ pub fn render_seizure(
     // Electrode involvement: the focal subset gets full weight, the rest a
     // small residual field (volume conduction). Drawn from the *patient*
     // focus seed so every seizure of a patient shares its onset zone.
-    let involved = ((electrodes as f64 * event.involvement).round() as usize)
-        .clamp(1, electrodes);
+    let involved = ((electrodes as f64 * event.involvement).round() as usize).clamp(1, electrodes);
     let mut weights = vec![0.08f64; electrodes];
     let mut order: Vec<usize> = (0..electrodes).collect();
     for i in (1..order.len()).rev() {
@@ -167,12 +165,9 @@ pub fn render_seizure(
                     let env_in = (t as f64 / ramp_samples).min(1.0);
                     let env_out = ((n - t) as f64 / ramp_out_samples).min(1.0);
                     let env = env_in.min(env_out);
-                    let phase =
-                        ((time - lags[j]) * freqs[j]).rem_euclid(1.0);
+                    let phase = ((time - lags[j]) * freqs[j]).rem_euclid(1.0);
                     let wave = match event.kind {
-                        SeizureKind::AsymmetricSlow => {
-                            asymmetric_cycle(phase, event.rise_fraction)
-                        }
+                        SeizureKind::AsymmetricSlow => asymmetric_cycle(phase, event.rise_fraction),
                         SeizureKind::SymmetricRhythmic => {
                             (2.0 * std::f64::consts::PI * phase).sin()
                         }

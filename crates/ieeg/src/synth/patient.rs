@@ -49,10 +49,8 @@ impl Difficulty {
             && info.svm.sensitivity_pct == 0.0
             && info.lstm.sensitivity_pct == 0.0
             && info.cnn.sensitivity_pct == 0.0;
-        let mean_baseline_fdr = (info.svm.fdr_per_hour
-            + info.lstm.fdr_per_hour
-            + info.cnn.fdr_per_hour)
-            / 3.0;
+        let mean_baseline_fdr =
+            (info.svm.fdr_per_hour + info.lstm.fdr_per_hour + info.cnn.fdr_per_hour) / 3.0;
         Difficulty {
             background_amplitude: 50.0,
             seizure_snr: 1.0,
@@ -105,10 +103,8 @@ impl PatientProfile {
         let total_paper_secs = self.info.recording_hours * 3600.0;
         // 15% headroom over the nominal schedule so onset jitter and the
         // 0.95 placement span always fit.
-        let needed = (LEAD_IN_SECS
-            + self.info.seizures as f64 * (60.0 + MIN_GAP_SECS)
-            + 120.0)
-            * 1.15;
+        let needed =
+            (LEAD_IN_SECS + self.info.seizures as f64 * (60.0 + MIN_GAP_SECS) + 120.0) * 1.15;
         let feasible = total_paper_secs / needed;
         self.time_scale.min(feasible).max(1.0)
     }
@@ -132,7 +128,10 @@ impl PatientProfile {
         let n = (total_secs * fs).round() as usize;
         let k = self.info.seizures;
         if k == 0 {
-            return Err(invalid("seizures", "patient must have at least one seizure"));
+            return Err(invalid(
+                "seizures",
+                "patient must have at least one seizure",
+            ));
         }
 
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -245,8 +244,7 @@ impl PatientProfile {
 
         // --- Artifacts ------------------------------------------------------
         let scaled_hours = total_secs / 3600.0;
-        let count =
-            (self.difficulty.artifact_rate_per_hour * scaled_hours).round() as usize;
+        let count = (self.difficulty.artifact_rate_per_hour * scaled_hours).round() as usize;
         let mut placed = 0usize;
         let mut attempts = 0usize;
         while placed < count && attempts < count * 20 + 100 {
@@ -405,8 +403,7 @@ mod tests {
         for info in &PATIENTS {
             let profile = PatientProfile::from_table(info, 5, 600.0);
             let secs = profile.scaled_duration_secs();
-            let need = LEAD_IN_SECS
-                + info.seizures as f64 * (60.0 + MIN_GAP_SECS) + 120.0;
+            let need = LEAD_IN_SECS + info.seizures as f64 * (60.0 + MIN_GAP_SECS) + 120.0;
             assert!(
                 secs >= need * 0.95,
                 "{}: {secs:.0}s for {} seizures",

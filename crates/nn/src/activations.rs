@@ -114,7 +114,11 @@ mod tests {
             let (lp, _) = softmax_cross_entropy(&plus, 1);
             let (lm, _) = softmax_cross_entropy(&minus, 1);
             let num = (lp - lm) / (2.0 * eps);
-            assert!((num - grad[i]).abs() < 1e-3, "dim {i}: {num} vs {}", grad[i]);
+            assert!(
+                (num - grad[i]).abs() < 1e-3,
+                "dim {i}: {num} vs {}",
+                grad[i]
+            );
         }
     }
 

@@ -103,7 +103,11 @@ impl Conv2d {
     ///
     /// Panics if called before [`Conv2d::forward`].
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.input.as_ref().expect("backward before forward").clone();
+        let x = self
+            .input
+            .as_ref()
+            .expect("backward before forward")
+            .clone();
         let [oc, oh, ow] = self.output_shape(x.shape());
         assert_eq!(grad_out.shape(), &[oc, oh, ow], "grad shape mismatch");
         let (h, w) = (x.shape()[1], x.shape()[2]);
@@ -186,8 +190,7 @@ impl MaxPool2d {
                     let mut best_idx = 0usize;
                     for i in 0..self.size {
                         for j in 0..self.size {
-                            let idx =
-                                (ch * h + y * self.size + i) * w + xw * self.size + j;
+                            let idx = (ch * h + y * self.size + i) * w + xw * self.size + j;
                             if x.data()[idx] > best {
                                 best = x.data()[idx];
                                 best_idx = idx;
@@ -228,7 +231,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut conv = Conv2d::new(1, 1, 2, 2, &mut rng);
         // Overwrite with a known edge kernel.
-        conv.w.value.data_mut().copy_from_slice(&[1.0, -1.0, 1.0, -1.0]);
+        conv.w
+            .value
+            .data_mut()
+            .copy_from_slice(&[1.0, -1.0, 1.0, -1.0]);
         conv.b.value.data_mut()[0] = 0.5;
         let x = Tensor::from_vec(
             vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],

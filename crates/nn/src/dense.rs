@@ -69,11 +69,10 @@ impl Dense {
     ///
     /// Panics if called before [`Dense::forward`] or with a gradient of
     /// the wrong width.
+    // Row-indexed loops keep the weight-matrix row arithmetic explicit.
+    #[allow(clippy::needless_range_loop)]
     pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
-        let x = self
-            .input
-            .as_ref()
-            .expect("backward called before forward");
+        let x = self.input.as_ref().expect("backward called before forward");
         let (out_dim, in_dim) = (self.out_dim(), self.in_dim());
         assert_eq!(grad_out.len(), out_dim, "gradient width mismatch");
         for i in 0..out_dim {
@@ -129,13 +128,14 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // explicit (i, j) matrix indexing
     fn gradient_check_weights() {
         // Numerical gradient check of ∂(sum y)/∂W against backward().
         let mut rng = StdRng::seed_from_u64(2);
         let mut d = Dense::new(4, 3, &mut rng);
         let x: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let _ = d.forward(&x);
-        let dx = d.backward(&vec![1.0; 3]);
+        let dx = d.backward(&[1.0; 3]);
         // Analytic dx = Wᵀ·1 (column sums).
         for j in 0..4 {
             let col: f32 = (0..3).map(|i| d.weights().at2(i, j)).sum();

@@ -88,10 +88,7 @@ impl Lstm {
             assert_eq!(x.len(), self.input_dim, "frame width mismatch");
             let mut a = self.w.value.matvec(x);
             let ua = self.u.value.matvec(&h);
-            for (ai, (&ui, &bi)) in a
-                .iter_mut()
-                .zip(ua.iter().zip(self.b.value.data().iter()))
-            {
+            for (ai, (&ui, &bi)) in a.iter_mut().zip(ua.iter().zip(self.b.value.data().iter())) {
                 *ai += ui + bi;
             }
             let mut step = StepCache {
@@ -128,10 +125,7 @@ impl Lstm {
         for x in seq {
             let mut a = self.w.value.matvec(x);
             let ua = self.u.value.matvec(&h);
-            for (ai, (&ui, &bi)) in a
-                .iter_mut()
-                .zip(ua.iter().zip(self.b.value.data().iter()))
-            {
+            for (ai, (&ui, &bi)) in a.iter_mut().zip(ua.iter().zip(self.b.value.data().iter())) {
                 *ai += ui + bi;
             }
             for j in 0..hh {
@@ -152,6 +146,8 @@ impl Lstm {
     /// # Panics
     ///
     /// Panics if called before [`Lstm::forward`] or with the wrong width.
+    // Gate-row indexing (r over 4·hh) mirrors the stacked-gate layout.
+    #[allow(clippy::needless_range_loop)]
     pub fn backward(&mut self, grad_h_last: &[f32]) {
         assert!(!self.cache.is_empty(), "backward called before forward");
         assert_eq!(grad_h_last.len(), self.hidden, "gradient width mismatch");
@@ -226,9 +222,7 @@ mod tests {
     fn forward_shapes_and_determinism() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut lstm = Lstm::new(3, 8, &mut rng);
-        let seq: Vec<Vec<f32>> = (0..10)
-            .map(|t| vec![t as f32 * 0.1, -0.2, 0.3])
-            .collect();
+        let seq: Vec<Vec<f32>> = (0..10).map(|t| vec![t as f32 * 0.1, -0.2, 0.3]).collect();
         let h1 = lstm.forward(&seq);
         assert_eq!(h1.len(), 8);
         assert_eq!(lstm.infer(&seq), h1);
@@ -253,7 +247,7 @@ mod tests {
             .map(|_| (0..2).map(|_| rng.gen_range(-1.0..1.0)).collect())
             .collect();
         let _ = lstm.forward(&seq);
-        lstm.backward(&vec![1.0; 3]);
+        lstm.backward(&[1.0; 3]);
         let eps = 1e-3f32;
         // Probe a handful of weight entries.
         for &idx in &[0usize, 5, 11, 17, 23] {
@@ -280,7 +274,7 @@ mod tests {
             .map(|_| (0..2).map(|_| rng.gen_range(-1.0..1.0)).collect())
             .collect();
         let _ = lstm.forward(&seq);
-        lstm.backward(&vec![1.0; 3]);
+        lstm.backward(&[1.0; 3]);
         let eps = 1e-3f32;
         for &idx in &[0usize, 7, 20, 35] {
             let analytic = lstm.u.grad.data()[idx];

@@ -156,10 +156,7 @@ mod tests {
         let train = blobs(200, 1, 2.0);
         let svm = LinearSvm::train(&train, &SvmConfig::default());
         let test = blobs(100, 2, 2.0);
-        let correct = test
-            .iter()
-            .filter(|(x, y)| svm.predict(x) == *y)
-            .count();
+        let correct = test.iter().filter(|(x, y)| svm.predict(x) == *y).count();
         assert!(correct >= 97, "accuracy {correct}/100");
     }
 
@@ -193,11 +190,7 @@ mod tests {
         );
         let plain = LinearSvm::train(&train, &SvmConfig::default());
         let test = blobs(200, 5, 0.7);
-        let hit = |svm: &LinearSvm| {
-            test.iter()
-                .filter(|(x, y)| *y && svm.predict(x))
-                .count()
-        };
+        let hit = |svm: &LinearSvm| test.iter().filter(|(x, y)| *y && svm.predict(x)).count();
         assert!(hit(&balanced) >= hit(&plain));
     }
 
@@ -213,8 +206,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "both classes")]
     fn rejects_single_class() {
-        let train: Vec<(Vec<f32>, bool)> =
-            (0..10).map(|_| (vec![1.0, 2.0], true)).collect();
+        let train: Vec<(Vec<f32>, bool)> = (0..10).map(|_| (vec![1.0, 2.0], true)).collect();
         let _ = LinearSvm::train(&train, &SvmConfig::default());
     }
 

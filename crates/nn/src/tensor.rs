@@ -61,7 +61,12 @@ impl Tensor {
     /// Panics if `data.len()` does not match the shape volume.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
         let n = check_shape(shape);
-        assert_eq!(data.len(), n, "data length {} != shape volume {n}", data.len());
+        assert_eq!(
+            data.len(),
+            n,
+            "data length {} != shape volume {n}",
+            data.len()
+        );
         Tensor {
             shape: shape.to_vec(),
             data,

@@ -1,0 +1,121 @@
+//! Error types for the serving layer.
+
+use std::fmt;
+use std::io;
+
+use laelaps_core::LaelapsError;
+
+/// Result alias for the serving layer.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Errors from model persistence, the registry, and the session engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// An underlying I/O failure while reading or writing a model file.
+    Io(io::Error),
+    /// The model file is malformed (bad magic, header, checksum, body).
+    Corrupt {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The model file uses a format version this build cannot read.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Highest version this build supports.
+        supported: u32,
+    },
+    /// The core library rejected the deserialized model.
+    Core(LaelapsError),
+    /// The registry has no model for the requested patient.
+    UnknownPatient {
+        /// The requested patient id.
+        patient: String,
+    },
+    /// A patient id contains characters unusable in a registry filename.
+    InvalidPatientId {
+        /// The offending id.
+        patient: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "model I/O error: {e}"),
+            ServeError::Corrupt { reason } => {
+                write!(f, "corrupt model file: {reason}")
+            }
+            ServeError::VersionMismatch { found, supported } => write!(
+                f,
+                "model format version {found} unsupported (this build reads \
+                 up to version {supported})"
+            ),
+            ServeError::Core(e) => write!(f, "core rejected model: {e}"),
+            ServeError::UnknownPatient { patient } => {
+                write!(f, "no model registered for patient {patient:?}")
+            }
+            ServeError::InvalidPatientId { patient } => write!(
+                f,
+                "patient id {patient:?} invalid: use ASCII letters, digits, \
+                 '-' or '_'"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            return ServeError::Corrupt {
+                reason: "file truncated".into(),
+            };
+        }
+        ServeError::Io(e)
+    }
+}
+
+impl From<LaelapsError> for ServeError {
+    fn from(e: LaelapsError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::VersionMismatch {
+            found: 9,
+            supported: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('1'));
+        assert!(ServeError::UnknownPatient {
+            patient: "P7".into()
+        }
+        .to_string()
+        .contains("P7"));
+    }
+
+    #[test]
+    fn eof_becomes_corrupt() {
+        let eof = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(ServeError::from(eof), ServeError::Corrupt { .. }));
+        let other = io::Error::new(io::ErrorKind::PermissionDenied, "no");
+        assert!(matches!(ServeError::from(other), ServeError::Io(_)));
+    }
+}

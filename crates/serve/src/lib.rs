@@ -1,0 +1,47 @@
+//! # laelaps-serve
+//!
+//! The multi-patient streaming detection service for the Laelaps
+//! reproduction: the paper detects seizures from *continuous, long-term*
+//! iEEG (one classification every 0.5 s, per patient, around the clock) —
+//! this crate turns the single-patient [`laelaps_core::Detector`] into a
+//! service that runs whole patient fleets concurrently.
+//!
+//! Three pillars:
+//!
+//! * **Model persistence** ([`save_model`] / [`load_model`] /
+//!   [`ModelRegistry`]) — a versioned binary format (readable JSON header +
+//!   bit-exact prototype body + checksum) for trained
+//!   [`laelaps_core::PatientModel`]s, with a directory-backed, memory-cached
+//!   registry keyed by patient id.
+//! * **Session engine** ([`DetectionService`] / [`SessionHandle`]) — each
+//!   session owns a bounded SPSC frame queue with *explicit* backpressure
+//!   (`try_push` returns the chunk on overflow) and is pinned to one
+//!   worker shard (a [`laelaps_eval::parallel::ShardedPool`]), so its
+//!   event stream is byte-identical to a bare `Detector` run while many
+//!   sessions proceed in parallel. Alarms additionally fan into a
+//!   service-wide bus ([`DetectionService::take_alarms`]).
+//! * **Observability** ([`ServiceStats`] / [`SessionStats`]) — per-session
+//!   and aggregate counters: frames in/dropped/processed, events, alarms,
+//!   and worst-case drain latency.
+//!
+//! See `examples/long_term_monitoring.rs` for the full train → persist →
+//! load → stream → alarm flow over a 32-patient synthetic cohort.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod persist;
+pub mod ring;
+pub mod service;
+pub mod session;
+pub mod stats;
+
+pub use error::{Result, ServeError};
+pub use persist::{
+    load_model, load_model_from, save_model, save_model_to, ModelRegistry, FORMAT_VERSION,
+    MODEL_EXT,
+};
+pub use service::{AlarmRecord, DetectionService, ServeConfig};
+pub use session::{PushError, SessionHandle, SessionId};
+pub use stats::{ServiceStats, SessionStats, SessionStatsEntry};

@@ -1,0 +1,287 @@
+//! Bounded single-producer single-consumer ring buffer.
+//!
+//! The frame pipe between a caller streaming samples into a session and
+//! the shard worker draining them. Lock-free (one atomic load + one store
+//! per operation on the fast path) with *explicit backpressure*:
+//! [`Producer::try_push`] returns the rejected value in [`Full`] instead
+//! of blocking or silently dropping, so callers choose their overload
+//! policy (retry, drop-and-count, or throttle).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Error returned by [`Producer::try_push`] when the ring is at capacity;
+/// carries the rejected value back to the caller.
+#[derive(Debug)]
+pub struct Full<T>(pub T);
+
+struct Ring<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    capacity: usize,
+    /// Monotonic count of values consumed (owned by the consumer).
+    head: AtomicUsize,
+    /// Monotonic count of values produced (owned by the producer).
+    tail: AtomicUsize,
+    /// Set when the producer side is dropped or closed.
+    closed: AtomicBool,
+}
+
+// Safety: each slot is accessed by exactly one side at a time — the
+// producer writes slot `i` strictly before publishing `tail = i + 1`
+// (Release), and the consumer reads slot `i` only after observing
+// `tail > i` (Acquire); symmetrically for `head` and reuse of slots.
+unsafe impl<T: Send> Sync for Ring<T> {}
+unsafe impl<T: Send> Send for Ring<T> {}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            // Safety: values in [head, tail) were written and never read.
+            unsafe {
+                (*self.slots[i % self.capacity].get()).assume_init_drop();
+            }
+        }
+    }
+}
+
+/// Creates a bounded SPSC ring of the given capacity.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "ring capacity must be nonzero");
+    let slots = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let inner = Arc::new(Ring {
+        slots,
+        capacity,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+        },
+        Consumer { inner },
+    )
+}
+
+/// The producing half of a ring; not clonable (single producer).
+pub struct Producer<T> {
+    inner: Arc<Ring<T>>,
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Producer")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> Producer<T> {
+    /// Attempts to enqueue `value`; on a full ring returns it in
+    /// [`Full`] so the caller can apply its backpressure policy.
+    pub fn try_push(&mut self, value: T) -> Result<(), Full<T>> {
+        let ring = &*self.inner;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let head = ring.head.load(Ordering::Acquire);
+        if tail - head == ring.capacity {
+            return Err(Full(value));
+        }
+        // Safety: slot `tail` is unoccupied (tail - head < capacity) and
+        // only this producer writes it until tail is published.
+        unsafe {
+            (*ring.slots[tail % ring.capacity].get()).write(value);
+        }
+        ring.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.tail.load(Ordering::Relaxed) - self.inner.head.load(Ordering::Acquire)
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Marks the stream finished; the consumer drains what remains and
+    /// then observes end-of-stream. Dropping the producer does the same.
+    pub fn close(&mut self) {
+        self.inner.closed.store(true, Ordering::Release);
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// The consuming half of a ring; not clonable (single consumer).
+pub struct Consumer<T> {
+    inner: Arc<Ring<T>>,
+}
+
+impl<T> std::fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Consumer")
+            .field("len", &self.len())
+            .field("finished", &self.is_finished())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Dequeues the oldest value, or `None` if the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let ring = &*self.inner;
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // Safety: slot `head` was fully written before tail was published.
+        let value = unsafe { (*ring.slots[head % ring.capacity].get()).assume_init_read() };
+        ring.head.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Number of values currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.tail.load(Ordering::Acquire) - self.inner.head.load(Ordering::Relaxed)
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once the producer closed (or dropped) *and* every queued
+    /// value has been consumed.
+    pub fn is_finished(&self) -> bool {
+        // Load `closed` first: if we see closed=true and then an empty
+        // ring, no later push can appear.
+        self.inner.closed.load(Ordering::Acquire) && self.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        for v in 0..4 {
+            tx.try_push(v).unwrap();
+        }
+        assert_eq!(tx.len(), 4);
+        for v in 0..4 {
+            assert_eq!(rx.pop(), Some(v));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn full_returns_value_for_backpressure() {
+        let (mut tx, mut rx) = ring::<String>(2);
+        tx.try_push("a".into()).unwrap();
+        tx.try_push("b".into()).unwrap();
+        let Full(rejected) = tx.try_push("c".into()).unwrap_err();
+        assert_eq!(rejected, "c");
+        assert_eq!(rx.pop().as_deref(), Some("a"));
+        tx.try_push(rejected).unwrap();
+        assert_eq!(rx.pop().as_deref(), Some("b"));
+        assert_eq!(rx.pop().as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut tx, mut rx) = ring::<usize>(3);
+        for round in 0..1000 {
+            tx.try_push(round).unwrap();
+            assert_eq!(rx.pop(), Some(round));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn close_signals_end_of_stream() {
+        let (mut tx, mut rx) = ring::<u8>(4);
+        tx.try_push(1).unwrap();
+        assert!(!rx.is_finished());
+        drop(tx);
+        assert!(!rx.is_finished(), "queued value still pending");
+        assert_eq!(rx.pop(), Some(1));
+        assert!(rx.is_finished());
+    }
+
+    #[test]
+    fn unconsumed_values_are_dropped_with_ring() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, mut rx) = ring::<Counted>(8);
+        for _ in 0..5 {
+            tx.try_push(Counted).unwrap();
+        }
+        drop(rx.pop()); // one consumed
+        let before = DROPS.load(Ordering::Relaxed);
+        assert_eq!(before, 1);
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn cross_thread_stream_preserves_order() {
+        let (mut tx, mut rx) = ring::<u64>(16);
+        let n = 50_000u64;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let mut next = 0;
+                while next < n {
+                    match tx.try_push(next) {
+                        Ok(()) => next += 1,
+                        // Yield (not spin): on small machines the other
+                        // side may not even be scheduled yet.
+                        Err(Full(_)) => std::thread::yield_now(),
+                    }
+                }
+            });
+            let mut expected = 0;
+            while expected < n {
+                if let Some(v) = rx.pop() {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+    }
+}

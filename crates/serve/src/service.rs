@@ -1,0 +1,302 @@
+//! The multi-patient detection service: session registry, sharded worker
+//! pool, alarm bus.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use laelaps_core::{Detector, DetectorEvent, PatientModel};
+use laelaps_eval::parallel::{default_threads, ShardedPool};
+
+use crate::error::Result;
+use crate::persist::ModelRegistry;
+use crate::ring;
+use crate::session::{SessionCore, SessionHandle, SessionId, WorkerState};
+use crate::stats::{RetiredStats, ServiceStats, SessionStatsEntry};
+
+/// An alarm surfaced on the service-wide bus.
+#[derive(Debug, Clone)]
+pub struct AlarmRecord {
+    /// Session that raised the alarm.
+    pub session: SessionId,
+    /// Patient the session serves.
+    pub patient: String,
+    /// The full classification event (`event.alarm` is `Some`).
+    pub event: DetectorEvent,
+}
+
+impl AlarmRecord {
+    /// Stream time of the alarm in seconds.
+    pub fn time_secs(&self) -> f64 {
+        self.event.time_secs
+    }
+}
+
+/// Tuning knobs for a [`DetectionService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (= shards). Each session is pinned to one shard, so
+    /// its frames are always processed in order by a single worker.
+    pub workers: usize,
+    /// Per-session queue capacity, in chunks. With the example chunking
+    /// of 256 frames (0.5 s at 512 Hz) the default buffers ~32 s of
+    /// signal before backpressure.
+    pub ring_chunks: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: default_threads().clamp(1, 16),
+            ring_chunks: 64,
+        }
+    }
+}
+
+struct ServiceInner {
+    shards: Vec<Mutex<Vec<Arc<SessionCore>>>>,
+    alarms: Mutex<VecDeque<AlarmRecord>>,
+    retired: Mutex<RetiredStats>,
+    next_id: AtomicU64,
+    ring_chunks: usize,
+}
+
+impl ServiceInner {
+    /// One pass over a shard: drain every session, retire finished ones.
+    /// Returns `true` if any session had work.
+    fn drain_shard(&self, shard: usize) -> bool {
+        let sessions: Vec<Arc<SessionCore>> = {
+            let guard = self.shards[shard].lock().expect("shard lock poisoned");
+            guard.clone()
+        };
+        let mut worked = false;
+        let mut any_done = false;
+        for session in &sessions {
+            worked |= session.drain(&self.alarms);
+            any_done |= session.done.load(Ordering::Acquire);
+        }
+        if any_done {
+            // Lock order retired → shard, same as stats(), so a session is
+            // always either in its shard list or in the retired totals —
+            // never both, never neither — from stats()'s point of view.
+            let mut retired = self.retired.lock().expect("retired poisoned");
+            self.shards[shard]
+                .lock()
+                .expect("shard lock poisoned")
+                .retain(|s| {
+                    let done = s.done.load(Ordering::Acquire);
+                    if done {
+                        retired.sessions += 1;
+                        retired.totals.absorb(&s.counters.snapshot());
+                    }
+                    !done
+                });
+        }
+        worked
+    }
+
+    fn all_sessions(&self) -> Vec<Arc<SessionCore>> {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.lock().expect("shard lock poisoned").clone())
+            .collect()
+    }
+}
+
+/// A fleet of concurrent per-patient streaming detectors.
+///
+/// Each opened session gets a bounded frame queue and is pinned to one
+/// worker shard; workers drain queues continuously, emitting
+/// [`laelaps_core::DetectorEvent`]s into per-session outboxes and alarms
+/// onto a service-wide bus. Within a session, output order and content
+/// are **identical** to running a bare [`Detector`] over the same frames
+/// — concurrency never changes results, only wall time.
+///
+/// # Examples
+///
+/// ```
+/// use laelaps_core::{LaelapsConfig, Trainer, TrainingData};
+/// use laelaps_serve::{DetectionService, ServeConfig};
+///
+/// // Train a toy model.
+/// let fs = 512;
+/// let signal: Vec<Vec<f32>> = (0..2)
+///     .map(|j| (0..fs * 40)
+///         .map(|t| if (fs * 20..fs * 30).contains(&t) {
+///             ((t % 120) as f32 / 120.0).powi(2)
+///         } else {
+///             ((t * (j + 2)) as f32 * 0.31).sin()
+///         })
+///         .collect())
+///     .collect();
+/// let config = LaelapsConfig::builder().dim(256).seed(7).build()?;
+/// let data = TrainingData::new(&signal)
+///     .ictal(fs * 20..fs * 30)
+///     .interictal(fs * 2..fs * 18);
+/// let model = Trainer::new(config).train(&data)?;
+///
+/// // Serve it.
+/// let service = DetectionService::new(ServeConfig {
+///     workers: 2,
+///     ..ServeConfig::default()
+/// });
+/// let mut session = service.open_session("P1", &model)?;
+/// let chunk: Vec<f32> = signal[0]
+///     .iter()
+///     .zip(&signal[1])
+///     .flat_map(|(&a, &b)| [a, b])
+///     .collect();
+/// session.try_push_chunk(chunk.into()).expect("queue has room");
+/// session.close();
+/// service.flush();
+/// let events = session.take_events();
+/// assert!(!events.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct DetectionService {
+    inner: Arc<ServiceInner>,
+    pool: ShardedPool,
+}
+
+impl std::fmt::Debug for DetectionService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectionService")
+            .field("workers", &self.inner.shards.len())
+            .field("sessions", &self.session_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DetectionService {
+    /// Starts a service with its worker pool.
+    pub fn new(config: ServeConfig) -> Self {
+        let workers = config.workers.max(1);
+        let inner = Arc::new(ServiceInner {
+            shards: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+            alarms: Mutex::new(VecDeque::new()),
+            retired: Mutex::new(RetiredStats::default()),
+            next_id: AtomicU64::new(0),
+            ring_chunks: config.ring_chunks.max(1),
+        });
+        let pool = {
+            let inner = Arc::clone(&inner);
+            ShardedPool::new(workers, move |shard| inner.drain_shard(shard))
+        };
+        DetectionService { inner, pool }
+    }
+
+    /// Starts a service with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(ServeConfig::default())
+    }
+
+    /// Opens a streaming session for `patient` running `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ServeError::Core`] if the model fails validation.
+    pub fn open_session(&self, patient: &str, model: &PatientModel) -> Result<SessionHandle> {
+        let detector = Detector::new(model)?;
+        let electrodes = detector.electrodes();
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = ring::ring(self.inner.ring_chunks);
+        let core = Arc::new(SessionCore {
+            id,
+            patient: patient.to_string(),
+            electrodes,
+            worker: Mutex::new(WorkerState {
+                detector,
+                rx,
+                failed: None,
+            }),
+            outbox: Mutex::new(VecDeque::new()),
+            counters: Default::default(),
+            failed_flag: Default::default(),
+            done: Default::default(),
+        });
+        let shard = (id as usize) % self.inner.shards.len();
+        self.inner.shards[shard]
+            .lock()
+            .expect("shard lock poisoned")
+            .push(Arc::clone(&core));
+        self.pool.notify();
+        Ok(SessionHandle {
+            core,
+            tx,
+            closed: false,
+        })
+    }
+
+    /// Opens a session for `patient` using its model from `registry`.
+    ///
+    /// # Errors
+    ///
+    /// The registry load errors, plus those of
+    /// [`DetectionService::open_session`].
+    pub fn open_from_registry(
+        &self,
+        registry: &ModelRegistry,
+        patient: &str,
+    ) -> Result<SessionHandle> {
+        let model = registry.load(patient)?;
+        self.open_session(patient, &model)
+    }
+
+    /// Number of registered sessions (live or still draining).
+    pub fn session_count(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard lock poisoned").len())
+            .sum()
+    }
+
+    /// Blocks until every accepted frame in every session has been
+    /// processed and its events published.
+    ///
+    /// Only frames pushed *before* the call are guaranteed processed;
+    /// concurrent pushers extend the wait.
+    pub fn flush(&self) {
+        loop {
+            self.pool.notify();
+            let sessions = self.inner.all_sessions();
+            if sessions.iter().all(|s| s.is_caught_up()) {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Drains the service-wide alarm bus (oldest first).
+    pub fn take_alarms(&self) -> Vec<AlarmRecord> {
+        self.inner
+            .alarms
+            .lock()
+            .expect("alarm bus poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Counter snapshot: live sessions individually, plus totals that
+    /// include every session the service ever retired.
+    pub fn stats(&self) -> ServiceStats {
+        // Hold the retired lock while walking the shards (lock order
+        // retired → shard, matching retirement) so a finishing session is
+        // counted exactly once — in its shard or in the retired totals.
+        let retired_guard = self.inner.retired.lock().expect("retired poisoned");
+        let entries = self
+            .inner
+            .all_sessions()
+            .into_iter()
+            .map(|core| SessionStatsEntry {
+                session: core.id,
+                patient: core.patient.clone(),
+                stats: core.counters.snapshot(),
+            })
+            .collect();
+        let retired = *retired_guard;
+        drop(retired_guard);
+        ServiceStats::from_entries(entries, &retired)
+    }
+}

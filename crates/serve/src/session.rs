@@ -1,0 +1,479 @@
+//! One patient's streaming detection session.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use laelaps_core::{Detector, DetectorEvent};
+
+use crate::ring::{Consumer, Full, Producer};
+use crate::service::AlarmRecord;
+use crate::stats::{SessionCounters, SessionStats};
+
+/// Identifies a session within one [`crate::DetectionService`].
+pub type SessionId = u64;
+
+/// A chunk of interleaved frame-major samples (`frames × electrodes`).
+pub(crate) type Chunk = Box<[f32]>;
+
+/// Upper bound on chunks one `drain` call processes before yielding the
+/// shard worker to the session's neighbors (fairness under overload).
+const MAX_CHUNKS_PER_DRAIN: usize = 16;
+
+/// Why a push was rejected.
+#[derive(Debug)]
+pub enum PushError {
+    /// The session's queue is full; the chunk comes back so the caller
+    /// can retry, throttle, or drop it (explicit backpressure).
+    Full(Box<[f32]>),
+    /// The chunk does not divide into whole frames of the session's
+    /// electrode count.
+    FrameWidth {
+        /// Samples per frame the session expects.
+        expected: usize,
+        /// Offending chunk length.
+        got: usize,
+    },
+    /// The handle was already closed; the stream accepts no more frames.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full(chunk) => {
+                write!(f, "session queue full ({} samples rejected)", chunk.len())
+            }
+            PushError::FrameWidth { expected, got } => write!(
+                f,
+                "chunk of {got} samples does not divide into {expected}-electrode \
+                 frames"
+            ),
+            PushError::Closed => write!(f, "session input stream already closed"),
+        }
+    }
+}
+
+/// Worker-side mutable state; locked only by the owning shard worker.
+pub(crate) struct WorkerState {
+    pub detector: Detector,
+    pub rx: Consumer<Chunk>,
+    pub failed: Option<String>,
+}
+
+/// Shared state of one session (handle side + worker side).
+pub(crate) struct SessionCore {
+    pub id: SessionId,
+    pub patient: String,
+    pub electrodes: usize,
+    pub worker: Mutex<WorkerState>,
+    pub outbox: Mutex<VecDeque<DetectorEvent>>,
+    pub counters: SessionCounters,
+    /// Set by the worker when the detector failed; pushes then report
+    /// [`PushError::Closed`] instead of an endlessly retryable `Full`.
+    pub failed_flag: AtomicBool,
+    /// Set by the worker once the stream is closed and fully drained;
+    /// the shard then retires the session.
+    pub done: AtomicBool,
+}
+
+impl std::fmt::Debug for SessionCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionCore")
+            .field("id", &self.id)
+            .field("patient", &self.patient)
+            .field("electrodes", &self.electrodes)
+            .field("done", &self.done.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionCore {
+    /// Drains queued chunks through the detector. Returns `true` if any
+    /// work was done. Called only by the session's shard worker.
+    pub fn drain(&self, alarm_bus: &Mutex<VecDeque<AlarmRecord>>) -> bool {
+        let mut state = self.worker.lock().expect("session worker lock poisoned");
+        if self.done.load(Ordering::Relaxed) {
+            return false;
+        }
+        let start = Instant::now();
+        let mut frames_done: u64 = 0;
+        let mut events: Vec<DetectorEvent> = Vec::new();
+        // Frames of the aborted in-flight chunk lost to an error or panic;
+        // accounted as drops so frames_in == processed + dropped holds.
+        let mut aborted_tail: u64 = 0;
+        let newly_failed = if state.failed.is_none() {
+            let electrodes = self.electrodes;
+            let WorkerState { detector, rx, .. } = &mut *state;
+            // Panics inside the detector are contained *before* they can
+            // unwind through (and poison) the worker mutex or kill the
+            // shard thread; they fail this session only.
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Option<String> {
+                    // Bounded batch: a producer that outruns its detector
+                    // must not monopolize the shard worker — co-sharded
+                    // sessions get their turn every MAX_CHUNKS_PER_DRAIN
+                    // chunks.
+                    for _ in 0..MAX_CHUNKS_PER_DRAIN {
+                        let Some(chunk) = rx.pop() else { break };
+                        let chunk_frames = (chunk.len() / electrodes) as u64;
+                        // The whole chunk is unaccounted until each frame
+                        // completes — a panic on frame 0 must still charge
+                        // all of it to the discard counter.
+                        aborted_tail = chunk_frames;
+                        let mut in_chunk: u64 = 0;
+                        for frame in chunk.chunks_exact(electrodes) {
+                            match detector.push_frame(frame) {
+                                Ok(Some(event)) => events.push(event),
+                                Ok(None) => {}
+                                Err(e) => return Some(e.to_string()),
+                            }
+                            in_chunk += 1;
+                            frames_done += 1;
+                            aborted_tail = chunk_frames - in_chunk;
+                        }
+                        aborted_tail = 0;
+                    }
+                    None
+                }));
+            match outcome {
+                Ok(None) => false,
+                Ok(Some(reason)) => {
+                    state.failed = Some(reason);
+                    true
+                }
+                Err(panic) => {
+                    let message = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".into());
+                    state.failed = Some(format!("detector panicked: {message}"));
+                    true
+                }
+            }
+        } else {
+            false
+        };
+        let mut discarded: u64 = 0;
+        if state.failed.is_some() {
+            self.failed_flag.store(true, Ordering::Release);
+            // Discard everything still queued (and whatever arrives until
+            // the producer observes the failure) so a caller retrying on
+            // `Full` is unblocked instead of livelocking against a ring
+            // that will never drain; count the loss.
+            discarded = aborted_tail;
+            while let Some(chunk) = state.rx.pop() {
+                discarded += (chunk.len() / self.electrodes) as u64;
+            }
+            if discarded > 0 {
+                self.counters
+                    .frames_discarded
+                    .fetch_add(discarded, Ordering::Relaxed);
+            }
+        }
+        let worked = frames_done > 0 || newly_failed || discarded > 0;
+        if !events.is_empty() {
+            let mut alarms: Vec<AlarmRecord> = Vec::new();
+            for event in &events {
+                if event.alarm.is_some() {
+                    alarms.push(AlarmRecord {
+                        session: self.id,
+                        patient: self.patient.clone(),
+                        event: *event,
+                    });
+                }
+            }
+            self.counters
+                .events_out
+                .fetch_add(events.len() as u64, Ordering::Relaxed);
+            if !alarms.is_empty() {
+                self.counters
+                    .alarms_out
+                    .fetch_add(alarms.len() as u64, Ordering::Relaxed);
+                alarm_bus.lock().expect("alarm bus poisoned").extend(alarms);
+            }
+            self.outbox
+                .lock()
+                .expect("session outbox poisoned")
+                .extend(events);
+        }
+        if worked {
+            let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            self.counters.record_drain(micros);
+            // Publish progress only after events reached the outbox, so a
+            // flush() that observes frames_processed == frames_in also
+            // observes every resulting event.
+            self.counters
+                .frames_processed
+                .fetch_add(frames_done, Ordering::Release);
+        }
+        // Retire only once the producer side is closed and the ring is
+        // empty — a failed session keeps discarding (and counting) frames
+        // until its handle observes the failure, so no chunk is ever
+        // stranded uncounted in a retired session's ring.
+        if state.rx.is_finished() {
+            self.done.store(true, Ordering::Release);
+        }
+        worked
+    }
+
+    /// Whether every accepted frame has been run through the detector
+    /// (or charged to `frames_discarded` by a failed session's discard).
+    pub fn is_caught_up(&self) -> bool {
+        let stats = self.counters.snapshot();
+        stats.frames_processed + stats.frames_discarded >= stats.frames_in
+    }
+}
+
+/// The caller's half of a session: push frames, collect events.
+///
+/// Dropping the handle closes the input stream; the worker finishes
+/// draining what was queued and then retires the session.
+#[derive(Debug)]
+pub struct SessionHandle {
+    pub(crate) core: Arc<SessionCore>,
+    pub(crate) tx: Producer<Chunk>,
+    pub(crate) closed: bool,
+}
+
+impl SessionHandle {
+    /// Session id within its service.
+    pub fn id(&self) -> SessionId {
+        self.core.id
+    }
+
+    /// Patient id this session serves.
+    pub fn patient(&self) -> &str {
+        &self.core.patient
+    }
+
+    /// Samples per frame.
+    pub fn electrodes(&self) -> usize {
+        self.core.electrodes
+    }
+
+    fn check_width(&self, samples: usize) -> Result<usize, PushError> {
+        // `failed_flag` surfaces detector failure: the worker discards
+        // the queue, so pushes must stop erroring out as `Full` (which
+        // callers retry) and report a terminal condition instead; the
+        // reason stays available via [`SessionHandle::error`].
+        if self.closed || self.core.failed_flag.load(Ordering::Acquire) {
+            return Err(PushError::Closed);
+        }
+        if samples == 0 || !samples.is_multiple_of(self.core.electrodes) {
+            return Err(PushError::FrameWidth {
+                expected: self.core.electrodes,
+                got: samples,
+            });
+        }
+        Ok(samples / self.core.electrodes)
+    }
+
+    /// Queues a chunk of interleaved frames. On a full queue the chunk is
+    /// returned in [`PushError::Full`] — nothing is dropped silently.
+    pub fn try_push_chunk(&mut self, chunk: Box<[f32]>) -> Result<(), PushError> {
+        let frames = self.check_width(chunk.len())?;
+        match self.tx.try_push(chunk) {
+            Ok(()) => {
+                self.core
+                    .counters
+                    .frames_in
+                    .fetch_add(frames as u64, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(Full(chunk)) => Err(PushError::Full(chunk)),
+        }
+    }
+
+    /// Queues a chunk, dropping it (and counting the drop) if the queue
+    /// is full. Returns whether the chunk was accepted; a closed or
+    /// failed session silently refuses (returns `false`), matching the
+    /// best-effort contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk does not divide into whole frames; width bugs
+    /// are programming errors, unlike transient overload.
+    pub fn push_chunk_lossy(&mut self, samples: &[f32]) -> bool {
+        let frames = match self.check_width(samples.len()) {
+            Ok(frames) => frames,
+            Err(PushError::Closed) => return false,
+            Err(e) => panic!("{e}"),
+        };
+        match self.tx.try_push(samples.into()) {
+            Ok(()) => {
+                self.core
+                    .counters
+                    .frames_in
+                    .fetch_add(frames as u64, Ordering::Relaxed);
+                true
+            }
+            Err(Full(_)) => {
+                self.core
+                    .counters
+                    .frames_dropped
+                    .fetch_add(frames as u64, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Convenience: queues one frame.
+    pub fn try_push_frame(&mut self, frame: &[f32]) -> Result<(), PushError> {
+        self.try_push_chunk(frame.into())
+    }
+
+    /// Chunks currently waiting in the queue.
+    pub fn queued_chunks(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// Queue capacity in chunks.
+    pub fn queue_capacity(&self) -> usize {
+        self.tx.capacity()
+    }
+
+    /// Takes every classification event produced so far, in stream order.
+    pub fn take_events(&self) -> Vec<DetectorEvent> {
+        self.core
+            .outbox
+            .lock()
+            .expect("session outbox poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Point-in-time counter snapshot.
+    pub fn stats(&self) -> SessionStats {
+        self.core.counters.snapshot()
+    }
+
+    /// The detector error that killed this session, if any.
+    pub fn error(&self) -> Option<String> {
+        self.core
+            .worker
+            .lock()
+            .expect("session worker lock poisoned")
+            .failed
+            .clone()
+    }
+
+    /// Closes the input stream; further pushes fail with
+    /// [`PushError::Closed`]. Queued frames are still processed; call
+    /// [`crate::DetectionService::flush`] then [`SessionHandle::take_events`]
+    /// to collect the tail.
+    pub fn close(&mut self) {
+        self.closed = true;
+        self.tx.close();
+    }
+
+    /// Whether every accepted frame has been processed.
+    pub fn is_caught_up(&self) -> bool {
+        self.core.is_caught_up()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use laelaps_core::hv::Hypervector;
+    use laelaps_core::{AssociativeMemory, LaelapsConfig, PatientModel};
+
+    /// A SessionCore whose declared electrode count disagrees with its
+    /// detector — the only way to reach the detector-error path, since
+    /// handles validate widths up front.
+    fn mismatched_core(ring_chunks: usize) -> (SessionCore, Producer<Chunk>) {
+        let config = LaelapsConfig::with_dim(64, 1).unwrap();
+        let am = AssociativeMemory::from_prototypes(Hypervector::zero(64), Hypervector::ones(64))
+            .unwrap();
+        let model = PatientModel::new(config, 2, am).unwrap();
+        let detector = Detector::new(&model).unwrap();
+        let (tx, rx) = crate::ring::ring(ring_chunks);
+        let core = SessionCore {
+            id: 0,
+            patient: "P-broken".into(),
+            electrodes: 4, // detector expects 2 → push_frame errors
+            worker: Mutex::new(WorkerState {
+                detector,
+                rx,
+                failed: None,
+            }),
+            outbox: Mutex::new(VecDeque::new()),
+            counters: Default::default(),
+            failed_flag: Default::default(),
+            done: Default::default(),
+        };
+        (core, tx)
+    }
+
+    #[test]
+    fn detector_failure_discards_queue_and_unblocks_producer() {
+        let (core, mut tx) = mismatched_core(4);
+        let bus = Mutex::new(VecDeque::new());
+        for _ in 0..3 {
+            tx.try_push(vec![0.0f32; 4 * 10].into()).unwrap();
+            core.counters.frames_in.fetch_add(10, Ordering::Relaxed);
+        }
+        assert!(core.drain(&bus), "failing pass counts as work");
+        assert!(core.failed_flag.load(Ordering::Acquire));
+        let stats = core.counters.snapshot();
+        // Every accepted frame is accounted: none processed, all 30
+        // (aborted chunk tail + queued chunks) discarded.
+        assert_eq!(stats.frames_processed, 0);
+        assert_eq!(stats.frames_discarded, 30);
+        assert!(core.is_caught_up(), "flush() must not hang on failure");
+        // Not retired until the producer side closes...
+        assert!(!core.done.load(Ordering::Acquire));
+        // ...and frames arriving before the caller notices are discarded
+        // on the next pass instead of stranding in the ring.
+        tx.try_push(vec![0.0f32; 4 * 5].into()).unwrap();
+        core.counters.frames_in.fetch_add(5, Ordering::Relaxed);
+        assert!(core.drain(&bus), "discarding latecomers counts as work");
+        assert_eq!(core.counters.snapshot().frames_discarded, 35);
+        drop(tx);
+        core.drain(&bus);
+        assert!(core.done.load(Ordering::Acquire), "retires once closed");
+    }
+
+    #[test]
+    fn healthy_drain_is_bounded_per_pass() {
+        // A correct core (electrodes match) with more chunks queued than
+        // MAX_CHUNKS_PER_DRAIN: one pass must leave the excess queued.
+        let config = LaelapsConfig::with_dim(64, 2).unwrap();
+        let am = AssociativeMemory::from_prototypes(Hypervector::zero(64), Hypervector::ones(64))
+            .unwrap();
+        let model = PatientModel::new(config, 2, am).unwrap();
+        let detector = Detector::new(&model).unwrap();
+        let (mut tx, rx) = crate::ring::ring(MAX_CHUNKS_PER_DRAIN + 8);
+        let core = SessionCore {
+            id: 1,
+            patient: "P-busy".into(),
+            electrodes: 2,
+            worker: Mutex::new(WorkerState {
+                detector,
+                rx,
+                failed: None,
+            }),
+            outbox: Mutex::new(VecDeque::new()),
+            counters: Default::default(),
+            failed_flag: Default::default(),
+            done: Default::default(),
+        };
+        let bus = Mutex::new(VecDeque::new());
+        for _ in 0..MAX_CHUNKS_PER_DRAIN + 8 {
+            tx.try_push(vec![0.0f32; 2 * 4].into()).unwrap();
+            core.counters.frames_in.fetch_add(4, Ordering::Relaxed);
+        }
+        assert!(core.drain(&bus));
+        assert_eq!(
+            core.counters.snapshot().frames_processed,
+            (MAX_CHUNKS_PER_DRAIN * 4) as u64,
+            "one pass processes at most the fairness cap"
+        );
+        assert!(!core.is_caught_up());
+        assert!(core.drain(&bus), "second pass finishes the rest");
+        assert!(core.is_caught_up());
+    }
+}

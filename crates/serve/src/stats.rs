@@ -1,0 +1,185 @@
+//! Observability counters for sessions and the whole service.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free per-session counters, updated by the producer side (frames
+/// in, drops) and the shard worker (events, alarms, latency).
+#[derive(Debug, Default)]
+pub(crate) struct SessionCounters {
+    pub frames_in: AtomicU64,
+    pub frames_dropped: AtomicU64,
+    pub frames_discarded: AtomicU64,
+    pub frames_processed: AtomicU64,
+    pub events_out: AtomicU64,
+    pub alarms_out: AtomicU64,
+    pub drains: AtomicU64,
+    pub max_drain_micros: AtomicU64,
+}
+
+impl SessionCounters {
+    pub fn snapshot(&self) -> SessionStats {
+        SessionStats {
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+            frames_discarded: self.frames_discarded.load(Ordering::Relaxed),
+            frames_processed: self.frames_processed.load(Ordering::Relaxed),
+            events_out: self.events_out.load(Ordering::Relaxed),
+            alarms_out: self.alarms_out.load(Ordering::Relaxed),
+            drains: self.drains.load(Ordering::Relaxed),
+            max_drain_micros: self.max_drain_micros.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn record_drain(&self, micros: u64) {
+        self.drains.fetch_add(1, Ordering::Relaxed);
+        self.max_drain_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of one session's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Frames accepted into the session's queue.
+    pub frames_in: u64,
+    /// Frames rejected by [`crate::SessionHandle::push_chunk_lossy`]
+    /// because the queue was full (never entered the queue).
+    pub frames_dropped: u64,
+    /// Accepted frames thrown away by the worker after the session's
+    /// detector failed; `frames_processed + frames_discarded` accounts
+    /// for every accepted frame once the session is idle.
+    pub frames_discarded: u64,
+    /// Frames the worker has run through the detector.
+    pub frames_processed: u64,
+    /// Classification events emitted (one per 0.5 s of warm signal).
+    pub events_out: u64,
+    /// Alarms raised.
+    pub alarms_out: u64,
+    /// Worker drain batches executed for this session.
+    pub drains: u64,
+    /// Worst-case wall time of one drain batch, microseconds — the
+    /// service-side latency bound for this session.
+    pub max_drain_micros: u64,
+}
+
+impl SessionStats {
+    pub(crate) fn absorb(&mut self, other: &SessionStats) {
+        self.frames_in += other.frames_in;
+        self.frames_dropped += other.frames_dropped;
+        self.frames_discarded += other.frames_discarded;
+        self.frames_processed += other.frames_processed;
+        self.events_out += other.events_out;
+        self.alarms_out += other.alarms_out;
+        self.drains += other.drains;
+        self.max_drain_micros = self.max_drain_micros.max(other.max_drain_micros);
+    }
+}
+
+/// One row of [`ServiceStats`].
+#[derive(Debug, Clone)]
+pub struct SessionStatsEntry {
+    /// Session id.
+    pub session: crate::SessionId,
+    /// Patient id the session serves.
+    pub patient: String,
+    /// The counters.
+    pub stats: SessionStats,
+}
+
+/// Aggregate service snapshot returned by
+/// [`crate::DetectionService::stats`].
+#[derive(Debug, Clone)]
+pub struct ServiceStats {
+    /// Sessions currently registered (live or draining).
+    pub sessions: usize,
+    /// Sessions that already finished and were retired from their shard.
+    pub retired_sessions: usize,
+    /// Sum over live *and* retired sessions (max for `max_drain_micros`).
+    pub totals: SessionStats,
+    /// Rows for live sessions only, ordered by session id; a retired
+    /// session's counters remain reachable via its handle.
+    pub per_session: Vec<SessionStatsEntry>,
+}
+
+impl ServiceStats {
+    pub(crate) fn from_entries(
+        mut per_session: Vec<SessionStatsEntry>,
+        retired: &RetiredStats,
+    ) -> Self {
+        per_session.sort_by_key(|e| e.session);
+        let mut totals = retired.totals;
+        for entry in &per_session {
+            totals.absorb(&entry.stats);
+        }
+        ServiceStats {
+            sessions: per_session.len(),
+            retired_sessions: retired.sessions,
+            totals,
+            per_session,
+        }
+    }
+}
+
+/// Accumulated counters of sessions already retired from their shards.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RetiredStats {
+    pub sessions: usize,
+    pub totals: SessionStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let counters = SessionCounters::default();
+        counters.frames_in.fetch_add(10, Ordering::Relaxed);
+        counters.record_drain(40);
+        counters.record_drain(15);
+        let stats = counters.snapshot();
+        assert_eq!(stats.frames_in, 10);
+        assert_eq!(stats.drains, 2);
+        assert_eq!(stats.max_drain_micros, 40);
+    }
+
+    #[test]
+    fn aggregate_sums_and_maxes() {
+        let a = SessionStats {
+            frames_in: 5,
+            max_drain_micros: 7,
+            ..Default::default()
+        };
+        let b = SessionStats {
+            frames_in: 3,
+            max_drain_micros: 11,
+            ..Default::default()
+        };
+        let retired = RetiredStats {
+            sessions: 1,
+            totals: SessionStats {
+                frames_in: 100,
+                ..Default::default()
+            },
+        };
+        let stats = ServiceStats::from_entries(
+            vec![
+                SessionStatsEntry {
+                    session: 2,
+                    patient: "B".into(),
+                    stats: b,
+                },
+                SessionStatsEntry {
+                    session: 1,
+                    patient: "A".into(),
+                    stats: a,
+                },
+            ],
+            &retired,
+        );
+        assert_eq!(stats.sessions, 2);
+        assert_eq!(stats.retired_sessions, 1);
+        assert_eq!(stats.totals.frames_in, 108, "retired totals included");
+        assert_eq!(stats.totals.max_drain_micros, 11);
+        assert_eq!(stats.per_session[0].session, 1, "sorted by id");
+    }
+}

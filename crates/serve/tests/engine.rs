@@ -1,0 +1,241 @@
+//! Session-engine guarantees: the service's event stream is byte-identical
+//! to a bare `Detector` under concurrent sessions; backpressure is
+//! explicit; counters add up.
+
+mod common;
+
+use common::{interleave, trained_model, two_state_signal};
+use laelaps_core::Detector;
+use laelaps_ieeg::Recording;
+use laelaps_serve::{DetectionService, PushError, ServeConfig};
+
+/// The headline parity property: 10 concurrent sessions (mixed patients,
+/// mixed chunk sizes) must each produce exactly the event sequence a bare
+/// `Detector` produces for the same input.
+#[test]
+fn service_matches_bare_detector_under_concurrency() {
+    let models = [trained_model(51), trained_model(52)];
+    let service = DetectionService::new(ServeConfig {
+        workers: 4,
+        ring_chunks: 8, // small ring to exercise backpressure
+    });
+
+    let sessions = 10;
+    let mut handles = Vec::new();
+    let mut inputs = Vec::new();
+    for i in 0..sessions {
+        let model = &models[i % models.len()];
+        let signal = two_state_signal(4, 512 * 20, 512 * 6..512 * 14, 900 + i as u64);
+        let handle = service
+            .open_session(&format!("P{i}"), model)
+            .expect("session opens");
+        handles.push(handle);
+        inputs.push(signal);
+    }
+    assert_eq!(service.session_count(), sessions);
+
+    // Stream every signal, interleaving pushes across sessions with a
+    // different chunk size per session, retrying on Full (backpressure).
+    let interleaved: Vec<Vec<f32>> = inputs.iter().map(|s| interleave(s)).collect();
+    let mut offsets = vec![0usize; sessions];
+    let chunk_samples: Vec<usize> = (0..sessions).map(|i| [64, 252, 1024][i % 3] * 4).collect();
+    loop {
+        let mut all_done = true;
+        for i in 0..sessions {
+            let data = &interleaved[i];
+            if offsets[i] >= data.len() {
+                continue;
+            }
+            all_done = false;
+            let end = (offsets[i] + chunk_samples[i]).min(data.len());
+            match handles[i].try_push_chunk(data[offsets[i]..end].into()) {
+                Ok(()) => offsets[i] = end,
+                Err(PushError::Full(_)) => std::thread::yield_now(),
+                Err(e) => panic!("unexpected push error: {e}"),
+            }
+        }
+        if all_done {
+            break;
+        }
+    }
+    for handle in &mut handles {
+        handle.close();
+    }
+    service.flush();
+
+    for (i, handle) in handles.iter().enumerate() {
+        let model = &models[i % models.len()];
+        let expected = Detector::new(model).unwrap().run(&inputs[i]).unwrap();
+        let got = handle.take_events();
+        assert!(!expected.is_empty());
+        assert_eq!(
+            got, expected,
+            "session {i}: service events must be identical to a bare Detector"
+        );
+        assert!(handle.error().is_none());
+        let stats = handle.stats();
+        assert_eq!(stats.frames_in, 512 * 20);
+        assert_eq!(stats.frames_processed, 512 * 20);
+        assert_eq!(stats.frames_dropped, 0);
+        assert_eq!(stats.events_out, expected.len() as u64);
+    }
+}
+
+#[test]
+fn alarms_reach_both_outbox_and_bus() {
+    let model = trained_model(53);
+    let service = DetectionService::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    // Seizure-bearing stream for P-alarm, background-only for P-quiet.
+    let hot = two_state_signal(4, 512 * 40, 512 * 15..512 * 30, 1001);
+    let quiet = two_state_signal(4, 512 * 40, 0..0, 1002);
+
+    let mut hot_handle = service.open_session("P-alarm", &model).unwrap();
+    let mut quiet_handle = service.open_session("P-quiet", &model).unwrap();
+    hot_handle.try_push_chunk(interleave(&hot).into()).unwrap();
+    quiet_handle
+        .try_push_chunk(interleave(&quiet).into())
+        .unwrap();
+    hot_handle.close();
+    quiet_handle.close();
+    service.flush();
+
+    let bus = service.take_alarms();
+    assert!(!bus.is_empty(), "the seizure stream must raise an alarm");
+    assert!(bus.iter().all(|a| a.patient == "P-alarm"));
+    assert!(bus.iter().all(|a| a.event.alarm.is_some()));
+    assert!(bus[0].time_secs() > 0.0);
+    assert_eq!(service.take_alarms().len(), 0, "bus drains");
+
+    let hot_events = hot_handle.take_events();
+    let alarmed = hot_events.iter().filter(|e| e.alarm.is_some()).count();
+    assert_eq!(alarmed, bus.len(), "outbox and bus agree");
+    assert_eq!(hot_handle.stats().alarms_out as usize, bus.len());
+    assert_eq!(quiet_handle.stats().alarms_out, 0);
+}
+
+#[test]
+fn backpressure_is_explicit_and_lossless_paths_count_drops() {
+    let model = trained_model(54);
+    // One worker, tiny ring: force Full quickly by making the worker
+    // unable to keep up instantaneously.
+    let service = DetectionService::new(ServeConfig {
+        workers: 1,
+        ring_chunks: 2,
+    });
+    let mut handle = service.open_session("P", &model).unwrap();
+    let chunk: Box<[f32]> = vec![0.0f32; 4 * 2048].into();
+
+    // try_push returns the chunk back on Full — nothing lost.
+    let mut saw_full = false;
+    for _ in 0..50 {
+        match handle.try_push_chunk(chunk.clone()) {
+            Ok(()) => {}
+            Err(PushError::Full(returned)) => {
+                assert_eq!(returned.len(), chunk.len());
+                saw_full = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(saw_full, "a 2-chunk ring must report Full under a burst");
+
+    // The lossy path drops and counts instead.
+    let mut dropped_any = false;
+    for _ in 0..50 {
+        if !handle.push_chunk_lossy(&chunk) {
+            dropped_any = true;
+            break;
+        }
+    }
+    assert!(dropped_any);
+    service.flush();
+    let stats = handle.stats();
+    assert!(stats.frames_dropped > 0);
+    assert_eq!(stats.frames_processed, stats.frames_in);
+
+    // Width errors are rejected up front.
+    assert!(matches!(
+        handle.try_push_chunk(vec![0.0f32; 7].into()),
+        Err(PushError::FrameWidth {
+            expected: 4,
+            got: 7
+        })
+    ));
+    // And a closed handle refuses input.
+    handle.close();
+    assert!(matches!(
+        handle.try_push_chunk(vec![0.0f32; 8].into()),
+        Err(PushError::Closed)
+    ));
+}
+
+#[test]
+fn ieeg_frame_cursor_feeds_sessions() {
+    // The streaming-source adapter: a synthetic Recording streamed
+    // through the service chunk-by-chunk matches Detector::run.
+    let model = trained_model(55);
+    let signal = two_state_signal(4, 512 * 20, 512 * 8..512 * 16, 2024);
+    let recording = Recording::from_channels(512, signal.clone()).unwrap();
+
+    let service = DetectionService::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let mut handle = service.open_session("P55", &model).unwrap();
+    let mut cursor = recording.frames();
+    let mut chunk = Vec::new();
+    while cursor.read_chunk(256, &mut chunk) > 0 {
+        let mut pending: Box<[f32]> = chunk.as_slice().into();
+        loop {
+            match handle.try_push_chunk(pending) {
+                Ok(()) => break,
+                Err(PushError::Full(back)) => {
+                    pending = back;
+                    std::thread::yield_now();
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        chunk.clear();
+    }
+    handle.close();
+    service.flush();
+
+    let expected = Detector::new(&model).unwrap().run(&signal).unwrap();
+    assert_eq!(handle.take_events(), expected);
+}
+
+#[test]
+fn finished_sessions_retire_from_the_service() {
+    let model = trained_model(56);
+    let service = DetectionService::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut handle = service.open_session("P", &model).unwrap();
+    handle.try_push_chunk(vec![0.0f32; 4 * 512].into()).unwrap();
+    assert_eq!(service.session_count(), 1);
+    handle.close();
+    service.flush();
+    // After close + drain the worker retires the session from its shard.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while service.session_count() != 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "closed session never retired"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    // The handle still serves events and stats after retirement, and the
+    // service totals keep counting the retired session.
+    assert_eq!(handle.stats().frames_in, 512);
+    let stats = service.stats();
+    assert_eq!(stats.retired_sessions, 1);
+    assert_eq!(stats.totals.frames_in, 512);
+    assert!(stats.per_session.is_empty());
+    let _ = handle.take_events();
+}

@@ -1,0 +1,123 @@
+//! Model-persistence guarantees: save → load round-trips reproduce the
+//! exact classification stream; corrupt, truncated, and future-version
+//! files are rejected with the right errors.
+
+mod common;
+
+use common::{trained_model, two_state_signal};
+use laelaps_core::Detector;
+use laelaps_serve::{load_model, save_model, ModelRegistry, ServeError};
+
+#[test]
+fn roundtrip_reproduces_identical_classifications() {
+    let model = trained_model(31);
+    let mut bytes = Vec::new();
+    save_model(&model, &mut bytes).unwrap();
+    let loaded = load_model(&mut bytes.as_slice()).unwrap();
+
+    // A fixed held-out stream (seizure at a new location) must classify
+    // identically — labels, distances, Δ, alarms, timestamps.
+    let test = two_state_signal(4, 512 * 70, 512 * 30..512 * 50, 777);
+    let original_events = Detector::new(&model).unwrap().run(&test).unwrap();
+    let loaded_events = Detector::new(&loaded).unwrap().run(&test).unwrap();
+    assert!(!original_events.is_empty());
+    assert_eq!(original_events, loaded_events);
+}
+
+#[test]
+fn save_load_via_filesystem_registry() {
+    let dir = std::env::temp_dir().join(format!("laelaps-serve-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = ModelRegistry::open(&dir).unwrap();
+    let model = trained_model(37);
+    registry.save("P37", &model).unwrap();
+
+    // A second registry over the same directory sees the file cold.
+    let fresh = ModelRegistry::open(&dir).unwrap();
+    assert_eq!(fresh.patient_ids().unwrap(), vec!["P37".to_string()]);
+    let loaded = fresh.load("P37").unwrap();
+    assert_eq!(loaded.config(), model.config());
+    assert_eq!(loaded.am(), model.am());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn saved_bytes() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    save_model(&trained_model(41), &mut bytes).unwrap();
+    bytes
+}
+
+#[test]
+fn truncated_file_is_corrupt() {
+    let bytes = saved_bytes();
+    for cut in [0, 5, 11, 40, bytes.len() - 9, bytes.len() - 1] {
+        let err = load_model(&mut &bytes[..cut]).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Corrupt { .. }),
+            "cut at {cut}: {err}"
+        );
+    }
+}
+
+#[test]
+fn flipped_byte_is_detected_by_checksum() {
+    let bytes = saved_bytes();
+    // Flip one bit in the body (after the header, before the footer).
+    let mut corrupted = bytes.clone();
+    let body_offset = bytes.len() - 100;
+    corrupted[body_offset] ^= 0x10;
+    let err = load_model(&mut corrupted.as_slice()).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Corrupt { ref reason } if reason.contains("checksum")),
+        "{err}"
+    );
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut bytes = saved_bytes();
+    bytes[0] ^= 0xFF;
+    let err = load_model(&mut bytes.as_slice()).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Corrupt { ref reason } if reason.contains("magic")),
+        "{err}"
+    );
+}
+
+#[test]
+fn future_version_is_rejected_as_version_mismatch() {
+    let bytes = saved_bytes();
+    // Patch the ASCII `"format":1` in the header to a future version.
+    let needle = b"\"format\":1";
+    let pos = bytes
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .expect("header carries the format field");
+    let mut patched = bytes.clone();
+    patched[pos + needle.len() - 1] = b'9';
+    let err = load_model(&mut patched.as_slice()).unwrap_err();
+    // The version gate must fire before checksum verification.
+    assert!(
+        matches!(
+            err,
+            ServeError::VersionMismatch {
+                found: 9,
+                supported: 1,
+            }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn header_garbage_is_corrupt_not_panic() {
+    let bytes = saved_bytes();
+    let header_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let mut patched = bytes.clone();
+    // Overwrite the whole header with non-JSON noise.
+    for b in &mut patched[12..12 + header_len] {
+        *b = b'x';
+    }
+    let err = load_model(&mut patched.as_slice()).unwrap_err();
+    assert!(matches!(err, ServeError::Corrupt { .. }), "{err}");
+}

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ann_path = dir.join("demo.seizures");
 
     // Persist.
-    write_edf(&recording, "DEMO-P03", BufWriter::new(File::create(&edf_path)?))?;
+    write_edf(
+        &recording,
+        "DEMO-P03",
+        BufWriter::new(File::create(&edf_path)?),
+    )?;
     write_annotations(
         recording.annotations(),
         BufWriter::new(File::create(&ann_path)?),

@@ -1,35 +1,189 @@
-//! Long-term monitoring scenario: the paper's full clinical protocol
-//! (chronological split, tr tuning, baselines) on a subset of the
-//! synthetic 18-patient cohort — a miniature Table I.
+//! Long-term monitoring at fleet scale: the full serving path of the
+//! paper's always-on scenario — train one Laelaps model per patient,
+//! persist every model to a [`laelaps::serve::ModelRegistry`], reload them
+//! cold, then stream each patient's held-out recording through a
+//! [`laelaps::serve::DetectionService`] running the whole cohort
+//! concurrently, collecting alarms from the service-wide bus.
 //!
 //! ```text
-//! cargo run --release --example long_term_monitoring [-- P1,P5,P14]
+//! cargo run --release --example long_term_monitoring [-- --patients 32 --dim 1024 --scale 8]
 //! ```
 
-use laelaps::eval::experiments::{render_table1, run_table1, Table1Options};
-use laelaps::ieeg::PATIENTS;
+use laelaps::core::tuning::{tune_tr, DEFAULT_ALPHA};
+use laelaps::eval::parallel::{default_threads, parallel_map};
+use laelaps::eval::runner::{outcome_from_spans, train_laelaps, PreparedPatient};
+use laelaps::ieeg::synth::demo_patient;
+use laelaps::ieeg::Recording;
+use laelaps::serve::{DetectionService, ModelRegistry, PushError, ServeConfig};
+
+fn arg(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} takes a number"))
+        })
+        .unwrap_or(default)
+}
 
 fn main() {
-    let arg = std::env::args().nth(1);
-    let ids: Vec<&'static str> = match &arg {
-        Some(list) => list
-            .split(',')
-            .map(|want| {
-                PATIENTS
-                    .iter()
-                    .map(|p| p.id)
-                    .find(|id| *id == want)
-                    .unwrap_or_else(|| panic!("unknown patient {want:?}"))
-            })
-            .collect(),
-        None => vec!["P3", "P14", "P17"],
-    };
-    let options = Table1Options {
-        ids: Some(ids),
-        time_scale: 2400.0,
-        ..Table1Options::default()
-    };
-    eprintln!("running the clinical protocol on {:?} ...", options.ids);
-    let result = run_table1(&options);
-    println!("{}", render_table1(&result));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let patients = arg(&args, "--patients", 32);
+    let dim = arg(&args, "--dim", 1024);
+    let scale = arg(&args, "--scale", 8) as f64;
+    let threads = default_threads();
+
+    // ---- 1. Synthesize and train the cohort (parallel over patients) ----
+    eprintln!(
+        "training {patients} patients at d = {dim} (time scale {scale}, \
+         {threads} threads) ..."
+    );
+    let ids: Vec<String> = (0..patients).map(|i| format!("C{:02}", i + 1)).collect();
+    let profiles: Vec<_> = (0..patients)
+        .map(|i| {
+            let mut profile = demo_patient(4000 + i as u64);
+            profile.time_scale = scale;
+            profile
+        })
+        .collect();
+
+    let model_dir =
+        std::env::temp_dir().join(format!("laelaps-monitoring-models-{}", std::process::id()));
+    let registry = ModelRegistry::open(&model_dir).expect("registry opens");
+
+    let indices: Vec<usize> = (0..patients).collect();
+    let preps: Vec<PreparedPatient> = parallel_map(&indices, threads, |&i| {
+        let prep = PreparedPatient::new(&profiles[i]).expect("synthesis succeeds");
+        let (model, replay) = train_laelaps(&prep, dim).expect("training succeeds");
+        let tr = tune_tr(&replay, DEFAULT_ALPHA);
+        let model = model.with_tr(tr).expect("tuned tr is valid");
+        registry
+            .save(&ids[i], &model)
+            .expect("model persists to the registry");
+        prep
+    });
+    eprintln!(
+        "persisted {} models to {}",
+        registry.patient_ids().expect("registry lists").len(),
+        model_dir.display()
+    );
+
+    // ---- 2. Reload every model cold through a fresh registry ----
+    let cold_registry = ModelRegistry::open(&model_dir).expect("registry reopens");
+
+    // ---- 3. Stream the cohort's held-out data through the service ----
+    let service = DetectionService::new(ServeConfig {
+        workers: threads.clamp(1, 16),
+        ring_chunks: 64,
+    });
+    let mut handles = Vec::new();
+    let mut cursors = Vec::new();
+    let test_recordings: Vec<Recording> = preps
+        .iter()
+        .map(|prep| {
+            Recording::from_channels(512, prep.test_signal())
+                .expect("test portion is a valid recording")
+        })
+        .collect();
+    for (id, _) in ids.iter().zip(&preps) {
+        let handle = service
+            .open_from_registry(&cold_registry, id)
+            .expect("session opens from persisted model");
+        handles.push(handle);
+    }
+    for recording in &test_recordings {
+        cursors.push(recording.frames());
+    }
+
+    eprintln!(
+        "streaming {} test recordings through {} worker shards ...",
+        handles.len(),
+        threads.clamp(1, 16)
+    );
+    let start = std::time::Instant::now();
+    const CHUNK_FRAMES: usize = 256; // 0.5 s of signal per ring slot
+    let mut live: Vec<usize> = (0..handles.len()).collect();
+    let mut staging = Vec::new();
+    while !live.is_empty() {
+        live.retain(|&i| {
+            staging.clear();
+            if cursors[i].read_chunk(CHUNK_FRAMES, &mut staging) == 0 {
+                handles[i].close();
+                return false;
+            }
+            let mut pending: Box<[f32]> = staging.as_slice().into();
+            loop {
+                match handles[i].try_push_chunk(pending) {
+                    Ok(()) => return true,
+                    Err(PushError::Full(back)) => {
+                        // Explicit backpressure: retry after yielding.
+                        pending = back;
+                        std::thread::yield_now();
+                    }
+                    Err(e) => panic!("push failed: {e}"),
+                }
+            }
+        });
+    }
+    service.flush();
+    let elapsed = start.elapsed();
+
+    // ---- 4. Score alarms from the service-wide bus ----
+    let mut per_patient_alarms: Vec<Vec<f64>> = vec![Vec::new(); handles.len()];
+    for alarm in service.take_alarms() {
+        let idx = ids
+            .iter()
+            .position(|id| *id == alarm.patient)
+            .expect("alarm belongs to the cohort");
+        per_patient_alarms[idx].push(alarm.time_secs());
+    }
+
+    println!(
+        "{:<6} {:>5} {:>9} {:>8} {:>7} {:>10}",
+        "id", "sz", "detected", "false", "delay", "events"
+    );
+    let (mut total_sz, mut total_det, mut total_fa) = (0usize, 0usize, 0usize);
+    for (i, prep) in preps.iter().enumerate() {
+        let outcome = outcome_from_spans(
+            &per_patient_alarms[i],
+            &prep.test_seizure_spans(),
+            prep.test_equivalent_hours,
+        );
+        let events = handles[i].stats().events_out;
+        let delay = outcome
+            .mean_delay_secs()
+            .map_or("-".to_string(), |d| format!("{d:.1}s"));
+        println!(
+            "{:<6} {:>5} {:>9} {:>8} {:>7} {:>10}",
+            ids[i], outcome.test_seizures, outcome.detected, outcome.false_alarms, delay, events
+        );
+        total_sz += outcome.test_seizures;
+        total_det += outcome.detected;
+        total_fa += outcome.false_alarms;
+    }
+
+    // ---- 5. Service observability ----
+    let stats = service.stats();
+    println!(
+        "\ncohort: {total_det}/{total_sz} seizures detected, {total_fa} false \
+         alarms"
+    );
+    println!(
+        "service: {} frames in, {} events out, {} alarms, {} dropped frames",
+        stats.totals.frames_in,
+        stats.totals.events_out,
+        stats.totals.alarms_out,
+        stats.totals.frames_dropped
+    );
+    println!(
+        "throughput: {:.1} signal-hours in {:.1}s wall ({:.0}x realtime); \
+         worst drain batch {:.1} ms",
+        stats.totals.frames_in as f64 / 512.0 / 3600.0,
+        elapsed.as_secs_f64(),
+        stats.totals.frames_in as f64 / 512.0 / elapsed.as_secs_f64(),
+        stats.totals.max_drain_micros as f64 / 1000.0
+    );
+
+    let _ = std::fs::remove_dir_all(&model_dir);
 }

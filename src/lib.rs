@@ -11,9 +11,24 @@
 //! * [`nn`] — the mini NN/SVM library behind the baselines;
 //! * [`baselines`] — LBP+SVM, LSTM, and STFT+CNN detectors;
 //! * [`gpu_sim`] — the Tegra X2 timing/energy model;
-//! * [`eval`] — metrics and the table/figure experiment harness.
+//! * [`eval`] — metrics and the table/figure experiment harness;
+//! * [`serve`] — the multi-patient streaming detection service.
 //!
-//! See the runnable binaries under `examples/` for end-to-end usage, and
+//! ## Serving
+//!
+//! The paper's deployment scenario is continuous long-term monitoring:
+//! one classification per patient every 0.5 s, indefinitely. [`serve`]
+//! provides that as a service: persist trained
+//! [`core::PatientModel`]s in a versioned binary format via
+//! [`serve::ModelRegistry`], then run many patients concurrently through
+//! a [`serve::DetectionService`] — each session a bounded frame queue
+//! with explicit backpressure, pinned to a worker shard so its event
+//! stream is *identical* to a single [`core::Detector`] run. Alarms fan
+//! into a service-wide bus; [`serve::ServiceStats`] exposes frames,
+//! events, drops, and worst-case drain latency.
+//!
+//! See `examples/long_term_monitoring.rs` for the full train → persist →
+//! load → stream → alarm flow over a 32-patient synthetic cohort, and
 //! `laelaps-bench` for the table/figure regeneration commands.
 
 pub use laelaps_baselines as baselines;
@@ -22,3 +37,4 @@ pub use laelaps_eval as eval;
 pub use laelaps_gpu_sim as gpu_sim;
 pub use laelaps_ieeg as ieeg;
 pub use laelaps_nn as nn;
+pub use laelaps_serve as serve;

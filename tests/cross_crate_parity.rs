@@ -104,10 +104,12 @@ fn baselines_follow_the_shared_protocol() {
     let fs = 512usize;
     let first = recording.annotations()[0];
     let inter_end = first.onset_sample as usize - 45 * fs;
+    #[allow(clippy::single_range_in_vec_init)] // one training segment, not a range of indices
+    let inter_segments = [inter_end - 30 * fs..inter_end];
     let svm = SvmDetector::train(
         recording.channels(),
         &[first.range()],
-        &[inter_end - 30 * fs..inter_end],
+        &inter_segments,
         &Protocol::default(),
         1,
     );
@@ -118,9 +120,11 @@ fn baselines_follow_the_shared_protocol() {
     assert_eq!(events.len(), expected);
     // The SVM sees the training seizure again during the sweep: it must
     // flag it (sanity of the protocol wiring).
-    let alarm_near_train = events.iter().any(|e| {
-        e.alarm
-            && (e.time_secs - first.onset_secs(512)).abs() < 60.0
-    });
-    assert!(alarm_near_train, "SVM should re-detect its training seizure");
+    let alarm_near_train = events
+        .iter()
+        .any(|e| e.alarm && (e.time_secs - first.onset_secs(512)).abs() < 60.0);
+    assert!(
+        alarm_near_train,
+        "SVM should re-detect its training seizure"
+    );
 }

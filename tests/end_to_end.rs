@@ -3,8 +3,7 @@
 
 use laelaps::core::tuning::{tune_tr, DEFAULT_ALPHA};
 use laelaps::eval::runner::{
-    alarms_with_tr, outcome_from_alarms, run_laelaps_test, train_laelaps,
-    PreparedPatient,
+    alarms_with_tr, outcome_from_alarms, run_laelaps_test, train_laelaps, PreparedPatient,
 };
 use laelaps::ieeg::synth::demo_patient;
 
@@ -21,7 +20,10 @@ fn full_protocol_detects_all_strong_seizures_without_false_alarms() {
         outcome.detected, 2,
         "both held-out strong seizures must be detected"
     );
-    assert_eq!(outcome.false_alarms, 0, "tuned tr must yield zero false alarms");
+    assert_eq!(
+        outcome.false_alarms, 0,
+        "tuned tr must yield zero false alarms"
+    );
     let delay = outcome.mean_delay_secs().expect("delays recorded");
     assert!(
         (2.0..40.0).contains(&delay),
@@ -66,8 +68,7 @@ fn pure_background_never_alarms_with_tuned_tr() {
         }
         (acc / (take * electrodes) as f64).sqrt()
     };
-    let seizure =
-        render_seizure(&SeizureEvent::strong(20.0, 32), fs as f64, electrodes, rms);
+    let seizure = render_seizure(&SeizureEvent::strong(20.0, 32), fs as f64, electrodes, rms);
     let onset = fs * 80;
     for (ch, over) in train_sig.iter_mut().zip(seizure.iter()) {
         for (i, &x) in over.iter().enumerate() {

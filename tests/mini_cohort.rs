@@ -2,9 +2,7 @@
 //! aggressive compression, no baselines — the structural smoke test for
 //! the full experiment path.
 
-use laelaps::eval::experiments::{
-    render_table1, run_table1, summarize_ablation, Table1Options,
-};
+use laelaps::eval::experiments::{render_table1, run_table1, summarize_ablation, Table1Options};
 
 #[test]
 fn mini_table1_runs_and_reports() {
@@ -15,7 +13,11 @@ fn mini_table1_runs_and_reports() {
         ..Table1Options::default()
     };
     let result = run_table1(&options);
-    assert!(result.failures.is_empty(), "failures: {:?}", result.failures);
+    assert!(
+        result.failures.is_empty(),
+        "failures: {:?}",
+        result.failures
+    );
     assert_eq!(result.rows.len(), 2);
 
     let p5 = result.rows.iter().find(|r| r.id == "P5").unwrap();
