@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use laelaps_core::{LaelapsConfig, PatientModel, Trainer, TrainingData};
+use laelaps_serve::wire::{encode_message, read_message, Message};
 use laelaps_serve::{load_model, save_model, DetectionService, PushError, ServeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -108,5 +109,31 @@ fn bench_model_persistence(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_session_scaling, bench_model_persistence);
+/// Cost of the ingest wire format on the hot path: sealing and verifying
+/// one 0.5 s `Frames` message (256 frames × 8 electrodes).
+fn bench_wire_roundtrip(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let chunk: Box<[f32]> = (0..256 * ELECTRODES)
+        .map(|_| rng.gen_range(-1.0f32..1.0))
+        .collect();
+    let message = Message::Frames { chunk };
+    let frame = encode_message(&message);
+
+    let mut group = c.benchmark_group("serve_wire");
+    group.throughput(Throughput::Bytes(frame.len() as u64));
+    group.bench_function("encode_frames_256x8", |bench| {
+        bench.iter(|| black_box(encode_message(black_box(&message))).len());
+    });
+    group.bench_function("decode_frames_256x8", |bench| {
+        bench.iter(|| black_box(read_message(&mut frame.as_slice()).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_session_scaling,
+    bench_model_persistence,
+    bench_wire_roundtrip
+);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 use crate::{Strategy, TestRng};
 use std::ops::{Range, RangeInclusive};
 
-/// Sizes accepted by [`vec`]: an exact length or a length range.
+/// Sizes accepted by [`vec()`]: an exact length or a length range.
 pub trait IntoSizeRange {
     /// Draws a concrete length.
     fn pick_len(&self, rng: &mut TestRng) -> usize;
@@ -33,7 +33,7 @@ pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S,
     VecStrategy { element, size }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S, L> {
     element: S,

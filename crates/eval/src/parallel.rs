@@ -71,7 +71,12 @@ pub fn default_threads() -> usize {
 }
 
 /// How long an idle [`ShardedPool`] worker sleeps before re-polling.
-const IDLE_POLL: Duration = Duration::from_millis(2);
+///
+/// This is a safety net only: producers wake workers explicitly through
+/// [`ShardedPool::notify`] / [`PoolWaker::notify`], and the epoch counter
+/// makes those wakeups race-free, so the poll can be long — an idle fleet
+/// wakes once a second per shard instead of 500×/s.
+pub const IDLE_POLL: Duration = Duration::from_secs(1);
 
 /// Persistent worker threads, one per shard.
 ///
@@ -109,10 +114,44 @@ pub struct ShardedPool {
 
 struct PoolShared {
     shutdown: AtomicBool,
-    // Guards nothing by itself; pairs with `wake` so notify() cannot race
-    // with a worker that is about to wait.
-    idle: Mutex<()>,
+    // Notification epoch: bumped under the lock by every notify(). A worker
+    // snapshots it before looking for work; if it moved by the time the
+    // worker is about to wait, a notification landed mid-scan and the
+    // worker rescans instead of sleeping — no wakeup can be lost.
+    epoch: Mutex<u64>,
     wake: Condvar,
+}
+
+impl PoolShared {
+    fn notify(&self) {
+        let mut epoch = self.epoch.lock().expect("pool lock poisoned");
+        *epoch = epoch.wrapping_add(1);
+        self.wake.notify_all();
+    }
+}
+
+/// A cloneable handle that wakes a [`ShardedPool`]'s workers without
+/// owning the pool, so producers (e.g. session handles in
+/// `laelaps-serve`) can signal "new work enqueued" from any thread.
+///
+/// Outlives the pool safely: notifying after the pool shut down is a
+/// no-op.
+#[derive(Clone)]
+pub struct PoolWaker {
+    shared: Arc<PoolShared>,
+}
+
+impl PoolWaker {
+    /// Wakes all parked workers (call after enqueueing new work).
+    pub fn notify(&self) {
+        self.shared.notify();
+    }
+}
+
+impl std::fmt::Debug for PoolWaker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolWaker").finish_non_exhaustive()
+    }
 }
 
 impl ShardedPool {
@@ -128,7 +167,7 @@ impl ShardedPool {
         assert!(shards > 0, "a pool needs at least one shard");
         let shared = Arc::new(PoolShared {
             shutdown: AtomicBool::new(false),
-            idle: Mutex::new(()),
+            epoch: Mutex::new(0),
             wake: Condvar::new(),
         });
         let run = Arc::new(run);
@@ -140,16 +179,23 @@ impl ShardedPool {
                     .name(format!("laelaps-shard-{shard}"))
                     .spawn(move || {
                         while !shared.shutdown.load(Ordering::Acquire) {
+                            // Snapshot the epoch *before* scanning for work:
+                            // a notify() that lands during the scan moves it,
+                            // and the re-check under the lock below turns
+                            // what would be a lost wakeup into a rescan.
+                            let seen = *shared.epoch.lock().expect("pool lock poisoned");
                             let worked = run(shard);
                             if !worked {
-                                let guard = shared.idle.lock().expect("pool lock poisoned");
+                                let guard = shared.epoch.lock().expect("pool lock poisoned");
                                 if shared.shutdown.load(Ordering::Acquire) {
                                     break;
                                 }
-                                let _ = shared
-                                    .wake
-                                    .wait_timeout(guard, IDLE_POLL)
-                                    .expect("pool lock poisoned");
+                                if *guard == seen {
+                                    let _ = shared
+                                        .wake
+                                        .wait_timeout(guard, IDLE_POLL)
+                                        .expect("pool lock poisoned");
+                                }
                             }
                         }
                     })
@@ -166,8 +212,15 @@ impl ShardedPool {
 
     /// Wakes all parked workers (call after enqueueing new work).
     pub fn notify(&self) {
-        let _guard = self.shared.idle.lock().expect("pool lock poisoned");
-        self.shared.wake.notify_all();
+        self.shared.notify();
+    }
+
+    /// A cloneable [`PoolWaker`] for producers that enqueue work for this
+    /// pool but do not own it.
+    pub fn waker(&self) -> PoolWaker {
+        PoolWaker {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -266,6 +319,42 @@ mod tests {
             std::thread::yield_now();
         }
         drop(pool);
+    }
+
+    #[test]
+    fn waker_wakes_an_idle_pool_well_under_the_poll_interval() {
+        let queue: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
+        let drained = Arc::new(AtomicU64::new(0));
+        let pool = {
+            let (queue, drained) = (Arc::clone(&queue), Arc::clone(&drained));
+            ShardedPool::new(2, move |_shard| {
+                let item = queue.lock().unwrap().pop();
+                match item {
+                    Some(_) => {
+                        drained.fetch_add(1, Ordering::Relaxed);
+                        true
+                    }
+                    None => false,
+                }
+            })
+        };
+        let waker = pool.waker();
+        // Let every worker scan an empty queue and park.
+        std::thread::sleep(Duration::from_millis(30));
+        queue.lock().unwrap().push(7);
+        let start = std::time::Instant::now();
+        waker.notify();
+        while drained.load(Ordering::Relaxed) == 0 {
+            assert!(
+                start.elapsed() < IDLE_POLL / 2,
+                "woken worker should pick the item up immediately, not on \
+                 the idle-poll timeout"
+            );
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        drop(pool);
+        // Notifying after shutdown is a harmless no-op.
+        waker.notify();
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! extractors need, implemented in-repo: FFT ([`fft`]), tapering windows
 //! ([`window`]), IIR Butterworth filters ([`iir`]), linear-phase FIR
 //! filters ([`fir`]), anti-aliased decimation ([`decimate`]), and the STFT
-//! ([`stft`]).
+//! ([`mod@stft`]).
 
 pub mod decimate;
 pub mod fft;

@@ -12,19 +12,35 @@ pub type Result<T> = std::result::Result<T, ServeError>;
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum ServeError {
-    /// An underlying I/O failure while reading or writing a model file.
+    /// An underlying I/O failure while reading or writing a model file or
+    /// a network socket.
     Io(io::Error),
-    /// The model file is malformed (bad magic, header, checksum, body).
+    /// A model file or wire frame is malformed (bad magic, header,
+    /// checksum, body).
     Corrupt {
         /// What was wrong.
         reason: String,
     },
-    /// The model file uses a format version this build cannot read.
+    /// A model file or wire frame uses a format version this build cannot
+    /// read. `found` is reported exactly as the bytes said it — a u64 so
+    /// a file claiming a version beyond `u32::MAX` is not silently
+    /// saturated.
     VersionMismatch {
-        /// Version found in the file.
-        found: u32,
+        /// Version found in the file or frame.
+        found: u64,
         /// Highest version this build supports.
         supported: u32,
+    },
+    /// The remote peer violated the ingest protocol (e.g. sent frames
+    /// before a `Hello`, or a second `Hello`).
+    Protocol {
+        /// What the peer did wrong.
+        reason: String,
+    },
+    /// The peer reported an error over the wire and closed the stream.
+    Remote {
+        /// The reason carried by the peer's `Error` message.
+        reason: String,
     },
     /// The core library rejected the deserialized model.
     Core(LaelapsError),
@@ -43,15 +59,21 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::Io(e) => write!(f, "model I/O error: {e}"),
+            ServeError::Io(e) => write!(f, "I/O error: {e}"),
             ServeError::Corrupt { reason } => {
-                write!(f, "corrupt model file: {reason}")
+                write!(f, "corrupt data: {reason}")
             }
             ServeError::VersionMismatch { found, supported } => write!(
                 f,
-                "model format version {found} unsupported (this build reads \
+                "format version {found} unsupported (this build reads \
                  up to version {supported})"
             ),
+            ServeError::Protocol { reason } => {
+                write!(f, "ingest protocol violation: {reason}")
+            }
+            ServeError::Remote { reason } => {
+                write!(f, "remote peer reported an error: {reason}")
+            }
             ServeError::Core(e) => write!(f, "core rejected model: {e}"),
             ServeError::UnknownPatient { patient } => {
                 write!(f, "no model registered for patient {patient:?}")

@@ -6,7 +6,7 @@
 //! this crate turns the single-patient [`laelaps_core::Detector`] into a
 //! service that runs whole patient fleets concurrently.
 //!
-//! Three pillars:
+//! Four pillars:
 //!
 //! * **Model persistence** ([`save_model`] / [`load_model`] /
 //!   [`ModelRegistry`]) — a versioned binary format (readable JSON header +
@@ -15,33 +15,61 @@
 //!   registry keyed by patient id.
 //! * **Session engine** ([`DetectionService`] / [`SessionHandle`]) — each
 //!   session owns a bounded SPSC frame queue with *explicit* backpressure
-//!   (`try_push` returns the chunk on overflow) and is pinned to one
-//!   worker shard (a [`laelaps_eval::parallel::ShardedPool`]), so its
+//!   (`try_push` returns the chunk on overflow) and is placed on the
+//!   least-loaded shard of a worker pool
+//!   (a [`laelaps_eval::parallel::ShardedPool`]), so its
 //!   event stream is byte-identical to a bare `Detector` run while many
 //!   sessions proceed in parallel. Alarms additionally fan into a
-//!   service-wide bus ([`DetectionService::take_alarms`]).
-//! * **Observability** ([`ServiceStats`] / [`SessionStats`]) — per-session
-//!   and aggregate counters: frames in/dropped/processed, events, alarms,
-//!   and worst-case drain latency.
+//!   service-wide bus ([`DetectionService::take_alarms`]); [`EventTap`]
+//!   subscriptions let another thread collect a session's events while
+//!   its handle keeps pushing.
+//! * **Network ingest** ([`net::IngestServer`] / [`net::IngestClient`]) —
+//!   a TCP front-end speaking the [`wire`] protocol, so remote producers
+//!   (a fleet of bedside acquisition devices) can drive the service.
+//!   Every message is one length-prefixed, FNV-1a-checksummed frame:
 //!
-//! See `examples/long_term_monitoring.rs` for the full train → persist →
-//! load → stream → alarm flow over a 32-patient synthetic cohort.
+//!   ```text
+//!   offset  size  field
+//!   0       2     magic  b"LW"
+//!   2       1     wire format version (1)
+//!   3       1     message type tag
+//!   4       4     payload length P (u32 LE), P ≤ 16 MiB
+//!   8       P     payload (all scalars little-endian)
+//!   8+P     8     FNV-1a 64 checksum of bytes [0, 8+P) (u64 LE)
+//!   ```
+//!
+//!   Clients send `Hello{patient, electrodes}` / `Frames{chunk}` /
+//!   `Close`; the server answers `Accepted`, applies backpressure with
+//!   `Throttle` (never a silent drop), streams `Event`/`Alarm` records
+//!   back on the same socket, and reports fatal conditions as
+//!   `Error{reason}`. See [`wire`] for the per-message payload layouts.
+//! * **Observability** ([`ServiceStats`] / [`SessionStats`]) — per-session
+//!   and aggregate counters: frames in/dropped/refused/processed, events,
+//!   alarms, and worst-case drain latency.
+//!
+//! See `examples/long_term_monitoring.rs` for the in-process train →
+//! persist → load → stream → alarm flow over a 32-patient synthetic
+//! cohort, and `examples/remote_cohort.rs` for the same cohort driven
+//! over TCP through [`net::IngestServer`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod error;
+pub mod net;
 pub mod persist;
 pub mod ring;
 pub mod service;
 pub mod session;
 pub mod stats;
+pub mod wire;
 
 pub use error::{Result, ServeError};
+pub use net::{IngestClient, IngestServer};
 pub use persist::{
     load_model, load_model_from, save_model, save_model_to, ModelRegistry, FORMAT_VERSION,
     MODEL_EXT,
 };
 pub use service::{AlarmRecord, DetectionService, ServeConfig};
-pub use session::{PushError, SessionHandle, SessionId};
+pub use session::{EventTap, PushError, SessionHandle, SessionId};
 pub use stats::{ServiceStats, SessionStats, SessionStatsEntry};

@@ -44,23 +44,25 @@ pub const MODEL_EXT: &str = "laemodel";
 // ---------------------------------------------------------------------------
 
 /// Incremental FNV-1a 64 (tiny, dependency-free; adequate for detecting
-/// accidental corruption — this is not a cryptographic seal).
+/// accidental corruption — this is not a cryptographic seal). Shared with
+/// the wire protocol ([`crate::wire`]), which seals every frame with the
+/// same digest.
 #[derive(Debug, Clone)]
-struct Fnv1a(u64);
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv1a(0xcbf2_9ce4_8422_2325)
     }
 
-    fn update(&mut self, bytes: &[u8]) {
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -317,7 +319,7 @@ pub fn load_model<R: Read>(reader: &mut R) -> Result<PatientModel> {
     let version = header_num(&header, "format")?;
     if version == 0 || version > FORMAT_VERSION as u64 {
         return Err(ServeError::VersionMismatch {
-            found: version.min(u32::MAX as u64) as u32,
+            found: version,
             supported: FORMAT_VERSION,
         });
     }

@@ -3,7 +3,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use laelaps_core::{Detector, DetectorEvent, PatientModel};
@@ -54,12 +54,72 @@ impl Default for ServeConfig {
     }
 }
 
+/// Service-wide progress signal: a generation counter bumped by workers
+/// whenever a drain pass did anything, with a condvar for waiters.
+///
+/// This is what lets [`DetectionService::flush`] (and the network layer's
+/// per-connection event pumps) *sleep* until the workers advance instead
+/// of burning a core polling counters.
+pub(crate) struct Progress {
+    generation: Mutex<u64>,
+    moved: Condvar,
+}
+
+impl Progress {
+    fn new() -> Self {
+        Progress {
+            generation: Mutex::new(0),
+            moved: Condvar::new(),
+        }
+    }
+
+    /// Records that work happened and wakes every waiter.
+    pub(crate) fn bump(&self) {
+        let mut generation = self.generation.lock().expect("progress lock poisoned");
+        *generation = generation.wrapping_add(1);
+        self.moved.notify_all();
+    }
+
+    /// Current generation; pass to [`Progress::wait_past`].
+    pub(crate) fn generation(&self) -> u64 {
+        *self.generation.lock().expect("progress lock poisoned")
+    }
+
+    /// Blocks until the generation moves past `seen` or `timeout`
+    /// elapses (the timeout guards waiters whose condition became true
+    /// without a bump, e.g. a push that was observed before its worker's
+    /// signal). Returns the generation at wakeup.
+    pub(crate) fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut generation = self.generation.lock().expect("progress lock poisoned");
+        while *generation == seen {
+            let (guard, wait) = self
+                .moved
+                .wait_timeout(generation, timeout)
+                .expect("progress lock poisoned");
+            generation = guard;
+            if wait.timed_out() {
+                break;
+            }
+        }
+        *generation
+    }
+}
+
+impl std::fmt::Debug for Progress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Progress")
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
+
 struct ServiceInner {
     shards: Vec<Mutex<Vec<Arc<SessionCore>>>>,
     alarms: Mutex<VecDeque<AlarmRecord>>,
     retired: Mutex<RetiredStats>,
     next_id: AtomicU64,
     ring_chunks: usize,
+    progress: Arc<Progress>,
 }
 
 impl ServiceInner {
@@ -93,7 +153,22 @@ impl ServiceInner {
                     !done
                 });
         }
+        if worked || any_done {
+            self.progress.bump();
+        }
         worked
+    }
+
+    /// The shard with the fewest registered sessions (ties go to the
+    /// lowest index). Counting live sessions per shard is an adequate
+    /// load proxy until per-shard frame-rate accounting exists.
+    fn least_loaded_shard(&self) -> usize {
+        self.shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, shard)| shard.lock().expect("shard lock poisoned").len())
+            .map(|(index, _)| index)
+            .unwrap_or(0)
     }
 
     fn all_sessions(&self) -> Vec<Arc<SessionCore>> {
@@ -178,6 +253,7 @@ impl DetectionService {
             retired: Mutex::new(RetiredStats::default()),
             next_id: AtomicU64::new(0),
             ring_chunks: config.ring_chunks.max(1),
+            progress: Arc::new(Progress::new()),
         });
         let pool = {
             let inner = Arc::clone(&inner);
@@ -201,10 +277,16 @@ impl DetectionService {
         let electrodes = detector.electrodes();
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = ring::ring(self.inner.ring_chunks);
+        // Place the session on the currently least-loaded shard: `id %
+        // shards` skews badly once sessions retire unevenly (every
+        // retirement on one shard leaves its round-robin slot idle while
+        // a crowded shard keeps its pile).
+        let shard = self.inner.least_loaded_shard();
         let core = Arc::new(SessionCore {
             id,
             patient: patient.to_string(),
             electrodes,
+            shard,
             worker: Mutex::new(WorkerState {
                 detector,
                 rx,
@@ -215,7 +297,6 @@ impl DetectionService {
             failed_flag: Default::default(),
             done: Default::default(),
         });
-        let shard = (id as usize) % self.inner.shards.len();
         self.inner.shards[shard]
             .lock()
             .expect("shard lock poisoned")
@@ -225,6 +306,8 @@ impl DetectionService {
             core,
             tx,
             closed: false,
+            waker: self.pool.waker(),
+            progress: Arc::clone(&self.inner.progress),
         })
     }
 
@@ -258,13 +341,22 @@ impl DetectionService {
     /// Only frames pushed *before* the call are guaranteed processed;
     /// concurrent pushers extend the wait.
     pub fn flush(&self) {
+        self.pool.notify();
         loop {
-            self.pool.notify();
-            let sessions = self.inner.all_sessions();
-            if sessions.iter().all(|s| s.is_caught_up()) {
+            // Snapshot the progress generation *before* checking, so a
+            // worker that advances between the check and the wait moves
+            // the generation and the wait returns immediately — the
+            // condvar equivalent of the pool's epoch discipline. The
+            // timeout is a safety net only; the wait is normally ended by
+            // a worker's bump, so an unflushed service costs a condvar
+            // wakeup per drain batch instead of a spinning core.
+            let seen = self.inner.progress.generation();
+            if self.inner.all_sessions().iter().all(|s| s.is_caught_up()) {
                 return;
             }
-            std::thread::sleep(Duration::from_micros(200));
+            self.inner
+                .progress
+                .wait_past(seen, Duration::from_millis(100));
         }
     }
 
@@ -292,6 +384,7 @@ impl DetectionService {
             .map(|core| SessionStatsEntry {
                 session: core.id,
                 patient: core.patient.clone(),
+                shard: core.shard,
                 stats: core.counters.snapshot(),
             })
             .collect();

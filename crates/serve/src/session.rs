@@ -3,12 +3,13 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use laelaps_core::{Detector, DetectorEvent};
+use laelaps_eval::parallel::PoolWaker;
 
 use crate::ring::{Consumer, Full, Producer};
-use crate::service::AlarmRecord;
+use crate::service::{AlarmRecord, Progress};
 use crate::stats::{SessionCounters, SessionStats};
 
 /// Identifies a session within one [`crate::DetectionService`].
@@ -67,6 +68,8 @@ pub(crate) struct SessionCore {
     pub id: SessionId,
     pub patient: String,
     pub electrodes: usize,
+    /// Worker shard the session is pinned to (for observability).
+    pub shard: usize,
     pub worker: Mutex<WorkerState>,
     pub outbox: Mutex<VecDeque<DetectorEvent>>,
     pub counters: SessionCounters,
@@ -236,6 +239,8 @@ pub struct SessionHandle {
     pub(crate) core: Arc<SessionCore>,
     pub(crate) tx: Producer<Chunk>,
     pub(crate) closed: bool,
+    pub(crate) waker: PoolWaker,
+    pub(crate) progress: Arc<Progress>,
 }
 
 impl SessionHandle {
@@ -281,6 +286,11 @@ impl SessionHandle {
                     .counters
                     .frames_in
                     .fetch_add(frames as u64, Ordering::Relaxed);
+                // Wake the pool: without this, a fully idle pool only
+                // discovers the chunk on its idle-poll timeout. Chunks
+                // are coarse (hundreds of frames), so one notification
+                // per accepted chunk stays off the hot path.
+                self.waker.notify();
                 Ok(())
             }
             Err(Full(chunk)) => Err(PushError::Full(chunk)),
@@ -289,8 +299,9 @@ impl SessionHandle {
 
     /// Queues a chunk, dropping it (and counting the drop) if the queue
     /// is full. Returns whether the chunk was accepted; a closed or
-    /// failed session silently refuses (returns `false`), matching the
-    /// best-effort contract.
+    /// failed session refuses (returns `false`) and counts the refusal
+    /// in [`SessionStats::frames_refused`], so offered load never
+    /// disappears from the accounting.
     ///
     /// # Panics
     ///
@@ -299,7 +310,16 @@ impl SessionHandle {
     pub fn push_chunk_lossy(&mut self, samples: &[f32]) -> bool {
         let frames = match self.check_width(samples.len()) {
             Ok(frames) => frames,
-            Err(PushError::Closed) => return false,
+            Err(PushError::Closed) => {
+                // Closed/failed sessions skip width validation, so round
+                // down: partial-frame tails of a misshapen chunk are not
+                // whole frames to account for.
+                self.core.counters.frames_refused.fetch_add(
+                    (samples.len() / self.core.electrodes) as u64,
+                    Ordering::Relaxed,
+                );
+                return false;
+            }
             Err(e) => panic!("{e}"),
         };
         match self.tx.try_push(samples.into()) {
@@ -308,6 +328,7 @@ impl SessionHandle {
                     .counters
                     .frames_in
                     .fetch_add(frames as u64, Ordering::Relaxed);
+                self.waker.notify();
                 true
             }
             Err(Full(_)) => {
@@ -367,11 +388,123 @@ impl SessionHandle {
     pub fn close(&mut self) {
         self.closed = true;
         self.tx.close();
+        // Wake the pool so an idle worker observes the closed stream and
+        // retires the session now, not on its idle-poll timeout.
+        self.waker.notify();
     }
 
     /// Whether every accepted frame has been processed.
     pub fn is_caught_up(&self) -> bool {
         self.core.is_caught_up()
+    }
+
+    /// A cloneable, read-only subscription to this session's output
+    /// stream, shareable across threads while the handle keeps pushing.
+    ///
+    /// This is the plumbing the network layer runs on: a connection's
+    /// reader thread owns the [`SessionHandle`] (pushes frames) while its
+    /// event pump owns an [`EventTap`] (takes events, waits on worker
+    /// progress) — both sides of one session, no lock juggling.
+    pub fn tap(&self) -> EventTap {
+        EventTap {
+            core: Arc::clone(&self.core),
+            progress: Arc::clone(&self.progress),
+        }
+    }
+}
+
+/// A read-only view of one session's output: events, stats, progress.
+///
+/// Created by [`SessionHandle::tap`]; cloneable and independent of the
+/// handle's lifetime (events of a retired session stay takeable). Taking
+/// events from the tap and from the handle drains the same outbox — use
+/// one or the other per session.
+#[derive(Clone)]
+pub struct EventTap {
+    core: Arc<SessionCore>,
+    progress: Arc<Progress>,
+}
+
+impl EventTap {
+    /// Session id within its service.
+    pub fn session(&self) -> SessionId {
+        self.core.id
+    }
+
+    /// Patient id this session serves.
+    pub fn patient(&self) -> &str {
+        &self.core.patient
+    }
+
+    /// Takes every classification event produced so far, in stream order.
+    pub fn take_events(&self) -> Vec<DetectorEvent> {
+        self.core
+            .outbox
+            .lock()
+            .expect("session outbox poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Point-in-time counter snapshot.
+    pub fn stats(&self) -> SessionStats {
+        self.core.counters.snapshot()
+    }
+
+    /// Whether every accepted frame has been processed (or charged to
+    /// the discard counter by a failed session).
+    pub fn is_caught_up(&self) -> bool {
+        self.core.is_caught_up()
+    }
+
+    /// Whether the session finished: input closed and fully drained.
+    pub fn is_done(&self) -> bool {
+        self.core.done.load(Ordering::Acquire)
+    }
+
+    /// The detector error that killed this session, if any.
+    pub fn error(&self) -> Option<String> {
+        self.core
+            .worker
+            .lock()
+            .expect("session worker lock poisoned")
+            .failed
+            .clone()
+    }
+
+    /// The service-wide progress generation; pass to
+    /// [`EventTap::wait_progress`].
+    pub fn progress_generation(&self) -> u64 {
+        self.progress.generation()
+    }
+
+    /// Sleeps until any worker makes progress past generation `seen` or
+    /// `timeout` elapses, whichever is first; returns the generation at
+    /// wakeup. The non-spinning way to wait for new events.
+    pub fn wait_progress(&self, seen: u64, timeout: Duration) -> u64 {
+        self.progress.wait_past(seen, timeout)
+    }
+
+    /// Blocks (without spinning) until every frame accepted so far has
+    /// been processed. Unlike [`crate::DetectionService::flush`] this
+    /// waits for *this* session only.
+    pub fn wait_caught_up(&self) {
+        loop {
+            let seen = self.progress.generation();
+            if self.core.is_caught_up() {
+                return;
+            }
+            self.progress.wait_past(seen, Duration::from_millis(100));
+        }
+    }
+}
+
+impl std::fmt::Debug for EventTap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventTap")
+            .field("session", &self.core.id)
+            .field("patient", &self.core.patient)
+            .finish_non_exhaustive()
     }
 }
 
@@ -395,6 +528,7 @@ mod tests {
             id: 0,
             patient: "P-broken".into(),
             electrodes: 4, // detector expects 2 → push_frame errors
+            shard: 0,
             worker: Mutex::new(WorkerState {
                 detector,
                 rx,
@@ -451,6 +585,7 @@ mod tests {
             id: 1,
             patient: "P-busy".into(),
             electrodes: 2,
+            shard: 0,
             worker: Mutex::new(WorkerState {
                 detector,
                 rx,

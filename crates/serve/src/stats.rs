@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub(crate) struct SessionCounters {
     pub frames_in: AtomicU64,
     pub frames_dropped: AtomicU64,
+    pub frames_refused: AtomicU64,
     pub frames_discarded: AtomicU64,
     pub frames_processed: AtomicU64,
     pub events_out: AtomicU64,
@@ -21,6 +22,7 @@ impl SessionCounters {
         SessionStats {
             frames_in: self.frames_in.load(Ordering::Relaxed),
             frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+            frames_refused: self.frames_refused.load(Ordering::Relaxed),
             frames_discarded: self.frames_discarded.load(Ordering::Relaxed),
             frames_processed: self.frames_processed.load(Ordering::Relaxed),
             events_out: self.events_out.load(Ordering::Relaxed),
@@ -44,6 +46,10 @@ pub struct SessionStats {
     /// Frames rejected by [`crate::SessionHandle::push_chunk_lossy`]
     /// because the queue was full (never entered the queue).
     pub frames_dropped: u64,
+    /// Frames offered to [`crate::SessionHandle::push_chunk_lossy`] after
+    /// the session closed or failed (never entered the queue). Offered
+    /// load is `frames_in + frames_dropped + frames_refused`.
+    pub frames_refused: u64,
     /// Accepted frames thrown away by the worker after the session's
     /// detector failed; `frames_processed + frames_discarded` accounts
     /// for every accepted frame once the session is idle.
@@ -65,6 +71,7 @@ impl SessionStats {
     pub(crate) fn absorb(&mut self, other: &SessionStats) {
         self.frames_in += other.frames_in;
         self.frames_dropped += other.frames_dropped;
+        self.frames_refused += other.frames_refused;
         self.frames_discarded += other.frames_discarded;
         self.frames_processed += other.frames_processed;
         self.events_out += other.events_out;
@@ -81,6 +88,9 @@ pub struct SessionStatsEntry {
     pub session: crate::SessionId,
     /// Patient id the session serves.
     pub patient: String,
+    /// Worker shard the session is pinned to (chosen least-loaded at
+    /// open time).
+    pub shard: usize,
     /// The counters.
     pub stats: SessionStats,
 }
@@ -166,11 +176,13 @@ mod tests {
                 SessionStatsEntry {
                     session: 2,
                     patient: "B".into(),
+                    shard: 0,
                     stats: b,
                 },
                 SessionStatsEntry {
                     session: 1,
                     patient: "A".into(),
+                    shard: 1,
                     stats: a,
                 },
             ],

@@ -1,0 +1,562 @@
+//! The ingest wire format: versioned, length-prefixed, checksummed frames.
+//!
+//! Every message travels as one self-delimiting binary frame sealed with
+//! the same FNV-1a 64 digest the model files use ([`crate::persist`]) —
+//! a flipped bit anywhere in a frame is caught before the payload is
+//! interpreted, and a reader never trusts a length it cannot bound.
+//!
+//! ## Frame layout (wire version 1)
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic  b"LW"
+//! 2       1     wire format version (1)
+//! 3       1     message type tag
+//! 4       4     payload length P (u32 LE), P ≤ 16 MiB
+//! 8       P     payload (all scalars little-endian)
+//! 8+P     8     FNV-1a 64 checksum of bytes [0, 8+P) (u64 LE)
+//! ```
+//!
+//! Readers gate on the version byte *before* verifying the checksum, so a
+//! frame from a future protocol fails with
+//! [`ServeError::VersionMismatch`], not a corruption error — the same
+//! discipline as the model files.
+//!
+//! ## Messages
+//!
+//! | tag  | message    | direction | payload |
+//! |------|------------|-----------|---------|
+//! | 0x01 | `Hello`    | c → s     | `u32` patient length, patient bytes (ASCII), `u32` electrodes |
+//! | 0x02 | `Frames`   | c → s     | interleaved `f32` samples (length = P / 4) |
+//! | 0x03 | `Close`    | c → s     | empty |
+//! | 0x81 | `Accepted` | s → c     | `u64` session id, `u32` electrodes |
+//! | 0x82 | `Throttle` | s → c     | `u32` queued chunks, `u32` queue capacity |
+//! | 0x83 | `Event`    | s → c     | one [`DetectorEvent`] (below), `alarm` absent |
+//! | 0x84 | `Alarm`    | s → c     | one [`DetectorEvent`] with its alarm record |
+//! | 0xEE | `Error`    | either    | `u32` reason length, UTF-8 reason bytes |
+//!
+//! An event payload is `u64` index, `u64` end sample, `f64` time bits,
+//! `u8` label (0 interictal / 1 ictal), `u64` distance to the interictal
+//! prototype, `u64` distance to the ictal prototype, then — for `Alarm`
+//! only — `u64` triggering label index and `f64` mean-Δ bits. Floats ride
+//! as raw IEEE-754 bits for bit-exact parity with an in-process
+//! [`laelaps_core::Detector`].
+//!
+//! # Examples
+//!
+//! ```
+//! use laelaps_serve::wire::{read_message, write_message, Message};
+//!
+//! let mut buf = Vec::new();
+//! write_message(&mut buf, &Message::Hello {
+//!     patient: "P01".into(),
+//!     electrodes: 4,
+//! })?;
+//! write_message(&mut buf, &Message::Close)?;
+//! let mut stream = buf.as_slice();
+//! assert!(matches!(
+//!     read_message(&mut stream)?,
+//!     Some(Message::Hello { electrodes: 4, .. })
+//! ));
+//! assert_eq!(read_message(&mut stream)?, Some(Message::Close));
+//! assert_eq!(read_message(&mut stream)?, None); // clean end of stream
+//! # Ok::<(), laelaps_serve::ServeError>(())
+//! ```
+
+use std::io::{Read, Write};
+
+use laelaps_core::{Alarm, Classification, DetectorEvent, Label};
+
+use crate::error::{Result, ServeError};
+use crate::persist::Fnv1a;
+
+/// Magic bytes opening every wire frame.
+pub const WIRE_MAGIC: [u8; 2] = *b"LW";
+
+/// Highest wire format version this build reads and the version it
+/// writes.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Frame header length: magic + version + tag + payload length.
+pub const HEADER_LEN: usize = 8;
+
+/// Trailing checksum length.
+pub const CHECKSUM_LEN: usize = 8;
+
+/// Upper bound on a frame's payload. Large enough for ~17 minutes of
+/// 8-electrode 512 Hz signal in one `Frames` message; small enough that a
+/// corrupted (or hostile) length field cannot make a reader allocate
+/// unboundedly.
+pub const MAX_PAYLOAD: usize = 16 << 20;
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_FRAMES: u8 = 0x02;
+const TAG_CLOSE: u8 = 0x03;
+const TAG_ACCEPTED: u8 = 0x81;
+const TAG_THROTTLE: u8 = 0x82;
+const TAG_EVENT: u8 = 0x83;
+const TAG_ALARM: u8 = 0x84;
+const TAG_ERROR: u8 = 0xEE;
+
+/// One ingest-protocol message; see the [module docs](self) for the
+/// exact byte layout of each variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: open a stream for `patient`, declaring the
+    /// electrode count every subsequent chunk interleaves.
+    Hello {
+        /// Patient id the client wants a session for.
+        patient: String,
+        /// Samples per frame the client will send.
+        electrodes: u32,
+    },
+    /// Client → server: a chunk of interleaved frame-major samples.
+    Frames {
+        /// The samples; length must divide by the session's electrodes.
+        chunk: Box<[f32]>,
+    },
+    /// Client → server: no more frames; the server drains, streams the
+    /// remaining events, and closes the connection.
+    Close,
+    /// Server → client: the `Hello` was accepted and a session is live.
+    Accepted {
+        /// Session id within the serving process.
+        session: u64,
+        /// Electrode count the session expects (echo of the model's).
+        electrodes: u32,
+    },
+    /// Server → client: the session's queue is full; the server is
+    /// holding the offending chunk and will not read more until it fits
+    /// (explicit backpressure — nothing was dropped).
+    Throttle {
+        /// Chunks waiting in the session queue when the push failed.
+        queued_chunks: u32,
+        /// The queue's capacity in chunks.
+        capacity_chunks: u32,
+    },
+    /// Server → client: one classification event (no alarm attached).
+    Event {
+        /// The event, bit-exact with an in-process detector's.
+        event: DetectorEvent,
+    },
+    /// Server → client: a classification event whose postprocessor
+    /// raised an alarm.
+    Alarm {
+        /// The event; `event.alarm` is always `Some`.
+        event: DetectorEvent,
+    },
+    /// Either direction: the sender hit a fatal condition; the stream is
+    /// over.
+    Error {
+        /// Human-readable description of what went wrong.
+        reason: String,
+    },
+}
+
+impl Message {
+    fn tag(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => TAG_HELLO,
+            Message::Frames { .. } => TAG_FRAMES,
+            Message::Close => TAG_CLOSE,
+            Message::Accepted { .. } => TAG_ACCEPTED,
+            Message::Throttle { .. } => TAG_THROTTLE,
+            Message::Event { .. } => TAG_EVENT,
+            Message::Alarm { .. } => TAG_ALARM,
+            Message::Error { .. } => TAG_ERROR,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Hello {
+                patient,
+                electrodes,
+            } => {
+                out.extend_from_slice(&(patient.len() as u32).to_le_bytes());
+                out.extend_from_slice(patient.as_bytes());
+                out.extend_from_slice(&electrodes.to_le_bytes());
+            }
+            Message::Frames { chunk } => {
+                out.reserve(chunk.len() * 4);
+                for &sample in chunk.iter() {
+                    out.extend_from_slice(&sample.to_le_bytes());
+                }
+            }
+            Message::Close => {}
+            Message::Accepted {
+                session,
+                electrodes,
+            } => {
+                out.extend_from_slice(&session.to_le_bytes());
+                out.extend_from_slice(&electrodes.to_le_bytes());
+            }
+            Message::Throttle {
+                queued_chunks,
+                capacity_chunks,
+            } => {
+                out.extend_from_slice(&queued_chunks.to_le_bytes());
+                out.extend_from_slice(&capacity_chunks.to_le_bytes());
+            }
+            Message::Event { event } | Message::Alarm { event } => {
+                out.extend_from_slice(&event.index.to_le_bytes());
+                out.extend_from_slice(&event.end_sample.to_le_bytes());
+                out.extend_from_slice(&event.time_secs.to_bits().to_le_bytes());
+                out.push(event.classification.label.is_ictal() as u8);
+                out.extend_from_slice(&(event.classification.dist_interictal as u64).to_le_bytes());
+                out.extend_from_slice(&(event.classification.dist_ictal as u64).to_le_bytes());
+                if let Some(alarm) = &event.alarm {
+                    out.extend_from_slice(&alarm.label_index.to_le_bytes());
+                    out.extend_from_slice(&alarm.mean_delta.to_bits().to_le_bytes());
+                }
+            }
+            Message::Error { reason } => {
+                out.extend_from_slice(&(reason.len() as u32).to_le_bytes());
+                out.extend_from_slice(reason.as_bytes());
+            }
+        }
+        out
+    }
+}
+
+fn corrupt(reason: impl Into<String>) -> ServeError {
+    ServeError::Corrupt {
+        reason: format!("wire: {}", reason.into()),
+    }
+}
+
+/// Encodes `message` into one complete wire frame.
+///
+/// Does not enforce [`MAX_PAYLOAD`]; use [`write_message`], which
+/// rejects oversized messages before any byte reaches the transport
+/// (an oversized frame would be unreadable on the other end).
+pub fn encode_message(message: &Message) -> Vec<u8> {
+    let payload = message.payload();
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    frame.extend_from_slice(&WIRE_MAGIC);
+    frame.push(WIRE_VERSION);
+    frame.push(message.tag());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    let mut checksum = Fnv1a::new();
+    checksum.update(&frame);
+    frame.extend_from_slice(&checksum.finish().to_le_bytes());
+    frame
+}
+
+/// Encodes `message` and writes the frame to `writer`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] if the payload exceeds
+/// [`MAX_PAYLOAD`] (nothing is written — the peer could only reject the
+/// frame as corrupt), or [`ServeError::Io`] on write failure.
+pub fn write_message<W: Write>(writer: &mut W, message: &Message) -> Result<()> {
+    let frame = encode_message(message);
+    let payload_len = frame.len() - HEADER_LEN - CHECKSUM_LEN;
+    if payload_len > MAX_PAYLOAD {
+        return Err(ServeError::Protocol {
+            reason: format!(
+                "message payload of {payload_len} bytes exceeds the \
+                 {MAX_PAYLOAD}-byte frame cap"
+            ),
+        });
+    }
+    writer.write_all(&frame)?;
+    Ok(())
+}
+
+/// Reads `buf.len()` bytes, distinguishing a clean end-of-stream before
+/// the first byte (`Ok(false)`) from a mid-buffer truncation (error).
+fn read_full<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(corrupt("frame truncated by end of stream"));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads and verifies one frame from `reader`.
+///
+/// Returns `Ok(None)` on a clean end of stream (EOF exactly at a frame
+/// boundary); an EOF anywhere inside a frame is
+/// [`ServeError::Corrupt`].
+///
+/// # Errors
+///
+/// * [`ServeError::VersionMismatch`] — frame from a newer protocol
+///   (gated before the checksum, mirroring [`crate::load_model`]);
+/// * [`ServeError::Corrupt`] — bad magic, oversized or truncated
+///   payload, checksum mismatch, unknown tag, or malformed payload;
+/// * [`ServeError::Io`] — transport failure.
+pub fn read_message<R: Read>(reader: &mut R) -> Result<Option<Message>> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_full(reader, &mut header)? {
+        return Ok(None);
+    }
+    if header[..2] != WIRE_MAGIC {
+        return Err(corrupt("bad magic (not a Laelaps wire frame)"));
+    }
+    let version = header[2];
+    if version == 0 || version > WIRE_VERSION {
+        return Err(ServeError::VersionMismatch {
+            found: version as u64,
+            supported: WIRE_VERSION as u32,
+        });
+    }
+    let tag = header[3];
+    let payload_len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+    if payload_len > MAX_PAYLOAD {
+        return Err(corrupt(format!(
+            "payload length {payload_len} exceeds the {MAX_PAYLOAD}-byte cap"
+        )));
+    }
+    let mut rest = vec![0u8; payload_len + CHECKSUM_LEN];
+    if !read_full(reader, &mut rest)? {
+        return Err(corrupt("frame truncated by end of stream"));
+    }
+    let (payload, footer) = rest.split_at(payload_len);
+    let mut checksum = Fnv1a::new();
+    checksum.update(&header);
+    checksum.update(payload);
+    let expected = u64::from_le_bytes(footer.try_into().expect("8 bytes"));
+    if checksum.finish() != expected {
+        return Err(corrupt("checksum mismatch"));
+    }
+    decode_payload(tag, payload).map(Some)
+}
+
+/// A little-endian cursor over a verified payload.
+struct Cursor<'p> {
+    bytes: &'p [u8],
+}
+
+impl<'p> Cursor<'p> {
+    fn take(&mut self, n: usize) -> Result<&'p [u8]> {
+        if self.bytes.len() < n {
+            return Err(corrupt("payload shorter than its message requires"));
+        }
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64_bits(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn finish(&self) -> Result<()> {
+        if self.bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(corrupt("payload longer than its message requires"))
+        }
+    }
+}
+
+fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message> {
+    let mut cursor = Cursor { bytes: payload };
+    let message = match tag {
+        TAG_HELLO => {
+            let len = cursor.u32()? as usize;
+            let patient = String::from_utf8(cursor.take(len)?.to_vec())
+                .map_err(|_| corrupt("patient id is not UTF-8"))?;
+            let electrodes = cursor.u32()?;
+            Message::Hello {
+                patient,
+                electrodes,
+            }
+        }
+        TAG_FRAMES => {
+            if !payload.len().is_multiple_of(4) {
+                return Err(corrupt("frames payload is not whole f32 samples"));
+            }
+            let chunk: Box<[f32]> = payload
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect();
+            cursor.take(payload.len())?;
+            Message::Frames { chunk }
+        }
+        TAG_CLOSE => Message::Close,
+        TAG_ACCEPTED => Message::Accepted {
+            session: cursor.u64()?,
+            electrodes: cursor.u32()?,
+        },
+        TAG_THROTTLE => Message::Throttle {
+            queued_chunks: cursor.u32()?,
+            capacity_chunks: cursor.u32()?,
+        },
+        TAG_EVENT | TAG_ALARM => {
+            let index = cursor.u64()?;
+            let end_sample = cursor.u64()?;
+            let time_secs = cursor.f64_bits()?;
+            let label = match cursor.u8()? {
+                0 => Label::Interictal,
+                1 => Label::Ictal,
+                other => return Err(corrupt(format!("unknown label byte 0x{other:02x}"))),
+            };
+            let dist_interictal = cursor.u64()? as usize;
+            let dist_ictal = cursor.u64()? as usize;
+            let alarm = if tag == TAG_ALARM {
+                Some(Alarm {
+                    label_index: cursor.u64()?,
+                    mean_delta: cursor.f64_bits()?,
+                })
+            } else {
+                None
+            };
+            let event = DetectorEvent {
+                index,
+                end_sample,
+                time_secs,
+                classification: Classification {
+                    label,
+                    dist_interictal,
+                    dist_ictal,
+                },
+                alarm,
+            };
+            if tag == TAG_ALARM {
+                Message::Alarm { event }
+            } else {
+                Message::Event { event }
+            }
+        }
+        TAG_ERROR => {
+            let len = cursor.u32()? as usize;
+            let reason = String::from_utf8(cursor.take(len)?.to_vec())
+                .map_err(|_| corrupt("error reason is not UTF-8"))?;
+            Message::Error { reason }
+        }
+        other => return Err(corrupt(format!("unknown message type 0x{other:02x}"))),
+    };
+    cursor.finish()?;
+    Ok(message)
+}
+
+/// Builds the `Event`/`Alarm` message for a detector event: events whose
+/// postprocessor fired travel as [`Message::Alarm`], the rest as
+/// [`Message::Event`].
+pub fn event_message(event: DetectorEvent) -> Message {
+    if event.alarm.is_some() {
+        Message::Alarm { event }
+    } else {
+        Message::Event { event }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event(alarm: bool) -> DetectorEvent {
+        DetectorEvent {
+            index: 41,
+            end_sample: 21504,
+            time_secs: 42.0,
+            classification: Classification {
+                label: Label::Ictal,
+                dist_interictal: 4811,
+                dist_ictal: 1009,
+            },
+            alarm: alarm.then_some(Alarm {
+                label_index: 41,
+                mean_delta: 0.1 + 0.2, // deliberately non-representable
+            }),
+        }
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        let messages = [
+            Message::Hello {
+                patient: "chb01".into(),
+                electrodes: 23,
+            },
+            Message::Frames {
+                chunk: vec![0.0, -1.5, f32::MIN_POSITIVE, 3.25].into(),
+            },
+            Message::Close,
+            Message::Accepted {
+                session: u64::MAX,
+                electrodes: 4,
+            },
+            Message::Throttle {
+                queued_chunks: 64,
+                capacity_chunks: 64,
+            },
+            event_message(sample_event(false)),
+            event_message(sample_event(true)),
+            Message::Error {
+                reason: "no model for patient".into(),
+            },
+        ];
+        let mut stream = Vec::new();
+        for message in &messages {
+            write_message(&mut stream, message).unwrap();
+        }
+        let mut reader = stream.as_slice();
+        for message in &messages {
+            assert_eq!(read_message(&mut reader).unwrap().as_ref(), Some(message));
+        }
+        assert_eq!(read_message(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn alarm_floats_are_bit_exact() {
+        let event = sample_event(true);
+        let bytes = encode_message(&event_message(event));
+        let Some(Message::Alarm { event: back }) = read_message(&mut bytes.as_slice()).unwrap()
+        else {
+            panic!("expected an alarm message");
+        };
+        assert_eq!(
+            back.alarm.unwrap().mean_delta.to_bits(),
+            event.alarm.unwrap().mean_delta.to_bits()
+        );
+        assert_eq!(back.time_secs.to_bits(), event.time_secs.to_bits());
+    }
+
+    #[test]
+    fn empty_chunk_roundtrips() {
+        // Decoding is permissive; the server rejects empty chunks at the
+        // session layer where the width contract lives.
+        let bytes = encode_message(&Message::Frames {
+            chunk: Box::new([]),
+        });
+        assert_eq!(
+            read_message(&mut bytes.as_slice()).unwrap(),
+            Some(Message::Frames {
+                chunk: Box::new([])
+            })
+        );
+    }
+}

@@ -209,6 +209,132 @@ fn ieeg_frame_cursor_feeds_sessions() {
     assert_eq!(handle.take_events(), expected);
 }
 
+/// Regression for the missing worker wakeup on push: a chunk pushed to a
+/// fully idle service must be picked up by a notified worker immediately,
+/// not on the pool's idle-poll timeout (1 s). No `flush()` here — flush
+/// notifies the pool itself and would mask the bug.
+#[test]
+fn push_on_an_idle_service_is_processed_well_under_the_idle_poll() {
+    let model = trained_model(57);
+    let service = DetectionService::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let mut handles: Vec<_> = (0..8)
+        .map(|i| service.open_session(&format!("P{i}"), &model).unwrap())
+        .collect();
+    // Let every worker drain the (empty) shards and park.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    let frames = 256u64;
+    let start = std::time::Instant::now();
+    handles[5]
+        .try_push_chunk(vec![0.0f32; 4 * frames as usize].into())
+        .unwrap();
+    // Typical wakeup + 0.5 s-of-signal drain is well under 1 ms; the
+    // asserted bound is loose for CI noise but still far below the 1 s
+    // idle poll a lost wakeup would cost.
+    let budget = std::time::Duration::from_millis(100);
+    while handles[5].stats().frames_processed < frames {
+        assert!(
+            start.elapsed() < budget,
+            "idle pool took >{budget:?} to notice a push (lost wakeup?)"
+        );
+        std::thread::sleep(std::time::Duration::from_micros(100));
+    }
+}
+
+/// `flush()` must not spin: on an all-idle service it returns at once,
+/// and while waiting for real work it sleeps on the progress condvar
+/// (bounded wakeups), which this test can only observe as promptness.
+#[test]
+fn flush_on_an_idle_service_returns_immediately() {
+    let model = trained_model(58);
+    let service = DetectionService::new(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    });
+    let _handles: Vec<_> = (0..32)
+        .map(|i| service.open_session(&format!("P{i}"), &model).unwrap())
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let start = std::time::Instant::now();
+    for _ in 0..100 {
+        service.flush();
+    }
+    assert!(
+        start.elapsed() < std::time::Duration::from_millis(200),
+        "flush on a caught-up 32-session service must not wait or spin"
+    );
+}
+
+/// Refused pushes (closed/failed session) are counted, so offered load
+/// is always `frames_in + frames_dropped + frames_refused`.
+#[test]
+fn lossy_pushes_on_a_closed_session_count_as_refused() {
+    let model = trained_model(59);
+    let service = DetectionService::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut handle = service.open_session("P", &model).unwrap();
+    assert!(handle.push_chunk_lossy(&vec![0.0f32; 4 * 128]));
+    handle.close();
+    assert!(!handle.push_chunk_lossy(&vec![0.0f32; 4 * 128]));
+    assert!(!handle.push_chunk_lossy(&vec![0.0f32; 4 * 64]));
+    service.flush();
+    let stats = handle.stats();
+    assert_eq!(stats.frames_in, 128);
+    assert_eq!(stats.frames_refused, 192);
+    assert_eq!(stats.frames_dropped, 0);
+    // The service totals surface the refusals too (live or retired).
+    assert_eq!(service.stats().totals.frames_refused, 192);
+}
+
+/// New sessions land on the least-loaded shard, so retirements do not
+/// skew placement the way `id % shards` did.
+#[test]
+fn new_sessions_fill_the_least_loaded_shard() {
+    let model = trained_model(60);
+    let service = DetectionService::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let shard_of = |service: &DetectionService, session: u64| {
+        service
+            .stats()
+            .per_session
+            .iter()
+            .find(|e| e.session == session)
+            .expect("session is live")
+            .shard
+    };
+    let mut handles: Vec<_> = (0..4)
+        .map(|i| service.open_session(&format!("P{i}"), &model).unwrap())
+        .collect();
+    // Round-robin while loads are level (ties go to the lowest shard).
+    let placements: Vec<usize> = handles.iter().map(|h| shard_of(&service, h.id())).collect();
+    assert_eq!(placements, vec![0, 1, 0, 1]);
+
+    // Retire both shard-0 sessions; the next opens must refill shard 0
+    // instead of continuing round-robin onto the loaded shard 1.
+    handles[0].close();
+    handles[2].close();
+    service.flush();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while service.session_count() != 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "closed sessions never retired"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let refill_a = service.open_session("P4", &model).unwrap();
+    let refill_b = service.open_session("P5", &model).unwrap();
+    assert_eq!(shard_of(&service, refill_a.id()), 0);
+    assert_eq!(shard_of(&service, refill_b.id()), 0);
+}
+
 #[test]
 fn finished_sessions_retire_from_the_service() {
     let model = trained_model(56);

@@ -1,0 +1,199 @@
+//! TCP ingest guarantees: a fleet of remote producers streaming over
+//! loopback gets byte-identical results to in-process detectors, with
+//! explicit (`Throttle`) backpressure and zero silent drops; handshake
+//! failures and protocol violations come back as wire errors.
+
+mod common;
+
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use common::{interleave, trained_model, two_state_signal};
+use laelaps_core::Detector;
+use laelaps_serve::net::{IngestClient, IngestServer};
+use laelaps_serve::wire::{read_message, write_message, Message};
+use laelaps_serve::{DetectionService, ModelRegistry, ServeConfig, ServeError};
+
+fn registry_with_models(tag: &str, patients: usize) -> (Arc<ModelRegistry>, Vec<String>) {
+    let dir = std::env::temp_dir().join(format!("laelaps-net-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Arc::new(ModelRegistry::open(&dir).unwrap());
+    let models = [trained_model(61), trained_model(62)];
+    let ids: Vec<String> = (0..patients).map(|i| format!("N{i:02}")).collect();
+    for (i, id) in ids.iter().enumerate() {
+        registry.save(id, &models[i % models.len()]).unwrap();
+    }
+    (registry, ids)
+}
+
+/// The headline acceptance test: 16 concurrent TCP clients stream
+/// recordings through the ingest server; every client's event sequence
+/// must be identical to a bare `Detector` over the same frames, with
+/// backpressure exercised and every offered frame accounted for.
+#[test]
+fn sixteen_tcp_clients_match_bare_detectors_with_backpressure() {
+    let clients = 16;
+    let (registry, ids) = registry_with_models("parity", clients);
+    // Small rings + fewer workers than clients: sustained pushes must hit
+    // Full and surface as Throttle rather than drops.
+    let service = Arc::new(DetectionService::new(ServeConfig {
+        workers: 4,
+        ring_chunks: 2,
+    }));
+    let server = IngestServer::bind("127.0.0.1:0", Arc::clone(&service), Arc::clone(&registry))
+        .expect("server binds");
+    let addr = server.local_addr();
+
+    let frames_per_client = 512 * 20;
+    let signals: Vec<Vec<Vec<f32>>> = (0..clients)
+        .map(|i| two_state_signal(4, frames_per_client, 512 * 6..512 * 14, 700 + i as u64))
+        .collect();
+
+    let throttles_observed: u64 = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            let signal = &signals[i];
+            workers.push(scope.spawn(move || {
+                let mut client = IngestClient::connect(addr, id, 4).expect("handshake succeeds");
+                let interleaved = interleave(signal);
+                // 256-frame chunks (0.5 s of signal per wire frame).
+                for chunk in interleaved.chunks(256 * 4) {
+                    client.send_chunk(chunk).expect("chunk sends");
+                }
+                let throttles = client.throttles_seen();
+                let events = client.finish().expect("server drains and closes cleanly");
+                (events, throttles)
+            }));
+        }
+        let mut total_throttles = 0;
+        for (i, worker) in workers.into_iter().enumerate() {
+            let (events, throttles) = worker.join().expect("client thread survives");
+            let expected = Detector::new(registry.load(&ids[i]).unwrap().as_ref())
+                .unwrap()
+                .run(&signals[i])
+                .unwrap();
+            assert!(!expected.is_empty());
+            assert_eq!(
+                events, expected,
+                "client {i}: TCP event stream must be identical to a bare Detector"
+            );
+            total_throttles += throttles;
+        }
+        total_throttles
+    });
+
+    // Backpressure must have been exercised and visible on both ends.
+    // (Clients snapshot their count before the drain phase, so the
+    // server's total can only be larger.)
+    assert!(
+        throttles_observed >= 1,
+        "16 producers on 4 workers with 2-chunk rings must throttle at least once"
+    );
+    assert!(server.throttles_sent() >= throttles_observed);
+
+    // Zero silent drops: every offered frame was accepted and processed.
+    let stats = service.stats();
+    let offered = (clients * frames_per_client) as u64;
+    assert_eq!(stats.totals.frames_in, offered);
+    assert_eq!(stats.totals.frames_processed, offered);
+    assert_eq!(stats.totals.frames_dropped, 0);
+    assert_eq!(stats.totals.frames_refused, 0);
+    assert_eq!(stats.totals.frames_discarded, 0);
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(registry.dir());
+}
+
+#[test]
+fn unknown_patient_is_rejected_at_the_handshake() {
+    let (registry, _ids) = registry_with_models("unknown", 1);
+    let service = Arc::new(DetectionService::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    }));
+    let server = IngestServer::bind("127.0.0.1:0", service, Arc::clone(&registry)).unwrap();
+    let err = IngestClient::connect(server.local_addr(), "NOBODY", 4).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Remote { ref reason } if reason.contains("NOBODY")),
+        "{err}"
+    );
+    let _ = std::fs::remove_dir_all(registry.dir());
+}
+
+#[test]
+fn electrode_mismatch_is_rejected_at_the_handshake() {
+    let (registry, ids) = registry_with_models("electrodes", 1);
+    let service = Arc::new(DetectionService::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    }));
+    let server = IngestServer::bind("127.0.0.1:0", service, Arc::clone(&registry)).unwrap();
+    let err = IngestClient::connect(server.local_addr(), &ids[0], 7).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Remote { ref reason } if reason.contains("electrodes")),
+        "{err}"
+    );
+    let _ = std::fs::remove_dir_all(registry.dir());
+}
+
+/// A protocol violation after the handshake (a server-only message sent
+/// by the client) earns a wire `Error`, not a hang or a drop.
+#[test]
+fn protocol_violations_come_back_as_wire_errors() {
+    let (registry, ids) = registry_with_models("protocol", 1);
+    let service = Arc::new(DetectionService::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    }));
+    let server = IngestServer::bind("127.0.0.1:0", service, Arc::clone(&registry)).unwrap();
+
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    write_message(
+        &mut stream,
+        &Message::Hello {
+            patient: ids[0].clone(),
+            electrodes: 4,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        read_message(&mut stream).unwrap(),
+        Some(Message::Accepted { .. })
+    ));
+    write_message(
+        &mut stream,
+        &Message::Accepted {
+            session: 99,
+            electrodes: 4,
+        },
+    )
+    .unwrap();
+    // The server answers with Error and closes (no frames were sent, so
+    // no events precede it).
+    match read_message(&mut stream).unwrap() {
+        Some(Message::Error { reason }) => {
+            assert!(reason.contains("unexpected"), "{reason}");
+        }
+        Some(other) => panic!("expected Error, got {other:?}"),
+        None => panic!("stream closed without an Error frame"),
+    }
+    let _ = std::fs::remove_dir_all(registry.dir());
+}
+
+/// Dropping the server mid-stream unblocks and joins every connection
+/// thread (no leaked readers waiting on dead sockets).
+#[test]
+fn server_shutdown_unblocks_live_connections() {
+    let (registry, ids) = registry_with_models("shutdown", 1);
+    let service = Arc::new(DetectionService::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    }));
+    let server = IngestServer::bind("127.0.0.1:0", service, Arc::clone(&registry)).unwrap();
+    let mut client = IngestClient::connect(server.local_addr(), &ids[0], 4).unwrap();
+    client.send_chunk(&vec![0.0f32; 4 * 256]).unwrap();
+    // Drop with the connection open and idle: Drop must join the accept
+    // thread and its connections without hanging the test.
+    drop(server);
+    let _ = std::fs::remove_dir_all(registry.dir());
+}

@@ -109,6 +109,38 @@ fn future_version_is_rejected_as_version_mismatch() {
     );
 }
 
+/// Regression: a version beyond `u32::MAX` must be reported exactly as
+/// the file said it, not saturated to `u32::MAX`.
+#[test]
+fn version_beyond_u32_is_reported_exactly() {
+    let bytes = saved_bytes();
+    let header_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let header = std::str::from_utf8(&bytes[12..12 + header_len]).unwrap();
+    let huge = (u32::MAX as u64) + 2; // 4294967297
+    let patched_header = header
+        .replace("\"format\":1", &format!("\"format\":{huge}"))
+        .into_bytes();
+    assert_ne!(
+        patched_header.len(),
+        header_len,
+        "the patch grew the header"
+    );
+    let mut patched = Vec::new();
+    patched.extend_from_slice(&bytes[..8]); // magic
+    patched.extend_from_slice(&(patched_header.len() as u32).to_le_bytes());
+    patched.extend_from_slice(&patched_header);
+    patched.extend_from_slice(&bytes[12 + header_len..]);
+    // The checksum is now stale, but the version gate fires first.
+    let err = load_model(&mut patched.as_slice()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ServeError::VersionMismatch { found, supported: 1 } if found == huge
+        ),
+        "{err}"
+    );
+}
+
 #[test]
 fn header_garbage_is_corrupt_not_panic() {
     let bytes = saved_bytes();

@@ -1,0 +1,190 @@
+//! The remote-producer scenario: a fleet of bedside acquisition devices
+//! streaming live iEEG to one serving process over TCP.
+//!
+//! Trains one Laelaps model per patient, persists the cohort to a
+//! [`laelaps::serve::ModelRegistry`], starts a
+//! [`laelaps::serve::net::IngestServer`] on loopback, then launches one
+//! [`laelaps::serve::net::IngestClient`] per patient — each on its own
+//! thread, handshaking with `Hello`, streaming its held-out recording as
+//! checksummed `Frames` messages, and collecting the `Event`/`Alarm`
+//! stream back. Every client's events are checked for bit-exact parity
+//! against a bare in-process [`laelaps::core::Detector`].
+//!
+//! ```text
+//! cargo run --release --example remote_cohort [-- --patients 16 --dim 1024 --scale 8]
+//! ```
+
+use std::sync::Arc;
+
+use laelaps::core::tuning::{tune_tr, DEFAULT_ALPHA};
+use laelaps::core::Detector;
+use laelaps::eval::parallel::{default_threads, parallel_map};
+use laelaps::eval::runner::{outcome_from_spans, train_laelaps, PreparedPatient};
+use laelaps::ieeg::synth::demo_patient;
+use laelaps::serve::net::{IngestClient, IngestServer};
+use laelaps::serve::{DetectionService, ModelRegistry, ServeConfig};
+
+fn arg(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} takes a number"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let patients = arg(&args, "--patients", 16).max(1);
+    let dim = arg(&args, "--dim", 1024);
+    let scale = arg(&args, "--scale", 8) as f64;
+    let threads = default_threads();
+
+    // ---- 1. Train and persist the cohort ----
+    eprintln!("training {patients} patients at d = {dim} ({threads} threads) ...");
+    let ids: Vec<String> = (0..patients).map(|i| format!("R{:02}", i + 1)).collect();
+    let profiles: Vec<_> = (0..patients)
+        .map(|i| {
+            let mut profile = demo_patient(7000 + i as u64);
+            profile.time_scale = scale;
+            profile
+        })
+        .collect();
+    let model_dir =
+        std::env::temp_dir().join(format!("laelaps-remote-models-{}", std::process::id()));
+    let registry = Arc::new(ModelRegistry::open(&model_dir).expect("registry opens"));
+    let indices: Vec<usize> = (0..patients).collect();
+    let preps: Vec<PreparedPatient> = parallel_map(&indices, threads, |&i| {
+        let prep = PreparedPatient::new(&profiles[i]).expect("synthesis succeeds");
+        let (model, replay) = train_laelaps(&prep, dim).expect("training succeeds");
+        let model = model
+            .with_tr(tune_tr(&replay, DEFAULT_ALPHA))
+            .expect("tuned tr is valid");
+        registry.save(&ids[i], &model).expect("model persists");
+        prep
+    });
+
+    // ---- 2. Serve the registry over TCP on loopback ----
+    let service = Arc::new(DetectionService::new(ServeConfig {
+        workers: threads.clamp(1, 16),
+        ring_chunks: 8, // small rings so backpressure is visible below
+    }));
+    let server = IngestServer::bind("127.0.0.1:0", Arc::clone(&service), Arc::clone(&registry))
+        .expect("ingest server binds");
+    let addr = server.local_addr();
+    eprintln!("ingest server on {addr}; connecting {patients} remote producers ...");
+
+    // ---- 3. One TCP client per patient, each on its own thread ----
+    const CHUNK_FRAMES: usize = 256; // 0.5 s of signal per wire frame
+    let start = std::time::Instant::now();
+    let results: Vec<(Vec<f64>, u64, u64, bool)> = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for (id, prep) in ids.iter().zip(&preps) {
+            let registry = Arc::clone(&registry);
+            workers.push(scope.spawn(move || {
+                let signal = prep.test_signal();
+                let electrodes = signal.len();
+                let mut client =
+                    IngestClient::connect(addr, id, electrodes as u32).expect("handshake succeeds");
+                // Interleave channel-major → frame-major and stream.
+                let frames = signal[0].len();
+                let mut chunk = Vec::with_capacity(CHUNK_FRAMES * electrodes);
+                for t0 in (0..frames).step_by(CHUNK_FRAMES) {
+                    chunk.clear();
+                    for t in t0..(t0 + CHUNK_FRAMES).min(frames) {
+                        for channel in &signal {
+                            chunk.push(channel[t]);
+                        }
+                    }
+                    client.send_chunk(&chunk).expect("chunk sends");
+                }
+                let frames_sent = frames as u64;
+                let throttles = client.throttles_seen();
+                let events = client.finish().expect("server drains cleanly");
+
+                // Parity: the TCP event stream must equal a local run.
+                let local = Detector::new(&registry.load(id).expect("model loads"))
+                    .expect("detector builds")
+                    .run(&signal)
+                    .expect("local run succeeds");
+                let parity = events == local;
+                let alarms: Vec<f64> = events
+                    .iter()
+                    .filter(|e| e.alarm.is_some())
+                    .map(|e| e.time_secs)
+                    .collect();
+                (alarms, frames_sent, throttles, parity)
+            }));
+        }
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client thread survives"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+
+    // ---- 4. Score the cohort ----
+    println!(
+        "{:<6} {:>5} {:>9} {:>8} {:>7} {:>9} {:>7}",
+        "id", "sz", "detected", "false", "delay", "throttle", "parity"
+    );
+    let (mut total_sz, mut total_det, mut total_fa, mut total_frames) =
+        (0usize, 0usize, 0usize, 0u64);
+    let mut all_parity = true;
+    for (i, prep) in preps.iter().enumerate() {
+        let (alarms, frames_sent, throttles, parity) = &results[i];
+        let outcome = outcome_from_spans(
+            alarms,
+            &prep.test_seizure_spans(),
+            prep.test_equivalent_hours,
+        );
+        let delay = outcome
+            .mean_delay_secs()
+            .map_or("-".to_string(), |d| format!("{d:.1}s"));
+        println!(
+            "{:<6} {:>5} {:>9} {:>8} {:>7} {:>9} {:>7}",
+            ids[i],
+            outcome.test_seizures,
+            outcome.detected,
+            outcome.false_alarms,
+            delay,
+            throttles,
+            if *parity { "exact" } else { "MISMATCH" }
+        );
+        total_sz += outcome.test_seizures;
+        total_det += outcome.detected;
+        total_fa += outcome.false_alarms;
+        total_frames += frames_sent;
+        all_parity &= parity;
+    }
+
+    let stats = service.stats();
+    println!(
+        "\ncohort over TCP: {total_det}/{total_sz} seizures detected, {total_fa} false alarms; \
+         parity with in-process detectors: {}",
+        if all_parity { "bit-exact" } else { "BROKEN" }
+    );
+    println!(
+        "service: {} frames in, {} events out, {} alarms, {} dropped, {} refused; \
+         {} server throttles",
+        stats.totals.frames_in,
+        stats.totals.events_out,
+        stats.totals.alarms_out,
+        stats.totals.frames_dropped,
+        stats.totals.frames_refused,
+        server.throttles_sent()
+    );
+    println!(
+        "throughput: {:.1} signal-hours in {:.1}s wall ({:.0}x realtime) through one socket \
+         per patient",
+        total_frames as f64 / 512.0 / 3600.0,
+        elapsed.as_secs_f64(),
+        total_frames as f64 / 512.0 / elapsed.as_secs_f64(),
+    );
+
+    assert!(all_parity, "remote event streams diverged from local runs");
+    drop(server);
+    let _ = std::fs::remove_dir_all(&model_dir);
+}
