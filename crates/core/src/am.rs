@@ -145,7 +145,13 @@ impl AssociativeMemory {
 }
 
 /// Incremental AM trainer: feed labeled `H` vectors, then [`AmTrainer::finish`].
-#[derive(Debug, Clone)]
+///
+/// The trainer *is* the paper's resumable training state: prototypes are
+/// majority votes over two mergeable [`DenseAccumulator`]s, so keeping the
+/// trainer around (see [`crate::PatientModel::train_state`]) lets later
+/// labeled segments be folded in ([`crate::PatientModel::absorb`]) with
+/// results identical to retraining from the union of all segments.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AmTrainer {
     interictal: DenseAccumulator,
     ictal: DenseAccumulator,
@@ -162,6 +168,44 @@ impl AmTrainer {
             interictal: DenseAccumulator::new(dim),
             ictal: DenseAccumulator::new(dim),
         }
+    }
+
+    /// Resumes a trainer from persisted per-class accumulators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaelapsError::InvalidConfig`] if the accumulator
+    /// dimensions differ.
+    pub fn from_accumulators(
+        interictal: DenseAccumulator,
+        ictal: DenseAccumulator,
+    ) -> Result<Self> {
+        if interictal.dim() != ictal.dim() {
+            return Err(LaelapsError::InvalidConfig {
+                field: "accumulators",
+                reason: format!(
+                    "accumulator dimensions differ: {} vs {}",
+                    interictal.dim(),
+                    ictal.dim()
+                ),
+            });
+        }
+        Ok(AmTrainer { interictal, ictal })
+    }
+
+    /// Hypervector dimension this trainer accumulates.
+    pub fn dim(&self) -> usize {
+        self.interictal.dim()
+    }
+
+    /// The interictal accumulator (raw counts for persistence).
+    pub fn interictal_accumulator(&self) -> &DenseAccumulator {
+        &self.interictal
+    }
+
+    /// The ictal accumulator (raw counts for persistence).
+    pub fn ictal_accumulator(&self) -> &DenseAccumulator {
+        &self.ictal
     }
 
     /// Accumulates an interictal training window.
@@ -187,13 +231,14 @@ impl AmTrainer {
         (self.interictal.len(), self.ictal.len())
     }
 
-    /// Thresholds both accumulators into prototypes.
+    /// Thresholds both accumulators into prototypes without consuming the
+    /// trainer, so it can keep accumulating (the resumable-training path).
     ///
     /// # Errors
     ///
     /// Returns [`LaelapsError::EmptyTrainingSegment`] if either class
     /// received no windows.
-    pub fn finish(self) -> Result<AssociativeMemory> {
+    pub fn snapshot(&self) -> Result<AssociativeMemory> {
         if self.interictal.is_empty() {
             return Err(LaelapsError::EmptyTrainingSegment {
                 prototype: "interictal",
@@ -203,6 +248,16 @@ impl AmTrainer {
             return Err(LaelapsError::EmptyTrainingSegment { prototype: "ictal" });
         }
         AssociativeMemory::from_prototypes(self.interictal.majority(), self.ictal.majority())
+    }
+
+    /// Thresholds both accumulators into prototypes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaelapsError::EmptyTrainingSegment`] if either class
+    /// received no windows.
+    pub fn finish(self) -> Result<AssociativeMemory> {
+        self.snapshot()
     }
 }
 

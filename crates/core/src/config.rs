@@ -95,6 +95,18 @@ impl LaelapsConfig {
         1 << self.lbp_len
     }
 
+    /// Whether two configurations describe the same streaming pipeline,
+    /// ignoring the Δ threshold `tr` — the only field a model hot-swap
+    /// may change (see [`crate::Detector::hot_swap`]). The single source
+    /// of truth for swap compatibility.
+    pub fn same_pipeline(&self, other: &LaelapsConfig) -> bool {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        a.tr = 0.0;
+        b.tr = 0.0;
+        a == b
+    }
+
     /// Validates all invariants; called by the builder.
     ///
     /// # Errors

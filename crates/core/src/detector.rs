@@ -65,7 +65,7 @@ pub struct Detector {
     encoder: Encoder,
     am: AssociativeMemory,
     post: Postprocessor,
-    sample_rate: u32,
+    config: crate::LaelapsConfig,
     events: u64,
 }
 
@@ -83,7 +83,7 @@ impl Detector {
             encoder,
             am: model.am().clone(),
             post: Postprocessor::new(config),
-            sample_rate: config.sample_rate,
+            config: config.clone(),
             events: 0,
         })
     }
@@ -96,6 +96,46 @@ impl Detector {
     /// Overrides the Δ threshold `tr` (used during tuning sweeps).
     pub fn set_tr(&mut self, tr: f64) {
         self.post.set_tr(tr);
+        self.config.tr = tr;
+    }
+
+    /// Replaces the associative memory (and Δ threshold) with a newer
+    /// model's **without touching any streaming state**: the encoder's
+    /// LBP/window pipeline and the postprocessor's label window, armed
+    /// flag, and refractory hold all carry across. The very next frame is
+    /// classified by the new prototypes — this is the frame-boundary
+    /// model hot-swap the serving layer builds on.
+    ///
+    /// The replacement must be the *same patient pipeline*: every
+    /// configuration field except `tr` must match (same dimension, seed,
+    /// windowing, electrodes), which is exactly what
+    /// [`PatientModel::absorb`] produces.
+    ///
+    /// # Errors
+    ///
+    /// * [`crate::LaelapsError::ElectrodeMismatch`] — different electrode
+    ///   count;
+    /// * [`crate::LaelapsError::InvalidConfig`] — any configuration field
+    ///   other than `tr` differs.
+    pub fn hot_swap(&mut self, model: &PatientModel) -> Result<()> {
+        if model.electrodes() != self.electrodes() {
+            return Err(crate::LaelapsError::ElectrodeMismatch {
+                expected: self.electrodes(),
+                got: model.electrodes(),
+            });
+        }
+        if !model.config().same_pipeline(&self.config) {
+            return Err(crate::LaelapsError::InvalidConfig {
+                field: "config",
+                reason: "hot-swap requires an identical configuration \
+                         (only `tr` may differ)"
+                    .into(),
+            });
+        }
+        self.am = model.am().clone();
+        self.post.set_tr(model.config().tr);
+        self.config.tr = model.config().tr;
+        Ok(())
     }
 
     /// Pushes one multichannel sample frame.
@@ -115,7 +155,7 @@ impl Detector {
         let event = DetectorEvent {
             index: self.events,
             end_sample: window.end_sample,
-            time_secs: window.end_sample as f64 / self.sample_rate as f64,
+            time_secs: window.end_sample as f64 / self.config.sample_rate as f64,
             classification,
             alarm,
         };

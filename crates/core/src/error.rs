@@ -35,6 +35,10 @@ pub enum LaelapsError {
         /// Signal length in samples.
         signal_len: usize,
     },
+    /// Incremental absorption was requested on a model that carries no
+    /// resumable training state (e.g. one loaded from a format-v1 file
+    /// or assembled directly from prototypes).
+    MissingTrainState,
 }
 
 impl fmt::Display for LaelapsError {
@@ -56,6 +60,11 @@ impl fmt::Display for LaelapsError {
             } => write!(
                 f,
                 "segment [{start}, {end}) exceeds signal of {signal_len} samples"
+            ),
+            LaelapsError::MissingTrainState => write!(
+                f,
+                "model carries no resumable training state; retrain from \
+                 scratch or load a format-v2 model saved with its accumulators"
             ),
         }
     }

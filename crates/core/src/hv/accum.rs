@@ -67,6 +67,20 @@ impl DenseAccumulator {
         }
     }
 
+    /// Reconstructs an accumulator from persisted per-component counts
+    /// (the inverse of [`DenseAccumulator::counts`] +
+    /// [`DenseAccumulator::len`]), enabling resumable training.
+    ///
+    /// Returns `None` if `counts` is empty or any component count exceeds
+    /// `added` — states no sequence of [`DenseAccumulator::add`] calls
+    /// could have produced.
+    pub fn from_counts(counts: Vec<u32>, added: u32) -> Option<Self> {
+        if counts.is_empty() || counts.iter().any(|&c| c > added) {
+            return None;
+        }
+        Some(DenseAccumulator { counts, added })
+    }
+
     /// Dimension of the bundled vectors.
     pub fn dim(&self) -> usize {
         self.counts.len()

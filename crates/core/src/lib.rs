@@ -79,7 +79,7 @@ pub mod postprocess;
 pub mod train;
 pub mod tuning;
 
-pub use am::{AssociativeMemory, Classification, Label};
+pub use am::{AmTrainer, AssociativeMemory, Classification, Label};
 pub use config::{LaelapsConfig, LaelapsConfigBuilder, DEPLOY_DIM, GOLDEN_DIM};
 pub use detector::{Detector, DetectorEvent};
 pub use encoder::{Encoder, SpatialEncoder, WindowVector};

@@ -1,6 +1,6 @@
 //! Trained patient-specific model.
 
-use crate::am::AssociativeMemory;
+use crate::am::{AmTrainer, AssociativeMemory};
 use crate::config::LaelapsConfig;
 use crate::error::{LaelapsError, Result};
 
@@ -10,15 +10,25 @@ use crate::error::{LaelapsError, Result};
 /// memories exactly), the electrode count, and the trained associative
 /// memory. Everything needed to run inference on new data — see
 /// [`crate::Detector::new`].
+///
+/// A model additionally carries a **generation** counter and, when it was
+/// produced by [`crate::Trainer::train`] or [`PatientModel::absorb`], the
+/// resumable training state (the per-class [`AmTrainer`] accumulators).
+/// Because the paper's prototypes are majority votes over mergeable
+/// accumulators, `absorb` folds newly confirmed seizures into the existing
+/// state at negligible cost, yielding results identical to retraining from
+/// the union of all segments.
 #[derive(Debug, Clone)]
 pub struct PatientModel {
     config: LaelapsConfig,
     electrodes: usize,
     am: AssociativeMemory,
+    generation: u64,
+    train_state: Option<AmTrainer>,
 }
 
 impl PatientModel {
-    /// Assembles a model from its parts.
+    /// Assembles a model from its parts (generation 0, no training state).
     ///
     /// # Errors
     ///
@@ -46,7 +56,49 @@ impl PatientModel {
             config,
             electrodes,
             am,
+            generation: 0,
+            train_state: None,
         })
+    }
+
+    /// Attaches resumable training state (enables [`PatientModel::absorb`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LaelapsError::InvalidConfig`] if the state's dimension
+    /// differs from the model's.
+    pub fn with_train_state(mut self, state: AmTrainer) -> Result<Self> {
+        if state.dim() != self.config.dim {
+            return Err(LaelapsError::InvalidConfig {
+                field: "train_state",
+                reason: format!(
+                    "training-state dimension {} does not match model dimension {}",
+                    state.dim(),
+                    self.config.dim
+                ),
+            });
+        }
+        self.train_state = Some(state);
+        Ok(self)
+    }
+
+    /// Returns a copy stamped with `generation` (used by the persistence
+    /// layer and by [`PatientModel::absorb`], which increments it).
+    #[must_use]
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
+    }
+
+    /// Model generation: 0 for an initial training, incremented by every
+    /// [`PatientModel::absorb`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The resumable training state, if this model carries one.
+    pub fn train_state(&self) -> Option<&AmTrainer> {
+        self.train_state.as_ref()
     }
 
     /// The model configuration (including tuned `tr` and `d`).
@@ -65,6 +117,7 @@ impl PatientModel {
     }
 
     /// Returns a copy with the Δ threshold `tr` replaced (after tuning).
+    /// Generation and training state carry over unchanged.
     pub fn with_tr(&self, tr: f64) -> Result<Self> {
         let mut config = self.config.clone();
         config.tr = tr;
@@ -73,6 +126,8 @@ impl PatientModel {
             config,
             electrodes: self.electrodes,
             am: self.am.clone(),
+            generation: self.generation,
+            train_state: self.train_state.clone(),
         })
     }
 

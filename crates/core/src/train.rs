@@ -129,8 +129,66 @@ impl Trainer {
             })?;
         }
 
-        let am = trainer.finish()?;
-        PatientModel::new(self.config.clone(), electrodes, am)
+        let am = trainer.snapshot()?;
+        // Keep the accumulators: they are the resumable training state that
+        // lets `PatientModel::absorb` fold in later confirmed seizures.
+        PatientModel::new(self.config.clone(), electrodes, am)?.with_train_state(trainer)
+    }
+
+    /// Folds `data`'s labeled segments into this model's training state
+    /// and re-thresholds the prototypes, returning the next model
+    /// generation. This is the paper's incremental-update property made
+    /// operational: the result is **identical** to retraining from the
+    /// union of the original and the new segments, at the cost of
+    /// encoding only the new ones.
+    ///
+    /// Available on models that carry a training state — those produced
+    /// by [`Trainer::train`], a previous `absorb`, or a format-v2 load.
+    /// The Δ threshold `tr` carries over unchanged; re-tune it afterwards
+    /// if desired.
+    ///
+    /// # Errors
+    ///
+    /// * [`LaelapsError::MissingTrainState`] — the model has no
+    ///   accumulator state;
+    /// * [`LaelapsError::ElectrodeMismatch`] — the signal's channel count
+    ///   differs from the model's;
+    /// * the segment/validation errors of [`Trainer::train`].
+    fn absorb_into(model: &PatientModel, data: &TrainingData<'_>) -> Result<PatientModel> {
+        let mut state = model
+            .train_state()
+            .ok_or(LaelapsError::MissingTrainState)?
+            .clone();
+        let electrodes = data.signal.len();
+        if electrodes != model.electrodes() {
+            return Err(LaelapsError::ElectrodeMismatch {
+                expected: model.electrodes(),
+                got: electrodes,
+            });
+        }
+        let len = data.signal[0].len();
+        if data.signal.iter().any(|ch| ch.len() != len) {
+            return Err(LaelapsError::InvalidConfig {
+                field: "signal",
+                reason: "all electrode channels must have equal length".into(),
+            });
+        }
+        let trainer = Trainer::new(model.config().clone());
+        let mut encoder = Encoder::new(model.config(), electrodes)?;
+        for seg in &data.interictal {
+            trainer.encode_segment(&mut encoder, data.signal, seg.clone(), |h| {
+                state.add_interictal(h)
+            })?;
+        }
+        for seg in &data.ictal {
+            trainer.encode_segment(&mut encoder, data.signal, seg.clone(), |h| {
+                state.add_ictal(h)
+            })?;
+        }
+        let am = state.snapshot()?;
+        Ok(PatientModel::new(model.config().clone(), electrodes, am)?
+            .with_train_state(state)?
+            .with_generation(model.generation() + 1))
     }
 
     fn encode_segment(
@@ -159,6 +217,54 @@ impl Trainer {
             }
         }
         Ok(())
+    }
+}
+
+impl PatientModel {
+    /// Folds `data`'s labeled segments into this model's resumable
+    /// training state and re-thresholds the prototypes, returning the
+    /// next model generation (see [`PatientModel::generation`]).
+    ///
+    /// This is the paper's incremental-update property made operational:
+    /// prototypes are majority votes over mergeable accumulators, so the
+    /// result is **identical** to retraining from the union of the
+    /// original and the new segments, at the cost of encoding only the
+    /// new ones. The Δ threshold `tr` carries over unchanged; re-tune it
+    /// afterwards if desired.
+    ///
+    /// # Errors
+    ///
+    /// * [`LaelapsError::MissingTrainState`] — the model has no
+    ///   accumulator state (e.g. it was loaded from a format-v1 file);
+    /// * [`LaelapsError::ElectrodeMismatch`] — the signal's channel count
+    ///   differs from the model's;
+    /// * the segment/validation errors of [`Trainer::train`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use laelaps_core::{LaelapsConfig, Trainer, TrainingData};
+    /// # use rand::{Rng, SeedableRng, rngs::StdRng};
+    /// # let mut rng = StdRng::seed_from_u64(7);
+    /// # let noise = |len: usize, rng: &mut StdRng| -> Vec<Vec<f32>> {
+    /// #     (0..2).map(|_| (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()).collect()
+    /// # };
+    /// let config = LaelapsConfig::builder().dim(256).seed(1).build()?;
+    /// let first = noise(512 * 60, &mut rng);
+    /// let model = Trainer::new(config).train(
+    ///     &TrainingData::new(&first)
+    ///         .interictal(0..512 * 30)
+    ///         .ictal(512 * 40..512 * 55),
+    /// )?;
+    ///
+    /// // A newly confirmed seizure arrives later: fold it in.
+    /// let second = noise(512 * 20, &mut rng);
+    /// let updated = model.absorb(&TrainingData::new(&second).ictal(0..512 * 15))?;
+    /// assert_eq!(updated.generation(), model.generation() + 1);
+    /// # Ok::<(), laelaps_core::LaelapsError>(())
+    /// ```
+    pub fn absorb(&self, data: &TrainingData<'_>) -> Result<PatientModel> {
+        Trainer::absorb_into(self, data)
     }
 }
 
@@ -252,6 +358,85 @@ mod tests {
         let signal: Vec<Vec<f32>> = Vec::new();
         let data = TrainingData::new(&signal).interictal(0..10).ictal(0..10);
         assert!(Trainer::new(config()).train(&data).is_err());
+    }
+
+    #[test]
+    fn absorb_equals_retraining_from_the_union() {
+        // The accumulator-merge property: folding new segments into a
+        // trained model's state must reproduce the model trained on the
+        // union of all segments, bit for bit.
+        let first = noise(4, 512 * 60, 8);
+        let second = noise(4, 512 * 40, 9);
+        let trainer = Trainer::new(config());
+
+        let base = trainer
+            .train(
+                &TrainingData::new(&first)
+                    .interictal(0..512 * 30)
+                    .ictal(512 * 40..512 * 55),
+            )
+            .unwrap();
+        let updated = base
+            .absorb(
+                &TrainingData::new(&second)
+                    .ictal(0..512 * 15)
+                    .interictal(512 * 20..512 * 35),
+            )
+            .unwrap();
+        assert_eq!(updated.generation(), 1);
+
+        // Retrain from scratch on the union (same segment order per class).
+        let mut union_state = AmTrainer::new(config().dim);
+        let mut encoder = Encoder::new(&config(), 4).unwrap();
+        for (signal, seg) in [(&first, 0..512 * 30), (&second, 512 * 20..512 * 35)] {
+            trainer
+                .encode_segment(&mut encoder, signal, seg, |h| union_state.add_interictal(h))
+                .unwrap();
+        }
+        for (signal, seg) in [(&first, 512 * 40..512 * 55), (&second, 0..512 * 15)] {
+            trainer
+                .encode_segment(&mut encoder, signal, seg, |h| union_state.add_ictal(h))
+                .unwrap();
+        }
+        let union_am = union_state.snapshot().unwrap();
+        assert_eq!(updated.am(), &union_am);
+        assert_eq!(updated.train_state().unwrap(), &union_state);
+
+        // A second absorb stacks on the first.
+        let third = noise(4, 512 * 20, 10);
+        let again = updated
+            .absorb(&TrainingData::new(&third).ictal(0..512 * 10))
+            .unwrap();
+        assert_eq!(again.generation(), 2);
+    }
+
+    #[test]
+    fn absorb_without_state_is_rejected() {
+        let signal = noise(2, 512 * 30, 11);
+        let data = TrainingData::new(&signal)
+            .interictal(0..512 * 10)
+            .ictal(512 * 15..512 * 25);
+        let model = Trainer::new(config()).train(&data).unwrap();
+        // Strip the state by reassembling from parts.
+        let bare = PatientModel::new(
+            model.config().clone(),
+            model.electrodes(),
+            model.am().clone(),
+        )
+        .unwrap();
+        assert!(matches!(
+            bare.absorb(&data),
+            Err(LaelapsError::MissingTrainState)
+        ));
+        // Electrode mismatch is caught before any encoding.
+        let wrong = noise(3, 512 * 10, 12);
+        assert!(matches!(
+            model.absorb(&TrainingData::new(&wrong).ictal(0..512 * 5)),
+            Err(LaelapsError::ElectrodeMismatch {
+                expected: 2,
+                got: 3
+            })
+        ));
     }
 
     #[test]

@@ -54,6 +54,18 @@ pub enum ServeError {
         /// The offending id.
         patient: String,
     },
+    /// Rollback was requested but the registry holds no archived
+    /// generation older than the patient's current model.
+    NoPriorGeneration {
+        /// The patient whose history is too shallow.
+        patient: String,
+    },
+    /// A per-session operation named a session the service does not have
+    /// (it may already have retired).
+    UnknownSession {
+        /// The requested session id.
+        session: crate::SessionId,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -83,6 +95,14 @@ impl fmt::Display for ServeError {
                 "patient id {patient:?} invalid: use ASCII letters, digits, \
                  '-' or '_'"
             ),
+            ServeError::NoPriorGeneration { patient } => write!(
+                f,
+                "no archived generation older than the current model for \
+                 patient {patient:?}"
+            ),
+            ServeError::UnknownSession { session } => {
+                write!(f, "no live session with id {session}")
+            }
         }
     }
 }

@@ -6,7 +6,7 @@
 //! this crate turns the single-patient [`laelaps_core::Detector`] into a
 //! service that runs whole patient fleets concurrently.
 //!
-//! Four pillars:
+//! Five pillars:
 //!
 //! * **Model persistence** ([`save_model`] / [`load_model`] /
 //!   [`ModelRegistry`]) — a versioned binary format (readable JSON header +
@@ -31,7 +31,7 @@
 //!   ```text
 //!   offset  size  field
 //!   0       2     magic  b"LW"
-//!   2       1     wire format version (1)
+//!   2       1     wire format version (lowest version carrying the tag)
 //!   3       1     message type tag
 //!   4       4     payload length P (u32 LE), P ≤ 16 MiB
 //!   8       P     payload (all scalars little-endian)
@@ -43,18 +43,35 @@
 //!   `Throttle` (never a silent drop), streams `Event`/`Alarm` records
 //!   back on the same socket, and reports fatal conditions as
 //!   `Error{reason}`. See [`wire`] for the per-message payload layouts.
-//! * **Observability** ([`ServiceStats`] / [`SessionStats`]) — per-session
-//!   and aggregate counters: frames in/dropped/refused/processed, events,
-//!   alarms, and worst-case drain latency.
+//! * **Online adaptation** ([`adapt::AdaptationEngine`]) — the loop that
+//!   turns the static model-server into a learning system: clinician
+//!   feedback (labeled segments, in-process or as wire `Feedback`
+//!   messages) is folded into the patient's persisted model off the hot
+//!   path ([`laelaps_core::PatientModel::absorb`] — the paper's
+//!   incremental-update property), published to the registry as a new
+//!   **generation** (atomic rename, rollback-able), and hot-swapped into
+//!   every live session of that patient **at a frame boundary with zero
+//!   dropped frames** and the postprocessor state carried across. Swaps
+//!   surface as [`ServiceEvent::ModelSwapped`] on the bus, as ordered
+//!   [`session::SessionOutput::ModelSwapped`] markers in the event
+//!   stream, and as `ModelUpdated` wire frames.
+//! * **Observability** ([`ServiceStats`] / [`SessionStats`] /
+//!   [`RegistryStats`]) — per-session and aggregate counters: frames
+//!   in/dropped/refused/processed, events, alarms, worst-case drain
+//!   latency, per-session model generation, and registry cache
+//!   hits/misses/evictions.
 //!
 //! See `examples/long_term_monitoring.rs` for the in-process train →
 //! persist → load → stream → alarm flow over a 32-patient synthetic
-//! cohort, and `examples/remote_cohort.rs` for the same cohort driven
-//! over TCP through [`net::IngestServer`].
+//! cohort, `examples/remote_cohort.rs` for the same cohort driven
+//! over TCP through [`net::IngestServer`], and
+//! `examples/online_adaptation.rs` for the feedback → retrain → hot-swap
+//! loop improving a live session's detection latency mid-stream.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adapt;
 pub mod error;
 pub mod net;
 pub mod persist;
@@ -64,12 +81,13 @@ pub mod session;
 pub mod stats;
 pub mod wire;
 
+pub use adapt::{AdaptStats, AdaptationEngine, FeedbackSegment};
 pub use error::{Result, ServeError};
 pub use net::{IngestClient, IngestServer};
 pub use persist::{
-    load_model, load_model_from, save_model, save_model_to, ModelRegistry, FORMAT_VERSION,
-    MODEL_EXT,
+    load_model, load_model_from, save_model, save_model_to, ModelRegistry, RegistryConfig,
+    FORMAT_VERSION, MODEL_EXT,
 };
-pub use service::{AlarmRecord, DetectionService, ServeConfig};
-pub use session::{EventTap, PushError, SessionHandle, SessionId};
-pub use stats::{ServiceStats, SessionStats, SessionStatsEntry};
+pub use service::{AlarmRecord, DetectionService, ServeConfig, ServiceEvent};
+pub use session::{EventTap, PushError, SessionHandle, SessionId, SessionOutput};
+pub use stats::{RegistryStats, ServiceStats, SessionStats, SessionStatsEntry};

@@ -45,12 +45,13 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use laelaps_core::DetectorEvent;
+use laelaps_core::{DetectorEvent, Label};
 
+use crate::adapt::{AdaptationEngine, FeedbackSegment};
 use crate::error::{Result, ServeError};
 use crate::persist::ModelRegistry;
 use crate::service::DetectionService;
-use crate::session::{EventTap, PushError, SessionHandle};
+use crate::session::{EventTap, PushError, SessionHandle, SessionOutput};
 use crate::wire::{event_message, read_message, write_message, Message, MAX_PAYLOAD};
 
 /// How often a blocked socket read wakes to check for server shutdown.
@@ -148,7 +149,9 @@ pub struct IngestServer {
 impl IngestServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
     /// accepting connections, resolving each `Hello` against `registry`
-    /// and opening sessions on `service`.
+    /// and opening sessions on `service`. Without an adaptation engine,
+    /// client `Feedback` messages are rejected as protocol errors; use
+    /// [`IngestServer::bind_with_engine`] to enable the full loop.
     ///
     /// # Errors
     ///
@@ -157,6 +160,32 @@ impl IngestServer {
         addr: impl ToSocketAddrs,
         service: Arc<DetectionService>,
         registry: Arc<ModelRegistry>,
+    ) -> Result<IngestServer> {
+        Self::bind_inner(addr, service, registry, None)
+    }
+
+    /// Like [`IngestServer::bind`], with an [`AdaptationEngine`]
+    /// attached: client `Feedback` messages feed the engine, and applied
+    /// hot-swaps stream back to the session's client as `ModelUpdated`
+    /// frames, in order with its events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the listener cannot bind.
+    pub fn bind_with_engine(
+        addr: impl ToSocketAddrs,
+        service: Arc<DetectionService>,
+        registry: Arc<ModelRegistry>,
+        engine: Arc<AdaptationEngine>,
+    ) -> Result<IngestServer> {
+        Self::bind_inner(addr, service, registry, Some(engine))
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        service: Arc<DetectionService>,
+        registry: Arc<ModelRegistry>,
+        engine: Option<Arc<AdaptationEngine>>,
     ) -> Result<IngestServer> {
         let listener = TcpListener::bind(addr)?;
         // Non-blocking accept + nap: the loop observes `shutdown` without
@@ -177,6 +206,7 @@ impl IngestServer {
                             Ok((stream, _peer)) => {
                                 let service = Arc::clone(&service);
                                 let registry = Arc::clone(&registry);
+                                let engine = engine.clone();
                                 let shutdown = Arc::clone(&shutdown);
                                 let throttles = Arc::clone(&throttles);
                                 let handle = std::thread::Builder::new()
@@ -185,7 +215,12 @@ impl IngestServer {
                                         // Connection errors already went to
                                         // the peer as wire Error frames.
                                         let _ = serve_connection(
-                                            stream, &service, &registry, &shutdown, &throttles,
+                                            stream,
+                                            &service,
+                                            &registry,
+                                            engine.as_deref(),
+                                            &shutdown,
+                                            &throttles,
                                         );
                                     })
                                     .expect("failed to spawn connection thread");
@@ -251,6 +286,7 @@ fn serve_connection(
     stream: TcpStream,
     service: &DetectionService,
     registry: &ModelRegistry,
+    engine: Option<&AdaptationEngine>,
     shutdown: &Arc<AtomicBool>,
     throttles: &AtomicU64,
 ) -> Result<()> {
@@ -299,15 +335,27 @@ fn serve_connection(
             .expect("failed to spawn event pump")
     };
 
-    let outcome = read_loop(&mut reader, &mut handle, &tap, &writer, shutdown, throttles);
+    let outcome = read_loop(
+        &mut reader,
+        &mut handle,
+        &tap,
+        &writer,
+        engine,
+        shutdown,
+        throttles,
+    );
     handle.close();
     if outcome.is_ok() {
         // Wait (on the progress condvar, not a spin) until every accepted
-        // frame has produced its events, so the pump's final drain sends a
-        // complete stream before the socket closes.
-        while !shutdown.load(Ordering::Acquire) && !tap.is_caught_up() {
+        // frame has produced its events — and any staged hot-swap has
+        // been applied, so its ModelUpdated frame is not lost — before
+        // the pump's final drain sends the stream tail and the socket
+        // closes. A session that retired with a swap still staged can
+        // never apply it; stop waiting then.
+        let settled = || (tap.is_caught_up() && !tap.has_pending_swap()) || tap.is_done();
+        while !shutdown.load(Ordering::Acquire) && !settled() {
             let seen = tap.progress_generation();
-            if tap.is_caught_up() {
+            if settled() {
                 break;
             }
             tap.wait_progress(seen, PROGRESS_WAIT);
@@ -357,12 +405,14 @@ fn open_from_hello(
 }
 
 /// Bridges `Frames` into the session until `Close`/EOF, mapping ring
-/// backpressure to `Throttle` + a progress wait (never a drop).
+/// backpressure to `Throttle` + a progress wait (never a drop), and
+/// `Feedback` into the adaptation engine when one is attached.
 fn read_loop(
     reader: &mut ShutdownRead,
     handle: &mut SessionHandle,
     tap: &EventTap,
     writer: &SharedWriter,
+    engine: Option<&AdaptationEngine>,
     shutdown: &Arc<AtomicBool>,
     throttles: &AtomicU64,
 ) -> Result<()> {
@@ -411,6 +461,30 @@ fn read_loop(
                     }
                 }
             }
+            Some(Message::Feedback { label, chunk }) => {
+                let Some(engine) = engine else {
+                    return Err(ServeError::Protocol {
+                        reason: "this server has no adaptation engine; \
+                                 Feedback is not accepted"
+                            .into(),
+                    });
+                };
+                let electrodes = handle.electrodes();
+                if chunk.is_empty() || !chunk.len().is_multiple_of(electrodes) {
+                    return Err(ServeError::Protocol {
+                        reason: format!(
+                            "feedback of {} samples does not divide into \
+                             {electrodes}-electrode frames",
+                            chunk.len()
+                        ),
+                    });
+                }
+                engine.submit(FeedbackSegment {
+                    patient: handle.patient().to_string(),
+                    label,
+                    samples: chunk,
+                })?;
+            }
             Some(Message::Error { reason }) => return Err(ServeError::Remote { reason }),
             Some(other) => {
                 return Err(ServeError::Protocol {
@@ -421,22 +495,33 @@ fn read_loop(
     }
 }
 
-/// Streams the session's events/alarms to the client, sleeping on the
-/// progress signal between batches. On `stop`, performs one final drain
-/// after the reader confirmed the session is caught up.
+/// Maps one session output to its wire frame: events/alarms as before,
+/// applied hot-swaps as `ModelUpdated` — in stream order, so the client
+/// knows exactly which events came from which model generation.
+fn output_message(output: SessionOutput) -> Message {
+    match output {
+        SessionOutput::Event(event) => event_message(event),
+        SessionOutput::ModelSwapped { generation, .. } => Message::ModelUpdated { generation },
+    }
+}
+
+/// Streams the session's events/alarms/model-updates to the client,
+/// sleeping on the session's shard progress signal between batches. On
+/// `stop`, performs one final drain after the reader confirmed the
+/// session is caught up.
 fn pump_events(tap: &EventTap, writer: &SharedWriter, stop: &AtomicBool, shutdown: &AtomicBool) {
     loop {
         let seen = tap.progress_generation();
-        for event in tap.take_events() {
-            if send(writer, &event_message(event)).is_err() {
+        for output in tap.take_outputs() {
+            if send(writer, &output_message(output)).is_err() {
                 return; // client went away; reader will notice EOF
             }
         }
         if stop.load(Ordering::Acquire) {
             // The reader set `stop` only after the session caught up (or
             // on error/shutdown): one final drain empties the outbox.
-            for event in tap.take_events() {
-                if send(writer, &event_message(event)).is_err() {
+            for output in tap.take_outputs() {
+                if send(writer, &output_message(output)).is_err() {
                     return;
                 }
             }
@@ -456,6 +541,10 @@ fn pump_events(tap: &EventTap, writer: &SharedWriter, stop: &AtomicBool, shutdow
 struct ClientShared {
     events: Mutex<Vec<DetectorEvent>>,
     throttles: AtomicU64,
+    model_updates: AtomicU64,
+    /// Latest generation announced by a `ModelUpdated` frame, offset by
+    /// +1 so 0 means "none seen yet".
+    model_generation: AtomicU64,
     remote_error: Mutex<Option<String>>,
 }
 
@@ -515,6 +604,8 @@ impl IngestClient {
         let shared = Arc::new(ClientShared {
             events: Mutex::new(Vec::new()),
             throttles: AtomicU64::new(0),
+            model_updates: AtomicU64::new(0),
+            model_generation: AtomicU64::new(0),
             remote_error: Mutex::new(None),
         });
         let reader = {
@@ -568,6 +659,54 @@ impl IngestClient {
     /// backpressure).
     pub fn throttles_seen(&self) -> u64 {
         self.shared.throttles.load(Ordering::Relaxed)
+    }
+
+    /// Sends one clinician-confirmed labeled segment for this session's
+    /// patient. The server's adaptation engine retrains off the hot path
+    /// and hot-swaps the session's detector at a frame boundary; the
+    /// applied swap arrives as a `ModelUpdated` frame, observable via
+    /// [`IngestClient::model_updates_seen`].
+    ///
+    /// The segment must fit one wire frame (≤ [`MAX_PAYLOAD`] bytes,
+    /// ~4.2 M samples): unlike [`IngestClient::send_chunk`], splitting is
+    /// not transparent here — each piece would train as an independent
+    /// segment with its own encoder warm-up.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] if the segment exceeds one wire frame,
+    /// [`ServeError::Io`] if the connection failed.
+    pub fn send_feedback(&mut self, label: Label, samples: &[f32]) -> Result<()> {
+        write_message(
+            &mut self.stream,
+            &Message::Feedback {
+                label,
+                chunk: samples.into(),
+            },
+        )
+    }
+
+    /// `ModelUpdated` frames received so far (hot-swaps applied to this
+    /// session).
+    pub fn model_updates_seen(&self) -> u64 {
+        self.shared.model_updates.load(Ordering::Relaxed)
+    }
+
+    /// Events (including alarms) received so far. Lets a producer wait
+    /// until the server has caught up with everything it streamed — e.g.
+    /// before sending feedback meant to take effect at this exact stream
+    /// position.
+    pub fn events_seen(&self) -> usize {
+        self.shared.events.lock().expect("poisoned").len()
+    }
+
+    /// The latest model generation announced by the server, if any
+    /// hot-swap reached this session yet.
+    pub fn model_generation(&self) -> Option<u64> {
+        match self.shared.model_generation.load(Ordering::Acquire) {
+            0 => None,
+            stored => Some(stored - 1),
+        }
     }
 
     /// Sends `Close`, waits for the server to drain the session and close
@@ -626,6 +765,12 @@ fn client_reader(mut stream: TcpStream, shared: &ClientShared) -> Result<()> {
             }
             Some(Message::Throttle { .. }) => {
                 shared.throttles.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(Message::ModelUpdated { generation }) => {
+                shared
+                    .model_generation
+                    .store(generation.saturating_add(1), Ordering::Release);
+                shared.model_updates.fetch_add(1, Ordering::Relaxed);
             }
             Some(Message::Error { reason }) => {
                 *shared.remote_error.lock().expect("poisoned") = Some(reason);

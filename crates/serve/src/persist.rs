@@ -1,6 +1,6 @@
 //! Versioned on-disk persistence for trained [`PatientModel`]s.
 //!
-//! ## File format (version 1)
+//! ## File format (versions 1 and 2)
 //!
 //! ```text
 //! offset  size        field
@@ -9,6 +9,9 @@
 //! 12      H           header: flat ASCII JSON object (self-describing)
 //! 12+H    2·L·8       body: interictal then ictal prototype limbs (u64 LE),
 //!                     L = dim.div_ceil(64)
+//! …       2·d·4       version 2, when the header says "state":1 —
+//!                     interictal then ictal accumulator counts (u32 LE),
+//!                     d = dim
 //! end−8   8           FNV-1a 64 checksum of every preceding byte (u64 LE)
 //! ```
 //!
@@ -19,22 +22,34 @@
 //! bit-exact round-trips. Readers reject unknown format versions *before*
 //! the checksum so a newer-version file fails with
 //! [`ServeError::VersionMismatch`], not a corruption error.
+//!
+//! **Version 2** additionally carries the model generation and, optionally,
+//! the resumable training state (the per-class accumulator counts behind
+//! the prototypes), so a loaded model can [`PatientModel::absorb`] newly
+//! confirmed seizures instead of retraining from scratch. The writer emits
+//! version 1 for generation-0 models without state — bytes identical to
+//! what previous builds wrote — and version 2 otherwise; version-1 files
+//! always stay loadable.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-use laelaps_core::hv::{Hypervector, TiePolicy};
-use laelaps_core::{AssociativeMemory, LaelapsConfig, PatientModel};
+use laelaps_core::hv::{DenseAccumulator, Hypervector, TiePolicy};
+use laelaps_core::{AmTrainer, AssociativeMemory, LaelapsConfig, PatientModel};
 
 use crate::error::{Result, ServeError};
+use crate::stats::RegistryStats;
 
 /// Magic bytes opening every model file.
 pub const MAGIC: [u8; 8] = *b"LAELMDL\n";
 
-/// Highest format version this build reads and the version it writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// Highest format version this build reads and the version it writes for
+/// models carrying a generation or training state (stateless generation-0
+/// models still serialize as version 1 for maximum compatibility).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// File extension used by the [`ModelRegistry`].
 pub const MODEL_EXT: &str = "laemodel";
@@ -206,7 +221,9 @@ impl<W: Write> CountingChecksumWriter<'_, W> {
     }
 }
 
-/// Serializes `model` into `writer` in the version-1 format.
+/// Serializes `model` into `writer`: version 1 for a generation-0 model
+/// without training state (byte-identical to previous builds), version 2
+/// otherwise (generation + optional accumulator state).
 ///
 /// # Errors
 ///
@@ -214,8 +231,14 @@ impl<W: Write> CountingChecksumWriter<'_, W> {
 pub fn save_model<W: Write>(model: &PatientModel, writer: &mut W) -> Result<()> {
     let config = model.config();
     let limbs = config.dim.div_ceil(64);
-    let header = write_json_header(&[
-        ("format", JsonValue::Num(FORMAT_VERSION as u64)),
+    let state = model.train_state();
+    let version: u64 = if state.is_none() && model.generation() == 0 {
+        1
+    } else {
+        2
+    };
+    let mut fields = vec![
+        ("format", JsonValue::Num(version)),
         ("dim", JsonValue::Num(config.dim as u64)),
         ("lbp_len", JsonValue::Num(config.lbp_len as u64)),
         ("sample_rate", JsonValue::Num(config.sample_rate as u64)),
@@ -241,7 +264,22 @@ pub fn save_model<W: Write>(model: &PatientModel, writer: &mut W) -> Result<()> 
         ("seed", JsonValue::Num(config.seed)),
         ("electrodes", JsonValue::Num(model.electrodes() as u64)),
         ("limbs", JsonValue::Num(limbs as u64)),
-    ]);
+    ];
+    if version >= 2 {
+        fields.push(("generation", JsonValue::Num(model.generation())));
+        fields.push(("state", JsonValue::Num(state.is_some() as u64)));
+        if let Some(state) = state {
+            fields.push((
+                "inter_added",
+                JsonValue::Num(state.interictal_accumulator().len() as u64),
+            ));
+            fields.push((
+                "ictal_added",
+                JsonValue::Num(state.ictal_accumulator().len() as u64),
+            ));
+        }
+    }
+    let header = write_json_header(&fields);
     let mut out = CountingChecksumWriter {
         inner: writer,
         checksum: Fnv1a::new(),
@@ -254,34 +292,51 @@ pub fn save_model<W: Write>(model: &PatientModel, writer: &mut W) -> Result<()> 
             out.put(&limb.to_le_bytes())?;
         }
     }
+    if let Some(state) = state {
+        for accumulator in [state.interictal_accumulator(), state.ictal_accumulator()] {
+            for &count in accumulator.counts() {
+                out.put(&count.to_le_bytes())?;
+            }
+        }
+    }
     let digest = out.checksum.finish();
     out.inner.write_all(&digest.to_le_bytes())?;
     Ok(())
 }
 
-/// Serializes `model` to `path`, writing through a sibling temp file and
-/// renaming, so readers never observe a half-written model. The temp name
-/// is unique per process and call, so concurrent saves of the same
-/// patient cannot interleave into one file — last rename wins whole.
+/// Writes `bytes` to `path` through a sibling temp file and a rename, so
+/// readers never observe a half-written file. The temp name is unique
+/// per process and call, so concurrent writes to the same path cannot
+/// interleave into one file — last rename wins whole.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
+    let outcome = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    })();
+    if outcome.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    outcome
+}
+
+/// Serializes `model` to `path` atomically (temp file + rename), so
+/// readers never observe a half-written model.
 ///
 /// # Errors
 ///
 /// Returns [`ServeError::Io`] on filesystem failure.
 pub fn save_model_to(model: &PatientModel, path: &Path) -> Result<()> {
-    static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-    let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
-    let mut file = std::fs::File::create(&tmp)?;
-    let outcome = save_model(model, &mut file).and_then(|()| {
-        file.sync_all()?;
-        drop(file);
-        std::fs::rename(&tmp, path)?;
-        Ok(())
-    });
-    if outcome.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    outcome
+    // In-memory serialize: model files are ≤ a few hundred KiB.
+    let mut bytes = Vec::new();
+    save_model(model, &mut bytes)?;
+    write_atomic(path, &bytes)
 }
 
 /// Deserializes a model from `reader`.
@@ -338,7 +393,16 @@ pub fn load_model<R: Read>(reader: &mut R) -> Result<PatientModel> {
     if limbs != dim.div_ceil(64) {
         return Err(corrupt("limb count inconsistent with dimension"));
     }
-    if body.len() != 2 * limbs * 8 {
+    let (generation, has_state) = if version >= 2 {
+        (
+            header_num(&header, "generation")?,
+            header_num(&header, "state")? != 0,
+        )
+    } else {
+        (0, false)
+    };
+    let expected_body = 2 * limbs * 8 + if has_state { 2 * dim * 4 } else { 0 };
+    if body.len() != expected_body {
         return Err(corrupt("body length inconsistent with header geometry"));
     }
     let read_prototype = |offset: usize| -> Result<Hypervector> {
@@ -350,6 +414,25 @@ pub fn load_model<R: Read>(reader: &mut R) -> Result<PatientModel> {
     };
     let interictal = read_prototype(0)?;
     let ictal = read_prototype(limbs * 8)?;
+    let train_state = if has_state {
+        let counts_base = 2 * limbs * 8;
+        let read_accumulator = |offset: usize, added: u32| -> Result<DenseAccumulator> {
+            let counts: Vec<u32> = body[offset..offset + dim * 4]
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect();
+            DenseAccumulator::from_counts(counts, added)
+                .ok_or_else(|| corrupt("accumulator counts exceed their addition count"))
+        };
+        let inter = read_accumulator(counts_base, header_num(&header, "inter_added")? as u32)?;
+        let ictal_acc = read_accumulator(
+            counts_base + dim * 4,
+            header_num(&header, "ictal_added")? as u32,
+        )?;
+        Some(AmTrainer::from_accumulators(inter, ictal_acc)?)
+    } else {
+        None
+    };
 
     let config = LaelapsConfig::builder()
         .dim(dim)
@@ -370,7 +453,11 @@ pub fn load_model<R: Read>(reader: &mut R) -> Result<PatientModel> {
 
     let am = AssociativeMemory::from_prototypes(interictal, ictal)?;
     let electrodes = header_num(&header, "electrodes")? as usize;
-    Ok(PatientModel::new(config, electrodes, am)?)
+    let mut model = PatientModel::new(config, electrodes, am)?.with_generation(generation);
+    if let Some(state) = train_state {
+        model = model.with_train_state(state)?;
+    }
+    Ok(model)
 }
 
 /// Deserializes a model from `path`.
@@ -387,11 +474,39 @@ pub fn load_model_from(path: &Path) -> Result<PatientModel> {
 // Registry
 // ---------------------------------------------------------------------------
 
+/// Tuning knobs for a [`ModelRegistry`].
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Upper bound on cached models; loads past it evict the least
+    /// recently used entry, so a fleet larger than RAM cannot grow the
+    /// cache unbounded.
+    pub cache_entries: usize,
+    /// Generations kept on disk per patient (the current model plus
+    /// `keep_generations` archived predecessors for rollback).
+    pub keep_generations: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            cache_entries: 1024,
+            keep_generations: 4,
+        }
+    }
+}
+
 /// A directory of persisted models, loaded and cached by patient id.
 ///
-/// Thread-safe: loads share an `RwLock`-guarded cache of
+/// Thread-safe: loads share a mutex-guarded **LRU** cache of
 /// `Arc<PatientModel>`, so N sessions for one patient share one model in
-/// memory.
+/// memory while the cache stays bounded ([`RegistryConfig::cache_entries`]).
+/// Cache effectiveness is observable through [`ModelRegistry::stats`].
+///
+/// The registry is **generational**: [`ModelRegistry::publish`] atomically
+/// replaces a patient's current model (temp file + rename — readers never
+/// observe a half-written model) while archiving the predecessor, keeping
+/// the last [`RegistryConfig::keep_generations`] for
+/// [`ModelRegistry::rollback`].
 ///
 /// # Examples
 ///
@@ -406,7 +521,18 @@ pub fn load_model_from(path: &Path) -> Result<PatientModel> {
 #[derive(Debug)]
 pub struct ModelRegistry {
     dir: PathBuf,
-    cache: RwLock<HashMap<String, Arc<PatientModel>>>,
+    config: RegistryConfig,
+    cache: Mutex<HashMap<String, CacheEntry>>,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    model: Arc<PatientModel>,
+    last_used: u64,
 }
 
 fn valid_patient_id(id: &str) -> bool {
@@ -417,23 +543,51 @@ fn valid_patient_id(id: &str) -> bool {
 }
 
 impl ModelRegistry {
-    /// Opens (creating if needed) a registry rooted at `dir`.
+    /// Opens (creating if needed) a registry rooted at `dir` with default
+    /// limits.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Io`] if the directory cannot be created.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        Self::open_with(dir, RegistryConfig::default())
+    }
+
+    /// Opens a registry with explicit cache and generation limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the directory cannot be created.
+    pub fn open_with(dir: impl Into<PathBuf>, config: RegistryConfig) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(ModelRegistry {
             dir,
-            cache: RwLock::new(HashMap::new()),
+            config: RegistryConfig {
+                cache_entries: config.cache_entries.max(1),
+                keep_generations: config.keep_generations,
+            },
+            cache: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         })
     }
 
     /// The registry's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Cache hit/miss/eviction counters and current occupancy.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            cached_entries: self.cache.lock().expect("registry cache poisoned").len(),
+        }
     }
 
     fn path_for(&self, patient: &str) -> Result<PathBuf> {
@@ -445,7 +599,32 @@ impl ModelRegistry {
         Ok(self.dir.join(format!("{patient}.{MODEL_EXT}")))
     }
 
-    /// Persists `model` under `patient` and primes the cache.
+    /// Path of the archived copy of `patient`'s generation `generation`.
+    fn archive_path(&self, patient: &str, generation: u64) -> PathBuf {
+        self.dir
+            .join(format!("{patient}.g{generation:08}.{MODEL_EXT}"))
+    }
+
+    /// Inserts into the cache, evicting the least recently used entry
+    /// when over capacity.
+    fn cache_insert(&self, patient: &str, model: Arc<PatientModel>) {
+        let mut cache = self.cache.lock().expect("registry cache poisoned");
+        let last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        cache.insert(patient.to_string(), CacheEntry { model, last_used });
+        while cache.len() > self.config.cache_entries {
+            let coldest = cache
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("cache over capacity is nonempty");
+            cache.remove(&coldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Persists `model` under `patient` and primes the cache. Unlike
+    /// [`ModelRegistry::publish`], no generation archive is kept — use
+    /// this for initial training flows that do not need rollback.
     ///
     /// # Errors
     ///
@@ -453,28 +632,125 @@ impl ModelRegistry {
     pub fn save(&self, patient: &str, model: &PatientModel) -> Result<()> {
         let path = self.path_for(patient)?;
         save_model_to(model, &path)?;
-        self.cache
-            .write()
-            .expect("registry cache poisoned")
-            .insert(patient.to_string(), Arc::new(model.clone()));
+        self.cache_insert(patient, Arc::new(model.clone()));
         Ok(())
     }
 
-    /// Loads `patient`'s model, from cache when warm.
+    /// Publishes `model` as `patient`'s current model **atomically**
+    /// (temp file + rename; a concurrent [`ModelRegistry::load`] sees
+    /// either the old or the new file, never a torn one), archives it
+    /// under its generation number for [`ModelRegistry::rollback`], prunes
+    /// archives beyond [`RegistryConfig::keep_generations`], and primes
+    /// the cache. Returns the published generation.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidPatientId`] or [`ServeError::Io`].
+    pub fn publish(&self, patient: &str, model: &PatientModel) -> Result<u64> {
+        let path = self.path_for(patient)?;
+        let generation = model.generation();
+        // One serialization feeds both the archive and the current file.
+        let mut bytes = Vec::new();
+        save_model(model, &mut bytes)?;
+        write_atomic(&self.archive_path(patient, generation), &bytes)?;
+        write_atomic(&path, &bytes)?;
+        self.cache_insert(patient, Arc::new(model.clone()));
+        self.prune_generations(patient)?;
+        Ok(generation)
+    }
+
+    /// Archived generation numbers for `patient`, ascending.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidPatientId`] or [`ServeError::Io`].
+    pub fn generations(&self, patient: &str) -> Result<Vec<u64>> {
+        if !valid_patient_id(patient) {
+            return Err(ServeError::InvalidPatientId {
+                patient: patient.to_string(),
+            });
+        }
+        let prefix = format!("{patient}.g");
+        let suffix = format!(".{MODEL_EXT}");
+        let mut generations = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(mid) = name
+                .strip_prefix(&prefix)
+                .and_then(|rest| rest.strip_suffix(&suffix))
+            {
+                if let Ok(generation) = mid.parse::<u64>() {
+                    generations.push(generation);
+                }
+            }
+        }
+        generations.sort_unstable();
+        Ok(generations)
+    }
+
+    fn prune_generations(&self, patient: &str) -> Result<()> {
+        // The newest archive duplicates the just-published current model,
+        // so keep `keep_generations` archives *besides* it — otherwise
+        // the promised number of rollback targets would be short by one.
+        let keep = self.config.keep_generations + 1;
+        let generations = self.generations(patient)?;
+        if generations.len() > keep {
+            for &generation in &generations[..generations.len() - keep] {
+                let _ = std::fs::remove_file(self.archive_path(patient, generation));
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-publishes the newest archived generation older than the current
+    /// model as `patient`'s current model and returns it.
+    ///
+    /// Rollback is not serialized against concurrent publishers: a
+    /// retraining already in flight (e.g. an
+    /// [`crate::adapt::AdaptationEngine`] worker that loaded the current
+    /// model before this call) will publish a successor derived from the
+    /// rolled-back-away lineage and overwrite this rollback. Quiesce the
+    /// engine first ([`crate::adapt::AdaptationEngine::flush`]) when
+    /// rolling back a patient that may have feedback queued.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoPriorGeneration`] if no older archive exists;
+    /// otherwise the [`ModelRegistry::load`] / [`ServeError::Io`] errors.
+    pub fn rollback(&self, patient: &str) -> Result<Arc<PatientModel>> {
+        let current = self.load(patient)?.generation();
+        let target = self
+            .generations(patient)?
+            .into_iter()
+            .rfind(|&g| g < current)
+            .ok_or_else(|| ServeError::NoPriorGeneration {
+                patient: patient.to_string(),
+            })?;
+        let model = load_model_from(&self.archive_path(patient, target))?;
+        let path = self.path_for(patient)?;
+        save_model_to(&model, &path)?;
+        let model = Arc::new(model);
+        self.cache_insert(patient, Arc::clone(&model));
+        Ok(model)
+    }
+
+    /// Loads `patient`'s current model, from cache when warm.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownPatient`] if no file exists; otherwise the
     /// [`load_model`] errors.
     pub fn load(&self, patient: &str) -> Result<Arc<PatientModel>> {
-        if let Some(model) = self
-            .cache
-            .read()
-            .expect("registry cache poisoned")
-            .get(patient)
         {
-            return Ok(Arc::clone(model));
+            let mut cache = self.cache.lock().expect("registry cache poisoned");
+            if let Some(entry) = cache.get_mut(patient) {
+                entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.model));
+            }
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let path = self.path_for(patient)?;
         let model = match load_model_from(&path) {
             Ok(model) => Arc::new(model),
@@ -485,18 +761,15 @@ impl ModelRegistry {
             }
             Err(other) => return Err(other),
         };
-        let mut cache = self.cache.write().expect("registry cache poisoned");
-        let entry = cache
-            .entry(patient.to_string())
-            .or_insert_with(|| Arc::clone(&model));
-        Ok(Arc::clone(entry))
+        self.cache_insert(patient, Arc::clone(&model));
+        Ok(model)
     }
 
     /// Whether a model file (or cached model) exists for `patient`.
     pub fn contains(&self, patient: &str) -> bool {
         if self
             .cache
-            .read()
+            .lock()
             .expect("registry cache poisoned")
             .contains_key(patient)
         {
@@ -505,15 +778,18 @@ impl ModelRegistry {
         self.path_for(patient).is_ok_and(|p| p.exists())
     }
 
-    /// Drops `patient` from the in-memory cache (the file stays).
+    /// Drops `patient` from the in-memory cache (the file stays). Manual
+    /// evictions are not counted in [`RegistryStats::evictions`], which
+    /// tracks capacity pressure only.
     pub fn evict(&self, patient: &str) {
         self.cache
-            .write()
+            .lock()
             .expect("registry cache poisoned")
             .remove(patient);
     }
 
-    /// Patient ids with a model file on disk, sorted.
+    /// Patient ids with a current model file on disk, sorted (generation
+    /// archives are excluded — their stems contain a dot).
     ///
     /// # Errors
     ///

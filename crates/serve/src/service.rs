@@ -33,6 +33,29 @@ impl AlarmRecord {
     }
 }
 
+/// One record on the service-wide event bus: alarms, plus lifecycle
+/// events such as model hot-swaps.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ServiceEvent {
+    /// A session's postprocessor raised a seizure alarm.
+    Alarm(AlarmRecord),
+    /// A session's detector was hot-swapped to a newer model generation
+    /// at a frame boundary (see [`DetectionService::swap_session_model`]).
+    ModelSwapped {
+        /// Session whose detector was replaced.
+        session: SessionId,
+        /// Patient the session serves.
+        patient: String,
+        /// Generation of the model now running.
+        generation: u64,
+        /// Stream position (frames processed) at which the swap took
+        /// effect; every earlier frame was classified by the previous
+        /// model, every later one by the new model.
+        at_frame: u64,
+    },
+}
+
 /// Tuning knobs for a [`DetectionService`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -54,12 +77,15 @@ impl Default for ServeConfig {
     }
 }
 
-/// Service-wide progress signal: a generation counter bumped by workers
-/// whenever a drain pass did anything, with a condvar for waiters.
+/// Per-shard progress signal: a generation counter bumped by the shard's
+/// worker whenever a drain pass did anything, with a condvar for waiters.
 ///
 /// This is what lets [`DetectionService::flush`] (and the network layer's
 /// per-connection event pumps) *sleep* until the workers advance instead
-/// of burning a core polling counters.
+/// of burning a core polling counters. One instance exists **per shard**:
+/// a session's waiters sleep on its own shard's condvar, so a busy shard's
+/// drain batches never wake event pumps of sessions pinned elsewhere
+/// (previously every drain caused O(connections) spurious wakeups).
 pub(crate) struct Progress {
     generation: Mutex<u64>,
     moved: Condvar,
@@ -115,11 +141,12 @@ impl std::fmt::Debug for Progress {
 
 struct ServiceInner {
     shards: Vec<Mutex<Vec<Arc<SessionCore>>>>,
-    alarms: Mutex<VecDeque<AlarmRecord>>,
+    bus: Mutex<VecDeque<ServiceEvent>>,
     retired: Mutex<RetiredStats>,
     next_id: AtomicU64,
     ring_chunks: usize,
-    progress: Arc<Progress>,
+    /// One progress signal per shard (same indexing as `shards`).
+    progress: Vec<Arc<Progress>>,
 }
 
 impl ServiceInner {
@@ -133,7 +160,7 @@ impl ServiceInner {
         let mut worked = false;
         let mut any_done = false;
         for session in &sessions {
-            worked |= session.drain(&self.alarms);
+            worked |= session.drain(&self.bus);
             any_done |= session.done.load(Ordering::Acquire);
         }
         if any_done {
@@ -154,7 +181,8 @@ impl ServiceInner {
                 });
         }
         if worked || any_done {
-            self.progress.bump();
+            // Only this shard's waiters wake: progress is per shard.
+            self.progress[shard].bump();
         }
         worked
     }
@@ -176,6 +204,17 @@ impl ServiceInner {
             .iter()
             .flat_map(|shard| shard.lock().expect("shard lock poisoned").clone())
             .collect()
+    }
+
+    fn find_session(&self, session: SessionId) -> Option<Arc<SessionCore>> {
+        self.shards.iter().find_map(|shard| {
+            shard
+                .lock()
+                .expect("shard lock poisoned")
+                .iter()
+                .find(|s| s.id == session)
+                .cloned()
+        })
     }
 }
 
@@ -249,11 +288,11 @@ impl DetectionService {
         let workers = config.workers.max(1);
         let inner = Arc::new(ServiceInner {
             shards: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
-            alarms: Mutex::new(VecDeque::new()),
+            bus: Mutex::new(VecDeque::new()),
             retired: Mutex::new(RetiredStats::default()),
             next_id: AtomicU64::new(0),
             ring_chunks: config.ring_chunks.max(1),
-            progress: Arc::new(Progress::new()),
+            progress: (0..workers).map(|_| Arc::new(Progress::new())).collect(),
         });
         let pool = {
             let inner = Arc::clone(&inner);
@@ -287,6 +326,7 @@ impl DetectionService {
             patient: patient.to_string(),
             electrodes,
             shard,
+            config: model.config().clone(),
             worker: Mutex::new(WorkerState {
                 detector,
                 rx,
@@ -294,6 +334,8 @@ impl DetectionService {
             }),
             outbox: Mutex::new(VecDeque::new()),
             counters: Default::default(),
+            pending_swap: Mutex::new(None),
+            generation: AtomicU64::new(model.generation()),
             failed_flag: Default::default(),
             done: Default::default(),
         });
@@ -307,7 +349,7 @@ impl DetectionService {
             tx,
             closed: false,
             waker: self.pool.waker(),
-            progress: Arc::clone(&self.inner.progress),
+            progress: Arc::clone(&self.inner.progress[shard]),
         })
     }
 
@@ -336,38 +378,137 @@ impl DetectionService {
     }
 
     /// Blocks until every accepted frame in every session has been
-    /// processed and its events published.
+    /// processed and its events published, **and** every staged model
+    /// hot-swap has been applied (its `ModelSwapped` marker is in the
+    /// outbox) — so `engine.flush()` followed by `service.flush()` is
+    /// sufficient to observe a feedback-driven swap everywhere.
     ///
-    /// Only frames pushed *before* the call are guaranteed processed;
-    /// concurrent pushers extend the wait.
+    /// Only frames pushed (and swaps requested) *before* the call are
+    /// guaranteed; concurrent pushers extend the wait. Waits shard by
+    /// shard on that shard's own progress condvar, so flushing never
+    /// subscribes to (or causes) wakeups on unrelated shards.
     pub fn flush(&self) {
         self.pool.notify();
-        loop {
-            // Snapshot the progress generation *before* checking, so a
-            // worker that advances between the check and the wait moves
-            // the generation and the wait returns immediately — the
-            // condvar equivalent of the pool's epoch discipline. The
-            // timeout is a safety net only; the wait is normally ended by
-            // a worker's bump, so an unflushed service costs a condvar
-            // wakeup per drain batch instead of a spinning core.
-            let seen = self.inner.progress.generation();
-            if self.inner.all_sessions().iter().all(|s| s.is_caught_up()) {
-                return;
+        for shard in 0..self.inner.shards.len() {
+            loop {
+                // Snapshot the progress generation *before* checking, so
+                // a worker that advances between the check and the wait
+                // moves the generation and the wait returns immediately —
+                // the condvar equivalent of the pool's epoch discipline.
+                // The timeout is a safety net only; the wait is normally
+                // ended by the shard worker's bump.
+                let seen = self.inner.progress[shard].generation();
+                // A done session retires on its worker's next pass; any
+                // swap it still holds can never apply, so don't wait on
+                // it (failed sessions drop theirs in drain()).
+                let settled = self.inner.shards[shard]
+                    .lock()
+                    .expect("shard lock poisoned")
+                    .iter()
+                    .all(|s| {
+                        s.done.load(Ordering::Acquire) || (s.is_caught_up() && !s.swap_pending())
+                    });
+                if settled {
+                    break;
+                }
+                self.inner.progress[shard].wait_past(seen, Duration::from_millis(100));
             }
-            self.inner
-                .progress
-                .wait_past(seen, Duration::from_millis(100));
         }
     }
 
-    /// Drains the service-wide alarm bus (oldest first).
+    /// Drains the alarms from the service-wide bus (oldest first),
+    /// leaving other [`ServiceEvent`]s (model swaps) queued for
+    /// [`DetectionService::take_service_events`].
     pub fn take_alarms(&self) -> Vec<AlarmRecord> {
+        let mut bus = self.inner.bus.lock().expect("service bus poisoned");
+        let mut alarms = Vec::new();
+        bus.retain(|event| match event {
+            ServiceEvent::Alarm(record) => {
+                alarms.push(record.clone());
+                false
+            }
+            _ => true,
+        });
+        alarms
+    }
+
+    /// Drains the model-swap events from the service-wide bus (oldest
+    /// first), leaving alarms queued for
+    /// [`DetectionService::take_alarms`].
+    pub fn take_swap_events(&self) -> Vec<ServiceEvent> {
+        let mut bus = self.inner.bus.lock().expect("service bus poisoned");
+        let mut swaps = Vec::new();
+        bus.retain(|event| match event {
+            ServiceEvent::ModelSwapped { .. } => {
+                swaps.push(event.clone());
+                false
+            }
+            _ => true,
+        });
+        swaps
+    }
+
+    /// Drains the service-wide event bus (oldest first): alarms
+    /// interleaved with lifecycle events such as
+    /// [`ServiceEvent::ModelSwapped`].
+    pub fn take_service_events(&self) -> Vec<ServiceEvent> {
         self.inner
-            .alarms
+            .bus
             .lock()
-            .expect("alarm bus poisoned")
+            .expect("service bus poisoned")
             .drain(..)
             .collect()
+    }
+
+    /// Requests a model hot-swap for one live session: the session's
+    /// worker replaces its detector's prototypes **at a frame boundary**
+    /// once every frame accepted before this call has been processed.
+    /// In-flight ring frames are drained by the old model, later frames
+    /// by the new one; no frame is dropped or reprocessed, and the
+    /// postprocessor's label window carries across. The applied swap
+    /// surfaces as [`ServiceEvent::ModelSwapped`] on the bus, as an
+    /// ordered [`crate::session::SessionOutput::ModelSwapped`] marker in
+    /// the session's output stream, and as `generation` in
+    /// [`SessionStatsEntry`].
+    ///
+    /// A swap requested before a previous one was applied replaces it
+    /// (latest model wins; only the applied swap emits events).
+    ///
+    /// # Errors
+    ///
+    /// * [`crate::ServeError::UnknownSession`] — no live session has this
+    ///   id (it may have retired), or it already finished or failed, so a
+    ///   staged swap could never apply;
+    /// * [`crate::ServeError::Core`] — the model is not hot-swappable
+    ///   into this session (different electrode count, or any
+    ///   configuration field other than `tr` differs).
+    pub fn swap_session_model(&self, session: SessionId, model: &Arc<PatientModel>) -> Result<()> {
+        let core = self
+            .inner
+            .find_session(session)
+            .ok_or(crate::ServeError::UnknownSession { session })?;
+        core.request_swap(model)?;
+        self.pool.notify();
+        Ok(())
+    }
+
+    /// Requests a model hot-swap (see
+    /// [`DetectionService::swap_session_model`]) for **every** live
+    /// session serving `patient`; returns how many sessions accepted the
+    /// request. Sessions the model cannot swap into (opened with a
+    /// different configuration, already finished, or failed) are
+    /// skipped, not failed.
+    pub fn swap_patient_model(&self, patient: &str, model: &Arc<PatientModel>) -> usize {
+        let mut swapped = 0;
+        for core in self.inner.all_sessions() {
+            if core.patient == patient && core.request_swap(model).is_ok() {
+                swapped += 1;
+            }
+        }
+        if swapped > 0 {
+            self.pool.notify();
+        }
+        swapped
     }
 
     /// Counter snapshot: live sessions individually, plus totals that
@@ -385,6 +526,7 @@ impl DetectionService {
                 session: core.id,
                 patient: core.patient.clone(),
                 shard: core.shard,
+                generation: core.generation.load(Ordering::Acquire),
                 stats: core.counters.snapshot(),
             })
             .collect();

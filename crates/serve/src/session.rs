@@ -1,19 +1,47 @@
 //! One patient's streaming detection session.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use laelaps_core::{Detector, DetectorEvent};
+use laelaps_core::{Detector, DetectorEvent, LaelapsConfig, PatientModel};
 use laelaps_eval::parallel::PoolWaker;
 
 use crate::ring::{Consumer, Full, Producer};
-use crate::service::{AlarmRecord, Progress};
+use crate::service::{AlarmRecord, Progress, ServiceEvent};
 use crate::stats::{SessionCounters, SessionStats};
 
 /// Identifies a session within one [`crate::DetectionService`].
 pub type SessionId = u64;
+
+/// One entry of a session's ordered output stream: classification events
+/// interleaved, at the exact stream position it took effect, with model
+/// hot-swap markers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionOutput {
+    /// A classification event (identical to a bare
+    /// [`laelaps_core::Detector`]'s).
+    Event(DetectorEvent),
+    /// The session's detector switched to a newer model generation;
+    /// every earlier entry came from the previous model, every later one
+    /// from the new model.
+    ModelSwapped {
+        /// Generation of the model now running.
+        generation: u64,
+        /// Frames processed when the swap took effect (a frame
+        /// boundary).
+        at_frame: u64,
+    },
+}
+
+/// A hot-swap staged for a session's worker: apply `model` once
+/// `barrier` frames have been processed, so every frame accepted before
+/// the request drains under the old model.
+pub(crate) struct SwapRequest {
+    pub model: Arc<PatientModel>,
+    pub barrier: u64,
+}
 
 /// A chunk of interleaved frame-major samples (`frames × electrodes`).
 pub(crate) type Chunk = Box<[f32]>;
@@ -70,9 +98,18 @@ pub(crate) struct SessionCore {
     pub electrodes: usize,
     /// Worker shard the session is pinned to (for observability).
     pub shard: usize,
+    /// Configuration the session's detector runs, kept here so swap
+    /// requests can be validated without locking the worker state.
+    pub config: LaelapsConfig,
     pub worker: Mutex<WorkerState>,
-    pub outbox: Mutex<VecDeque<DetectorEvent>>,
+    pub outbox: Mutex<VecDeque<SessionOutput>>,
     pub counters: SessionCounters,
+    /// A staged model hot-swap, applied by the shard worker at the first
+    /// chunk boundary past its barrier.
+    pub pending_swap: Mutex<Option<SwapRequest>>,
+    /// Generation of the model currently running (updated when a swap is
+    /// applied).
+    pub generation: AtomicU64,
     /// Set by the worker when the detector failed; pushes then report
     /// [`PushError::Closed`] instead of an endlessly retryable `Full`.
     pub failed_flag: AtomicBool,
@@ -93,16 +130,105 @@ impl std::fmt::Debug for SessionCore {
 }
 
 impl SessionCore {
+    /// Validates `model` against this session's pipeline and stages it
+    /// for the worker to hot-swap at the first chunk boundary once every
+    /// frame accepted so far has been processed. A not-yet-applied
+    /// earlier request is replaced (latest model wins).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ServeError::Core`] if the model cannot run this session's
+    /// stream (different electrode count, or any configuration field
+    /// other than `tr` differs) — validated here so an incompatible swap
+    /// fails the *request*, never the live session — or
+    /// [`crate::ServeError::UnknownSession`] if the session already
+    /// finished or failed (a swap staged there could never apply).
+    pub fn request_swap(&self, model: &Arc<PatientModel>) -> crate::error::Result<()> {
+        if self.done.load(Ordering::Acquire) || self.failed_flag.load(Ordering::Acquire) {
+            return Err(crate::ServeError::UnknownSession { session: self.id });
+        }
+        if model.electrodes() != self.electrodes {
+            return Err(laelaps_core::LaelapsError::ElectrodeMismatch {
+                expected: self.electrodes,
+                got: model.electrodes(),
+            }
+            .into());
+        }
+        if !model.config().same_pipeline(&self.config) {
+            return Err(laelaps_core::LaelapsError::InvalidConfig {
+                field: "config",
+                reason: "hot-swap requires an identical configuration \
+                         (only `tr` may differ)"
+                    .into(),
+            }
+            .into());
+        }
+        // Barrier: every frame whose acceptance was *recorded* before
+        // this request drains under the old model. frames_in is bumped
+        // per whole chunk, so the barrier always lands on a chunk (hence
+        // frame) boundary. A chunk whose push races its own accounting
+        // may land on the new-model side; the single-swap-point and
+        // zero-drop guarantees are unaffected.
+        let barrier = self.counters.frames_in.load(Ordering::Acquire);
+        *self.pending_swap.lock().expect("pending swap poisoned") = Some(SwapRequest {
+            model: Arc::clone(model),
+            barrier,
+        });
+        Ok(())
+    }
+
+    /// Whether a staged hot-swap has not yet been applied by the shard
+    /// worker.
+    pub fn swap_pending(&self) -> bool {
+        self.pending_swap
+            .lock()
+            .expect("pending swap poisoned")
+            .is_some()
+    }
+
+    /// Applies a staged swap if its barrier has been reached. Returns
+    /// `Err(reason)` if the (pre-validated) swap still failed, `Ok(true)`
+    /// if a swap was applied.
+    fn try_apply_swap(
+        &self,
+        detector: &mut Detector,
+        processed: u64,
+        out: &mut Vec<SessionOutput>,
+    ) -> Result<bool, String> {
+        let mut pending = self.pending_swap.lock().expect("pending swap poisoned");
+        let due = pending.as_ref().is_some_and(|r| processed >= r.barrier);
+        if !due {
+            return Ok(false);
+        }
+        let request = pending.take().expect("checked above");
+        drop(pending);
+        match detector.hot_swap(&request.model) {
+            Ok(()) => {
+                let generation = request.model.generation();
+                self.generation.store(generation, Ordering::Release);
+                out.push(SessionOutput::ModelSwapped {
+                    generation,
+                    at_frame: processed,
+                });
+                Ok(true)
+            }
+            Err(e) => Err(format!("model hot-swap failed: {e}")),
+        }
+    }
+
     /// Drains queued chunks through the detector. Returns `true` if any
     /// work was done. Called only by the session's shard worker.
-    pub fn drain(&self, alarm_bus: &Mutex<VecDeque<AlarmRecord>>) -> bool {
+    pub fn drain(&self, bus: &Mutex<VecDeque<ServiceEvent>>) -> bool {
         let mut state = self.worker.lock().expect("session worker lock poisoned");
         if self.done.load(Ordering::Relaxed) {
             return false;
         }
         let start = Instant::now();
         let mut frames_done: u64 = 0;
-        let mut events: Vec<DetectorEvent> = Vec::new();
+        let mut out: Vec<SessionOutput> = Vec::new();
+        // Stream position before this pass; only this worker advances the
+        // counter, so base + frames_done is exact within the pass.
+        let base_processed = self.counters.frames_processed.load(Ordering::Acquire);
         // Frames of the aborted in-flight chunk lost to an error or panic;
         // accounted as drops so frames_in == processed + dropped holds.
         let mut aborted_tail: u64 = 0;
@@ -119,6 +245,14 @@ impl SessionCore {
                     // sessions get their turn every MAX_CHUNKS_PER_DRAIN
                     // chunks.
                     for _ in 0..MAX_CHUNKS_PER_DRAIN {
+                        // A staged hot-swap takes effect here, between
+                        // chunks: frames already drained stay with the
+                        // old model, everything after runs the new one.
+                        match self.try_apply_swap(detector, base_processed + frames_done, &mut out)
+                        {
+                            Ok(_) => {}
+                            Err(reason) => return Some(reason),
+                        }
                         let Some(chunk) = rx.pop() else { break };
                         let chunk_frames = (chunk.len() / electrodes) as u64;
                         // The whole chunk is unaccounted until each frame
@@ -128,7 +262,7 @@ impl SessionCore {
                         let mut in_chunk: u64 = 0;
                         for frame in chunk.chunks_exact(electrodes) {
                             match detector.push_frame(frame) {
-                                Ok(Some(event)) => events.push(event),
+                                Ok(Some(event)) => out.push(SessionOutput::Event(event)),
                                 Ok(None) => {}
                                 Err(e) => return Some(e.to_string()),
                             }
@@ -162,6 +296,12 @@ impl SessionCore {
         let mut discarded: u64 = 0;
         if state.failed.is_some() {
             self.failed_flag.store(true, Ordering::Release);
+            // A failed session can never apply a staged swap; drop it so
+            // nothing waits for an application that will not come.
+            self.pending_swap
+                .lock()
+                .expect("pending swap poisoned")
+                .take();
             // Discard everything still queued (and whatever arrives until
             // the producer observes the failure) so a caller retrying on
             // `Full` is unblocked instead of livelocking against a ring
@@ -176,31 +316,52 @@ impl SessionCore {
                     .fetch_add(discarded, Ordering::Relaxed);
             }
         }
-        let worked = frames_done > 0 || newly_failed || discarded > 0;
-        if !events.is_empty() {
-            let mut alarms: Vec<AlarmRecord> = Vec::new();
-            for event in &events {
-                if event.alarm.is_some() {
-                    alarms.push(AlarmRecord {
+        let worked = frames_done > 0 || newly_failed || discarded > 0 || !out.is_empty();
+        if !out.is_empty() {
+            let mut bus_events: Vec<ServiceEvent> = Vec::new();
+            let mut events_out: u64 = 0;
+            for entry in &out {
+                match entry {
+                    SessionOutput::Event(event) => {
+                        events_out += 1;
+                        if event.alarm.is_some() {
+                            bus_events.push(ServiceEvent::Alarm(AlarmRecord {
+                                session: self.id,
+                                patient: self.patient.clone(),
+                                event: *event,
+                            }));
+                        }
+                    }
+                    SessionOutput::ModelSwapped {
+                        generation,
+                        at_frame,
+                    } => bus_events.push(ServiceEvent::ModelSwapped {
                         session: self.id,
                         patient: self.patient.clone(),
-                        event: *event,
-                    });
+                        generation: *generation,
+                        at_frame: *at_frame,
+                    }),
                 }
             }
             self.counters
                 .events_out
-                .fetch_add(events.len() as u64, Ordering::Relaxed);
-            if !alarms.is_empty() {
+                .fetch_add(events_out, Ordering::Relaxed);
+            let alarms = bus_events
+                .iter()
+                .filter(|e| matches!(e, ServiceEvent::Alarm(_)))
+                .count() as u64;
+            if alarms > 0 {
                 self.counters
                     .alarms_out
-                    .fetch_add(alarms.len() as u64, Ordering::Relaxed);
-                alarm_bus.lock().expect("alarm bus poisoned").extend(alarms);
+                    .fetch_add(alarms, Ordering::Relaxed);
+            }
+            if !bus_events.is_empty() {
+                bus.lock().expect("service bus poisoned").extend(bus_events);
             }
             self.outbox
                 .lock()
                 .expect("session outbox poisoned")
-                .extend(events);
+                .extend(out);
         }
         if worked {
             let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
@@ -357,13 +518,22 @@ impl SessionHandle {
     }
 
     /// Takes every classification event produced so far, in stream order.
+    /// Model-swap markers encountered in the stream are dropped; use
+    /// [`SessionHandle::take_outputs`] to observe them in order.
     pub fn take_events(&self) -> Vec<DetectorEvent> {
-        self.core
-            .outbox
-            .lock()
-            .expect("session outbox poisoned")
-            .drain(..)
-            .collect()
+        take_events(&self.core)
+    }
+
+    /// Takes the session's full ordered output stream: classification
+    /// events interleaved with [`SessionOutput::ModelSwapped`] markers at
+    /// the exact position each hot-swap took effect.
+    pub fn take_outputs(&self) -> Vec<SessionOutput> {
+        take_outputs(&self.core)
+    }
+
+    /// Generation of the model this session is currently running.
+    pub fn generation(&self) -> u64 {
+        self.core.generation.load(Ordering::Acquire)
     }
 
     /// Point-in-time counter snapshot.
@@ -413,12 +583,36 @@ impl SessionHandle {
     }
 }
 
+/// Drains a session's outbox, keeping classification events only.
+fn take_events(core: &SessionCore) -> Vec<DetectorEvent> {
+    take_outputs(core)
+        .into_iter()
+        .filter_map(|output| match output {
+            SessionOutput::Event(event) => Some(event),
+            SessionOutput::ModelSwapped { .. } => None,
+        })
+        .collect()
+}
+
+/// Drains a session's full ordered outbox.
+fn take_outputs(core: &SessionCore) -> Vec<SessionOutput> {
+    core.outbox
+        .lock()
+        .expect("session outbox poisoned")
+        .drain(..)
+        .collect()
+}
+
 /// A read-only view of one session's output: events, stats, progress.
 ///
 /// Created by [`SessionHandle::tap`]; cloneable and independent of the
 /// handle's lifetime (events of a retired session stay takeable). Taking
 /// events from the tap and from the handle drains the same outbox — use
 /// one or the other per session.
+///
+/// The tap's progress signal is the session's **shard** signal: waiting
+/// on it sleeps until this session's own worker advances, never waking on
+/// other shards' drains.
 #[derive(Clone)]
 pub struct EventTap {
     core: Arc<SessionCore>,
@@ -437,13 +631,30 @@ impl EventTap {
     }
 
     /// Takes every classification event produced so far, in stream order.
+    /// Model-swap markers encountered in the stream are dropped; use
+    /// [`EventTap::take_outputs`] to observe them in order.
     pub fn take_events(&self) -> Vec<DetectorEvent> {
-        self.core
-            .outbox
-            .lock()
-            .expect("session outbox poisoned")
-            .drain(..)
-            .collect()
+        take_events(&self.core)
+    }
+
+    /// Takes the session's full ordered output stream: classification
+    /// events interleaved with [`SessionOutput::ModelSwapped`] markers at
+    /// the exact position each hot-swap took effect.
+    pub fn take_outputs(&self) -> Vec<SessionOutput> {
+        take_outputs(&self.core)
+    }
+
+    /// Generation of the model this session is currently running.
+    pub fn generation(&self) -> u64 {
+        self.core.generation.load(Ordering::Acquire)
+    }
+
+    /// Whether a requested hot-swap is staged but not yet applied by the
+    /// session's worker. Useful for draining loops that must not close a
+    /// stream between a swap being staged and its `ModelSwapped` marker
+    /// reaching the outbox.
+    pub fn has_pending_swap(&self) -> bool {
+        self.core.swap_pending()
     }
 
     /// Point-in-time counter snapshot.
@@ -472,15 +683,16 @@ impl EventTap {
             .clone()
     }
 
-    /// The service-wide progress generation; pass to
+    /// This session's shard progress generation; pass to
     /// [`EventTap::wait_progress`].
     pub fn progress_generation(&self) -> u64 {
         self.progress.generation()
     }
 
-    /// Sleeps until any worker makes progress past generation `seen` or
-    /// `timeout` elapses, whichever is first; returns the generation at
-    /// wakeup. The non-spinning way to wait for new events.
+    /// Sleeps until this session's shard worker makes progress past
+    /// generation `seen` or `timeout` elapses, whichever is first;
+    /// returns the generation at wakeup. The non-spinning way to wait
+    /// for new events — drains on *other* shards never wake this.
     pub fn wait_progress(&self, seen: u64, timeout: Duration) -> u64 {
         self.progress.wait_past(seen, timeout)
     }
@@ -521,7 +733,7 @@ mod tests {
         let config = LaelapsConfig::with_dim(64, 1).unwrap();
         let am = AssociativeMemory::from_prototypes(Hypervector::zero(64), Hypervector::ones(64))
             .unwrap();
-        let model = PatientModel::new(config, 2, am).unwrap();
+        let model = PatientModel::new(config.clone(), 2, am).unwrap();
         let detector = Detector::new(&model).unwrap();
         let (tx, rx) = crate::ring::ring(ring_chunks);
         let core = SessionCore {
@@ -529,6 +741,7 @@ mod tests {
             patient: "P-broken".into(),
             electrodes: 4, // detector expects 2 → push_frame errors
             shard: 0,
+            config,
             worker: Mutex::new(WorkerState {
                 detector,
                 rx,
@@ -536,6 +749,8 @@ mod tests {
             }),
             outbox: Mutex::new(VecDeque::new()),
             counters: Default::default(),
+            pending_swap: Mutex::new(None),
+            generation: Default::default(),
             failed_flag: Default::default(),
             done: Default::default(),
         };
@@ -578,7 +793,7 @@ mod tests {
         let config = LaelapsConfig::with_dim(64, 2).unwrap();
         let am = AssociativeMemory::from_prototypes(Hypervector::zero(64), Hypervector::ones(64))
             .unwrap();
-        let model = PatientModel::new(config, 2, am).unwrap();
+        let model = PatientModel::new(config.clone(), 2, am).unwrap();
         let detector = Detector::new(&model).unwrap();
         let (mut tx, rx) = crate::ring::ring(MAX_CHUNKS_PER_DRAIN + 8);
         let core = SessionCore {
@@ -586,6 +801,7 @@ mod tests {
             patient: "P-busy".into(),
             electrodes: 2,
             shard: 0,
+            config,
             worker: Mutex::new(WorkerState {
                 detector,
                 rx,
@@ -593,6 +809,8 @@ mod tests {
             }),
             outbox: Mutex::new(VecDeque::new()),
             counters: Default::default(),
+            pending_swap: Mutex::new(None),
+            generation: Default::default(),
             failed_flag: Default::default(),
             done: Default::default(),
         };

@@ -91,8 +91,27 @@ pub struct SessionStatsEntry {
     /// Worker shard the session is pinned to (chosen least-loaded at
     /// open time).
     pub shard: usize,
+    /// Generation of the model the session is currently running;
+    /// advances when the adaptation engine hot-swaps a retrained model
+    /// into the live stream.
+    pub generation: u64,
     /// The counters.
     pub stats: SessionStats,
+}
+
+/// [`crate::ModelRegistry`] cache counters (see
+/// [`crate::ModelRegistry::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Loads served from the in-memory cache.
+    pub hits: u64,
+    /// Loads that had to read a model file.
+    pub misses: u64,
+    /// Entries dropped by the LRU policy to stay within the cache cap
+    /// (manual evictions are not counted).
+    pub evictions: u64,
+    /// Models currently cached.
+    pub cached_entries: usize,
 }
 
 /// Aggregate service snapshot returned by
@@ -108,6 +127,10 @@ pub struct ServiceStats {
     /// Rows for live sessions only, ordered by session id; a retired
     /// session's counters remain reachable via its handle.
     pub per_session: Vec<SessionStatsEntry>,
+    /// Model-registry cache counters, when the caller attached them via
+    /// [`ServiceStats::with_registry`] (the service itself does not own a
+    /// registry; the adaptation engine's stats always carry this).
+    pub registry: Option<RegistryStats>,
 }
 
 impl ServiceStats {
@@ -125,7 +148,15 @@ impl ServiceStats {
             retired_sessions: retired.sessions,
             totals,
             per_session,
+            registry: None,
         }
+    }
+
+    /// Attaches registry cache counters to this snapshot.
+    #[must_use]
+    pub fn with_registry(mut self, registry: RegistryStats) -> Self {
+        self.registry = Some(registry);
+        self
     }
 }
 
@@ -177,12 +208,14 @@ mod tests {
                     session: 2,
                     patient: "B".into(),
                     shard: 0,
+                    generation: 0,
                     stats: b,
                 },
                 SessionStatsEntry {
                     session: 1,
                     patient: "A".into(),
                     shard: 1,
+                    generation: 0,
                     stats: a,
                 },
             ],

@@ -5,12 +5,13 @@
 //! a flipped bit anywhere in a frame is caught before the payload is
 //! interpreted, and a reader never trusts a length it cannot bound.
 //!
-//! ## Frame layout (wire version 1)
+//! ## Frame layout (wire versions 1 and 2)
 //!
 //! ```text
 //! offset  size  field
 //! 0       2     magic  b"LW"
-//! 2       1     wire format version (1)
+//! 2       1     wire format version (the lowest version carrying the tag:
+//!               1 for the original messages, 2 for Feedback/ModelUpdated)
 //! 3       1     message type tag
 //! 4       4     payload length P (u32 LE), P ≤ 16 MiB
 //! 8       P     payload (all scalars little-endian)
@@ -20,20 +21,25 @@
 //! Readers gate on the version byte *before* verifying the checksum, so a
 //! frame from a future protocol fails with
 //! [`ServeError::VersionMismatch`], not a corruption error — the same
-//! discipline as the model files.
+//! discipline as the model files. Because writers stamp each frame with
+//! the lowest version that carries its tag, an upgraded peer stays fully
+//! interoperable with a version-1 peer until it actually sends a
+//! version-2 message (rolling upgrades).
 //!
 //! ## Messages
 //!
-//! | tag  | message    | direction | payload |
-//! |------|------------|-----------|---------|
-//! | 0x01 | `Hello`    | c → s     | `u32` patient length, patient bytes (ASCII), `u32` electrodes |
-//! | 0x02 | `Frames`   | c → s     | interleaved `f32` samples (length = P / 4) |
-//! | 0x03 | `Close`    | c → s     | empty |
-//! | 0x81 | `Accepted` | s → c     | `u64` session id, `u32` electrodes |
-//! | 0x82 | `Throttle` | s → c     | `u32` queued chunks, `u32` queue capacity |
-//! | 0x83 | `Event`    | s → c     | one [`DetectorEvent`] (below), `alarm` absent |
-//! | 0x84 | `Alarm`    | s → c     | one [`DetectorEvent`] with its alarm record |
-//! | 0xEE | `Error`    | either    | `u32` reason length, UTF-8 reason bytes |
+//! | tag  | message        | direction | payload |
+//! |------|----------------|-----------|---------|
+//! | 0x01 | `Hello`        | c → s     | `u32` patient length, patient bytes (ASCII), `u32` electrodes |
+//! | 0x02 | `Frames`       | c → s     | interleaved `f32` samples (length = P / 4) |
+//! | 0x03 | `Close`        | c → s     | empty |
+//! | 0x04 | `Feedback`     | c → s     | `u8` label (0 interictal / 1 ictal), interleaved `f32` samples |
+//! | 0x81 | `Accepted`     | s → c     | `u64` session id, `u32` electrodes |
+//! | 0x82 | `Throttle`     | s → c     | `u32` queued chunks, `u32` queue capacity |
+//! | 0x83 | `Event`        | s → c     | one [`DetectorEvent`] (below), `alarm` absent |
+//! | 0x84 | `Alarm`        | s → c     | one [`DetectorEvent`] with its alarm record |
+//! | 0x85 | `ModelUpdated` | s → c     | `u64` model generation now running |
+//! | 0xEE | `Error`        | either    | `u32` reason length, UTF-8 reason bytes |
 //!
 //! An event payload is `u64` index, `u64` end sample, `f64` time bits,
 //! `u8` label (0 interictal / 1 ictal), `u64` distance to the interictal
@@ -41,6 +47,13 @@
 //! only — `u64` triggering label index and `f64` mean-Δ bits. Floats ride
 //! as raw IEEE-754 bits for bit-exact parity with an in-process
 //! [`laelaps_core::Detector`].
+//!
+//! `Feedback` carries a clinician-confirmed labeled segment for the
+//! session's patient; the server's adaptation engine folds it into the
+//! model off the hot path and answers — in stream order, at the exact
+//! frame boundary where the hot-swap took effect — with `ModelUpdated`.
+//! A label byte other than 0/1 is rejected as corrupt before the payload
+//! reaches any training code.
 //!
 //! # Examples
 //!
@@ -73,9 +86,12 @@ use crate::persist::Fnv1a;
 /// Magic bytes opening every wire frame.
 pub const WIRE_MAGIC: [u8; 2] = *b"LW";
 
-/// Highest wire format version this build reads and the version it
-/// writes.
-pub const WIRE_VERSION: u8 = 1;
+/// Highest wire format version this build reads. Writers stamp each
+/// frame with the **lowest version that carries its tag** — version-1
+/// messages still go out as version 1, so an upgraded peer keeps
+/// interoperating with a not-yet-upgraded one until it actually uses a
+/// version-2 feature (`Feedback` / `ModelUpdated`).
+pub const WIRE_VERSION: u8 = 2;
 
 /// Frame header length: magic + version + tag + payload length.
 pub const HEADER_LEN: usize = 8;
@@ -92,10 +108,12 @@ pub const MAX_PAYLOAD: usize = 16 << 20;
 const TAG_HELLO: u8 = 0x01;
 const TAG_FRAMES: u8 = 0x02;
 const TAG_CLOSE: u8 = 0x03;
+const TAG_FEEDBACK: u8 = 0x04;
 const TAG_ACCEPTED: u8 = 0x81;
 const TAG_THROTTLE: u8 = 0x82;
 const TAG_EVENT: u8 = 0x83;
 const TAG_ALARM: u8 = 0x84;
+const TAG_MODEL_UPDATED: u8 = 0x85;
 const TAG_ERROR: u8 = 0xEE;
 
 /// One ingest-protocol message; see the [module docs](self) for the
@@ -118,6 +136,16 @@ pub enum Message {
     /// Client → server: no more frames; the server drains, streams the
     /// remaining events, and closes the connection.
     Close,
+    /// Client → server: a clinician-confirmed labeled segment for this
+    /// session's patient, to be folded into the model by the server's
+    /// adaptation engine (answered later by [`Message::ModelUpdated`]).
+    Feedback {
+        /// The confirmed brain-state label of the segment.
+        label: Label,
+        /// Interleaved frame-major samples; length must divide by the
+        /// session's electrode count.
+        chunk: Box<[f32]>,
+    },
     /// Server → client: the `Hello` was accepted and a session is live.
     Accepted {
         /// Session id within the serving process.
@@ -145,6 +173,14 @@ pub enum Message {
         /// The event; `event.alarm` is always `Some`.
         event: DetectorEvent,
     },
+    /// Server → client: the session's detector was hot-swapped to a new
+    /// model generation. Sent in stream order: every `Event`/`Alarm`
+    /// before it came from the previous model, every one after it from
+    /// the new model.
+    ModelUpdated {
+        /// Generation of the model now running.
+        generation: u64,
+    },
     /// Either direction: the sender hit a fatal condition; the stream is
     /// over.
     Error {
@@ -159,10 +195,12 @@ impl Message {
             Message::Hello { .. } => TAG_HELLO,
             Message::Frames { .. } => TAG_FRAMES,
             Message::Close => TAG_CLOSE,
+            Message::Feedback { .. } => TAG_FEEDBACK,
             Message::Accepted { .. } => TAG_ACCEPTED,
             Message::Throttle { .. } => TAG_THROTTLE,
             Message::Event { .. } => TAG_EVENT,
             Message::Alarm { .. } => TAG_ALARM,
+            Message::ModelUpdated { .. } => TAG_MODEL_UPDATED,
             Message::Error { .. } => TAG_ERROR,
         }
     }
@@ -185,6 +223,13 @@ impl Message {
                 }
             }
             Message::Close => {}
+            Message::Feedback { label, chunk } => {
+                out.reserve(1 + chunk.len() * 4);
+                out.push(label.is_ictal() as u8);
+                for &sample in chunk.iter() {
+                    out.extend_from_slice(&sample.to_le_bytes());
+                }
+            }
             Message::Accepted {
                 session,
                 electrodes,
@@ -211,6 +256,9 @@ impl Message {
                     out.extend_from_slice(&alarm.mean_delta.to_bits().to_le_bytes());
                 }
             }
+            Message::ModelUpdated { generation } => {
+                out.extend_from_slice(&generation.to_le_bytes());
+            }
             Message::Error { reason } => {
                 out.extend_from_slice(&(reason.len() as u32).to_le_bytes());
                 out.extend_from_slice(reason.as_bytes());
@@ -226,6 +274,16 @@ fn corrupt(reason: impl Into<String>) -> ServeError {
     }
 }
 
+/// The lowest wire version whose readers understand `tag` — what the
+/// writer stamps, so frames using only version-1 features stay readable
+/// by version-1 peers (rolling upgrades).
+fn version_for_tag(tag: u8) -> u8 {
+    match tag {
+        TAG_FEEDBACK | TAG_MODEL_UPDATED => 2,
+        _ => 1,
+    }
+}
+
 /// Encodes `message` into one complete wire frame.
 ///
 /// Does not enforce [`MAX_PAYLOAD`]; use [`write_message`], which
@@ -235,7 +293,7 @@ pub fn encode_message(message: &Message) -> Vec<u8> {
     let payload = message.payload();
     let mut frame = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
     frame.extend_from_slice(&WIRE_MAGIC);
-    frame.push(WIRE_VERSION);
+    frame.push(version_for_tag(message.tag()));
     frame.push(message.tag());
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&payload);
@@ -406,6 +464,26 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message> {
             Message::Frames { chunk }
         }
         TAG_CLOSE => Message::Close,
+        TAG_FEEDBACK => {
+            let label = match cursor.u8()? {
+                0 => Label::Interictal,
+                1 => Label::Ictal,
+                other => {
+                    return Err(corrupt(format!(
+                        "unknown feedback label byte 0x{other:02x}"
+                    )))
+                }
+            };
+            let samples = cursor.take(payload.len() - 1)?;
+            if !samples.len().is_multiple_of(4) {
+                return Err(corrupt("feedback payload is not whole f32 samples"));
+            }
+            let chunk: Box<[f32]> = samples
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect();
+            Message::Feedback { label, chunk }
+        }
         TAG_ACCEPTED => Message::Accepted {
             session: cursor.u64()?,
             electrodes: cursor.u32()?,
@@ -450,6 +528,9 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message> {
                 Message::Event { event }
             }
         }
+        TAG_MODEL_UPDATED => Message::ModelUpdated {
+            generation: cursor.u64()?,
+        },
         TAG_ERROR => {
             let len = cursor.u32()? as usize;
             let reason = String::from_utf8(cursor.take(len)?.to_vec())
@@ -505,10 +586,19 @@ mod tests {
                 chunk: vec![0.0, -1.5, f32::MIN_POSITIVE, 3.25].into(),
             },
             Message::Close,
+            Message::Feedback {
+                label: Label::Ictal,
+                chunk: vec![1.0, -2.5, 0.125].into(),
+            },
+            Message::Feedback {
+                label: Label::Interictal,
+                chunk: Box::new([]),
+            },
             Message::Accepted {
                 session: u64::MAX,
                 electrodes: 4,
             },
+            Message::ModelUpdated { generation: 7 },
             Message::Throttle {
                 queued_chunks: 64,
                 capacity_chunks: 64,

@@ -268,6 +268,82 @@ fn flush_on_an_idle_service_returns_immediately() {
     );
 }
 
+/// Per-shard progress regression: an idle shard's event pump must not be
+/// woken by another shard's drain batches. Before the progress signal was
+/// split per shard, every drain on any shard woke every waiter —
+/// O(connections) spurious wakeups per batch at fleet scale.
+#[test]
+fn idle_shards_event_pump_is_not_woken_by_another_shards_progress() {
+    let model = trained_model(61);
+    let service = DetectionService::new(ServeConfig {
+        workers: 2,
+        ring_chunks: 8,
+    });
+    // Two sessions on level shards: least-loaded placement puts them on
+    // shards 0 and 1 (asserted below, not assumed).
+    let mut busy = service.open_session("P-busy", &model).unwrap();
+    let idle = service.open_session("P-idle", &model).unwrap();
+    let shard_of = |session: u64| {
+        service
+            .stats()
+            .per_session
+            .iter()
+            .find(|e| e.session == session)
+            .expect("session is live")
+            .shard
+    };
+    assert_ne!(shard_of(busy.id()), shard_of(idle.id()));
+
+    let tap = idle.tap();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let counter = {
+        let stop = std::sync::Arc::clone(&stop);
+        let tap = tap.clone();
+        std::thread::spawn(move || {
+            // Count how many times the idle session's progress signal
+            // moves while the other shard churns. With per-shard signals
+            // this must be zero: the idle shard's worker never finds
+            // work, so it never bumps its own generation.
+            let mut wakeups = 0u64;
+            let mut seen = tap.progress_generation();
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let now = tap.wait_progress(seen, std::time::Duration::from_millis(20));
+                if now != seen {
+                    wakeups += 1;
+                    seen = now;
+                }
+            }
+            wakeups
+        })
+    };
+
+    // Churn the busy shard: many small chunks, each drain batch bumping
+    // that shard's progress.
+    for _ in 0..200 {
+        let mut pending: Box<[f32]> = vec![0.0f32; 4 * 64].into();
+        loop {
+            match busy.try_push_chunk(pending) {
+                Ok(()) => break,
+                Err(PushError::Full(back)) => {
+                    pending = back;
+                    std::thread::yield_now();
+                }
+                Err(e) => panic!("unexpected push error: {e}"),
+            }
+        }
+    }
+    busy.close();
+    service.flush();
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let wakeups = counter.join().expect("counter thread survives");
+    assert_eq!(
+        wakeups, 0,
+        "idle shard's waiter was woken {wakeups} times by the busy shard"
+    );
+    // Sanity: the busy shard really did work the whole time.
+    assert_eq!(busy.stats().frames_processed, 200 * 64);
+}
+
 /// Refused pushes (closed/failed session) are counted, so offered load
 /// is always `frames_in + frames_dropped + frames_refused`.
 #[test]

@@ -7,11 +7,13 @@ mod common;
 
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 use common::{interleave, trained_model, two_state_signal};
-use laelaps_core::Detector;
+use laelaps_core::{Detector, Label};
+use laelaps_serve::adapt::AdaptationEngine;
 use laelaps_serve::net::{IngestClient, IngestServer};
-use laelaps_serve::wire::{read_message, write_message, Message};
+use laelaps_serve::wire::{read_message, write_message, Message, WIRE_VERSION};
 use laelaps_serve::{DetectionService, ModelRegistry, ServeConfig, ServeError};
 
 fn registry_with_models(tag: &str, patients: usize) -> (Arc<ModelRegistry>, Vec<String>) {
@@ -177,6 +179,246 @@ fn protocol_violations_come_back_as_wire_errors() {
         Some(other) => panic!("expected Error, got {other:?}"),
         None => panic!("stream closed without an Error frame"),
     }
+    let _ = std::fs::remove_dir_all(registry.dir());
+}
+
+/// Appends the FNV-1a 64 checksum over the current frame bytes (for
+/// hand-built hostile frames).
+fn seal(frame: &mut Vec<u8>) {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in frame.iter() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    frame.extend_from_slice(&hash.to_le_bytes());
+}
+
+/// Opens a raw connection, performs the handshake, and returns the
+/// stream positioned after `Accepted`, with a read timeout so a server
+/// hang fails the test instead of wedging it.
+fn raw_handshake(server: &IngestServer, patient: &str) -> TcpStream {
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut write_half = stream.try_clone().unwrap();
+    write_message(
+        &mut write_half,
+        &Message::Hello {
+            patient: patient.into(),
+            electrodes: 4,
+        },
+    )
+    .unwrap();
+    let mut read_half = stream.try_clone().unwrap();
+    assert!(matches!(
+        read_message(&mut read_half).unwrap(),
+        Some(Message::Accepted { .. })
+    ));
+    stream
+}
+
+/// Reads server messages until the `Error` frame, skipping any events
+/// that were already in flight.
+fn expect_error(stream: &mut TcpStream, needle: &str) {
+    loop {
+        match read_message(stream).unwrap() {
+            Some(Message::Error { reason }) => {
+                assert!(
+                    reason.contains(needle),
+                    "reason {reason:?} lacks {needle:?}"
+                );
+                return;
+            }
+            Some(Message::Event { .. }) | Some(Message::Alarm { .. }) => {}
+            Some(other) => panic!("expected Error, got {other:?}"),
+            None => panic!("stream closed without an Error frame"),
+        }
+    }
+}
+
+/// Wire-hardening over a live connection: an unknown message tag must
+/// come back as a clean protocol `Error` — never a panic or a hang.
+#[test]
+fn unknown_tag_on_a_live_connection_earns_a_wire_error() {
+    let (registry, ids) = registry_with_models("hostile-tag", 1);
+    let service = Arc::new(DetectionService::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    }));
+    let server = IngestServer::bind("127.0.0.1:0", service, Arc::clone(&registry)).unwrap();
+    let mut stream = raw_handshake(&server, &ids[0]);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"LW");
+    frame.push(WIRE_VERSION);
+    frame.push(0x7C); // no such tag
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    seal(&mut frame);
+    use std::io::Write;
+    stream.write_all(&frame).unwrap();
+    expect_error(&mut stream, "unknown message type");
+    let _ = std::fs::remove_dir_all(registry.dir());
+}
+
+/// Zero-length `Frames` payloads violate the session's width contract:
+/// clean protocol `Error`, not a hang.
+#[test]
+fn zero_length_frames_payload_earns_a_wire_error() {
+    let (registry, ids) = registry_with_models("hostile-empty", 1);
+    let service = Arc::new(DetectionService::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    }));
+    let server = IngestServer::bind("127.0.0.1:0", service, Arc::clone(&registry)).unwrap();
+    let mut stream = raw_handshake(&server, &ids[0]);
+    write_message(
+        &mut stream.try_clone().unwrap(),
+        &Message::Frames {
+            chunk: Box::new([]),
+        },
+    )
+    .unwrap();
+    expect_error(&mut stream, "does not divide");
+    let _ = std::fs::remove_dir_all(registry.dir());
+}
+
+/// A `Feedback` frame with an out-of-range label byte is rejected as
+/// corrupt before any payload interpretation: clean `Error`, no panic.
+#[test]
+fn feedback_with_out_of_range_label_earns_a_wire_error() {
+    let (registry, ids) = registry_with_models("hostile-label", 1);
+    let service = Arc::new(DetectionService::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    }));
+    let registry2 = Arc::clone(&registry);
+    let engine = Arc::new(AdaptationEngine::new(Arc::clone(&service), registry2));
+    let server =
+        IngestServer::bind_with_engine("127.0.0.1:0", service, Arc::clone(&registry), engine)
+            .unwrap();
+    let mut stream = raw_handshake(&server, &ids[0]);
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"LW");
+    frame.push(WIRE_VERSION);
+    frame.push(0x04); // Feedback
+    frame.extend_from_slice(&5u32.to_le_bytes());
+    frame.push(9); // label byte out of range
+    frame.extend_from_slice(&0.5f32.to_le_bytes());
+    seal(&mut frame);
+    use std::io::Write;
+    stream.write_all(&frame).unwrap();
+    expect_error(&mut stream, "label");
+    let _ = std::fs::remove_dir_all(registry.dir());
+}
+
+/// Feedback sent to a server without an adaptation engine is refused
+/// with a protocol error naming the problem.
+#[test]
+fn feedback_without_an_engine_is_a_protocol_error() {
+    let (registry, ids) = registry_with_models("no-engine", 1);
+    let service = Arc::new(DetectionService::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    }));
+    let server = IngestServer::bind("127.0.0.1:0", service, Arc::clone(&registry)).unwrap();
+    let mut stream = raw_handshake(&server, &ids[0]);
+    write_message(
+        &mut stream.try_clone().unwrap(),
+        &Message::Feedback {
+            label: Label::Ictal,
+            chunk: vec![0.0f32; 4 * 512].into(),
+        },
+    )
+    .unwrap();
+    expect_error(&mut stream, "adaptation engine");
+    let _ = std::fs::remove_dir_all(registry.dir());
+}
+
+/// The full remote loop: a TCP producer streams, sends confirmed-seizure
+/// feedback, receives `ModelUpdated` at the exact stream boundary, and
+/// the rest of its event stream is byte-identical to a bare detector
+/// built from the published generation-1 model.
+#[test]
+fn tcp_feedback_retrains_hot_swaps_and_streams_model_updated() {
+    let (registry, ids) = registry_with_models("adapt-loop", 1);
+    let service = Arc::new(DetectionService::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    }));
+    let engine = Arc::new(AdaptationEngine::new(
+        Arc::clone(&service),
+        Arc::clone(&registry),
+    ));
+    let server = IngestServer::bind_with_engine(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        Arc::clone(&registry),
+        Arc::clone(&engine),
+    )
+    .unwrap();
+    let patient = &ids[0];
+    let model_a = registry.load(patient).unwrap();
+
+    // Phase 1 background, then feedback, then phase 2 with a seizure
+    // comfortably past the swap point.
+    let phase1 = two_state_signal(4, 512 * 20, 0..0, 660);
+    let phase2 = two_state_signal(4, 512 * 30, 512 * 10..512 * 22, 661);
+    let confirmed = two_state_signal(4, 512 * 16, 0..512 * 16, 662);
+    let full: Vec<Vec<f32>> = phase1
+        .iter()
+        .zip(&phase2)
+        .map(|(a, b)| {
+            let mut ch = a.clone();
+            ch.extend_from_slice(b);
+            ch
+        })
+        .collect();
+
+    let mut client = IngestClient::connect(server.local_addr(), patient, 4).unwrap();
+    for chunk in interleave(&phase1).chunks(256 * 4) {
+        client.send_chunk(chunk).unwrap();
+    }
+    // Wait until the server has streamed back every phase-1 event: all
+    // phase-1 frames are then processed, so the upcoming swap barrier
+    // lands exactly at the phase boundary.
+    let expected_phase1 = Detector::new(&model_a).unwrap().run(&phase1).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while client.events_seen() < expected_phase1.len() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "phase 1 never drained"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    client
+        .send_feedback(Label::Ictal, &interleave(&confirmed))
+        .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while client.model_updates_seen() == 0 {
+        assert!(std::time::Instant::now() < deadline, "no ModelUpdated");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(client.model_generation(), Some(1));
+
+    for chunk in interleave(&phase2).chunks(256 * 4) {
+        client.send_chunk(chunk).unwrap();
+    }
+    let events = client.finish().unwrap();
+
+    // The published generation-1 model is what a fresh reader loads.
+    registry.evict(patient);
+    let model_b = registry.load(patient).unwrap();
+    assert_eq!(model_b.generation(), 1);
+    let expected_full_b = Detector::new(&model_b).unwrap().run(&full).unwrap();
+    let n1 = expected_phase1.len();
+    assert_eq!(&events[..n1], &expected_phase1[..], "pre-swap events");
+    assert_eq!(&events[n1..], &expected_full_b[n1..], "post-swap events");
+    assert!(events[n1..].iter().any(|e| e.alarm.is_some()));
+    assert_eq!(engine.stats().retrains, 1);
+    assert_eq!(engine.stats().failures, 0, "{:?}", engine.last_error());
+
+    drop(server);
     let _ = std::fs::remove_dir_all(registry.dir());
 }
 

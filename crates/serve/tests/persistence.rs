@@ -87,11 +87,11 @@ fn bad_magic_is_rejected() {
 #[test]
 fn future_version_is_rejected_as_version_mismatch() {
     let bytes = saved_bytes();
-    // Patch the ASCII `"format":1` in the header to a future version.
-    let needle = b"\"format\":1";
+    // Patch the ASCII `"format":N` in the header to a future version.
+    let needle = format!("\"format\":{}", laelaps_serve::FORMAT_VERSION).into_bytes();
     let pos = bytes
         .windows(needle.len())
-        .position(|w| w == needle)
+        .position(|w| w == needle.as_slice())
         .expect("header carries the format field");
     let mut patched = bytes.clone();
     patched[pos + needle.len() - 1] = b'9';
@@ -102,7 +102,7 @@ fn future_version_is_rejected_as_version_mismatch() {
             err,
             ServeError::VersionMismatch {
                 found: 9,
-                supported: 1,
+                supported: laelaps_serve::FORMAT_VERSION,
             }
         ),
         "{err}"
@@ -117,8 +117,9 @@ fn version_beyond_u32_is_reported_exactly() {
     let header_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
     let header = std::str::from_utf8(&bytes[12..12 + header_len]).unwrap();
     let huge = (u32::MAX as u64) + 2; // 4294967297
+    let current = format!("\"format\":{}", laelaps_serve::FORMAT_VERSION);
     let patched_header = header
-        .replace("\"format\":1", &format!("\"format\":{huge}"))
+        .replace(&current, &format!("\"format\":{huge}"))
         .into_bytes();
     assert_ne!(
         patched_header.len(),
@@ -135,7 +136,8 @@ fn version_beyond_u32_is_reported_exactly() {
     assert!(
         matches!(
             err,
-            ServeError::VersionMismatch { found, supported: 1 } if found == huge
+            ServeError::VersionMismatch { found, supported: laelaps_serve::FORMAT_VERSION }
+                if found == huge
         ),
         "{err}"
     );

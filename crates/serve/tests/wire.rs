@@ -183,6 +183,82 @@ fn oversized_messages_are_refused_before_hitting_the_wire() {
 }
 
 #[test]
+fn feedback_with_out_of_range_label_is_corrupt() {
+    // Hand-build a Feedback frame whose label byte is neither 0 nor 1.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"LW");
+    frame.push(WIRE_VERSION);
+    frame.push(0x04); // Feedback tag
+    frame.extend_from_slice(&9u32.to_le_bytes()); // label + 2 samples
+    frame.push(7); // out-of-range label
+    frame.extend_from_slice(&1.0f32.to_le_bytes());
+    frame.extend_from_slice(&2.0f32.to_le_bytes());
+    seal(&mut frame);
+    let err = read_message(&mut frame.as_slice()).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Corrupt { ref reason } if reason.contains("label")),
+        "{err}"
+    );
+}
+
+#[test]
+fn feedback_payload_must_be_whole_samples() {
+    // Label byte + 6 bytes of samples: not whole f32s.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"LW");
+    frame.push(WIRE_VERSION);
+    frame.push(0x04);
+    frame.extend_from_slice(&7u32.to_le_bytes());
+    frame.push(1);
+    frame.extend_from_slice(&[1, 2, 3, 4, 5, 6]);
+    seal(&mut frame);
+    assert!(matches!(
+        read_message(&mut frame.as_slice()).unwrap_err(),
+        ServeError::Corrupt { ref reason } if reason.contains("whole f32")
+    ));
+    // An entirely empty Feedback payload (no label byte) is short.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"LW");
+    frame.push(WIRE_VERSION);
+    frame.push(0x04);
+    frame.extend_from_slice(&0u32.to_le_bytes());
+    seal(&mut frame);
+    assert!(matches!(
+        read_message(&mut frame.as_slice()).unwrap_err(),
+        ServeError::Corrupt { ref reason } if reason.contains("shorter")
+    ));
+}
+
+#[test]
+fn version_stamping_supports_rolling_upgrades() {
+    // Version-1 messages still go out stamped as version 1, so a
+    // not-yet-upgraded peer (which rejects version > 1) keeps reading
+    // everything an upgraded peer sends until a v2 feature is used.
+    let frame = hello_frame();
+    assert_eq!(frame[2], 1, "Hello is a version-1 message");
+    assert!(matches!(
+        read_message(&mut frame.as_slice()).unwrap(),
+        Some(Message::Hello { electrodes: 23, .. })
+    ));
+    // The adaptation messages are the version-2 surface.
+    let feedback = encode_message(&Message::Feedback {
+        label: laelaps_core::Label::Ictal,
+        chunk: vec![0.0f32; 4].into(),
+    });
+    assert_eq!(feedback[2], WIRE_VERSION);
+    let updated = encode_message(&Message::ModelUpdated { generation: 3 });
+    assert_eq!(updated[2], WIRE_VERSION);
+    // And a frame explicitly stamped 2 with a v1 tag still reads.
+    let mut frame = hello_frame();
+    frame[2] = WIRE_VERSION;
+    reseal(&mut frame);
+    assert!(matches!(
+        read_message(&mut frame.as_slice()).unwrap(),
+        Some(Message::Hello { .. })
+    ));
+}
+
+#[test]
 fn back_to_back_frames_parse_in_order_and_eof_is_clean() {
     let mut stream = Vec::new();
     let chunk: Box<[f32]> = (0..256).map(|i| i as f32 * 0.5).collect();
