@@ -1,0 +1,217 @@
+//! The limb-major query arena.
+
+use laelaps_core::hv::{limbs_for, Hypervector};
+
+/// A block of packed query vectors in **limb-major** layout: limb `l` of
+/// every query is contiguous (`data[l * capacity + q]`), so a backend
+/// can hold one prototype limb in a register and sweep a whole row of
+/// queries with XOR + popcount. See the crate docs for the layout
+/// diagram.
+///
+/// Slots are assigned in push order and identify each query's
+/// [`crate::Classification`] in a backend's output. A block is reusable:
+/// [`QueryBlock::clear`] drops the queries but keeps the allocation, the
+/// idiom for a per-shard arena refilled every drain pass.
+#[derive(Debug, Clone)]
+pub struct QueryBlock {
+    dim: usize,
+    limbs: usize,
+    capacity: usize,
+    len: usize,
+    /// `limbs * capacity` entries; entry `(l, q)` at `l * capacity + q`.
+    /// Only columns `q < len` hold queries.
+    data: Vec<u64>,
+}
+
+impl QueryBlock {
+    /// An empty block for queries of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        Self::with_capacity(dim, 0)
+    }
+
+    /// An empty block with room for `capacity` queries before the first
+    /// regrowth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn with_capacity(dim: usize, capacity: usize) -> Self {
+        assert!(dim > 0, "query dimension must be nonzero");
+        let limbs = limbs_for(dim);
+        QueryBlock {
+            dim,
+            limbs,
+            capacity,
+            len: 0,
+            data: vec![0u64; limbs * capacity],
+        }
+    }
+
+    /// Query dimension `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Limbs per query (`⌈d/64⌉`).
+    #[inline]
+    pub fn limbs(&self) -> usize {
+        self.limbs
+    }
+
+    /// Queries currently in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block holds no queries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queries the block can hold before regrowing.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a query, returning its slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's dimension differs from the block's.
+    pub fn push(&mut self, query: &Hypervector) -> usize {
+        assert_eq!(
+            query.dim(),
+            self.dim,
+            "query dimension mismatch: {} vs block {}",
+            query.dim(),
+            self.dim
+        );
+        if self.len == self.capacity {
+            self.grow();
+        }
+        let slot = self.len;
+        for (l, &limb) in query.limbs().iter().enumerate() {
+            self.data[l * self.capacity + slot] = limb;
+        }
+        self.len += 1;
+        slot
+    }
+
+    /// Drops every query, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Limb row `l`: limb `l` of queries `0..len`, contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.limbs()`.
+    #[inline]
+    pub fn limb_row(&self, l: usize) -> &[u64] {
+        let start = l * self.capacity;
+        &self.data[start..start + self.len]
+    }
+
+    /// Reconstructs the query at `slot` (a strided gather — test and
+    /// reference-backend plumbing, not a hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= self.len()`.
+    pub fn get(&self, slot: usize) -> Hypervector {
+        assert!(
+            slot < self.len,
+            "slot {slot} out of range (len {})",
+            self.len
+        );
+        let limbs: Vec<u64> = (0..self.limbs)
+            .map(|l| self.data[l * self.capacity + slot])
+            .collect();
+        Hypervector::from_limbs(self.dim, limbs).expect("pushed queries have zero padding bits")
+    }
+
+    /// Doubles the capacity, re-striding every limb row.
+    fn grow(&mut self) {
+        let new_capacity = (self.capacity * 2).max(8);
+        let mut data = vec![0u64; self.limbs * new_capacity];
+        for l in 0..self.limbs {
+            let old = l * self.capacity;
+            let new = l * new_capacity;
+            data[new..new + self.len].copy_from_slice(&self.data[old..old + self.len]);
+        }
+        self.data = data;
+        self.capacity = new_capacity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn push_get_roundtrip_across_growth() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dim in [1usize, 63, 64, 70, 129, 1000] {
+            let mut block = QueryBlock::new(dim);
+            let queries: Vec<_> = (0..37)
+                .map(|_| Hypervector::random(dim, &mut rng))
+                .collect();
+            for (i, q) in queries.iter().enumerate() {
+                assert_eq!(block.push(q), i);
+            }
+            assert_eq!(block.len(), 37);
+            for (i, q) in queries.iter().enumerate() {
+                assert_eq!(&block.get(i), q, "dim {dim} slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn limb_rows_are_column_slices() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dim = 130; // 3 limbs, ragged tail
+        let mut block = QueryBlock::with_capacity(dim, 4);
+        let queries: Vec<_> = (0..9).map(|_| Hypervector::random(dim, &mut rng)).collect();
+        for q in &queries {
+            block.push(q);
+        }
+        for l in 0..block.limbs() {
+            let row = block.limb_row(l);
+            assert_eq!(row.len(), 9);
+            for (q, query) in queries.iter().enumerate() {
+                assert_eq!(row[q], query.limbs()[l]);
+            }
+        }
+    }
+
+    #[test]
+    fn clear_keeps_allocation() {
+        let mut block = QueryBlock::new(64);
+        block.push(&Hypervector::ones(64));
+        let capacity = block.capacity();
+        block.clear();
+        assert!(block.is_empty());
+        assert_eq!(block.capacity(), capacity);
+        // Stale data from before the clear must not leak into new slots.
+        block.push(&Hypervector::zero(64));
+        assert_eq!(block.get(0), Hypervector::zero(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn push_rejects_wrong_dim() {
+        let mut block = QueryBlock::new(64);
+        block.push(&Hypervector::zero(65));
+    }
+}

@@ -1,0 +1,98 @@
+//! # laelaps-batch
+//!
+//! Batched Hamming classification for the Laelaps associative memory:
+//! many query windows, classified against a model's prototype pair in
+//! one bit-packed pass.
+//!
+//! The paper's deployment (§V, Fig. 2, Table II) earns its throughput by
+//! processing many windows per kernel launch over bit-packed words. The
+//! per-frame serving path instead calls
+//! [`laelaps_core::AssociativeMemory::classify`] once per window — one
+//! query vector walked limb by limb, prototypes re-read every call. This
+//! crate provides the batched layout and engines that close that gap:
+//!
+//! * [`QueryBlock`] — a **limb-major** arena of packed queries;
+//! * [`ClassifyBackend`] — the pluggable classification engine trait;
+//! * [`ScalarBackend`] — the per-query reference (bit-exact against
+//!   `AssociativeMemory::classify` by construction);
+//! * [`BlockedBackend`] — the word-parallel engine: prototypes stay
+//!   resident while whole limb rows stream through XOR + popcount.
+//!
+//! ## Layout: query-major vs limb-major
+//!
+//! A `Hypervector` stores its `d` bits in `L = ⌈d/64⌉` u64 limbs. The
+//! natural arena for `n` queries is query-major — each query's limbs
+//! contiguous:
+//!
+//! ```text
+//! query-major (one Hypervector per row)
+//!         limb 0   limb 1   limb 2  …  limb L-1
+//! q0    [ q0.l0  | q0.l1  | q0.l2  …  q0.lL-1 ]
+//! q1    [ q1.l0  | q1.l1  | q1.l2  …  q1.lL-1 ]
+//! …
+//! ```
+//!
+//! Classifying in that layout re-loads the prototype limb stream once
+//! per query. [`QueryBlock`] transposes to **limb-major** — each *limb
+//! row* contiguous across queries:
+//!
+//! ```text
+//! limb-major (QueryBlock; row stride = capacity)
+//!           q0      q1      q2    …  qn-1
+//! limb 0 [ q0.l0 | q1.l0 | q2.l0 …  qn-1.l0 ]   ⊕ P[0], popcount, add
+//! limb 1 [ q0.l1 | q1.l1 | q2.l1 …  qn-1.l1 ]   ⊕ P[1], popcount, add
+//! …
+//! ```
+//!
+//! so one prototype limb is loaded into a register and swept across the
+//! whole row — the CPU transliteration of the paper's GPU kernel, where
+//! a warp holds the prototype word while striding over windows. Distance
+//! accumulators live per query and the inner loop is a straight-line
+//! XOR/popcount/add over contiguous memory that the compiler can
+//! vectorize.
+//!
+//! ## Exactness
+//!
+//! Every backend must reproduce `AssociativeMemory::classify` bit for
+//! bit — distances, tie handling (ties label interictal), and Δ. The
+//! crate's property tests drive random cohorts through [`ScalarBackend`]
+//! and [`BlockedBackend`] and require identical [`Classification`]s;
+//! `laelaps-serve` builds its batched hot path on that guarantee.
+//!
+//! ```
+//! use laelaps_batch::{BlockedBackend, ClassifyBackend, QueryBlock};
+//! use laelaps_core::hv::Hypervector;
+//! use laelaps_core::AssociativeMemory;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let am = AssociativeMemory::from_prototypes(
+//!     Hypervector::random(1000, &mut rng),
+//!     Hypervector::random(1000, &mut rng),
+//! )?;
+//! let mut block = QueryBlock::new(1000);
+//! let queries: Vec<_> = (0..16).map(|_| Hypervector::random(1000, &mut rng)).collect();
+//! for q in &queries {
+//!     block.push(q);
+//! }
+//! let mut out = Vec::new();
+//! BlockedBackend.classify_block(&am, &block, &mut out);
+//! for (q, c) in queries.iter().zip(&out) {
+//!     assert_eq!(*c, am.classify(q));
+//! }
+//! # Ok::<(), laelaps_core::LaelapsError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backend;
+mod block;
+
+pub use backend::{BlockedBackend, ClassifyBackend, ScalarBackend};
+pub use block::QueryBlock;
+
+// Re-exported so backend implementors and callers share one vocabulary
+// without importing laelaps-core separately.
+pub use laelaps_core::am::Classification;
+pub use laelaps_core::AssociativeMemory;

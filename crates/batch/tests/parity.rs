@@ -1,0 +1,120 @@
+//! Property tests: every backend is bit-exact against
+//! `AssociativeMemory::classify` over random cohorts of models and
+//! query backlogs.
+
+use laelaps_batch::{
+    AssociativeMemory, BlockedBackend, Classification, ClassifyBackend, QueryBlock, ScalarBackend,
+};
+use laelaps_core::hv::Hypervector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Dimensions crossing word (32) and limb (64) alignment boundaries.
+fn arb_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        (1usize..=130).boxed(),
+        Just(192usize).boxed(),
+        Just(1000usize).boxed(), // the paper's deployment d
+        Just(2048usize).boxed(),
+    ]
+}
+
+fn random_am(dim: usize, rng: &mut StdRng) -> AssociativeMemory {
+    AssociativeMemory::from_prototypes(Hypervector::random(dim, rng), Hypervector::random(dim, rng))
+        .unwrap()
+}
+
+/// Reference classification of a backlog: one `classify` call per query.
+fn reference(am: &AssociativeMemory, queries: &[Hypervector]) -> Vec<Classification> {
+    queries.iter().map(|q| am.classify(q)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cohort_parity_scalar_and_blocked(
+        dim in arb_dim(),
+        models in 1usize..6,
+        backlog in 0usize..40,
+        seed in any::<u64>()
+    ) {
+        // A cohort of `models` sessions, each with its own prototypes and
+        // its own frame backlog — every (model, backlog) pair must agree
+        // with per-query classify under both backends.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..models {
+            let am = random_am(dim, &mut rng);
+            let queries: Vec<Hypervector> =
+                (0..backlog).map(|_| Hypervector::random(dim, &mut rng)).collect();
+            let mut block = QueryBlock::new(dim);
+            for q in &queries {
+                block.push(q);
+            }
+            let expected = reference(&am, &queries);
+            for backend in [&ScalarBackend as &dyn ClassifyBackend, &BlockedBackend] {
+                let mut got = Vec::new();
+                backend.classify_block(&am, &block, &mut got);
+                prop_assert_eq!(&got, &expected, "{} dim {}", backend.name(), dim);
+            }
+        }
+    }
+
+    #[test]
+    fn parity_across_generation_boundary(
+        dim in arb_dim(),
+        before in 0usize..20,
+        after in 0usize..20,
+        seed in any::<u64>()
+    ) {
+        // A mid-batch hot-swap splits a session's backlog into two runs
+        // keyed by different models; classifying each run against its
+        // model must equal the per-query sequence a per-frame detector
+        // (classify, swap, classify) would produce.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let old_am = random_am(dim, &mut rng);
+        let new_am = random_am(dim, &mut rng);
+        let backlog: Vec<Hypervector> = (0..before + after)
+            .map(|_| Hypervector::random(dim, &mut rng))
+            .collect();
+        let mut expected = reference(&old_am, &backlog[..before]);
+        expected.extend(reference(&new_am, &backlog[before..]));
+
+        let mut got = Vec::new();
+        for (am, span) in [(&old_am, &backlog[..before]), (&new_am, &backlog[before..])] {
+            let mut block = QueryBlock::new(dim);
+            for q in span {
+                block.push(q);
+            }
+            BlockedBackend.classify_block(am, &block, &mut got);
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn blocked_reuses_cleared_blocks_exactly(
+        dim in arb_dim(),
+        first in 1usize..24,
+        second in 1usize..24,
+        seed in any::<u64>()
+    ) {
+        // clear() + refill (the per-pass arena idiom in laelaps-serve)
+        // must leave no trace of the previous pass's queries.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let am = random_am(dim, &mut rng);
+        let mut block = QueryBlock::new(dim);
+        for _ in 0..first {
+            block.push(&Hypervector::random(dim, &mut rng));
+        }
+        block.clear();
+        let queries: Vec<Hypervector> =
+            (0..second).map(|_| Hypervector::random(dim, &mut rng)).collect();
+        for q in &queries {
+            block.push(q);
+        }
+        let mut got = Vec::new();
+        BlockedBackend.classify_block(&am, &block, &mut got);
+        prop_assert_eq!(got, reference(&am, &queries));
+    }
+}

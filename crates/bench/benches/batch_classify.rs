@@ -1,0 +1,74 @@
+//! Throughput of the batched Hamming-classification backends: a cohort
+//! of `sessions` models, each with a `backlog` of pending windows,
+//! classified in one pass — scalar per-query dispatch vs the blocked
+//! word-parallel sweep. The acceptance bar for the batched serving path
+//! is blocked ≥ 1.5× scalar at backlog ≥ 8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use laelaps_batch::{
+    AssociativeMemory, BlockedBackend, ClassifyBackend, QueryBlock, ScalarBackend,
+};
+use laelaps_core::hv::Hypervector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// One session's batch work: its prototypes plus its packed backlog.
+fn cohort(dim: usize, sessions: usize, backlog: usize) -> Vec<(AssociativeMemory, QueryBlock)> {
+    let mut rng = StdRng::seed_from_u64(42);
+    (0..sessions)
+        .map(|_| {
+            let am = AssociativeMemory::from_prototypes(
+                Hypervector::random(dim, &mut rng),
+                Hypervector::random(dim, &mut rng),
+            )
+            .unwrap();
+            let mut block = QueryBlock::with_capacity(dim, backlog);
+            for _ in 0..backlog {
+                block.push(&Hypervector::random(dim, &mut rng));
+            }
+            (am, block)
+        })
+        .collect()
+}
+
+fn bench_backends(c: &mut Criterion, dim: usize) {
+    let mut group = c.benchmark_group(format!("batch_classify_d{dim}"));
+    group.sample_size(20);
+    for &sessions in &[1usize, 8, 64] {
+        for &backlog in &[1usize, 8, 32] {
+            let work = cohort(dim, sessions, backlog);
+            group.throughput(Throughput::Elements((sessions * backlog) as u64));
+            for backend in [
+                &ScalarBackend as &dyn ClassifyBackend,
+                &BlockedBackend as &dyn ClassifyBackend,
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{}/sessions{sessions}", backend.name()), backlog),
+                    &(),
+                    |bench, ()| {
+                        let mut out = Vec::with_capacity(sessions * backlog);
+                        bench.iter(|| {
+                            out.clear();
+                            for (am, block) in &work {
+                                backend.classify_block(black_box(am), black_box(block), &mut out);
+                            }
+                            black_box(out.len())
+                        });
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_batch_classify(c: &mut Criterion) {
+    // d = 1000: the paper's deployment dimension. d = 10000: the
+    // golden-accuracy dimension, where classification dominates.
+    bench_backends(c, 1000);
+    bench_backends(c, 10_000);
+}
+
+criterion_group!(benches, bench_batch_classify);
+criterion_main!(benches);

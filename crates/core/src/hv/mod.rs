@@ -27,8 +27,10 @@
 
 mod accum;
 mod item_memory;
+pub mod pack;
 mod vector;
 
 pub use accum::{BitSliceAccumulator, DenseAccumulator, TiePolicy};
 pub use item_memory::ItemMemory;
+pub use pack::{limbs_for, pack_words, unpack_words, words_for, WORD_BITS};
 pub use vector::{Hypervector, LIMB_BITS};

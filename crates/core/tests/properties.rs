@@ -1,6 +1,9 @@
 //! Property-based tests for the HD-computing and LBP invariants.
 
-use laelaps_core::hv::{BitSliceAccumulator, DenseAccumulator, Hypervector, ItemMemory, TiePolicy};
+use laelaps_core::hv::{
+    limbs_for, pack_words, unpack_words, words_for, BitSliceAccumulator, DenseAccumulator,
+    Hypervector, ItemMemory, TiePolicy, LIMB_BITS,
+};
 use laelaps_core::lbp::{lbp_codes, lbp_histogram, LbpExtractor};
 use proptest::prelude::*;
 
@@ -11,6 +14,19 @@ fn arb_hypervector(dim: usize) -> impl Strategy<Value = Hypervector> {
 fn arb_dim() -> impl Strategy<Value = usize> {
     // Mix limb-aligned and ragged dimensions.
     prop_oneof![Just(64usize), Just(100), Just(128), Just(129), Just(500)]
+}
+
+/// Dimensions that stress the padding/masking branches: everything that
+/// is *not* a multiple of the word or limb size, plus the aligned cases
+/// as controls.
+fn arb_ragged_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        (1usize..=200).boxed(),  // dense small coverage, mostly ragged
+        Just(1000usize).boxed(), // paper's d (not a multiple of 64)
+        (1usize..=20).prop_map(|k| 64 * k + 1).boxed(), // just past a limb edge
+        (1usize..=20).prop_map(|k| 64 * k - 1).boxed(), // just short of one
+        (1usize..=40).prop_map(|k| 32 * k).boxed(), // word-aligned, half limb-ragged
+    ]
 }
 
 proptest! {
@@ -156,6 +172,93 @@ proptest! {
         let mut ex = LbpExtractor::new(len);
         let streamed: Vec<_> = signal.iter().filter_map(|&x| ex.push(x)).collect();
         prop_assert_eq!(streamed, lbp_codes(&signal, len));
+    }
+
+    #[test]
+    fn limbs_roundtrip_any_dim(dim in arb_ragged_dim(), seed in any::<u64>()) {
+        // from_limbs is the exact inverse of limbs() for every dim,
+        // including the `rem != 0` padding-validation branch.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let v = Hypervector::random(dim, &mut rng);
+        assert_eq!(v.limbs().len(), limbs_for(dim));
+        let back = Hypervector::from_limbs(dim, v.limbs().to_vec()).expect("valid limbs");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn padding_bits_stay_zero(dim in arb_ragged_dim(), seed in any::<u64>()) {
+        // Every constructor keeps bits at positions >= dim clear — the
+        // invariant hamming() and the accumulators rely on.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        for v in [
+            Hypervector::random(dim, &mut rng),
+            Hypervector::ones(dim),
+            Hypervector::zero(dim),
+        ] {
+            let rem = dim % LIMB_BITS;
+            if rem != 0 {
+                let tail = v.limbs()[v.limbs().len() - 1];
+                prop_assert_eq!(tail & !((1u64 << rem) - 1), 0, "dim {}", dim);
+            }
+            prop_assert_eq!(
+                v.limbs().iter().map(|l| l.count_ones() as usize).sum::<usize>(),
+                v.count_ones()
+            );
+        }
+    }
+
+    #[test]
+    fn from_limbs_rejects_any_set_padding_bit(
+        dim in arb_ragged_dim(),
+        seed in any::<u64>(),
+        bit_pick in any::<u64>()
+    ) {
+        let rem = dim % LIMB_BITS;
+        if rem != 0 {
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+            let v = Hypervector::random(dim, &mut rng);
+            let mut limbs = v.limbs().to_vec();
+            // Set one padding bit, chosen uniformly above `rem`.
+            let bad = rem + (bit_pick as usize) % (LIMB_BITS - rem);
+            let last = limbs.len() - 1;
+            limbs[last] |= 1u64 << bad;
+            prop_assert!(Hypervector::from_limbs(dim, limbs).is_none());
+        }
+    }
+
+    #[test]
+    fn word_pack_roundtrips_and_masks(dim in arb_ragged_dim(), seed in any::<u64>()) {
+        // u32-word view: exact round-trip, correct length, zero padding
+        // bits in the packed form, popcount preserved.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let v = Hypervector::random(dim, &mut rng);
+        let words = pack_words(&v);
+        prop_assert_eq!(words.len(), words_for(dim));
+        prop_assert_eq!(
+            words.iter().map(|w| w.count_ones() as usize).sum::<usize>(),
+            v.count_ones()
+        );
+        let rem = dim % 32;
+        if rem != 0 {
+            let tail = words[words.len() - 1];
+            prop_assert_eq!(tail & !((1u32 << rem) - 1), 0);
+        }
+        prop_assert_eq!(unpack_words(&words, dim), v);
+    }
+
+    #[test]
+    fn unpack_tolerates_dirty_padding(dim in arb_ragged_dim(), seed in any::<u64>()) {
+        // A device buffer with garbage above `dim` must unpack to the
+        // same vector as a clean one (only low `dim` bits are read).
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let v = Hypervector::random(dim, &mut rng);
+        let mut words = pack_words(&v);
+        let rem = dim % 32;
+        if rem != 0 {
+            let last = words.len() - 1;
+            words[last] |= !((1u32 << rem) - 1);
+        }
+        prop_assert_eq!(unpack_words(&words, dim), v);
     }
 
     #[test]

@@ -3,37 +3,15 @@
 //! The TX2 implementation stores `d`-bit vectors as arrays of 32-bit
 //! words (§V-B: "packed into 32 integer variables with 32-bit each,
 //! padded if necessary" for d = 1 kbit).
+//!
+//! The conversions themselves live in [`laelaps_core::hv::pack`] — the
+//! same helpers back the real batched engine (`laelaps-batch`), so the
+//! cost model here and the production hot path agree on layout by
+//! construction. This module re-exports them under the GPU-side names.
 
-use laelaps_core::hv::{Hypervector, ItemMemory};
+use laelaps_core::hv::ItemMemory;
 
-/// Number of 32-bit words for a `dim`-bit vector.
-pub fn words_for(dim: usize) -> usize {
-    dim.div_ceil(32)
-}
-
-/// Packs a hypervector into GPU words (component `i` → bit `i % 32` of
-/// word `i / 32`).
-pub fn pack_hv(hv: &Hypervector) -> Vec<u32> {
-    let words = words_for(hv.dim());
-    let mut out = vec![0u32; words];
-    for (i, limb) in hv.limbs().iter().enumerate() {
-        out[2 * i] = (limb & 0xFFFF_FFFF) as u32;
-        if 2 * i + 1 < words {
-            out[2 * i + 1] = (limb >> 32) as u32;
-        }
-    }
-    out
-}
-
-/// Unpacks GPU words back into a hypervector of dimension `dim`.
-///
-/// # Panics
-///
-/// Panics if `words` is too short for `dim`.
-pub fn unpack_hv(words: &[u32], dim: usize) -> Hypervector {
-    assert!(words.len() >= words_for(dim), "word buffer too short");
-    Hypervector::from_bits((0..dim).map(|i| (words[i / 32] >> (i % 32)) & 1 == 1))
-}
+pub use laelaps_core::hv::pack::{pack_words as pack_hv, unpack_words as unpack_hv, words_for};
 
 /// Packs a whole item memory (one word row per symbol).
 pub fn pack_item_memory(im: &ItemMemory) -> Vec<Vec<u32>> {
@@ -43,6 +21,7 @@ pub fn pack_item_memory(im: &ItemMemory) -> Vec<Vec<u32>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use laelaps_core::hv::Hypervector;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -1,0 +1,267 @@
+//! Cross-session batched classification for the shard workers.
+//!
+//! With [`crate::ServeConfig::batch`] enabled, a shard worker's drain
+//! pass splits the detector pipeline in three phases instead of running
+//! one frame end to end at a time:
+//!
+//! 1. **encode** — every session's queued chunks run through the
+//!    LBP/HD encoder only; completed window vectors are packed into the
+//!    shard's plan, grouped into *runs* keyed by the model that must
+//!    classify them (a staged hot-swap seals the current run, so
+//!    generation boundaries stay exact);
+//! 2. **classify** — the configured [`ClassifyBackend`] sweeps the whole
+//!    plan: per run, the model's prototype pair stays resident while the
+//!    limb-major query block streams through one bit-packed pass;
+//! 3. **scatter** — each session replays its pending items in stream
+//!    order through its postprocessor, applying hot-swaps at their exact
+//!    frame boundary, and publishes events/alarms through the same
+//!    outbox/bus path as the per-frame drain.
+//!
+//! The phases preserve the per-frame path's guarantees: output order and
+//! content are bit-exact (the postprocessor sees identical
+//! classifications in identical order, and `tr` changes take effect at
+//! the same stream position), `frames_processed` is published only after
+//! events reach the outbox, and failure accounting matches the
+//! per-frame drain.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use laelaps_batch::{BlockedBackend, Classification, ClassifyBackend, QueryBlock};
+use laelaps_core::{AssociativeMemory, PatientModel};
+
+use crate::stats::{BatchingStats, ShardBatchStats};
+
+/// Configuration of the batched classification path (see
+/// [`crate::ServeConfig::batch`]).
+#[derive(Clone)]
+pub struct BatchConfig {
+    /// The classification engine shared by every shard worker.
+    /// [`laelaps_batch::BlockedBackend`] by default;
+    /// [`laelaps_batch::ScalarBackend`] gives the bit-exact per-query
+    /// reference, and anything implementing [`ClassifyBackend`] plugs in.
+    pub backend: Arc<dyn ClassifyBackend>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            backend: Arc::new(BlockedBackend),
+        }
+    }
+}
+
+impl std::fmt::Debug for BatchConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchConfig")
+            .field("backend", &self.backend.name())
+            .finish()
+    }
+}
+
+/// Per-shard occupancy counters for the batched path.
+#[derive(Debug, Default)]
+pub(crate) struct ShardBatchCounters {
+    /// Classification passes that had at least one query.
+    batches: AtomicU64,
+    /// Windows classified via the batched path.
+    queries: AtomicU64,
+    /// Most queries classified in one pass.
+    max_queries: AtomicU64,
+}
+
+impl ShardBatchCounters {
+    fn record(&self, queries: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(queries, Ordering::Relaxed);
+        self.max_queries.fetch_max(queries, Ordering::Relaxed);
+    }
+}
+
+/// The service-side state of the batched path: the shared backend plus
+/// one reusable plan and one counter set per shard.
+pub(crate) struct BatchRunner {
+    pub backend: Arc<dyn ClassifyBackend>,
+    /// One plan per shard (same indexing as the shard list); locked by
+    /// the owning shard worker for the duration of a drain pass.
+    pub plans: Vec<Mutex<BatchPlan>>,
+    pub counters: Vec<ShardBatchCounters>,
+}
+
+impl BatchRunner {
+    pub fn new(config: &BatchConfig, shards: usize) -> Self {
+        BatchRunner {
+            backend: Arc::clone(&config.backend),
+            plans: (0..shards)
+                .map(|_| Mutex::new(BatchPlan::default()))
+                .collect(),
+            counters: (0..shards).map(|_| ShardBatchCounters::default()).collect(),
+        }
+    }
+
+    pub fn record(&self, shard: usize, queries: u64) {
+        self.counters[shard].record(queries);
+    }
+
+    pub fn stats(&self) -> BatchingStats {
+        BatchingStats {
+            backend: self.backend.name(),
+            per_shard: self
+                .counters
+                .iter()
+                .enumerate()
+                .map(|(shard, c)| ShardBatchStats {
+                    shard,
+                    batches: c.batches.load(Ordering::Relaxed),
+                    queries: c.queries.load(Ordering::Relaxed),
+                    max_queries: c.max_queries.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for BatchRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchRunner")
+            .field("backend", &self.backend.name())
+            .field("shards", &self.plans.len())
+            .finish()
+    }
+}
+
+/// One run of a [`BatchPlan`]: a contiguous span of one session's
+/// windows that one model classifies. A session contributes one run per
+/// model generation it traverses during the pass (a staged hot-swap
+/// seals the current run and the next window opens a new one).
+struct Run {
+    /// Prototype snapshot the run classifies against (shared with the
+    /// session's worker state — no prototype copies per pass).
+    am: Arc<AssociativeMemory>,
+    /// The run's queries, limb-major.
+    block: QueryBlock,
+    /// Index of this run's first result in [`BatchPlan::results`]
+    /// (assigned by [`BatchPlan::classify`]).
+    result_offset: usize,
+}
+
+/// A shard's batch of pending classifications, rebuilt every drain pass
+/// (allocations are recycled across passes).
+#[derive(Default)]
+pub(crate) struct BatchPlan {
+    runs: Vec<Run>,
+    results: Vec<Classification>,
+    /// Cleared blocks kept for reuse, any dimension.
+    spare_blocks: Vec<QueryBlock>,
+}
+
+impl BatchPlan {
+    /// Drops every run and result, recycling block allocations.
+    pub fn clear(&mut self) {
+        for mut run in self.runs.drain(..) {
+            run.block.clear();
+            self.spare_blocks.push(run.block);
+        }
+        self.results.clear();
+    }
+
+    /// Opens a new run classified by `am`; subsequent
+    /// [`BatchPlan::push_query`] calls feed it. Returns the run id.
+    pub fn begin_run(&mut self, am: Arc<AssociativeMemory>) -> usize {
+        let dim = am.dim();
+        let position = self.spare_blocks.iter().position(|b| b.dim() == dim);
+        let block = match position {
+            Some(i) => self.spare_blocks.swap_remove(i),
+            None => QueryBlock::new(dim),
+        };
+        self.runs.push(Run {
+            am,
+            block,
+            result_offset: 0,
+        });
+        self.runs.len() - 1
+    }
+
+    /// Packs a query into the most recently opened run, returning its
+    /// slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run is open or the dimension differs.
+    pub fn push_query(&mut self, query: &laelaps_core::hv::Hypervector) -> usize {
+        self.runs
+            .last_mut()
+            .expect("push_query before begin_run")
+            .block
+            .push(query)
+    }
+
+    /// Total queries across every run.
+    pub fn total_queries(&self) -> usize {
+        self.runs.iter().map(|r| r.block.len()).sum()
+    }
+
+    /// Classifies every run with `backend`, filling the result arena.
+    pub fn classify(&mut self, backend: &dyn ClassifyBackend) {
+        self.results.clear();
+        for run in &mut self.runs {
+            run.result_offset = self.results.len();
+            backend.classify_block(&run.am, &run.block, &mut self.results);
+        }
+    }
+
+    /// The classification of `slot` within `run` (valid after
+    /// [`BatchPlan::classify`]).
+    pub fn result(&self, run: usize, slot: usize) -> Classification {
+        let run = &self.runs[run];
+        debug_assert!(slot < run.block.len(), "slot out of run");
+        self.results[run.result_offset + slot]
+    }
+}
+
+impl std::fmt::Debug for BatchPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchPlan")
+            .field("runs", &self.runs.len())
+            .field("queries", &self.total_queries())
+            .finish()
+    }
+}
+
+/// One entry of a session's ordered pending stream: what the scatter
+/// phase must replay, in encode order.
+pub(crate) enum PendingItem {
+    /// A classified window: its result lives at (`run`, `slot`) in the
+    /// shard plan; `end_sample` reconstructs the event timestamp.
+    Window {
+        run: usize,
+        slot: usize,
+        end_sample: u64,
+    },
+    /// A hot-swap taken at this exact stream position: the scatter phase
+    /// applies `model` to the detector here, so earlier windows ran (and
+    /// were classified) under the old model and later ones under `model`.
+    Swap {
+        model: Arc<PatientModel>,
+        at_frame: u64,
+    },
+}
+
+/// Per-session outcome of the encode phase, consumed by the scatter
+/// phase of the same pass.
+#[derive(Default)]
+pub(crate) struct SessionPending {
+    /// Ordered replay stream (empty for an idle session).
+    pub items: Vec<PendingItem>,
+    /// Frames run through the encoder this pass (not yet published to
+    /// `frames_processed` — the scatter phase does that after the events
+    /// reach the outbox).
+    pub frames_done: u64,
+    /// Whether the encode phase failed the session.
+    pub newly_failed: bool,
+    /// Frames charged to `frames_discarded` by the encode phase.
+    pub discarded: u64,
+    /// Encode-phase wall time, charged to the session's drain latency
+    /// together with its scatter time.
+    pub encode_micros: u64,
+}

@@ -23,6 +23,25 @@
 //!   service-wide bus ([`DetectionService::take_alarms`]); [`EventTap`]
 //!   subscriptions let another thread collect a session's events while
 //!   its handle keeps pushing.
+//!
+//!   **Hot path.** By default each shard worker runs the detector
+//!   per frame (encode → classify → postprocess, one window at a time).
+//!   Setting [`ServeConfig::batch`] switches the worker to the batched
+//!   hot path ([`batch`]): per pass it *encodes* every session's
+//!   backlog, packs the completed windows into a limb-major
+//!   [`laelaps_batch::QueryBlock`] plan grouped by model generation,
+//!   *classifies* the whole plan in one bit-packed sweep of the
+//!   configured [`laelaps_batch::ClassifyBackend`] (prototypes stay
+//!   register-resident per run — the paper's Fig. 2 batching, on CPU),
+//!   then *scatters* results back through each session's postprocessor
+//!   in stream order. Output is **bit-exact** with the per-frame path —
+//!   including across hot-swap generation boundaries — so the switch is
+//!   purely a throughput choice; occupancy shows up in
+//!   [`ServiceStats::batching`]. The per-frame path remains the default
+//!   because batching pays off only once backlogs exceed a few windows
+//!   per pass (the `batch_classify` bench puts the crossover around
+//!   backlog 2–4; at backlog ≥ 8 the blocked backend sustains ≥ 1.5–2×
+//!   scalar throughput).
 //! * **Network ingest** ([`net::IngestServer`] / [`net::IngestClient`]) —
 //!   a TCP front-end speaking the [`wire`] protocol, so remote producers
 //!   (a fleet of bedside acquisition devices) can drive the service.
@@ -72,6 +91,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adapt;
+pub mod batch;
 pub mod error;
 pub mod net;
 pub mod persist;
@@ -82,6 +102,7 @@ pub mod stats;
 pub mod wire;
 
 pub use adapt::{AdaptStats, AdaptationEngine, FeedbackSegment};
+pub use batch::BatchConfig;
 pub use error::{Result, ServeError};
 pub use net::{IngestClient, IngestServer};
 pub use persist::{
@@ -90,4 +111,11 @@ pub use persist::{
 };
 pub use service::{AlarmRecord, DetectionService, ServeConfig, ServiceEvent};
 pub use session::{EventTap, PushError, SessionHandle, SessionId, SessionOutput};
-pub use stats::{RegistryStats, ServiceStats, SessionStats, SessionStatsEntry};
+pub use stats::{
+    BatchingStats, RegistryStats, ServiceStats, SessionStats, SessionStatsEntry, ShardBatchStats,
+};
+
+// The pluggable classification engines behind [`BatchConfig`],
+// re-exported so a service can be configured without a separate
+// `laelaps-batch` import.
+pub use laelaps_batch::{BlockedBackend, ClassifyBackend, ScalarBackend};

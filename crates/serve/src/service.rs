@@ -9,6 +9,7 @@ use std::time::Duration;
 use laelaps_core::{Detector, DetectorEvent, PatientModel};
 use laelaps_eval::parallel::{default_threads, ShardedPool};
 
+use crate::batch::{BatchConfig, BatchRunner};
 use crate::error::Result;
 use crate::persist::ModelRegistry;
 use crate::ring;
@@ -66,6 +67,13 @@ pub struct ServeConfig {
     /// of 256 frames (0.5 s at 512 Hz) the default buffers ~32 s of
     /// signal before backpressure.
     pub ring_chunks: usize,
+    /// Cross-session batched classification: when set, each shard worker
+    /// drains its sessions' backlogs in a three-phase pass (encode →
+    /// one bit-packed classify sweep → scatter) using the configured
+    /// [`laelaps_batch::ClassifyBackend`] — bit-exact with the per-frame
+    /// path, including hot-swap boundaries. `None` (the default) keeps
+    /// the per-frame path.
+    pub batch: Option<BatchConfig>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +81,7 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: default_threads().clamp(1, 16),
             ring_chunks: 64,
+            batch: None,
         }
     }
 }
@@ -147,6 +156,8 @@ struct ServiceInner {
     ring_chunks: usize,
     /// One progress signal per shard (same indexing as `shards`).
     progress: Vec<Arc<Progress>>,
+    /// Batched-classification state; `None` runs the per-frame path.
+    batch: Option<BatchRunner>,
 }
 
 impl ServiceInner {
@@ -157,12 +168,10 @@ impl ServiceInner {
             let guard = self.shards[shard].lock().expect("shard lock poisoned");
             guard.clone()
         };
-        let mut worked = false;
-        let mut any_done = false;
-        for session in &sessions {
-            worked |= session.drain(&self.bus);
-            any_done |= session.done.load(Ordering::Acquire);
-        }
+        let (worked, any_done) = match &self.batch {
+            Some(runner) => self.drain_sessions_batched(shard, runner, &sessions),
+            None => self.drain_sessions_per_frame(&sessions),
+        };
         if any_done {
             // Lock order retired → shard, same as stats(), so a session is
             // always either in its shard list or in the retired totals —
@@ -185,6 +194,49 @@ impl ServiceInner {
             self.progress[shard].bump();
         }
         worked
+    }
+
+    /// The per-frame drain: each session runs encode → classify →
+    /// postprocess frame by frame inside its own [`SessionCore::drain`].
+    fn drain_sessions_per_frame(&self, sessions: &[Arc<SessionCore>]) -> (bool, bool) {
+        let mut worked = false;
+        let mut any_done = false;
+        for session in sessions {
+            worked |= session.drain(&self.bus);
+            any_done |= session.done.load(Ordering::Acquire);
+        }
+        (worked, any_done)
+    }
+
+    /// The batched drain (see [`crate::batch`]): encode every session's
+    /// backlog into the shard plan, classify the whole plan in one
+    /// backend sweep, then scatter results back in stream order.
+    fn drain_sessions_batched(
+        &self,
+        shard: usize,
+        runner: &BatchRunner,
+        sessions: &[Arc<SessionCore>],
+    ) -> (bool, bool) {
+        // The plan is per shard and only its worker locks it; held for
+        // the whole pass so the three phases see one consistent arena.
+        let mut plan = runner.plans[shard].lock().expect("batch plan poisoned");
+        plan.clear();
+        let pendings: Vec<_> = sessions
+            .iter()
+            .map(|session| session.encode_backlog(&mut plan))
+            .collect();
+        let queries = plan.total_queries() as u64;
+        if queries > 0 {
+            plan.classify(runner.backend.as_ref());
+            runner.record(shard, queries);
+        }
+        let mut worked = false;
+        let mut any_done = false;
+        for (session, pending) in sessions.iter().zip(pendings) {
+            worked |= session.scatter_batch(pending, &plan, &self.bus);
+            any_done |= session.done.load(Ordering::Acquire);
+        }
+        (worked, any_done)
     }
 
     /// The shard with the fewest registered sessions (ties go to the
@@ -293,6 +345,10 @@ impl DetectionService {
             next_id: AtomicU64::new(0),
             ring_chunks: config.ring_chunks.max(1),
             progress: (0..workers).map(|_| Arc::new(Progress::new())).collect(),
+            batch: config
+                .batch
+                .as_ref()
+                .map(|batch| BatchRunner::new(batch, workers)),
         });
         let pool = {
             let inner = Arc::clone(&inner);
@@ -328,6 +384,7 @@ impl DetectionService {
             shard,
             config: model.config().clone(),
             worker: Mutex::new(WorkerState {
+                am: Arc::new(detector.am().clone()),
                 detector,
                 rx,
                 failed: None,
@@ -532,6 +589,8 @@ impl DetectionService {
             .collect();
         let retired = *retired_guard;
         drop(retired_guard);
-        ServiceStats::from_entries(entries, &retired)
+        let mut stats = ServiceStats::from_entries(entries, &retired);
+        stats.batching = self.inner.batch.as_ref().map(BatchRunner::stats);
+        stats
     }
 }

@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 use laelaps_core::{Detector, DetectorEvent, LaelapsConfig, PatientModel};
 use laelaps_eval::parallel::PoolWaker;
 
+use crate::batch::{BatchPlan, PendingItem, SessionPending};
 use crate::ring::{Consumer, Full, Producer};
 use crate::service::{AlarmRecord, Progress, ServiceEvent};
 use crate::stats::{SessionCounters, SessionStats};
@@ -89,6 +90,11 @@ pub(crate) struct WorkerState {
     pub detector: Detector,
     pub rx: Consumer<Chunk>,
     pub failed: Option<String>,
+    /// Shared snapshot of `detector.am()`, refreshed by
+    /// [`SessionCore::apply_swap`]; lets the batched encode phase tag
+    /// runs with an `Arc` clone instead of copying both prototypes on
+    /// every drain pass.
+    pub am: Arc<laelaps_core::AssociativeMemory>,
 }
 
 /// Shared state of one session (handle side + worker side).
@@ -186,31 +192,58 @@ impl SessionCore {
             .is_some()
     }
 
+    /// Takes the staged swap if its barrier has been reached. Both drain
+    /// paths poll this at chunk boundaries, so a swap lands at the same
+    /// stream position whether the pass is per-frame or batched.
+    fn take_due_swap(&self, processed: u64) -> Option<SwapRequest> {
+        let mut pending = self.pending_swap.lock().expect("pending swap poisoned");
+        if pending.as_ref().is_some_and(|r| processed >= r.barrier) {
+            pending.take()
+        } else {
+            None
+        }
+    }
+
     /// Applies a staged swap if its barrier has been reached. Returns
     /// `Err(reason)` if the (pre-validated) swap still failed, `Ok(true)`
     /// if a swap was applied.
     fn try_apply_swap(
         &self,
         detector: &mut Detector,
+        am_snapshot: &mut Arc<laelaps_core::AssociativeMemory>,
         processed: u64,
         out: &mut Vec<SessionOutput>,
     ) -> Result<bool, String> {
-        let mut pending = self.pending_swap.lock().expect("pending swap poisoned");
-        let due = pending.as_ref().is_some_and(|r| processed >= r.barrier);
-        if !due {
+        let Some(request) = self.take_due_swap(processed) else {
             return Ok(false);
+        };
+        match self.apply_swap(detector, am_snapshot, &request.model, processed, out) {
+            Ok(()) => Ok(true),
+            Err(reason) => Err(reason),
         }
-        let request = pending.take().expect("checked above");
-        drop(pending);
-        match detector.hot_swap(&request.model) {
+    }
+
+    /// Hot-swaps `model` into `detector` at stream position `at_frame`,
+    /// recording the ordered marker and refreshing the worker's shared
+    /// prototype snapshot.
+    fn apply_swap(
+        &self,
+        detector: &mut Detector,
+        am_snapshot: &mut Arc<laelaps_core::AssociativeMemory>,
+        model: &Arc<PatientModel>,
+        at_frame: u64,
+        out: &mut Vec<SessionOutput>,
+    ) -> Result<(), String> {
+        match detector.hot_swap(model) {
             Ok(()) => {
-                let generation = request.model.generation();
+                *am_snapshot = Arc::new(model.am().clone());
+                let generation = model.generation();
                 self.generation.store(generation, Ordering::Release);
                 out.push(SessionOutput::ModelSwapped {
                     generation,
-                    at_frame: processed,
+                    at_frame,
                 });
-                Ok(true)
+                Ok(())
             }
             Err(e) => Err(format!("model hot-swap failed: {e}")),
         }
@@ -234,7 +267,9 @@ impl SessionCore {
         let mut aborted_tail: u64 = 0;
         let newly_failed = if state.failed.is_none() {
             let electrodes = self.electrodes;
-            let WorkerState { detector, rx, .. } = &mut *state;
+            let WorkerState {
+                detector, rx, am, ..
+            } = &mut *state;
             // Panics inside the detector are contained *before* they can
             // unwind through (and poison) the worker mutex or kill the
             // shard thread; they fail this session only.
@@ -248,8 +283,12 @@ impl SessionCore {
                         // A staged hot-swap takes effect here, between
                         // chunks: frames already drained stay with the
                         // old model, everything after runs the new one.
-                        match self.try_apply_swap(detector, base_processed + frames_done, &mut out)
-                        {
+                        match self.try_apply_swap(
+                            detector,
+                            am,
+                            base_processed + frames_done,
+                            &mut out,
+                        ) {
                             Ok(_) => {}
                             Err(reason) => return Some(reason),
                         }
@@ -274,95 +313,17 @@ impl SessionCore {
                     }
                     None
                 }));
-            match outcome {
-                Ok(None) => false,
-                Ok(Some(reason)) => {
-                    state.failed = Some(reason);
-                    true
-                }
-                Err(panic) => {
-                    let message = panic
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| panic.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "unknown panic".into());
-                    state.failed = Some(format!("detector panicked: {message}"));
-                    true
-                }
-            }
+            record_failure(&mut state, outcome)
         } else {
             false
         };
-        let mut discarded: u64 = 0;
-        if state.failed.is_some() {
-            self.failed_flag.store(true, Ordering::Release);
-            // A failed session can never apply a staged swap; drop it so
-            // nothing waits for an application that will not come.
-            self.pending_swap
-                .lock()
-                .expect("pending swap poisoned")
-                .take();
-            // Discard everything still queued (and whatever arrives until
-            // the producer observes the failure) so a caller retrying on
-            // `Full` is unblocked instead of livelocking against a ring
-            // that will never drain; count the loss.
-            discarded = aborted_tail;
-            while let Some(chunk) = state.rx.pop() {
-                discarded += (chunk.len() / self.electrodes) as u64;
-            }
-            if discarded > 0 {
-                self.counters
-                    .frames_discarded
-                    .fetch_add(discarded, Ordering::Relaxed);
-            }
-        }
+        let discarded = if state.failed.is_some() {
+            self.discard_after_failure(&mut state, aborted_tail)
+        } else {
+            0
+        };
         let worked = frames_done > 0 || newly_failed || discarded > 0 || !out.is_empty();
-        if !out.is_empty() {
-            let mut bus_events: Vec<ServiceEvent> = Vec::new();
-            let mut events_out: u64 = 0;
-            for entry in &out {
-                match entry {
-                    SessionOutput::Event(event) => {
-                        events_out += 1;
-                        if event.alarm.is_some() {
-                            bus_events.push(ServiceEvent::Alarm(AlarmRecord {
-                                session: self.id,
-                                patient: self.patient.clone(),
-                                event: *event,
-                            }));
-                        }
-                    }
-                    SessionOutput::ModelSwapped {
-                        generation,
-                        at_frame,
-                    } => bus_events.push(ServiceEvent::ModelSwapped {
-                        session: self.id,
-                        patient: self.patient.clone(),
-                        generation: *generation,
-                        at_frame: *at_frame,
-                    }),
-                }
-            }
-            self.counters
-                .events_out
-                .fetch_add(events_out, Ordering::Relaxed);
-            let alarms = bus_events
-                .iter()
-                .filter(|e| matches!(e, ServiceEvent::Alarm(_)))
-                .count() as u64;
-            if alarms > 0 {
-                self.counters
-                    .alarms_out
-                    .fetch_add(alarms, Ordering::Relaxed);
-            }
-            if !bus_events.is_empty() {
-                bus.lock().expect("service bus poisoned").extend(bus_events);
-            }
-            self.outbox
-                .lock()
-                .expect("session outbox poisoned")
-                .extend(out);
-        }
+        self.publish_outputs(out, bus);
         if worked {
             let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
             self.counters.record_drain(micros);
@@ -377,6 +338,279 @@ impl SessionCore {
         // empty — a failed session keeps discarding (and counting) frames
         // until its handle observes the failure, so no chunk is ever
         // stranded uncounted in a retired session's ring.
+        if state.rx.is_finished() {
+            self.done.store(true, Ordering::Release);
+        }
+        worked
+    }
+
+    /// Failure cleanup shared by both drain paths: surfaces the failure
+    /// to producers, drops any staged swap (a failed session can never
+    /// apply it), and discards everything still queued (and whatever
+    /// arrives until the producer observes the failure) so a caller
+    /// retrying on `Full` is unblocked instead of livelocking against a
+    /// ring that will never drain; every lost frame is counted. Returns
+    /// the frames discarded.
+    fn discard_after_failure(&self, state: &mut WorkerState, aborted_tail: u64) -> u64 {
+        self.failed_flag.store(true, Ordering::Release);
+        self.pending_swap
+            .lock()
+            .expect("pending swap poisoned")
+            .take();
+        let mut discarded = aborted_tail;
+        while let Some(chunk) = state.rx.pop() {
+            discarded += (chunk.len() / self.electrodes) as u64;
+        }
+        if discarded > 0 {
+            self.counters
+                .frames_discarded
+                .fetch_add(discarded, Ordering::Relaxed);
+        }
+        discarded
+    }
+
+    /// Publishes one pass's ordered outputs: bumps event/alarm counters,
+    /// fans alarms and swap markers onto the service bus, and appends
+    /// everything to the session outbox. Shared by both drain paths.
+    fn publish_outputs(&self, out: Vec<SessionOutput>, bus: &Mutex<VecDeque<ServiceEvent>>) {
+        if out.is_empty() {
+            return;
+        }
+        let mut bus_events: Vec<ServiceEvent> = Vec::new();
+        let mut events_out: u64 = 0;
+        for entry in &out {
+            match entry {
+                SessionOutput::Event(event) => {
+                    events_out += 1;
+                    if event.alarm.is_some() {
+                        bus_events.push(ServiceEvent::Alarm(AlarmRecord {
+                            session: self.id,
+                            patient: self.patient.clone(),
+                            event: *event,
+                        }));
+                    }
+                }
+                SessionOutput::ModelSwapped {
+                    generation,
+                    at_frame,
+                } => bus_events.push(ServiceEvent::ModelSwapped {
+                    session: self.id,
+                    patient: self.patient.clone(),
+                    generation: *generation,
+                    at_frame: *at_frame,
+                }),
+            }
+        }
+        self.counters
+            .events_out
+            .fetch_add(events_out, Ordering::Relaxed);
+        let alarms = bus_events
+            .iter()
+            .filter(|e| matches!(e, ServiceEvent::Alarm(_)))
+            .count() as u64;
+        if alarms > 0 {
+            self.counters
+                .alarms_out
+                .fetch_add(alarms, Ordering::Relaxed);
+        }
+        if !bus_events.is_empty() {
+            bus.lock().expect("service bus poisoned").extend(bus_events);
+        }
+        self.outbox
+            .lock()
+            .expect("session outbox poisoned")
+            .extend(out);
+    }
+
+    /// Batched-path phase 1 (encode): drains queued chunks through the
+    /// *encoder only*, packing completed windows into the shard plan.
+    /// Chunk bounds, swap barriers, failure handling, and accounting
+    /// mirror [`SessionCore::drain`] exactly — a staged hot-swap taken
+    /// here seals the current run (later windows are classified by the
+    /// staged model) and is *applied* by
+    /// [`SessionCore::scatter_batch`] at the same stream position, so
+    /// the postprocessor's `tr` changes where the per-frame path would
+    /// change it.
+    ///
+    /// Called only by the session's shard worker; `frames_processed` is
+    /// not advanced here (the scatter phase publishes it after the
+    /// events reach the outbox, preserving the flush invariant).
+    pub(crate) fn encode_backlog(&self, plan: &mut BatchPlan) -> SessionPending {
+        let mut pending = SessionPending::default();
+        let mut state = self.worker.lock().expect("session worker lock poisoned");
+        if self.done.load(Ordering::Relaxed) {
+            return pending;
+        }
+        let start = Instant::now();
+        let base_processed = self.counters.frames_processed.load(Ordering::Acquire);
+        let mut frames_done: u64 = 0;
+        let mut aborted_tail: u64 = 0;
+        let mut items: Vec<PendingItem> = Vec::new();
+        let newly_failed = if state.failed.is_none() {
+            let electrodes = self.electrodes;
+            let WorkerState {
+                detector, rx, am, ..
+            } = &mut *state;
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Option<String> {
+                    // The prototypes that classify windows from here
+                    // on: the worker's shared snapshot (== the
+                    // detector's AM) until a swap is taken, then the
+                    // staged model's. Runs open lazily on the first
+                    // window after a boundary.
+                    let mut staged: Option<Arc<laelaps_core::AssociativeMemory>> = None;
+                    let mut run: Option<usize> = None;
+                    for _ in 0..MAX_CHUNKS_PER_DRAIN {
+                        if let Some(request) = self.take_due_swap(base_processed + frames_done) {
+                            run = None; // seal: next window opens a new run
+                            staged = Some(Arc::new(request.model.am().clone()));
+                            items.push(PendingItem::Swap {
+                                at_frame: base_processed + frames_done,
+                                model: request.model,
+                            });
+                        }
+                        let Some(chunk) = rx.pop() else { break };
+                        let chunk_frames = (chunk.len() / electrodes) as u64;
+                        aborted_tail = chunk_frames;
+                        let mut in_chunk: u64 = 0;
+                        for frame in chunk.chunks_exact(electrodes) {
+                            match detector.encode_frame(frame) {
+                                Ok(Some(window)) => {
+                                    let run = *run.get_or_insert_with(|| {
+                                        plan.begin_run(Arc::clone(staged.as_ref().unwrap_or(am)))
+                                    });
+                                    let slot = plan.push_query(&window.vector);
+                                    items.push(PendingItem::Window {
+                                        run,
+                                        slot,
+                                        end_sample: window.end_sample,
+                                    });
+                                }
+                                Ok(None) => {}
+                                Err(e) => return Some(e.to_string()),
+                            }
+                            in_chunk += 1;
+                            frames_done += 1;
+                            aborted_tail = chunk_frames - in_chunk;
+                        }
+                        aborted_tail = 0;
+                    }
+                    None
+                }));
+            record_failure(&mut state, outcome)
+        } else {
+            false
+        };
+        let discarded = if state.failed.is_some() {
+            self.discard_after_failure(&mut state, aborted_tail)
+        } else {
+            0
+        };
+        pending.items = items;
+        pending.frames_done = frames_done;
+        pending.newly_failed = newly_failed;
+        pending.discarded = discarded;
+        pending.encode_micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        pending
+    }
+
+    /// Batched-path phase 3 (scatter): replays this session's pending
+    /// items in stream order — classified windows through the
+    /// postprocessor, hot-swaps applied at their exact boundary — then
+    /// publishes outputs, latency, and `frames_processed` through the
+    /// same path as [`SessionCore::drain`]. Returns whether the session
+    /// did any work this pass.
+    pub(crate) fn scatter_batch(
+        &self,
+        pending: SessionPending,
+        plan: &BatchPlan,
+        bus: &Mutex<VecDeque<ServiceEvent>>,
+    ) -> bool {
+        let SessionPending {
+            items,
+            frames_done,
+            newly_failed: encode_failed,
+            discarded: encode_discarded,
+            encode_micros,
+        } = pending;
+        let mut state = self.worker.lock().expect("session worker lock poisoned");
+        let start = Instant::now();
+        let mut out: Vec<SessionOutput> = Vec::with_capacity(items.len());
+        let mut windows: u64 = 0;
+        let scatter_failed = if items.is_empty() {
+            false
+        } else {
+            let WorkerState { detector, am, .. } = &mut *state;
+            // Same containment as the encode phase: a panic inside the
+            // postprocessor fails this session, not the shard thread.
+            // Items were all encoded before any failure, so they replay
+            // even if the encode phase failed afterwards — exactly the
+            // events the per-frame path would have published.
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> Option<String> {
+                    for item in &items {
+                        match item {
+                            PendingItem::Window {
+                                run,
+                                slot,
+                                end_sample,
+                            } => {
+                                let classification = plan.result(*run, *slot);
+                                let event = detector.complete_window(*end_sample, classification);
+                                out.push(SessionOutput::Event(event));
+                                windows += 1;
+                            }
+                            PendingItem::Swap { model, at_frame } => {
+                                if let Err(reason) =
+                                    self.apply_swap(detector, am, model, *at_frame, &mut out)
+                                {
+                                    return Some(reason);
+                                }
+                            }
+                        }
+                    }
+                    None
+                }));
+            record_failure(&mut state, outcome)
+        };
+        let discarded = if scatter_failed {
+            // Frames were already consumed from the ring by the encode
+            // phase; only latecomers remain to discard.
+            self.discard_after_failure(&mut state, 0)
+        } else {
+            0
+        };
+        if windows > 0 {
+            self.counters
+                .windows_batched
+                .fetch_add(windows, Ordering::Relaxed);
+        }
+        let worked = frames_done > 0
+            || encode_failed
+            || scatter_failed
+            || encode_discarded > 0
+            || discarded > 0
+            || !out.is_empty();
+        self.publish_outputs(out, bus);
+        if worked {
+            let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            self.counters
+                .record_drain(encode_micros.saturating_add(micros));
+            // Publish progress only after events reached the outbox, so a
+            // flush() that observes frames_processed == frames_in also
+            // observes every resulting event. Every encoded frame counts
+            // as processed even if the replay failed midway: those
+            // frames did run through the detector pipeline and already
+            // left the ring, so charging them here keeps
+            // `processed + discarded == frames_in` exact. (The per-frame
+            // path would have left the failing chunk's tail in the ring
+            // and counted it discarded — the split differs on this
+            // failed-session edge, the sum and flush-termination do
+            // not.)
+            self.counters
+                .frames_processed
+                .fetch_add(frames_done, Ordering::Release);
+        }
         if state.rx.is_finished() {
             self.done.store(true, Ordering::Release);
         }
@@ -583,6 +817,28 @@ impl SessionHandle {
     }
 }
 
+/// Normalizes a contained detector outcome into `state.failed`: an error
+/// reason or a panic payload becomes the session's terminal failure.
+/// Returns whether the session failed on this pass.
+fn record_failure(state: &mut WorkerState, outcome: std::thread::Result<Option<String>>) -> bool {
+    match outcome {
+        Ok(None) => false,
+        Ok(Some(reason)) => {
+            state.failed = Some(reason);
+            true
+        }
+        Err(panic) => {
+            let message = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".into());
+            state.failed = Some(format!("detector panicked: {message}"));
+            true
+        }
+    }
+}
+
 /// Drains a session's outbox, keeping classification events only.
 fn take_events(core: &SessionCore) -> Vec<DetectorEvent> {
     take_outputs(core)
@@ -743,6 +999,7 @@ mod tests {
             shard: 0,
             config,
             worker: Mutex::new(WorkerState {
+                am: Arc::new(detector.am().clone()),
                 detector,
                 rx,
                 failed: None,
@@ -803,6 +1060,7 @@ mod tests {
             shard: 0,
             config,
             worker: Mutex::new(WorkerState {
+                am: Arc::new(detector.am().clone()),
                 detector,
                 rx,
                 failed: None,

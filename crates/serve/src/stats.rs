@@ -13,6 +13,7 @@ pub(crate) struct SessionCounters {
     pub frames_processed: AtomicU64,
     pub events_out: AtomicU64,
     pub alarms_out: AtomicU64,
+    pub windows_batched: AtomicU64,
     pub drains: AtomicU64,
     pub max_drain_micros: AtomicU64,
 }
@@ -27,6 +28,7 @@ impl SessionCounters {
             frames_processed: self.frames_processed.load(Ordering::Relaxed),
             events_out: self.events_out.load(Ordering::Relaxed),
             alarms_out: self.alarms_out.load(Ordering::Relaxed),
+            windows_batched: self.windows_batched.load(Ordering::Relaxed),
             drains: self.drains.load(Ordering::Relaxed),
             max_drain_micros: self.max_drain_micros.load(Ordering::Relaxed),
         }
@@ -60,6 +62,10 @@ pub struct SessionStats {
     pub events_out: u64,
     /// Alarms raised.
     pub alarms_out: u64,
+    /// Windows classified via the batched path (zero when the service
+    /// runs the per-frame path; equals the window count of `events_out`
+    /// when batching is on).
+    pub windows_batched: u64,
     /// Worker drain batches executed for this session.
     pub drains: u64,
     /// Worst-case wall time of one drain batch, microseconds — the
@@ -76,6 +82,7 @@ impl SessionStats {
         self.frames_processed += other.frames_processed;
         self.events_out += other.events_out;
         self.alarms_out += other.alarms_out;
+        self.windows_batched += other.windows_batched;
         self.drains += other.drains;
         self.max_drain_micros = self.max_drain_micros.max(other.max_drain_micros);
     }
@@ -114,6 +121,73 @@ pub struct RegistryStats {
     pub cached_entries: usize,
 }
 
+/// Batch occupancy of one shard worker (see [`BatchingStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardBatchStats {
+    /// Shard index (matches [`SessionStatsEntry::shard`]).
+    pub shard: usize,
+    /// Classification passes that carried at least one query.
+    pub batches: u64,
+    /// Windows classified by this shard's batched passes.
+    pub queries: u64,
+    /// Most windows classified in a single pass.
+    pub max_queries: u64,
+}
+
+impl ShardBatchStats {
+    /// Mean queries per batch — the shard's batching efficiency (1.0
+    /// means the batched path degenerated to per-window dispatch).
+    pub fn mean_queries(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.queries as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Occupancy counters of the batched classification path, present in
+/// [`ServiceStats`] when the service was configured with
+/// [`crate::BatchConfig`].
+#[derive(Debug, Clone)]
+pub struct BatchingStats {
+    /// Name of the configured [`laelaps_batch::ClassifyBackend`].
+    pub backend: &'static str,
+    /// One row per shard worker, ordered by shard index.
+    pub per_shard: Vec<ShardBatchStats>,
+}
+
+impl BatchingStats {
+    /// Batches built across every shard.
+    pub fn batches(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.batches).sum()
+    }
+
+    /// Windows classified via the batched path across every shard.
+    pub fn queries(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.queries).sum()
+    }
+
+    /// Most windows classified in one pass on any shard.
+    pub fn max_queries(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|s| s.max_queries)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Service-wide mean queries per batch.
+    pub fn mean_queries(&self) -> f64 {
+        let batches = self.batches();
+        if batches == 0 {
+            0.0
+        } else {
+            self.queries() as f64 / batches as f64
+        }
+    }
+}
+
 /// Aggregate service snapshot returned by
 /// [`crate::DetectionService::stats`].
 #[derive(Debug, Clone)]
@@ -131,6 +205,9 @@ pub struct ServiceStats {
     /// [`ServiceStats::with_registry`] (the service itself does not own a
     /// registry; the adaptation engine's stats always carry this).
     pub registry: Option<RegistryStats>,
+    /// Batched-classification occupancy, present when the service runs
+    /// the batched hot path ([`crate::ServeConfig::batch`]).
+    pub batching: Option<BatchingStats>,
 }
 
 impl ServiceStats {
@@ -149,6 +226,7 @@ impl ServiceStats {
             totals,
             per_session,
             registry: None,
+            batching: None,
         }
     }
 

@@ -252,6 +252,7 @@ fn hot_swap_has_one_swap_point_and_bit_exact_streams_on_both_sides() {
     let service = DetectionService::new(ServeConfig {
         workers: 2,
         ring_chunks: 64,
+        ..ServeConfig::default()
     });
     let mut handle = service.open_session("P", &model_a).unwrap();
     assert_eq!(handle.generation(), 0);

@@ -1,0 +1,262 @@
+//! The batched hot path's contract: with `ServeConfig::batch` set, a
+//! service's output is **bit-exact** with the per-frame path (which is
+//! itself bit-exact with a bare `Detector`) — same events, same alarms,
+//! same order — for whole cohorts, under both backends, and across a
+//! mid-stream model hot-swap generation boundary; batching also shows up
+//! in the occupancy stats.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{interleave, trained_model, two_state_signal};
+use laelaps_core::{Detector, TrainingData};
+use laelaps_serve::{
+    BatchConfig, BlockedBackend, ClassifyBackend, DetectionService, PushError, ScalarBackend,
+    ServeConfig, ServiceEvent, SessionHandle, SessionOutput,
+};
+
+fn push_all(handle: &mut SessionHandle, interleaved: &[f32]) {
+    for chunk in interleaved.chunks(256 * 4) {
+        let mut pending: Box<[f32]> = chunk.into();
+        loop {
+            match handle.try_push_chunk(pending) {
+                Ok(()) => break,
+                Err(PushError::Full(back)) => {
+                    pending = back;
+                    std::thread::yield_now();
+                }
+                Err(e) => panic!("unexpected push error: {e}"),
+            }
+        }
+    }
+}
+
+fn batched_config(backend: Arc<dyn ClassifyBackend>, workers: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        ring_chunks: 64,
+        batch: Some(BatchConfig { backend }),
+    }
+}
+
+/// A small cohort through the batched service equals per-patient bare
+/// `Detector` runs, for both backends.
+#[test]
+fn batched_cohort_matches_bare_detectors() {
+    let patients = 6;
+    let models: Vec<_> = (0..patients).map(|i| trained_model(200 + i)).collect();
+    let signals: Vec<_> = (0..patients)
+        .map(|i| two_state_signal(4, 512 * 40, 512 * 15..512 * 30, 300 + i))
+        .collect();
+
+    for backend in [
+        Arc::new(BlockedBackend) as Arc<dyn ClassifyBackend>,
+        Arc::new(ScalarBackend),
+    ] {
+        let name = backend.name();
+        let service = DetectionService::new(batched_config(backend, 2));
+        let mut handles: Vec<_> = models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| service.open_session(&format!("P{i}"), m).unwrap())
+            .collect();
+        for (handle, signal) in handles.iter_mut().zip(&signals) {
+            push_all(handle, &interleave(signal));
+        }
+        for handle in &mut handles {
+            handle.close();
+        }
+        service.flush();
+
+        let mut total_windows = 0u64;
+        for ((handle, model), signal) in handles.iter().zip(&models).zip(&signals) {
+            let got = handle.take_events();
+            let want = Detector::new(model).unwrap().run(signal).unwrap();
+            assert!(!want.is_empty());
+            assert_eq!(got, want, "backend {name}, patient {}", handle.patient());
+            assert!(want.iter().any(|e| e.alarm.is_some()), "seizure detected");
+            let stats = handle.stats();
+            assert_eq!(
+                stats.windows_batched,
+                want.len() as u64,
+                "every window of {} went through the batched path",
+                handle.patient()
+            );
+            total_windows += stats.windows_batched;
+        }
+
+        // Occupancy surfaced: batches were built and every window was a
+        // batched query.
+        let stats = service.stats();
+        let batching = stats.batching.expect("batched service reports occupancy");
+        assert_eq!(batching.backend, name);
+        assert_eq!(batching.queries(), total_windows);
+        assert!(batching.batches() > 0);
+        assert!(batching.max_queries() >= 1);
+        assert!(batching.mean_queries() >= 1.0);
+        assert_eq!(stats.totals.windows_batched, total_windows);
+    }
+}
+
+/// The per-frame default reports no batching and zero batched windows.
+#[test]
+fn per_frame_path_reports_no_batching() {
+    let model = trained_model(210);
+    let signal = two_state_signal(4, 512 * 10, 0..0, 211);
+    let service = DetectionService::new(ServeConfig::default());
+    let mut handle = service.open_session("P", &model).unwrap();
+    push_all(&mut handle, &interleave(&signal));
+    handle.close();
+    service.flush();
+    assert!(!handle.take_events().is_empty());
+    assert_eq!(handle.stats().windows_batched, 0);
+    assert!(service.stats().batching.is_none());
+}
+
+/// The adapt-test hot-swap scenario, on the batched path: one swap
+/// marker at the exact generation boundary, bit-exact old-model events
+/// before it and new-model events after it. This is the "grouped by
+/// model generation" guarantee — pre-swap windows classify against the
+/// old prototypes even though the batch pass already knows the new
+/// model.
+#[test]
+fn batched_hot_swap_is_bit_exact_across_the_generation_boundary() {
+    let model_a = trained_model(220);
+    let feedback = two_state_signal(4, 512 * 20, 512 * 2..512 * 18, 221);
+    let model_b = Arc::new(
+        model_a
+            .absorb(&TrainingData::new(&feedback).ictal(512 * 2..512 * 18))
+            .unwrap(),
+    );
+
+    let phase1 = two_state_signal(4, 512 * 30, 0..0, 222);
+    let phase2 = two_state_signal(4, 512 * 30, 512 * 10..512 * 22, 223);
+    let full: Vec<Vec<f32>> = phase1
+        .iter()
+        .zip(&phase2)
+        .map(|(a, b)| {
+            let mut ch = a.clone();
+            ch.extend_from_slice(b);
+            ch
+        })
+        .collect();
+
+    let service = DetectionService::new(batched_config(Arc::new(BlockedBackend), 2));
+    let mut handle = service.open_session("P", &model_a).unwrap();
+    push_all(&mut handle, &interleave(&phase1));
+    service.flush();
+    // Every phase-1 frame is processed, so the barrier is already met:
+    // the swap applies before any phase-2 frame.
+    service
+        .swap_session_model(handle.id(), &model_b)
+        .expect("swap request accepted");
+    push_all(&mut handle, &interleave(&phase2));
+    handle.close();
+    service.flush();
+
+    let outputs = handle.take_outputs();
+    let old_prefix = Detector::new(&model_a).unwrap().run(&phase1).unwrap();
+    let new_full = Detector::new(&model_b).unwrap().run(&full).unwrap();
+    let n1 = old_prefix.len();
+    assert!(!old_prefix.is_empty() && new_full.len() > n1);
+
+    let swap_points: Vec<usize> = outputs
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| matches!(o, SessionOutput::ModelSwapped { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(swap_points, vec![n1], "single swap point at the boundary");
+    assert!(matches!(
+        outputs[n1],
+        SessionOutput::ModelSwapped {
+            generation: 1,
+            at_frame,
+        } if at_frame == 512 * 30
+    ));
+
+    for (i, want) in old_prefix.iter().enumerate() {
+        assert_eq!(outputs[i], SessionOutput::Event(*want), "prefix event {i}");
+    }
+    let suffix: Vec<_> = outputs[n1 + 1..]
+        .iter()
+        .map(|o| match o {
+            SessionOutput::Event(event) => *event,
+            other => panic!("unexpected second marker: {other:?}"),
+        })
+        .collect();
+    assert_eq!(suffix, new_full[n1..], "post-swap suffix is byte-identical");
+    assert!(suffix.iter().any(|e| e.alarm.is_some()));
+
+    let stats = handle.stats();
+    assert_eq!(stats.frames_in, 512 * 60);
+    assert_eq!(stats.frames_processed, 512 * 60);
+    assert_eq!(stats.frames_dropped + stats.frames_discarded, 0);
+    assert_eq!(handle.generation(), 1);
+
+    let swaps = service.take_swap_events();
+    assert_eq!(swaps.len(), 1);
+    assert!(matches!(
+        &swaps[0],
+        ServiceEvent::ModelSwapped {
+            patient,
+            generation: 1,
+            at_frame,
+            ..
+        } if patient == "P" && *at_frame == 512 * 30
+    ));
+}
+
+/// Randomized cohorts with a swap staged while frames are still in
+/// flight: the batched service must agree with a per-frame service fed
+/// the identical schedule (pushes, flushes, swap requests in the same
+/// relative order). This exercises runs sealed *mid-pass* rather than at
+/// an idle boundary.
+#[test]
+fn batched_equals_per_frame_under_inflight_swaps() {
+    for seed in 0..3u64 {
+        let model_a = trained_model(230 + seed);
+        let feedback = two_state_signal(4, 512 * 20, 512 * 2..512 * 18, 240 + seed);
+        let model_b = Arc::new(
+            model_a
+                .absorb(&TrainingData::new(&feedback).ictal(512 * 2..512 * 18))
+                .unwrap(),
+        );
+        let signal = two_state_signal(4, 512 * 40, 512 * 20..512 * 32, 250 + seed);
+        let interleaved = interleave(&signal);
+        let boundary = interleaved.len() / 3; // swap barrier lands mid-stream
+        let boundary = boundary - boundary % 4; // whole frames
+
+        let run = |config: ServeConfig| -> (Vec<SessionOutput>, u64) {
+            let service = DetectionService::new(config);
+            let mut handle = service.open_session("P", &model_a).unwrap();
+            push_all(&mut handle, &interleaved[..boundary]);
+            // Drain everything pushed so far, so the swap barrier (and
+            // hence the swap position) is identical in both services.
+            service.flush();
+            service
+                .swap_session_model(handle.id(), &model_b)
+                .expect("swap accepted");
+            push_all(&mut handle, &interleaved[boundary..]);
+            handle.close();
+            service.flush();
+            (handle.take_outputs(), handle.stats().frames_processed)
+        };
+
+        let (batched, batched_frames) = run(batched_config(Arc::new(BlockedBackend), 3));
+        let (per_frame, per_frame_frames) = run(ServeConfig {
+            workers: 3,
+            ring_chunks: 64,
+            batch: None,
+        });
+        assert_eq!(batched_frames, per_frame_frames, "seed {seed}");
+        assert_eq!(batched, per_frame, "seed {seed}");
+        assert!(
+            batched
+                .iter()
+                .any(|o| matches!(o, SessionOutput::ModelSwapped { .. })),
+            "seed {seed}: swap applied"
+        );
+    }
+}

@@ -18,6 +18,7 @@ fn service_matches_bare_detector_under_concurrency() {
     let service = DetectionService::new(ServeConfig {
         workers: 4,
         ring_chunks: 8, // small ring to exercise backpressure
+        ..ServeConfig::default()
     });
 
     let sessions = 10;
@@ -124,6 +125,7 @@ fn backpressure_is_explicit_and_lossless_paths_count_drops() {
     let service = DetectionService::new(ServeConfig {
         workers: 1,
         ring_chunks: 2,
+        ..ServeConfig::default()
     });
     let mut handle = service.open_session("P", &model).unwrap();
     let chunk: Box<[f32]> = vec![0.0f32; 4 * 2048].into();
@@ -278,6 +280,7 @@ fn idle_shards_event_pump_is_not_woken_by_another_shards_progress() {
     let service = DetectionService::new(ServeConfig {
         workers: 2,
         ring_chunks: 8,
+        ..ServeConfig::default()
     });
     // Two sessions on level shards: least-loaded placement puts them on
     // shards 0 and 1 (asserted below, not assumed).

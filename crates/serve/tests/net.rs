@@ -41,6 +41,7 @@ fn sixteen_tcp_clients_match_bare_detectors_with_backpressure() {
     let service = Arc::new(DetectionService::new(ServeConfig {
         workers: 4,
         ring_chunks: 2,
+        ..ServeConfig::default()
     }));
     let server = IngestServer::bind("127.0.0.1:0", Arc::clone(&service), Arc::clone(&registry))
         .expect("server binds");

@@ -1,0 +1,182 @@
+//! Batched serving at cohort scale: the same N-patient fleet streamed
+//! twice through a [`laelaps::serve::DetectionService`] — once on the
+//! default per-frame path, once on the batched bit-packed path
+//! ([`laelaps::serve::BatchConfig`], blocked word-parallel backend) —
+//! asserting **bit-exact** event streams (alarms included) and reporting
+//! the batching occupancy and throughput.
+//!
+//! ```text
+//! cargo run --release --example batched_cohort [-- --patients 16 --dim 1024 --scale 8]
+//! ```
+
+use std::sync::Arc;
+
+use laelaps::core::tuning::{tune_tr, DEFAULT_ALPHA};
+use laelaps::core::DetectorEvent;
+use laelaps::eval::parallel::{default_threads, parallel_map};
+use laelaps::eval::runner::{train_laelaps, PreparedPatient};
+use laelaps::ieeg::synth::demo_patient;
+use laelaps::ieeg::Recording;
+use laelaps::serve::{BatchConfig, BlockedBackend, DetectionService, PushError, ServeConfig};
+
+fn arg(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} takes a number"))
+        })
+        .unwrap_or(default)
+}
+
+/// Streams every recording through a fresh service built from `config`;
+/// returns each patient's full event stream, the wall time, and the
+/// service stats.
+fn run_cohort(
+    config: ServeConfig,
+    models: &[laelaps::core::PatientModel],
+    recordings: &[Recording],
+) -> (
+    Vec<Vec<DetectorEvent>>,
+    std::time::Duration,
+    laelaps::serve::ServiceStats,
+) {
+    let service = DetectionService::new(config);
+    let mut handles: Vec<_> = models
+        .iter()
+        .enumerate()
+        .map(|(i, model)| {
+            service
+                .open_session(&format!("B{:02}", i + 1), model)
+                .expect("session opens")
+        })
+        .collect();
+    let mut cursors: Vec<_> = recordings.iter().map(|r| r.frames()).collect();
+
+    let start = std::time::Instant::now();
+    const CHUNK_FRAMES: usize = 256; // 0.5 s of signal per ring slot
+    let mut live: Vec<usize> = (0..handles.len()).collect();
+    let mut staging = Vec::new();
+    while !live.is_empty() {
+        live.retain(|&i| {
+            staging.clear();
+            if cursors[i].read_chunk(CHUNK_FRAMES, &mut staging) == 0 {
+                handles[i].close();
+                return false;
+            }
+            let mut pending: Box<[f32]> = staging.as_slice().into();
+            loop {
+                match handles[i].try_push_chunk(pending) {
+                    Ok(()) => return true,
+                    Err(PushError::Full(back)) => {
+                        pending = back;
+                        std::thread::yield_now();
+                    }
+                    Err(e) => panic!("push failed: {e}"),
+                }
+            }
+        });
+    }
+    service.flush();
+    let elapsed = start.elapsed();
+    let events = handles.iter().map(|h| h.take_events()).collect();
+    (events, elapsed, service.stats())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let patients = arg(&args, "--patients", 16);
+    let dim = arg(&args, "--dim", 1024);
+    let scale = arg(&args, "--scale", 8) as f64;
+    let threads = default_threads().clamp(1, 16);
+
+    // ---- 1. Synthesize and train the cohort ----
+    eprintln!("training {patients} patients at d = {dim} ({threads} threads) ...");
+    let indices: Vec<usize> = (0..patients).collect();
+    let prepared: Vec<(laelaps::core::PatientModel, PreparedPatient)> =
+        parallel_map(&indices, threads, |&i| {
+            let mut profile = demo_patient(7000 + i as u64);
+            profile.time_scale = scale;
+            let prep = PreparedPatient::new(&profile).expect("synthesis succeeds");
+            let (model, replay) = train_laelaps(&prep, dim).expect("training succeeds");
+            let tr = tune_tr(&replay, DEFAULT_ALPHA);
+            (model.with_tr(tr).expect("tuned tr is valid"), prep)
+        });
+    let models: Vec<_> = prepared.iter().map(|(m, _)| m.clone()).collect();
+    let recordings: Vec<Recording> = prepared
+        .iter()
+        .map(|(_, prep)| {
+            Recording::from_channels(512, prep.test_signal()).expect("valid recording")
+        })
+        .collect();
+
+    // ---- 2. Per-frame path (the default) ----
+    eprintln!("streaming cohort on the per-frame path ...");
+    let per_frame_config = ServeConfig {
+        workers: threads,
+        ring_chunks: 64,
+        batch: None,
+    };
+    let (baseline, baseline_wall, _) = run_cohort(per_frame_config, &models, &recordings);
+
+    // ---- 3. Batched path (blocked word-parallel backend) ----
+    eprintln!("streaming the same cohort on the batched path ...");
+    let batched_config = ServeConfig {
+        workers: threads,
+        ring_chunks: 64,
+        batch: Some(BatchConfig {
+            backend: Arc::new(BlockedBackend),
+        }),
+    };
+    let (batched, batched_wall, stats) = run_cohort(batched_config, &models, &recordings);
+
+    // ---- 4. Bit-exactness: the tentpole guarantee ----
+    let mut alarms = 0usize;
+    for (i, (a, b)) in baseline.iter().zip(&batched).enumerate() {
+        assert_eq!(
+            a,
+            b,
+            "patient B{:02}: batched events diverge from per-frame events",
+            i + 1
+        );
+        assert!(!a.is_empty(), "patient produced events");
+        alarms += a.iter().filter(|e| e.alarm.is_some()).count();
+    }
+    println!(
+        "bit-exact: {} patients, {} events, {} alarms identical on both paths",
+        patients,
+        baseline.iter().map(Vec::len).sum::<usize>(),
+        alarms
+    );
+    assert!(alarms > 0, "cohort raised at least one alarm");
+
+    // ---- 5. Batching occupancy + throughput ----
+    let batching = stats.batching.expect("batched service reports occupancy");
+    println!(
+        "backend {}: {} batches, {} windows, mean {:.1} / max {} windows per batch",
+        batching.backend,
+        batching.batches(),
+        batching.queries(),
+        batching.mean_queries(),
+        batching.max_queries()
+    );
+    assert_eq!(
+        stats.totals.windows_batched,
+        batching.queries(),
+        "every batched window is accounted per session"
+    );
+    let hours = stats.totals.frames_in as f64 / 512.0 / 3600.0;
+    println!(
+        "per-frame: {:.2} signal-hours in {:.2}s wall ({:.0}x realtime)",
+        hours,
+        baseline_wall.as_secs_f64(),
+        hours * 3600.0 / baseline_wall.as_secs_f64()
+    );
+    println!(
+        "batched:   {:.2} signal-hours in {:.2}s wall ({:.0}x realtime)",
+        hours,
+        batched_wall.as_secs_f64(),
+        hours * 3600.0 / batched_wall.as_secs_f64()
+    );
+}

@@ -76,6 +76,7 @@ fn main() {
     let service = DetectionService::new(ServeConfig {
         workers: threads.clamp(1, 16),
         ring_chunks: 64,
+        ..ServeConfig::default()
     });
     let mut handles = Vec::new();
     let mut cursors = Vec::new();

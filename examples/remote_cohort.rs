@@ -70,6 +70,7 @@ fn main() {
     let service = Arc::new(DetectionService::new(ServeConfig {
         workers: threads.clamp(1, 16),
         ring_chunks: 8, // small rings so backpressure is visible below
+        ..ServeConfig::default()
     }));
     let server = IngestServer::bind("127.0.0.1:0", Arc::clone(&service), Arc::clone(&registry))
         .expect("ingest server binds");
