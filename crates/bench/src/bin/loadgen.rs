@@ -1,0 +1,475 @@
+//! Cohort load harness for the streaming detection service.
+//!
+//! Trains a small pool of Laelaps models on [`laelaps_ieeg::synth`]
+//! patients, fans them out across hundreds–thousands of concurrent
+//! sessions, drives pre-generated iEEG chunks through the service —
+//! closed-loop (push as fast as backpressure allows) or open-loop
+//! (paced arrival at a realtime multiple, overload drops counted) —
+//! and emits a machine-readable `BENCH_serve.json` with sustained
+//! throughput, the realtime multiple, and per-stage p50/p99/p999
+//! latency from the service's telemetry histograms.
+//!
+//! ```text
+//! cargo run --release -p laelaps-bench --bin loadgen -- \
+//!     [--sessions 256] [--models 4] [--dim 1000] [--seconds 10]
+//!     [--arrival closed|open] [--rate 4] [--mode in-process|tcp]
+//!     [--per-frame] [--overhead-check] [--repeats 3]
+//!     [--out BENCH_serve.json]
+//! ```
+//!
+//! `--mode tcp` runs the same workload over loopback TCP through
+//! [`laelaps_serve::net::IngestServer`], one [`IngestClient`] per
+//! session (two OS threads each — keep the session count moderate).
+//!
+//! `--overhead-check` additionally re-runs the closed-loop batched
+//! workload with telemetry enabled and disabled (interleaved,
+//! best-of-`--repeats` each) and records the relative overhead; the
+//! harness asserts the enabled path stays within 2% of disabled.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use laelaps_bench::json::Json;
+use laelaps_bench::{arg_present, arg_value};
+use laelaps_core::PatientModel;
+use laelaps_eval::parallel::{default_threads, parallel_map};
+use laelaps_eval::runner::{train_laelaps, PreparedPatient};
+use laelaps_ieeg::synth::demo_patient;
+use laelaps_ieeg::Recording;
+use laelaps_serve::net::{IngestClient, IngestServer};
+use laelaps_serve::{
+    BatchConfig, BlockedBackend, DetectionService, ModelRegistry, PushError, ServeConfig,
+    ServiceStats, TelemetryConfig,
+};
+
+const FS: usize = 512;
+const CHUNK_FRAMES: usize = 256; // 0.5 s of signal per push
+
+fn usize_arg(args: &[String], flag: &str, default: usize) -> usize {
+    arg_value(args, flag)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} takes a number"))
+        })
+        .unwrap_or(default)
+}
+
+fn f64_arg(args: &[String], flag: &str, default: f64) -> f64 {
+    arg_value(args, flag)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{flag} takes a number"))
+        })
+        .unwrap_or(default)
+}
+
+/// The workload: a pool of trained models and, per model, the held-out
+/// test signal pre-cut into ring-sized chunks. Sessions share these
+/// read-only across threads, so a 1000-session run still trains (and
+/// synthesizes) only `--models` patients.
+struct Workload {
+    models: Vec<Arc<PatientModel>>,
+    chunks: Vec<Vec<Arc<[f32]>>>,
+    electrodes: usize,
+}
+
+impl Workload {
+    fn prepare(pool: usize, dim: usize, scale: f64, threads: usize) -> Workload {
+        let indices: Vec<usize> = (0..pool).collect();
+        let trained: Vec<(PatientModel, Vec<Vec<f32>>)> = parallel_map(&indices, threads, |&i| {
+            let mut profile = demo_patient(9000 + i as u64);
+            profile.time_scale = scale;
+            let prep = PreparedPatient::new(&profile).expect("synthesis succeeds");
+            let (model, replay) = train_laelaps(&prep, dim).expect("training succeeds");
+            let tr = laelaps_core::tuning::tune_tr(&replay, laelaps_core::tuning::DEFAULT_ALPHA);
+            (
+                model.with_tr(tr).expect("tuned tr is valid"),
+                prep.test_signal().to_vec(),
+            )
+        });
+        let mut models = Vec::with_capacity(pool);
+        let mut chunks = Vec::with_capacity(pool);
+        let mut electrodes = 0;
+        for (model, signal) in trained {
+            let recording = Recording::from_channels(FS as u32, signal).expect("valid recording");
+            electrodes = recording.electrodes();
+            let mut cursor = recording.frames();
+            let mut list = Vec::new();
+            let mut staging = Vec::new();
+            loop {
+                staging.clear();
+                if cursor.read_chunk(CHUNK_FRAMES, &mut staging) < CHUNK_FRAMES {
+                    break; // drop the ragged tail so every push is uniform
+                }
+                list.push(Arc::<[f32]>::from(staging.as_slice()));
+            }
+            assert!(!list.is_empty(), "test signal shorter than one chunk");
+            models.push(Arc::new(model));
+            chunks.push(list);
+        }
+        Workload {
+            models,
+            chunks,
+            electrodes,
+        }
+    }
+
+    /// Chunk for session `session` at stream position `tick` — sessions
+    /// of one model start at staggered offsets so a cohort tick does not
+    /// classify 256 identical windows.
+    fn chunk(&self, session: usize, tick: usize) -> &Arc<[f32]> {
+        let pool = self.chunks[session % self.chunks.len()].as_slice();
+        &pool[(session / self.chunks.len() + tick) % pool.len()]
+    }
+
+    fn model(&self, session: usize) -> &Arc<PatientModel> {
+        &self.models[session % self.models.len()]
+    }
+}
+
+#[derive(Clone, Copy)]
+struct LoadSpec {
+    sessions: usize,
+    chunks_per_session: usize,
+    /// `None` = closed loop; `Some(r)` = open loop at `r`× realtime.
+    open_rate: Option<f64>,
+    batched: bool,
+    telemetry: bool,
+    threads: usize,
+}
+
+struct LoadReport {
+    wall: Duration,
+    stats: ServiceStats,
+}
+
+impl LoadReport {
+    fn frames_per_sec(&self) -> f64 {
+        self.stats.totals.frames_processed as f64 / self.wall.as_secs_f64()
+    }
+}
+
+fn serve_config(spec: &LoadSpec) -> ServeConfig {
+    ServeConfig {
+        workers: spec.threads,
+        batch: spec.batched.then(|| BatchConfig {
+            backend: Arc::new(BlockedBackend),
+        }),
+        telemetry: TelemetryConfig {
+            enabled: spec.telemetry,
+        },
+        ..ServeConfig::default()
+    }
+}
+
+/// Drives the workload through an in-process service: driver threads own
+/// disjoint session slices and walk them tick by tick.
+fn run_in_process(spec: &LoadSpec, workload: &Workload) -> LoadReport {
+    let service = DetectionService::new(serve_config(spec));
+    let handles: Vec<_> = (0..spec.sessions)
+        .map(|i| {
+            service
+                .open_session(&format!("L{i:04}"), workload.model(i))
+                .expect("session opens")
+        })
+        .collect();
+
+    let drivers = spec.threads.clamp(1, spec.sessions);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let mut slots: Vec<Vec<(usize, _)>> = (0..drivers).map(|_| Vec::new()).collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            slots[i % drivers].push((i, handle));
+        }
+        for mut owned in slots {
+            scope.spawn(move || {
+                let interval = spec
+                    .open_rate
+                    .map(|r| Duration::from_secs_f64(CHUNK_FRAMES as f64 / FS as f64 / r));
+                for tick in 0..spec.chunks_per_session {
+                    if let Some(interval) = interval {
+                        // Open loop: absolute deadlines so pacing does
+                        // not drift; a slow service eats the slack and
+                        // then drops, which is the point.
+                        let deadline = start + interval.mul_f64(tick as f64);
+                        while Instant::now() < deadline {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    }
+                    for (session, handle) in &mut owned {
+                        let samples = workload.chunk(*session, tick);
+                        if interval.is_some() {
+                            handle.push_chunk_lossy(samples);
+                        } else {
+                            let mut pending: Box<[f32]> = samples.as_ref().into();
+                            loop {
+                                match handle.try_push_chunk(pending) {
+                                    Ok(()) => break,
+                                    Err(PushError::Full(back)) => {
+                                        pending = back;
+                                        std::thread::yield_now();
+                                    }
+                                    Err(e) => panic!("push failed: {e}"),
+                                }
+                            }
+                        }
+                    }
+                }
+                for (_, handle) in &mut owned {
+                    handle.close();
+                }
+            });
+        }
+    });
+    service.flush();
+    let wall = start.elapsed();
+    LoadReport {
+        wall,
+        stats: service.stats(),
+    }
+}
+
+/// The same workload over loopback TCP: one `IngestClient` per session
+/// against an `IngestServer` fronting the service.
+fn run_tcp(spec: &LoadSpec, workload: &Workload) -> LoadReport {
+    let model_dir = std::env::temp_dir().join(format!("laelaps-loadgen-{}", std::process::id()));
+    let registry = Arc::new(ModelRegistry::open(&model_dir).expect("registry opens"));
+    for (i, model) in workload.models.iter().enumerate() {
+        registry
+            .save(&format!("M{i:02}"), model)
+            .expect("model persists");
+    }
+    let service = Arc::new(DetectionService::new(serve_config(spec)));
+    let server = IngestServer::bind("127.0.0.1:0", Arc::clone(&service), Arc::clone(&registry))
+        .expect("ingest server binds");
+    let addr = server.local_addr();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for session in 0..spec.sessions {
+            scope.spawn(move || {
+                let patient = format!("M{:02}", session % workload.models.len());
+                let mut client = IngestClient::connect(addr, &patient, workload.electrodes as u32)
+                    .expect("client connects");
+                let interval = spec
+                    .open_rate
+                    .map(|r| Duration::from_secs_f64(CHUNK_FRAMES as f64 / FS as f64 / r));
+                for tick in 0..spec.chunks_per_session {
+                    if let Some(interval) = interval {
+                        let deadline = start + interval.mul_f64(tick as f64);
+                        while Instant::now() < deadline {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                    }
+                    client
+                        .send_chunk(workload.chunk(session, tick))
+                        .expect("chunk sends");
+                }
+                client.finish().expect("clean close");
+            });
+        }
+    });
+    service.flush();
+    let wall = start.elapsed();
+    let _ = std::fs::remove_dir_all(&model_dir);
+    LoadReport {
+        wall,
+        stats: service.stats(),
+    }
+}
+
+fn run(spec: &LoadSpec, workload: &Workload, tcp: bool) -> LoadReport {
+    if tcp {
+        run_tcp(spec, workload)
+    } else {
+        run_in_process(spec, workload)
+    }
+}
+
+/// Best sustained throughput over `repeats` runs — the interleaved
+/// best-of comparison the overhead check needs to stay below noise.
+fn best_of(spec: &LoadSpec, workload: &Workload, repeats: usize) -> f64 {
+    (0..repeats)
+        .map(|_| run(spec, workload, false).frames_per_sec())
+        .fold(0.0, f64::max)
+}
+
+fn stage_rows(stats: &ServiceStats) -> Json {
+    Json::Arr(
+        stats
+            .telemetry
+            .stages
+            .iter()
+            .map(|(stage, hist)| {
+                Json::obj([
+                    ("stage", Json::Str(stage.name().to_string())),
+                    ("count", Json::num_u64(hist.count)),
+                    ("mean_us", Json::Num((hist.mean() * 100.0).round() / 100.0)),
+                    ("p50_us", Json::num_u64(hist.p50())),
+                    ("p99_us", Json::num_u64(hist.p99())),
+                    ("p999_us", Json::num_u64(hist.p999())),
+                    ("max_us", Json::num_u64(hist.max)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sessions = usize_arg(&args, "--sessions", 256).max(1);
+    let pool = usize_arg(&args, "--models", 4).clamp(1, sessions);
+    let dim = usize_arg(&args, "--dim", 1000);
+    let seconds = f64_arg(&args, "--seconds", 10.0);
+    let scale = f64_arg(&args, "--scale", 8.0);
+    let rate = f64_arg(&args, "--rate", 4.0);
+    let repeats = usize_arg(&args, "--repeats", 3).max(1);
+    let arrival = arg_value(&args, "--arrival").unwrap_or_else(|| "closed".to_string());
+    let mode = arg_value(&args, "--mode").unwrap_or_else(|| "in-process".to_string());
+    let batched = !arg_present(&args, "--per-frame");
+    let overhead_check = arg_present(&args, "--overhead-check");
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let tcp = match mode.as_str() {
+        "in-process" => false,
+        "tcp" => true,
+        other => panic!("--mode takes in-process|tcp, got {other}"),
+    };
+    let open_rate = match arrival.as_str() {
+        "closed" => None,
+        "open" => Some(rate),
+        other => panic!("--arrival takes closed|open, got {other}"),
+    };
+    let chunks_per_session = ((seconds * FS as f64 / CHUNK_FRAMES as f64).ceil() as usize).max(1);
+    let threads = default_threads().clamp(1, 16);
+
+    eprintln!(
+        "loadgen: {sessions} sessions over {pool} models (d = {dim}), \
+         {chunks_per_session} chunks/session, {arrival} arrival, {mode} mode"
+    );
+    let workload = Workload::prepare(pool, dim, scale, threads);
+
+    let spec = LoadSpec {
+        sessions,
+        chunks_per_session,
+        open_rate,
+        batched,
+        telemetry: true,
+        threads,
+    };
+    eprintln!("loadgen: driving the cohort ...");
+    let report = run(&spec, &workload, tcp);
+    let totals = &report.stats.totals;
+    let signal_seconds = (totals.frames_in + totals.frames_dropped) as f64 * (1.0 / FS as f64);
+    let realtime_multiple = signal_seconds / report.wall.as_secs_f64();
+    let offered = totals.frames_in + totals.frames_dropped + totals.frames_refused;
+    assert!(
+        totals.frames_in >= totals.frames_processed + totals.frames_discarded,
+        "accepted frames are accounted for"
+    );
+    eprintln!(
+        "loadgen: {:.2} signal-hours in {:.2}s wall ({:.0}x realtime), \
+         {:.0} frames/s sustained, {} dropped, {} events, {} alarms",
+        signal_seconds / 3600.0,
+        report.wall.as_secs_f64(),
+        realtime_multiple,
+        report.frames_per_sec(),
+        totals.frames_dropped,
+        totals.events_out,
+        totals.alarms_out
+    );
+
+    // ---- Optional telemetry-overhead comparison (closed-loop batched) ----
+    let overhead = if overhead_check {
+        let base = LoadSpec {
+            open_rate: None,
+            batched: true,
+            telemetry: true,
+            ..spec
+        };
+        eprintln!("loadgen: overhead check, {repeats} interleaved repeats per config ...");
+        let mut on = 0.0f64;
+        let mut off = 0.0f64;
+        for _ in 0..repeats {
+            on = on.max(best_of(
+                &LoadSpec {
+                    telemetry: true,
+                    ..base
+                },
+                &workload,
+                1,
+            ));
+            off = off.max(best_of(
+                &LoadSpec {
+                    telemetry: false,
+                    ..base
+                },
+                &workload,
+                1,
+            ));
+        }
+        let pct = (off - on) / off * 100.0;
+        eprintln!(
+            "loadgen: telemetry on {on:.0} frames/s, off {off:.0} frames/s, \
+             overhead {pct:+.2}%"
+        );
+        assert!(
+            pct <= 2.0,
+            "telemetry overhead {pct:.2}% exceeds the 2% budget"
+        );
+        Json::obj([
+            ("enabled_frames_per_sec", Json::Num(on.round())),
+            ("disabled_frames_per_sec", Json::Num(off.round())),
+            ("overhead_pct", Json::Num((pct * 100.0).round() / 100.0)),
+            ("within_2pct", Json::Bool(true)),
+        ])
+    } else {
+        Json::Null
+    };
+
+    let doc = Json::obj([
+        ("schema", Json::Str("laelaps-bench/serve-load/v1".into())),
+        ("mode", Json::Str(mode.clone())),
+        ("arrival", Json::Str(arrival.clone())),
+        (
+            "open_loop_rate",
+            open_rate.map(Json::Num).unwrap_or(Json::Null),
+        ),
+        ("batched", Json::Bool(batched)),
+        ("sessions", Json::num_u64(sessions as u64)),
+        ("model_pool", Json::num_u64(pool as u64)),
+        ("dim", Json::num_u64(dim as u64)),
+        ("electrodes", Json::num_u64(workload.electrodes as u64)),
+        (
+            "chunks_per_session",
+            Json::num_u64(chunks_per_session as u64),
+        ),
+        ("wall_seconds", Json::Num(report.wall.as_secs_f64())),
+        ("signal_seconds", Json::Num(signal_seconds.round())),
+        ("realtime_multiple", Json::Num(realtime_multiple.round())),
+        (
+            "sustained_frames_per_sec",
+            Json::Num(report.frames_per_sec().round()),
+        ),
+        ("frames_offered", Json::num_u64(offered)),
+        ("frames_in", Json::num_u64(totals.frames_in)),
+        ("frames_processed", Json::num_u64(totals.frames_processed)),
+        ("frames_dropped", Json::num_u64(totals.frames_dropped)),
+        ("frames_refused", Json::num_u64(totals.frames_refused)),
+        ("events_out", Json::num_u64(totals.events_out)),
+        ("alarms_out", Json::num_u64(totals.alarms_out)),
+        ("windows_batched", Json::num_u64(totals.windows_batched)),
+        ("max_drain_micros", Json::num_u64(totals.max_drain_micros)),
+        (
+            "recent_frames_per_sec",
+            Json::Num(report.stats.telemetry.recent_frames_per_sec.round()),
+        ),
+        (
+            "telemetry_enabled",
+            Json::Bool(report.stats.telemetry.enabled),
+        ),
+        ("stages", stage_rows(&report.stats)),
+        ("overhead_check", overhead),
+    ]);
+    std::fs::write(&out_path, doc.render_pretty()).expect("artifact writes");
+    eprintln!("loadgen: wrote {out_path}");
+}

@@ -15,6 +15,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 /// Parses a `--flag value` style argument list (tiny helper shared by the
 /// table binaries).
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {

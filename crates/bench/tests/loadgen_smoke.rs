@@ -1,0 +1,125 @@
+//! Smoke-scale run of the `loadgen` cohort harness: the binary must
+//! complete a small closed-loop workload, write the JSON artifact, and
+//! the artifact must satisfy the `laelaps-bench/serve-load/v1` schema —
+//! the same gate CI applies to its uploaded artifact.
+
+use laelaps_bench::json::Json;
+use std::process::Command;
+
+/// Every field the schema promises, with its expected shape.
+fn check_schema(doc: &Json) {
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("laelaps-bench/serve-load/v1"),
+        "schema tag"
+    );
+    for key in ["mode", "arrival"] {
+        assert!(doc.get(key).and_then(Json::as_str).is_some(), "{key}");
+    }
+    for key in [
+        "sessions",
+        "model_pool",
+        "dim",
+        "electrodes",
+        "chunks_per_session",
+        "wall_seconds",
+        "signal_seconds",
+        "realtime_multiple",
+        "sustained_frames_per_sec",
+        "frames_offered",
+        "frames_in",
+        "frames_processed",
+        "frames_dropped",
+        "frames_refused",
+        "events_out",
+        "alarms_out",
+        "windows_batched",
+        "max_drain_micros",
+        "recent_frames_per_sec",
+    ] {
+        let value = doc
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{key} is a number"));
+        assert!(value >= 0.0, "{key} is non-negative");
+    }
+    for key in ["batched", "telemetry_enabled"] {
+        assert!(doc.get(key).and_then(Json::as_bool).is_some(), "{key}");
+    }
+
+    let stages = doc
+        .get("stages")
+        .and_then(Json::as_array)
+        .expect("stages is an array");
+    assert_eq!(stages.len(), 10, "one row per hot-path stage");
+    for row in stages {
+        assert!(row.get("stage").and_then(Json::as_str).is_some());
+        for key in ["count", "mean_us", "p50_us", "p99_us", "p999_us", "max_us"] {
+            assert!(
+                row.get(key).and_then(Json::as_f64).is_some(),
+                "stage row has {key}"
+            );
+        }
+        let p50 = row.get("p50_us").unwrap().as_f64().unwrap();
+        let p99 = row.get("p99_us").unwrap().as_f64().unwrap();
+        let p999 = row.get("p999_us").unwrap().as_f64().unwrap();
+        let max = row.get("max_us").unwrap().as_f64().unwrap();
+        assert!(
+            p50 <= p99 && p99 <= p999 && p999 <= max,
+            "ordered quantiles"
+        );
+    }
+}
+
+#[test]
+fn loadgen_smoke_emits_valid_artifact() {
+    let out =
+        std::env::temp_dir().join(format!("laelaps-loadgen-smoke-{}.json", std::process::id()));
+    let status = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args([
+            "--sessions",
+            "16",
+            "--models",
+            "2",
+            "--seconds",
+            "2",
+            "--out",
+        ])
+        .arg(&out)
+        .status()
+        .expect("loadgen runs");
+    assert!(status.success(), "loadgen exits cleanly");
+
+    let text = std::fs::read_to_string(&out).expect("artifact written");
+    let _ = std::fs::remove_file(&out);
+    assert!(!text.trim().is_empty(), "artifact is not empty");
+    let doc = Json::parse(&text).expect("artifact is valid JSON");
+    check_schema(&doc);
+
+    // The smoke workload really ran: frames flowed and telemetry saw them.
+    let num = |key: &str| doc.get(key).unwrap().as_f64().unwrap();
+    assert!(num("frames_processed") > 0.0);
+    assert_eq!(num("frames_processed"), num("frames_in"));
+    assert!(num("sustained_frames_per_sec") > 0.0);
+    assert!(num("events_out") > 0.0);
+    assert!(doc.get("telemetry_enabled").unwrap().as_bool() == Some(true));
+    let stages = doc.get("stages").unwrap().as_array().unwrap();
+    let timed: f64 = stages
+        .iter()
+        .map(|row| row.get("count").unwrap().as_f64().unwrap())
+        .sum();
+    assert!(timed > 0.0, "at least one stage histogram populated");
+}
+
+/// The committed artifact at the repo root stays valid against the same
+/// schema gate, so a stale or hand-mangled `BENCH_serve.json` fails CI.
+#[test]
+fn committed_artifact_matches_schema() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_serve.json is committed");
+    let doc = Json::parse(&text).expect("committed artifact is valid JSON");
+    check_schema(&doc);
+    let sessions = doc.get("sessions").unwrap().as_f64().unwrap();
+    assert!(sessions >= 256.0, "committed run is cohort-scale");
+    assert!(doc.get("frames_processed").unwrap().as_f64().unwrap() > 0.0);
+}

@@ -22,11 +22,27 @@ pub use std::hint::black_box;
 /// Target wall time per measured sample.
 const SAMPLE_BUDGET: Duration = Duration::from_millis(8);
 
+/// One measured benchmark, kept for the optional JSON summary dump.
+#[derive(Debug, Clone)]
+struct Record {
+    label: String,
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    throughput: Option<Throughput>,
+}
+
 /// The benchmark driver.
 #[derive(Debug, Default)]
 pub struct Criterion {
     test_mode: bool,
     filter: Option<String>,
+    records: Vec<Record>,
+    /// When the `CRITERION_JSON` environment variable names a file, every
+    /// measured benchmark is summarised there as a JSON array on exit —
+    /// the machine-readable counterpart of the stdout lines, consumed by
+    /// CI to archive perf trajectories.
+    json_path: Option<std::path::PathBuf>,
 }
 
 impl Criterion {
@@ -43,7 +59,12 @@ impl Criterion {
                 _ => {}
             }
         }
-        Criterion { test_mode, filter }
+        Criterion {
+            test_mode,
+            filter,
+            records: Vec::new(),
+            json_path: std::env::var_os("CRITERION_JSON").map(Into::into),
+        }
     }
 
     /// Opens a named group of related benchmarks.
@@ -106,7 +127,64 @@ impl Criterion {
             format_ns(median),
             format_ns(mean)
         );
+        self.records.push(Record {
+            label: label.to_string(),
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+            throughput,
+        });
     }
+
+    fn write_json_summary(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut out = String::from("[");
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (elements, bytes) = match r.throughput {
+                Some(Throughput::Elements(n)) => (format!("{n}"), "null".to_string()),
+                Some(Throughput::Bytes(n)) => ("null".to_string(), format!("{n}")),
+                None => ("null".to_string(), "null".to_string()),
+            };
+            out.push_str(&format!(
+                "\n  {{\"label\": \"{}\", \"min_ns\": {:.1}, \"median_ns\": {:.1}, \
+                 \"mean_ns\": {:.1}, \"elements_per_iter\": {elements}, \
+                 \"bytes_per_iter\": {bytes}}}",
+                json_escape(&r.label),
+                r.min_ns,
+                r.median_ns,
+                r.mean_ns,
+            ));
+        }
+        out.push_str(if self.records.is_empty() {
+            "]\n"
+        } else {
+            "\n]\n"
+        });
+        std::fs::write(path, out)
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if let Some(path) = self.json_path.take() {
+            if let Err(e) = self.write_json_summary(&path) {
+                eprintln!("criterion: failed to write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn format_ns(ns: f64) -> String {
@@ -285,10 +363,8 @@ mod tests {
 
     #[test]
     fn bench_runs_in_test_mode() {
-        let mut criterion = Criterion {
-            test_mode: true,
-            filter: None,
-        };
+        let mut criterion = Criterion::default();
+        criterion.test_mode = true;
         let mut calls = 0u32;
         let mut group = criterion.benchmark_group("g");
         group.sample_size(5);
@@ -305,6 +381,34 @@ mod tests {
     fn ids_render() {
         assert_eq!(BenchmarkId::new("xor", 1000).label, "xor/1000");
         assert_eq!(BenchmarkId::from_parameter(24).label, "24");
+    }
+
+    #[test]
+    fn json_summary_dumps_measured_records() {
+        let mut criterion = Criterion::default();
+        criterion.records.push(Record {
+            label: "g/xor \"1000\"".into(),
+            min_ns: 10.0,
+            median_ns: 12.5,
+            mean_ns: 13.0,
+            throughput: Some(Throughput::Elements(1000)),
+        });
+        criterion.records.push(Record {
+            label: "wire/decode".into(),
+            min_ns: 100.0,
+            median_ns: 110.0,
+            mean_ns: 111.0,
+            throughput: None,
+        });
+        let path = std::env::temp_dir().join(format!("criterion-shim-{}.json", std::process::id()));
+        criterion.write_json_summary(&path).expect("summary writes");
+        let text = std::fs::read_to_string(&path).expect("summary readable");
+        let _ = std::fs::remove_file(&path);
+        assert!(text.starts_with('[') && text.trim_end().ends_with(']'));
+        assert!(text.contains("\"label\": \"g/xor \\\"1000\\\"\""));
+        assert!(text.contains("\"elements_per_iter\": 1000"));
+        assert!(text.contains("\"median_ns\": 110.0"));
+        assert!(text.contains("\"bytes_per_iter\": null"));
     }
 
     #[test]

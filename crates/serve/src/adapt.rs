@@ -59,9 +59,10 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use laelaps_core::{Label, TrainingData};
+use laelaps_telemetry::Stage;
 
 use crate::error::{Result, ServeError};
 use crate::persist::ModelRegistry;
@@ -99,7 +100,10 @@ pub struct AdaptStats {
 struct EngineInner {
     service: Arc<DetectionService>,
     registry: Arc<ModelRegistry>,
-    queue: Mutex<VecDeque<FeedbackSegment>>,
+    /// Queued feedback, each with its submission instant (`None` with
+    /// telemetry off) so the applied swap can record the full
+    /// feedback→hot-swap propagation latency.
+    queue: Mutex<VecDeque<(FeedbackSegment, Option<Instant>)>>,
     /// Signals the worker (new feedback / shutdown) and waiters in
     /// [`AdaptationEngine::flush`] (an item finished processing).
     wake: Condvar,
@@ -116,7 +120,9 @@ struct EngineInner {
 
 impl EngineInner {
     /// Absorb → publish → stage swaps, for one feedback segment.
-    fn process(&self, feedback: FeedbackSegment) -> Result<()> {
+    /// `origin` is the segment's submission instant; swaps staged here
+    /// carry it so [`Stage::AdaptPropagate`] spans submit → applied.
+    fn process(&self, feedback: FeedbackSegment, origin: Option<Instant>) -> Result<()> {
         let model = self.registry.load(&feedback.patient)?;
         let electrodes = model.electrodes();
         if feedback.samples.is_empty() || !feedback.samples.len().is_multiple_of(electrodes) {
@@ -162,9 +168,9 @@ impl EngineInner {
             });
         }
         self.registry.publish(&feedback.patient, &updated)?;
-        let swapped = self
-            .service
-            .swap_patient_model(&feedback.patient, &Arc::new(updated));
+        let swapped =
+            self.service
+                .swap_patient_model_from(&feedback.patient, &Arc::new(updated), origin);
         self.retrains.fetch_add(1, Ordering::Relaxed);
         self.swaps_requested
             .fetch_add(swapped as u64, Ordering::Relaxed);
@@ -192,8 +198,11 @@ impl EngineInner {
                     queue = guard;
                 }
             };
-            let Some(item) = item else { return };
-            if let Err(e) = self.process(item) {
+            let Some((item, origin)) = item else { return };
+            let timer = self.service.telemetry().stages.timer(Stage::AdaptRetrain);
+            let outcome = self.process(item, origin);
+            timer.commit();
+            if let Err(e) = outcome {
                 self.failures.fetch_add(1, Ordering::Relaxed);
                 *self.last_error.lock().expect("last error poisoned") = Some(e.to_string());
             }
@@ -295,11 +304,14 @@ impl AdaptationEngine {
             });
         }
         self.inner.feedback_in.fetch_add(1, Ordering::Relaxed);
+        // Timestamp at submission, so the propagation span includes the
+        // queue wait and retraining, not just the swap staging.
+        let origin = self.inner.service.telemetry().stages.now();
         self.inner
             .queue
             .lock()
             .expect("adapt queue poisoned")
-            .push_back(feedback);
+            .push_back((feedback, origin));
         self.inner.wake.notify_all();
         Ok(())
     }
@@ -332,13 +344,15 @@ impl AdaptationEngine {
         }
     }
 
-    /// Service counters with the registry's cache counters attached —
-    /// the full observability surface of an adapting deployment.
+    /// Service counters with the registry's cache counters and this
+    /// engine's counters attached — the full observability surface of an
+    /// adapting deployment in one [`ServiceStats`].
     pub fn service_stats(&self) -> ServiceStats {
         self.inner
             .service
             .stats()
             .with_registry(self.inner.registry.stats())
+            .with_adapt(self.stats())
     }
 
     /// The most recent failure's description, if any feedback segment

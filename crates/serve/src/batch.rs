@@ -244,6 +244,9 @@ pub(crate) enum PendingItem {
     Swap {
         model: Arc<PatientModel>,
         at_frame: u64,
+        /// Propagation origin carried from the [`crate::session::SwapRequest`]
+        /// (`None` with telemetry off).
+        origin: Option<std::time::Instant>,
     },
 }
 

@@ -37,7 +37,7 @@
 //!   in stream order. Output is **bit-exact** with the per-frame path —
 //!   including across hot-swap generation boundaries — so the switch is
 //!   purely a throughput choice; occupancy shows up in
-//!   [`ServiceStats::batching`]. The per-frame path remains the default
+//!   [`TelemetrySnapshot::batching`]. The per-frame path remains the default
 //!   because batching pays off only once backlogs exceed a few windows
 //!   per pass (the `batch_classify` bench puts the crossover around
 //!   backlog 2–4; at backlog ≥ 8 the blocked backend sustains ≥ 1.5–2×
@@ -75,10 +75,39 @@
 //!   [`session::SessionOutput::ModelSwapped`] markers in the event
 //!   stream, and as `ModelUpdated` wire frames.
 //! * **Observability** ([`ServiceStats`] / [`SessionStats`] /
-//!   [`RegistryStats`]) — per-session and aggregate counters: frames
-//!   in/dropped/refused/processed, events, alarms, worst-case drain
-//!   latency, per-session model generation, and registry cache
-//!   hits/misses/evictions.
+//!   [`TelemetrySnapshot`]) — per-session and aggregate counters (frames
+//!   in/dropped/refused/processed, events, alarms, per-session model
+//!   generation) plus stage-level latency telemetry from
+//!   `laelaps-telemetry`: every hot-path stage feeds a lock-free
+//!   log-bucketed histogram (p50/p99/p999 within 1/16 relative error,
+//!   exact max, snapshots merge exactly), and a sliding-window rate
+//!   meter tracks recent drain throughput. The instrumented pipeline:
+//!
+//!   ```text
+//!   TCP reader          ring             shard worker
+//!   wire_decode → ring_enqueue → ring_wait ─┬─ drain ───────────┐ per-frame
+//!   (checksum +   (push retry    (queued     └─ encode →        │ or batched
+//!    decode)       loop)          in ring)      classify →      │
+//!                                               scatter ────────┤
+//!                                                            publish
+//!                                                      (events → bus/tap)
+//!
+//!   feedback: adapt_retrain (absorb + republish) →
+//!             adapt_propagate (feedback dequeue → applied swap)
+//!   ```
+//!
+//!   One [`TelemetrySnapshot`] (on every [`ServiceStats`]) carries the
+//!   stage histograms and folds in the subsystem counters with a uniform
+//!   zero-when-unused shape: [`RegistryStats`] cache
+//!   hits/misses/evictions, [`AdaptStats`] feedback/retrain/swap counts,
+//!   and [`BatchingStats`] occupancy. Timing is on by default
+//!   ([`ServeConfig::telemetry`]); switching it off reduces the
+//!   instrumentation to its plain atomic counters — no clock reads on
+//!   the hot path, and the `loadgen` overhead gate holds the enabled
+//!   path within 2% of disabled. The cohort load harness
+//!   (`cargo run --release -p laelaps-bench --bin loadgen`) drives
+//!   hundreds of sessions through either path and writes the stage
+//!   percentiles plus sustained throughput to `BENCH_serve.json`.
 //!
 //! See `examples/long_term_monitoring.rs` for the in-process train →
 //! persist → load → stream → alarm flow over a 32-patient synthetic
@@ -113,7 +142,13 @@ pub use service::{AlarmRecord, DetectionService, ServeConfig, ServiceEvent};
 pub use session::{EventTap, PushError, SessionHandle, SessionId, SessionOutput};
 pub use stats::{
     BatchingStats, RegistryStats, ServiceStats, SessionStats, SessionStatsEntry, ShardBatchStats,
+    TelemetrySnapshot,
 };
+
+// The telemetry primitives behind [`TelemetrySnapshot`], re-exported so
+// consumers can configure timing and read histograms without a separate
+// `laelaps-telemetry` import.
+pub use laelaps_telemetry::{HistogramSnapshot, Stage, StagesSnapshot, TelemetryConfig};
 
 // The pluggable classification engines behind [`BatchConfig`],
 // re-exported so a service can be configured without a separate

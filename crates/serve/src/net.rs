@@ -46,13 +46,16 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use laelaps_core::{DetectorEvent, Label};
+use laelaps_telemetry::{Stage, StageSet};
 
 use crate::adapt::{AdaptationEngine, FeedbackSegment};
 use crate::error::{Result, ServeError};
 use crate::persist::ModelRegistry;
 use crate::service::DetectionService;
 use crate::session::{EventTap, PushError, SessionHandle, SessionOutput};
-use crate::wire::{event_message, read_message, write_message, Message, MAX_PAYLOAD};
+use crate::wire::{
+    event_message, read_message, read_message_timed, write_message, Message, MAX_PAYLOAD,
+};
 
 /// How often a blocked socket read wakes to check for server shutdown.
 const READ_POLL: Duration = Duration::from_millis(100);
@@ -302,7 +305,11 @@ fn serve_connection(
         shutdown: Arc::clone(shutdown),
     };
 
-    let mut handle = match open_from_hello(&mut reader, service, registry) {
+    // Stage timing for this connection's reads: wire decode (header →
+    // parsed message) and ring enqueue (including throttle stalls).
+    let telemetry = Arc::clone(service.telemetry());
+    let stages = &telemetry.stages;
+    let mut handle = match open_from_hello(&mut reader, service, registry, stages) {
         Ok(handle) => handle,
         Err(e) => {
             let _ = send(
@@ -343,6 +350,7 @@ fn serve_connection(
         engine,
         shutdown,
         throttles,
+        stages,
     );
     handle.close();
     if outcome.is_ok() {
@@ -379,8 +387,9 @@ fn open_from_hello(
     reader: &mut ShutdownRead,
     service: &DetectionService,
     registry: &ModelRegistry,
+    stages: &StageSet,
 ) -> Result<SessionHandle> {
-    let hello = read_message(reader)?.ok_or_else(|| ServeError::Protocol {
+    let hello = read_message_timed(reader, Some(stages))?.ok_or_else(|| ServeError::Protocol {
         reason: "connection closed before Hello".into(),
     })?;
     let Message::Hello {
@@ -407,6 +416,7 @@ fn open_from_hello(
 /// Bridges `Frames` into the session until `Close`/EOF, mapping ring
 /// backpressure to `Throttle` + a progress wait (never a drop), and
 /// `Feedback` into the adaptation engine when one is attached.
+#[allow(clippy::too_many_arguments)]
 fn read_loop(
     reader: &mut ShutdownRead,
     handle: &mut SessionHandle,
@@ -415,16 +425,21 @@ fn read_loop(
     engine: Option<&AdaptationEngine>,
     shutdown: &Arc<AtomicBool>,
     throttles: &AtomicU64,
+    stages: &StageSet,
 ) -> Result<()> {
     loop {
         if shutdown.load(Ordering::Acquire) {
             return Ok(());
         }
-        match read_message(reader)? {
+        match read_message_timed(reader, Some(stages))? {
             // Client EOF without Close: treat as Close — the frames it
             // sent are still drained and their events delivered.
             None | Some(Message::Close) => return Ok(()),
             Some(Message::Frames { chunk }) => {
+                // Spans acceptance into the ring *including* throttle
+                // stalls — the queueing delay a remote producer sees.
+                // Dropped (unrecorded) if the connection dies mid-push.
+                let timer = stages.timer(Stage::RingEnqueue);
                 let mut pending = chunk;
                 let mut throttled = false;
                 loop {
@@ -460,6 +475,7 @@ fn read_loop(
                         }
                     }
                 }
+                timer.commit();
             }
             Some(Message::Feedback { label, chunk }) => {
                 let Some(engine) = engine else {

@@ -8,13 +8,14 @@ use std::time::Duration;
 
 use laelaps_core::{Detector, DetectorEvent, PatientModel};
 use laelaps_eval::parallel::{default_threads, ShardedPool};
+use laelaps_telemetry::{Stage, TelemetryConfig};
 
 use crate::batch::{BatchConfig, BatchRunner};
 use crate::error::Result;
 use crate::persist::ModelRegistry;
 use crate::ring;
 use crate::session::{SessionCore, SessionHandle, SessionId, WorkerState};
-use crate::stats::{RetiredStats, ServiceStats, SessionStatsEntry};
+use crate::stats::{RetiredStats, ServiceStats, ServiceTelemetry, SessionStatsEntry};
 
 /// An alarm surfaced on the service-wide bus.
 #[derive(Debug, Clone)]
@@ -74,6 +75,12 @@ pub struct ServeConfig {
     /// path, including hot-swap boundaries. `None` (the default) keeps
     /// the per-frame path.
     pub batch: Option<BatchConfig>,
+    /// Stage timing and rate metering (enabled by default — recording is
+    /// allocation-free and lock-free). [`TelemetryConfig::disabled`]
+    /// strips the hot path down to a handful of untimed counters: no
+    /// clock reads, empty histograms, zero
+    /// [`crate::TelemetrySnapshot::recent_frames_per_sec`].
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +89,7 @@ impl Default for ServeConfig {
             workers: default_threads().clamp(1, 16),
             ring_chunks: 64,
             batch: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -158,6 +166,8 @@ struct ServiceInner {
     progress: Vec<Arc<Progress>>,
     /// Batched-classification state; `None` runs the per-frame path.
     batch: Option<BatchRunner>,
+    /// Stage histograms + frame-rate meter, shared with every session.
+    telemetry: Arc<ServiceTelemetry>,
 }
 
 impl ServiceInner {
@@ -227,7 +237,9 @@ impl ServiceInner {
             .collect();
         let queries = plan.total_queries() as u64;
         if queries > 0 {
+            let timer = self.telemetry.stages.timer(Stage::Classify);
             plan.classify(runner.backend.as_ref());
+            timer.commit();
             runner.record(shard, queries);
         }
         let mut worked = false;
@@ -349,6 +361,7 @@ impl DetectionService {
                 .batch
                 .as_ref()
                 .map(|batch| BatchRunner::new(batch, workers)),
+            telemetry: Arc::new(ServiceTelemetry::new(&config.telemetry)),
         });
         let pool = {
             let inner = Arc::clone(&inner);
@@ -391,6 +404,7 @@ impl DetectionService {
             }),
             outbox: Mutex::new(VecDeque::new()),
             counters: Default::default(),
+            telemetry: Arc::clone(&self.inner.telemetry),
             pending_swap: Mutex::new(None),
             generation: AtomicU64::new(model.generation()),
             failed_flag: Default::default(),
@@ -556,9 +570,21 @@ impl DetectionService {
     /// different configuration, already finished, or failed) are
     /// skipped, not failed.
     pub fn swap_patient_model(&self, patient: &str, model: &Arc<PatientModel>) -> usize {
+        self.swap_patient_model_from(patient, model, self.inner.telemetry.stages.now())
+    }
+
+    /// [`DetectionService::swap_patient_model`] with an explicit
+    /// propagation origin, so the adaptation engine can charge the whole
+    /// feedback→swap span to [`Stage::AdaptPropagate`].
+    pub(crate) fn swap_patient_model_from(
+        &self,
+        patient: &str,
+        model: &Arc<PatientModel>,
+        origin: Option<std::time::Instant>,
+    ) -> usize {
         let mut swapped = 0;
         for core in self.inner.all_sessions() {
-            if core.patient == patient && core.request_swap(model).is_ok() {
+            if core.patient == patient && core.request_swap_from(model, origin).is_ok() {
                 swapped += 1;
             }
         }
@@ -566,6 +592,13 @@ impl DetectionService {
             self.pool.notify();
         }
         swapped
+    }
+
+    /// The service's shared telemetry state (stage histograms + rate
+    /// meter), for in-crate instrumentation points outside the workers
+    /// (network reader threads, the adaptation engine).
+    pub(crate) fn telemetry(&self) -> &Arc<ServiceTelemetry> {
+        &self.inner.telemetry
     }
 
     /// Counter snapshot: live sessions individually, plus totals that
@@ -590,7 +623,10 @@ impl DetectionService {
         let retired = *retired_guard;
         drop(retired_guard);
         let mut stats = ServiceStats::from_entries(entries, &retired);
-        stats.batching = self.inner.batch.as_ref().map(BatchRunner::stats);
+        stats.telemetry = self.inner.telemetry.snapshot();
+        if let Some(batch) = &self.inner.batch {
+            stats.telemetry.batching = batch.stats();
+        }
         stats
     }
 }

@@ -7,11 +7,12 @@ use std::time::{Duration, Instant};
 
 use laelaps_core::{Detector, DetectorEvent, LaelapsConfig, PatientModel};
 use laelaps_eval::parallel::PoolWaker;
+use laelaps_telemetry::Stage;
 
 use crate::batch::{BatchPlan, PendingItem, SessionPending};
 use crate::ring::{Consumer, Full, Producer};
 use crate::service::{AlarmRecord, Progress, ServiceEvent};
-use crate::stats::{SessionCounters, SessionStats};
+use crate::stats::{ServiceTelemetry, SessionCounters, SessionStats};
 
 /// Identifies a session within one [`crate::DetectionService`].
 pub type SessionId = u64;
@@ -42,10 +43,21 @@ pub enum SessionOutput {
 pub(crate) struct SwapRequest {
     pub model: Arc<PatientModel>,
     pub barrier: u64,
+    /// When the triggering feedback/request entered the system (`None`
+    /// with telemetry off) — the applied swap records the full
+    /// propagation span as [`Stage::AdaptPropagate`].
+    pub origin: Option<Instant>,
 }
 
-/// A chunk of interleaved frame-major samples (`frames × electrodes`).
-pub(crate) type Chunk = Box<[f32]>;
+/// A chunk of interleaved frame-major samples (`frames × electrodes`)
+/// queued in a session's ring.
+#[derive(Debug)]
+pub(crate) struct Chunk {
+    pub samples: Box<[f32]>,
+    /// When the chunk entered the ring (`None` with telemetry off);
+    /// the popping worker records the span as [`Stage::RingWait`].
+    pub queued_at: Option<Instant>,
+}
 
 /// Upper bound on chunks one `drain` call processes before yielding the
 /// shard worker to the session's neighbors (fairness under overload).
@@ -110,6 +122,9 @@ pub(crate) struct SessionCore {
     pub worker: Mutex<WorkerState>,
     pub outbox: Mutex<VecDeque<SessionOutput>>,
     pub counters: SessionCounters,
+    /// The service-wide stage histograms + rate meter this session
+    /// reports into (shared by every session of one service).
+    pub telemetry: Arc<ServiceTelemetry>,
     /// A staged model hot-swap, applied by the shard worker at the first
     /// chunk boundary past its barrier.
     pub pending_swap: Mutex<Option<SwapRequest>>,
@@ -150,6 +165,18 @@ impl SessionCore {
     /// [`crate::ServeError::UnknownSession`] if the session already
     /// finished or failed (a swap staged there could never apply).
     pub fn request_swap(&self, model: &Arc<PatientModel>) -> crate::error::Result<()> {
+        self.request_swap_from(model, self.telemetry.stages.now())
+    }
+
+    /// [`SessionCore::request_swap`] with an explicit propagation origin:
+    /// the adaptation engine passes the instant the triggering feedback
+    /// left its queue, so [`Stage::AdaptPropagate`] spans feedback →
+    /// applied swap rather than just request → applied swap.
+    pub(crate) fn request_swap_from(
+        &self,
+        model: &Arc<PatientModel>,
+        origin: Option<Instant>,
+    ) -> crate::error::Result<()> {
         if self.done.load(Ordering::Acquire) || self.failed_flag.load(Ordering::Acquire) {
             return Err(crate::ServeError::UnknownSession { session: self.id });
         }
@@ -179,6 +206,7 @@ impl SessionCore {
         *self.pending_swap.lock().expect("pending swap poisoned") = Some(SwapRequest {
             model: Arc::clone(model),
             barrier,
+            origin,
         });
         Ok(())
     }
@@ -217,7 +245,14 @@ impl SessionCore {
         let Some(request) = self.take_due_swap(processed) else {
             return Ok(false);
         };
-        match self.apply_swap(detector, am_snapshot, &request.model, processed, out) {
+        match self.apply_swap(
+            detector,
+            am_snapshot,
+            &request.model,
+            processed,
+            request.origin,
+            out,
+        ) {
             Ok(()) => Ok(true),
             Err(reason) => Err(reason),
         }
@@ -232,6 +267,7 @@ impl SessionCore {
         am_snapshot: &mut Arc<laelaps_core::AssociativeMemory>,
         model: &Arc<PatientModel>,
         at_frame: u64,
+        origin: Option<Instant>,
         out: &mut Vec<SessionOutput>,
     ) -> Result<(), String> {
         match detector.hot_swap(model) {
@@ -239,6 +275,9 @@ impl SessionCore {
                 *am_snapshot = Arc::new(model.am().clone());
                 let generation = model.generation();
                 self.generation.store(generation, Ordering::Release);
+                self.telemetry
+                    .stages
+                    .record_since(Stage::AdaptPropagate, origin);
                 out.push(SessionOutput::ModelSwapped {
                     generation,
                     at_frame,
@@ -256,7 +295,9 @@ impl SessionCore {
         if self.done.load(Ordering::Relaxed) {
             return false;
         }
-        let start = Instant::now();
+        // Committed only if the pass did work, so idle polls never
+        // pollute the drain histogram; a no-op when telemetry is off.
+        let timer = self.telemetry.stages.timer(Stage::Drain);
         let mut frames_done: u64 = 0;
         let mut out: Vec<SessionOutput> = Vec::new();
         // Stream position before this pass; only this worker advances the
@@ -293,13 +334,16 @@ impl SessionCore {
                             Err(reason) => return Some(reason),
                         }
                         let Some(chunk) = rx.pop() else { break };
-                        let chunk_frames = (chunk.len() / electrodes) as u64;
+                        self.telemetry
+                            .stages
+                            .record_since(Stage::RingWait, chunk.queued_at);
+                        let chunk_frames = (chunk.samples.len() / electrodes) as u64;
                         // The whole chunk is unaccounted until each frame
                         // completes — a panic on frame 0 must still charge
                         // all of it to the discard counter.
                         aborted_tail = chunk_frames;
                         let mut in_chunk: u64 = 0;
-                        for frame in chunk.chunks_exact(electrodes) {
+                        for frame in chunk.samples.chunks_exact(electrodes) {
                             match detector.push_frame(frame) {
                                 Ok(Some(event)) => out.push(SessionOutput::Event(event)),
                                 Ok(None) => {}
@@ -325,8 +369,8 @@ impl SessionCore {
         let worked = frames_done > 0 || newly_failed || discarded > 0 || !out.is_empty();
         self.publish_outputs(out, bus);
         if worked {
-            let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-            self.counters.record_drain(micros);
+            self.counters.record_drain(timer.commit());
+            self.telemetry.record_frames(frames_done);
             // Publish progress only after events reached the outbox, so a
             // flush() that observes frames_processed == frames_in also
             // observes every resulting event.
@@ -359,7 +403,7 @@ impl SessionCore {
             .take();
         let mut discarded = aborted_tail;
         while let Some(chunk) = state.rx.pop() {
-            discarded += (chunk.len() / self.electrodes) as u64;
+            discarded += (chunk.samples.len() / self.electrodes) as u64;
         }
         if discarded > 0 {
             self.counters
@@ -376,6 +420,7 @@ impl SessionCore {
         if out.is_empty() {
             return;
         }
+        let timer = self.telemetry.stages.timer(Stage::Publish);
         let mut bus_events: Vec<ServiceEvent> = Vec::new();
         let mut events_out: u64 = 0;
         for entry in &out {
@@ -420,6 +465,7 @@ impl SessionCore {
             .lock()
             .expect("session outbox poisoned")
             .extend(out);
+        timer.commit();
     }
 
     /// Batched-path phase 1 (encode): drains queued chunks through the
@@ -441,7 +487,8 @@ impl SessionCore {
         if self.done.load(Ordering::Relaxed) {
             return pending;
         }
-        let start = Instant::now();
+        // Committed only if the phase did work (mirrors drain()).
+        let timer = self.telemetry.stages.timer(Stage::Encode);
         let base_processed = self.counters.frames_processed.load(Ordering::Acquire);
         let mut frames_done: u64 = 0;
         let mut aborted_tail: u64 = 0;
@@ -467,13 +514,17 @@ impl SessionCore {
                             items.push(PendingItem::Swap {
                                 at_frame: base_processed + frames_done,
                                 model: request.model,
+                                origin: request.origin,
                             });
                         }
                         let Some(chunk) = rx.pop() else { break };
-                        let chunk_frames = (chunk.len() / electrodes) as u64;
+                        self.telemetry
+                            .stages
+                            .record_since(Stage::RingWait, chunk.queued_at);
+                        let chunk_frames = (chunk.samples.len() / electrodes) as u64;
                         aborted_tail = chunk_frames;
                         let mut in_chunk: u64 = 0;
-                        for frame in chunk.chunks_exact(electrodes) {
+                        for frame in chunk.samples.chunks_exact(electrodes) {
                             match detector.encode_frame(frame) {
                                 Ok(Some(window)) => {
                                     let run = *run.get_or_insert_with(|| {
@@ -510,7 +561,8 @@ impl SessionCore {
         pending.frames_done = frames_done;
         pending.newly_failed = newly_failed;
         pending.discarded = discarded;
-        pending.encode_micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        let worked = frames_done > 0 || newly_failed || discarded > 0 || !pending.items.is_empty();
+        pending.encode_micros = if worked { timer.commit() } else { 0 };
         pending
     }
 
@@ -534,7 +586,7 @@ impl SessionCore {
             encode_micros,
         } = pending;
         let mut state = self.worker.lock().expect("session worker lock poisoned");
-        let start = Instant::now();
+        let timer = self.telemetry.stages.timer(Stage::Scatter);
         let mut out: Vec<SessionOutput> = Vec::with_capacity(items.len());
         let mut windows: u64 = 0;
         let scatter_failed = if items.is_empty() {
@@ -560,9 +612,13 @@ impl SessionCore {
                                 out.push(SessionOutput::Event(event));
                                 windows += 1;
                             }
-                            PendingItem::Swap { model, at_frame } => {
-                                if let Err(reason) =
-                                    self.apply_swap(detector, am, model, *at_frame, &mut out)
+                            PendingItem::Swap {
+                                model,
+                                at_frame,
+                                origin,
+                            } => {
+                                if let Err(reason) = self
+                                    .apply_swap(detector, am, model, *at_frame, *origin, &mut out)
                                 {
                                     return Some(reason);
                                 }
@@ -593,9 +649,9 @@ impl SessionCore {
             || !out.is_empty();
         self.publish_outputs(out, bus);
         if worked {
-            let micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
             self.counters
-                .record_drain(encode_micros.saturating_add(micros));
+                .record_drain(encode_micros.saturating_add(timer.commit()));
+            self.telemetry.record_frames(frames_done);
             // Publish progress only after events reached the outbox, so a
             // flush() that observes frames_processed == frames_in also
             // observes every resulting event. Every encoded frame counts
@@ -675,6 +731,10 @@ impl SessionHandle {
     /// returned in [`PushError::Full`] — nothing is dropped silently.
     pub fn try_push_chunk(&mut self, chunk: Box<[f32]>) -> Result<(), PushError> {
         let frames = self.check_width(chunk.len())?;
+        let chunk = Chunk {
+            samples: chunk,
+            queued_at: self.core.telemetry.stages.now(),
+        };
         match self.tx.try_push(chunk) {
             Ok(()) => {
                 self.core
@@ -688,7 +748,7 @@ impl SessionHandle {
                 self.waker.notify();
                 Ok(())
             }
-            Err(Full(chunk)) => Err(PushError::Full(chunk)),
+            Err(Full(chunk)) => Err(PushError::Full(chunk.samples)),
         }
     }
 
@@ -717,7 +777,11 @@ impl SessionHandle {
             }
             Err(e) => panic!("{e}"),
         };
-        match self.tx.try_push(samples.into()) {
+        let chunk = Chunk {
+            samples: samples.into(),
+            queued_at: self.core.telemetry.stages.now(),
+        };
+        match self.tx.try_push(chunk) {
             Ok(()) => {
                 self.core
                     .counters
@@ -982,6 +1046,13 @@ mod tests {
     use laelaps_core::hv::Hypervector;
     use laelaps_core::{AssociativeMemory, LaelapsConfig, PatientModel};
 
+    fn chunk(samples: Vec<f32>) -> Chunk {
+        Chunk {
+            samples: samples.into(),
+            queued_at: None,
+        }
+    }
+
     /// A SessionCore whose declared electrode count disagrees with its
     /// detector — the only way to reach the detector-error path, since
     /// handles validate widths up front.
@@ -1006,6 +1077,7 @@ mod tests {
             }),
             outbox: Mutex::new(VecDeque::new()),
             counters: Default::default(),
+            telemetry: Arc::new(ServiceTelemetry::new(&Default::default())),
             pending_swap: Mutex::new(None),
             generation: Default::default(),
             failed_flag: Default::default(),
@@ -1019,7 +1091,7 @@ mod tests {
         let (core, mut tx) = mismatched_core(4);
         let bus = Mutex::new(VecDeque::new());
         for _ in 0..3 {
-            tx.try_push(vec![0.0f32; 4 * 10].into()).unwrap();
+            tx.try_push(chunk(vec![0.0f32; 4 * 10])).unwrap();
             core.counters.frames_in.fetch_add(10, Ordering::Relaxed);
         }
         assert!(core.drain(&bus), "failing pass counts as work");
@@ -1034,7 +1106,7 @@ mod tests {
         assert!(!core.done.load(Ordering::Acquire));
         // ...and frames arriving before the caller notices are discarded
         // on the next pass instead of stranding in the ring.
-        tx.try_push(vec![0.0f32; 4 * 5].into()).unwrap();
+        tx.try_push(chunk(vec![0.0f32; 4 * 5])).unwrap();
         core.counters.frames_in.fetch_add(5, Ordering::Relaxed);
         assert!(core.drain(&bus), "discarding latecomers counts as work");
         assert_eq!(core.counters.snapshot().frames_discarded, 35);
@@ -1067,6 +1139,7 @@ mod tests {
             }),
             outbox: Mutex::new(VecDeque::new()),
             counters: Default::default(),
+            telemetry: Arc::new(ServiceTelemetry::new(&Default::default())),
             pending_swap: Mutex::new(None),
             generation: Default::default(),
             failed_flag: Default::default(),
@@ -1074,7 +1147,7 @@ mod tests {
         };
         let bus = Mutex::new(VecDeque::new());
         for _ in 0..MAX_CHUNKS_PER_DRAIN + 8 {
-            tx.try_push(vec![0.0f32; 2 * 4].into()).unwrap();
+            tx.try_push(chunk(vec![0.0f32; 2 * 4])).unwrap();
             core.counters.frames_in.fetch_add(4, Ordering::Relaxed);
         }
         assert!(core.drain(&bus));

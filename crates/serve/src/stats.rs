@@ -2,6 +2,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use laelaps_telemetry::{RateMeter, StageSet, StagesSnapshot, TelemetryConfig};
+
+use crate::adapt::AdaptStats;
+
 /// Lock-free per-session counters, updated by the producer side (frames
 /// in, drops) and the shard worker (events, alarms, latency).
 #[derive(Debug, Default)]
@@ -146,18 +150,34 @@ impl ShardBatchStats {
     }
 }
 
-/// Occupancy counters of the batched classification path, present in
-/// [`ServiceStats`] when the service was configured with
-/// [`crate::BatchConfig`].
-#[derive(Debug, Clone)]
+/// Occupancy counters of the batched classification path. All-zero (no
+/// shard rows, backend `"none"`) unless the service was configured with
+/// [`crate::BatchConfig`]; check [`BatchingStats::is_enabled`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchingStats {
-    /// Name of the configured [`laelaps_batch::ClassifyBackend`].
+    /// Name of the configured [`laelaps_batch::ClassifyBackend`]
+    /// (`"none"` when the service runs the per-frame path).
     pub backend: &'static str,
-    /// One row per shard worker, ordered by shard index.
+    /// One row per shard worker, ordered by shard index (empty when the
+    /// service runs the per-frame path).
     pub per_shard: Vec<ShardBatchStats>,
 }
 
+impl Default for BatchingStats {
+    fn default() -> Self {
+        BatchingStats {
+            backend: "none",
+            per_shard: Vec::new(),
+        }
+    }
+}
+
 impl BatchingStats {
+    /// Whether the service runs the batched hot path at all.
+    pub fn is_enabled(&self) -> bool {
+        !self.per_shard.is_empty()
+    }
+
     /// Batches built across every shard.
     pub fn batches(&self) -> u64 {
         self.per_shard.iter().map(|s| s.batches).sum()
@@ -188,6 +208,83 @@ impl BatchingStats {
     }
 }
 
+/// The service's live telemetry state: per-stage latency histograms plus
+/// a trailing frame-rate meter, shared by every shard worker, session,
+/// and connection of one [`crate::DetectionService`].
+///
+/// Owned by the service, snapshotted into [`TelemetrySnapshot`] by
+/// [`crate::DetectionService::stats`].
+#[derive(Debug)]
+pub(crate) struct ServiceTelemetry {
+    /// Per-stage latency histograms (microseconds).
+    pub stages: StageSet,
+    /// Frames drained across every session, trailing 5 s window.
+    frames: RateMeter,
+}
+
+impl ServiceTelemetry {
+    pub fn new(config: &TelemetryConfig) -> Self {
+        ServiceTelemetry {
+            stages: StageSet::new(config),
+            frames: RateMeter::per_5s(),
+        }
+    }
+
+    /// Attributes `frames` drained frames to the current rate window.
+    /// Free when telemetry is disabled (the rate meter reads the clock).
+    #[inline]
+    pub fn record_frames(&self, frames: u64) {
+        if frames > 0 && self.stages.enabled() {
+            self.frames.record(frames);
+        }
+    }
+
+    /// Point-in-time snapshot; `registry`/`adapt`/`batching` stay at
+    /// their zero defaults for the caller to fill in.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            enabled: self.stages.enabled(),
+            stages: self.stages.snapshot(),
+            recent_frames_per_sec: self.frames.per_sec(),
+            registry: RegistryStats::default(),
+            adapt: AdaptStats::default(),
+            batching: BatchingStats::default(),
+        }
+    }
+}
+
+/// The service's full observability surface beyond raw session counters,
+/// folded into every [`ServiceStats`]: per-stage latency histograms, the
+/// recent drain rate, and the registry / adaptation / batching counters.
+///
+/// Sections whose subsystem is not in play carry their zero defaults
+/// (e.g. `adapt` on a service without an [`crate::AdaptationEngine`],
+/// `batching` on the per-frame path), so consumers always read one shape.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Whether stage timing was on ([`crate::ServeConfig::telemetry`]);
+    /// when `false` every stage histogram is empty and
+    /// `recent_frames_per_sec` is 0.
+    pub enabled: bool,
+    /// Latency histogram per hot-path stage, microseconds. Estimate
+    /// percentiles via [`laelaps_telemetry::HistogramSnapshot::p99`] and
+    /// friends; merge across services with
+    /// [`StagesSnapshot::merge`].
+    pub stages: StagesSnapshot,
+    /// Frames drained per second over the trailing 5 s window.
+    pub recent_frames_per_sec: f64,
+    /// Model-registry cache counters (zero unless attached via
+    /// [`ServiceStats::with_registry`] — the adaptation engine's
+    /// [`crate::AdaptationEngine::service_stats`] always attaches them).
+    pub registry: RegistryStats,
+    /// Adaptation-engine counters (zero unless attached via
+    /// [`ServiceStats::with_adapt`]; `service_stats` attaches them).
+    pub adapt: AdaptStats,
+    /// Batched-classification occupancy (zero rows when the service runs
+    /// the per-frame path).
+    pub batching: BatchingStats,
+}
+
 /// Aggregate service snapshot returned by
 /// [`crate::DetectionService::stats`].
 #[derive(Debug, Clone)]
@@ -201,13 +298,9 @@ pub struct ServiceStats {
     /// Rows for live sessions only, ordered by session id; a retired
     /// session's counters remain reachable via its handle.
     pub per_session: Vec<SessionStatsEntry>,
-    /// Model-registry cache counters, when the caller attached them via
-    /// [`ServiceStats::with_registry`] (the service itself does not own a
-    /// registry; the adaptation engine's stats always carry this).
-    pub registry: Option<RegistryStats>,
-    /// Batched-classification occupancy, present when the service runs
-    /// the batched hot path ([`crate::ServeConfig::batch`]).
-    pub batching: Option<BatchingStats>,
+    /// Stage latency histograms, drain rate, and subsystem counters —
+    /// one uniform shape whether or not each subsystem is in play.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl ServiceStats {
@@ -225,15 +318,21 @@ impl ServiceStats {
             retired_sessions: retired.sessions,
             totals,
             per_session,
-            registry: None,
-            batching: None,
+            telemetry: TelemetrySnapshot::default(),
         }
     }
 
     /// Attaches registry cache counters to this snapshot.
     #[must_use]
     pub fn with_registry(mut self, registry: RegistryStats) -> Self {
-        self.registry = Some(registry);
+        self.telemetry.registry = registry;
+        self
+    }
+
+    /// Attaches adaptation-engine counters to this snapshot.
+    #[must_use]
+    pub fn with_adapt(mut self, adapt: AdaptStats) -> Self {
+        self.telemetry.adapt = adapt;
         self
     }
 }

@@ -359,10 +359,27 @@ fn read_full<R: Read>(reader: &mut R, buf: &mut [u8]) -> Result<bool> {
 ///   payload, checksum mismatch, unknown tag, or malformed payload;
 /// * [`ServeError::Io`] — transport failure.
 pub fn read_message<R: Read>(reader: &mut R) -> Result<Option<Message>> {
+    read_message_timed(reader, None)
+}
+
+/// [`read_message`] with optional stage timing: a
+/// [`laelaps_telemetry::Stage::WireDecode`] timer starts only after the
+/// 8-byte header has fully arrived, so idle socket waits between
+/// messages are never charged to decode latency — only validating +
+/// reading the body, the checksum pass, and payload parsing are.
+///
+/// # Errors
+///
+/// Same as [`read_message`].
+pub fn read_message_timed<R: Read>(
+    reader: &mut R,
+    stages: Option<&laelaps_telemetry::StageSet>,
+) -> Result<Option<Message>> {
     let mut header = [0u8; HEADER_LEN];
     if !read_full(reader, &mut header)? {
         return Ok(None);
     }
+    let timer = stages.map(|s| s.timer(laelaps_telemetry::Stage::WireDecode));
     if header[..2] != WIRE_MAGIC {
         return Err(corrupt("bad magic (not a Laelaps wire frame)"));
     }
@@ -392,7 +409,11 @@ pub fn read_message<R: Read>(reader: &mut R) -> Result<Option<Message>> {
     if checksum.finish() != expected {
         return Err(corrupt("checksum mismatch"));
     }
-    decode_payload(tag, payload).map(Some)
+    let message = decode_payload(tag, payload)?;
+    if let Some(timer) = timer {
+        timer.commit();
+    }
+    Ok(Some(message))
 }
 
 /// A little-endian cursor over a verified payload.

@@ -37,6 +37,7 @@ fn batched_config(backend: Arc<dyn ClassifyBackend>, workers: usize) -> ServeCon
         workers,
         ring_chunks: 64,
         batch: Some(BatchConfig { backend }),
+        ..ServeConfig::default()
     }
 }
 
@@ -89,7 +90,8 @@ fn batched_cohort_matches_bare_detectors() {
         // Occupancy surfaced: batches were built and every window was a
         // batched query.
         let stats = service.stats();
-        let batching = stats.batching.expect("batched service reports occupancy");
+        let batching = &stats.telemetry.batching;
+        assert!(batching.is_enabled(), "batched service reports occupancy");
         assert_eq!(batching.backend, name);
         assert_eq!(batching.queries(), total_windows);
         assert!(batching.batches() > 0);
@@ -111,7 +113,7 @@ fn per_frame_path_reports_no_batching() {
     service.flush();
     assert!(!handle.take_events().is_empty());
     assert_eq!(handle.stats().windows_batched, 0);
-    assert!(service.stats().batching.is_none());
+    assert!(!service.stats().telemetry.batching.is_enabled());
 }
 
 /// The adapt-test hot-swap scenario, on the batched path: one swap
@@ -249,6 +251,7 @@ fn batched_equals_per_frame_under_inflight_swaps() {
             workers: 3,
             ring_chunks: 64,
             batch: None,
+            ..ServeConfig::default()
         });
         assert_eq!(batched_frames, per_frame_frames, "seed {seed}");
         assert_eq!(batched, per_frame, "seed {seed}");

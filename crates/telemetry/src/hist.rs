@@ -1,0 +1,295 @@
+//! Log2-sub-bucketed latency histograms with quantile estimation and
+//! exact merge.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Exact buckets for values below this (one bucket per value).
+const LINEAR: usize = 16;
+/// Sub-buckets per power-of-two octave; bounds the relative quantile
+/// error at `1/SUB` (6.25 %).
+const SUB: usize = 16;
+/// log2(SUB).
+const SUB_SHIFT: u32 = 4;
+/// First octave of the log-linear region (values ≥ `LINEAR` = 2^4).
+const FIRST_OCTAVE: u32 = 4;
+/// Total bucket count: the exact linear region plus 16 sub-buckets for
+/// each of the 60 octaves covering the rest of the `u64` range.
+const BUCKETS: usize = LINEAR + (64 - FIRST_OCTAVE as usize) * SUB;
+
+/// Bucket index of `value`. Total order: bucket index order is value
+/// order, which is what makes cumulative-count quantile walks correct.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    if value < LINEAR as u64 {
+        value as usize
+    } else {
+        let octave = 63 - value.leading_zeros();
+        let sub = ((value >> (octave - SUB_SHIFT)) as usize) - SUB;
+        LINEAR + (octave - FIRST_OCTAVE) as usize * SUB + sub
+    }
+}
+
+/// Lowest value mapping to bucket `index`.
+fn bucket_lower(index: usize) -> u64 {
+    if index < LINEAR {
+        index as u64
+    } else {
+        let octave = FIRST_OCTAVE + ((index - LINEAR) / SUB) as u32;
+        let sub = ((index - LINEAR) % SUB) as u64;
+        (1u64 << octave) + sub * (1u64 << (octave - SUB_SHIFT))
+    }
+}
+
+/// Highest value mapping to bucket `index` (inclusive).
+fn bucket_upper(index: usize) -> u64 {
+    if index < LINEAR {
+        index as u64
+    } else {
+        let octave = FIRST_OCTAVE + ((index - LINEAR) / SUB) as u32;
+        let width = 1u64 << (octave - SUB_SHIFT);
+        bucket_lower(index).wrapping_add(width - 1)
+    }
+}
+
+/// A concurrent latency histogram: log2 octaves split into 16 linear
+/// sub-buckets (values < 16 are exact), `Relaxed`-atomic throughout.
+///
+/// Recording never allocates or locks; typical cost is one `fetch_add`
+/// on the bucket plus two bookkeeping atomics (`sum`, `max`). Unit is
+/// caller-defined (the serving stack records microseconds).
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot. Concurrent recorders may land between
+    /// bucket reads, so a snapshot under load is a consistent *lower*
+    /// bound per bucket, not a global freeze — monotonic across calls.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        let mut count = 0u64;
+        for (index, bucket) in self.counts.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((index as u16, n));
+                count += n;
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+/// Owned point-in-time view of a [`Histogram`]: sparse bucket counts
+/// plus exact sum/max. Cheap to clone, merge, and serialize.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of every recorded value.
+    pub sum: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(bucket index, count)`, ordered by index
+    /// (= by value).
+    pub buckets: Vec<(u16, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Whether no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank `q`-quantile estimate (`0.0 < q ≤ 1.0`; 0 when
+    /// empty). The estimate is the containing bucket's upper edge clamped
+    /// to the observed maximum, so it is **never below** the true
+    /// nearest-rank value and overshoots it by at most 1/16 (6.25 %).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for &(index, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= rank {
+                return bucket_upper(index as usize).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Folds `other` into `self`. Bucket counts add, so merging is
+    /// **exact** (the result is identical to recording both sample
+    /// streams into one histogram) and associative/commutative.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        while let (Some(&&(ia, na)), Some(&&(ib, nb))) = (a.peek(), b.peek()) {
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => {
+                    merged.push((ia, na));
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((ib, nb));
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((ia, na + nb));
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        merged.extend(a.copied());
+        merged.extend(b.copied());
+        self.buckets = merged;
+    }
+
+    /// Inclusive value bounds of bucket `index` — what a serialized
+    /// snapshot's `(index, count)` pairs mean.
+    pub fn bucket_bounds(index: u16) -> (u64, u64) {
+        (bucket_lower(index as usize), bucket_upper(index as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let snapshot = h.snapshot();
+        assert_eq!(snapshot.count, 16);
+        for v in 0..16u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(HistogramSnapshot::bucket_bounds(v as u16), (v, v));
+        }
+        assert_eq!(snapshot.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_range() {
+        // Every bucket's upper + 1 is the next bucket's lower.
+        for index in 0..BUCKETS - 1 {
+            assert_eq!(
+                bucket_upper(index) + 1,
+                bucket_lower(index + 1),
+                "gap or overlap at bucket {index}"
+            );
+        }
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+        // And bucket_of agrees with the bounds on both edges.
+        for index in [0, 15, 16, 17, 31, 32, 100, 500, BUCKETS - 1] {
+            assert_eq!(bucket_of(bucket_lower(index)), index);
+            assert_eq!(bucket_of(bucket_upper(index)), index);
+        }
+    }
+
+    #[test]
+    fn quantiles_bound_true_values() {
+        let h = Histogram::new();
+        let values = [3u64, 90, 90, 1000, 1_000_000, 17];
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.max, 1_000_000);
+        assert_eq!(s.sum, values.iter().sum::<u64>());
+        // p50 rank = 3rd of [3, 17, 90, 90, 1000, 1000000] = 90.
+        let p50 = s.p50();
+        assert!((90..=95).contains(&p50), "p50 = {p50}");
+        assert_eq!(s.quantile(1.0), 1_000_000, "clamped to exact max");
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let (a, b) = (Histogram::new(), Histogram::new());
+        let union = Histogram::new();
+        for v in [1u64, 20, 300, 4000] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [2u64, 20, 50_000] {
+            b.record(v);
+            union.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, union.snapshot());
+    }
+}

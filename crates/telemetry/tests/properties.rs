@@ -1,0 +1,107 @@
+//! Property tests for the histogram guarantees the serving stack leans
+//! on: quantile-estimation error bounds on the log2 sub-buckets, and
+//! exact/associative merge.
+
+use laelaps_telemetry::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Value mix covering the exact linear region, mid-range latencies, and
+/// huge outliers (all in "microseconds").
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..16).boxed(),
+            (16u64..100_000).boxed(),
+            (100_000u64..10_000_000_000).boxed(),
+        ],
+        1..400,
+    )
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Exact nearest-rank quantile over the raw values.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantile_estimates_stay_within_bucket_error(values in arb_values()) {
+        let snapshot = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snapshot.count, values.len() as u64);
+        prop_assert_eq!(snapshot.max, *sorted.last().unwrap());
+        for q in [0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let estimate = snapshot.quantile(q);
+            // Never below the true nearest-rank value...
+            prop_assert!(
+                estimate >= exact,
+                "q={} estimate {} < exact {}",
+                q, estimate, exact
+            );
+            // ...and at most one sub-bucket width (1/16) above it.
+            prop_assert!(
+                estimate as f64 <= exact as f64 * (1.0 + 1.0 / 16.0),
+                "q={} estimate {} overshoots exact {} by more than 6.25%",
+                q, estimate, exact
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_exact_and_associative(
+        a in arb_values(),
+        b in arb_values(),
+        c in arb_values()
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        // Exact: merging snapshots == recording the union stream.
+        let union: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let mut left_fold = sa.clone();
+        left_fold.merge(&sb);
+        left_fold.merge(&sc);
+        prop_assert_eq!(&left_fold, &snapshot_of(&union));
+
+        // Associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right_fold = sa.clone();
+        right_fold.merge(&bc);
+        prop_assert_eq!(&left_fold, &right_fold);
+
+        // Commutative for good measure: c ⊕ b ⊕ a.
+        let mut reversed = sc;
+        reversed.merge(&sb);
+        reversed.merge(&sa);
+        prop_assert_eq!(&left_fold, &reversed);
+    }
+
+    #[test]
+    fn merged_quantiles_keep_their_bounds(a in arb_values(), b in arb_values()) {
+        // The error bound survives a merge (the serving stack folds
+        // per-shard histograms before estimating).
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        let mut union: Vec<u64> = a.iter().chain(&b).copied().collect();
+        union.sort_unstable();
+        for q in [0.5, 0.99, 0.999] {
+            let exact = exact_quantile(&union, q);
+            let estimate = merged.quantile(q);
+            prop_assert!(estimate >= exact);
+            prop_assert!(estimate as f64 <= exact as f64 * (1.0 + 1.0 / 16.0));
+        }
+    }
+}

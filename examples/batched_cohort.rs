@@ -117,6 +117,7 @@ fn main() {
         workers: threads,
         ring_chunks: 64,
         batch: None,
+        ..ServeConfig::default()
     };
     let (baseline, baseline_wall, _) = run_cohort(per_frame_config, &models, &recordings);
 
@@ -128,6 +129,7 @@ fn main() {
         batch: Some(BatchConfig {
             backend: Arc::new(BlockedBackend),
         }),
+        ..ServeConfig::default()
     };
     let (batched, batched_wall, stats) = run_cohort(batched_config, &models, &recordings);
 
@@ -152,7 +154,8 @@ fn main() {
     assert!(alarms > 0, "cohort raised at least one alarm");
 
     // ---- 5. Batching occupancy + throughput ----
-    let batching = stats.batching.expect("batched service reports occupancy");
+    let batching = &stats.telemetry.batching;
+    assert!(batching.is_enabled(), "batched service reports occupancy");
     println!(
         "backend {}: {} batches, {} windows, mean {:.1} / max {} windows per batch",
         batching.backend,

@@ -13,6 +13,7 @@
 //! * [`gpu_sim`] — the Tegra X2 timing/energy model;
 //! * [`eval`] — metrics and the table/figure experiment harness;
 //! * [`batch`] — bit-packed batched Hamming classification backends;
+//! * [`telemetry`] — lock-free counters, latency histograms, stage timers;
 //! * [`serve`] — the multi-patient streaming detection service.
 //!
 //! ## Serving
@@ -26,7 +27,9 @@
 //! with explicit backpressure, pinned to a worker shard so its event
 //! stream is *identical* to a single [`core::Detector`] run. Alarms fan
 //! into a service-wide bus; [`serve::ServiceStats`] exposes frames,
-//! events, drops, and worst-case drain latency.
+//! events, drops, per-stage latency histograms with p50/p99/p999
+//! estimates ([`serve::TelemetrySnapshot`]), and worst-case drain
+//! latency.
 //!
 //! See `examples/long_term_monitoring.rs` for the full train → persist →
 //! load → stream → alarm flow over a 32-patient synthetic cohort, and
@@ -40,3 +43,4 @@ pub use laelaps_gpu_sim as gpu_sim;
 pub use laelaps_ieeg as ieeg;
 pub use laelaps_nn as nn;
 pub use laelaps_serve as serve;
+pub use laelaps_telemetry as telemetry;
