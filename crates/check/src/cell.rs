@@ -1,0 +1,83 @@
+//! `UnsafeCell` facade with closure-based access (the loom idiom).
+//!
+//! Code under test calls [`UnsafeCell::with`] / [`UnsafeCell::with_mut`]
+//! instead of `get()`, which lets the model build observe every plain
+//! (non-atomic) access and flag unordered pairs as data races. Normal
+//! builds compile the closures down to the raw pointer access they wrap.
+
+/// A checked `UnsafeCell`. In normal builds this is a zero-cost
+/// `#[repr(transparent)]` wrapper; under `cfg(laelaps_check)` each access
+/// is race-checked with FastTrack-style write/read epochs.
+#[repr(transparent)]
+pub struct UnsafeCell<T> {
+    std: std::cell::UnsafeCell<T>,
+}
+
+impl<T> UnsafeCell<T> {
+    /// Wraps a value.
+    pub const fn new(value: T) -> Self {
+        Self {
+            std: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Consumes the cell, returning the value.
+    pub fn into_inner(self) -> T {
+        self.std.into_inner()
+    }
+
+    /// Exclusive access to the value; `&mut self` already proves no
+    /// concurrent access, so the model does not track it (and forgets
+    /// prior epoch state, since exclusivity orders everything).
+    pub fn get_mut(&mut self) -> &mut T {
+        #[cfg(laelaps_check)]
+        if let Some((exec, _tid)) = crate::engine::ctx() {
+            exec.cell_forget(self.std.get() as usize);
+        }
+        self.std.get_mut()
+    }
+
+    /// Shared access to the cell's contents through a raw pointer. A
+    /// *read* access for race-detection purposes: never call it for
+    /// writes.
+    #[cfg(not(laelaps_check))]
+    #[inline(always)]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        f(self.std.get())
+    }
+
+    /// Exclusive access to the cell's contents through a raw pointer. A
+    /// *write* access for race-detection purposes.
+    #[cfg(not(laelaps_check))]
+    #[inline(always)]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        f(self.std.get())
+    }
+
+    /// Shared access to the cell's contents through a raw pointer. A
+    /// *read* access for race-detection purposes: never call it for
+    /// writes.
+    #[cfg(laelaps_check)]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        if let Some((exec, tid)) = crate::engine::ctx() {
+            exec.cell_read(self.std.get() as usize, tid);
+        }
+        f(self.std.get())
+    }
+
+    /// Exclusive access to the cell's contents through a raw pointer. A
+    /// *write* access for race-detection purposes.
+    #[cfg(laelaps_check)]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        if let Some((exec, tid)) = crate::engine::ctx() {
+            exec.cell_write(self.std.get() as usize, tid);
+        }
+        f(self.std.get())
+    }
+}
+
+impl<T: Default> Default for UnsafeCell<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}

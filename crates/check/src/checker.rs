@@ -1,0 +1,283 @@
+//! The exploration driver: runs a test body under many schedules.
+//!
+//! Strategy (model builds): bounded exhaustive DFS over scheduler
+//! decisions first (complete for small tests; budget-capped by
+//! `LAELAPS_CHECK_DFS`), then seeded randomized exploration
+//! (`LAELAPS_CHECK_ITERS` seeds). A failing random schedule reports its
+//! seed; rerun with `LAELAPS_CHECK_SEED=<seed>` to replay exactly that
+//! schedule. DFS failures are deterministic: rerunning the test finds
+//! the same one.
+//!
+//! In normal builds [`Checker::check`] degrades to running the body once
+//! on the real primitives (a smoke run), so model-test files still
+//! compile everywhere even though real exploration needs
+//! `RUSTFLAGS="--cfg laelaps_check"`.
+
+/// A failing schedule found by the checker.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// What went wrong (assertion panic, data race, deadlock, livelock).
+    pub message: String,
+    /// Seed of the randomized schedule that failed, when found by
+    /// randomized exploration; `None` for (deterministic) DFS failures.
+    pub seed: Option<u64>,
+    /// The decision trace of the failing schedule, `choice/options`
+    /// per decision point.
+    pub trace: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)?;
+        match self.seed {
+            Some(seed) => write!(
+                f,
+                "\n  found by randomized schedule (seed {seed}); replay with LAELAPS_CHECK_SEED={seed}"
+            )?,
+            None => write!(f, "\n  found by deterministic DFS; rerunning reproduces it")?,
+        }
+        write!(f, "\n  schedule trace: [{}]", self.trace)
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Configures and runs model-checked explorations of a test body.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    dfs_budget: usize,
+    random_iters: usize,
+    max_steps: usize,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Checker {
+    /// A checker with the default budgets (env-tunable via
+    /// `LAELAPS_CHECK_DFS` and `LAELAPS_CHECK_ITERS`).
+    pub fn new() -> Self {
+        Checker {
+            dfs_budget: env_usize("LAELAPS_CHECK_DFS", 1500),
+            random_iters: env_usize("LAELAPS_CHECK_ITERS", 200),
+            max_steps: 20_000,
+        }
+    }
+
+    /// Caps the number of DFS executions (0 skips DFS entirely — right
+    /// for bodies whose branching factor makes DFS hopeless anyway).
+    pub fn dfs_budget(mut self, executions: usize) -> Self {
+        self.dfs_budget = executions;
+        self
+    }
+
+    /// Number of randomized-schedule seeds tried after DFS.
+    pub fn random_iters(mut self, iters: usize) -> Self {
+        self.random_iters = iters;
+        self
+    }
+
+    /// Per-execution step cap; exceeding it fails the execution as a
+    /// livelock (model tests must not spin unboundedly).
+    pub fn max_steps(mut self, steps: usize) -> Self {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Explores schedules of `f` and panics on the first failing one,
+    /// printing its replay information.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        if let Some(failure) = self.find_failure(f) {
+            panic!("model check failed: {failure}");
+        }
+    }
+
+    /// Explores schedules of `f` and returns the first failure instead
+    /// of panicking — how tests assert that a *deliberately buggy* body
+    /// is caught.
+    #[cfg(laelaps_check)]
+    pub fn find_failure<F>(&self, f: F) -> Option<Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        use crate::engine::Mode;
+
+        install_quiet_panic_hook();
+        let f = std::sync::Arc::new(f);
+
+        // Explicit replay of one randomized schedule.
+        if let Ok(seed_var) = std::env::var("LAELAPS_CHECK_SEED") {
+            let seed: u64 = seed_var
+                .trim()
+                .parse()
+                .expect("LAELAPS_CHECK_SEED must be an integer seed");
+            let (failure, log) = run_one(&f, Mode::Random(seed), Vec::new(), self.max_steps);
+            return failure.map(|message| Failure {
+                message,
+                seed: Some(seed),
+                trace: trace_of(&log),
+            });
+        }
+
+        // Phase 1: bounded exhaustive DFS over decision prefixes.
+        let mut prefix: Vec<u16> = Vec::new();
+        for _ in 0..self.dfs_budget {
+            let (failure, log) = run_one(&f, Mode::Dfs, prefix.clone(), self.max_steps);
+            if let Some(message) = failure {
+                return Some(Failure {
+                    message,
+                    seed: None,
+                    trace: trace_of(&log),
+                });
+            }
+            match next_prefix(&log) {
+                Some(next) => prefix = next,
+                // DFS exhausted the whole schedule space: the body is
+                // verified for every interleaving the model explores.
+                None => return None,
+            }
+        }
+
+        // Phase 2: seeded randomized exploration.
+        for seed in 1..=(self.random_iters as u64) {
+            let (failure, log) = run_one(&f, Mode::Random(seed), Vec::new(), self.max_steps);
+            if let Some(message) = failure {
+                return Some(Failure {
+                    message,
+                    seed: Some(seed),
+                    trace: trace_of(&log),
+                });
+            }
+        }
+        None
+    }
+
+    /// Normal-build degradation: runs `f` once on the real primitives
+    /// and reports a panic as the failure.
+    #[cfg(not(laelaps_check))]
+    pub fn find_failure<F>(&self, f: F) -> Option<Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let _ = (self.dfs_budget, self.random_iters, self.max_steps);
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f))
+            .err()
+            .map(|payload| Failure {
+                message: payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic".to_string()),
+                seed: None,
+                trace: String::new(),
+            })
+    }
+}
+
+/// Model-checks `f` with the default [`Checker`] budgets.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Checker::new().check(f)
+}
+
+#[cfg(laelaps_check)]
+fn trace_of(log: &[(u16, u16)]) -> String {
+    log.iter()
+        .map(|(c, n)| format!("{c}/{n}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// DFS backtracking: the longest prefix of `log` whose last decision can
+/// be bumped to an untried branch; `None` when the space is exhausted.
+#[cfg(laelaps_check)]
+fn next_prefix(log: &[(u16, u16)]) -> Option<Vec<u16>> {
+    for i in (0..log.len()).rev() {
+        let (choice, options) = log[i];
+        if choice + 1 < options {
+            let mut prefix: Vec<u16> = log[..i].iter().map(|&(c, _)| c).collect();
+            prefix.push(choice + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+/// Runs one execution of `f` under one schedule, returning the failure
+/// (if any) and the decision log.
+#[cfg(laelaps_check)]
+fn run_one<F>(
+    f: &std::sync::Arc<F>,
+    mode: crate::engine::Mode,
+    prefix: Vec<u16>,
+    max_steps: usize,
+) -> (Option<String>, Vec<(u16, u16)>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    use crate::engine::{is_abort, payload_message, set_ctx, Execution};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let exec = std::sync::Arc::new(Execution::new(mode, prefix, max_steps));
+    let (exec2, f2) = (std::sync::Arc::clone(&exec), std::sync::Arc::clone(f));
+    let root = std::thread::Builder::new()
+        .name("laelaps-check-root".into())
+        .spawn(move || {
+            set_ctx(Some((std::sync::Arc::clone(&exec2), 0)));
+            if exec2.wait_until_activated(0) {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f2())) {
+                    if !is_abort(&*payload) {
+                        exec2.fail(format!(
+                            "model body panicked: {}",
+                            payload_message(&*payload)
+                        ));
+                    }
+                }
+            }
+            set_ctx(None);
+            exec2.thread_finished(0);
+        })
+        .expect("failed to spawn model root thread");
+    exec.wait_done();
+    let (failure, log, handles) = exec.finish();
+    let _ = root.join();
+    for h in handles {
+        let _ = h.join();
+    }
+    (failure, log)
+}
+
+/// Silences the default panic printout for intentional panics inside
+/// explored executions (teardown aborts, and the assertion failures the
+/// checker exists to find); everything else still prints. Set
+/// `LAELAPS_CHECK_VERBOSE=1` to see them all.
+#[cfg(laelaps_check)]
+fn install_quiet_panic_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        if std::env::var("LAELAPS_CHECK_VERBOSE").is_ok() {
+            return;
+        }
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let quiet = crate::engine::IN_MODEL.with(|f| f.get());
+            if !quiet {
+                previous(info);
+            }
+        }));
+    });
+}

@@ -1,0 +1,908 @@
+//! The model-checking engine: a cooperative scheduler over real OS
+//! threads plus a small C11-ish memory-model approximation.
+//!
+//! One [`Execution`] is one run of the test body under one schedule.
+//! Exactly one model thread runs at a time (baton passing over a global
+//! mutex + condvar); every *visible* operation — atomic access, lock,
+//! wait, notify, spawn, join, yield — first reaches an [`Execution::
+//! op_point`], where the scheduler decides which thread performs the next
+//! operation. Each decision is drawn from a replayable stream: a recorded
+//! prefix (DFS backtracking), then either `0` (DFS default) or a seeded
+//! LCG (randomized exploration).
+//!
+//! Memory model: every thread carries a vector clock, every atomic keeps
+//! its full store history. A load chooses (a decision point) among the
+//! stores that coherence and happens-before still allow, so `Relaxed`
+//! loads really do observe stale values; `Acquire` loads joins the chosen
+//! store's release clock. Plain (`UnsafeCell`) accesses are checked for
+//! data races FastTrack-style with write/read epochs — clock-based, so a
+//! race is caught on *any* schedule where both accesses execute.
+
+use std::collections::HashMap;
+use std::panic::panic_any;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Thread id within one execution (0 = the test body's root thread).
+pub(crate) type Tid = usize;
+
+/// Panic payload used to unwind model threads when the execution is
+/// being torn down (failure found, or replay exhausted). Never reaches
+/// user code: the thread wrappers catch it.
+pub(crate) struct Abort;
+
+/// Stale-load window: a load may pick among at most this many trailing
+/// stores (beyond what happens-before forces). Bounds DFS branching;
+/// only under-approximates weak behavior.
+const MAX_STALE: usize = 3;
+
+/// How many condvar timeouts may fire per execution. Keeps schedule
+/// trees of `wait_timeout` retry loops finite; once exhausted, a
+/// protocol that *relies* on its timeout safety net to recover a lost
+/// wakeup deadlocks visibly instead of spinning forever.
+const TIMEOUT_BUDGET: usize = 3;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// A grow-on-demand vector clock.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, tid: Tid) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, tid: Tid) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// `self ≤ other` componentwise (self happened-before-or-equal other).
+    fn leq(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+/// One store in an atomic's modification order.
+struct StoreRecord {
+    value: u64,
+    /// Writer's clock at the store (for the happens-before floor).
+    clock: VClock,
+    /// Release clock acquire-loads synchronize with; `None` for a store
+    /// that heads no release sequence.
+    release: Option<VClock>,
+}
+
+#[derive(Default)]
+struct AtomicState {
+    stores: Vec<StoreRecord>,
+    /// Per-thread coherence floor: index of the newest store each thread
+    /// has already observed (read-read coherence).
+    seen: Vec<usize>,
+}
+
+impl AtomicState {
+    fn seen_floor(&self, tid: Tid) -> usize {
+        self.seen.get(tid).copied().unwrap_or(0)
+    }
+
+    fn set_seen(&mut self, tid: Tid, index: usize) {
+        if self.seen.len() <= tid {
+            self.seen.resize(tid + 1, 0);
+        }
+        if self.seen[tid] < index {
+            self.seen[tid] = index;
+        }
+    }
+}
+
+struct LockState {
+    held_by: Option<Tid>,
+    /// Joined by the next acquirer (happens-before through the lock).
+    release: VClock,
+}
+
+/// FastTrack-style epochs for one plain (`UnsafeCell`) location.
+struct CellState {
+    write_tid: Tid,
+    write_clk: u64,
+    /// Last-read clock value per reader thread since the last write.
+    reads: Vec<u64>,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum Block {
+    Lock(usize),
+    Condvar { cv: usize, timeout: bool },
+    Join(Tid),
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    clock: VClock,
+    /// Set by the scheduler when a `wait_timeout` waiter is woken by its
+    /// timeout transition rather than a notify.
+    timed_out: bool,
+}
+
+/// Exploration mode for one execution.
+pub(crate) enum Mode {
+    /// Replay `prefix`, then always pick choice 0.
+    Dfs,
+    /// Replay `prefix` (empty for plain replay), then draw from an LCG.
+    Random(u64),
+}
+
+pub(crate) struct ExecInner {
+    threads: Vec<ThreadState>,
+    active: Option<Tid>,
+    done: bool,
+    failure: Option<String>,
+    prefix: Vec<u16>,
+    cursor: usize,
+    /// Every multi-option decision taken: `(choice, options)`.
+    pub(crate) log: Vec<(u16, u16)>,
+    rng: Option<u64>,
+    steps: usize,
+    max_steps: usize,
+    timeout_budget: usize,
+    atomics: HashMap<usize, AtomicState>,
+    locks: HashMap<usize, LockState>,
+    cells: HashMap<usize, CellState>,
+    real: Vec<std::thread::JoinHandle<()>>,
+    finished: usize,
+}
+
+/// One run of a test body under one schedule. Shared by every model
+/// thread of that run through an `Arc`.
+pub(crate) struct Execution {
+    inner: Mutex<ExecInner>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Execution>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+    /// Suppresses the panic hook for intentional panics inside explored
+    /// executions (aborts, and assertion failures the checker is busy
+    /// *finding*).
+    pub(crate) static IN_MODEL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The `(execution, tid)` of the calling thread, if it is a model thread
+/// inside an active execution.
+pub(crate) fn ctx() -> Option<(Arc<Execution>, Tid)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(v: Option<(Arc<Execution>, Tid)>) {
+    IN_MODEL.with(|f| f.set(v.is_some()));
+    CTX.with(|c| *c.borrow_mut() = v);
+}
+
+pub(crate) fn is_abort(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<Abort>()
+}
+
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+impl Execution {
+    pub(crate) fn new(mode: Mode, prefix: Vec<u16>, max_steps: usize) -> Self {
+        let rng = match mode {
+            Mode::Dfs => None,
+            Mode::Random(seed) => Some(seed.max(1)),
+        };
+        let root = ThreadState {
+            status: Status::Runnable,
+            clock: VClock::default(),
+            timed_out: false,
+        };
+        Execution {
+            inner: Mutex::new(ExecInner {
+                threads: vec![root],
+                active: Some(0),
+                done: false,
+                failure: None,
+                prefix,
+                cursor: 0,
+                log: Vec::new(),
+                rng,
+                steps: 0,
+                max_steps,
+                timeout_budget: TIMEOUT_BUDGET,
+                atomics: HashMap::new(),
+                locks: HashMap::new(),
+                cells: HashMap::new(),
+                real: Vec::new(),
+                finished: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn abort() -> ! {
+        panic_any(Abort)
+    }
+
+    fn fail_locked(&self, g: &mut ExecInner, msg: impl Into<String>) {
+        if g.failure.is_none() {
+            g.failure = Some(msg.into());
+        }
+        self.cv.notify_all();
+    }
+
+    /// Records an external failure (e.g. a user assertion panic caught by
+    /// a thread wrapper).
+    pub(crate) fn fail(&self, msg: impl Into<String>) {
+        let mut g = self.inner.lock().unwrap();
+        self.fail_locked(&mut g, msg);
+    }
+
+    fn decide_locked(&self, g: &mut ExecInner, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let choice = if g.cursor < g.prefix.len() {
+            g.prefix[g.cursor] as usize % n
+        } else if let Some(state) = g.rng.as_mut() {
+            (lcg(state) as usize) % n
+        } else {
+            0
+        };
+        g.cursor += 1;
+        g.log.push((choice as u16, n.min(u16::MAX as usize) as u16));
+        choice
+    }
+
+    fn enabled(g: &ExecInner) -> Vec<Tid> {
+        g.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match t.status {
+                Status::Runnable => true,
+                Status::Blocked(Block::Condvar { timeout, .. }) => timeout && g.timeout_budget > 0,
+                _ => false,
+            })
+            .map(|(tid, _)| tid)
+            .collect()
+    }
+
+    /// Picks and activates the next thread. `me` has already updated its
+    /// own status (Runnable to stay schedulable, Blocked to yield for
+    /// good, Finished when exiting).
+    fn reschedule(&self, g: &mut ExecInner, _me: Tid) {
+        if g.failure.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        let enabled = Self::enabled(g);
+        if enabled.is_empty() {
+            if g.finished == g.threads.len() {
+                g.done = true;
+                g.active = None;
+            } else {
+                let stuck: Vec<String> = g
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status != Status::Finished)
+                    .map(|(tid, t)| format!("thread {tid} {:?}", t.status))
+                    .collect();
+                self.fail_locked(
+                    g,
+                    format!("deadlock: no schedulable thread ({})", stuck.join(", ")),
+                );
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let choice = self.decide_locked(g, enabled.len());
+        let next = enabled[choice];
+        if let Status::Blocked(Block::Condvar { timeout: true, .. }) = g.threads[next].status {
+            // Scheduling a timeout-capable condvar waiter = its timeout
+            // fires; it wakes, reports timed_out, and reacquires the lock.
+            g.threads[next].status = Status::Runnable;
+            g.threads[next].timed_out = true;
+            g.timeout_budget -= 1;
+        }
+        g.active = Some(next);
+        self.cv.notify_all();
+    }
+
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, ExecInner>,
+        me: Tid,
+    ) -> MutexGuard<'a, ExecInner> {
+        loop {
+            if g.failure.is_some() {
+                drop(g);
+                Self::abort();
+            }
+            if g.active == Some(me) {
+                return g;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    /// A scheduling decision point before a visible operation by `me`.
+    /// On return, `me` holds the baton and may perform exactly one
+    /// operation before its next `op_point`.
+    pub(crate) fn op_point(&self, me: Tid) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        if g.failure.is_some() {
+            drop(g);
+            Self::abort();
+        }
+        debug_assert_eq!(g.active, Some(me), "op_point from a non-active thread");
+        g.steps += 1;
+        if g.steps > g.max_steps {
+            let max = g.max_steps;
+            self.fail_locked(
+                &mut g,
+                format!("execution exceeded {max} steps (livelock or unbounded spin loop?)"),
+            );
+            drop(g);
+            Self::abort();
+        }
+        g.threads[me].clock.bump(me);
+        self.reschedule(&mut g, me);
+        let g = self.wait_for_turn(g, me);
+        drop(g);
+    }
+
+    /// Parks until the scheduler first activates `tid`. Returns `false`
+    /// if the execution failed before that happened (caller skips its
+    /// body and goes straight to `thread_finished`).
+    pub(crate) fn wait_until_activated(&self, tid: Tid) -> bool {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if g.failure.is_some() {
+                return false;
+            }
+            if g.active == Some(tid) {
+                return true;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    // ---- threads ----------------------------------------------------
+
+    /// Registers a child thread spawned by `parent`; establishes the
+    /// spawn happens-before edge. The spawn itself is a visible op (the
+    /// caller invokes `op_point` after this, once the real thread is
+    /// parked and schedulable).
+    pub(crate) fn register_thread(&self, parent: Tid) -> Tid {
+        let mut g = self.inner.lock().unwrap();
+        let tid = g.threads.len();
+        let mut clock = g.threads[parent].clock.clone();
+        clock.bump(tid);
+        g.threads.push(ThreadState {
+            status: Status::Runnable,
+            clock,
+            timed_out: false,
+        });
+        tid
+    }
+
+    pub(crate) fn store_real_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.inner.lock().unwrap().real.push(handle);
+    }
+
+    /// Marks `me` finished, wakes its joiners, and hands off the baton.
+    /// Must not panic: called from thread wrappers outside catch_unwind.
+    pub(crate) fn thread_finished(&self, me: Tid) {
+        let mut g = self.inner.lock().unwrap();
+        if g.threads[me].status == Status::Finished {
+            return;
+        }
+        g.threads[me].status = Status::Finished;
+        g.finished += 1;
+        for t in g.threads.iter_mut() {
+            if t.status == Status::Blocked(Block::Join(me)) {
+                t.status = Status::Runnable;
+            }
+        }
+        if g.finished == g.threads.len() {
+            g.done = true;
+            g.active = None;
+            self.cv.notify_all();
+        } else if g.active == Some(me) {
+            self.reschedule(&mut g, me);
+        } else {
+            // Finishing off-baton only happens on teardown paths.
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks `me` until `target` finishes; joins its final clock.
+    pub(crate) fn join_thread(&self, me: Tid, target: Tid) {
+        self.op_point(me);
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if g.threads[target].status == Status::Finished {
+                let child = g.threads[target].clock.clone();
+                g.threads[me].clock.join(&child);
+                return;
+            }
+            g.threads[me].status = Status::Blocked(Block::Join(target));
+            self.reschedule(&mut g, me);
+            g = self.wait_for_turn(g, me);
+        }
+    }
+
+    /// A pure scheduling point (`thread::yield_now`).
+    pub(crate) fn yield_point(&self, me: Tid) {
+        self.op_point(me);
+    }
+
+    // ---- atomics ----------------------------------------------------
+
+    fn atomic_entry<'a>(g: &'a mut ExecInner, addr: usize, init: u64) -> &'a mut AtomicState {
+        g.atomics.entry(addr).or_insert_with(|| AtomicState {
+            stores: vec![StoreRecord {
+                value: init,
+                clock: VClock::default(),
+                release: None,
+            }],
+            seen: Vec::new(),
+        })
+    }
+
+    /// The index range `[floor, len)` of stores `tid` may legally read.
+    fn load_floor(g: &ExecInner, addr: usize, tid: Tid) -> (usize, usize) {
+        let st = &g.atomics[&addr];
+        let reader = &g.threads[tid].clock;
+        let mut hb_floor = 0;
+        for (i, s) in st.stores.iter().enumerate() {
+            if s.clock.leq(reader) {
+                hb_floor = i;
+            }
+        }
+        let floor = hb_floor
+            .max(st.seen_floor(tid))
+            .max(st.stores.len().saturating_sub(MAX_STALE));
+        (floor, st.stores.len())
+    }
+
+    pub(crate) fn atomic_load(&self, addr: usize, init: u64, tid: Tid, ord: Ordering) -> u64 {
+        if std::thread::panicking() {
+            return init;
+        }
+        self.op_point(tid);
+        let mut g = self.inner.lock().unwrap();
+        Self::atomic_entry(&mut g, addr, init);
+        let (floor, len) = Self::load_floor(&g, addr, tid);
+        let choice = self.decide_locked(&mut g, len - floor);
+        let index = floor + choice;
+        let (value, release) = {
+            let s = &g.atomics[&addr].stores[index];
+            (s.value, s.release.clone())
+        };
+        if acquires(ord) {
+            if let Some(rc) = release {
+                g.threads[tid].clock.join(&rc);
+            }
+        }
+        g.atomics.get_mut(&addr).unwrap().set_seen(tid, index);
+        value
+    }
+
+    /// Appends a store; `releasing` decides whether it heads a release
+    /// sequence, `carry` is the previous head's release clock when this
+    /// store is an RMW continuing that sequence.
+    fn push_store(
+        g: &mut ExecInner,
+        addr: usize,
+        tid: Tid,
+        value: u64,
+        releasing: bool,
+        carry: Option<VClock>,
+    ) {
+        let clock = g.threads[tid].clock.clone();
+        let release = match (releasing, carry) {
+            (true, Some(mut c)) => {
+                c.join(&clock);
+                Some(c)
+            }
+            (true, None) => Some(clock.clone()),
+            (false, c) => c,
+        };
+        let st = g.atomics.get_mut(&addr).unwrap();
+        st.stores.push(StoreRecord {
+            value,
+            clock,
+            release,
+        });
+        let last = st.stores.len() - 1;
+        st.set_seen(tid, last);
+    }
+
+    pub(crate) fn atomic_store(&self, addr: usize, init: u64, tid: Tid, value: u64, ord: Ordering) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.op_point(tid);
+        let mut g = self.inner.lock().unwrap();
+        Self::atomic_entry(&mut g, addr, init);
+        // A plain store heads a *new* release sequence (or none): it does
+        // not carry the previous head's release clock forward.
+        Self::push_store(&mut g, addr, tid, value, releases(ord), None);
+    }
+
+    /// Read-modify-write: reads the newest store in modification order,
+    /// applies `f`, appends the result, and continues the release
+    /// sequence. Returns `(old, new)`.
+    pub(crate) fn atomic_rmw(
+        &self,
+        addr: usize,
+        init: u64,
+        tid: Tid,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> (u64, u64) {
+        if std::thread::panicking() {
+            return (init, init);
+        }
+        self.op_point(tid);
+        let mut g = self.inner.lock().unwrap();
+        Self::atomic_entry(&mut g, addr, init);
+        let (old, carry) = {
+            let s = g.atomics[&addr].stores.last().unwrap();
+            (s.value, s.release.clone())
+        };
+        if acquires(ord) {
+            if let Some(rc) = carry.as_ref() {
+                g.threads[tid].clock.join(rc);
+            }
+        }
+        let new = f(old);
+        Self::push_store(&mut g, addr, tid, new, releases(ord), carry);
+        (old, new)
+    }
+
+    /// Compare-exchange. On failure performs a load of the newest store
+    /// with `fail_ord`. Returns `Ok(old)` / `Err(current)`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn atomic_cas(
+        &self,
+        addr: usize,
+        init: u64,
+        tid: Tid,
+        current: u64,
+        new: u64,
+        ord: Ordering,
+        fail_ord: Ordering,
+    ) -> Result<u64, u64> {
+        if std::thread::panicking() {
+            return Err(init);
+        }
+        self.op_point(tid);
+        let mut g = self.inner.lock().unwrap();
+        Self::atomic_entry(&mut g, addr, init);
+        let (old, carry) = {
+            let s = g.atomics[&addr].stores.last().unwrap();
+            (s.value, s.release.clone())
+        };
+        if old == current {
+            if acquires(ord) {
+                if let Some(rc) = carry.as_ref() {
+                    g.threads[tid].clock.join(rc);
+                }
+            }
+            Self::push_store(&mut g, addr, tid, new, releases(ord), carry);
+            Ok(old)
+        } else {
+            if acquires(fail_ord) {
+                if let Some(rc) = carry.as_ref() {
+                    g.threads[tid].clock.join(rc);
+                }
+            }
+            let st = g.atomics.get_mut(&addr).unwrap();
+            let last = st.stores.len() - 1;
+            st.set_seen(tid, last);
+            Err(old)
+        }
+    }
+
+    // ---- plain memory (UnsafeCell) race detection -------------------
+
+    pub(crate) fn cell_read(&self, addr: usize, tid: Tid) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        if g.failure.is_some() {
+            drop(g);
+            Self::abort();
+        }
+        let my_clk = g.threads[tid].clock.get(tid);
+        let reader = g.threads[tid].clock.clone();
+        let cell = g.cells.entry(addr).or_insert_with(|| CellState {
+            write_tid: tid,
+            write_clk: 0,
+            reads: Vec::new(),
+        });
+        if cell.write_clk > reader.get(cell.write_tid) {
+            let (wt, rt) = (cell.write_tid, tid);
+            self.fail_locked(
+                &mut g,
+                format!(
+                    "data race: thread {rt} read cell {addr:#x} concurrently with a write by thread {wt}"
+                ),
+            );
+            drop(g);
+            Self::abort();
+        }
+        if cell.reads.len() <= tid {
+            cell.reads.resize(tid + 1, 0);
+        }
+        cell.reads[tid] = cell.reads[tid].max(my_clk);
+    }
+
+    pub(crate) fn cell_write(&self, addr: usize, tid: Tid) {
+        if std::thread::panicking() {
+            return;
+        }
+        let mut g = self.inner.lock().unwrap();
+        if g.failure.is_some() {
+            drop(g);
+            Self::abort();
+        }
+        let writer = g.threads[tid].clock.clone();
+        let my_clk = writer.get(tid);
+        let cell = g.cells.entry(addr).or_insert_with(|| CellState {
+            write_tid: tid,
+            write_clk: 0,
+            reads: Vec::new(),
+        });
+        let mut race: Option<String> = None;
+        if cell.write_clk > writer.get(cell.write_tid) {
+            race = Some(format!(
+                "data race: thread {tid} wrote cell {addr:#x} concurrently with a write by thread {}",
+                cell.write_tid
+            ));
+        }
+        for (t, &rc) in cell.reads.iter().enumerate() {
+            if rc > writer.get(t) {
+                race = Some(format!(
+                    "data race: thread {tid} wrote cell {addr:#x} concurrently with a read by thread {t}"
+                ));
+            }
+        }
+        if let Some(msg) = race {
+            self.fail_locked(&mut g, msg);
+            drop(g);
+            Self::abort();
+        }
+        cell.write_tid = tid;
+        cell.write_clk = my_clk;
+        cell.reads.clear();
+    }
+
+    /// Forgets race-detection state for a cell (memory being freed, or
+    /// accessed through `&mut` which itself proves exclusivity).
+    pub(crate) fn cell_forget(&self, addr: usize) {
+        if let Ok(mut g) = self.inner.lock() {
+            g.cells.remove(&addr);
+        }
+    }
+
+    // ---- mutexes ----------------------------------------------------
+
+    pub(crate) fn lock_acquire(&self, addr: usize, tid: Tid) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.op_point(tid);
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            let lock = g.locks.entry(addr).or_insert_with(|| LockState {
+                held_by: None,
+                release: VClock::default(),
+            });
+            if lock.held_by.is_none() {
+                lock.held_by = Some(tid);
+                let rel = lock.release.clone();
+                g.threads[tid].clock.join(&rel);
+                return;
+            }
+            g.threads[tid].status = Status::Blocked(Block::Lock(addr));
+            self.reschedule(&mut g, tid);
+            g = self.wait_for_turn(g, tid);
+        }
+    }
+
+    /// Releases a lock. Not a scheduling point (it runs inside guard
+    /// drops, including during unwinds) and must not panic.
+    pub(crate) fn lock_release(&self, addr: usize, tid: Tid) {
+        let Ok(mut g) = self.inner.lock() else {
+            return;
+        };
+        g.threads[tid].clock.bump(tid);
+        let clock = g.threads[tid].clock.clone();
+        if let Some(lock) = g.locks.get_mut(&addr) {
+            if lock.held_by == Some(tid) {
+                lock.held_by = None;
+                lock.release.join(&clock);
+            }
+        }
+        for t in g.threads.iter_mut() {
+            if t.status == Status::Blocked(Block::Lock(addr)) {
+                t.status = Status::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    // ---- condvars ---------------------------------------------------
+
+    /// Atomically releases `lock_addr` and blocks on condvar `cv_addr`.
+    /// Returns `true` if woken by the timeout transition (only possible
+    /// when `can_timeout`). The *caller* reacquires the lock afterwards.
+    pub(crate) fn cv_wait(
+        &self,
+        cv_addr: usize,
+        lock_addr: usize,
+        tid: Tid,
+        can_timeout: bool,
+    ) -> bool {
+        if std::thread::panicking() {
+            return true;
+        }
+        self.op_point(tid);
+        let mut g = self.inner.lock().unwrap();
+        // Release the mutex (inline, non-scheduling).
+        g.threads[tid].clock.bump(tid);
+        let clock = g.threads[tid].clock.clone();
+        if let Some(lock) = g.locks.get_mut(&lock_addr) {
+            if lock.held_by == Some(tid) {
+                lock.held_by = None;
+                lock.release.join(&clock);
+            }
+        }
+        for t in g.threads.iter_mut() {
+            if t.status == Status::Blocked(Block::Lock(lock_addr)) {
+                t.status = Status::Runnable;
+            }
+        }
+        g.threads[tid].timed_out = false;
+        g.threads[tid].status = Status::Blocked(Block::Condvar {
+            cv: cv_addr,
+            timeout: can_timeout,
+        });
+        self.reschedule(&mut g, tid);
+        g = self.wait_for_turn(g, tid);
+        let timed_out = g.threads[tid].timed_out;
+        g.threads[tid].timed_out = false;
+        drop(g);
+        timed_out
+    }
+
+    /// Wakes one waiter (a decision point when several wait) or all.
+    pub(crate) fn cv_notify(&self, cv_addr: usize, tid: Tid, all: bool) {
+        if std::thread::panicking() {
+            return;
+        }
+        self.op_point(tid);
+        let mut g = self.inner.lock().unwrap();
+        let waiters: Vec<Tid> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(t.status, Status::Blocked(Block::Condvar { cv, .. }) if cv == cv_addr)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if waiters.is_empty() {
+            return;
+        }
+        if all {
+            for w in waiters {
+                g.threads[w].status = Status::Runnable;
+                g.threads[w].timed_out = false;
+            }
+        } else {
+            let choice = self.decide_locked(&mut g, waiters.len());
+            let w = waiters[choice];
+            g.threads[w].status = Status::Runnable;
+            g.threads[w].timed_out = false;
+        }
+        self.cv.notify_all();
+    }
+
+    // ---- driver -----------------------------------------------------
+
+    /// Blocks until the execution completes (all threads finished) or
+    /// fails; on failure, wakes everything so parked threads abort, then
+    /// still waits for all of them to finish.
+    pub(crate) fn wait_done(&self) {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if g.done || (g.failure.is_some() && g.finished == g.threads.len()) {
+                return;
+            }
+            if g.failure.is_some() {
+                self.cv.notify_all();
+            }
+            let (ng, timeout) = self
+                .cv
+                .wait_timeout(g, std::time::Duration::from_secs(30))
+                .unwrap();
+            g = ng;
+            if timeout.timed_out() && !g.done {
+                // Engine bug backstop: don't hang the test suite forever.
+                self.fail_locked(&mut g, "execution wedged: driver wait timed out");
+            }
+        }
+    }
+
+    /// Consumes the execution's results after `wait_done`.
+    pub(crate) fn finish(
+        &self,
+    ) -> (
+        Option<String>,
+        Vec<(u16, u16)>,
+        Vec<std::thread::JoinHandle<()>>,
+    ) {
+        let mut g = self.inner.lock().unwrap();
+        (
+            g.failure.clone(),
+            std::mem::take(&mut g.log),
+            std::mem::take(&mut g.real),
+        )
+    }
+}
+
+fn acquires(ord: Ordering) -> bool {
+    // SeqCst: classified by its acquire half — the checker approximates
+    // SeqCst as AcqRel (the single total order is not modeled; see the
+    // crate docs), which only ever under-reports synchronization.
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releases(ord: Ordering) -> bool {
+    // SeqCst: classified by its release half — same approximation as in
+    // `acquires` above.
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}

@@ -1,0 +1,68 @@
+//! Deterministic concurrency model checking for the Laelaps hot path.
+//!
+//! This crate is a loom-style shim, written offline in the same spirit as
+//! `crates/compat`: the concurrency-critical modules of the workspace
+//! import their primitives from [`sync`], [`cell`], and [`thread`] instead
+//! of `std`, and what those names resolve to depends on one build switch:
+//!
+//! - **Normal builds** (the default): every facade item is a plain
+//!   re-export of the `std` original (or an `#[inline(always)]` newtype
+//!   passthrough for [`cell::UnsafeCell`]). Zero overhead, zero behavior
+//!   change — the serving stack compiles to exactly the code it always
+//!   compiled to.
+//! - **Model builds** (`RUSTFLAGS="--cfg laelaps_check"`): every atomic
+//!   load/store/RMW, mutex lock, condvar wait/notify, spawn and join is
+//!   routed through a cooperative scheduler that runs the test body many
+//!   times, exploring thread interleavings — bounded exhaustive DFS first,
+//!   then seeded randomized schedules — and modeling
+//!   `Relaxed`/`Acquire`/`Release` visibility with per-thread vector
+//!   clocks and per-atomic store histories, so an under-synchronized load
+//!   can really observe a stale value and an unordered pair of plain
+//!   memory accesses is reported as a data race.
+//!
+//! # Writing a model test
+//!
+//! ```ignore
+//! laelaps_check::model(|| {
+//!     let flag = Arc::new(AtomicBool::new(false));
+//!     let f2 = Arc::clone(&flag);
+//!     let h = laelaps_check::thread::spawn(move || f2.store(true, Ordering::Release));
+//!     let _ = flag.load(Ordering::Acquire);
+//!     h.join().unwrap();
+//! });
+//! ```
+//!
+//! Run with `RUSTFLAGS="--cfg laelaps_check" cargo test -p <crate> --test
+//! model`. A failing schedule found by randomized exploration prints its
+//! seed; replay exactly that schedule with `LAELAPS_CHECK_SEED=<seed>`.
+//! Budgets are env-tunable: `LAELAPS_CHECK_DFS` (max DFS executions),
+//! `LAELAPS_CHECK_ITERS` (random seeds tried after DFS). See
+//! `CONCURRENCY.md` at the repo root for the catalogue of checked
+//! structures and their invariants.
+//!
+//! # Model limitations (by design, documented honestly)
+//!
+//! - `SeqCst` is approximated as `AcqRel`: the single total order over all
+//!   `SeqCst` operations is not modeled. The workspace bans `SeqCst`
+//!   without a justification comment (`cargo xtask lint`), and currently
+//!   uses none.
+//! - Outside an active model execution (e.g. ordinary unit tests compiled
+//!   with the cfg on), facade types fall back to their inner `std`
+//!   primitive instead of panicking like loom does — so the whole
+//!   workspace, not just model tests, still runs under the cfg.
+//! - Stale-load candidates are windowed to the last few stores per atomic
+//!   to bound the branching factor; this only ever *under*-approximates
+//!   weak behaviors, never invents impossible ones.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod cell;
+pub mod sync;
+pub mod thread;
+
+mod checker;
+pub use checker::{model, Checker, Failure};
+
+#[cfg(laelaps_check)]
+pub(crate) mod engine;

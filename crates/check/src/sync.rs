@@ -1,0 +1,620 @@
+//! The `std::sync` facade: re-exports in normal builds, model types
+//! under `cfg(laelaps_check)`.
+//!
+//! `Arc` is *always* the real `std::sync::Arc` (its reference counting is
+//! not a structure under test, and keeping the type identical means
+//! migrated and non-migrated modules can hand `Arc`s across freely in
+//! both builds). Everything else swaps.
+
+/// Always the real `std::sync::Arc` — see module docs.
+pub use std::sync::Arc;
+
+#[cfg(not(laelaps_check))]
+pub use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+/// Atomic types: `std::sync::atomic` re-exports in normal builds, model
+/// wrappers under `cfg(laelaps_check)`.
+#[cfg(not(laelaps_check))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(laelaps_check)]
+pub use model::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+
+/// Atomic types routed through the model engine when an execution is
+/// active (falling back to the inner `std` atomic otherwise).
+#[cfg(laelaps_check)]
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::engine::ctx;
+
+    macro_rules! model_atomic {
+        ($name:ident, $prim:ty, $std:ty, $to:expr, $from:expr) => {
+            /// Model atomic: routes through the scheduler inside an
+            /// execution, falls back to the wrapped `std` atomic outside.
+            /// The `std` value doubles as the modification-order mirror,
+            /// kept current so `get_mut`/`into_inner` see the final value.
+            pub struct $name {
+                std: $std,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(value: $prim) -> Self {
+                    Self {
+                        std: <$std>::new(value),
+                    }
+                }
+
+                fn addr(&self) -> usize {
+                    &self.std as *const $std as usize
+                }
+
+                fn mirror(&self) -> u64 {
+                    ($to)(self.std.load(Ordering::Relaxed))
+                }
+
+                /// Loads the value; inside an execution the scheduler may
+                /// legally return a stale store for weak orderings.
+                pub fn load(&self, order: Ordering) -> $prim {
+                    match ctx() {
+                        Some((exec, tid)) => {
+                            ($from)(exec.atomic_load(self.addr(), self.mirror(), tid, order))
+                        }
+                        None => self.std.load(order),
+                    }
+                }
+
+                /// Stores a value.
+                pub fn store(&self, value: $prim, order: Ordering) {
+                    match ctx() {
+                        Some((exec, tid)) => {
+                            exec.atomic_store(self.addr(), self.mirror(), tid, ($to)(value), order);
+                            self.std.store(value, Ordering::Relaxed);
+                        }
+                        None => self.std.store(value, order),
+                    }
+                }
+
+                /// Swaps in a new value, returning the previous one.
+                pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                    self.rmw(order, move |_| value, move |s| s.swap(value, order))
+                }
+
+                /// Adds with wrapping, returning the previous value.
+                pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                    self.rmw(
+                        order,
+                        move |old| old.wrapping_add(value),
+                        move |s| s.fetch_add(value, order),
+                    )
+                }
+
+                /// Subtracts with wrapping, returning the previous value.
+                pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                    self.rmw(
+                        order,
+                        move |old| old.wrapping_sub(value),
+                        move |s| s.fetch_sub(value, order),
+                    )
+                }
+
+                /// Stores the maximum, returning the previous value.
+                pub fn fetch_max(&self, value: $prim, order: Ordering) -> $prim {
+                    self.rmw(
+                        order,
+                        move |old| old.max(value),
+                        move |s| s.fetch_max(value, order),
+                    )
+                }
+
+                /// Stores the minimum, returning the previous value.
+                pub fn fetch_min(&self, value: $prim, order: Ordering) -> $prim {
+                    self.rmw(
+                        order,
+                        move |old| old.min(value),
+                        move |s| s.fetch_min(value, order),
+                    )
+                }
+
+                fn rmw(
+                    &self,
+                    order: Ordering,
+                    f: impl Fn($prim) -> $prim,
+                    fallback: impl FnOnce(&$std) -> $prim,
+                ) -> $prim {
+                    match ctx() {
+                        Some((exec, tid)) => {
+                            let (old, new) =
+                                exec.atomic_rmw(self.addr(), self.mirror(), tid, order, |o| {
+                                    ($to)(f(($from)(o)))
+                                });
+                            self.std.store(($from)(new), Ordering::Relaxed);
+                            ($from)(old)
+                        }
+                        None => fallback(&self.std),
+                    }
+                }
+
+                /// Compare-and-exchange; `Err` carries the actual value.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    match ctx() {
+                        Some((exec, tid)) => {
+                            let r = exec.atomic_cas(
+                                self.addr(),
+                                self.mirror(),
+                                tid,
+                                ($to)(current),
+                                ($to)(new),
+                                success,
+                                failure,
+                            );
+                            if r.is_ok() {
+                                self.std.store(new, Ordering::Relaxed);
+                            }
+                            r.map($from).map_err($from)
+                        }
+                        None => self.std.compare_exchange(current, new, success, failure),
+                    }
+                }
+
+                /// Like [`Self::compare_exchange`] (the model never fails
+                /// spuriously).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Exclusive access to the value (`&mut` proves no
+                /// concurrency, so this bypasses the model).
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.std.get_mut()
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $prim {
+                    self.std.into_inner()
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(Default::default())
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    std::fmt::Debug::fmt(&self.load(Ordering::Relaxed), f)
+                }
+            }
+
+            impl From<$prim> for $name {
+                fn from(value: $prim) -> Self {
+                    Self::new(value)
+                }
+            }
+        };
+    }
+
+    model_atomic!(
+        AtomicU64,
+        u64,
+        std::sync::atomic::AtomicU64,
+        |v: u64| v,
+        |v: u64| v
+    );
+    model_atomic!(
+        AtomicUsize,
+        usize,
+        std::sync::atomic::AtomicUsize,
+        |v: usize| v as u64,
+        |v: u64| v as usize
+    );
+    model_atomic!(
+        AtomicI64,
+        i64,
+        std::sync::atomic::AtomicI64,
+        |v: i64| v as u64,
+        |v: u64| v as i64
+    );
+
+    /// Model atomic boolean — same contract as the numeric wrappers.
+    pub struct AtomicBool {
+        std: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic with the given initial value.
+        pub const fn new(value: bool) -> Self {
+            Self {
+                std: std::sync::atomic::AtomicBool::new(value),
+            }
+        }
+
+        fn addr(&self) -> usize {
+            &self.std as *const std::sync::atomic::AtomicBool as usize
+        }
+
+        fn mirror(&self) -> u64 {
+            self.std.load(Ordering::Relaxed) as u64
+        }
+
+        /// Loads the value (possibly stale under weak orderings inside an
+        /// execution).
+        pub fn load(&self, order: Ordering) -> bool {
+            match ctx() {
+                Some((exec, tid)) => exec.atomic_load(self.addr(), self.mirror(), tid, order) != 0,
+                None => self.std.load(order),
+            }
+        }
+
+        /// Stores a value.
+        pub fn store(&self, value: bool, order: Ordering) {
+            match ctx() {
+                Some((exec, tid)) => {
+                    exec.atomic_store(self.addr(), self.mirror(), tid, value as u64, order);
+                    self.std.store(value, Ordering::Relaxed);
+                }
+                None => self.std.store(value, order),
+            }
+        }
+
+        /// Swaps in a new value, returning the previous one.
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            match ctx() {
+                Some((exec, tid)) => {
+                    let (old, _) =
+                        exec.atomic_rmw(self.addr(), self.mirror(), tid, order, |_| value as u64);
+                    self.std.store(value, Ordering::Relaxed);
+                    old != 0
+                }
+                None => self.std.swap(value, order),
+            }
+        }
+
+        /// Compare-and-exchange; `Err` carries the actual value.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            match ctx() {
+                Some((exec, tid)) => {
+                    let r = exec.atomic_cas(
+                        self.addr(),
+                        self.mirror(),
+                        tid,
+                        current as u64,
+                        new as u64,
+                        success,
+                        failure,
+                    );
+                    if r.is_ok() {
+                        self.std.store(new, Ordering::Relaxed);
+                    }
+                    r.map(|v| v != 0).map_err(|v| v != 0)
+                }
+                None => self.std.compare_exchange(current, new, success, failure),
+            }
+        }
+
+        /// Exclusive access to the value.
+        pub fn get_mut(&mut self) -> &mut bool {
+            self.std.get_mut()
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            std::fmt::Debug::fmt(&self.load(Ordering::Relaxed), f)
+        }
+    }
+}
+
+/// Model `Mutex`/`Condvar`: lock ownership, blocking, and wakeups are
+/// tracked by the scheduler; the wrapped `std` primitives only provide
+/// storage (the scheduler serializes threads, so the inner `std::Mutex`
+/// is uncontended whenever a model thread actually locks it).
+#[cfg(laelaps_check)]
+mod model {
+    use std::sync::LockResult;
+
+    use crate::engine::{ctx, Execution};
+    use std::sync::Arc;
+
+    /// Model mutex. Lock acquisition is a scheduling point; acquiring
+    /// joins the lock's release clock (happens-before through the lock).
+    /// Poisoning is not modeled: `lock` always returns `Ok`.
+    pub struct Mutex<T> {
+        std: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex.
+        pub const fn new(value: T) -> Self {
+            Self {
+                std: std::sync::Mutex::new(value),
+            }
+        }
+
+        fn addr(&self) -> usize {
+            &self.std as *const std::sync::Mutex<T> as usize
+        }
+
+        /// Acquires the mutex, blocking (cooperatively, inside an
+        /// execution) until it is free.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let model = match ctx() {
+                Some((exec, tid)) => {
+                    exec.lock_acquire(self.addr(), tid);
+                    Some((exec, tid))
+                }
+                None => None,
+            };
+            let inner = self.std.lock().unwrap_or_else(|p| p.into_inner());
+            Ok(MutexGuard {
+                inner: Some(inner),
+                model,
+                addr: self.addr(),
+                lock: &self.std,
+            })
+        }
+
+        /// Consumes the mutex, returning the value.
+        pub fn into_inner(self) -> LockResult<T> {
+            Ok(self.std.into_inner().unwrap_or_else(|p| p.into_inner()))
+        }
+
+        /// Exclusive access to the value.
+        pub fn get_mut(&mut self) -> LockResult<&mut T> {
+            Ok(match self.std.get_mut() {
+                Ok(v) => v,
+                Err(p) => p.into_inner(),
+            })
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Self::new(T::default())
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            std::fmt::Debug::fmt(&self.std, f)
+        }
+    }
+
+    /// Guard for a [`Mutex`]; releases the model lock (waking blocked
+    /// threads) on drop. Release is deliberately *not* a scheduling
+    /// point so it stays panic-safe inside unwinds.
+    pub struct MutexGuard<'a, T> {
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        model: Option<(Arc<Execution>, usize)>,
+        addr: usize,
+        lock: &'a std::sync::Mutex<T>,
+    }
+
+    impl<'a, T> MutexGuard<'a, T> {
+        /// Disarms `Drop` and returns the live inner `std` guard plus the
+        /// parts a condvar wait needs. The *model* lock stays formally
+        /// held by the caller until `cv_wait` releases it.
+        #[allow(clippy::type_complexity)]
+        fn dismantle(
+            mut self,
+        ) -> (
+            Option<std::sync::MutexGuard<'a, T>>,
+            Option<(Arc<Execution>, usize)>,
+            &'a std::sync::Mutex<T>,
+        ) {
+            let inner = self.inner.take();
+            let model = self.model.take();
+            let lock = self.lock;
+            std::mem::forget(self);
+            (inner, model, lock)
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard dismantled")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard dismantled")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            self.inner.take();
+            if let Some((exec, tid)) = self.model.take() {
+                exec.lock_release(self.addr, tid);
+            }
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for MutexGuard<'_, T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            std::fmt::Debug::fmt(&**self, f)
+        }
+    }
+
+    /// Result of a timed condvar wait (own type: `std`'s has no public
+    /// constructor). Re-exported as `std`'s in normal builds.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct WaitTimeoutResult(bool);
+
+    impl WaitTimeoutResult {
+        /// Whether the wait ended by timeout rather than a notification.
+        pub fn timed_out(&self) -> bool {
+            self.0
+        }
+    }
+
+    /// Model condvar. Untimed waiters are only wakable by a notify, so a
+    /// lost wakeup shows up as a detected deadlock; timed waiters stay
+    /// schedulable through a "timeout fires" transition.
+    pub struct Condvar {
+        std: std::sync::Condvar,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Condvar {
+        /// Creates a new condvar.
+        pub const fn new() -> Self {
+            Self {
+                std: std::sync::Condvar::new(),
+            }
+        }
+
+        fn addr(&self) -> usize {
+            &self.std as *const std::sync::Condvar as usize
+        }
+
+        /// Blocks until notified, releasing the mutex while waiting.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            match ctx() {
+                Some((exec, tid)) => {
+                    let (inner, model, lock) = guard.dismantle();
+                    debug_assert!(
+                        model.is_some(),
+                        "model condvar wait on a guard acquired outside the execution"
+                    );
+                    let addr = lock as *const std::sync::Mutex<T> as usize;
+                    drop(inner);
+                    exec.cv_wait(self.addr(), addr, tid, false);
+                    exec.lock_acquire(addr, tid);
+                    let inner = lock.lock().unwrap_or_else(|p| p.into_inner());
+                    Ok(MutexGuard {
+                        inner: Some(inner),
+                        model: Some((exec, tid)),
+                        addr,
+                        lock,
+                    })
+                }
+                None => {
+                    // Fallback: wait on the real condvar with the live
+                    // std guard (atomic release, no wakeup window).
+                    let (inner, model, lock) = guard.dismantle();
+                    debug_assert!(model.is_none());
+                    let addr = lock as *const std::sync::Mutex<T> as usize;
+                    let inner = self
+                        .std
+                        .wait(inner.expect("guard dismantled"))
+                        .unwrap_or_else(|p| p.into_inner());
+                    Ok(MutexGuard {
+                        inner: Some(inner),
+                        model: None,
+                        addr,
+                        lock,
+                    })
+                }
+            }
+        }
+
+        /// Blocks until notified or the timeout elapses. Inside an
+        /// execution the timeout is a scheduler transition, not wall
+        /// time, so spurious early timeouts are explored too.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            dur: std::time::Duration,
+        ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+            match ctx() {
+                Some((exec, tid)) => {
+                    let (inner, model, lock) = guard.dismantle();
+                    debug_assert!(
+                        model.is_some(),
+                        "model condvar wait on a guard acquired outside the execution"
+                    );
+                    let addr = lock as *const std::sync::Mutex<T> as usize;
+                    drop(inner);
+                    let timed_out = exec.cv_wait(self.addr(), addr, tid, true);
+                    exec.lock_acquire(addr, tid);
+                    let inner = lock.lock().unwrap_or_else(|p| p.into_inner());
+                    Ok((
+                        MutexGuard {
+                            inner: Some(inner),
+                            model: Some((exec, tid)),
+                            addr,
+                            lock,
+                        },
+                        WaitTimeoutResult(timed_out),
+                    ))
+                }
+                None => {
+                    let (inner, model, lock) = guard.dismantle();
+                    debug_assert!(model.is_none());
+                    let addr = lock as *const std::sync::Mutex<T> as usize;
+                    let (inner, wtr) = self
+                        .std
+                        .wait_timeout(inner.expect("guard dismantled"), dur)
+                        .unwrap_or_else(|p| p.into_inner());
+                    Ok((
+                        MutexGuard {
+                            inner: Some(inner),
+                            model: None,
+                            addr,
+                            lock,
+                        },
+                        WaitTimeoutResult(wtr.timed_out()),
+                    ))
+                }
+            }
+        }
+
+        /// Wakes one waiter (which one is a scheduler decision).
+        pub fn notify_one(&self) {
+            match ctx() {
+                Some((exec, tid)) => exec.cv_notify(self.addr(), tid, false),
+                None => self.std.notify_one(),
+            }
+        }
+
+        /// Wakes every waiter.
+        pub fn notify_all(&self) {
+            match ctx() {
+                Some((exec, tid)) => exec.cv_notify(self.addr(), tid, true),
+                None => self.std.notify_all(),
+            }
+        }
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.pad("Condvar { .. }")
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The `std::thread` facade: re-exports in normal builds; under
+//! `cfg(laelaps_check)`, spawn/join/yield become scheduler transitions
+//! with the spawn and join happens-before edges modeled.
+
+#[cfg(not(laelaps_check))]
+pub use std::thread::{spawn, yield_now, Builder, JoinHandle};
+
+#[cfg(laelaps_check)]
+pub use model::{spawn, yield_now, Builder, JoinHandle};
+
+#[cfg(laelaps_check)]
+mod model {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    use crate::engine::{ctx, is_abort, payload_message, set_ctx, Execution};
+
+    enum Inner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            exec: Arc<Execution>,
+            tid: usize,
+            result: Arc<Mutex<Option<T>>>,
+        },
+    }
+
+    /// Join handle: wraps the real one outside executions, a scheduler
+    /// ticket inside.
+    pub struct JoinHandle<T>(Inner<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its value. Inside
+        /// an execution this is a blocking scheduler transition that
+        /// establishes the join happens-before edge.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Inner::Std(h) => h.join(),
+                Inner::Model { exec, tid, result } => {
+                    let (_, me) = ctx().expect("model JoinHandle joined outside its execution");
+                    exec.join_thread(me, tid);
+                    // A missing result means the child was torn down by a
+                    // failure; the join_thread op_point would have aborted
+                    // us already, so this is unreachable in practice.
+                    let value = result
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .take()
+                        .expect("joined model thread produced no result");
+                    Ok(value)
+                }
+            }
+        }
+
+        /// Whether the thread has finished (std handles only; model
+        /// handles conservatively report `false`).
+        pub fn is_finished(&self) -> bool {
+            match &self.0 {
+                Inner::Std(h) => h.is_finished(),
+                Inner::Model { .. } => false,
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.pad("JoinHandle { .. }")
+        }
+    }
+
+    fn spawn_named<F, T>(name: Option<String>, f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match ctx() {
+            None => {
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = name {
+                    b = b.name(n);
+                }
+                JoinHandle(Inner::Std(b.spawn(f).expect("failed to spawn thread")))
+            }
+            Some((exec, me)) => {
+                let child = exec.register_thread(me);
+                let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+                let (exec2, result2) = (Arc::clone(&exec), Arc::clone(&result));
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = name {
+                    b = b.name(n);
+                }
+                let real = b
+                    .spawn(move || {
+                        set_ctx(Some((Arc::clone(&exec2), child)));
+                        if exec2.wait_until_activated(child) {
+                            match catch_unwind(AssertUnwindSafe(f)) {
+                                Ok(value) => {
+                                    *result2.lock().unwrap_or_else(|p| p.into_inner()) =
+                                        Some(value);
+                                }
+                                Err(payload) => {
+                                    if !is_abort(&*payload) {
+                                        exec2.fail(format!(
+                                            "model thread panicked: {}",
+                                            payload_message(&*payload)
+                                        ));
+                                    }
+                                }
+                            }
+                        }
+                        set_ctx(None);
+                        exec2.thread_finished(child);
+                    })
+                    .expect("failed to spawn model thread");
+                exec.store_real_handle(real);
+                // The spawn itself is a visible op: the child is now
+                // schedulable and may run before we continue.
+                exec.op_point(me);
+                JoinHandle(Inner::Model {
+                    exec,
+                    tid: child,
+                    result,
+                })
+            }
+        }
+    }
+
+    /// Spawns a thread (a model thread inside an execution).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        spawn_named(None, f)
+    }
+
+    /// A pure scheduling point inside an execution; the real
+    /// `yield_now` otherwise.
+    pub fn yield_now() {
+        match ctx() {
+            Some((exec, tid)) => exec.yield_point(tid),
+            None => std::thread::yield_now(),
+        }
+    }
+
+    /// Thread builder facade (name only; stack size is accepted and
+    /// ignored in model builds).
+    #[derive(Debug, Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        /// Creates a builder.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Names the thread.
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        /// Accepted for API compatibility; model threads use the default
+        /// stack.
+        pub fn stack_size(self, _size: usize) -> Self {
+            self
+        }
+
+        /// Spawns the thread. Never fails in model builds.
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            Ok(spawn_named(self.name, f))
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Semantic tests for the model engine itself: correct synchronization
+//! passes, classic concurrency bugs are caught.
+//!
+//! Compiled (and meaningful) only under `RUSTFLAGS="--cfg laelaps_check"`;
+//! in normal builds this file is empty.
+#![cfg(laelaps_check)]
+
+use std::sync::Arc;
+
+use laelaps_check::cell::UnsafeCell;
+use laelaps_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use laelaps_check::sync::{Condvar, Mutex};
+use laelaps_check::{thread, Checker};
+
+fn quick() -> Checker {
+    Checker::new().dfs_budget(500).random_iters(60)
+}
+
+/// Test-local shared cell: the checked `UnsafeCell` is deliberately
+/// `!Sync` (like std's), so tests declare the sharing explicitly the
+/// same way `Ring<T>` does.
+struct Shared<T>(UnsafeCell<T>);
+
+// SAFETY: test bodies synchronize cell access through the primitives
+// under test; unordered access is exactly what the checker must flag.
+unsafe impl<T: Send> Sync for Shared<T> {}
+unsafe impl<T: Send> Send for Shared<T> {}
+
+impl<T> Shared<T> {
+    fn new(value: T) -> Self {
+        Shared(UnsafeCell::new(value))
+    }
+}
+
+impl<T> std::ops::Deref for Shared<T> {
+    type Target = UnsafeCell<T>;
+    fn deref(&self) -> &UnsafeCell<T> {
+        &self.0
+    }
+}
+
+#[test]
+fn release_acquire_message_passing_is_race_free() {
+    quick().check(|| {
+        let data = Arc::new(Shared::new(0u32));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let h = thread::spawn(move || {
+            d2.with_mut(|p| unsafe { *p = 42 });
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            let v = data.with(|p| unsafe { *p });
+            assert_eq!(v, 42, "acquire load must see the released write");
+        }
+        h.join().unwrap();
+    });
+}
+
+#[test]
+fn relaxed_message_passing_is_a_data_race() {
+    let failure = quick().find_failure(|| {
+        let data = Arc::new(Shared::new(0u32));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let h = thread::spawn(move || {
+            d2.with_mut(|p| unsafe { *p = 42 });
+            // BUG under test: Relaxed publish creates no happens-before.
+            f2.store(true, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) {
+            let _ = data.with(|p| unsafe { *p });
+        }
+        h.join().unwrap();
+    });
+    let failure = failure.expect("relaxed publish must be reported");
+    assert!(
+        failure.message.contains("data race"),
+        "unexpected failure: {failure}"
+    );
+}
+
+#[test]
+fn relaxed_loads_observe_stale_values() {
+    // A Relaxed load may legally miss a concurrent store; the checker
+    // must actually explore that stale read.
+    let failure = quick().find_failure(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let h = thread::spawn(move || x2.store(1, Ordering::Release));
+        let seen = x.load(Ordering::Relaxed);
+        h.join().unwrap();
+        assert_eq!(seen, 1, "deliberately wrong: stale 0 is legal");
+    });
+    assert!(failure.is_some(), "stale relaxed read was never explored");
+}
+
+#[test]
+fn rmw_operations_never_lose_updates() {
+    quick().check(|| {
+        let n = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n2 = Arc::clone(&n);
+                thread::spawn(move || {
+                    n2.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+}
+
+#[test]
+fn mutex_orders_plain_memory() {
+    quick().check(|| {
+        let cell = Arc::new(Shared::new(0u64));
+        let lock = Arc::new(Mutex::new(()));
+        let (c2, l2) = (Arc::clone(&cell), Arc::clone(&lock));
+        let h = thread::spawn(move || {
+            let _g = l2.lock().unwrap();
+            c2.with_mut(|p| unsafe { *p += 1 });
+        });
+        {
+            let _g = lock.lock().unwrap();
+            cell.with_mut(|p| unsafe { *p += 1 });
+        }
+        h.join().unwrap();
+        assert_eq!(cell.with(|p| unsafe { *p }), 2);
+    });
+}
+
+#[test]
+fn join_establishes_happens_before() {
+    quick().check(|| {
+        let cell = Arc::new(Shared::new(0u64));
+        let c2 = Arc::clone(&cell);
+        let h = thread::spawn(move || c2.with_mut(|p| unsafe { *p = 7 }));
+        h.join().unwrap();
+        assert_eq!(cell.with(|p| unsafe { *p }), 7);
+    });
+}
+
+#[test]
+fn abba_deadlock_is_detected() {
+    let failure = quick().find_failure(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let h = thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+        drop(_ga);
+        drop(_gb);
+        h.join().unwrap();
+    });
+    let failure = failure.expect("ABBA deadlock must be reported");
+    assert!(
+        failure.message.contains("deadlock"),
+        "unexpected failure: {failure}"
+    );
+}
+
+#[test]
+fn lost_wakeup_without_recheck_is_detected() {
+    // The waiter snapshots no state and never rechecks: if the notify
+    // lands before the wait, the wakeup is lost for good — exactly the
+    // bug the PoolWaker epoch protocol exists to prevent.
+    let failure = quick().find_failure(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut done = lock.lock().unwrap();
+            *done = true;
+            drop(done);
+            cv.notify_one();
+        });
+        let (lock, cv) = &*pair;
+        let guard = lock.lock().unwrap();
+        // BUG under test: waits unconditionally instead of while !*guard.
+        let _guard = cv.wait(guard).unwrap();
+        h.join().unwrap();
+    });
+    let failure = failure.expect("lost wakeup must be reported");
+    assert!(
+        failure.message.contains("deadlock"),
+        "unexpected failure: {failure}"
+    );
+}
+
+#[test]
+fn epoch_recheck_protocol_has_no_lost_wakeup() {
+    // The correct protocol (PoolWaker's): waiter snapshots the epoch,
+    // rechecks it under the lock before sleeping, notifier bumps under
+    // the same lock. No schedule loses the wakeup.
+    quick().check(|| {
+        let pair = Arc::new((Mutex::new(0u64), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let snapshot = {
+            let (lock, _) = &*pair;
+            *lock.lock().unwrap()
+        };
+        let h = thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut epoch = lock.lock().unwrap();
+            *epoch += 1;
+            drop(epoch);
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut guard = lock.lock().unwrap();
+        while *guard == snapshot {
+            guard = cv.wait(guard).unwrap();
+        }
+        drop(guard);
+        h.join().unwrap();
+    });
+}
+
+#[test]
+fn failures_are_deterministic_across_runs() {
+    fn body() -> impl Fn() + Send + Sync + 'static {
+        || {
+            let x = Arc::new(AtomicU64::new(0));
+            let x2 = Arc::clone(&x);
+            let h = thread::spawn(move || x2.store(1, Ordering::Release));
+            let seen = x.load(Ordering::Acquire);
+            h.join().unwrap();
+            assert_eq!(seen, 1, "deliberately schedule-dependent");
+        }
+    }
+    let first = quick()
+        .find_failure(body())
+        .expect("must fail some schedule");
+    let second = quick()
+        .find_failure(body())
+        .expect("must fail some schedule");
+    assert_eq!(first.seed, second.seed);
+    assert_eq!(first.trace, second.trace);
+}
+
+#[test]
+fn timed_waits_explore_spurious_timeouts() {
+    // A wait_timeout waiter stays schedulable via its timeout
+    // transition, so "the notify never arrives in time" is explored and
+    // a protocol relying on the timeout safety net still terminates.
+    quick().check(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            *lock.lock().unwrap() = true;
+            cv.notify_one();
+        });
+        let (lock, cv) = &*pair;
+        let mut guard = lock.lock().unwrap();
+        let mut spurious = 0;
+        while !*guard {
+            let (g, _timeout) = cv
+                .wait_timeout(guard, std::time::Duration::from_millis(1))
+                .unwrap();
+            guard = g;
+            spurious += 1;
+            assert!(spurious < 100, "unbounded timeout churn");
+        }
+        drop(guard);
+        h.join().unwrap();
+    });
+}

@@ -14,6 +14,7 @@
 pub mod experiments;
 pub mod metrics;
 pub mod parallel;
+pub mod pool;
 pub mod runner;
 
 pub use metrics::{score_alarms, AlarmScore, MethodOutcome, SeizureSpan};

@@ -6,12 +6,14 @@
 //!   the experiment harness (one item ≈ one patient);
 //! * [`ShardedPool`] — persistent worker threads, one per shard, used by
 //!   `laelaps-serve` to drain per-session frame queues continuously.
+//!   The pool itself lives in [`crate::pool`] (on the `laelaps_check`
+//!   facade so its wakeup protocol is model-checkable) and is re-exported
+//!   here for compatibility.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
-use std::time::Duration;
+
+pub use crate::pool::{PoolWaker, ShardedPool, IDLE_POLL};
 
 /// Applies `f` to every item using up to `threads` worker threads,
 /// preserving input order in the output.
@@ -70,185 +72,10 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// How long an idle [`ShardedPool`] worker sleeps before re-polling.
-///
-/// This is a safety net only: producers wake workers explicitly through
-/// [`ShardedPool::notify`] / [`PoolWaker::notify`], and the epoch counter
-/// makes those wakeups race-free, so the poll can be long — an idle fleet
-/// wakes once a second per shard instead of 500×/s.
-pub const IDLE_POLL: Duration = Duration::from_secs(1);
-
-/// Persistent worker threads, one per shard.
-///
-/// Worker `i` repeatedly invokes the pool closure with shard index `i`.
-/// The closure returns `true` when it found work; a worker whose closure
-/// found nothing parks briefly (or until [`ShardedPool::notify`]) before
-/// retrying, so an idle pool costs almost nothing while a busy one runs
-/// hot. Dropping the pool shuts the workers down and joins them.
-///
-/// # Examples
-///
-/// ```
-/// use std::sync::atomic::{AtomicUsize, Ordering};
-/// use std::sync::Arc;
-/// use laelaps_eval::parallel::ShardedPool;
-///
-/// let hits = Arc::new(AtomicUsize::new(0));
-/// let pool = {
-///     let hits = Arc::clone(&hits);
-///     ShardedPool::new(4, move |_shard| {
-///         hits.fetch_add(1, Ordering::Relaxed);
-///         false // nothing left to do
-///     })
-/// };
-/// pool.notify();
-/// while hits.load(Ordering::Relaxed) < 4 {
-///     std::thread::yield_now();
-/// }
-/// drop(pool); // joins the four workers
-/// ```
-pub struct ShardedPool {
-    shared: Arc<PoolShared>,
-    workers: Vec<JoinHandle<()>>,
-}
-
-struct PoolShared {
-    shutdown: AtomicBool,
-    // Notification epoch: bumped under the lock by every notify(). A worker
-    // snapshots it before looking for work; if it moved by the time the
-    // worker is about to wait, a notification landed mid-scan and the
-    // worker rescans instead of sleeping — no wakeup can be lost.
-    epoch: Mutex<u64>,
-    wake: Condvar,
-}
-
-impl PoolShared {
-    fn notify(&self) {
-        let mut epoch = self.epoch.lock().expect("pool lock poisoned");
-        *epoch = epoch.wrapping_add(1);
-        self.wake.notify_all();
-    }
-}
-
-/// A cloneable handle that wakes a [`ShardedPool`]'s workers without
-/// owning the pool, so producers (e.g. session handles in
-/// `laelaps-serve`) can signal "new work enqueued" from any thread.
-///
-/// Outlives the pool safely: notifying after the pool shut down is a
-/// no-op.
-#[derive(Clone)]
-pub struct PoolWaker {
-    shared: Arc<PoolShared>,
-}
-
-impl PoolWaker {
-    /// Wakes all parked workers (call after enqueueing new work).
-    pub fn notify(&self) {
-        self.shared.notify();
-    }
-}
-
-impl std::fmt::Debug for PoolWaker {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PoolWaker").finish_non_exhaustive()
-    }
-}
-
-impl ShardedPool {
-    /// Spawns `shards` workers, each looping over `run(shard_index)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `shards == 0`.
-    pub fn new<F>(shards: usize, run: F) -> Self
-    where
-        F: Fn(usize) -> bool + Send + Sync + 'static,
-    {
-        assert!(shards > 0, "a pool needs at least one shard");
-        let shared = Arc::new(PoolShared {
-            shutdown: AtomicBool::new(false),
-            epoch: Mutex::new(0),
-            wake: Condvar::new(),
-        });
-        let run = Arc::new(run);
-        let workers = (0..shards)
-            .map(|shard| {
-                let shared = Arc::clone(&shared);
-                let run = Arc::clone(&run);
-                std::thread::Builder::new()
-                    .name(format!("laelaps-shard-{shard}"))
-                    .spawn(move || {
-                        while !shared.shutdown.load(Ordering::Acquire) {
-                            // Snapshot the epoch *before* scanning for work:
-                            // a notify() that lands during the scan moves it,
-                            // and the re-check under the lock below turns
-                            // what would be a lost wakeup into a rescan.
-                            let seen = *shared.epoch.lock().expect("pool lock poisoned");
-                            let worked = run(shard);
-                            if !worked {
-                                let guard = shared.epoch.lock().expect("pool lock poisoned");
-                                if shared.shutdown.load(Ordering::Acquire) {
-                                    break;
-                                }
-                                if *guard == seen {
-                                    let _ = shared
-                                        .wake
-                                        .wait_timeout(guard, IDLE_POLL)
-                                        .expect("pool lock poisoned");
-                                }
-                            }
-                        }
-                    })
-                    .expect("failed to spawn shard worker")
-            })
-            .collect();
-        ShardedPool { shared, workers }
-    }
-
-    /// Number of shards (and worker threads).
-    pub fn shards(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// Wakes all parked workers (call after enqueueing new work).
-    pub fn notify(&self) {
-        self.shared.notify();
-    }
-
-    /// A cloneable [`PoolWaker`] for producers that enqueue work for this
-    /// pool but do not own it.
-    pub fn waker(&self) -> PoolWaker {
-        PoolWaker {
-            shared: Arc::clone(&self.shared),
-        }
-    }
-}
-
-impl Drop for ShardedPool {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        self.notify();
-        for worker in self.workers.drain(..) {
-            // A worker that panicked already unwound; surface that here.
-            if worker.join().is_err() && !std::thread::panicking() {
-                panic!("shard worker panicked");
-            }
-        }
-    }
-}
-
-impl std::fmt::Debug for ShardedPool {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShardedPool")
-            .field("shards", &self.workers.len())
-            .finish_non_exhaustive()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
 
     #[test]
     fn maps_in_order() {
@@ -296,89 +123,5 @@ mod tests {
     #[test]
     fn thread_count_is_sane() {
         assert!(default_threads() >= 1);
-    }
-
-    #[test]
-    fn pool_runs_every_shard_and_shuts_down() {
-        let counts: Arc<Vec<AtomicU64>> = Arc::new((0..3).map(|_| AtomicU64::new(0)).collect());
-        let pool = {
-            let counts = Arc::clone(&counts);
-            ShardedPool::new(3, move |shard| {
-                counts[shard].fetch_add(1, Ordering::Relaxed);
-                false
-            })
-        };
-        assert_eq!(pool.shards(), 3);
-        pool.notify();
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while counts.iter().any(|c| c.load(Ordering::Relaxed) == 0) {
-            assert!(
-                std::time::Instant::now() < deadline,
-                "pool workers never ran"
-            );
-            std::thread::yield_now();
-        }
-        drop(pool);
-    }
-
-    #[test]
-    fn waker_wakes_an_idle_pool_well_under_the_poll_interval() {
-        let queue: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new(Vec::new()));
-        let drained = Arc::new(AtomicU64::new(0));
-        let pool = {
-            let (queue, drained) = (Arc::clone(&queue), Arc::clone(&drained));
-            ShardedPool::new(2, move |_shard| {
-                let item = queue.lock().unwrap().pop();
-                match item {
-                    Some(_) => {
-                        drained.fetch_add(1, Ordering::Relaxed);
-                        true
-                    }
-                    None => false,
-                }
-            })
-        };
-        let waker = pool.waker();
-        // Let every worker scan an empty queue and park.
-        std::thread::sleep(Duration::from_millis(30));
-        queue.lock().unwrap().push(7);
-        let start = std::time::Instant::now();
-        waker.notify();
-        while drained.load(Ordering::Relaxed) == 0 {
-            assert!(
-                start.elapsed() < IDLE_POLL / 2,
-                "woken worker should pick the item up immediately, not on \
-                 the idle-poll timeout"
-            );
-            std::thread::sleep(Duration::from_micros(100));
-        }
-        drop(pool);
-        // Notifying after shutdown is a harmless no-op.
-        waker.notify();
-    }
-
-    #[test]
-    fn pool_drains_queued_work() {
-        let queue: Arc<Mutex<Vec<u32>>> = Arc::new(Mutex::new((0..100).collect()));
-        let drained = Arc::new(AtomicU64::new(0));
-        let pool = {
-            let (queue, drained) = (Arc::clone(&queue), Arc::clone(&drained));
-            ShardedPool::new(4, move |_shard| {
-                let item = queue.lock().unwrap().pop();
-                match item {
-                    Some(_) => {
-                        drained.fetch_add(1, Ordering::Relaxed);
-                        true
-                    }
-                    None => false,
-                }
-            })
-        };
-        pool.notify();
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while drained.load(Ordering::Relaxed) < 100 {
-            assert!(std::time::Instant::now() < deadline, "queue never drained");
-            std::thread::sleep(Duration::from_millis(1));
-        }
     }
 }

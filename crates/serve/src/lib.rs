@@ -109,6 +109,14 @@
 //!   hundreds of sessions through either path and writes the stage
 //!   percentiles plus sustained throughput to `BENCH_serve.json`.
 //!
+//! The lock-free structures in this crate ([`ring`], the swap gate in
+//! [`swapgate`], the progress/waker protocols) are catalogued — with
+//! their invariants, chosen memory orderings, and the rationale for each
+//! — in `CONCURRENCY.md` at the repository root. They are written
+//! against the `laelaps_check::sync` facade, so building the test suite
+//! with `RUSTFLAGS="--cfg laelaps_check"` model-checks the protocols
+//! across thread interleavings (see `tests/model.rs`).
+//!
 //! See `examples/long_term_monitoring.rs` for the in-process train →
 //! persist → load → stream → alarm flow over a 32-patient synthetic
 //! cohort, `examples/remote_cohort.rs` for the same cohort driven
@@ -118,6 +126,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod adapt;
 pub mod batch;
@@ -128,6 +137,7 @@ pub mod ring;
 pub mod service;
 pub mod session;
 pub mod stats;
+pub mod swapgate;
 pub mod wire;
 
 pub use adapt::{AdaptStats, AdaptationEngine, FeedbackSegment};

@@ -6,11 +6,24 @@
 //! [`Producer::try_push`] returns the rejected value in [`Full`] instead
 //! of blocking or silently dropping, so callers choose their overload
 //! policy (retry, drop-and-count, or throttle).
+//!
+//! Concurrency is expressed through the `laelaps_check` facade, so under
+//! `RUSTFLAGS="--cfg laelaps_check"` the push/pop/close/drop protocol is
+//! model-checked across interleavings (see `CONCURRENCY.md` and
+//! `tests/model.rs`); in normal builds the facade compiles to the plain
+//! `std` primitives this module always used.
+//!
+//! `head`/`tail` are *monotonic operation counts*, not slot indexes, and
+//! all arithmetic on them is wrapping: the ring stays correct even when
+//! the counters wrap `usize` (the slot array is padded to a power of two
+//! so `count & mask` is congruent across the wrap — exactly why a plain
+//! `count % capacity` would be wrong for non-power-of-two capacities).
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+
+use laelaps_check::cell::UnsafeCell;
+use laelaps_check::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use laelaps_check::sync::Arc;
 
 /// Error returned by [`Producer::try_push`] when the ring is at capacity;
 /// carries the rejected value back to the caller.
@@ -18,8 +31,14 @@ use std::sync::Arc;
 pub struct Full<T>(pub T);
 
 struct Ring<T> {
+    /// `capacity.next_power_of_two()` slots; only `capacity` are ever
+    /// occupied at once (the backpressure check uses logical capacity).
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Logical capacity (what the caller asked for).
     capacity: usize,
+    /// `slots.len() - 1`; `slots.len()` is a power of two, so `n & mask`
+    /// indexes consistently even across `usize` wraparound.
+    mask: usize,
     /// Monotonic count of values consumed (owned by the consumer).
     head: AtomicUsize,
     /// Monotonic count of values produced (owned by the producer).
@@ -28,22 +47,37 @@ struct Ring<T> {
     closed: AtomicBool,
 }
 
-// Safety: each slot is accessed by exactly one side at a time — the
-// producer writes slot `i` strictly before publishing `tail = i + 1`
-// (Release), and the consumer reads slot `i` only after observing
-// `tail > i` (Acquire); symmetrically for `head` and reuse of slots.
+// SAFETY: `Ring<T>` is shared between exactly one producer and one
+// consumer thread. Each slot is accessed by one side at a time: the
+// producer fully writes slot `i & mask` strictly before publishing
+// `tail = i + 1` with a Release store, and the consumer reads that slot
+// only after its Acquire load of `tail` observes `tail > i`, so the
+// write happens-before the read. Symmetrically, the consumer moves a
+// value out before publishing `head = i + 1` (Release), and the
+// producer reuses the slot only after its Acquire load of `head` shows
+// the slot vacated. `T: Send` is required because values physically move
+// between the two threads; no `&T` is ever shared concurrently, so
+// `T: Sync` is not needed.
 unsafe impl<T: Send> Sync for Ring<T> {}
+// SAFETY: sending the ring itself to another thread just transfers the
+// `T` values it holds, hence the `T: Send` bound.
 unsafe impl<T: Send> Send for Ring<T> {}
 
 impl<T> Drop for Ring<T> {
     fn drop(&mut self) {
         let head = *self.head.get_mut();
         let tail = *self.tail.get_mut();
-        for i in head..tail {
-            // Safety: values in [head, tail) were written and never read.
+        let mut i = head;
+        // Wrapping walk: `head..tail` as a Range would be empty if the
+        // counters wrapped between them.
+        while i != tail {
+            // SAFETY: values in [head, tail) were written by the
+            // producer and never consumed; `&mut self` proves no other
+            // side is alive, so reading and dropping them is exclusive.
             unsafe {
-                (*self.slots[i % self.capacity].get()).assume_init_drop();
+                self.slots[i & self.mask].get_mut().assume_init_drop();
             }
+            i = i.wrapping_add(1);
         }
     }
 }
@@ -54,16 +88,29 @@ impl<T> Drop for Ring<T> {
 ///
 /// Panics if `capacity == 0`.
 pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    ring_at(capacity, 0)
+}
+
+/// Creates a ring whose monotonic head/tail counters start at `start`
+/// instead of 0. Behaviorally identical to [`ring`]; exists so tests can
+/// start the counters near `usize::MAX` and prove the wraparound path.
+///
+/// # Panics
+///
+/// Panics if `capacity == 0`.
+pub fn ring_at<T>(capacity: usize, start: usize) -> (Producer<T>, Consumer<T>) {
     assert!(capacity > 0, "ring capacity must be nonzero");
-    let slots = (0..capacity)
+    let slots = (0..capacity.next_power_of_two())
         .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
         .collect::<Vec<_>>()
         .into_boxed_slice();
+    let mask = slots.len() - 1;
     let inner = Arc::new(Ring {
         slots,
         capacity,
-        head: AtomicUsize::new(0),
-        tail: AtomicUsize::new(0),
+        mask,
+        head: AtomicUsize::new(start),
+        tail: AtomicUsize::new(start),
         closed: AtomicBool::new(false),
     });
     (
@@ -72,6 +119,21 @@ pub fn ring<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
         },
         Consumer { inner },
     )
+}
+
+/// Occupancy from one (possibly racy) head/tail snapshot pair, clamped
+/// to `[0, capacity]`: a reader that loads the two counters while the
+/// other side advances can observe `head` *ahead of* the `tail` it read
+/// (or vice versa), and the wrapping difference would then be a huge
+/// bogus count — report such transient states as 0 rather than panic on
+/// debug underflow or return garbage.
+fn occupancy(head: usize, tail: usize, capacity: usize) -> usize {
+    let n = tail.wrapping_sub(head);
+    if n > capacity {
+        0
+    } else {
+        n
+    }
 }
 
 /// The producing half of a ring; not clonable (single producer).
@@ -95,21 +157,29 @@ impl<T> Producer<T> {
         let ring = &*self.inner;
         let tail = ring.tail.load(Ordering::Relaxed);
         let head = ring.head.load(Ordering::Acquire);
-        if tail - head == ring.capacity {
+        if tail.wrapping_sub(head) == ring.capacity {
             return Err(Full(value));
         }
-        // Safety: slot `tail` is unoccupied (tail - head < capacity) and
-        // only this producer writes it until tail is published.
-        unsafe {
-            (*ring.slots[tail % ring.capacity].get()).write(value);
-        }
-        ring.tail.store(tail + 1, Ordering::Release);
+        ring.slots[tail & ring.mask].with_mut(|slot| {
+            // SAFETY: slot `tail & mask` is unoccupied (fewer than
+            // `capacity` values in flight, and the Acquire load of
+            // `head` ordered any previous consumer read of this slot
+            // before this write) and only this producer writes slots
+            // until the new tail is published.
+            unsafe {
+                (*slot).write(value);
+            }
+        });
+        ring.tail.store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
     }
 
-    /// Number of values currently queued.
+    /// Number of values currently queued (a racy snapshot: the consumer
+    /// may drain concurrently).
     pub fn len(&self) -> usize {
-        self.inner.tail.load(Ordering::Relaxed) - self.inner.head.load(Ordering::Acquire)
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Acquire);
+        occupancy(head, tail, self.inner.capacity)
     }
 
     /// Whether the ring is currently empty.
@@ -158,15 +228,23 @@ impl<T> Consumer<T> {
         if head == tail {
             return None;
         }
-        // Safety: slot `head` was fully written before tail was published.
-        let value = unsafe { (*ring.slots[head % ring.capacity].get()).assume_init_read() };
-        ring.head.store(head + 1, Ordering::Release);
+        let value = ring.slots[head & ring.mask].with(|slot| {
+            // SAFETY: `head != tail`, so slot `head & mask` was fully
+            // written before the producer's Release store of `tail` that
+            // our Acquire load observed; the value is read out exactly
+            // once (the Release store of `head` below retires it).
+            unsafe { (*slot).assume_init_read() }
+        });
+        ring.head.store(head.wrapping_add(1), Ordering::Release);
         Some(value)
     }
 
-    /// Number of values currently queued.
+    /// Number of values currently queued (a racy snapshot: the producer
+    /// may push concurrently).
     pub fn len(&self) -> usize {
-        self.inner.tail.load(Ordering::Acquire) - self.inner.head.load(Ordering::Relaxed)
+        let head = self.inner.head.load(Ordering::Relaxed);
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        occupancy(head, tail, self.inner.capacity)
     }
 
     /// Whether the ring is currently empty.
@@ -224,6 +302,49 @@ mod tests {
     }
 
     #[test]
+    fn counters_survive_usize_wraparound() {
+        // Start the monotonic counters so they wrap mid-stream. With a
+        // non-power-of-two capacity this is exactly the case where
+        // `count % capacity` indexing would corrupt the ring.
+        for capacity in [1usize, 3, 4, 7] {
+            let (mut tx, mut rx) = ring_at::<usize>(capacity, usize::MAX - 2);
+            for round in 0..100 {
+                tx.try_push(round).unwrap();
+                assert_eq!(rx.pop(), Some(round), "capacity {capacity}, round {round}");
+            }
+            assert!(rx.is_empty());
+            assert_eq!(tx.len(), 0);
+        }
+    }
+
+    #[test]
+    fn wraparound_with_queued_values_at_the_boundary() {
+        let (mut tx, mut rx) = ring_at::<usize>(3, usize::MAX - 1);
+        // Fill across the wrap point, then drain.
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        tx.try_push(3).unwrap();
+        assert!(tx.try_push(4).is_err(), "full at logical capacity");
+        assert_eq!(tx.len(), 3);
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn len_never_underflows_on_racy_snapshots() {
+        // Simulates the transient where a `len` reader observes a fresh
+        // `head` with a stale `tail` (head "ahead" of tail): occupancy
+        // must clamp to 0, not wrap to a huge value or panic.
+        assert_eq!(occupancy(5, 3, 8), 0);
+        assert_eq!(occupancy(1, 0, 8), 0);
+        assert_eq!(occupancy(usize::MAX, 2, 8), 3, "wrap-adjacent counts");
+        assert_eq!(occupancy(3, 5, 8), 2);
+        assert_eq!(occupancy(0, 8, 8), 8);
+    }
+
+    #[test]
     fn close_signals_end_of_stream() {
         let (mut tx, mut rx) = ring::<u8>(4);
         tx.try_push(1).unwrap();
@@ -236,7 +357,7 @@ mod tests {
 
     #[test]
     fn unconsumed_values_are_dropped_with_ring() {
-        use std::sync::atomic::AtomicUsize;
+        use std::sync::atomic::{AtomicUsize, Ordering};
         static DROPS: AtomicUsize = AtomicUsize::new(0);
         #[derive(Debug)]
         struct Counted;
@@ -255,6 +376,26 @@ mod tests {
         drop(tx);
         drop(rx);
         assert_eq!(DROPS.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn drop_reclaims_across_the_counter_wrap() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, rx) = ring_at::<Counted>(5, usize::MAX - 1);
+        for _ in 0..4 {
+            tx.try_push(Counted).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 4);
     }
 
     #[test]

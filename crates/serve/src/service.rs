@@ -2,9 +2,10 @@
 //! pool, alarm bus.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+use laelaps_check::sync::atomic::{AtomicU64, Ordering};
+use laelaps_check::sync::{Arc, Condvar, Mutex};
 
 use laelaps_core::{Detector, DetectorEvent, PatientModel};
 use laelaps_eval::parallel::{default_threads, ShardedPool};
@@ -405,7 +406,7 @@ impl DetectionService {
             outbox: Mutex::new(VecDeque::new()),
             counters: Default::default(),
             telemetry: Arc::clone(&self.inner.telemetry),
-            pending_swap: Mutex::new(None),
+            pending_swap: crate::swapgate::SwapGate::new(),
             generation: AtomicU64::new(model.generation()),
             failed_flag: Default::default(),
             done: Default::default(),

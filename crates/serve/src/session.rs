@@ -1,9 +1,10 @@
 //! One patient's streaming detection session.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use laelaps_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use laelaps_check::sync::{Arc, Mutex};
 
 use laelaps_core::{Detector, DetectorEvent, LaelapsConfig, PatientModel};
 use laelaps_eval::parallel::PoolWaker;
@@ -13,6 +14,7 @@ use crate::batch::{BatchPlan, PendingItem, SessionPending};
 use crate::ring::{Consumer, Full, Producer};
 use crate::service::{AlarmRecord, Progress, ServiceEvent};
 use crate::stats::{ServiceTelemetry, SessionCounters, SessionStats};
+use crate::swapgate::SwapGate;
 
 /// Identifies a session within one [`crate::DetectionService`].
 pub type SessionId = u64;
@@ -37,12 +39,11 @@ pub enum SessionOutput {
     },
 }
 
-/// A hot-swap staged for a session's worker: apply `model` once
-/// `barrier` frames have been processed, so every frame accepted before
-/// the request drains under the old model.
+/// A hot-swap staged for a session's worker; held in the session's
+/// [`SwapGate`], whose barrier ensures every frame accepted before the
+/// request drains under the old model.
 pub(crate) struct SwapRequest {
     pub model: Arc<PatientModel>,
-    pub barrier: u64,
     /// When the triggering feedback/request entered the system (`None`
     /// with telemetry off) — the applied swap records the full
     /// propagation span as [`Stage::AdaptPropagate`].
@@ -127,7 +128,7 @@ pub(crate) struct SessionCore {
     pub telemetry: Arc<ServiceTelemetry>,
     /// A staged model hot-swap, applied by the shard worker at the first
     /// chunk boundary past its barrier.
-    pub pending_swap: Mutex<Option<SwapRequest>>,
+    pub pending_swap: SwapGate<SwapRequest>,
     /// Generation of the model currently running (updated when a swap is
     /// applied).
     pub generation: AtomicU64,
@@ -203,33 +204,27 @@ impl SessionCore {
         // may land on the new-model side; the single-swap-point and
         // zero-drop guarantees are unaffected.
         let barrier = self.counters.frames_in.load(Ordering::Acquire);
-        *self.pending_swap.lock().expect("pending swap poisoned") = Some(SwapRequest {
-            model: Arc::clone(model),
+        self.pending_swap.stage(
+            SwapRequest {
+                model: Arc::clone(model),
+                origin,
+            },
             barrier,
-            origin,
-        });
+        );
         Ok(())
     }
 
     /// Whether a staged hot-swap has not yet been applied by the shard
     /// worker.
     pub fn swap_pending(&self) -> bool {
-        self.pending_swap
-            .lock()
-            .expect("pending swap poisoned")
-            .is_some()
+        self.pending_swap.is_pending()
     }
 
     /// Takes the staged swap if its barrier has been reached. Both drain
     /// paths poll this at chunk boundaries, so a swap lands at the same
     /// stream position whether the pass is per-frame or batched.
     fn take_due_swap(&self, processed: u64) -> Option<SwapRequest> {
-        let mut pending = self.pending_swap.lock().expect("pending swap poisoned");
-        if pending.as_ref().is_some_and(|r| processed >= r.barrier) {
-            pending.take()
-        } else {
-            None
-        }
+        self.pending_swap.take_due(processed)
     }
 
     /// Applies a staged swap if its barrier has been reached. Returns
@@ -397,10 +392,7 @@ impl SessionCore {
     /// the frames discarded.
     fn discard_after_failure(&self, state: &mut WorkerState, aborted_tail: u64) -> u64 {
         self.failed_flag.store(true, Ordering::Release);
-        self.pending_swap
-            .lock()
-            .expect("pending swap poisoned")
-            .take();
+        self.pending_swap.clear();
         let mut discarded = aborted_tail;
         while let Some(chunk) = state.rx.pop() {
             discarded += (chunk.samples.len() / self.electrodes) as u64;
@@ -1078,7 +1070,7 @@ mod tests {
             outbox: Mutex::new(VecDeque::new()),
             counters: Default::default(),
             telemetry: Arc::new(ServiceTelemetry::new(&Default::default())),
-            pending_swap: Mutex::new(None),
+            pending_swap: SwapGate::new(),
             generation: Default::default(),
             failed_flag: Default::default(),
             done: Default::default(),
@@ -1140,7 +1132,7 @@ mod tests {
             outbox: Mutex::new(VecDeque::new()),
             counters: Default::default(),
             telemetry: Arc::new(ServiceTelemetry::new(&Default::default())),
-            pending_swap: Mutex::new(None),
+            pending_swap: SwapGate::new(),
             generation: Default::default(),
             failed_flag: Default::default(),
             done: Default::default(),

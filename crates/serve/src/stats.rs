@@ -1,7 +1,6 @@
 //! Observability counters for sessions and the whole service.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
+use laelaps_check::sync::atomic::{AtomicU64, Ordering};
 use laelaps_telemetry::{RateMeter, StageSet, StagesSnapshot, TelemetryConfig};
 
 use crate::adapt::AdaptStats;

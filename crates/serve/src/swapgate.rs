@@ -1,0 +1,120 @@
+//! Barrier-gated single-slot staging cell — the hot-swap handoff
+//! protocol, extracted so it can be model-checked in isolation.
+//!
+//! A [`SwapGate`] carries at most one staged value from a *requester*
+//! thread (the adaptation engine staging a new model) to an *applier*
+//! thread (the shard worker draining the session), with an application
+//! barrier: `take_due(processed)` releases the value only once the
+//! applier's progress counter has reached the barrier recorded at
+//! staging time. Restaging before the value is taken replaces it
+//! (latest-wins), which is exactly the semantics a model hot-swap wants:
+//! an unapplied older model is obsolete the moment a newer one exists.
+//!
+//! The invariant the model suite (`tests/model.rs`) checks: for any
+//! interleaving of one `stage` and a draining applier, the value is
+//! applied **exactly once**, and never before the applier has processed
+//! `barrier` frames. Uses the `laelaps_check` facade mutex, so the check
+//! runs against the same code the service ships.
+
+use laelaps_check::sync::Mutex;
+
+/// A staged value plus the progress bar it must wait for.
+#[derive(Debug)]
+struct Staged<T> {
+    value: T,
+    barrier: u64,
+}
+
+/// Single-slot, latest-wins staging cell gated on a progress barrier.
+///
+/// See the module docs for the protocol; [`crate::session`] uses it to
+/// stage model hot-swaps at frame boundaries.
+#[derive(Debug)]
+pub struct SwapGate<T> {
+    pending: Mutex<Option<Staged<T>>>,
+}
+
+impl<T> SwapGate<T> {
+    /// Creates an empty gate.
+    pub const fn new() -> Self {
+        SwapGate {
+            pending: Mutex::new(None),
+        }
+    }
+
+    /// Stages `value` for release once the applier's progress counter
+    /// reaches `barrier`. Replaces any value staged earlier (latest
+    /// wins).
+    pub fn stage(&self, value: T, barrier: u64) {
+        *self.pending.lock().expect("swap gate poisoned") = Some(Staged { value, barrier });
+    }
+
+    /// Takes the staged value if the applier has progressed to (or past)
+    /// its barrier; `None` if nothing is staged or the barrier is still
+    /// ahead. At most one `take_due` ever returns a given staged value.
+    pub fn take_due(&self, processed: u64) -> Option<T> {
+        let mut pending = self.pending.lock().expect("swap gate poisoned");
+        if pending.as_ref().is_some_and(|s| processed >= s.barrier) {
+            pending.take().map(|s| s.value)
+        } else {
+            None
+        }
+    }
+
+    /// Whether a staged value has not yet been taken.
+    pub fn is_pending(&self) -> bool {
+        self.pending.lock().expect("swap gate poisoned").is_some()
+    }
+
+    /// Discards any staged value (e.g. the session failed and can never
+    /// apply it), returning it for inspection.
+    pub fn clear(&self) -> Option<T> {
+        self.pending
+            .lock()
+            .expect("swap gate poisoned")
+            .take()
+            .map(|s| s.value)
+    }
+}
+
+impl<T> Default for SwapGate<T> {
+    fn default() -> Self {
+        SwapGate::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_holds_until_barrier() {
+        let gate = SwapGate::new();
+        gate.stage("model-a", 10);
+        assert!(gate.is_pending());
+        assert_eq!(gate.take_due(9), None, "barrier not reached");
+        assert!(gate.is_pending(), "early poll must not consume");
+        assert_eq!(gate.take_due(10), Some("model-a"));
+        assert!(!gate.is_pending());
+        assert_eq!(gate.take_due(u64::MAX), None, "applied exactly once");
+    }
+
+    #[test]
+    fn restaging_replaces_latest_wins() {
+        let gate = SwapGate::new();
+        gate.stage(1u32, 5);
+        gate.stage(2u32, 7);
+        assert_eq!(gate.take_due(6), None, "new barrier governs");
+        assert_eq!(gate.take_due(7), Some(2), "newest value wins");
+        assert_eq!(gate.take_due(7), None);
+    }
+
+    #[test]
+    fn clear_discards_and_returns() {
+        let gate = SwapGate::new();
+        assert_eq!(gate.clear(), None);
+        gate.stage(42u32, 0);
+        assert_eq!(gate.clear(), Some(42));
+        assert!(!gate.is_pending());
+    }
+}

@@ -1,0 +1,244 @@
+//! Model-checked concurrency tests for the serve hot path: the SPSC
+//! [`laelaps_serve::ring`] and the [`laelaps_serve::swapgate::SwapGate`]
+//! hot-swap protocol, explored across thread interleavings by
+//! `laelaps-check`.
+//!
+//! Compiled (and meaningful) only under `RUSTFLAGS="--cfg laelaps_check"`;
+//! in normal builds this file is empty. A reported failure prints a
+//! replay seed — see `CONCURRENCY.md` for how to replay it.
+#![cfg(laelaps_check)]
+
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::Arc;
+
+use laelaps_check::{thread, Checker};
+use laelaps_serve::ring::{ring, ring_at, Full};
+use laelaps_serve::swapgate::SwapGate;
+
+fn quick() -> Checker {
+    Checker::new().dfs_budget(800).random_iters(60)
+}
+
+/// A value with observable drop effects, for double-drop / leak
+/// detection across the ring handoff.
+#[derive(Debug)]
+struct Token {
+    drops: Arc<StdAtomicUsize>,
+    payload: Box<u64>,
+}
+
+impl Token {
+    fn new(drops: &Arc<StdAtomicUsize>, value: u64) -> Self {
+        Token {
+            drops: Arc::clone(drops),
+            payload: Box::new(value),
+        }
+    }
+}
+
+impl Drop for Token {
+    fn drop(&mut self) {
+        self.drops.fetch_add(1, StdOrdering::Relaxed);
+    }
+}
+
+#[test]
+fn ring_concurrent_push_pop_is_fifo_and_race_free() {
+    quick().check(|| {
+        let (mut tx, mut rx) = ring::<u64>(2);
+        let producer = thread::spawn(move || {
+            // Capacity 2 and two pushes: no retry loop needed, every
+            // interleaving accepts both.
+            tx.try_push(1).unwrap();
+            tx.try_push(2).unwrap();
+        });
+        // Bounded attempts (an unbounded pop spin would be an infinite
+        // schedule); whatever is observed must be the FIFO prefix.
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            if let Some(v) = rx.pop() {
+                got.push(v);
+            }
+        }
+        assert!([0, 1, 2].contains(&got.len()));
+        producer.join().unwrap();
+        // Producer joined: everything it pushed is now visible.
+        while let Some(v) = rx.pop() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![1, 2], "stream must be FIFO with no loss");
+    });
+}
+
+#[test]
+fn ring_drop_reclaims_each_value_exactly_once() {
+    quick().check(|| {
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let (mut tx, mut rx) = ring_at::<Token>(2, usize::MAX - 1);
+        let d2 = Arc::clone(&drops);
+        let producer = thread::spawn(move || {
+            tx.try_push(Token::new(&d2, 1)).unwrap();
+            tx.try_push(Token::new(&d2, 2)).unwrap();
+            // tx drops here → closes the ring.
+        });
+        // Consume at most one value concurrently; the ring's Drop must
+        // reclaim the rest — never double-dropping, never leaking.
+        let popped = rx.pop();
+        let popped_n = usize::from(popped.is_some());
+        if let Some(token) = &popped {
+            assert_eq!(*token.payload, 1, "pop must yield the oldest value");
+        }
+        producer.join().unwrap();
+        drop(popped);
+        drop(rx);
+        assert_eq!(
+            drops.load(StdOrdering::Relaxed),
+            2,
+            "every token dropped exactly once (popped {popped_n} by hand)"
+        );
+    });
+}
+
+#[test]
+fn ring_close_is_observed_after_final_push() {
+    quick().check(|| {
+        let (mut tx, mut rx) = ring::<u8>(2);
+        let producer = thread::spawn(move || {
+            tx.try_push(9).unwrap();
+            // Producer drop closes the stream.
+        });
+        // is_finished ⇒ the final value has been drained: close is
+        // published after the push, so finished-and-empty can never hide
+        // a queued value.
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            if rx.is_finished() {
+                break;
+            }
+            if let Some(v) = rx.pop() {
+                got.push(v);
+            }
+        }
+        producer.join().unwrap();
+        while let Some(v) = rx.pop() {
+            got.push(v);
+        }
+        assert!(rx.is_finished());
+        assert_eq!(got, vec![9], "no value may be lost at close");
+    });
+}
+
+/// A miniature SPSC slot modeled on `ring::try_push`/`pop`, with the
+/// one-line bug the checker must catch: the producer publishes `tail`
+/// with `Relaxed` instead of `Release`, so the slot write is not ordered
+/// before the consumer's read.
+mod buggy {
+    use laelaps_check::cell::UnsafeCell;
+    use laelaps_check::sync::atomic::{AtomicUsize, Ordering};
+
+    pub struct BuggySlot {
+        pub value: UnsafeCell<u64>,
+        pub tail: AtomicUsize,
+    }
+
+    // SAFETY: intentionally under-synchronized for the test; the checker
+    // is expected to report the data race this sharing allows.
+    unsafe impl Sync for BuggySlot {}
+    unsafe impl Send for BuggySlot {}
+
+    impl BuggySlot {
+        pub fn new() -> Self {
+            BuggySlot {
+                value: UnsafeCell::new(0),
+                tail: AtomicUsize::new(0),
+            }
+        }
+
+        pub fn push(&self, v: u64) {
+            self.value.with_mut(|p| unsafe { *p = v });
+            // BUG under test: ring.rs uses Release here.
+            self.tail.store(1, Ordering::Relaxed);
+        }
+
+        pub fn pop(&self) -> Option<u64> {
+            if self.tail.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            Some(self.value.with(|p| unsafe { *p }))
+        }
+    }
+}
+
+#[test]
+fn weakened_tail_publish_is_caught_with_a_replayable_seed() {
+    let failure = quick().find_failure(|| {
+        let slot = Arc::new(buggy::BuggySlot::new());
+        let s2 = Arc::clone(&slot);
+        let producer = thread::spawn(move || s2.push(7));
+        let _ = slot.pop();
+        producer.join().unwrap();
+    });
+    let failure = failure.expect("the Relaxed tail publish must be caught");
+    assert!(
+        failure.message.contains("data race"),
+        "unexpected failure kind: {failure}"
+    );
+    assert!(
+        !failure.trace.is_empty(),
+        "failure must carry a replayable schedule trace"
+    );
+    // The Display form is what a CI log shows: it must tell the reader
+    // how to replay the exact failing schedule.
+    let shown = failure.to_string();
+    assert!(
+        shown.contains("LAELAPS_CHECK_SEED") || failure.seed.is_none(),
+        "random-mode failures must print the replay seed: {shown}"
+    );
+}
+
+#[test]
+fn swap_gate_applies_exactly_once_at_the_barrier() {
+    quick().check(|| {
+        let gate = Arc::new(SwapGate::new());
+        let g2 = Arc::clone(&gate);
+        // Requester stages model "7" behind a barrier of 1 processed
+        // frame, racing the applier's barrier polls.
+        let requester = thread::spawn(move || g2.stage(7u32, 1));
+        let mut applied: Vec<(u64, u32)> = Vec::new();
+        for processed in 0..3u64 {
+            if let Some(v) = gate.take_due(processed) {
+                applied.push((processed, v));
+            }
+        }
+        requester.join().unwrap();
+        // The applier is now past the barrier; a staged-but-unseen swap
+        // must be delivered on the next poll, never dropped.
+        if let Some(v) = gate.take_due(3) {
+            applied.push((3, v));
+        }
+        assert_eq!(
+            applied.len(),
+            1,
+            "swap must apply exactly once: {applied:?}"
+        );
+        let (at, v) = applied[0];
+        assert_eq!(v, 7);
+        assert!(at >= 1, "swap applied before its barrier (at {at})");
+        assert!(!gate.is_pending());
+    });
+}
+
+#[test]
+fn swap_gate_latest_wins_under_racing_stages() {
+    quick().check(|| {
+        let gate = Arc::new(SwapGate::new());
+        let (g1, g2) = (Arc::clone(&gate), Arc::clone(&gate));
+        let r1 = thread::spawn(move || g1.stage(1u32, 0));
+        let r2 = thread::spawn(move || g2.stage(2u32, 0));
+        r1.join().unwrap();
+        r2.join().unwrap();
+        let first = gate.take_due(0).expect("one staged value must survive");
+        assert!(first == 1 || first == 2);
+        assert_eq!(gate.take_due(u64::MAX), None, "only one value survives");
+    });
+}

@@ -1,0 +1,112 @@
+//! Property tests for the SPSC ring's sequential contract, driven
+//! against a `VecDeque` reference model — with the monotonic head/tail
+//! counters started near `usize::MAX` so every case exercises the
+//! wraparound arithmetic, and close/push/pop interleaved in arbitrary
+//! orders to pin the end-of-stream semantics.
+
+use std::collections::VecDeque;
+
+use laelaps_serve::ring::{ring_at, Full};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Push(u32),
+    Pop,
+    Close,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..10_000).prop_map(Op::Push),
+            Just(Op::Pop),
+            Just(Op::Close),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ring_matches_reference_model_across_the_usize_wrap(
+        capacity in 1usize..8,
+        back in 0usize..96,
+        ops in arb_ops(),
+    ) {
+        // Counters start `back` steps before usize::MAX, so ops walk
+        // them across the wrap; with non-power-of-two capacities this is
+        // exactly where naive `count % capacity` indexing corrupts.
+        let start = usize::MAX - back;
+        let (mut tx, mut rx) = ring_at::<u32>(capacity, start);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut closed = false;
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    // The ring itself accepts pushes after close (the
+                    // handle layer gates that); close only marks
+                    // end-of-stream for the consumer.
+                    if model.len() == capacity {
+                        let Full(rejected) =
+                            tx.try_push(v).expect_err("push must reject at capacity");
+                        prop_assert_eq!(rejected, v, "rejected value comes back");
+                    } else {
+                        prop_assert!(tx.try_push(v).is_ok());
+                        model.push_back(v);
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(rx.pop(), model.pop_front(), "FIFO order");
+                }
+                Op::Close => {
+                    tx.close();
+                    closed = true;
+                }
+            }
+            prop_assert_eq!(tx.len(), model.len());
+            prop_assert_eq!(rx.len(), model.len());
+            prop_assert_eq!(tx.is_empty(), model.is_empty());
+            prop_assert_eq!(
+                rx.is_finished(),
+                closed && model.is_empty(),
+                "finished iff closed and drained"
+            );
+        }
+        // Tail drain: everything the model still holds must come out in
+        // order, then the stream reports finished (once closed).
+        tx.close();
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(rx.pop(), Some(expected));
+        }
+        prop_assert_eq!(rx.pop(), None);
+        prop_assert!(rx.is_finished());
+    }
+
+    #[test]
+    fn dropping_the_producer_closes_like_an_explicit_close(
+        capacity in 1usize..6,
+        back in 0usize..16,
+        values in proptest::collection::vec(0u32..100, 0..6),
+    ) {
+        let (mut tx, mut rx) = ring_at::<u32>(capacity, usize::MAX - back);
+        let mut accepted = Vec::new();
+        for v in values {
+            if tx.try_push(v).is_ok() {
+                accepted.push(v);
+            }
+        }
+        drop(tx);
+        prop_assert_eq!(
+            rx.is_finished(),
+            accepted.is_empty(),
+            "queued values keep the stream unfinished after close"
+        );
+        for v in accepted {
+            prop_assert_eq!(rx.pop(), Some(v));
+        }
+        prop_assert!(rx.is_finished());
+    }
+}

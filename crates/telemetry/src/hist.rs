@@ -1,7 +1,7 @@
 //! Log2-sub-bucketed latency histograms with quantile estimation and
 //! exact merge.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use laelaps_check::sync::atomic::{AtomicU64, Ordering};
 
 /// Exact buckets for values below this (one bucket per value).
 const LINEAR: usize = 16;

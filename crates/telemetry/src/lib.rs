@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod hist;
 mod rate;
@@ -55,7 +56,7 @@ pub use hist::{Histogram, HistogramSnapshot};
 pub use rate::RateMeter;
 pub use stage::{Stage, StageSet, StageTimer, StagesSnapshot};
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use laelaps_check::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 /// Configuration of a telemetry surface (see [`StageSet::new`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

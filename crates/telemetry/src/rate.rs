@@ -1,6 +1,6 @@
 //! Windowed event-rate meters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use laelaps_check::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// One slice of the sliding window: the epoch (slot-width-sized tick)

@@ -1,0 +1,52 @@
+//! Model-checked accounting test for the lock-free histogram: racing
+//! recorders and a concurrent sampler must never corrupt the counters —
+//! a snapshot can be *partial* (Relaxed loads), but it can never invent
+//! samples, and once the recorders are joined it must be exact.
+//!
+//! Compiled (and meaningful) only under `RUSTFLAGS="--cfg laelaps_check"`.
+#![cfg(laelaps_check)]
+
+use std::sync::Arc;
+
+use laelaps_check::{thread, Checker};
+use laelaps_telemetry::Histogram;
+
+#[test]
+fn histogram_accounting_survives_racing_pushers_and_samplers() {
+    // A snapshot scans all ~1000 buckets, so each execution is long:
+    // skip DFS (the tree is astronomically wide) and run seeded random
+    // schedules with a raised step ceiling instead.
+    Checker::new()
+        .dfs_budget(0)
+        .random_iters(15)
+        .max_steps(200_000)
+        .check(|| {
+            let hist = Arc::new(Histogram::new());
+            let (h1, h2) = (Arc::clone(&hist), Arc::clone(&hist));
+            // Distinct values in distinct buckets (3 is linear-region,
+            // 40_000 is log-region) so partial visibility is detectable
+            // per-sample.
+            let r1 = thread::spawn(move || h1.record(3));
+            let r2 = thread::spawn(move || h2.record(40_000));
+            // Mid-race snapshot: every field must be a subset of what
+            // was recorded — counts, sum, and max can lag, never invent.
+            let mid = hist.snapshot();
+            assert!(mid.count <= 2, "phantom samples: {mid:?}");
+            assert!(mid.sum <= 3 + 40_000, "phantom sum: {mid:?}");
+            assert!(
+                [0, 3, 40_000].contains(&mid.max),
+                "max must be a recorded value or zero: {mid:?}"
+            );
+            for &(_, n) in &mid.buckets {
+                assert!(n <= 1, "a bucket was double-counted: {mid:?}");
+            }
+            r1.join().unwrap();
+            r2.join().unwrap();
+            // Joined: the final snapshot is exact (join gives the sampler
+            // happens-before with both recorders).
+            let end = hist.snapshot();
+            assert_eq!(end.count, 2, "exact count after join: {end:?}");
+            assert_eq!(end.sum, 3 + 40_000, "exact sum after join: {end:?}");
+            assert_eq!(end.max, 40_000, "exact max after join: {end:?}");
+        });
+}
