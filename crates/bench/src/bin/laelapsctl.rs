@@ -1,0 +1,232 @@
+//! Live introspection client for a running [`laelaps_serve::IngestServer`].
+//!
+//! Opens a wire-v3 introspection connection (first message is a
+//! `StatsRequest`/`TraceDumpRequest`, never a `Hello`) and renders what
+//! the server answers — no session is opened, no model is touched, and
+//! the serving hot path is never blocked.
+//!
+//! ```text
+//! cargo run --release -p laelaps-bench --bin laelapsctl -- \
+//!     --addr 127.0.0.1:7071 stats [--json]
+//! cargo run --release -p laelaps-bench --bin laelapsctl -- \
+//!     --addr 127.0.0.1:7071 trace [--limit 4096] [--out trace.json]
+//! ```
+//!
+//! `stats` prints the service totals, per-stage latency percentiles
+//! (reconstructed from the wire histograms with the telemetry crate's
+//! own bucket math), and per-shard saturation gauges; `--json` dumps the
+//! same data machine-readably. `trace` fetches the flight recorder's
+//! retained spans and writes them as Chrome trace-event JSON — load the
+//! file in Perfetto (<https://ui.perfetto.dev>) to see each chunk's
+//! wire-decode → ring → drain → publish causal chain per session.
+
+use std::net::TcpStream;
+
+use laelaps_bench::chrome;
+use laelaps_bench::json::Json;
+use laelaps_bench::{arg_present, arg_value};
+use laelaps_serve::wire::{read_message, write_message, Message, WireStats};
+use laelaps_serve::Stage;
+
+fn fail(reason: &str) -> ! {
+    eprintln!("laelapsctl: {reason}");
+    std::process::exit(1);
+}
+
+/// Sends one request and reads its reply on a fresh connection.
+fn exchange(addr: &str, request: &Message) -> Message {
+    let mut stream = TcpStream::connect(addr)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    write_message(&mut stream, request).unwrap_or_else(|e| fail(&format!("request failed: {e}")));
+    let reply = read_message(&mut stream)
+        .unwrap_or_else(|e| fail(&format!("malformed reply: {e}")))
+        .unwrap_or_else(|| fail("server closed without answering"));
+    let _ = write_message(&mut stream, &Message::Close);
+    reply
+}
+
+fn stats_json(stats: &WireStats) -> Json {
+    Json::obj([
+        ("sessions", Json::num_u64(stats.sessions as u64)),
+        (
+            "retired_sessions",
+            Json::num_u64(stats.retired_sessions as u64),
+        ),
+        ("frames_in", Json::num_u64(stats.frames_in)),
+        ("frames_processed", Json::num_u64(stats.frames_processed)),
+        ("frames_dropped", Json::num_u64(stats.frames_dropped)),
+        ("frames_refused", Json::num_u64(stats.frames_refused)),
+        ("frames_discarded", Json::num_u64(stats.frames_discarded)),
+        ("events_out", Json::num_u64(stats.events_out)),
+        ("alarms_out", Json::num_u64(stats.alarms_out)),
+        ("windows_batched", Json::num_u64(stats.windows_batched)),
+        ("max_drain_micros", Json::num_u64(stats.max_drain_micros)),
+        (
+            "recent_frames_per_sec",
+            Json::Num(stats.recent_frames_per_sec),
+        ),
+        ("telemetry_enabled", Json::Bool(stats.telemetry_enabled)),
+        (
+            "trace",
+            Json::obj([
+                ("enabled", Json::Bool(stats.trace_enabled)),
+                ("minted", Json::num_u64(stats.trace_minted)),
+                ("recorded", Json::num_u64(stats.trace_recorded)),
+                ("dropped", Json::num_u64(stats.trace_dropped)),
+                ("pinned", Json::num_u64(stats.trace_pinned)),
+            ]),
+        ),
+        (
+            "stages",
+            Json::Arr(
+                stats
+                    .stages
+                    .iter()
+                    .map(|row| {
+                        let hist = row.to_histogram();
+                        Json::obj([
+                            ("stage", Json::Str(stage_label(row.stage))),
+                            ("count", Json::num_u64(hist.count)),
+                            ("p50_us", Json::num_u64(hist.p50())),
+                            ("p99_us", Json::num_u64(hist.p99())),
+                            ("p999_us", Json::num_u64(hist.p999())),
+                            ("max_us", Json::num_u64(hist.max)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "shards",
+            Json::Arr(
+                stats
+                    .shards
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("shard", Json::num_u64(s.shard as u64)),
+                            ("sessions", Json::num_u64(s.sessions as u64)),
+                            (
+                                "ring_depth_chunks",
+                                Json::num_u64(s.ring_depth_chunks as u64),
+                            ),
+                            ("in_flight_frames", Json::num_u64(s.in_flight_frames)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn stage_label(raw: u8) -> String {
+    match Stage::ALL.get(raw as usize) {
+        Some(stage) => stage.name().to_string(),
+        None => format!("stage_{raw}"),
+    }
+}
+
+fn print_stats(stats: &WireStats) {
+    println!(
+        "sessions        {} live, {} retired",
+        stats.sessions, stats.retired_sessions
+    );
+    println!(
+        "frames          {} in, {} processed, {} dropped, {} refused, {} discarded",
+        stats.frames_in,
+        stats.frames_processed,
+        stats.frames_dropped,
+        stats.frames_refused,
+        stats.frames_discarded
+    );
+    println!(
+        "output          {} events, {} alarms, {} windows batched",
+        stats.events_out, stats.alarms_out, stats.windows_batched
+    );
+    println!(
+        "throughput      {:.0} frames/s recent, {} us worst drain",
+        stats.recent_frames_per_sec, stats.max_drain_micros
+    );
+    println!(
+        "trace           {} (minted {}, recorded {}, dropped {}, pinned {})",
+        if stats.trace_enabled { "on" } else { "off" },
+        stats.trace_minted,
+        stats.trace_recorded,
+        stats.trace_dropped,
+        stats.trace_pinned
+    );
+    if stats.telemetry_enabled && !stats.stages.is_empty() {
+        println!("stage             count      p50      p99     p999      max (us)");
+        for row in &stats.stages {
+            let hist = row.to_histogram();
+            println!(
+                "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                stage_label(row.stage),
+                hist.count,
+                hist.p50(),
+                hist.p99(),
+                hist.p999(),
+                hist.max
+            );
+        }
+    }
+    for shard in &stats.shards {
+        println!(
+            "shard {:<3} {} sessions, {} chunks queued, {} frames in flight",
+            shard.shard, shard.sessions, shard.ring_depth_chunks, shard.in_flight_frames
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = arg_value(&args, "--addr")
+        .unwrap_or_else(|| fail("--addr HOST:PORT is required (the IngestServer address)"));
+    let command = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.as_str() != addr)
+        .map(String::as_str)
+        .unwrap_or("stats");
+
+    match command {
+        "stats" => {
+            let reply = exchange(&addr, &Message::StatsRequest);
+            let Message::StatsSnapshot { stats } = reply else {
+                fail(&format!("expected StatsSnapshot, got {reply:?}"));
+            };
+            if arg_present(&args, "--json") {
+                print!("{}", stats_json(&stats).render_pretty());
+            } else {
+                print_stats(&stats);
+            }
+        }
+        "trace" => {
+            let limit = arg_value(&args, "--limit")
+                .map(|v| v.parse().unwrap_or_else(|_| fail("--limit takes a number")))
+                .unwrap_or(0u32);
+            let reply = exchange(&addr, &Message::TraceDumpRequest { limit });
+            let Message::TraceDump {
+                recorded,
+                dropped,
+                spans,
+            } = reply
+            else {
+                fail(&format!("expected TraceDump, got {reply:?}"));
+            };
+            eprintln!(
+                "laelapsctl: {} spans retained ({recorded} recorded, {dropped} dropped)",
+                spans.len()
+            );
+            let doc = chrome::trace_document(&chrome::wire_spans(&spans));
+            match arg_value(&args, "--out") {
+                Some(path) => {
+                    std::fs::write(&path, doc.render_pretty())
+                        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+                    eprintln!("laelapsctl: wrote {path} (load it in https://ui.perfetto.dev)");
+                }
+                None => print!("{}", doc.render_pretty()),
+            }
+        }
+        other => fail(&format!("unknown command {other:?}; use stats or trace")),
+    }
+}

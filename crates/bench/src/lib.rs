@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod json;
 
 /// Parses a `--flag value` style argument list (tiny helper shared by the

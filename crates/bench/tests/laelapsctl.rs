@@ -1,0 +1,78 @@
+//! End-to-end check of the `laelapsctl` binary: it must retrieve a live
+//! `StatsSnapshot` and a trace dump from a running
+//! [`laelaps_serve::net::IngestServer`] over TCP — the ISSUE acceptance
+//! criterion, exercised against the real compiled binary.
+
+use std::process::Command;
+use std::sync::Arc;
+
+use laelaps_bench::json::Json;
+use laelaps_serve::net::IngestServer;
+use laelaps_serve::{DetectionService, ModelRegistry, ServeConfig, TraceConfig};
+
+#[test]
+fn laelapsctl_reads_live_stats_and_traces_over_tcp() {
+    let dir = std::env::temp_dir().join(format!("laelaps-ctl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Arc::new(ModelRegistry::open(&dir).expect("registry opens"));
+    let service = Arc::new(DetectionService::new(ServeConfig {
+        workers: 1,
+        trace: TraceConfig::sampled(),
+        ..ServeConfig::default()
+    }));
+    let server = IngestServer::bind("127.0.0.1:0", Arc::clone(&service), Arc::clone(&registry))
+        .expect("server binds");
+    let addr = server.local_addr().to_string();
+
+    // `stats --json`: a machine-readable snapshot of the live service.
+    let out = Command::new(env!("CARGO_BIN_EXE_laelapsctl"))
+        .args(["--addr", &addr, "stats", "--json"])
+        .output()
+        .expect("laelapsctl runs");
+    assert!(
+        out.status.success(),
+        "stats failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stats = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(
+        stats.get("sessions").and_then(Json::as_f64),
+        Some(0.0),
+        "fresh server has no sessions"
+    );
+    let trace = stats.get("trace").expect("trace accounting object");
+    assert_eq!(trace.get("enabled").and_then(Json::as_bool), Some(true));
+
+    // Plain `stats` renders human-readable text without failing.
+    let out = Command::new(env!("CARGO_BIN_EXE_laelapsctl"))
+        .args(["--addr", &addr, "stats"])
+        .output()
+        .expect("laelapsctl runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sessions"), "text rendering: {text}");
+    assert!(
+        text.contains("trace           on"),
+        "text rendering: {text}"
+    );
+
+    // `trace` exports Chrome trace-event JSON (empty: nothing streamed).
+    let out = Command::new(env!("CARGO_BIN_EXE_laelapsctl"))
+        .args(["--addr", &addr, "trace"])
+        .output()
+        .expect("laelapsctl runs");
+    assert!(
+        out.status.success(),
+        "trace failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(
+        doc.get("traceEvents").and_then(Json::as_array),
+        Some(&[] as &[Json]),
+        "no sessions streamed, so no spans"
+    );
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}

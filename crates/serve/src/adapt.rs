@@ -62,7 +62,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use laelaps_core::{Label, TrainingData};
-use laelaps_telemetry::Stage;
+use laelaps_telemetry::{SpanContext, Stage, TraceHandle};
 
 use crate::error::{Result, ServeError};
 use crate::persist::ModelRegistry;
@@ -97,13 +97,18 @@ pub struct AdaptStats {
     pub failures: u64,
 }
 
+/// One queued feedback item: the segment, its submission instant
+/// (`None` with telemetry off) so the applied swap can record the full
+/// feedback→hot-swap propagation latency, and its causal trace (`None`
+/// with tracing off) so the retrain and applied swap record spans on
+/// one timeline with the chunk traces.
+type QueuedFeedback = (FeedbackSegment, Option<Instant>, Option<TraceHandle>);
+
 struct EngineInner {
     service: Arc<DetectionService>,
     registry: Arc<ModelRegistry>,
-    /// Queued feedback, each with its submission instant (`None` with
-    /// telemetry off) so the applied swap can record the full
-    /// feedback→hot-swap propagation latency.
-    queue: Mutex<VecDeque<(FeedbackSegment, Option<Instant>)>>,
+    /// Feedback waiting for the engine worker, in submission order.
+    queue: Mutex<VecDeque<QueuedFeedback>>,
     /// Signals the worker (new feedback / shutdown) and waiters in
     /// [`AdaptationEngine::flush`] (an item finished processing).
     wake: Condvar,
@@ -122,7 +127,12 @@ impl EngineInner {
     /// Absorb → publish → stage swaps, for one feedback segment.
     /// `origin` is the segment's submission instant; swaps staged here
     /// carry it so [`Stage::AdaptPropagate`] spans submit → applied.
-    fn process(&self, feedback: FeedbackSegment, origin: Option<Instant>) -> Result<()> {
+    fn process(
+        &self,
+        feedback: FeedbackSegment,
+        origin: Option<Instant>,
+        trace: Option<TraceHandle>,
+    ) -> Result<()> {
         let model = self.registry.load(&feedback.patient)?;
         let electrodes = model.electrodes();
         if feedback.samples.is_empty() || !feedback.samples.len().is_multiple_of(electrodes) {
@@ -168,9 +178,12 @@ impl EngineInner {
             });
         }
         self.registry.publish(&feedback.patient, &updated)?;
-        let swapped =
-            self.service
-                .swap_patient_model_from(&feedback.patient, &Arc::new(updated), origin);
+        let swapped = self.service.swap_patient_model_from(
+            &feedback.patient,
+            &Arc::new(updated),
+            origin,
+            trace,
+        );
         self.retrains.fetch_add(1, Ordering::Relaxed);
         self.swaps_requested
             .fetch_add(swapped as u64, Ordering::Relaxed);
@@ -198,10 +211,27 @@ impl EngineInner {
                     queue = guard;
                 }
             };
-            let Some((item, origin)) = item else { return };
-            let timer = self.service.telemetry().stages.timer(Stage::AdaptRetrain);
-            let outcome = self.process(item, origin);
+            let Some((item, origin, trace)) = item else {
+                return;
+            };
+            let telemetry = Arc::clone(self.service.telemetry());
+            // Retrain span: feedback has no session/shard attribution yet
+            // (it may stage into many sessions), so the context is zero;
+            // the applied swap's AdaptPropagate span carries the session.
+            let retrain_start = trace.map(|_| telemetry.tracer.now_micros());
+            let timer = telemetry.stages.timer(Stage::AdaptRetrain);
+            let outcome = self.process(item, origin, trace);
             timer.commit();
+            if let (Some(t), Some(start)) = (trace, retrain_start) {
+                let dur = telemetry.tracer.now_micros().saturating_sub(start);
+                telemetry.tracer.record(
+                    t.id,
+                    Stage::AdaptRetrain,
+                    SpanContext::default(),
+                    start,
+                    dur,
+                );
+            }
             if let Err(e) = outcome {
                 self.failures.fetch_add(1, Ordering::Relaxed);
                 *self.last_error.lock().expect("last error poisoned") = Some(e.to_string());
@@ -305,13 +335,16 @@ impl AdaptationEngine {
         }
         self.inner.feedback_in.fetch_add(1, Ordering::Relaxed);
         // Timestamp at submission, so the propagation span includes the
-        // queue wait and retraining, not just the swap staging.
+        // queue wait and retraining, not just the swap staging. The trace
+        // (when tracing is on) follows the same life: queue → retrain →
+        // staged swap → applied swap.
         let origin = self.inner.service.telemetry().stages.now();
+        let trace = self.inner.service.telemetry().tracer.begin();
         self.inner
             .queue
             .lock()
             .expect("adapt queue poisoned")
-            .push_back((feedback, origin));
+            .push_back((feedback, origin, trace));
         self.inner.wake.notify_all();
         Ok(())
     }

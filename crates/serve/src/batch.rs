@@ -28,7 +28,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use laelaps_batch::{BlockedBackend, Classification, ClassifyBackend, QueryBlock};
-use laelaps_core::{AssociativeMemory, PatientModel};
+use laelaps_core::AssociativeMemory;
 
 use crate::stats::{BatchingStats, ShardBatchStats};
 
@@ -237,16 +237,18 @@ pub(crate) enum PendingItem {
         run: usize,
         slot: usize,
         end_sample: u64,
+        /// Trace of the chunk that completed this window (`None` with
+        /// tracing off) — an alarm on the window pins exactly this trace.
+        trace: Option<laelaps_telemetry::TraceId>,
     },
     /// A hot-swap taken at this exact stream position: the scatter phase
-    /// applies `model` to the detector here, so earlier windows ran (and
-    /// were classified) under the old model and later ones under `model`.
+    /// applies the request's model to the detector here, so earlier
+    /// windows ran (and were classified) under the old model and later
+    /// ones under the new one. The request keeps its propagation origin
+    /// and causal trace.
     Swap {
-        model: Arc<PatientModel>,
+        request: crate::session::SwapRequest,
         at_frame: u64,
-        /// Propagation origin carried from the [`crate::session::SwapRequest`]
-        /// (`None` with telemetry off).
-        origin: Option<std::time::Instant>,
     },
 }
 
@@ -267,4 +269,7 @@ pub(crate) struct SessionPending {
     /// Encode-phase wall time, charged to the session's drain latency
     /// together with its scatter time.
     pub encode_micros: u64,
+    /// Trace ids of the chunks encoded this pass; the scatter phase
+    /// attributes its classify/scatter/publish spans to each of them.
+    pub traced: Vec<laelaps_telemetry::TraceId>,
 }

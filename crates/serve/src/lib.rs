@@ -109,6 +109,21 @@
 //!   hundreds of sessions through either path and writes the stage
 //!   percentiles plus sustained throughput to `BENCH_serve.json`.
 //!
+//!   On top of the aggregate histograms, [`ServeConfig::trace`] turns on
+//!   **per-chunk causal tracing**: every accepted chunk gets a trace id
+//!   at mint (wire decode / push), and each hot-path stage it crosses
+//!   records a span — with session, shard, and model-generation
+//!   attribution — into a fixed-size, wait-free flight recorder ring
+//!   ([`laelaps_telemetry::FlightRecorder`], overwrite-oldest). Anomalies
+//!   (alarms, drops, discards, slow stages, applied hot-swaps) *pin*
+//!   their trace for tail-based retention. Read it in process via
+//!   [`DetectionService::trace_snapshot`], or live over the wire: a
+//!   connection opening with `StatsRequest` / `TraceDumpRequest` (wire
+//!   v3) gets `StatsSnapshot` / `TraceDump` replies — what the
+//!   `laelapsctl` binary in `laelaps-bench` renders, and what
+//!   `loadgen --trace-out` exports as Chrome trace-event JSON for
+//!   Perfetto. Tracing defaults off and then performs zero clock reads.
+//!
 //! The lock-free structures in this crate ([`ring`], the swap gate in
 //! [`swapgate`], the progress/waker protocols) are catalogued — with
 //! their invariants, chosen memory orderings, and the rationale for each
@@ -152,13 +167,17 @@ pub use service::{AlarmRecord, DetectionService, ServeConfig, ServiceEvent};
 pub use session::{EventTap, PushError, SessionHandle, SessionId, SessionOutput};
 pub use stats::{
     BatchingStats, RegistryStats, ServiceStats, SessionStats, SessionStatsEntry, ShardBatchStats,
-    TelemetrySnapshot,
+    ShardGauges, TelemetrySnapshot, TraceStats,
 };
 
 // The telemetry primitives behind [`TelemetrySnapshot`], re-exported so
 // consumers can configure timing and read histograms without a separate
-// `laelaps-telemetry` import.
-pub use laelaps_telemetry::{HistogramSnapshot, Stage, StagesSnapshot, TelemetryConfig};
+// `laelaps-telemetry` import. The trace types ride along: they configure
+// [`ServeConfig::trace`] and decode [`DetectionService::trace_snapshot`].
+pub use laelaps_telemetry::{
+    HistogramSnapshot, PinReason, PinnedTrace, SpanContext, SpanRecord, Stage, StagesSnapshot,
+    TelemetryConfig, TraceConfig, TraceSnapshot,
+};
 
 // The pluggable classification engines behind [`BatchConfig`],
 // re-exported so a service can be configured without a separate

@@ -54,7 +54,8 @@ use crate::persist::ModelRegistry;
 use crate::service::DetectionService;
 use crate::session::{EventTap, PushError, SessionHandle, SessionOutput};
 use crate::wire::{
-    event_message, read_message, read_message_timed, write_message, Message, MAX_PAYLOAD,
+    event_message, read_message, read_message_spanned, trace_dump_message, write_message, Message,
+    WireStats, MAX_PAYLOAD,
 };
 
 /// How often a blocked socket read wakes to check for server shutdown.
@@ -309,7 +310,20 @@ fn serve_connection(
     // parsed message) and ring enqueue (including throttle stalls).
     let telemetry = Arc::clone(service.telemetry());
     let stages = &telemetry.stages;
-    let mut handle = match open_from_hello(&mut reader, service, registry, stages) {
+
+    // The first message decides what this connection is: a Hello opens a
+    // streaming session; an introspection request turns it into a
+    // read-only stats/trace exchange that never touches the session or
+    // model layers.
+    let first = read_message_spanned(&mut reader, Some(stages));
+    if let Ok(Some((
+        request @ (Message::StatsRequest | Message::TraceDumpRequest { .. }),
+        _decode_us,
+    ))) = first
+    {
+        return serve_introspection(request, &mut reader, &writer, service, registry, engine);
+    }
+    let mut handle = match open_from_hello(first, service, registry) {
         Ok(handle) => handle,
         Err(e) => {
             let _ = send(
@@ -382,14 +396,14 @@ fn serve_connection(
     outcome
 }
 
-/// Expects the opening `Hello` and turns it into a live session.
+/// Turns a connection's already-read first message into a live session:
+/// it must be the opening `Hello`.
 fn open_from_hello(
-    reader: &mut ShutdownRead,
+    first: Result<Option<(Message, u64)>>,
     service: &DetectionService,
     registry: &ModelRegistry,
-    stages: &StageSet,
 ) -> Result<SessionHandle> {
-    let hello = read_message_timed(reader, Some(stages))?.ok_or_else(|| ServeError::Protocol {
+    let (hello, _decode_us) = first?.ok_or_else(|| ServeError::Protocol {
         reason: "connection closed before Hello".into(),
     })?;
     let Message::Hello {
@@ -413,6 +427,60 @@ fn open_from_hello(
     service.open_session(&patient, &model)
 }
 
+/// Answers a read-only introspection exchange: the connection's first
+/// message was `StatsRequest`/`TraceDumpRequest`, and every subsequent
+/// message must be another request (or `Close`/EOF to end it). Stats
+/// come from the engine when one is attached (registry + adaptation
+/// counters included) and from the service + registry otherwise — the
+/// same snapshot [`DetectionService::stats`] serves in process.
+fn serve_introspection(
+    first: Message,
+    reader: &mut ShutdownRead,
+    writer: &SharedWriter,
+    service: &DetectionService,
+    registry: &ModelRegistry,
+    engine: Option<&AdaptationEngine>,
+) -> Result<()> {
+    let mut request = first;
+    loop {
+        let reply = match request {
+            Message::StatsRequest => {
+                let stats = match engine {
+                    Some(engine) => engine.service_stats(),
+                    None => service.stats().with_registry(registry.stats()),
+                };
+                Message::StatsSnapshot {
+                    stats: Box::new(WireStats::from_stats(&stats)),
+                }
+            }
+            Message::TraceDumpRequest { limit } => {
+                trace_dump_message(&service.trace_snapshot(), limit)
+            }
+            _ => unreachable!("serve_introspection dispatches only on requests"),
+        };
+        send(writer, &reply)?;
+        request = match read_message(reader)? {
+            None | Some(Message::Close) => return Ok(()),
+            Some(next @ (Message::StatsRequest | Message::TraceDumpRequest { .. })) => next,
+            Some(other) => {
+                let e = ServeError::Protocol {
+                    reason: format!(
+                        "introspection connections accept only stats/trace \
+                         requests, got {other:?}"
+                    ),
+                };
+                let _ = send(
+                    writer,
+                    &Message::Error {
+                        reason: e.to_string(),
+                    },
+                );
+                return Err(e);
+            }
+        };
+    }
+}
+
 /// Bridges `Frames` into the session until `Close`/EOF, mapping ring
 /// backpressure to `Throttle` + a progress wait (never a drop), and
 /// `Feedback` into the adaptation engine when one is attached.
@@ -431,11 +499,11 @@ fn read_loop(
         if shutdown.load(Ordering::Acquire) {
             return Ok(());
         }
-        match read_message_timed(reader, Some(stages))? {
+        match read_message_spanned(reader, Some(stages))? {
             // Client EOF without Close: treat as Close — the frames it
             // sent are still drained and their events delivered.
-            None | Some(Message::Close) => return Ok(()),
-            Some(Message::Frames { chunk }) => {
+            None | Some((Message::Close, _)) => return Ok(()),
+            Some((Message::Frames { chunk }, decode_us)) => {
                 // Spans acceptance into the ring *including* throttle
                 // stalls — the queueing delay a remote producer sees.
                 // Dropped (unrecorded) if the connection dies mid-push.
@@ -443,7 +511,7 @@ fn read_loop(
                 let mut pending = chunk;
                 let mut throttled = false;
                 loop {
-                    match handle.try_push_chunk(pending) {
+                    match handle.push_with_wire_span(pending, decode_us) {
                         Ok(()) => break,
                         Err(PushError::Full(back)) => {
                             pending = back;
@@ -477,7 +545,7 @@ fn read_loop(
                 }
                 timer.commit();
             }
-            Some(Message::Feedback { label, chunk }) => {
+            Some((Message::Feedback { label, chunk }, _)) => {
                 let Some(engine) = engine else {
                     return Err(ServeError::Protocol {
                         reason: "this server has no adaptation engine; \
@@ -501,8 +569,8 @@ fn read_loop(
                     samples: chunk,
                 })?;
             }
-            Some(Message::Error { reason }) => return Err(ServeError::Remote { reason }),
-            Some(other) => {
+            Some((Message::Error { reason }, _)) => return Err(ServeError::Remote { reason }),
+            Some((other, _)) => {
                 return Err(ServeError::Protocol {
                     reason: format!("unexpected client message: {other:?}"),
                 })

@@ -136,6 +136,32 @@ fn occupancy(head: usize, tail: usize, capacity: usize) -> usize {
     }
 }
 
+/// A type-erased, read-only view of one ring's occupancy, for telemetry
+/// gauges: holds the ring alive (weakly to its values — the values
+/// themselves drain as usual) and reads the head/tail counters with the
+/// same clamped racy-snapshot semantics as [`Producer::len`]. Never a
+/// synchronization primitive — a monitoring hint only.
+#[derive(Clone)]
+pub struct DepthGauge(Arc<dyn Fn() -> usize + Send + Sync>);
+
+impl DepthGauge {
+    /// A gauge that always reads 0 (sessions built without a ring view).
+    pub fn empty() -> Self {
+        DepthGauge(Arc::new(|| 0))
+    }
+
+    /// Current queued-value count (racy snapshot, clamped to capacity).
+    pub fn get(&self) -> usize {
+        (self.0)()
+    }
+}
+
+impl std::fmt::Debug for DepthGauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("DepthGauge").field(&self.get()).finish()
+    }
+}
+
 /// The producing half of a ring; not clonable (single producer).
 pub struct Producer<T> {
     inner: Arc<Ring<T>>,
@@ -196,6 +222,21 @@ impl<T> Producer<T> {
     /// then observes end-of-stream. Dropping the producer does the same.
     pub fn close(&mut self) {
         self.inner.closed.store(true, Ordering::Release);
+    }
+
+    /// A [`DepthGauge`] over this ring, for telemetry snapshots. The
+    /// gauge shares the ring allocation (it does not keep the stream
+    /// open — `closed` and the value slots behave exactly as before).
+    pub fn depth_gauge(&self) -> DepthGauge
+    where
+        T: Send + 'static,
+    {
+        let ring = Arc::clone(&self.inner);
+        DepthGauge(Arc::new(move || {
+            let tail = ring.tail.load(Ordering::Relaxed);
+            let head = ring.head.load(Ordering::Relaxed);
+            occupancy(head, tail, ring.capacity)
+        }))
     }
 }
 
@@ -342,6 +383,23 @@ mod tests {
         assert_eq!(occupancy(usize::MAX, 2, 8), 3, "wrap-adjacent counts");
         assert_eq!(occupancy(3, 5, 8), 2);
         assert_eq!(occupancy(0, 8, 8), 8);
+    }
+
+    #[test]
+    fn depth_gauge_tracks_occupancy_and_outlives_the_producer() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        let gauge = tx.depth_gauge();
+        assert_eq!(gauge.get(), 0);
+        tx.try_push(1).unwrap();
+        tx.try_push(2).unwrap();
+        assert_eq!(gauge.get(), 2);
+        rx.pop();
+        assert_eq!(gauge.get(), 1);
+        drop(tx);
+        assert_eq!(gauge.get(), 1, "gauge reads queued values after close");
+        rx.pop();
+        assert_eq!(gauge.get(), 0);
+        assert_eq!(DepthGauge::empty().get(), 0);
     }
 
     #[test]

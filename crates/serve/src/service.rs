@@ -9,14 +9,14 @@ use laelaps_check::sync::{Arc, Condvar, Mutex};
 
 use laelaps_core::{Detector, DetectorEvent, PatientModel};
 use laelaps_eval::parallel::{default_threads, ShardedPool};
-use laelaps_telemetry::{Stage, TelemetryConfig};
+use laelaps_telemetry::{Stage, TelemetryConfig, TraceConfig, TraceHandle, TraceSnapshot};
 
 use crate::batch::{BatchConfig, BatchRunner};
 use crate::error::Result;
 use crate::persist::ModelRegistry;
 use crate::ring;
 use crate::session::{SessionCore, SessionHandle, SessionId, WorkerState};
-use crate::stats::{RetiredStats, ServiceStats, ServiceTelemetry, SessionStatsEntry};
+use crate::stats::{RetiredStats, ServiceStats, ServiceTelemetry, SessionStatsEntry, ShardGauges};
 
 /// An alarm surfaced on the service-wide bus.
 #[derive(Debug, Clone)]
@@ -82,6 +82,14 @@ pub struct ServeConfig {
     /// clock reads, empty histograms, zero
     /// [`crate::TelemetrySnapshot::recent_frames_per_sec`].
     pub telemetry: TelemetryConfig,
+    /// Per-chunk causal tracing into the flight recorder (default
+    /// **off**: zero clock reads and zero extra hot-path work, the same
+    /// discipline as disabled stage timing). Enable to mint a trace id
+    /// per accepted chunk, record its wire-decode → ring-wait → drain →
+    /// publish spans, and pin anomalous traces (alarms, drops, discards,
+    /// slow stages, model swaps) for export via
+    /// [`DetectionService::trace_snapshot`] or the wire `TraceDump`.
+    pub trace: TraceConfig,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +99,7 @@ impl Default for ServeConfig {
             ring_chunks: 64,
             batch: None,
             telemetry: TelemetryConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -237,16 +246,25 @@ impl ServiceInner {
             .map(|session| session.encode_backlog(&mut plan))
             .collect();
         let queries = plan.total_queries() as u64;
+        // Trace the one classify sweep only when a traced chunk is in
+        // the pass (gating keeps tracing-off at zero clock reads).
+        let any_traced = pendings.iter().any(|p| !p.traced.is_empty());
+        let mut classify_span = None;
         if queries > 0 {
+            let trace_start = any_traced.then(|| self.telemetry.tracer.now_micros());
             let timer = self.telemetry.stages.timer(Stage::Classify);
             plan.classify(runner.backend.as_ref());
             timer.commit();
+            if let Some(start) = trace_start {
+                let dur = self.telemetry.tracer.now_micros().saturating_sub(start);
+                classify_span = Some((start, dur));
+            }
             runner.record(shard, queries);
         }
         let mut worked = false;
         let mut any_done = false;
         for (session, pending) in sessions.iter().zip(pendings) {
-            worked |= session.scatter_batch(pending, &plan, &self.bus);
+            worked |= session.scatter_batch(pending, &plan, &self.bus, classify_span);
             any_done |= session.done.load(Ordering::Acquire);
         }
         (worked, any_done)
@@ -362,7 +380,7 @@ impl DetectionService {
                 .batch
                 .as_ref()
                 .map(|batch| BatchRunner::new(batch, workers)),
-            telemetry: Arc::new(ServiceTelemetry::new(&config.telemetry)),
+            telemetry: Arc::new(ServiceTelemetry::new(&config.telemetry, &config.trace)),
         });
         let pool = {
             let inner = Arc::clone(&inner);
@@ -397,6 +415,7 @@ impl DetectionService {
             electrodes,
             shard,
             config: model.config().clone(),
+            ring_depth: tx.depth_gauge(),
             worker: Mutex::new(WorkerState {
                 am: Arc::new(detector.am().clone()),
                 detector,
@@ -571,21 +590,28 @@ impl DetectionService {
     /// different configuration, already finished, or failed) are
     /// skipped, not failed.
     pub fn swap_patient_model(&self, patient: &str, model: &Arc<PatientModel>) -> usize {
-        self.swap_patient_model_from(patient, model, self.inner.telemetry.stages.now())
+        self.swap_patient_model_from(
+            patient,
+            model,
+            self.inner.telemetry.stages.now(),
+            self.inner.telemetry.tracer.begin(),
+        )
     }
 
     /// [`DetectionService::swap_patient_model`] with an explicit
-    /// propagation origin, so the adaptation engine can charge the whole
-    /// feedback→swap span to [`Stage::AdaptPropagate`].
+    /// propagation origin (and the feedback's trace), so the adaptation
+    /// engine can charge the whole feedback→swap span to
+    /// [`Stage::AdaptPropagate`] and keep the causal trace intact.
     pub(crate) fn swap_patient_model_from(
         &self,
         patient: &str,
         model: &Arc<PatientModel>,
         origin: Option<std::time::Instant>,
+        trace: Option<TraceHandle>,
     ) -> usize {
         let mut swapped = 0;
         for core in self.inner.all_sessions() {
-            if core.patient == patient && core.request_swap_from(model, origin).is_ok() {
+            if core.patient == patient && core.request_swap_from(model, origin, trace).is_ok() {
                 swapped += 1;
             }
         }
@@ -600,6 +626,15 @@ impl DetectionService {
     /// (network reader threads, the adaptation engine).
     pub(crate) fn telemetry(&self) -> &Arc<ServiceTelemetry> {
         &self.inner.telemetry
+    }
+
+    /// Point-in-time view of the causal tracer: every stable span in the
+    /// flight recorder plus the pinned anomalous traces. Empty (with
+    /// `enabled: false`) unless [`ServeConfig::trace`] turned tracing on.
+    /// Feed the spans to a Chrome-trace exporter to view the per-chunk
+    /// timeline in Perfetto.
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.inner.telemetry.tracer.snapshot()
     }
 
     /// Counter snapshot: live sessions individually, plus totals that
@@ -623,8 +658,36 @@ impl DetectionService {
             .collect();
         let retired = *retired_guard;
         drop(retired_guard);
+        // Saturation gauges, per shard: ring depths are racy-but-clamped
+        // reads of each session's ring; in-flight frames derive from the
+        // monotonic counters (saturating — the counters are Relaxed and
+        // may be mid-update).
+        let shard_gauges = self
+            .inner
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(shard, sessions)| {
+                let sessions = sessions.lock().expect("shard lock poisoned");
+                let mut gauges = ShardGauges {
+                    shard,
+                    sessions: sessions.len(),
+                    ..Default::default()
+                };
+                for core in sessions.iter() {
+                    gauges.ring_depth_chunks += core.ring_depth.get();
+                    let s = core.counters.snapshot();
+                    gauges.in_flight_frames += s
+                        .frames_in
+                        .saturating_sub(s.frames_processed)
+                        .saturating_sub(s.frames_discarded);
+                }
+                gauges
+            })
+            .collect();
         let mut stats = ServiceStats::from_entries(entries, &retired);
         stats.telemetry = self.inner.telemetry.snapshot();
+        stats.telemetry.shards = shard_gauges;
         if let Some(batch) = &self.inner.batch {
             stats.telemetry.batching = batch.stats();
         }

@@ -8,10 +8,10 @@ use laelaps_check::sync::{Arc, Mutex};
 
 use laelaps_core::{Detector, DetectorEvent, LaelapsConfig, PatientModel};
 use laelaps_eval::parallel::PoolWaker;
-use laelaps_telemetry::Stage;
+use laelaps_telemetry::{PinReason, SpanContext, Stage, TraceHandle, TraceId};
 
 use crate::batch::{BatchPlan, PendingItem, SessionPending};
-use crate::ring::{Consumer, Full, Producer};
+use crate::ring::{Consumer, DepthGauge, Full, Producer};
 use crate::service::{AlarmRecord, Progress, ServiceEvent};
 use crate::stats::{ServiceTelemetry, SessionCounters, SessionStats};
 use crate::swapgate::SwapGate;
@@ -48,6 +48,10 @@ pub(crate) struct SwapRequest {
     /// with telemetry off) — the applied swap records the full
     /// propagation span as [`Stage::AdaptPropagate`].
     pub origin: Option<Instant>,
+    /// Causal trace of the triggering feedback (`None` with tracing
+    /// off); the applied swap records an [`Stage::AdaptPropagate`] span
+    /// and pins the trace ([`PinReason::ModelSwap`]).
+    pub trace: Option<TraceHandle>,
 }
 
 /// A chunk of interleaved frame-major samples (`frames × electrodes`)
@@ -58,6 +62,10 @@ pub(crate) struct Chunk {
     /// When the chunk entered the ring (`None` with telemetry off);
     /// the popping worker records the span as [`Stage::RingWait`].
     pub queued_at: Option<Instant>,
+    /// Causal trace minted at acceptance (`None` with tracing off or
+    /// sampled out); carried through the ring so the drain, publish,
+    /// and discard paths attribute their spans to this chunk.
+    pub trace: Option<TraceHandle>,
 }
 
 /// Upper bound on chunks one `drain` call processes before yielding the
@@ -138,6 +146,9 @@ pub(crate) struct SessionCore {
     /// Set by the worker once the stream is closed and fully drained;
     /// the shard then retires the session.
     pub done: AtomicBool,
+    /// Read-only occupancy view of this session's ring, for the
+    /// per-shard saturation gauges in the telemetry snapshot.
+    pub ring_depth: DepthGauge,
 }
 
 impl std::fmt::Debug for SessionCore {
@@ -152,6 +163,16 @@ impl std::fmt::Debug for SessionCore {
 }
 
 impl SessionCore {
+    /// Span attribution for this session's trace records: session id,
+    /// shard, and the (truncated) generation currently running.
+    pub(crate) fn span_ctx(&self) -> SpanContext {
+        SpanContext {
+            session: self.id,
+            shard: self.shard as u16,
+            generation: self.generation.load(Ordering::Relaxed) as u32,
+        }
+    }
+
     /// Validates `model` against this session's pipeline and stages it
     /// for the worker to hot-swap at the first chunk boundary once every
     /// frame accepted so far has been processed. A not-yet-applied
@@ -166,17 +187,23 @@ impl SessionCore {
     /// [`crate::ServeError::UnknownSession`] if the session already
     /// finished or failed (a swap staged there could never apply).
     pub fn request_swap(&self, model: &Arc<PatientModel>) -> crate::error::Result<()> {
-        self.request_swap_from(model, self.telemetry.stages.now())
+        self.request_swap_from(
+            model,
+            self.telemetry.stages.now(),
+            self.telemetry.tracer.begin(),
+        )
     }
 
     /// [`SessionCore::request_swap`] with an explicit propagation origin:
     /// the adaptation engine passes the instant the triggering feedback
-    /// left its queue, so [`Stage::AdaptPropagate`] spans feedback →
-    /// applied swap rather than just request → applied swap.
+    /// left its queue (and the feedback's trace, when tracing), so
+    /// [`Stage::AdaptPropagate`] spans feedback → applied swap rather
+    /// than just request → applied swap.
     pub(crate) fn request_swap_from(
         &self,
         model: &Arc<PatientModel>,
         origin: Option<Instant>,
+        trace: Option<TraceHandle>,
     ) -> crate::error::Result<()> {
         if self.done.load(Ordering::Acquire) || self.failed_flag.load(Ordering::Acquire) {
             return Err(crate::ServeError::UnknownSession { session: self.id });
@@ -208,6 +235,7 @@ impl SessionCore {
             SwapRequest {
                 model: Arc::clone(model),
                 origin,
+                trace,
             },
             barrier,
         );
@@ -240,31 +268,24 @@ impl SessionCore {
         let Some(request) = self.take_due_swap(processed) else {
             return Ok(false);
         };
-        match self.apply_swap(
-            detector,
-            am_snapshot,
-            &request.model,
-            processed,
-            request.origin,
-            out,
-        ) {
+        match self.apply_swap(detector, am_snapshot, &request, processed, out) {
             Ok(()) => Ok(true),
             Err(reason) => Err(reason),
         }
     }
 
-    /// Hot-swaps `model` into `detector` at stream position `at_frame`,
-    /// recording the ordered marker and refreshing the worker's shared
-    /// prototype snapshot.
+    /// Hot-swaps the request's model into `detector` at stream position
+    /// `at_frame`, recording the ordered marker and refreshing the
+    /// worker's shared prototype snapshot.
     fn apply_swap(
         &self,
         detector: &mut Detector,
         am_snapshot: &mut Arc<laelaps_core::AssociativeMemory>,
-        model: &Arc<PatientModel>,
+        request: &SwapRequest,
         at_frame: u64,
-        origin: Option<Instant>,
         out: &mut Vec<SessionOutput>,
     ) -> Result<(), String> {
+        let model = &request.model;
         match detector.hot_swap(model) {
             Ok(()) => {
                 *am_snapshot = Arc::new(model.am().clone());
@@ -272,7 +293,19 @@ impl SessionCore {
                 self.generation.store(generation, Ordering::Release);
                 self.telemetry
                     .stages
-                    .record_since(Stage::AdaptPropagate, origin);
+                    .record_since(Stage::AdaptPropagate, request.origin);
+                if let Some(t) = request.trace {
+                    let tracer = &self.telemetry.tracer;
+                    let now = tracer.now_micros();
+                    tracer.record(
+                        t.id,
+                        Stage::AdaptPropagate,
+                        self.span_ctx(),
+                        t.start_us,
+                        now.saturating_sub(t.start_us),
+                    );
+                    tracer.pin(t.id, PinReason::ModelSwap);
+                }
                 out.push(SessionOutput::ModelSwapped {
                     generation,
                     at_frame,
@@ -295,6 +328,9 @@ impl SessionCore {
         let timer = self.telemetry.stages.timer(Stage::Drain);
         let mut frames_done: u64 = 0;
         let mut out: Vec<SessionOutput> = Vec::new();
+        // Trace ids of chunks drained this pass; the publish span below
+        // is attributed to each of them.
+        let mut traced: Vec<TraceId> = Vec::new();
         // Stream position before this pass; only this worker advances the
         // counter, so base + frames_done is exact within the pass.
         let base_processed = self.counters.frames_processed.load(Ordering::Acquire);
@@ -332,6 +368,20 @@ impl SessionCore {
                         self.telemetry
                             .stages
                             .record_since(Stage::RingWait, chunk.queued_at);
+                        // Queue-wait span: mint time → this pop. The pop
+                        // instant then starts the drain span below.
+                        let pop_us = chunk.trace.map(|t| {
+                            let tracer = &self.telemetry.tracer;
+                            let now = tracer.now_micros();
+                            tracer.record(
+                                t.id,
+                                Stage::RingWait,
+                                self.span_ctx(),
+                                t.start_us,
+                                now.saturating_sub(t.start_us),
+                            );
+                            now
+                        });
                         let chunk_frames = (chunk.samples.len() / electrodes) as u64;
                         // The whole chunk is unaccounted until each frame
                         // completes — a panic on frame 0 must still charge
@@ -340,7 +390,14 @@ impl SessionCore {
                         let mut in_chunk: u64 = 0;
                         for frame in chunk.samples.chunks_exact(electrodes) {
                             match detector.push_frame(frame) {
-                                Ok(Some(event)) => out.push(SessionOutput::Event(event)),
+                                Ok(Some(event)) => {
+                                    if event.alarm.is_some() {
+                                        if let Some(t) = chunk.trace {
+                                            self.telemetry.tracer.pin(t.id, PinReason::Alarm);
+                                        }
+                                    }
+                                    out.push(SessionOutput::Event(event));
+                                }
                                 Ok(None) => {}
                                 Err(e) => return Some(e.to_string()),
                             }
@@ -349,6 +406,18 @@ impl SessionCore {
                             aborted_tail = chunk_frames - in_chunk;
                         }
                         aborted_tail = 0;
+                        if let (Some(t), Some(pop_us)) = (chunk.trace, pop_us) {
+                            let tracer = &self.telemetry.tracer;
+                            let end = tracer.now_micros();
+                            tracer.record(
+                                t.id,
+                                Stage::Drain,
+                                self.span_ctx(),
+                                pop_us,
+                                end.saturating_sub(pop_us),
+                            );
+                            traced.push(t.id);
+                        }
                     }
                     None
                 }));
@@ -362,7 +431,7 @@ impl SessionCore {
             0
         };
         let worked = frames_done > 0 || newly_failed || discarded > 0 || !out.is_empty();
-        self.publish_outputs(out, bus);
+        self.publish_traced(out, bus, &traced);
         if worked {
             self.counters.record_drain(timer.commit());
             self.telemetry.record_frames(frames_done);
@@ -395,6 +464,11 @@ impl SessionCore {
         self.pending_swap.clear();
         let mut discarded = aborted_tail;
         while let Some(chunk) = state.rx.pop() {
+            // Tail retention: a discarded chunk is exactly the anomaly
+            // the flight recorder exists for.
+            if let Some(t) = chunk.trace {
+                self.telemetry.tracer.pin(t.id, PinReason::Discard);
+            }
             discarded += (chunk.samples.len() / self.electrodes) as u64;
         }
         if discarded > 0 {
@@ -403,6 +477,30 @@ impl SessionCore {
                 .fetch_add(discarded, Ordering::Relaxed);
         }
         discarded
+    }
+
+    /// [`SessionCore::publish_outputs`] plus a shared publish span: the
+    /// one publish pass is attributed to every chunk drained this pass
+    /// (the pass batches their outputs, so the span genuinely belongs to
+    /// each trace). No clock reads when `traced` is empty.
+    fn publish_traced(
+        &self,
+        out: Vec<SessionOutput>,
+        bus: &Mutex<VecDeque<ServiceEvent>>,
+        traced: &[TraceId],
+    ) {
+        if traced.is_empty() {
+            self.publish_outputs(out, bus);
+            return;
+        }
+        let tracer = &self.telemetry.tracer;
+        let start = tracer.now_micros();
+        self.publish_outputs(out, bus);
+        let dur = tracer.now_micros().saturating_sub(start);
+        let ctx = self.span_ctx();
+        for id in traced {
+            tracer.record(*id, Stage::Publish, ctx, start, dur);
+        }
     }
 
     /// Publishes one pass's ordered outputs: bumps event/alarm counters,
@@ -485,6 +583,7 @@ impl SessionCore {
         let mut frames_done: u64 = 0;
         let mut aborted_tail: u64 = 0;
         let mut items: Vec<PendingItem> = Vec::new();
+        let mut traced: Vec<TraceId> = Vec::new();
         let newly_failed = if state.failed.is_none() {
             let electrodes = self.electrodes;
             let WorkerState {
@@ -505,14 +604,25 @@ impl SessionCore {
                             staged = Some(Arc::new(request.model.am().clone()));
                             items.push(PendingItem::Swap {
                                 at_frame: base_processed + frames_done,
-                                model: request.model,
-                                origin: request.origin,
+                                request,
                             });
                         }
                         let Some(chunk) = rx.pop() else { break };
                         self.telemetry
                             .stages
                             .record_since(Stage::RingWait, chunk.queued_at);
+                        let pop_us = chunk.trace.map(|t| {
+                            let tracer = &self.telemetry.tracer;
+                            let now = tracer.now_micros();
+                            tracer.record(
+                                t.id,
+                                Stage::RingWait,
+                                self.span_ctx(),
+                                t.start_us,
+                                now.saturating_sub(t.start_us),
+                            );
+                            now
+                        });
                         let chunk_frames = (chunk.samples.len() / electrodes) as u64;
                         aborted_tail = chunk_frames;
                         let mut in_chunk: u64 = 0;
@@ -527,6 +637,7 @@ impl SessionCore {
                                         run,
                                         slot,
                                         end_sample: window.end_sample,
+                                        trace: chunk.trace.map(|t| t.id),
                                     });
                                 }
                                 Ok(None) => {}
@@ -537,6 +648,18 @@ impl SessionCore {
                             aborted_tail = chunk_frames - in_chunk;
                         }
                         aborted_tail = 0;
+                        if let (Some(t), Some(pop_us)) = (chunk.trace, pop_us) {
+                            let tracer = &self.telemetry.tracer;
+                            let end = tracer.now_micros();
+                            tracer.record(
+                                t.id,
+                                Stage::Encode,
+                                self.span_ctx(),
+                                pop_us,
+                                end.saturating_sub(pop_us),
+                            );
+                            traced.push(t.id);
+                        }
                     }
                     None
                 }));
@@ -553,6 +676,7 @@ impl SessionCore {
         pending.frames_done = frames_done;
         pending.newly_failed = newly_failed;
         pending.discarded = discarded;
+        pending.traced = traced;
         let worked = frames_done > 0 || newly_failed || discarded > 0 || !pending.items.is_empty();
         pending.encode_micros = if worked { timer.commit() } else { 0 };
         pending
@@ -569,6 +693,7 @@ impl SessionCore {
         pending: SessionPending,
         plan: &BatchPlan,
         bus: &Mutex<VecDeque<ServiceEvent>>,
+        classify_span: Option<(u64, u64)>,
     ) -> bool {
         let SessionPending {
             items,
@@ -576,9 +701,25 @@ impl SessionCore {
             newly_failed: encode_failed,
             discarded: encode_discarded,
             encode_micros,
+            traced,
         } = pending;
         let mut state = self.worker.lock().expect("session worker lock poisoned");
         let timer = self.telemetry.stages.timer(Stage::Scatter);
+        // The shard's one classify sweep serves every traced chunk of
+        // this pass; attribute it to each (same sharing as publish).
+        if let Some((start, dur)) = classify_span {
+            let ctx = self.span_ctx();
+            for id in &traced {
+                self.telemetry
+                    .tracer
+                    .record(*id, Stage::Classify, ctx, start, dur);
+            }
+        }
+        let scatter_start = if traced.is_empty() {
+            None
+        } else {
+            Some(self.telemetry.tracer.now_micros())
+        };
         let mut out: Vec<SessionOutput> = Vec::with_capacity(items.len());
         let mut windows: u64 = 0;
         let scatter_failed = if items.is_empty() {
@@ -598,19 +739,21 @@ impl SessionCore {
                                 run,
                                 slot,
                                 end_sample,
+                                trace,
                             } => {
                                 let classification = plan.result(*run, *slot);
                                 let event = detector.complete_window(*end_sample, classification);
+                                if event.alarm.is_some() {
+                                    if let Some(id) = trace {
+                                        self.telemetry.tracer.pin(*id, PinReason::Alarm);
+                                    }
+                                }
                                 out.push(SessionOutput::Event(event));
                                 windows += 1;
                             }
-                            PendingItem::Swap {
-                                model,
-                                at_frame,
-                                origin,
-                            } => {
-                                if let Err(reason) = self
-                                    .apply_swap(detector, am, model, *at_frame, *origin, &mut out)
+                            PendingItem::Swap { request, at_frame } => {
+                                if let Err(reason) =
+                                    self.apply_swap(detector, am, request, *at_frame, &mut out)
                                 {
                                     return Some(reason);
                                 }
@@ -633,13 +776,21 @@ impl SessionCore {
                 .windows_batched
                 .fetch_add(windows, Ordering::Relaxed);
         }
+        if let Some(start) = scatter_start {
+            let tracer = &self.telemetry.tracer;
+            let dur = tracer.now_micros().saturating_sub(start);
+            let ctx = self.span_ctx();
+            for id in &traced {
+                tracer.record(*id, Stage::Scatter, ctx, start, dur);
+            }
+        }
         let worked = frames_done > 0
             || encode_failed
             || scatter_failed
             || encode_discarded > 0
             || discarded > 0
             || !out.is_empty();
-        self.publish_outputs(out, bus);
+        self.publish_traced(out, bus, &traced);
         if worked {
             self.counters
                 .record_drain(encode_micros.saturating_add(timer.commit()));
@@ -722,13 +873,42 @@ impl SessionHandle {
     /// Queues a chunk of interleaved frames. On a full queue the chunk is
     /// returned in [`PushError::Full`] — nothing is dropped silently.
     pub fn try_push_chunk(&mut self, chunk: Box<[f32]>) -> Result<(), PushError> {
+        self.push_with_wire_span(chunk, 0)
+    }
+
+    /// [`SessionHandle::try_push_chunk`] with the wire-decode duration of
+    /// the chunk's frame message: the network read loop measures the
+    /// decode and passes it here (the trace id does not exist until the
+    /// push mints it), so the accepted chunk's trace opens with a
+    /// [`Stage::WireDecode`] span that immediately precedes its enqueue.
+    /// Recorded only on a successful push — a caller retrying on `Full`
+    /// re-mints (burning an id, harmlessly) instead of duplicating spans.
+    pub(crate) fn push_with_wire_span(
+        &mut self,
+        chunk: Box<[f32]>,
+        wire_decode_us: u64,
+    ) -> Result<(), PushError> {
         let frames = self.check_width(chunk.len())?;
+        let trace = self.core.telemetry.tracer.begin();
         let chunk = Chunk {
             samples: chunk,
             queued_at: self.core.telemetry.stages.now(),
+            trace,
         };
         match self.tx.try_push(chunk) {
             Ok(()) => {
+                if let Some(t) = trace {
+                    if wire_decode_us > 0 {
+                        // The decode ended (≈) when the trace was minted.
+                        self.core.telemetry.tracer.record(
+                            t.id,
+                            Stage::WireDecode,
+                            self.core.span_ctx(),
+                            t.start_us.saturating_sub(wire_decode_us),
+                            wire_decode_us,
+                        );
+                    }
+                }
                 self.core
                     .counters
                     .frames_in
@@ -769,9 +949,11 @@ impl SessionHandle {
             }
             Err(e) => panic!("{e}"),
         };
+        let trace = self.core.telemetry.tracer.begin();
         let chunk = Chunk {
             samples: samples.into(),
             queued_at: self.core.telemetry.stages.now(),
+            trace,
         };
         match self.tx.try_push(chunk) {
             Ok(()) => {
@@ -783,6 +965,19 @@ impl SessionHandle {
                 true
             }
             Err(Full(_)) => {
+                // A shed chunk is an anomaly worth keeping: give the
+                // trace a zero-length enqueue span and pin it.
+                if let Some(t) = trace {
+                    let tracer = &self.core.telemetry.tracer;
+                    tracer.record(
+                        t.id,
+                        Stage::RingEnqueue,
+                        self.core.span_ctx(),
+                        t.start_us,
+                        0,
+                    );
+                    tracer.pin(t.id, PinReason::Drop);
+                }
                 self.core
                     .counters
                     .frames_dropped
@@ -1042,6 +1237,7 @@ mod tests {
         Chunk {
             samples: samples.into(),
             queued_at: None,
+            trace: None,
         }
     }
 
@@ -1061,6 +1257,7 @@ mod tests {
             electrodes: 4, // detector expects 2 → push_frame errors
             shard: 0,
             config,
+            ring_depth: tx.depth_gauge(),
             worker: Mutex::new(WorkerState {
                 am: Arc::new(detector.am().clone()),
                 detector,
@@ -1069,7 +1266,10 @@ mod tests {
             }),
             outbox: Mutex::new(VecDeque::new()),
             counters: Default::default(),
-            telemetry: Arc::new(ServiceTelemetry::new(&Default::default())),
+            telemetry: Arc::new(ServiceTelemetry::new(
+                &Default::default(),
+                &Default::default(),
+            )),
             pending_swap: SwapGate::new(),
             generation: Default::default(),
             failed_flag: Default::default(),
@@ -1123,6 +1323,7 @@ mod tests {
             electrodes: 2,
             shard: 0,
             config,
+            ring_depth: tx.depth_gauge(),
             worker: Mutex::new(WorkerState {
                 am: Arc::new(detector.am().clone()),
                 detector,
@@ -1131,7 +1332,10 @@ mod tests {
             }),
             outbox: Mutex::new(VecDeque::new()),
             counters: Default::default(),
-            telemetry: Arc::new(ServiceTelemetry::new(&Default::default())),
+            telemetry: Arc::new(ServiceTelemetry::new(
+                &Default::default(),
+                &Default::default(),
+            )),
             pending_swap: SwapGate::new(),
             generation: Default::default(),
             failed_flag: Default::default(),

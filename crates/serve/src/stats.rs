@@ -1,7 +1,9 @@
 //! Observability counters for sessions and the whole service.
 
 use laelaps_check::sync::atomic::{AtomicU64, Ordering};
-use laelaps_telemetry::{RateMeter, StageSet, StagesSnapshot, TelemetryConfig};
+use laelaps_telemetry::{
+    RateMeter, StageSet, StagesSnapshot, TelemetryConfig, TraceConfig, Tracer,
+};
 
 use crate::adapt::AdaptStats;
 
@@ -217,14 +219,18 @@ impl BatchingStats {
 pub(crate) struct ServiceTelemetry {
     /// Per-stage latency histograms (microseconds).
     pub stages: StageSet,
+    /// Per-chunk causal tracer (flight recorder + pin set); inert — zero
+    /// clock reads — unless [`crate::ServeConfig::trace`] enabled it.
+    pub tracer: Tracer,
     /// Frames drained across every session, trailing 5 s window.
     frames: RateMeter,
 }
 
 impl ServiceTelemetry {
-    pub fn new(config: &TelemetryConfig) -> Self {
+    pub fn new(config: &TelemetryConfig, trace: &TraceConfig) -> Self {
         ServiceTelemetry {
             stages: StageSet::new(config),
+            tracer: Tracer::new(trace),
             frames: RateMeter::per_5s(),
         }
     }
@@ -238,9 +244,10 @@ impl ServiceTelemetry {
         }
     }
 
-    /// Point-in-time snapshot; `registry`/`adapt`/`batching` stay at
-    /// their zero defaults for the caller to fill in.
+    /// Point-in-time snapshot; `registry`/`adapt`/`batching`/`shards`
+    /// stay at their zero defaults for the caller to fill in.
     pub fn snapshot(&self) -> TelemetrySnapshot {
+        let tracer = self.tracer.snapshot();
         TelemetrySnapshot {
             enabled: self.stages.enabled(),
             stages: self.stages.snapshot(),
@@ -248,8 +255,53 @@ impl ServiceTelemetry {
             registry: RegistryStats::default(),
             adapt: AdaptStats::default(),
             batching: BatchingStats::default(),
+            shards: Vec::new(),
+            trace: TraceStats {
+                enabled: tracer.enabled,
+                minted: tracer.minted,
+                recorded: tracer.recorded,
+                dropped: tracer.dropped,
+                pinned: tracer.pinned.len() as u64,
+            },
         }
     }
+}
+
+/// Saturation gauges of one shard worker, sampled at snapshot time.
+///
+/// `ring_depth_chunks` is the racy-but-clamped sum of each session ring's
+/// occupancy; `in_flight_frames` derives from the monotonic session
+/// counters (`frames_in − frames_processed − frames_discarded`, saturating
+/// per session). Both are monitoring hints: they expose queue saturation
+/// directly instead of leaving it inferable only from `ring_wait`
+/// percentiles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardGauges {
+    /// Shard index (matches [`SessionStatsEntry::shard`]).
+    pub shard: usize,
+    /// Live sessions pinned to this shard.
+    pub sessions: usize,
+    /// Chunks currently queued across this shard's session rings.
+    pub ring_depth_chunks: usize,
+    /// Accepted frames not yet processed or discarded on this shard.
+    pub in_flight_frames: u64,
+}
+
+/// Tracer accounting folded into every [`TelemetrySnapshot`] (the spans
+/// themselves are exported via [`crate::DetectionService::trace_snapshot`]
+/// or the wire `TraceDump`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Whether per-chunk tracing was on ([`crate::ServeConfig::trace`]).
+    pub enabled: bool,
+    /// Trace ids minted.
+    pub minted: u64,
+    /// Spans written to the flight recorder (including overwritten ones).
+    pub recorded: u64,
+    /// Spans dropped to recorder slot collisions.
+    pub dropped: u64,
+    /// Distinct pinned traces currently remembered.
+    pub pinned: u64,
 }
 
 /// The service's full observability surface beyond raw session counters,
@@ -282,6 +334,13 @@ pub struct TelemetrySnapshot {
     /// Batched-classification occupancy (zero rows when the service runs
     /// the per-frame path).
     pub batching: BatchingStats,
+    /// Per-shard saturation gauges, ordered by shard index (one row per
+    /// worker shard, present whenever the snapshot came from
+    /// [`crate::DetectionService::stats`]).
+    pub shards: Vec<ShardGauges>,
+    /// Per-chunk tracing accounting (all-zero with `enabled: false`
+    /// unless [`crate::ServeConfig::trace`] turned tracing on).
+    pub trace: TraceStats,
 }
 
 /// Aggregate service snapshot returned by

@@ -5,13 +5,14 @@
 //! a flipped bit anywhere in a frame is caught before the payload is
 //! interpreted, and a reader never trusts a length it cannot bound.
 //!
-//! ## Frame layout (wire versions 1 and 2)
+//! ## Frame layout (wire versions 1 through 3)
 //!
 //! ```text
 //! offset  size  field
 //! 0       2     magic  b"LW"
 //! 2       1     wire format version (the lowest version carrying the tag:
-//!               1 for the original messages, 2 for Feedback/ModelUpdated)
+//!               1 for the original messages, 2 for Feedback/ModelUpdated,
+//!               3 for the introspection messages)
 //! 3       1     message type tag
 //! 4       4     payload length P (u32 LE), P ≤ 16 MiB
 //! 8       P     payload (all scalars little-endian)
@@ -24,22 +25,26 @@
 //! discipline as the model files. Because writers stamp each frame with
 //! the lowest version that carries its tag, an upgraded peer stays fully
 //! interoperable with a version-1 peer until it actually sends a
-//! version-2 message (rolling upgrades).
+//! version-2 (or version-3) message (rolling upgrades).
 //!
 //! ## Messages
 //!
-//! | tag  | message        | direction | payload |
-//! |------|----------------|-----------|---------|
-//! | 0x01 | `Hello`        | c → s     | `u32` patient length, patient bytes (ASCII), `u32` electrodes |
-//! | 0x02 | `Frames`       | c → s     | interleaved `f32` samples (length = P / 4) |
-//! | 0x03 | `Close`        | c → s     | empty |
-//! | 0x04 | `Feedback`     | c → s     | `u8` label (0 interictal / 1 ictal), interleaved `f32` samples |
-//! | 0x81 | `Accepted`     | s → c     | `u64` session id, `u32` electrodes |
-//! | 0x82 | `Throttle`     | s → c     | `u32` queued chunks, `u32` queue capacity |
-//! | 0x83 | `Event`        | s → c     | one [`DetectorEvent`] (below), `alarm` absent |
-//! | 0x84 | `Alarm`        | s → c     | one [`DetectorEvent`] with its alarm record |
-//! | 0x85 | `ModelUpdated` | s → c     | `u64` model generation now running |
-//! | 0xEE | `Error`        | either    | `u32` reason length, UTF-8 reason bytes |
+//! | tag  | message            | direction | payload |
+//! |------|--------------------|-----------|---------|
+//! | 0x01 | `Hello`            | c → s     | `u32` patient length, patient bytes (ASCII), `u32` electrodes |
+//! | 0x02 | `Frames`           | c → s     | interleaved `f32` samples (length = P / 4) |
+//! | 0x03 | `Close`            | c → s     | empty |
+//! | 0x04 | `Feedback`         | c → s     | `u8` label (0 interictal / 1 ictal), interleaved `f32` samples |
+//! | 0x05 | `StatsRequest`     | c → s     | empty |
+//! | 0x06 | `TraceDumpRequest` | c → s     | `u32` span limit (0 = everything retained) |
+//! | 0x81 | `Accepted`         | s → c     | `u64` session id, `u32` electrodes |
+//! | 0x82 | `Throttle`         | s → c     | `u32` queued chunks, `u32` queue capacity |
+//! | 0x83 | `Event`            | s → c     | one [`DetectorEvent`] (below), `alarm` absent |
+//! | 0x84 | `Alarm`            | s → c     | one [`DetectorEvent`] with its alarm record |
+//! | 0x85 | `ModelUpdated`     | s → c     | `u64` model generation now running |
+//! | 0x86 | `StatsSnapshot`    | s → c     | one [`WireStats`] (see its docs for the layout) |
+//! | 0x87 | `TraceDump`        | s → c     | `u64` recorded, `u64` dropped, `u32` span count, then 40-byte [`WireSpan`] records |
+//! | 0xEE | `Error`            | either    | `u32` reason length, UTF-8 reason bytes |
 //!
 //! An event payload is `u64` index, `u64` end sample, `f64` time bits,
 //! `u8` label (0 interictal / 1 ictal), `u64` distance to the interictal
@@ -54,6 +59,13 @@
 //! frame boundary where the hot-swap took effect — with `ModelUpdated`.
 //! A label byte other than 0/1 is rejected as corrupt before the payload
 //! reaches any training code.
+//!
+//! `StatsRequest` and `TraceDumpRequest` open a read-only introspection
+//! exchange instead of a streaming session: when a connection's *first*
+//! message is one of them, the server answers each request with a
+//! `StatsSnapshot` / `TraceDump` and keeps answering until the peer sends
+//! `Close` or disconnects. This is how `laelapsctl` inspects a running
+//! [`crate::IngestServer`] without opening a patient session.
 //!
 //! # Examples
 //!
@@ -90,8 +102,9 @@ pub const WIRE_MAGIC: [u8; 2] = *b"LW";
 /// frame with the **lowest version that carries its tag** — version-1
 /// messages still go out as version 1, so an upgraded peer keeps
 /// interoperating with a not-yet-upgraded one until it actually uses a
-/// version-2 feature (`Feedback` / `ModelUpdated`).
-pub const WIRE_VERSION: u8 = 2;
+/// version-2 feature (`Feedback` / `ModelUpdated`) or a version-3 one
+/// (the introspection messages).
+pub const WIRE_VERSION: u8 = 3;
 
 /// Frame header length: magic + version + tag + payload length.
 pub const HEADER_LEN: usize = 8;
@@ -109,11 +122,15 @@ const TAG_HELLO: u8 = 0x01;
 const TAG_FRAMES: u8 = 0x02;
 const TAG_CLOSE: u8 = 0x03;
 const TAG_FEEDBACK: u8 = 0x04;
+const TAG_STATS_REQUEST: u8 = 0x05;
+const TAG_TRACE_DUMP_REQUEST: u8 = 0x06;
 const TAG_ACCEPTED: u8 = 0x81;
 const TAG_THROTTLE: u8 = 0x82;
 const TAG_EVENT: u8 = 0x83;
 const TAG_ALARM: u8 = 0x84;
 const TAG_MODEL_UPDATED: u8 = 0x85;
+const TAG_STATS_SNAPSHOT: u8 = 0x86;
+const TAG_TRACE_DUMP: u8 = 0x87;
 const TAG_ERROR: u8 = 0xEE;
 
 /// One ingest-protocol message; see the [module docs](self) for the
@@ -145,6 +162,16 @@ pub enum Message {
         /// Interleaved frame-major samples; length must divide by the
         /// session's electrode count.
         chunk: Box<[f32]>,
+    },
+    /// Client → server: ask for a live [`WireStats`] snapshot. Valid only
+    /// as the first message of a connection (which it turns into an
+    /// introspection exchange) or later within one.
+    StatsRequest,
+    /// Client → server: ask for the flight recorder's retained spans.
+    /// Same introspection-only placement as [`Message::StatsRequest`].
+    TraceDumpRequest {
+        /// Most recent spans to return; 0 means everything retained.
+        limit: u32,
     },
     /// Server → client: the `Hello` was accepted and a session is live.
     Accepted {
@@ -181,12 +208,395 @@ pub enum Message {
         /// Generation of the model now running.
         generation: u64,
     },
+    /// Server → client: the live service counters, stage histograms, and
+    /// shard gauges answering a [`Message::StatsRequest`].
+    StatsSnapshot {
+        /// The snapshot (boxed: it is much larger than every other
+        /// variant and only travels on the introspection path).
+        stats: Box<WireStats>,
+    },
+    /// Server → client: the flight recorder's retained spans answering a
+    /// [`Message::TraceDumpRequest`].
+    TraceDump {
+        /// Spans ever written to the recorder (including overwritten).
+        recorded: u64,
+        /// Spans lost to recorder slot collisions.
+        dropped: u64,
+        /// The retained spans, oldest first.
+        spans: Vec<WireSpan>,
+    },
     /// Either direction: the sender hit a fatal condition; the stream is
     /// over.
     Error {
         /// Human-readable description of what went wrong.
         reason: String,
     },
+}
+
+/// One hot-path stage's latency histogram on the wire: the exact sparse
+/// form of [`laelaps_telemetry::HistogramSnapshot`], so the reader can
+/// reconstruct quantiles with the library's own bucket math.
+///
+/// Layout: `u8` stage discriminant, `u64` count, `u64` sum, `u64` max,
+/// `u32` bucket count, then `(u16 bucket index, u64 count)` pairs ordered
+/// by index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireStage {
+    /// [`laelaps_telemetry::Stage`] discriminant (decode with
+    /// `Stage::ALL.get(stage as usize)`; unknown values are a newer
+    /// peer's stages and safe to skip).
+    pub stage: u8,
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact sum of every recorded value, microseconds.
+    pub sum: u64,
+    /// Exact maximum recorded value, microseconds.
+    pub max: u64,
+    /// Non-empty buckets as `(bucket index, count)`, ordered by index.
+    pub buckets: Vec<(u16, u64)>,
+}
+
+impl WireStage {
+    /// Reassembles the library histogram snapshot this row was built
+    /// from, re-enabling [`laelaps_telemetry::HistogramSnapshot::p99`]
+    /// and friends on the reader's side.
+    pub fn to_histogram(&self) -> laelaps_telemetry::HistogramSnapshot {
+        laelaps_telemetry::HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            buckets: self.buckets.clone(),
+        }
+    }
+}
+
+/// One shard worker's saturation gauges on the wire (mirrors
+/// [`crate::ShardGauges`]).
+///
+/// Layout: `u32` shard, `u32` sessions, `u32` ring depth, `u64`
+/// in-flight frames.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireShard {
+    /// Shard index.
+    pub shard: u32,
+    /// Live sessions pinned to this shard.
+    pub sessions: u32,
+    /// Chunks currently queued across this shard's session rings.
+    pub ring_depth_chunks: u32,
+    /// Accepted frames not yet processed or discarded on this shard.
+    pub in_flight_frames: u64,
+}
+
+/// The live-introspection payload of [`Message::StatsSnapshot`]: service
+/// totals, the trailing drain rate, tracer accounting, per-stage latency
+/// histograms, and per-shard saturation gauges — everything `laelapsctl`
+/// renders, flattened from [`crate::ServiceStats`].
+///
+/// Layout: `u32` sessions, `u32` retired, nine `u64` totals (frames in /
+/// processed / dropped / refused / discarded, events, alarms, windows
+/// batched, max drain µs), `f64` recent frames/s (IEEE-754 bits), `u8`
+/// telemetry enabled, `u8` trace enabled, four `u64` tracer counters
+/// (minted / recorded / dropped / pinned), `u32` stage count + that many
+/// [`WireStage`] rows, `u32` shard count + that many [`WireShard`] rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireStats {
+    /// Sessions currently registered (live or draining).
+    pub sessions: u32,
+    /// Sessions already finished and retired from their shard.
+    pub retired_sessions: u32,
+    /// Frames accepted into session queues, live + retired.
+    pub frames_in: u64,
+    /// Frames run through the detector.
+    pub frames_processed: u64,
+    /// Frames rejected by lossy pushes against a full queue.
+    pub frames_dropped: u64,
+    /// Frames offered after a session closed or failed.
+    pub frames_refused: u64,
+    /// Accepted frames thrown away after a detector failure.
+    pub frames_discarded: u64,
+    /// Classification events emitted.
+    pub events_out: u64,
+    /// Alarms raised.
+    pub alarms_out: u64,
+    /// Windows classified via the batched path.
+    pub windows_batched: u64,
+    /// Worst-case wall time of one drain batch, microseconds.
+    pub max_drain_micros: u64,
+    /// Frames drained per second over the trailing 5 s window.
+    pub recent_frames_per_sec: f64,
+    /// Whether stage timing was on ([`crate::ServeConfig::telemetry`]).
+    pub telemetry_enabled: bool,
+    /// Whether per-chunk tracing was on ([`crate::ServeConfig::trace`]).
+    pub trace_enabled: bool,
+    /// Trace ids minted.
+    pub trace_minted: u64,
+    /// Spans written to the flight recorder (including overwritten ones).
+    pub trace_recorded: u64,
+    /// Spans dropped to recorder slot collisions.
+    pub trace_dropped: u64,
+    /// Distinct pinned traces currently remembered.
+    pub trace_pinned: u64,
+    /// One row per hot-path stage with at least one sample.
+    pub stages: Vec<WireStage>,
+    /// One row per worker shard, ordered by shard index.
+    pub shards: Vec<WireShard>,
+}
+
+impl WireStats {
+    /// Flattens a [`crate::ServiceStats`] into its wire form.
+    pub fn from_stats(stats: &crate::ServiceStats) -> Self {
+        let t = &stats.totals;
+        let tel = &stats.telemetry;
+        WireStats {
+            sessions: stats.sessions.min(u32::MAX as usize) as u32,
+            retired_sessions: stats.retired_sessions.min(u32::MAX as usize) as u32,
+            frames_in: t.frames_in,
+            frames_processed: t.frames_processed,
+            frames_dropped: t.frames_dropped,
+            frames_refused: t.frames_refused,
+            frames_discarded: t.frames_discarded,
+            events_out: t.events_out,
+            alarms_out: t.alarms_out,
+            windows_batched: t.windows_batched,
+            max_drain_micros: t.max_drain_micros,
+            recent_frames_per_sec: tel.recent_frames_per_sec,
+            telemetry_enabled: tel.enabled,
+            trace_enabled: tel.trace.enabled,
+            trace_minted: tel.trace.minted,
+            trace_recorded: tel.trace.recorded,
+            trace_dropped: tel.trace.dropped,
+            trace_pinned: tel.trace.pinned,
+            stages: tel
+                .stages
+                .iter()
+                .filter(|(_, h)| !h.is_empty())
+                .map(|(stage, h)| WireStage {
+                    stage: stage as u8,
+                    count: h.count,
+                    sum: h.sum,
+                    max: h.max,
+                    buckets: h.buckets.clone(),
+                })
+                .collect(),
+            shards: tel
+                .shards
+                .iter()
+                .map(|s| WireShard {
+                    shard: s.shard.min(u32::MAX as usize) as u32,
+                    sessions: s.sessions.min(u32::MAX as usize) as u32,
+                    ring_depth_chunks: s.ring_depth_chunks.min(u32::MAX as usize) as u32,
+                    in_flight_frames: s.in_flight_frames,
+                })
+                .collect(),
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.sessions.to_le_bytes());
+        out.extend_from_slice(&self.retired_sessions.to_le_bytes());
+        for v in [
+            self.frames_in,
+            self.frames_processed,
+            self.frames_dropped,
+            self.frames_refused,
+            self.frames_discarded,
+            self.events_out,
+            self.alarms_out,
+            self.windows_batched,
+            self.max_drain_micros,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.recent_frames_per_sec.to_bits().to_le_bytes());
+        out.push(self.telemetry_enabled as u8);
+        out.push(self.trace_enabled as u8);
+        for v in [
+            self.trace_minted,
+            self.trace_recorded,
+            self.trace_dropped,
+            self.trace_pinned,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.stages.len() as u32).to_le_bytes());
+        for stage in &self.stages {
+            out.push(stage.stage);
+            out.extend_from_slice(&stage.count.to_le_bytes());
+            out.extend_from_slice(&stage.sum.to_le_bytes());
+            out.extend_from_slice(&stage.max.to_le_bytes());
+            out.extend_from_slice(&(stage.buckets.len() as u32).to_le_bytes());
+            for &(index, count) in &stage.buckets {
+                out.extend_from_slice(&index.to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        for shard in &self.shards {
+            out.extend_from_slice(&shard.shard.to_le_bytes());
+            out.extend_from_slice(&shard.sessions.to_le_bytes());
+            out.extend_from_slice(&shard.ring_depth_chunks.to_le_bytes());
+            out.extend_from_slice(&shard.in_flight_frames.to_le_bytes());
+        }
+    }
+
+    fn decode(cursor: &mut Cursor<'_>) -> Result<Self> {
+        let sessions = cursor.u32()?;
+        let retired_sessions = cursor.u32()?;
+        let frames_in = cursor.u64()?;
+        let frames_processed = cursor.u64()?;
+        let frames_dropped = cursor.u64()?;
+        let frames_refused = cursor.u64()?;
+        let frames_discarded = cursor.u64()?;
+        let events_out = cursor.u64()?;
+        let alarms_out = cursor.u64()?;
+        let windows_batched = cursor.u64()?;
+        let max_drain_micros = cursor.u64()?;
+        let recent_frames_per_sec = cursor.f64_bits()?;
+        let telemetry_enabled = cursor.u8()? != 0;
+        let trace_enabled = cursor.u8()? != 0;
+        let trace_minted = cursor.u64()?;
+        let trace_recorded = cursor.u64()?;
+        let trace_dropped = cursor.u64()?;
+        let trace_pinned = cursor.u64()?;
+        let stage_count = cursor.u32()?;
+        let mut stages = Vec::new();
+        for _ in 0..stage_count {
+            let stage = cursor.u8()?;
+            let count = cursor.u64()?;
+            let sum = cursor.u64()?;
+            let max = cursor.u64()?;
+            let bucket_count = cursor.u32()?;
+            let mut buckets = Vec::new();
+            for _ in 0..bucket_count {
+                let index = cursor.u16()?;
+                let count = cursor.u64()?;
+                buckets.push((index, count));
+            }
+            stages.push(WireStage {
+                stage,
+                count,
+                sum,
+                max,
+                buckets,
+            });
+        }
+        let shard_count = cursor.u32()?;
+        let mut shards = Vec::new();
+        for _ in 0..shard_count {
+            shards.push(WireShard {
+                shard: cursor.u32()?,
+                sessions: cursor.u32()?,
+                ring_depth_chunks: cursor.u32()?,
+                in_flight_frames: cursor.u64()?,
+            });
+        }
+        Ok(WireStats {
+            sessions,
+            retired_sessions,
+            frames_in,
+            frames_processed,
+            frames_dropped,
+            frames_refused,
+            frames_discarded,
+            events_out,
+            alarms_out,
+            windows_batched,
+            max_drain_micros,
+            recent_frames_per_sec,
+            telemetry_enabled,
+            trace_enabled,
+            trace_minted,
+            trace_recorded,
+            trace_dropped,
+            trace_pinned,
+            stages,
+            shards,
+        })
+    }
+}
+
+/// One completed hot-path span on the wire — a fixed 40-byte record:
+/// `u64` trace id, `u8` stage discriminant, `u8` pin reason (0 =
+/// unpinned), `u16` shard, `u32` model generation, `u64` session id,
+/// `u64` start (µs since the tracer's epoch), `u64` duration (µs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireSpan {
+    /// The chunk's trace id.
+    pub trace_id: u64,
+    /// [`laelaps_telemetry::Stage`] discriminant.
+    pub stage: u8,
+    /// [`laelaps_telemetry::PinReason`] discriminant if this span's
+    /// trace was pinned; 0 when unpinned.
+    pub pin: u8,
+    /// Shard the span ran on.
+    pub shard: u16,
+    /// Model generation the session was running.
+    pub generation: u32,
+    /// Session id.
+    pub session: u64,
+    /// Span start, microseconds since the tracer's epoch.
+    pub start_us: u64,
+    /// Span duration, microseconds.
+    pub dur_us: u64,
+}
+
+impl WireSpan {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.trace_id.to_le_bytes());
+        out.push(self.stage);
+        out.push(self.pin);
+        out.extend_from_slice(&self.shard.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.session.to_le_bytes());
+        out.extend_from_slice(&self.start_us.to_le_bytes());
+        out.extend_from_slice(&self.dur_us.to_le_bytes());
+    }
+
+    fn decode(cursor: &mut Cursor<'_>) -> Result<Self> {
+        Ok(WireSpan {
+            trace_id: cursor.u64()?,
+            stage: cursor.u8()?,
+            pin: cursor.u8()?,
+            shard: cursor.u16()?,
+            generation: cursor.u32()?,
+            session: cursor.u64()?,
+            start_us: cursor.u64()?,
+            dur_us: cursor.u64()?,
+        })
+    }
+}
+
+/// Builds the [`Message::TraceDump`] answering a request with `limit`:
+/// the snapshot's spans (already oldest-first) with each trace's pin
+/// reason stamped, keeping only the most recent `limit` when `limit` is
+/// non-zero.
+pub fn trace_dump_message(snapshot: &laelaps_telemetry::TraceSnapshot, limit: u32) -> Message {
+    let skip = if limit == 0 {
+        0
+    } else {
+        snapshot.spans.len().saturating_sub(limit as usize)
+    };
+    let spans = snapshot.spans[skip..]
+        .iter()
+        .map(|span| WireSpan {
+            trace_id: span.trace_id,
+            stage: span.stage as u8,
+            pin: snapshot
+                .pin_reason(span.trace_id)
+                .map(|r| r as u8)
+                .unwrap_or(0),
+            shard: span.shard,
+            generation: span.generation,
+            session: span.session,
+            start_us: span.start_us,
+            dur_us: span.dur_us,
+        })
+        .collect();
+    Message::TraceDump {
+        recorded: snapshot.recorded,
+        dropped: snapshot.dropped,
+        spans,
+    }
 }
 
 impl Message {
@@ -196,11 +606,15 @@ impl Message {
             Message::Frames { .. } => TAG_FRAMES,
             Message::Close => TAG_CLOSE,
             Message::Feedback { .. } => TAG_FEEDBACK,
+            Message::StatsRequest => TAG_STATS_REQUEST,
+            Message::TraceDumpRequest { .. } => TAG_TRACE_DUMP_REQUEST,
             Message::Accepted { .. } => TAG_ACCEPTED,
             Message::Throttle { .. } => TAG_THROTTLE,
             Message::Event { .. } => TAG_EVENT,
             Message::Alarm { .. } => TAG_ALARM,
             Message::ModelUpdated { .. } => TAG_MODEL_UPDATED,
+            Message::StatsSnapshot { .. } => TAG_STATS_SNAPSHOT,
+            Message::TraceDump { .. } => TAG_TRACE_DUMP,
             Message::Error { .. } => TAG_ERROR,
         }
     }
@@ -256,8 +670,28 @@ impl Message {
                     out.extend_from_slice(&alarm.mean_delta.to_bits().to_le_bytes());
                 }
             }
+            Message::StatsRequest => {}
+            Message::TraceDumpRequest { limit } => {
+                out.extend_from_slice(&limit.to_le_bytes());
+            }
             Message::ModelUpdated { generation } => {
                 out.extend_from_slice(&generation.to_le_bytes());
+            }
+            Message::StatsSnapshot { stats } => {
+                stats.encode_into(&mut out);
+            }
+            Message::TraceDump {
+                recorded,
+                dropped,
+                spans,
+            } => {
+                out.reserve(8 + 8 + 4 + spans.len() * 40);
+                out.extend_from_slice(&recorded.to_le_bytes());
+                out.extend_from_slice(&dropped.to_le_bytes());
+                out.extend_from_slice(&(spans.len() as u32).to_le_bytes());
+                for span in spans {
+                    span.encode_into(&mut out);
+                }
             }
             Message::Error { reason } => {
                 out.extend_from_slice(&(reason.len() as u32).to_le_bytes());
@@ -279,6 +713,7 @@ fn corrupt(reason: impl Into<String>) -> ServeError {
 /// by version-1 peers (rolling upgrades).
 fn version_for_tag(tag: u8) -> u8 {
     match tag {
+        TAG_STATS_REQUEST | TAG_TRACE_DUMP_REQUEST | TAG_STATS_SNAPSHOT | TAG_TRACE_DUMP => 3,
         TAG_FEEDBACK | TAG_MODEL_UPDATED => 2,
         _ => 1,
     }
@@ -375,6 +810,24 @@ pub fn read_message_timed<R: Read>(
     reader: &mut R,
     stages: Option<&laelaps_telemetry::StageSet>,
 ) -> Result<Option<Message>> {
+    Ok(read_message_spanned(reader, stages)?.map(|(message, _)| message))
+}
+
+/// [`read_message_timed`] that also hands back the measured decode time
+/// in microseconds, so the caller can attach a
+/// [`laelaps_telemetry::Stage::WireDecode`] span to the chunk's causal
+/// trace. The duration is 0 whenever no enabled
+/// [`laelaps_telemetry::StageSet`] was passed
+/// (the clock is never read then — tracing alone does not pay for wire
+/// timing).
+///
+/// # Errors
+///
+/// Same as [`read_message`].
+pub fn read_message_spanned<R: Read>(
+    reader: &mut R,
+    stages: Option<&laelaps_telemetry::StageSet>,
+) -> Result<Option<(Message, u64)>> {
     let mut header = [0u8; HEADER_LEN];
     if !read_full(reader, &mut header)? {
         return Ok(None);
@@ -410,10 +863,8 @@ pub fn read_message_timed<R: Read>(
         return Err(corrupt("checksum mismatch"));
     }
     let message = decode_payload(tag, payload)?;
-    if let Some(timer) = timer {
-        timer.commit();
-    }
-    Ok(Some(message))
+    let decode_us = timer.map(|t| t.commit()).unwrap_or(0);
+    Ok(Some((message, decode_us)))
 }
 
 /// A little-endian cursor over a verified payload.
@@ -433,6 +884,12 @@ impl<'p> Cursor<'p> {
 
     fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     fn u32(&mut self) -> Result<u32> {
@@ -549,9 +1006,30 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message> {
                 Message::Event { event }
             }
         }
+        TAG_STATS_REQUEST => Message::StatsRequest,
+        TAG_TRACE_DUMP_REQUEST => Message::TraceDumpRequest {
+            limit: cursor.u32()?,
+        },
         TAG_MODEL_UPDATED => Message::ModelUpdated {
             generation: cursor.u64()?,
         },
+        TAG_STATS_SNAPSHOT => Message::StatsSnapshot {
+            stats: Box::new(WireStats::decode(&mut cursor)?),
+        },
+        TAG_TRACE_DUMP => {
+            let recorded = cursor.u64()?;
+            let dropped = cursor.u64()?;
+            let count = cursor.u32()?;
+            let mut spans = Vec::new();
+            for _ in 0..count {
+                spans.push(WireSpan::decode(&mut cursor)?);
+            }
+            Message::TraceDump {
+                recorded,
+                dropped,
+                spans,
+            }
+        }
         TAG_ERROR => {
             let len = cursor.u32()? as usize;
             let reason = String::from_utf8(cursor.take(len)?.to_vec())
@@ -596,6 +1074,59 @@ mod tests {
         }
     }
 
+    fn sample_stats() -> WireStats {
+        WireStats {
+            sessions: 3,
+            retired_sessions: 1,
+            frames_in: 4096,
+            frames_processed: 4000,
+            frames_dropped: 5,
+            frames_refused: 2,
+            frames_discarded: 89,
+            events_out: 15,
+            alarms_out: 1,
+            windows_batched: 15,
+            max_drain_micros: 731,
+            recent_frames_per_sec: 512.25,
+            telemetry_enabled: true,
+            trace_enabled: true,
+            trace_minted: 4103,
+            trace_recorded: 16412,
+            trace_dropped: 2,
+            trace_pinned: 7,
+            stages: vec![
+                WireStage {
+                    stage: 0,
+                    count: 100,
+                    sum: 5_000,
+                    max: 90,
+                    buckets: vec![(3, 10), (17, 90)],
+                },
+                WireStage {
+                    stage: 3,
+                    count: 1,
+                    sum: 7,
+                    max: 7,
+                    buckets: vec![(7, 1)],
+                },
+            ],
+            shards: vec![
+                WireShard {
+                    shard: 0,
+                    sessions: 2,
+                    ring_depth_chunks: 5,
+                    in_flight_frames: 1280,
+                },
+                WireShard {
+                    shard: 1,
+                    sessions: 1,
+                    ring_depth_chunks: 0,
+                    in_flight_frames: 0,
+                },
+            ],
+        }
+    }
+
     #[test]
     fn every_variant_roundtrips() {
         let messages = [
@@ -626,6 +1157,37 @@ mod tests {
             },
             event_message(sample_event(false)),
             event_message(sample_event(true)),
+            Message::StatsRequest,
+            Message::TraceDumpRequest { limit: 0 },
+            Message::TraceDumpRequest { limit: 128 },
+            Message::StatsSnapshot {
+                stats: Box::new(sample_stats()),
+            },
+            Message::StatsSnapshot {
+                stats: Box::default(),
+            },
+            Message::TraceDump {
+                recorded: 900,
+                dropped: 3,
+                spans: vec![
+                    WireSpan {
+                        trace_id: 41,
+                        stage: 0,
+                        pin: 1,
+                        shard: 2,
+                        generation: 7,
+                        session: 11,
+                        start_us: 1_000,
+                        dur_us: 250,
+                    },
+                    WireSpan::default(),
+                ],
+            },
+            Message::TraceDump {
+                recorded: 0,
+                dropped: 0,
+                spans: Vec::new(),
+            },
             Message::Error {
                 reason: "no model for patient".into(),
             },

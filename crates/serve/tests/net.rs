@@ -14,7 +14,7 @@ use laelaps_core::{Detector, Label};
 use laelaps_serve::adapt::AdaptationEngine;
 use laelaps_serve::net::{IngestClient, IngestServer};
 use laelaps_serve::wire::{read_message, write_message, Message, WIRE_VERSION};
-use laelaps_serve::{DetectionService, ModelRegistry, ServeConfig, ServeError};
+use laelaps_serve::{DetectionService, ModelRegistry, ServeConfig, ServeError, TraceConfig};
 
 fn registry_with_models(tag: &str, patients: usize) -> (Arc<ModelRegistry>, Vec<String>) {
     let dir = std::env::temp_dir().join(format!("laelaps-net-{tag}-{}", std::process::id()));
@@ -418,6 +418,74 @@ fn tcp_feedback_retrains_hot_swaps_and_streams_model_updated() {
     assert!(events[n1..].iter().any(|e| e.alarm.is_some()));
     assert_eq!(engine.stats().retrains, 1);
     assert_eq!(engine.stats().failures, 0, "{:?}", engine.last_error());
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(registry.dir());
+}
+
+/// The wire-v3 introspection path against a live server: a connection
+/// whose first message is a `StatsRequest` becomes a read-only exchange
+/// that answers stats and trace dumps until the peer closes — what
+/// `laelapsctl` does, minus the rendering.
+#[test]
+fn introspection_connection_answers_stats_and_trace_dumps_live() {
+    let (registry, ids) = registry_with_models("introspect", 1);
+    let service = Arc::new(DetectionService::new(ServeConfig {
+        workers: 2,
+        trace: TraceConfig::sampled(),
+        ..ServeConfig::default()
+    }));
+    let server = IngestServer::bind("127.0.0.1:0", Arc::clone(&service), Arc::clone(&registry))
+        .expect("server binds");
+    let addr = server.local_addr();
+
+    // Stream one short session so there is something to introspect.
+    let frames = 512 * 4;
+    let signal = two_state_signal(4, frames, 512..512 * 2, 900);
+    let mut client = IngestClient::connect(addr, &ids[0], 4).expect("handshake succeeds");
+    for chunk in interleave(&signal).chunks(256 * 4) {
+        client.send_chunk(chunk).expect("chunk sends");
+    }
+    client.finish().expect("clean close");
+
+    let mut stream = TcpStream::connect(addr).expect("introspection connects");
+    write_message(&mut stream, &Message::StatsRequest).unwrap();
+    let Some(Message::StatsSnapshot { stats }) = read_message(&mut stream).unwrap() else {
+        panic!("expected a StatsSnapshot");
+    };
+    assert_eq!(stats.frames_in, frames as u64, "live totals come back");
+    assert_eq!(stats.frames_processed, frames as u64);
+    assert!(stats.trace_enabled, "trace accounting is surfaced");
+    assert!(stats.trace_minted > 0, "accepted chunks minted trace ids");
+
+    // The same connection keeps answering until the peer closes.
+    write_message(&mut stream, &Message::TraceDumpRequest { limit: 0 }).unwrap();
+    let Some(Message::TraceDump {
+        recorded, spans, ..
+    }) = read_message(&mut stream).unwrap()
+    else {
+        panic!("expected a TraceDump");
+    };
+    assert!(recorded > 0, "spans reached the flight recorder");
+    assert!(!spans.is_empty(), "retained spans come back");
+    for span in &spans {
+        assert!(span.stage < 10, "stage discriminant is known: {span:?}");
+        assert_eq!(
+            span.session, spans[0].session,
+            "one session ⇒ one session id on every span"
+        );
+    }
+    assert!(
+        spans.iter().any(|s| s.stage == 0),
+        "chunks arrived over TCP, so wire_decode spans must be present"
+    );
+
+    write_message(&mut stream, &Message::Close).unwrap();
+    assert_eq!(
+        read_message(&mut stream).unwrap(),
+        None,
+        "server closes the exchange cleanly"
+    );
 
     drop(server);
     let _ = std::fs::remove_dir_all(registry.dir());

@@ -42,6 +42,7 @@ fn config(batched: bool, telemetry: bool) -> ServeConfig {
             backend: Arc::new(BlockedBackend),
         }),
         telemetry: TelemetryConfig { enabled: telemetry },
+        trace: laelaps_serve::TraceConfig::default(),
     }
 }
 

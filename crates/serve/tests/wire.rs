@@ -3,8 +3,8 @@
 //! errors, and nothing malformed reaches the message layer.
 
 use laelaps_serve::wire::{
-    encode_message, read_message, write_message, Message, CHECKSUM_LEN, HEADER_LEN, MAX_PAYLOAD,
-    WIRE_VERSION,
+    encode_message, read_message, write_message, Message, WireSpan, CHECKSUM_LEN, HEADER_LEN,
+    MAX_PAYLOAD, WIRE_VERSION,
 };
 use laelaps_serve::ServeError;
 
@@ -240,15 +240,37 @@ fn version_stamping_supports_rolling_upgrades() {
         read_message(&mut frame.as_slice()).unwrap(),
         Some(Message::Hello { electrodes: 23, .. })
     ));
-    // The adaptation messages are the version-2 surface.
+    // The adaptation messages are the version-2 surface: still stamped
+    // 2, not WIRE_VERSION, so v2 peers keep reading them.
     let feedback = encode_message(&Message::Feedback {
         label: laelaps_core::Label::Ictal,
         chunk: vec![0.0f32; 4].into(),
     });
-    assert_eq!(feedback[2], WIRE_VERSION);
+    assert_eq!(feedback[2], 2);
     let updated = encode_message(&Message::ModelUpdated { generation: 3 });
-    assert_eq!(updated[2], WIRE_VERSION);
-    // And a frame explicitly stamped 2 with a v1 tag still reads.
+    assert_eq!(updated[2], 2);
+    // The introspection messages are the version-3 surface.
+    assert_eq!(encode_message(&Message::StatsRequest)[2], WIRE_VERSION);
+    assert_eq!(
+        encode_message(&Message::TraceDumpRequest { limit: 16 })[2],
+        WIRE_VERSION
+    );
+    assert_eq!(
+        encode_message(&Message::StatsSnapshot {
+            stats: Box::default(),
+        })[2],
+        WIRE_VERSION
+    );
+    assert_eq!(
+        encode_message(&Message::TraceDump {
+            recorded: 0,
+            dropped: 0,
+            spans: Vec::new(),
+        })[2],
+        WIRE_VERSION
+    );
+    // And a frame explicitly stamped with a newer supported version but
+    // a v1 tag still reads.
     let mut frame = hello_frame();
     frame[2] = WIRE_VERSION;
     reseal(&mut frame);
@@ -295,6 +317,106 @@ fn back_to_back_frames_parse_in_order_and_eof_is_clean() {
     assert_eq!(read_message(&mut reader).unwrap(), Some(Message::Close));
     assert_eq!(read_message(&mut reader).unwrap(), None);
     assert_eq!(read_message(&mut reader).unwrap(), None, "EOF is sticky");
+}
+
+fn trace_dump_frame() -> Vec<u8> {
+    encode_message(&Message::TraceDump {
+        recorded: 900,
+        dropped: 3,
+        spans: vec![
+            WireSpan {
+                trace_id: 41,
+                stage: 0,
+                pin: 1,
+                shard: 2,
+                generation: 7,
+                session: 9,
+                start_us: 1_000,
+                dur_us: 120,
+            },
+            WireSpan {
+                trace_id: 42,
+                stage: 3,
+                pin: 0,
+                shard: 0,
+                generation: 7,
+                session: 11,
+                start_us: 1_200,
+                dur_us: 80,
+            },
+        ],
+    })
+}
+
+#[test]
+fn v3_introspection_frames_survive_truncation_like_v1() {
+    // The v1/v2 truncation guarantee holds for the new introspection
+    // payloads too: every strict prefix is corruption, never a panic,
+    // and the empty prefix is a clean end of stream.
+    for frame in [
+        trace_dump_frame(),
+        encode_message(&Message::StatsSnapshot {
+            stats: Box::default(),
+        }),
+    ] {
+        for cut in 1..frame.len() {
+            let err = read_message(&mut &frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, ServeError::Corrupt { ref reason } if reason.contains("wire")),
+                "cut at {cut}: {err}"
+            );
+        }
+        assert_eq!(read_message(&mut &frame[..0]).unwrap(), None);
+    }
+}
+
+#[test]
+fn v3_introspection_frames_detect_bit_flips_like_v1() {
+    let frame = trace_dump_frame();
+    for position in [3, 5, HEADER_LEN + 2, frame.len() - CHECKSUM_LEN - 1] {
+        let mut corrupted = frame.clone();
+        corrupted[position] ^= 0x40;
+        let err = read_message(&mut corrupted.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Corrupt { .. }),
+            "flip at {position}: {err}"
+        );
+    }
+}
+
+#[test]
+fn hostile_span_count_is_rejected_without_allocating() {
+    // Patch the span-count word (payload offset 16, after the two u64
+    // accounting fields) to a huge value and reseal so the checksum
+    // passes: the decoder must fail on the short payload instead of
+    // pre-allocating a count's worth of spans.
+    let mut frame = trace_dump_frame();
+    frame[HEADER_LEN + 16..HEADER_LEN + 20].copy_from_slice(&u32::MAX.to_le_bytes());
+    reseal(&mut frame);
+    let err = read_message(&mut frame.as_slice()).unwrap_err();
+    assert!(
+        matches!(err, ServeError::Corrupt { ref reason } if reason.contains("shorter")),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn future_versioned_introspection_frames_hit_the_version_gate_first() {
+    // Same guarantee the Hello frame has: a frame stamped beyond
+    // WIRE_VERSION is a version mismatch (the upgrade-me signal), fired
+    // before the checksum is even verified.
+    let mut frame = encode_message(&Message::StatsRequest);
+    assert_eq!(frame[2], WIRE_VERSION, "StatsRequest is stamped v3");
+    frame[2] = WIRE_VERSION + 1;
+    // Deliberately not resealed: the version gate must fire first.
+    let err = read_message(&mut frame.as_slice()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ServeError::VersionMismatch { found, .. } if found == (WIRE_VERSION + 1) as u64
+        ),
+        "unexpected error: {err}"
+    );
 }
 
 /// Recomputes and replaces the trailing checksum of a hand-patched frame

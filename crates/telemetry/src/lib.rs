@@ -3,8 +3,10 @@
 //! Allocation-free, lock-cheap observability primitives for the Laelaps
 //! serving stack: atomic [`Counter`]s and [`Gauge`]s, log2-sub-bucketed
 //! latency [`Histogram`]s with quantile estimation and exact merge,
-//! windowed [`RateMeter`]s, and a [`StageTimer`] API that attributes
-//! wall time to named hot-path [`Stage`]s.
+//! windowed [`RateMeter`]s, a [`StageTimer`] API that attributes
+//! wall time to named hot-path [`Stage`]s, and a per-chunk causal
+//! tracing layer ([`Tracer`]) backed by a wait-free [`FlightRecorder`]
+//! ring with tail-based pinning of anomalous traces.
 //!
 //! Every primitive is safe to hammer from many threads at once: all
 //! mutation is `Relaxed` atomics, nothing blocks, and recording a sample
@@ -50,11 +52,18 @@
 
 mod hist;
 mod rate;
+mod recorder;
 mod stage;
+mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use rate::RateMeter;
+pub use recorder::{FlightRecorder, RecorderEntry, RECORD_WORDS};
 pub use stage::{Stage, StageSet, StageTimer, StagesSnapshot};
+pub use trace::{
+    PinReason, PinnedTrace, SpanContext, SpanRecord, TraceConfig, TraceHandle, TraceId,
+    TraceSnapshot, Tracer,
+};
 
 use laelaps_check::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 

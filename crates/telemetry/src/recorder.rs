@@ -1,0 +1,269 @@
+//! The flight recorder: a fixed-capacity, allocation-free,
+//! overwrite-oldest ring of fixed-width records.
+//!
+//! Every completed trace span lands here (see [`crate::Tracer`]); a
+//! reader takes a best-effort snapshot at export time. The write path is
+//! wait-free — one `fetch_add` to claim a slot plus a per-slot seqlock —
+//! and never blocks or allocates, so it is safe on the serving hot path.
+//! A writer that collides with a slot still mid-write (only possible
+//! when the ring laps itself within one write) *drops its record* and
+//! counts the drop instead of waiting.
+//!
+//! # The per-slot seqlock, without fences
+//!
+//! The `laelaps_check` facade deliberately exports no `fence`, so the
+//! protocol is expressed entirely with per-operation orderings (which is
+//! also what the model checker's vector-clock visibility models):
+//!
+//! * **Writer**: claim the slot by CAS-ing its version from even `v` to
+//!   odd `v + 1` (success ordering `Acquire`, so the payload stores
+//!   below cannot be reordered above the claim); store each payload
+//!   word with `Release`; publish with a `Release` store of `v + 2`.
+//! * **Reader**: load the version with `Acquire` (`v1`; odd ⇒ skip),
+//!   load each payload word with `Acquire`, re-load the version
+//!   (`v2`); accept only if `v1 == v2`.
+//!
+//! Why a torn read cannot be accepted: payload stores are `Release` and
+//! payload loads are `Acquire`, so if any load observes a newer writer's
+//! store, that writer's earlier odd version store happens-before the
+//! load — the subsequent `v2` read then cannot observe a version older
+//! than the odd claim, so `v1 != v2` and the record is rejected. If *no*
+//! load observed a newer store, every word came from the previous
+//! complete write (whose `Release` publish `v1` synchronized with) and
+//! the read is consistent.
+
+use laelaps_check::sync::atomic::{AtomicU64, Ordering};
+
+/// Payload words per record. The tracer packs one completed span into
+/// this many `u64`s (see `crate::trace` for the layout).
+pub const RECORD_WORDS: usize = 5;
+
+/// One decoded recorder entry: the global sequence number the slot held
+/// plus its payload words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecorderEntry {
+    /// Monotonic write sequence (0-based); total order over all writes.
+    pub seq: u64,
+    /// The payload as written.
+    pub words: [u64; RECORD_WORDS],
+}
+
+/// One slot: a seqlock version word, the sequence number of the record
+/// currently held, and the payload.
+struct Slot {
+    /// Even = stable, odd = mid-write. Starts at 0 (never written —
+    /// distinguished by `seq == u64::MAX`).
+    ver: AtomicU64,
+    seq: AtomicU64,
+    words: [AtomicU64; RECORD_WORDS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            ver: AtomicU64::new(0),
+            seq: AtomicU64::new(u64::MAX),
+            words: [const { AtomicU64::new(0) }; RECORD_WORDS],
+        }
+    }
+}
+
+/// A fixed-capacity, overwrite-oldest, lock-free record ring.
+///
+/// Multiple concurrent writers are supported (slots are claimed by a
+/// shared monotonic cursor); snapshots may run concurrently with writers
+/// and only ever observe complete records.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    /// `slots.len() - 1`; slot count is a power of two so `seq & mask`
+    /// indexes consistently.
+    mask: u64,
+    /// Monotonic claim counter: `fetch_add(1)` yields a unique sequence
+    /// number whose low bits pick the slot.
+    cursor: AtomicU64,
+    /// Records dropped because their slot was still mid-write (ring
+    /// lapped itself within one write).
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding the most recent `capacity` records (rounded up
+    /// to a power of two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let slots: Box<[Slot]> = (0..capacity.max(2).next_power_of_two())
+            .map(|_| Slot::new())
+            .collect();
+        let mask = slots.len() as u64 - 1;
+        FlightRecorder {
+            slots,
+            mask,
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot count (the power-of-two the requested capacity rounded to).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever written (including ones since overwritten, and
+    /// the claim of any record later dropped mid-collision).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Records dropped to a slot collision (never blocks instead).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Writes one record, overwriting the oldest. Wait-free: a collision
+    /// with a concurrent writer on the same slot (the ring lapped within
+    /// one write) drops this record and bumps [`FlightRecorder::dropped`].
+    pub fn write(&self, words: [u64; RECORD_WORDS]) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq & self.mask) as usize];
+        let ver = slot.ver.load(Ordering::Relaxed);
+        // Claim: even → odd. An odd version (another writer mid-write) or
+        // a lost CAS (another writer claimed between the load and here)
+        // both mean the ring lapped itself — drop rather than wait.
+        // Success ordering is Acquire so the payload stores below cannot
+        // be reordered above the claim (a reader must never see new
+        // payload under an old even version).
+        if ver & 1 == 1
+            || slot
+                .ver
+                .compare_exchange(ver, ver + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Release stores: a reader's Acquire load that observes any of
+        // these synchronizes with it, making our odd claim visible to
+        // the reader's version re-check (the no-torn-read argument in
+        // the module docs).
+        slot.seq.store(seq, Ordering::Release);
+        for (cell, &word) in slot.words.iter().zip(words.iter()) {
+            cell.store(word, Ordering::Release);
+        }
+        slot.ver.store(ver + 2, Ordering::Release);
+    }
+
+    /// Best-effort snapshot of every stable record, oldest first (by
+    /// sequence number). Allocates on the read side only. Slots mid-write
+    /// are retried once and then skipped; concurrent writers may overwrite
+    /// entries between slot reads, so the result is a consistent *sample*
+    /// of the ring, never a torn record.
+    pub fn snapshot(&self) -> Vec<RecorderEntry> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            for _attempt in 0..2 {
+                let v1 = slot.ver.load(Ordering::Acquire);
+                if v1 == 0 || v1 & 1 == 1 {
+                    continue; // never written, or mid-write
+                }
+                let seq = slot.seq.load(Ordering::Acquire);
+                let mut words = [0u64; RECORD_WORDS];
+                for (word, cell) in words.iter_mut().zip(slot.words.iter()) {
+                    *word = cell.load(Ordering::Acquire);
+                }
+                let v2 = slot.ver.load(Ordering::Acquire);
+                if v1 == v2 {
+                    out.push(RecorderEntry { seq, words });
+                    break;
+                }
+            }
+        }
+        out.sort_unstable_by_key(|entry| entry.seq);
+        out
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_come_back_in_write_order() {
+        let rec = FlightRecorder::new(8);
+        for i in 0..5u64 {
+            rec.write([i, i * 10, 0, 0, 0]);
+        }
+        let entries = rec.snapshot();
+        assert_eq!(entries.len(), 5);
+        for (i, entry) in entries.iter().enumerate() {
+            assert_eq!(entry.seq, i as u64);
+            assert_eq!(entry.words[0], i as u64);
+            assert_eq!(entry.words[1], i as u64 * 10);
+        }
+        assert_eq!(rec.recorded(), 5);
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn wrap_keeps_the_most_recent_capacity_records() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..11u64 {
+            rec.write([i, 0, 0, 0, 0]);
+        }
+        let entries = rec.snapshot();
+        assert_eq!(entries.len(), 4);
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10], "oldest overwritten first");
+        assert_eq!(rec.recorded(), 11);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        assert_eq!(FlightRecorder::new(0).capacity(), 2);
+        assert_eq!(FlightRecorder::new(5).capacity(), 8);
+        assert_eq!(FlightRecorder::new(64).capacity(), 64);
+    }
+
+    #[test]
+    fn empty_recorder_snapshots_empty() {
+        assert!(FlightRecorder::new(16).snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_torn_records() {
+        // Stress (not model) variant of the no-torn-read invariant: each
+        // writer writes records whose five words are all equal, so any
+        // accepted mix of two writers is detectable.
+        let rec = std::sync::Arc::new(FlightRecorder::new(8));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let rec = std::sync::Arc::clone(&rec);
+                scope.spawn(move || {
+                    for i in 0..2000u64 {
+                        let v = t * 1_000_000 + i;
+                        rec.write([v; RECORD_WORDS]);
+                    }
+                });
+            }
+            for _ in 0..200 {
+                for entry in rec.snapshot() {
+                    assert!(
+                        entry.words.iter().all(|&w| w == entry.words[0]),
+                        "torn record: {entry:?}"
+                    );
+                }
+            }
+        });
+        let total = rec.recorded();
+        assert_eq!(total, 8000);
+        assert!(rec.dropped() <= total);
+    }
+}

@@ -1,7 +1,13 @@
-//! Model-checked accounting test for the lock-free histogram: racing
-//! recorders and a concurrent sampler must never corrupt the counters —
-//! a snapshot can be *partial* (Relaxed loads), but it can never invent
-//! samples, and once the recorders are joined it must be exact.
+//! Model-checked tests for the lock-free telemetry primitives.
+//!
+//! * The histogram: racing recorders and a concurrent sampler must never
+//!   corrupt the counters — a snapshot can be *partial* (Relaxed loads),
+//!   but it can never invent samples, and once the recorders are joined
+//!   it must be exact.
+//! * The flight recorder: concurrent writers racing a snapshot reader
+//!   must never let the reader accept a torn record — every accepted
+//!   entry is exactly one writer's payload, and the drop accounting
+//!   stays consistent.
 //!
 //! Compiled (and meaningful) only under `RUSTFLAGS="--cfg laelaps_check"`.
 #![cfg(laelaps_check)]
@@ -9,7 +15,7 @@
 use std::sync::Arc;
 
 use laelaps_check::{thread, Checker};
-use laelaps_telemetry::Histogram;
+use laelaps_telemetry::{FlightRecorder, Histogram, RECORD_WORDS};
 
 #[test]
 fn histogram_accounting_survives_racing_pushers_and_samplers() {
@@ -48,5 +54,58 @@ fn histogram_accounting_survives_racing_pushers_and_samplers() {
             assert_eq!(end.count, 2, "exact count after join: {end:?}");
             assert_eq!(end.sum, 3 + 40_000, "exact sum after join: {end:?}");
             assert_eq!(end.max, 40_000, "exact max after join: {end:?}");
+        });
+}
+
+#[test]
+fn flight_recorder_snapshot_never_observes_a_torn_record() {
+    // Capacity 2 forces both writers onto a colliding slot space, so
+    // the schedules cover claim races (CAS failure → drop) as well as
+    // the reader racing a mid-write slot. Each writer's payload has all
+    // five words equal to a writer-unique value, so a torn mix of two
+    // writers is detectable in any single accepted entry.
+    Checker::new()
+        .dfs_budget(4_000)
+        .random_iters(25)
+        .max_steps(50_000)
+        .check(|| {
+            let rec = Arc::new(FlightRecorder::new(2));
+            let (w1, w2) = (Arc::clone(&rec), Arc::clone(&rec));
+            let t1 = thread::spawn(move || {
+                w1.write([11; RECORD_WORDS]);
+                w1.write([22; RECORD_WORDS]);
+            });
+            let t2 = thread::spawn(move || w2.write([33; RECORD_WORDS]));
+            // Mid-race snapshot: partial is fine, torn is not.
+            for entry in rec.snapshot() {
+                assert!(
+                    entry.words.iter().all(|&w| w == entry.words[0]),
+                    "torn record mid-race: {entry:?}"
+                );
+                assert!(
+                    [11, 22, 33].contains(&entry.words[0]),
+                    "invented payload: {entry:?}"
+                );
+                assert!(entry.seq < 3, "sequence beyond what was claimed: {entry:?}");
+            }
+            t1.join().unwrap();
+            t2.join().unwrap();
+            // Joined: every claim is accounted for, and the surviving
+            // records are still whole with unique sequence numbers.
+            assert_eq!(rec.recorded(), 3, "every write claimed a sequence");
+            let end = rec.snapshot();
+            assert!(
+                end.len() as u64 + rec.dropped() <= 3,
+                "records + drops exceed claims: {end:?}"
+            );
+            let mut seqs: Vec<u64> = end.iter().map(|e| e.seq).collect();
+            seqs.dedup();
+            assert_eq!(seqs.len(), end.len(), "duplicate sequence numbers: {end:?}");
+            for entry in &end {
+                assert!(
+                    entry.words.iter().all(|&w| w == entry.words[0]),
+                    "torn record after join: {entry:?}"
+                );
+            }
         });
 }

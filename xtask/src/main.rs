@@ -53,6 +53,8 @@ const FACADE_FILES: &[&str] = &[
     "crates/telemetry/src/lib.rs",
     "crates/telemetry/src/hist.rs",
     "crates/telemetry/src/rate.rs",
+    "crates/telemetry/src/trace.rs",
+    "crates/telemetry/src/recorder.rs",
     "crates/eval/src/pool.rs",
 ];
 
@@ -404,6 +406,23 @@ fn f(ptr: *const u8) -> u8 {
         // Facade modules may use std in their test tails.
         let src = "#[cfg(test)]\nmod tests {\n    use std::sync::atomic::AtomicU64;\n}\n";
         assert!(rules_hit("crates/serve/src/session.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seeded_std_import_in_a_trace_module_fails() {
+        // The tracer and the flight recorder are facade-migrated too:
+        // their seqlock protocol is exactly what the model checker needs
+        // to see, so a std atomic sneaking in must fail the lint.
+        for file in [
+            "crates/telemetry/src/trace.rs",
+            "crates/telemetry/src/recorder.rs",
+        ] {
+            assert_eq!(
+                rules_hit(file, "use std::sync::atomic::{AtomicU64, Ordering};\n"),
+                vec!["facade-import"],
+                "{file} must be under the facade rule"
+            );
+        }
     }
 
     #[test]
