@@ -1,32 +1,40 @@
 //! Live introspection client for a running [`laelaps_serve::IngestServer`].
 //!
-//! Opens a wire-v3 introspection connection (first message is a
-//! `StatsRequest`/`TraceDumpRequest`, never a `Hello`) and renders what
-//! the server answers — no session is opened, no model is touched, and
-//! the serving hot path is never blocked.
+//! Opens a wire-v3/v4 introspection connection (first message is a
+//! `StatsRequest`/`TraceDumpRequest`/`HealthRequest`, never a `Hello`)
+//! and renders what the server answers — no session is opened, no model
+//! is touched, and the serving hot path is never blocked.
 //!
 //! ```text
 //! cargo run --release -p laelaps-bench --bin laelapsctl -- \
-//!     --addr 127.0.0.1:7071 stats [--json]
+//!     --addr 127.0.0.1:7071 stats [--json | --prom]
 //! cargo run --release -p laelaps-bench --bin laelapsctl -- \
 //!     --addr 127.0.0.1:7071 trace [--limit 4096] [--out trace.json]
+//! cargo run --release -p laelaps-bench --bin laelapsctl -- \
+//!     --addr 127.0.0.1:7071 health [--json]
+//! cargo run --release -p laelaps-bench --bin laelapsctl -- \
+//!     --addr 127.0.0.1:7071 watch [--interval 2] [--count 0]
 //! ```
 //!
 //! `stats` prints the service totals, per-stage latency percentiles
 //! (reconstructed from the wire histograms with the telemetry crate's
 //! own bucket math), and per-shard saturation gauges; `--json` dumps the
-//! same data machine-readably. `trace` fetches the flight recorder's
-//! retained spans and writes them as Chrome trace-event JSON — load the
-//! file in Perfetto (<https://ui.perfetto.dev>) to see each chunk's
-//! wire-decode → ring → drain → publish causal chain per session.
+//! same data machine-readably and `--prom` emits a Prometheus text
+//! scrape (stats + health families). `trace` fetches the flight
+//! recorder's retained spans and writes them as Chrome trace-event JSON
+//! — load the file in Perfetto (<https://ui.perfetto.dev>) to see each
+//! chunk's wire-decode → ring → drain → publish causal chain per
+//! session. `health` renders the SLO engine's verdict, per-rule burn
+//! rates, and recent transitions; `watch` refreshes a top-like
+//! stats + health view in place every `--interval` seconds
+//! (`--count 0` = until interrupted).
 
 use std::net::TcpStream;
 
-use laelaps_bench::chrome;
 use laelaps_bench::json::Json;
-use laelaps_bench::{arg_present, arg_value};
-use laelaps_serve::wire::{read_message, write_message, Message, WireStats};
-use laelaps_serve::Stage;
+use laelaps_bench::{arg_present, arg_value, chrome, prom};
+use laelaps_serve::wire::{read_message, write_message, Message, WireHealth, WireStats};
+use laelaps_serve::{sample_label, HealthVerdict, Stage, SAMPLE_WORDS};
 
 fn fail(reason: &str) -> ! {
     eprintln!("laelapsctl: {reason}");
@@ -43,6 +51,38 @@ fn exchange(addr: &str, request: &Message) -> Message {
         .unwrap_or_else(|| fail("server closed without answering"));
     let _ = write_message(&mut stream, &Message::Close);
     reply
+}
+
+/// Fetches the stats *and* health snapshots on one introspection
+/// connection (two requests back to back — the introspection exchange
+/// keeps answering until `Close`).
+fn fetch_stats_and_health(addr: &str) -> (Box<WireStats>, Box<WireHealth>) {
+    let mut stream = TcpStream::connect(addr)
+        .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    let mut ask = |request: &Message| -> Message {
+        write_message(&mut stream, request)
+            .unwrap_or_else(|e| fail(&format!("request failed: {e}")));
+        read_message(&mut stream)
+            .unwrap_or_else(|e| fail(&format!("malformed reply: {e}")))
+            .unwrap_or_else(|| fail("server closed without answering"))
+    };
+    let stats = match ask(&Message::StatsRequest) {
+        Message::StatsSnapshot { stats } => stats,
+        other => fail(&format!("expected StatsSnapshot, got {other:?}")),
+    };
+    let health = match ask(&Message::HealthRequest) {
+        Message::HealthSnapshot { health } => health,
+        other => fail(&format!("expected HealthSnapshot, got {other:?}")),
+    };
+    let _ = write_message(&mut stream, &Message::Close);
+    (stats, health)
+}
+
+fn verdict_label(raw: u8) -> String {
+    match HealthVerdict::from_raw(raw) {
+        Some(v) => v.name().to_string(),
+        None => format!("verdict_{raw}"),
+    }
 }
 
 fn stats_json(stats: &WireStats) -> Json {
@@ -87,6 +127,8 @@ fn stats_json(stats: &WireStats) -> Json {
                         Json::obj([
                             ("stage", Json::Str(stage_label(row.stage))),
                             ("count", Json::num_u64(hist.count)),
+                            ("sum_us", Json::num_u64(hist.sum)),
+                            ("mean_us", Json::Num((hist.mean() * 100.0).round() / 100.0)),
                             ("p50_us", Json::num_u64(hist.p50())),
                             ("p99_us", Json::num_u64(hist.p99())),
                             ("p999_us", Json::num_u64(hist.p999())),
@@ -123,6 +165,150 @@ fn stage_label(raw: u8) -> String {
     match Stage::ALL.get(raw as usize) {
         Some(stage) => stage.name().to_string(),
         None => format!("stage_{raw}"),
+    }
+}
+
+fn health_json(health: &WireHealth) -> Json {
+    Json::obj([
+        ("enabled", Json::Bool(health.enabled)),
+        ("verdict", Json::Str(verdict_label(health.verdict))),
+        ("ticks", Json::num_u64(health.ticks)),
+        (
+            "rules",
+            Json::Arr(
+                health
+                    .rules
+                    .iter()
+                    .map(|rule| {
+                        Json::obj([
+                            ("rule", Json::Str(rule.name.clone())),
+                            ("verdict", Json::Str(verdict_label(rule.verdict))),
+                            ("fast_burn", Json::Num(rule.fast_burn)),
+                            ("slow_burn", Json::Num(rule.slow_burn)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "transitions",
+            Json::Arr(
+                health
+                    .transitions
+                    .iter()
+                    .map(|t| {
+                        Json::obj([
+                            ("tick", Json::num_u64(t.tick)),
+                            ("rule", Json::Str(t.rule.clone())),
+                            ("from", Json::Str(verdict_label(t.from))),
+                            ("to", Json::Str(verdict_label(t.to))),
+                            ("fast_burn", Json::Num(t.fast_burn)),
+                            ("slow_burn", Json::Num(t.slow_burn)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "series",
+            Json::Arr(
+                health
+                    .series
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("seq", Json::num_u64(s.seq)),
+                            (
+                                "words",
+                                Json::Arr(s.words.iter().map(|&w| Json::num_u64(w)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn print_health(health: &WireHealth) {
+    if !health.enabled {
+        println!("health          off (enable ServeConfig::health on the server)");
+        return;
+    }
+    println!(
+        "health          {} after {} evaluation ticks",
+        verdict_label(health.verdict),
+        health.ticks
+    );
+    if !health.rules.is_empty() {
+        println!("rule                         verdict     fast     slow (burn)");
+        for rule in &health.rules {
+            println!(
+                "{:<28} {:<8} {:>8.3} {:>8.3}",
+                rule.name,
+                verdict_label(rule.verdict),
+                rule.fast_burn,
+                rule.slow_burn
+            );
+        }
+    }
+    for t in &health.transitions {
+        println!(
+            "tick {:<6} {} {} -> {} (fast {:.3}, slow {:.3})",
+            t.tick,
+            t.rule,
+            verdict_label(t.from),
+            verdict_label(t.to),
+            t.fast_burn,
+            t.slow_burn
+        );
+    }
+}
+
+/// One-character sparkline over a series column, scaled to the column's
+/// own maximum.
+fn sparkline(series: &[Vec<u64>], word: usize) -> String {
+    const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let values: Vec<u64> = series
+        .iter()
+        .map(|row| row.get(word).copied().unwrap_or(0))
+        .collect();
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            let scaled = (v * (RAMP.len() as u64 - 1) + max / 2)
+                .checked_div(max)
+                .unwrap_or(0);
+            RAMP[scaled as usize]
+        })
+        .collect()
+}
+
+/// The refreshing top-like view: service throughput, verdicts and burn
+/// rates, shard saturation, and sparklines over the health time-series.
+fn print_watch(stats: &WireStats, health: &WireHealth) {
+    print_stats(stats);
+    println!();
+    print_health(health);
+    if health.enabled && !health.series.is_empty() {
+        let rows: Vec<Vec<u64>> = health.series.iter().map(|s| s.words.clone()).collect();
+        println!();
+        println!("last {} evaluation ticks:", rows.len());
+        for word in 0..SAMPLE_WORDS {
+            let values: Vec<u64> = rows
+                .iter()
+                .map(|r| r.get(word).copied().unwrap_or(0))
+                .collect();
+            let max = values.iter().copied().max().unwrap_or(0);
+            // Only show columns that moved — ten stage-p99 columns of
+            // flat zero are noise, not signal.
+            if max == 0 {
+                continue;
+            }
+            let name = sample_label(word).unwrap_or_else(|| format!("word_{word}"));
+            println!("{:<24} {} (max {max})", name, sparkline(&rows, word));
+        }
     }
 }
 
@@ -190,6 +376,11 @@ fn main() {
 
     match command {
         "stats" => {
+            if arg_present(&args, "--prom") {
+                let (stats, health) = fetch_stats_and_health(&addr);
+                print!("{}", prom::render(&stats, &health));
+                return;
+            }
             let reply = exchange(&addr, &Message::StatsRequest);
             let Message::StatsSnapshot { stats } = reply else {
                 fail(&format!("expected StatsSnapshot, got {reply:?}"));
@@ -198,6 +389,48 @@ fn main() {
                 print!("{}", stats_json(&stats).render_pretty());
             } else {
                 print_stats(&stats);
+            }
+        }
+        "health" => {
+            let reply = exchange(&addr, &Message::HealthRequest);
+            let Message::HealthSnapshot { health } = reply else {
+                fail(&format!("expected HealthSnapshot, got {reply:?}"));
+            };
+            if arg_present(&args, "--json") {
+                print!("{}", health_json(&health).render_pretty());
+            } else {
+                print_health(&health);
+            }
+        }
+        "watch" => {
+            let interval = arg_value(&args, "--interval")
+                .map(|v| {
+                    v.parse::<f64>()
+                        .unwrap_or_else(|_| fail("--interval takes seconds"))
+                })
+                .unwrap_or(2.0)
+                .max(0.1);
+            let count = arg_value(&args, "--count")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .unwrap_or_else(|_| fail("--count takes a number"))
+                })
+                .unwrap_or(0);
+            let mut shown = 0usize;
+            loop {
+                let (stats, health) = fetch_stats_and_health(&addr);
+                // Clear + home, like top: the view repaints in place.
+                print!("\x1b[2J\x1b[H");
+                println!("laelapsctl watch — {addr} (refresh {interval}s, ctrl-c to stop)");
+                println!();
+                print_watch(&stats, &health);
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                shown += 1;
+                if count != 0 && shown >= count {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_secs_f64(interval));
             }
         }
         "trace" => {
@@ -227,6 +460,8 @@ fn main() {
                 None => print!("{}", doc.render_pretty()),
             }
         }
-        other => fail(&format!("unknown command {other:?}; use stats or trace")),
+        other => fail(&format!(
+            "unknown command {other:?}; use stats, trace, health, or watch"
+        )),
     }
 }

@@ -14,6 +14,7 @@
 //!     [--sessions 256] [--models 4] [--dim 1000] [--seconds 10]
 //!     [--arrival closed|open] [--rate 4] [--mode in-process|tcp]
 //!     [--per-frame] [--overhead-check] [--repeats 3]
+//!     [--health] [--prom-out health.prom]
 //!     [--trace-out trace.json] [--out BENCH_serve.json]
 //! ```
 //!
@@ -26,31 +27,39 @@
 //! flight recorder's retained spans as Chrome trace-event JSON —
 //! loadable in Perfetto — alongside the usual artifact.
 //!
+//! `--health` turns on the SLO burn-rate engine
+//! ([`laelaps_serve::HealthConfig::enabled`]) for the main run; the
+//! final health snapshot lands in the artifact's `"health"` object
+//! (always present — `"enabled": false` when the flag is off).
+//! `--prom-out PATH` additionally writes the run's closing stats +
+//! health view as a Prometheus text-format scrape ([`prom`]).
+//!
 //! `--overhead-check` additionally re-runs the closed-loop batched
-//! workload in three interleaved arms — telemetry off, telemetry on,
-//! telemetry + tracing — one run per arm per `--repeats` round, and
-//! records the median throughput of each arm. The harness asserts
-//! telemetry stays within 2% of off, and tracing within a further 3%
-//! of telemetry-only.
+//! workload in four interleaved arms — telemetry off, telemetry on,
+//! telemetry + tracing, telemetry + health — one run per arm per
+//! `--repeats` round, and records the median throughput of each arm.
+//! The harness asserts telemetry stays within 2% of off, and tracing
+//! and health each within a further 3% of telemetry-only.
 //!
 //! The emitted `BENCH_serve.json` keeps the `laelaps-bench/serve-load/v1`
-//! schema; the per-shard `"shards"` gauges and the `"trace"` accounting
-//! object are additive fields.
+//! schema; the per-shard `"shards"` gauges and the `"trace"` and
+//! `"health"` accounting objects are additive fields.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use laelaps_bench::json::Json;
-use laelaps_bench::{arg_present, arg_value};
+use laelaps_bench::{arg_present, arg_value, prom};
 use laelaps_core::PatientModel;
 use laelaps_eval::parallel::{default_threads, parallel_map};
 use laelaps_eval::runner::{train_laelaps, PreparedPatient};
 use laelaps_ieeg::synth::demo_patient;
 use laelaps_ieeg::Recording;
 use laelaps_serve::net::{IngestClient, IngestServer};
+use laelaps_serve::wire::{WireHealth, WireStats};
 use laelaps_serve::{
-    BatchConfig, BlockedBackend, DetectionService, ModelRegistry, PushError, ServeConfig,
-    ServiceStats, TelemetryConfig, TraceConfig, TraceSnapshot,
+    BatchConfig, BlockedBackend, DetectionService, HealthConfig, HealthSnapshot, ModelRegistry,
+    PushError, ServeConfig, ServiceStats, TelemetryConfig, TraceConfig, TraceSnapshot,
 };
 
 const FS: usize = 512;
@@ -149,6 +158,9 @@ struct LoadSpec {
     /// Per-chunk causal tracing (the flight recorder) on top of the
     /// stage histograms.
     trace: bool,
+    /// SLO burn-rate evaluation (the health engine) with its default
+    /// rule set.
+    health: bool,
     threads: usize,
 }
 
@@ -156,6 +168,7 @@ struct LoadReport {
     wall: Duration,
     stats: ServiceStats,
     trace: TraceSnapshot,
+    health: HealthSnapshot,
 }
 
 impl LoadReport {
@@ -177,6 +190,11 @@ fn serve_config(spec: &LoadSpec) -> ServeConfig {
             TraceConfig::sampled()
         } else {
             TraceConfig::default()
+        },
+        health: if spec.health {
+            HealthConfig::enabled()
+        } else {
+            HealthConfig::default()
         },
         ..ServeConfig::default()
     }
@@ -247,6 +265,7 @@ fn run_in_process(spec: &LoadSpec, workload: &Workload) -> LoadReport {
         wall,
         stats: service.stats(),
         trace: service.trace_snapshot(),
+        health: service.health_snapshot(),
     }
 }
 
@@ -297,6 +316,7 @@ fn run_tcp(spec: &LoadSpec, workload: &Workload) -> LoadReport {
         wall,
         stats: service.stats(),
         trace: service.trace_snapshot(),
+        health: service.health_snapshot(),
     }
 }
 
@@ -373,6 +393,46 @@ fn trace_obj(stats: &ServiceStats) -> Json {
     ])
 }
 
+fn round2(v: f64) -> Json {
+    Json::Num((v * 100.0).round() / 100.0)
+}
+
+/// The run's closing health view. Always emitted — a disabled engine
+/// yields `"enabled": false` with an empty rule list — so downstream
+/// tooling keys on content, not key presence.
+fn health_obj(health: &HealthSnapshot) -> Json {
+    let worst_fast = health.rules.iter().map(|r| r.fast_burn).fold(0.0, f64::max);
+    let worst_slow = health.rules.iter().map(|r| r.slow_burn).fold(0.0, f64::max);
+    Json::obj([
+        ("enabled", Json::Bool(health.enabled)),
+        ("verdict", Json::Str(health.verdict.name().to_string())),
+        ("ticks", Json::num_u64(health.ticks)),
+        (
+            "rules",
+            Json::Arr(
+                health
+                    .rules
+                    .iter()
+                    .map(|rule| {
+                        Json::obj([
+                            ("rule", Json::Str(rule.name.clone())),
+                            ("verdict", Json::Str(rule.verdict.name().to_string())),
+                            ("fast_burn", round2(rule.fast_burn)),
+                            ("slow_burn", round2(rule.slow_burn)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("worst_fast_burn", round2(worst_fast)),
+        ("worst_slow_burn", round2(worst_slow)),
+        (
+            "transitions",
+            Json::num_u64(health.transitions.len() as u64),
+        ),
+    ])
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sessions = usize_arg(&args, "--sessions", 256).max(1);
@@ -386,7 +446,9 @@ fn main() {
     let mode = arg_value(&args, "--mode").unwrap_or_else(|| "in-process".to_string());
     let batched = !arg_present(&args, "--per-frame");
     let overhead_check = arg_present(&args, "--overhead-check");
+    let health = arg_present(&args, "--health");
     let trace_out = arg_value(&args, "--trace-out");
+    let prom_out = arg_value(&args, "--prom-out");
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
     let tcp = match mode.as_str() {
         "in-process" => false,
@@ -414,6 +476,7 @@ fn main() {
         batched,
         telemetry: true,
         trace: trace_out.is_some(),
+        health,
         threads,
     };
     eprintln!("loadgen: driving the cohort ...");
@@ -445,15 +508,17 @@ fn main() {
             batched: true,
             telemetry: true,
             trace: false,
+            health: false,
             ..spec
         };
         eprintln!("loadgen: overhead check, {repeats} interleaved repeats per arm ...");
-        // Three arms, one run each per round so thermal / scheduler drift
+        // Four arms, one run each per round so thermal / scheduler drift
         // hits every arm equally; the median per arm keeps one slow
         // outlier run from deciding the comparison.
         let mut off_runs = Vec::with_capacity(repeats);
         let mut on_runs = Vec::with_capacity(repeats);
         let mut trace_runs = Vec::with_capacity(repeats);
+        let mut health_runs = Vec::with_capacity(repeats);
         for _ in 0..repeats {
             off_runs.push(
                 run(
@@ -478,16 +543,30 @@ fn main() {
                 )
                 .frames_per_sec(),
             );
+            health_runs.push(
+                run(
+                    &LoadSpec {
+                        health: true,
+                        ..base
+                    },
+                    &workload,
+                    false,
+                )
+                .frames_per_sec(),
+            );
         }
         let off = median(&mut off_runs);
         let on = median(&mut on_runs);
         let traced = median(&mut trace_runs);
+        let healthy = median(&mut health_runs);
         let telemetry_pct = (off - on) / off * 100.0;
         let trace_pct = (on - traced) / on * 100.0;
+        let health_pct = (on - healthy) / on * 100.0;
         eprintln!(
             "loadgen: median frames/s — telemetry off {off:.0}, \
              on {on:.0} ({telemetry_pct:+.2}%), \
-             + tracing {traced:.0} ({trace_pct:+.2}% over telemetry)"
+             + tracing {traced:.0} ({trace_pct:+.2}% over telemetry), \
+             + health {healthy:.0} ({health_pct:+.2}% over telemetry)"
         );
         assert!(
             telemetry_pct <= 2.0,
@@ -497,20 +576,21 @@ fn main() {
             trace_pct <= 3.0,
             "tracing overhead {trace_pct:.2}% exceeds the 3% budget"
         );
+        assert!(
+            health_pct <= 3.0,
+            "health overhead {health_pct:.2}% exceeds the 3% budget"
+        );
         Json::obj([
             ("enabled_frames_per_sec", Json::Num(on.round())),
             ("disabled_frames_per_sec", Json::Num(off.round())),
             ("trace_frames_per_sec", Json::Num(traced.round())),
-            (
-                "overhead_pct",
-                Json::Num((telemetry_pct * 100.0).round() / 100.0),
-            ),
-            (
-                "trace_overhead_pct",
-                Json::Num((trace_pct * 100.0).round() / 100.0),
-            ),
+            ("health_frames_per_sec", Json::Num(healthy.round())),
+            ("overhead_pct", round2(telemetry_pct)),
+            ("trace_overhead_pct", round2(trace_pct)),
+            ("health_overhead_pct", round2(health_pct)),
             ("within_2pct", Json::Bool(true)),
             ("trace_within_3pct", Json::Bool(true)),
+            ("health_within_3pct", Json::Bool(true)),
         ])
     } else {
         Json::Null
@@ -560,10 +640,20 @@ fn main() {
         ("stages", stage_rows(&report.stats)),
         ("shards", shard_rows(&report.stats)),
         ("trace", trace_obj(&report.stats)),
+        ("health", health_obj(&report.health)),
         ("overhead_check", overhead),
     ]);
     std::fs::write(&out_path, doc.render_pretty()).expect("artifact writes");
     eprintln!("loadgen: wrote {out_path}");
+
+    if let Some(path) = prom_out {
+        let scrape = prom::render(
+            &WireStats::from_stats(&report.stats),
+            &WireHealth::from_snapshot(&report.health),
+        );
+        std::fs::write(&path, scrape).expect("prom artifact writes");
+        eprintln!("loadgen: wrote {path}");
+    }
 
     if let Some(path) = trace_out {
         let spans = laelaps_bench::chrome::snapshot_spans(&report.trace);

@@ -17,6 +17,7 @@
 
 pub mod chrome;
 pub mod json;
+pub mod prom;
 
 /// Parses a `--flag value` style argument list (tiny helper shared by the
 /// table binaries).

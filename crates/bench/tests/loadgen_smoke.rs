@@ -69,6 +69,48 @@ fn check_schema(doc: &Json) {
             "ordered quantiles"
         );
     }
+
+    // The health object is always present — enabled or not — so the
+    // schema stays one shape regardless of the `--health` flag.
+    let health = doc.get("health").expect("health object present");
+    let enabled = health
+        .get("enabled")
+        .and_then(Json::as_bool)
+        .expect("health.enabled is a bool");
+    let verdict = health
+        .get("verdict")
+        .and_then(Json::as_str)
+        .expect("health.verdict is a string");
+    assert!(
+        ["ok", "degraded", "critical"].contains(&verdict),
+        "recognised verdict, got {verdict}"
+    );
+    for key in ["ticks", "worst_fast_burn", "worst_slow_burn", "transitions"] {
+        let value = health
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("health.{key} is a number"));
+        assert!(value >= 0.0, "health.{key} is non-negative");
+    }
+    let rules = health
+        .get("rules")
+        .and_then(Json::as_array)
+        .expect("health.rules is an array");
+    assert_eq!(
+        enabled,
+        !rules.is_empty(),
+        "rules exactly when the engine ran"
+    );
+    for rule in rules {
+        assert!(rule.get("rule").and_then(Json::as_str).is_some());
+        assert!(rule.get("verdict").and_then(Json::as_str).is_some());
+        for key in ["fast_burn", "slow_burn"] {
+            assert!(
+                rule.get(key).and_then(Json::as_f64).is_some(),
+                "rule row has {key}"
+            );
+        }
+    }
 }
 
 #[test]
@@ -109,6 +151,67 @@ fn loadgen_smoke_emits_valid_artifact() {
         .map(|row| row.get("count").unwrap().as_f64().unwrap())
         .sum();
     assert!(timed > 0.0, "at least one stage histogram populated");
+
+    // Default run leaves the health engine off, and the artifact says so.
+    let health = doc.get("health").unwrap();
+    assert_eq!(health.get("enabled").unwrap().as_bool(), Some(false));
+}
+
+/// `--health --prom-out`: the same smoke workload with the SLO engine
+/// on must report a real evaluation (rules, ticks) in the artifact and
+/// write a Prometheus scrape carrying the CI gate's patterns. Open-loop
+/// arrival stretches the run past the evaluator's 250 ms period —
+/// closed-loop smoke finishes in milliseconds, before the first tick.
+#[test]
+fn loadgen_smoke_health_run_emits_health_and_prom() {
+    let out = std::env::temp_dir().join(format!(
+        "laelaps-loadgen-smoke-health-{}.json",
+        std::process::id()
+    ));
+    let prom = std::env::temp_dir().join(format!(
+        "laelaps-loadgen-smoke-health-{}.prom",
+        std::process::id()
+    ));
+    let status = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args([
+            "--sessions",
+            "16",
+            "--models",
+            "2",
+            "--seconds",
+            "2",
+            "--arrival",
+            "open",
+            "--rate",
+            "2",
+            "--health",
+            "--out",
+        ])
+        .arg(&out)
+        .arg("--prom-out")
+        .arg(&prom)
+        .status()
+        .expect("loadgen runs");
+    assert!(status.success(), "loadgen exits cleanly");
+
+    let text = std::fs::read_to_string(&out).expect("artifact written");
+    let _ = std::fs::remove_file(&out);
+    let doc = Json::parse(&text).expect("artifact is valid JSON");
+    check_schema(&doc);
+    let health = doc.get("health").unwrap();
+    assert_eq!(health.get("enabled").unwrap().as_bool(), Some(true));
+    assert!(
+        health.get("ticks").unwrap().as_f64().unwrap() > 0.0,
+        "the evaluator ticked during the run"
+    );
+    assert!(!health.get("rules").unwrap().as_array().unwrap().is_empty());
+
+    let scrape = std::fs::read_to_string(&prom).expect("prom scrape written");
+    let _ = std::fs::remove_file(&prom);
+    assert!(scrape.contains("laelaps_health_enabled 1\n"));
+    assert!(scrape.contains("laelaps_health_verdict "));
+    assert!(scrape.contains("laelaps_slo_burn_rate{rule="));
+    assert!(scrape.contains("laelaps_frames_total{outcome=\"processed\"}"));
 }
 
 /// The committed artifact at the repo root stays valid against the same

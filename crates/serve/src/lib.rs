@@ -6,7 +6,7 @@
 //! this crate turns the single-patient [`laelaps_core::Detector`] into a
 //! service that runs whole patient fleets concurrently.
 //!
-//! Five pillars:
+//! Six pillars:
 //!
 //! * **Model persistence** ([`save_model`] / [`load_model`] /
 //!   [`ModelRegistry`]) — a versioned binary format (readable JSON header +
@@ -94,6 +94,9 @@
 //!
 //!   feedback: adapt_retrain (absorb + republish) →
 //!             adapt_propagate (feedback dequeue → applied swap)
+//!
+//!   health:   evaluator tick (off the hot path; workers only bump a
+//!             heartbeat) → windowed deltas → SLO burn rates → verdict
 //!   ```
 //!
 //!   One [`TelemetrySnapshot`] (on every [`ServiceStats`]) carries the
@@ -123,6 +126,27 @@
 //!   `laelapsctl` binary in `laelaps-bench` renders, and what
 //!   `loadgen --trace-out` exports as Chrome trace-event JSON for
 //!   Perfetto. Tracing defaults off and then performs zero clock reads.
+//! * **Health & SLO** ([`ServeConfig::health`] / [`HealthSnapshot`]) —
+//!   a continuous judgment layer on top of the raw telemetry: a
+//!   dedicated evaluator thread samples the counters, gauges, and stage
+//!   histograms once per interval, stores the windowed deltas in an
+//!   allocation-free [`laelaps_telemetry::SeriesRing`], and evaluates
+//!   declarative [`SloRule`]s (stage p99 ceilings, drop/refusal/discard
+//!   rate ceilings, ring saturation, feedback-propagation staleness)
+//!   over **fast and slow burn windows** with hysteresis, so a brief
+//!   spike degrades quickly but recovery requires sustained clean
+//!   evaluations — no verdict flapping under oscillating load. A
+//!   per-shard heartbeat **watchdog** (workers bump an atomic on every
+//!   productive drain pass) flags a stalled or deadlocked shard as
+//!   `Critical` within one evaluation allowance, even though the stall
+//!   itself produces no samples. Verdict transitions emit
+//!   [`ServiceEvent::Health`] on the bus and accumulate in a bounded
+//!   journal; read the whole surface in process via
+//!   [`DetectionService::health_snapshot`], over the wire via
+//!   `HealthRequest` (wire v4 — what `laelapsctl health` / `watch`
+//!   render and `laelapsctl stats --prom` exposes as Prometheus text).
+//!   Health defaults **off**: no evaluator thread, no heartbeat bumps,
+//!   zero extra hot-path clock reads.
 //!
 //! The lock-free structures in this crate ([`ring`], the swap gate in
 //! [`swapgate`], the progress/waker protocols) are catalogued — with
@@ -146,6 +170,7 @@
 pub mod adapt;
 pub mod batch;
 pub mod error;
+pub mod health;
 pub mod net;
 pub mod persist;
 pub mod ring;
@@ -158,6 +183,10 @@ pub mod wire;
 pub use adapt::{AdaptStats, AdaptationEngine, FeedbackSegment};
 pub use batch::BatchConfig;
 pub use error::{Result, ServeError};
+pub use health::{
+    sample_label, HealthConfig, HealthSnapshot, HealthTransition, HealthVerdict, RuleEval, SloRule,
+    SAMPLE_WORDS,
+};
 pub use net::{IngestClient, IngestServer};
 pub use persist::{
     load_model, load_model_from, save_model, save_model_to, ModelRegistry, RegistryConfig,
@@ -175,8 +204,8 @@ pub use stats::{
 // `laelaps-telemetry` import. The trace types ride along: they configure
 // [`ServeConfig::trace`] and decode [`DetectionService::trace_snapshot`].
 pub use laelaps_telemetry::{
-    HistogramSnapshot, PinReason, PinnedTrace, SpanContext, SpanRecord, Stage, StagesSnapshot,
-    TelemetryConfig, TraceConfig, TraceSnapshot,
+    HistogramSnapshot, PinReason, PinnedTrace, SeriesSample, SpanContext, SpanRecord, Stage,
+    StagesSnapshot, TelemetryConfig, TraceConfig, TraceSnapshot,
 };
 
 // The pluggable classification engines behind [`BatchConfig`],

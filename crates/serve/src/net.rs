@@ -54,8 +54,8 @@ use crate::persist::ModelRegistry;
 use crate::service::DetectionService;
 use crate::session::{EventTap, PushError, SessionHandle, SessionOutput};
 use crate::wire::{
-    event_message, read_message, read_message_spanned, trace_dump_message, write_message, Message,
-    WireStats, MAX_PAYLOAD,
+    event_message, health_message, read_message, read_message_spanned, trace_dump_message,
+    write_message, Message, WireStats, MAX_PAYLOAD,
 };
 
 /// How often a blocked socket read wakes to check for server shutdown.
@@ -317,7 +317,9 @@ fn serve_connection(
     // model layers.
     let first = read_message_spanned(&mut reader, Some(stages));
     if let Ok(Some((
-        request @ (Message::StatsRequest | Message::TraceDumpRequest { .. }),
+        request @ (Message::StatsRequest
+        | Message::TraceDumpRequest { .. }
+        | Message::HealthRequest),
         _decode_us,
     ))) = first
     {
@@ -428,7 +430,8 @@ fn open_from_hello(
 }
 
 /// Answers a read-only introspection exchange: the connection's first
-/// message was `StatsRequest`/`TraceDumpRequest`, and every subsequent
+/// message was `StatsRequest`/`TraceDumpRequest`/`HealthRequest`, and
+/// every subsequent
 /// message must be another request (or `Close`/EOF to end it). Stats
 /// come from the engine when one is attached (registry + adaptation
 /// counters included) and from the service + registry otherwise — the
@@ -456,16 +459,21 @@ fn serve_introspection(
             Message::TraceDumpRequest { limit } => {
                 trace_dump_message(&service.trace_snapshot(), limit)
             }
+            Message::HealthRequest => health_message(&service.health_snapshot()),
             _ => unreachable!("serve_introspection dispatches only on requests"),
         };
         send(writer, &reply)?;
         request = match read_message(reader)? {
             None | Some(Message::Close) => return Ok(()),
-            Some(next @ (Message::StatsRequest | Message::TraceDumpRequest { .. })) => next,
+            Some(
+                next @ (Message::StatsRequest
+                | Message::TraceDumpRequest { .. }
+                | Message::HealthRequest),
+            ) => next,
             Some(other) => {
                 let e = ServeError::Protocol {
                     reason: format!(
-                        "introspection connections accept only stats/trace \
+                        "introspection connections accept only stats/trace/health \
                          requests, got {other:?}"
                     ),
                 };

@@ -4,8 +4,11 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
-use laelaps_check::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Weak;
+
+use laelaps_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use laelaps_check::sync::{Arc, Condvar, Mutex};
+use laelaps_check::thread;
 
 use laelaps_core::{Detector, DetectorEvent, PatientModel};
 use laelaps_eval::parallel::{default_threads, ShardedPool};
@@ -13,6 +16,7 @@ use laelaps_telemetry::{Stage, TelemetryConfig, TraceConfig, TraceHandle, TraceS
 
 use crate::batch::{BatchConfig, BatchRunner};
 use crate::error::Result;
+use crate::health::{HealthConfig, HealthInput, HealthSnapshot, HealthState, HealthTransition};
 use crate::persist::ModelRegistry;
 use crate::ring;
 use crate::session::{SessionCore, SessionHandle, SessionId, WorkerState};
@@ -57,6 +61,11 @@ pub enum ServiceEvent {
         /// model, every later one by the new model.
         at_frame: u64,
     },
+    /// The health evaluator recorded a verdict transition: a rule (or
+    /// the folded `"overall"` verdict) moved between `Ok`, `Degraded`,
+    /// and `Critical`. Only emitted when [`ServeConfig::health`] is
+    /// enabled.
+    Health(HealthTransition),
 }
 
 /// Tuning knobs for a [`DetectionService`].
@@ -90,6 +99,16 @@ pub struct ServeConfig {
     /// slow stages, model swaps) for export via
     /// [`DetectionService::trace_snapshot`] or the wire `TraceDump`.
     pub trace: TraceConfig,
+    /// Continuous health evaluation (default **off**: no evaluator
+    /// thread, no heartbeat bumps, zero extra clock reads). When
+    /// enabled, a dedicated thread samples the telemetry every
+    /// [`HealthConfig::interval`], evaluates the configured
+    /// [`crate::SloRule`]s over fast and slow burn windows, watches
+    /// per-shard worker heartbeats for stalls, and emits
+    /// [`ServiceEvent::Health`] transitions; query the result with
+    /// [`DetectionService::health_snapshot`] or the wire
+    /// `HealthRequest`.
+    pub health: HealthConfig,
 }
 
 impl Default for ServeConfig {
@@ -100,6 +119,7 @@ impl Default for ServeConfig {
             batch: None,
             telemetry: TelemetryConfig::default(),
             trace: TraceConfig::default(),
+            health: HealthConfig::default(),
         }
     }
 }
@@ -178,12 +198,25 @@ struct ServiceInner {
     batch: Option<BatchRunner>,
     /// Stage histograms + frame-rate meter, shared with every session.
     telemetry: Arc<ServiceTelemetry>,
+    /// Health evaluator state (heartbeats, series, rule verdicts);
+    /// `None` when [`ServeConfig::health`] is off.
+    health: Option<Arc<HealthState>>,
+    /// Test-only wedge flags, one per shard: a wedged shard's worker
+    /// skips its drain pass entirely (no work, no heartbeat), simulating
+    /// a stalled or deadlocked worker for the health watchdog tests. One
+    /// `Relaxed` load per drain pass whether health is on or not.
+    wedged: Box<[AtomicBool]>,
 }
 
 impl ServiceInner {
     /// One pass over a shard: drain every session, retire finished ones.
     /// Returns `true` if any session had work.
     fn drain_shard(&self, shard: usize) -> bool {
+        if self.wedged[shard].load(Ordering::Relaxed) {
+            // Wedged by the test hook: pretend the worker is stuck —
+            // no drain, no progress bump, no heartbeat.
+            return false;
+        }
         let sessions: Vec<Arc<SessionCore>> = {
             let guard = self.shards[shard].lock().expect("shard lock poisoned");
             guard.clone()
@@ -212,6 +245,12 @@ impl ServiceInner {
         if worked || any_done {
             // Only this shard's waiters wake: progress is per shard.
             self.progress[shard].bump();
+            // A productive pass is also the liveness heartbeat the
+            // health watchdog watches; one Relaxed fetch_add when
+            // health is on, a skipped Option when off.
+            if let Some(health) = &self.health {
+                health.bump_heartbeat(shard);
+            }
         }
         worked
     }
@@ -299,6 +338,79 @@ impl ServiceInner {
                 .cloned()
         })
     }
+
+    /// Saturation gauges, per shard: ring depths are racy-but-clamped
+    /// reads of each session's ring; in-flight frames derive from the
+    /// monotonic counters (saturating — the counters are Relaxed and
+    /// may be mid-update).
+    fn shard_gauges(&self) -> Vec<ShardGauges> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, sessions)| {
+                let sessions = sessions.lock().expect("shard lock poisoned");
+                let mut gauges = ShardGauges {
+                    shard,
+                    sessions: sessions.len(),
+                    ..Default::default()
+                };
+                for core in sessions.iter() {
+                    gauges.ring_depth_chunks += core.ring_depth.get();
+                    let s = core.counters.snapshot();
+                    gauges.in_flight_frames += s
+                        .frames_in
+                        .saturating_sub(s.frames_processed)
+                        .saturating_sub(s.frames_discarded);
+                }
+                gauges
+            })
+            .collect()
+    }
+
+    /// One health-evaluation observation: cumulative frame counters
+    /// (live sessions + everything retired), cumulative stage
+    /// histograms, per-shard gauges, and the heartbeat counters.
+    fn health_input(&self, health: &HealthState) -> HealthInput {
+        let retired = *self.retired.lock().expect("retired poisoned");
+        let mut frames = [
+            retired.totals.frames_in,
+            retired.totals.frames_processed,
+            retired.totals.frames_dropped,
+            retired.totals.frames_refused,
+            retired.totals.frames_discarded,
+        ];
+        for core in self.all_sessions() {
+            let s = core.counters.snapshot();
+            frames[0] += s.frames_in;
+            frames[1] += s.frames_processed;
+            frames[2] += s.frames_dropped;
+            frames[3] += s.frames_refused;
+            frames[4] += s.frames_discarded;
+        }
+        HealthInput {
+            frames,
+            stages: self.telemetry.stages.snapshot(),
+            shards: self.shard_gauges(),
+            heartbeats: health.heartbeat_counts(),
+        }
+    }
+}
+
+/// The health evaluator loop: tick once per interval until shutdown (or
+/// until the service itself is gone — the `Weak` keeps the evaluator
+/// from holding the service alive).
+fn run_health_evaluator(health: Arc<HealthState>, inner: Weak<ServiceInner>) {
+    loop {
+        if health.wait_interval() {
+            return;
+        }
+        let Some(inner) = inner.upgrade() else { return };
+        let transitions = health.tick(inner.health_input(&health));
+        if !transitions.is_empty() {
+            let mut bus = inner.bus.lock().expect("service bus poisoned");
+            bus.extend(transitions.into_iter().map(ServiceEvent::Health));
+        }
+    }
 }
 
 /// A fleet of concurrent per-patient streaming detectors.
@@ -354,6 +466,8 @@ impl ServiceInner {
 pub struct DetectionService {
     inner: Arc<ServiceInner>,
     pool: ShardedPool,
+    /// The health evaluator thread; `Some` iff health is enabled.
+    monitor: Option<thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for DetectionService {
@@ -366,9 +480,14 @@ impl std::fmt::Debug for DetectionService {
 }
 
 impl DetectionService {
-    /// Starts a service with its worker pool.
+    /// Starts a service with its worker pool (and, when
+    /// [`ServeConfig::health`] is enabled, the health evaluator thread).
     pub fn new(config: ServeConfig) -> Self {
         let workers = config.workers.max(1);
+        let health = config
+            .health
+            .enabled
+            .then(|| Arc::new(HealthState::new(config.health.clone(), workers)));
         let inner = Arc::new(ServiceInner {
             shards: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
             bus: Mutex::new(VecDeque::new()),
@@ -381,12 +500,25 @@ impl DetectionService {
                 .as_ref()
                 .map(|batch| BatchRunner::new(batch, workers)),
             telemetry: Arc::new(ServiceTelemetry::new(&config.telemetry, &config.trace)),
+            health: health.clone(),
+            wedged: (0..workers).map(|_| AtomicBool::new(false)).collect(),
         });
         let pool = {
             let inner = Arc::clone(&inner);
             ShardedPool::new(workers, move |shard| inner.drain_shard(shard))
         };
-        DetectionService { inner, pool }
+        let monitor = health.map(|health| {
+            let weak = Arc::downgrade(&inner);
+            thread::Builder::new()
+                .name("laelaps-health".to_string())
+                .spawn(move || run_health_evaluator(health, weak))
+                .expect("failed to spawn health evaluator")
+        });
+        DetectionService {
+            inner,
+            pool,
+            monitor,
+        }
     }
 
     /// Starts a service with default configuration.
@@ -637,6 +769,34 @@ impl DetectionService {
         self.inner.telemetry.tracer.snapshot()
     }
 
+    /// Point-in-time health view: the folded service verdict, every
+    /// [`crate::SloRule`]'s latest burn rates, the recent transition
+    /// journal, and the tail of the metric time-series. Returns the
+    /// disabled default (with `enabled: false`) unless
+    /// [`ServeConfig::health`] turned evaluation on.
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        match &self.inner.health {
+            Some(health) => health.snapshot(),
+            None => HealthSnapshot::default(),
+        }
+    }
+
+    /// Test-only hook: wedges (or un-wedges) one shard's worker. While
+    /// wedged, the worker's drain pass returns immediately — no
+    /// draining, no progress, **no heartbeat** — exactly what a stalled
+    /// or deadlocked worker looks like to the health watchdog. Not part
+    /// of the stable API; exists so integration tests can prove stall
+    /// detection end-to-end.
+    #[doc(hidden)]
+    pub fn debug_wedge_shard(&self, shard: usize, wedged: bool) {
+        self.inner.wedged[shard].store(wedged, Ordering::Relaxed);
+        if !wedged {
+            // The worker may be parked on the pool condvar with work
+            // still queued; wake it so recovery starts immediately.
+            self.pool.notify();
+        }
+    }
+
     /// Counter snapshot: live sessions individually, plus totals that
     /// include every session the service ever retired.
     pub fn stats(&self) -> ServiceStats {
@@ -658,33 +818,7 @@ impl DetectionService {
             .collect();
         let retired = *retired_guard;
         drop(retired_guard);
-        // Saturation gauges, per shard: ring depths are racy-but-clamped
-        // reads of each session's ring; in-flight frames derive from the
-        // monotonic counters (saturating — the counters are Relaxed and
-        // may be mid-update).
-        let shard_gauges = self
-            .inner
-            .shards
-            .iter()
-            .enumerate()
-            .map(|(shard, sessions)| {
-                let sessions = sessions.lock().expect("shard lock poisoned");
-                let mut gauges = ShardGauges {
-                    shard,
-                    sessions: sessions.len(),
-                    ..Default::default()
-                };
-                for core in sessions.iter() {
-                    gauges.ring_depth_chunks += core.ring_depth.get();
-                    let s = core.counters.snapshot();
-                    gauges.in_flight_frames += s
-                        .frames_in
-                        .saturating_sub(s.frames_processed)
-                        .saturating_sub(s.frames_discarded);
-                }
-                gauges
-            })
-            .collect();
+        let shard_gauges = self.inner.shard_gauges();
         let mut stats = ServiceStats::from_entries(entries, &retired);
         stats.telemetry = self.inner.telemetry.snapshot();
         stats.telemetry.shards = shard_gauges;
@@ -692,5 +826,22 @@ impl DetectionService {
             stats.telemetry.batching = batch.stats();
         }
         stats
+    }
+}
+
+impl Drop for DetectionService {
+    fn drop(&mut self) {
+        // Stop the health evaluator before the worker pool winds down so
+        // no evaluation tick observes a half-dropped service. The thread
+        // also exits on its own when the `Weak<ServiceInner>` dies, but
+        // shutting down explicitly avoids waiting out a full interval.
+        if let Some(health) = &self.inner.health {
+            health.shutdown();
+        }
+        if let Some(monitor) = self.monitor.take() {
+            if monitor.join().is_err() && !std::thread::panicking() {
+                panic!("health evaluator thread panicked");
+            }
+        }
     }
 }

@@ -5,14 +5,15 @@
 //! a flipped bit anywhere in a frame is caught before the payload is
 //! interpreted, and a reader never trusts a length it cannot bound.
 //!
-//! ## Frame layout (wire versions 1 through 3)
+//! ## Frame layout (wire versions 1 through 4)
 //!
 //! ```text
 //! offset  size  field
 //! 0       2     magic  b"LW"
 //! 2       1     wire format version (the lowest version carrying the tag:
 //!               1 for the original messages, 2 for Feedback/ModelUpdated,
-//!               3 for the introspection messages)
+//!               3 for the introspection messages, 4 for the health
+//!               messages)
 //! 3       1     message type tag
 //! 4       4     payload length P (u32 LE), P ≤ 16 MiB
 //! 8       P     payload (all scalars little-endian)
@@ -37,6 +38,7 @@
 //! | 0x04 | `Feedback`         | c → s     | `u8` label (0 interictal / 1 ictal), interleaved `f32` samples |
 //! | 0x05 | `StatsRequest`     | c → s     | empty |
 //! | 0x06 | `TraceDumpRequest` | c → s     | `u32` span limit (0 = everything retained) |
+//! | 0x07 | `HealthRequest`    | c → s     | empty |
 //! | 0x81 | `Accepted`         | s → c     | `u64` session id, `u32` electrodes |
 //! | 0x82 | `Throttle`         | s → c     | `u32` queued chunks, `u32` queue capacity |
 //! | 0x83 | `Event`            | s → c     | one [`DetectorEvent`] (below), `alarm` absent |
@@ -44,6 +46,7 @@
 //! | 0x85 | `ModelUpdated`     | s → c     | `u64` model generation now running |
 //! | 0x86 | `StatsSnapshot`    | s → c     | one [`WireStats`] (see its docs for the layout) |
 //! | 0x87 | `TraceDump`        | s → c     | `u64` recorded, `u64` dropped, `u32` span count, then 40-byte [`WireSpan`] records |
+//! | 0x88 | `HealthSnapshot`   | s → c     | one [`WireHealth`] (see its docs for the layout) |
 //! | 0xEE | `Error`            | either    | `u32` reason length, UTF-8 reason bytes |
 //!
 //! An event payload is `u64` index, `u64` end sample, `f64` time bits,
@@ -60,12 +63,16 @@
 //! A label byte other than 0/1 is rejected as corrupt before the payload
 //! reaches any training code.
 //!
-//! `StatsRequest` and `TraceDumpRequest` open a read-only introspection
-//! exchange instead of a streaming session: when a connection's *first*
-//! message is one of them, the server answers each request with a
-//! `StatsSnapshot` / `TraceDump` and keeps answering until the peer sends
-//! `Close` or disconnects. This is how `laelapsctl` inspects a running
-//! [`crate::IngestServer`] without opening a patient session.
+//! `StatsRequest`, `TraceDumpRequest`, and `HealthRequest` open a
+//! read-only introspection exchange instead of a streaming session: when
+//! a connection's *first* message is one of them, the server answers each
+//! request with a `StatsSnapshot` / `TraceDump` / `HealthSnapshot` and
+//! keeps answering until the peer sends `Close` or disconnects. This is
+//! how `laelapsctl` inspects a running [`crate::IngestServer`] without
+//! opening a patient session. `HealthRequest` is the version-4 surface:
+//! it returns the SLO engine's verdict, per-rule burn rates, transition
+//! journal, and time-series tail (empty, with `enabled: false`, when
+//! [`crate::ServeConfig::health`] is off).
 //!
 //! # Examples
 //!
@@ -102,9 +109,9 @@ pub const WIRE_MAGIC: [u8; 2] = *b"LW";
 /// frame with the **lowest version that carries its tag** — version-1
 /// messages still go out as version 1, so an upgraded peer keeps
 /// interoperating with a not-yet-upgraded one until it actually uses a
-/// version-2 feature (`Feedback` / `ModelUpdated`) or a version-3 one
-/// (the introspection messages).
-pub const WIRE_VERSION: u8 = 3;
+/// version-2 feature (`Feedback` / `ModelUpdated`), a version-3 one (the
+/// introspection messages), or a version-4 one (the health messages).
+pub const WIRE_VERSION: u8 = 4;
 
 /// Frame header length: magic + version + tag + payload length.
 pub const HEADER_LEN: usize = 8;
@@ -124,6 +131,7 @@ const TAG_CLOSE: u8 = 0x03;
 const TAG_FEEDBACK: u8 = 0x04;
 const TAG_STATS_REQUEST: u8 = 0x05;
 const TAG_TRACE_DUMP_REQUEST: u8 = 0x06;
+const TAG_HEALTH_REQUEST: u8 = 0x07;
 const TAG_ACCEPTED: u8 = 0x81;
 const TAG_THROTTLE: u8 = 0x82;
 const TAG_EVENT: u8 = 0x83;
@@ -131,6 +139,7 @@ const TAG_ALARM: u8 = 0x84;
 const TAG_MODEL_UPDATED: u8 = 0x85;
 const TAG_STATS_SNAPSHOT: u8 = 0x86;
 const TAG_TRACE_DUMP: u8 = 0x87;
+const TAG_HEALTH_SNAPSHOT: u8 = 0x88;
 const TAG_ERROR: u8 = 0xEE;
 
 /// One ingest-protocol message; see the [module docs](self) for the
@@ -173,6 +182,10 @@ pub enum Message {
         /// Most recent spans to return; 0 means everything retained.
         limit: u32,
     },
+    /// Client → server: ask for the SLO engine's live health view. Same
+    /// introspection-only placement as [`Message::StatsRequest`]; the
+    /// first version-4 message.
+    HealthRequest,
     /// Server → client: the `Hello` was accepted and a session is live.
     Accepted {
         /// Session id within the serving process.
@@ -214,6 +227,14 @@ pub enum Message {
         /// The snapshot (boxed: it is much larger than every other
         /// variant and only travels on the introspection path).
         stats: Box<WireStats>,
+    },
+    /// Server → client: the SLO engine's verdict, rule evaluations,
+    /// transition journal, and time-series tail answering a
+    /// [`Message::HealthRequest`].
+    HealthSnapshot {
+        /// The health view (boxed: it carries the series tail and only
+        /// travels on the introspection path).
+        health: Box<WireHealth>,
     },
     /// Server → client: the flight recorder's retained spans answering a
     /// [`Message::TraceDumpRequest`].
@@ -566,6 +587,223 @@ impl WireSpan {
     }
 }
 
+/// One SLO rule's latest evaluation on the wire (mirrors
+/// [`crate::RuleEval`]).
+///
+/// Layout: `u32` name length + UTF-8 name bytes, `u8` verdict
+/// discriminant, `f64` fast burn (IEEE-754 bits), `f64` slow burn.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireRuleEval {
+    /// [`crate::SloRule::name`] of the rule.
+    pub name: String,
+    /// [`crate::HealthVerdict`] discriminant (decode with
+    /// [`crate::HealthVerdict::from_raw`]; unknown values are a newer
+    /// peer's verdicts and safe to treat as worst-case).
+    pub verdict: u8,
+    /// Burn rate over the fast window (`observed / ceiling`).
+    pub fast_burn: f64,
+    /// Burn rate over the slow window.
+    pub slow_burn: f64,
+}
+
+/// One journaled verdict transition on the wire (mirrors
+/// [`crate::HealthTransition`]).
+///
+/// Layout: `u64` tick, `u32` rule-name length + UTF-8 bytes, `u8` from
+/// verdict, `u8` to verdict, `f64` fast burn bits, `f64` slow burn bits.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireHealthEvent {
+    /// Evaluation tick at which the transition happened.
+    pub tick: u64,
+    /// Rule that moved (or `"overall"` for the folded verdict).
+    pub rule: String,
+    /// [`crate::HealthVerdict`] discriminant before.
+    pub from: u8,
+    /// [`crate::HealthVerdict`] discriminant after.
+    pub to: u8,
+    /// Fast-window burn at transition time.
+    pub fast_burn: f64,
+    /// Slow-window burn at transition time.
+    pub slow_burn: f64,
+}
+
+/// One metric time-series row on the wire (mirrors
+/// [`laelaps_telemetry::SeriesSample`]; word meanings are
+/// [`crate::sample_label`]).
+///
+/// Layout: `u64` sequence number, `u32` word count, then that many
+/// `u64` words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireSeriesSample {
+    /// The row's sequence number (tick order, monotonically increasing).
+    pub seq: u64,
+    /// The row's words, in [`crate::sample_label`] order.
+    pub words: Vec<u64>,
+}
+
+/// The live-health payload of [`Message::HealthSnapshot`]: the SLO
+/// engine's folded verdict, every rule's latest burn rates, the
+/// transition journal, and the tail of the metric time-series —
+/// everything `laelapsctl health` / `laelapsctl watch` render, flattened
+/// from [`crate::HealthSnapshot`].
+///
+/// Layout: `u8` enabled, `u8` verdict discriminant, `u64` ticks, `u32`
+/// rule count + that many [`WireRuleEval`] records, `u32` transition
+/// count + that many [`WireHealthEvent`] records, `u32` sample count +
+/// that many [`WireSeriesSample`] rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireHealth {
+    /// Whether health evaluation is running on the server.
+    pub enabled: bool,
+    /// [`crate::HealthVerdict`] discriminant of the folded verdict.
+    pub verdict: u8,
+    /// Evaluation ticks performed so far.
+    pub ticks: u64,
+    /// Latest evaluation of every configured rule.
+    pub rules: Vec<WireRuleEval>,
+    /// Recent verdict transitions, oldest first.
+    pub transitions: Vec<WireHealthEvent>,
+    /// Tail of the metric time-series, oldest first.
+    pub series: Vec<WireSeriesSample>,
+}
+
+impl WireHealth {
+    /// Flattens a [`crate::HealthSnapshot`] into its wire form.
+    pub fn from_snapshot(snapshot: &crate::HealthSnapshot) -> Self {
+        WireHealth {
+            enabled: snapshot.enabled,
+            verdict: snapshot.verdict as u8,
+            ticks: snapshot.ticks,
+            rules: snapshot
+                .rules
+                .iter()
+                .map(|r| WireRuleEval {
+                    name: r.name.clone(),
+                    verdict: r.verdict as u8,
+                    fast_burn: r.fast_burn,
+                    slow_burn: r.slow_burn,
+                })
+                .collect(),
+            transitions: snapshot
+                .transitions
+                .iter()
+                .map(|t| WireHealthEvent {
+                    tick: t.tick,
+                    rule: t.rule.clone(),
+                    from: t.from as u8,
+                    to: t.to as u8,
+                    fast_burn: t.fast_burn,
+                    slow_burn: t.slow_burn,
+                })
+                .collect(),
+            series: snapshot
+                .series
+                .iter()
+                .map(|s| WireSeriesSample {
+                    seq: s.seq,
+                    words: s.words.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.enabled as u8);
+        out.push(self.verdict);
+        out.extend_from_slice(&self.ticks.to_le_bytes());
+        out.extend_from_slice(&(self.rules.len() as u32).to_le_bytes());
+        for rule in &self.rules {
+            encode_str(out, &rule.name);
+            out.push(rule.verdict);
+            out.extend_from_slice(&rule.fast_burn.to_bits().to_le_bytes());
+            out.extend_from_slice(&rule.slow_burn.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(self.transitions.len() as u32).to_le_bytes());
+        for event in &self.transitions {
+            out.extend_from_slice(&event.tick.to_le_bytes());
+            encode_str(out, &event.rule);
+            out.push(event.from);
+            out.push(event.to);
+            out.extend_from_slice(&event.fast_burn.to_bits().to_le_bytes());
+            out.extend_from_slice(&event.slow_burn.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&(self.series.len() as u32).to_le_bytes());
+        for sample in &self.series {
+            out.extend_from_slice(&sample.seq.to_le_bytes());
+            out.extend_from_slice(&(sample.words.len() as u32).to_le_bytes());
+            for word in &sample.words {
+                out.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(cursor: &mut Cursor<'_>) -> Result<Self> {
+        let enabled = cursor.u8()? != 0;
+        let verdict = cursor.u8()?;
+        let ticks = cursor.u64()?;
+        let rule_count = cursor.u32()?;
+        let mut rules = Vec::new();
+        for _ in 0..rule_count {
+            rules.push(WireRuleEval {
+                name: decode_str(cursor, "rule name")?,
+                verdict: cursor.u8()?,
+                fast_burn: cursor.f64_bits()?,
+                slow_burn: cursor.f64_bits()?,
+            });
+        }
+        let transition_count = cursor.u32()?;
+        let mut transitions = Vec::new();
+        for _ in 0..transition_count {
+            transitions.push(WireHealthEvent {
+                tick: cursor.u64()?,
+                rule: decode_str(cursor, "transition rule")?,
+                from: cursor.u8()?,
+                to: cursor.u8()?,
+                fast_burn: cursor.f64_bits()?,
+                slow_burn: cursor.f64_bits()?,
+            });
+        }
+        let sample_count = cursor.u32()?;
+        let mut series = Vec::new();
+        for _ in 0..sample_count {
+            let seq = cursor.u64()?;
+            let word_count = cursor.u32()?;
+            let mut words = Vec::new();
+            for _ in 0..word_count {
+                words.push(cursor.u64()?);
+            }
+            series.push(WireSeriesSample { seq, words });
+        }
+        Ok(WireHealth {
+            enabled,
+            verdict,
+            ticks,
+            rules,
+            transitions,
+            series,
+        })
+    }
+}
+
+fn encode_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn decode_str(cursor: &mut Cursor<'_>, what: &str) -> Result<String> {
+    let len = cursor.u32()? as usize;
+    String::from_utf8(cursor.take(len)?.to_vec())
+        .map_err(|_| corrupt(format!("{what} is not UTF-8")))
+}
+
+/// Builds the [`Message::HealthSnapshot`] answering a
+/// [`Message::HealthRequest`].
+pub fn health_message(snapshot: &crate::HealthSnapshot) -> Message {
+    Message::HealthSnapshot {
+        health: Box::new(WireHealth::from_snapshot(snapshot)),
+    }
+}
+
 /// Builds the [`Message::TraceDump`] answering a request with `limit`:
 /// the snapshot's spans (already oldest-first) with each trace's pin
 /// reason stamped, keeping only the most recent `limit` when `limit` is
@@ -608,6 +846,7 @@ impl Message {
             Message::Feedback { .. } => TAG_FEEDBACK,
             Message::StatsRequest => TAG_STATS_REQUEST,
             Message::TraceDumpRequest { .. } => TAG_TRACE_DUMP_REQUEST,
+            Message::HealthRequest => TAG_HEALTH_REQUEST,
             Message::Accepted { .. } => TAG_ACCEPTED,
             Message::Throttle { .. } => TAG_THROTTLE,
             Message::Event { .. } => TAG_EVENT,
@@ -615,6 +854,7 @@ impl Message {
             Message::ModelUpdated { .. } => TAG_MODEL_UPDATED,
             Message::StatsSnapshot { .. } => TAG_STATS_SNAPSHOT,
             Message::TraceDump { .. } => TAG_TRACE_DUMP,
+            Message::HealthSnapshot { .. } => TAG_HEALTH_SNAPSHOT,
             Message::Error { .. } => TAG_ERROR,
         }
     }
@@ -674,11 +914,15 @@ impl Message {
             Message::TraceDumpRequest { limit } => {
                 out.extend_from_slice(&limit.to_le_bytes());
             }
+            Message::HealthRequest => {}
             Message::ModelUpdated { generation } => {
                 out.extend_from_slice(&generation.to_le_bytes());
             }
             Message::StatsSnapshot { stats } => {
                 stats.encode_into(&mut out);
+            }
+            Message::HealthSnapshot { health } => {
+                health.encode_into(&mut out);
             }
             Message::TraceDump {
                 recorded,
@@ -713,6 +957,7 @@ fn corrupt(reason: impl Into<String>) -> ServeError {
 /// by version-1 peers (rolling upgrades).
 fn version_for_tag(tag: u8) -> u8 {
     match tag {
+        TAG_HEALTH_REQUEST | TAG_HEALTH_SNAPSHOT => 4,
         TAG_STATS_REQUEST | TAG_TRACE_DUMP_REQUEST | TAG_STATS_SNAPSHOT | TAG_TRACE_DUMP => 3,
         TAG_FEEDBACK | TAG_MODEL_UPDATED => 2,
         _ => 1,
@@ -1010,11 +1255,15 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message> {
         TAG_TRACE_DUMP_REQUEST => Message::TraceDumpRequest {
             limit: cursor.u32()?,
         },
+        TAG_HEALTH_REQUEST => Message::HealthRequest,
         TAG_MODEL_UPDATED => Message::ModelUpdated {
             generation: cursor.u64()?,
         },
         TAG_STATS_SNAPSHOT => Message::StatsSnapshot {
             stats: Box::new(WireStats::decode(&mut cursor)?),
+        },
+        TAG_HEALTH_SNAPSHOT => Message::HealthSnapshot {
+            health: Box::new(WireHealth::decode(&mut cursor)?),
         },
         TAG_TRACE_DUMP => {
             let recorded = cursor.u64()?;
@@ -1127,6 +1376,46 @@ mod tests {
         }
     }
 
+    fn sample_health() -> WireHealth {
+        WireHealth {
+            enabled: true,
+            verdict: 2,
+            ticks: 907,
+            rules: vec![
+                WireRuleEval {
+                    name: "stage_p99:classify".into(),
+                    verdict: 0,
+                    fast_burn: 0.25,
+                    slow_burn: 0.75,
+                },
+                WireRuleEval {
+                    name: "shard_stall".into(),
+                    verdict: 2,
+                    fast_burn: 1.5,
+                    slow_burn: 1.5,
+                },
+            ],
+            transitions: vec![WireHealthEvent {
+                tick: 811,
+                rule: "overall".into(),
+                from: 0,
+                to: 2,
+                fast_burn: 1.5,
+                slow_burn: 1.5,
+            }],
+            series: vec![
+                WireSeriesSample {
+                    seq: 905,
+                    words: vec![4096, 4000, 5, 2, 89, 12],
+                },
+                WireSeriesSample {
+                    seq: 906,
+                    words: vec![0; 6],
+                },
+            ],
+        }
+    }
+
     #[test]
     fn every_variant_roundtrips() {
         let messages = [
@@ -1187,6 +1476,13 @@ mod tests {
                 recorded: 0,
                 dropped: 0,
                 spans: Vec::new(),
+            },
+            Message::HealthRequest,
+            Message::HealthSnapshot {
+                health: Box::new(sample_health()),
+            },
+            Message::HealthSnapshot {
+                health: Box::default(),
             },
             Message::Error {
                 reason: "no model for patient".into(),

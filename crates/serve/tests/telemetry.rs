@@ -43,6 +43,7 @@ fn config(batched: bool, telemetry: bool) -> ServeConfig {
         }),
         telemetry: TelemetryConfig { enabled: telemetry },
         trace: laelaps_serve::TraceConfig::default(),
+        health: laelaps_serve::HealthConfig::default(),
     }
 }
 

@@ -249,23 +249,33 @@ fn version_stamping_supports_rolling_upgrades() {
     assert_eq!(feedback[2], 2);
     let updated = encode_message(&Message::ModelUpdated { generation: 3 });
     assert_eq!(updated[2], 2);
-    // The introspection messages are the version-3 surface.
-    assert_eq!(encode_message(&Message::StatsRequest)[2], WIRE_VERSION);
+    // The introspection messages are the version-3 surface: still
+    // stamped 3, not WIRE_VERSION, so v3 peers keep reading them.
+    assert_eq!(encode_message(&Message::StatsRequest)[2], 3);
     assert_eq!(
         encode_message(&Message::TraceDumpRequest { limit: 16 })[2],
-        WIRE_VERSION
+        3
     );
     assert_eq!(
         encode_message(&Message::StatsSnapshot {
             stats: Box::default(),
         })[2],
-        WIRE_VERSION
+        3
     );
     assert_eq!(
         encode_message(&Message::TraceDump {
             recorded: 0,
             dropped: 0,
             spans: Vec::new(),
+        })[2],
+        3
+    );
+    // The health messages are the version-4 surface — the newest, so
+    // they carry WIRE_VERSION itself.
+    assert_eq!(encode_message(&Message::HealthRequest)[2], WIRE_VERSION);
+    assert_eq!(
+        encode_message(&Message::HealthSnapshot {
+            health: Box::default(),
         })[2],
         WIRE_VERSION
     );
@@ -405,8 +415,8 @@ fn future_versioned_introspection_frames_hit_the_version_gate_first() {
     // Same guarantee the Hello frame has: a frame stamped beyond
     // WIRE_VERSION is a version mismatch (the upgrade-me signal), fired
     // before the checksum is even verified.
-    let mut frame = encode_message(&Message::StatsRequest);
-    assert_eq!(frame[2], WIRE_VERSION, "StatsRequest is stamped v3");
+    let mut frame = encode_message(&Message::HealthRequest);
+    assert_eq!(frame[2], WIRE_VERSION, "HealthRequest is stamped v4");
     frame[2] = WIRE_VERSION + 1;
     // Deliberately not resealed: the version gate must fire first.
     let err = read_message(&mut frame.as_slice()).unwrap_err();

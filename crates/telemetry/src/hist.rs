@@ -220,6 +220,53 @@ impl HistogramSnapshot {
     pub fn bucket_bounds(index: u16) -> (u64, u64) {
         (bucket_lower(index as usize), bucket_upper(index as usize))
     }
+
+    /// The *window* of samples recorded between `earlier` and `self`:
+    /// per-bucket count differences, so quantiles of the result describe
+    /// only the samples that arrived in between (what a periodic health
+    /// sampler wants, where [`HistogramSnapshot::merge`] goes the other
+    /// way).
+    ///
+    /// Sound whenever both snapshots come from the **same** [`Histogram`]
+    /// with `earlier` taken first: bucket counts are monotone across
+    /// snapshots of one histogram, so every difference is the exact
+    /// number of samples the bucket gained (racing recorders make each
+    /// snapshot a per-bucket lower bound, never a decrease). Differences
+    /// saturate at zero anyway, so a mismatched pair degrades to an
+    /// empty-ish window instead of wrapping. `max` carries over from
+    /// `self` — it is cumulative, not windowed — which keeps
+    /// [`HistogramSnapshot::quantile`]'s never-below-true guarantee
+    /// (clamping to a too-high max never lowers an estimate below its
+    /// bucket's true upper edge).
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        let mut count = 0u64;
+        let mut old = earlier.buckets.iter().peekable();
+        for &(index, n) in &self.buckets {
+            let mut previous = 0u64;
+            while let Some(&&(old_index, old_n)) = old.peek() {
+                if old_index > index {
+                    break;
+                }
+                old.next();
+                if old_index == index {
+                    previous = old_n;
+                    break;
+                }
+            }
+            let gained = n.saturating_sub(previous);
+            if gained > 0 {
+                buckets.push((index, gained));
+                count += gained;
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+            buckets,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +321,32 @@ mod tests {
         let p50 = s.p50();
         assert!((90..=95).contains(&p50), "p50 = {p50}");
         assert_eq!(s.quantile(1.0), 1_000_000, "clamped to exact max");
+    }
+
+    #[test]
+    fn delta_since_recovers_the_window() {
+        let h = Histogram::new();
+        for v in [1u64, 20, 300] {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for v in [20u64, 4000, 7] {
+            h.record(v);
+        }
+        let later = h.snapshot();
+        let window = later.delta_since(&earlier);
+        // Exactly the three in-between samples, in exact-or-bucketed form.
+        assert_eq!(window.count, 3);
+        assert_eq!(window.sum, 20 + 4000 + 7);
+        let alone = Histogram::new();
+        for v in [20u64, 4000, 7] {
+            alone.record(v);
+        }
+        assert_eq!(window.buckets, alone.snapshot().buckets);
+        // The full-window delta against an empty baseline is identity.
+        assert_eq!(later.delta_since(&HistogramSnapshot::default()), later);
+        // And delta of a snapshot against itself is empty.
+        assert!(later.delta_since(&later).is_empty());
     }
 
     #[test]

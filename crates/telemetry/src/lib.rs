@@ -6,7 +6,9 @@
 //! windowed [`RateMeter`]s, a [`StageTimer`] API that attributes
 //! wall time to named hot-path [`Stage`]s, and a per-chunk causal
 //! tracing layer ([`Tracer`]) backed by a wait-free [`FlightRecorder`]
-//! ring with tail-based pinning of anomalous traces.
+//! ring with tail-based pinning of anomalous traces, and a fixed-width
+//! metric time-series ring ([`SeriesRing`]) that health evaluators fill
+//! with periodic windowed deltas of all of the above.
 //!
 //! Every primitive is safe to hammer from many threads at once: all
 //! mutation is `Relaxed` atomics, nothing blocks, and recording a sample
@@ -53,12 +55,14 @@
 mod hist;
 mod rate;
 mod recorder;
+mod series;
 mod stage;
 mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot};
 pub use rate::RateMeter;
 pub use recorder::{FlightRecorder, RecorderEntry, RECORD_WORDS};
+pub use series::{SeriesRing, SeriesSample};
 pub use stage::{Stage, StageSet, StageTimer, StagesSnapshot};
 pub use trace::{
     PinReason, PinnedTrace, SpanContext, SpanRecord, TraceConfig, TraceHandle, TraceId,

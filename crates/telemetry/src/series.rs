@@ -1,0 +1,277 @@
+//! The telemetry time-series: a fixed-capacity, allocation-free,
+//! overwrite-oldest ring of periodic metric samples.
+//!
+//! Where the [`crate::FlightRecorder`] keeps *events* (one record per
+//! traced span), the [`SeriesRing`] keeps *samples*: a health evaluator
+//! snapshots the cumulative telemetry once per tick, computes the
+//! windowed deltas (frame-counter rates, per-window histogram
+//! quantiles), and pushes them here as one fixed-width row of `u64`
+//! words. Readers — the operator surface's `watch` view, the wire
+//! `HealthSnapshot` — take best-effort snapshots at any time and get
+//! rate-of-change for every metric, not just cumulative totals.
+//!
+//! The concurrency protocol is the same per-slot seqlock as the flight
+//! recorder (see `crate::recorder` for the full fence-free argument):
+//!
+//! * **Writer**: claim the slot by CAS-ing its version from even `v` to
+//!   odd `v + 1` (success ordering `Acquire`); store the sequence number
+//!   and each sample word with `Release`; publish with a `Release` store
+//!   of `v + 2`.
+//! * **Reader**: load the version with `Acquire` (`v1`; 0 or odd ⇒
+//!   skip), load the words with `Acquire`, re-load the version (`v2`);
+//!   accept only if `v1 == v2` — a torn sample is never accepted.
+//!
+//! The only structural difference from the recorder is that the row
+//! width is chosen at construction (the sample schema belongs to the
+//! caller), so slot versions, sequence numbers, and payload words live
+//! in three flat arrays instead of a fixed-width `Slot` struct.
+
+use laelaps_check::sync::atomic::{AtomicU64, Ordering};
+
+/// One decoded time-series sample: the monotonic tick sequence the slot
+/// held plus its payload words (length = [`SeriesRing::width`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesSample {
+    /// Monotonic push sequence (0-based); total order over all pushes.
+    pub seq: u64,
+    /// The sample row as pushed.
+    pub words: Vec<u64>,
+}
+
+/// A fixed-capacity, overwrite-oldest ring of fixed-width `u64` sample
+/// rows, safe to push on a periodic evaluator thread while readers
+/// snapshot concurrently.
+///
+/// Pushing never blocks or allocates; a push that collides with a slot
+/// still mid-write (only possible when the ring laps itself within one
+/// push) drops the sample and counts the drop instead of waiting.
+pub struct SeriesRing {
+    /// Per-slot seqlock versions: even = stable, odd = mid-write. Start
+    /// at 0 (never written — distinguished by the snapshot skip on 0).
+    ver: Box<[AtomicU64]>,
+    /// Per-slot sequence number of the sample currently held.
+    seq: Box<[AtomicU64]>,
+    /// Payload words, `capacity * width` flat: slot `i`'s row occupies
+    /// `words[i * width .. (i + 1) * width]`.
+    words: Box<[AtomicU64]>,
+    width: usize,
+    /// `ver.len() - 1`; slot count is a power of two so `seq & mask`
+    /// indexes consistently.
+    mask: u64,
+    /// Monotonic claim counter: `fetch_add(1)` yields a unique sequence
+    /// number whose low bits pick the slot.
+    cursor: AtomicU64,
+    /// Samples dropped because their slot was still mid-write.
+    dropped: AtomicU64,
+}
+
+impl SeriesRing {
+    /// A ring holding the most recent `capacity` samples (rounded up to
+    /// a power of two, minimum 2) of `width` words each (minimum 1).
+    pub fn new(capacity: usize, width: usize) -> Self {
+        let width = width.max(1);
+        let slots = capacity.max(2).next_power_of_two();
+        SeriesRing {
+            ver: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            seq: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            words: (0..slots * width).map(|_| AtomicU64::new(0)).collect(),
+            width,
+            mask: slots as u64 - 1,
+            cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot count (the power-of-two the requested capacity rounded to).
+    pub fn capacity(&self) -> usize {
+        self.ver.len()
+    }
+
+    /// Words per sample row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total samples ever pushed (including ones since overwritten, and
+    /// the claim of any sample later dropped mid-collision).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Samples dropped to a slot collision (never blocks instead).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Pushes one sample row, overwriting the oldest. Wait-free: a
+    /// collision with a concurrent pusher on the same slot drops this
+    /// sample and bumps [`SeriesRing::dropped`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample.len()` differs from [`SeriesRing::width`].
+    pub fn push(&self, sample: &[u64]) {
+        assert_eq!(sample.len(), self.width, "sample width mismatch");
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq & self.mask) as usize;
+        let ver = self.ver[slot].load(Ordering::Relaxed);
+        // Claim: even → odd, exactly the flight recorder's protocol.
+        // Success ordering is Acquire so the payload stores below cannot
+        // be reordered above the claim.
+        if ver & 1 == 1
+            || self.ver[slot]
+                .compare_exchange(ver, ver + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Release stores: a reader's Acquire load that observes any of
+        // these also sees our odd claim on its version re-check.
+        self.seq[slot].store(seq, Ordering::Release);
+        let row = &self.words[slot * self.width..(slot + 1) * self.width];
+        for (cell, &word) in row.iter().zip(sample.iter()) {
+            cell.store(word, Ordering::Release);
+        }
+        self.ver[slot].store(ver + 2, Ordering::Release);
+    }
+
+    /// Best-effort snapshot of every stable sample, oldest first (by
+    /// sequence number). Allocates on the read side only. Slots mid-write
+    /// are retried once and then skipped; concurrent pushers may
+    /// overwrite entries between slot reads, so the result is a
+    /// consistent *sample* of the ring, never a torn row.
+    pub fn snapshot(&self) -> Vec<SeriesSample> {
+        let mut out = Vec::with_capacity(self.ver.len());
+        for slot in 0..self.ver.len() {
+            for _attempt in 0..2 {
+                let v1 = self.ver[slot].load(Ordering::Acquire);
+                if v1 == 0 || v1 & 1 == 1 {
+                    continue; // never written, or mid-write
+                }
+                let seq = self.seq[slot].load(Ordering::Acquire);
+                let mut words = vec![0u64; self.width];
+                let row = &self.words[slot * self.width..(slot + 1) * self.width];
+                for (word, cell) in words.iter_mut().zip(row.iter()) {
+                    *word = cell.load(Ordering::Acquire);
+                }
+                let v2 = self.ver[slot].load(Ordering::Acquire);
+                if v1 == v2 {
+                    out.push(SeriesSample { seq, words });
+                    break;
+                }
+            }
+        }
+        out.sort_unstable_by_key(|sample| sample.seq);
+        out
+    }
+
+    /// The newest `n` stable samples, oldest first — the tail of
+    /// [`SeriesRing::snapshot`].
+    pub fn recent(&self, n: usize) -> Vec<SeriesSample> {
+        let mut all = self.snapshot();
+        if all.len() > n {
+            all.drain(..all.len() - n);
+        }
+        all
+    }
+}
+
+impl std::fmt::Debug for SeriesRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeriesRing")
+            .field("capacity", &self.capacity())
+            .field("width", &self.width)
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_come_back_in_push_order() {
+        let ring = SeriesRing::new(8, 3);
+        for i in 0..5u64 {
+            ring.push(&[i, i * 10, i * 100]);
+        }
+        let samples = ring.snapshot();
+        assert_eq!(samples.len(), 5);
+        for (i, sample) in samples.iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(sample.seq, i);
+            assert_eq!(sample.words, vec![i, i * 10, i * 100]);
+        }
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn wrap_keeps_the_most_recent_capacity_samples() {
+        let ring = SeriesRing::new(4, 1);
+        for i in 0..11u64 {
+            ring.push(&[i]);
+        }
+        let seqs: Vec<u64> = ring.snapshot().iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10], "oldest overwritten first");
+        assert_eq!(ring.recorded(), 11);
+    }
+
+    #[test]
+    fn recent_returns_the_tail_oldest_first() {
+        let ring = SeriesRing::new(8, 1);
+        for i in 0..6u64 {
+            ring.push(&[i]);
+        }
+        let tail: Vec<u64> = ring.recent(3).iter().map(|s| s.seq).collect();
+        assert_eq!(tail, vec![3, 4, 5]);
+        assert_eq!(ring.recent(100).len(), 6);
+    }
+
+    #[test]
+    fn geometry_rounds_and_clamps() {
+        assert_eq!(SeriesRing::new(0, 0).capacity(), 2);
+        assert_eq!(SeriesRing::new(0, 0).width(), 1);
+        assert_eq!(SeriesRing::new(5, 4).capacity(), 8);
+        assert!(SeriesRing::new(16, 2).snapshot().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sample width mismatch")]
+    fn push_rejects_a_wrong_width_row() {
+        SeriesRing::new(4, 3).push(&[1, 2]);
+    }
+
+    #[test]
+    fn concurrent_pushers_never_produce_torn_samples() {
+        // Stress (not model) variant of the no-torn-read invariant: each
+        // pusher writes rows whose words are all equal, so any accepted
+        // mix of two pushers is detectable. The model-checked variant
+        // lives in tests/model.rs.
+        let ring = std::sync::Arc::new(SeriesRing::new(4, 6));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let ring = std::sync::Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..2000u64 {
+                        let v = t * 1_000_000 + i;
+                        ring.push(&[v; 6]);
+                    }
+                });
+            }
+            for _ in 0..200 {
+                for sample in ring.snapshot() {
+                    assert!(
+                        sample.words.iter().all(|&w| w == sample.words[0]),
+                        "torn sample: {sample:?}"
+                    );
+                }
+            }
+        });
+        assert_eq!(ring.recorded(), 8000);
+        assert!(ring.dropped() <= 8000);
+    }
+}

@@ -8,12 +8,14 @@
 //!    sources must be immediately preceded by (or carry on the same
 //!    line) a `// SAFETY:` comment explaining why the obligation holds.
 //! 2. **hot-path-clock** — no `Instant::now()` in the serving hot path
-//!    (`serve::{ring,session,service,stats,swapgate}`,
-//!    `telemetry::hist`): clock reads go through
+//!    (`serve::{ring,session,service,stats,swapgate,health}`,
+//!    `telemetry::{hist,series}`): clock reads go through
 //!    `StageTimer`/`StageSet::now` so that disabling telemetry removes
 //!    them (`telemetry::stage` is the timer's home and `telemetry::rate`
 //!    reads the clock only at construction — both are deliberately
-//!    outside the rule's file list).
+//!    outside the rule's file list). The health evaluator measures time
+//!    in ticks and sleeps on a condvar timeout, so it carries the same
+//!    no-clock guarantee.
 //! 3. **facade-import** — modules migrated to the `laelaps_check::sync`
 //!    facade must not re-import `std::sync::atomic` / `std::thread` /
 //!    `std::sync::{Mutex, Condvar, ...}` (outside `#[cfg(test)]` code):
@@ -39,7 +41,9 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/serve/src/service.rs",
     "crates/serve/src/stats.rs",
     "crates/serve/src/swapgate.rs",
+    "crates/serve/src/health.rs",
     "crates/telemetry/src/hist.rs",
+    "crates/telemetry/src/series.rs",
 ];
 
 /// Files under rule 3: everything migrated to the `laelaps_check::sync`
@@ -50,11 +54,13 @@ const FACADE_FILES: &[&str] = &[
     "crates/serve/src/service.rs",
     "crates/serve/src/stats.rs",
     "crates/serve/src/swapgate.rs",
+    "crates/serve/src/health.rs",
     "crates/telemetry/src/lib.rs",
     "crates/telemetry/src/hist.rs",
     "crates/telemetry/src/rate.rs",
     "crates/telemetry/src/trace.rs",
     "crates/telemetry/src/recorder.rs",
+    "crates/telemetry/src/series.rs",
     "crates/eval/src/pool.rs",
 ];
 
@@ -406,6 +412,28 @@ fn f(ptr: *const u8) -> u8 {
         // Facade modules may use std in their test tails.
         let src = "#[cfg(test)]\nmod tests {\n    use std::sync::atomic::AtomicU64;\n}\n";
         assert!(rules_hit("crates/serve/src/session.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seeded_violations_in_the_health_modules_fail() {
+        // The SLO engine and its series ring promise tick-counted time
+        // (no wall clock) and facade-only synchronization; both files
+        // sit under rules 2 and 3.
+        for file in [
+            "crates/serve/src/health.rs",
+            "crates/telemetry/src/series.rs",
+        ] {
+            assert_eq!(
+                rules_hit(file, "let t = Instant::now();\n"),
+                vec!["hot-path-clock"],
+                "{file} must be under the clock rule"
+            );
+            assert_eq!(
+                rules_hit(file, "use std::sync::atomic::{AtomicU64, Ordering};\n"),
+                vec!["facade-import"],
+                "{file} must be under the facade rule"
+            );
+        }
     }
 
     #[test]
