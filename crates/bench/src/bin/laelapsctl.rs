@@ -1,9 +1,10 @@
 //! Live introspection client for a running [`laelaps_serve::IngestServer`].
 //!
-//! Opens a wire-v3/v4 introspection connection (first message is a
-//! `StatsRequest`/`TraceDumpRequest`/`HealthRequest`, never a `Hello`)
-//! and renders what the server answers — no session is opened, no model
-//! is touched, and the serving hot path is never blocked.
+//! Opens a wire-v3/v4/v5 introspection connection (first message is a
+//! `StatsRequest`/`TraceDumpRequest`/`HealthRequest`/
+//! `SessionStatsRequest`, never a `Hello`) and renders what the server
+//! answers — no session is opened, no model is touched, and the serving
+//! hot path is never blocked.
 //!
 //! ```text
 //! cargo run --release -p laelaps-bench --bin laelapsctl -- \
@@ -13,27 +14,37 @@
 //! cargo run --release -p laelaps-bench --bin laelapsctl -- \
 //!     --addr 127.0.0.1:7071 health [--json]
 //! cargo run --release -p laelaps-bench --bin laelapsctl -- \
+//!     --addr 127.0.0.1:7071 sessions [--session ID] [--json]
+//! cargo run --release -p laelaps-bench --bin laelapsctl -- \
 //!     --addr 127.0.0.1:7071 watch [--interval 2] [--count 0]
+//! cargo run --release -p laelaps-bench --bin laelapsctl -- \
+//!     --addr 127.0.0.1:7071 top [--interval 2] [--count 0]
 //! ```
 //!
 //! `stats` prints the service totals, per-stage latency percentiles
 //! (reconstructed from the wire histograms with the telemetry crate's
 //! own bucket math), and per-shard saturation gauges; `--json` dumps the
-//! same data machine-readably and `--prom` emits a Prometheus text
-//! scrape (stats + health families). `trace` fetches the flight
+//! same data machine-readably — including the per-session heavy-hitter
+//! rows — and `--prom` emits a Prometheus text scrape (stats + health +
+//! bounded `laelaps_session_*` families). `trace` fetches the flight
 //! recorder's retained spans and writes them as Chrome trace-event JSON
 //! — load the file in Perfetto (<https://ui.perfetto.dev>) to see each
 //! chunk's wire-decode → ring → drain → publish causal chain per
 //! session. `health` renders the SLO engine's verdict, per-rule burn
-//! rates, and recent transitions; `watch` refreshes a top-like
-//! stats + health view in place every `--interval` seconds
-//! (`--count 0` = until interrupted).
+//! rates, and recent transitions. `sessions` renders the per-session
+//! observability view (wire v5): the worst sessions by heavy-hitter
+//! score plus an optional `--session ID` lookup. `watch` refreshes a
+//! top-like stats + health + sessions view in place every `--interval`
+//! seconds (`--count 0` = until interrupted); `top` is the same live
+//! refresh over just the worst-sessions table.
 
 use std::net::TcpStream;
 
 use laelaps_bench::json::Json;
 use laelaps_bench::{arg_present, arg_value, chrome, prom};
-use laelaps_serve::wire::{read_message, write_message, Message, WireHealth, WireStats};
+use laelaps_serve::wire::{
+    read_message, write_message, Message, WireHealth, WireSessionStats, WireStats,
+};
 use laelaps_serve::{sample_label, HealthVerdict, Stage, SAMPLE_WORDS};
 
 fn fail(reason: &str) -> ! {
@@ -53,10 +64,10 @@ fn exchange(addr: &str, request: &Message) -> Message {
     reply
 }
 
-/// Fetches the stats *and* health snapshots on one introspection
-/// connection (two requests back to back — the introspection exchange
-/// keeps answering until `Close`).
-fn fetch_stats_and_health(addr: &str) -> (Box<WireStats>, Box<WireHealth>) {
+/// Fetches the stats, health, *and* per-session snapshots on one
+/// introspection connection (three requests back to back — the
+/// introspection exchange keeps answering until `Close`).
+fn fetch_snapshots(addr: &str) -> (Box<WireStats>, Box<WireHealth>, Box<WireSessionStats>) {
     let mut stream = TcpStream::connect(addr)
         .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
     let mut ask = |request: &Message| -> Message {
@@ -74,8 +85,20 @@ fn fetch_stats_and_health(addr: &str) -> (Box<WireStats>, Box<WireHealth>) {
         Message::HealthSnapshot { health } => health,
         other => fail(&format!("expected HealthSnapshot, got {other:?}")),
     };
+    let sessions = match ask(&Message::SessionStatsRequest { session: None }) {
+        Message::SessionStatsSnapshot { sessions } => sessions,
+        other => fail(&format!("expected SessionStatsSnapshot, got {other:?}")),
+    };
     let _ = write_message(&mut stream, &Message::Close);
-    (stats, health)
+    (stats, health, sessions)
+}
+
+/// Fetches one per-session snapshot, optionally with a lookup row.
+fn fetch_sessions(addr: &str, session: Option<u64>) -> Box<WireSessionStats> {
+    match exchange(addr, &Message::SessionStatsRequest { session }) {
+        Message::SessionStatsSnapshot { sessions } => sessions,
+        other => fail(&format!("expected SessionStatsSnapshot, got {other:?}")),
+    }
 }
 
 fn verdict_label(raw: u8) -> String {
@@ -85,7 +108,7 @@ fn verdict_label(raw: u8) -> String {
     }
 }
 
-fn stats_json(stats: &WireStats) -> Json {
+fn stats_json(stats: &WireStats, sessions: &WireSessionStats) -> Json {
     Json::obj([
         ("sessions", Json::num_u64(stats.sessions as u64)),
         (
@@ -158,7 +181,49 @@ fn stats_json(stats: &WireStats) -> Json {
                     .collect(),
             ),
         ),
+        ("session_obs", sessions_json(sessions)),
     ])
+}
+
+fn session_row_json(row: &laelaps_serve::wire::WireSessionRow) -> Json {
+    Json::obj([
+        ("session", Json::num_u64(row.session)),
+        ("patient", Json::Str(row.patient.clone())),
+        ("shard", Json::num_u64(row.shard as u64)),
+        ("generation", Json::num_u64(row.generation)),
+        ("frames_in", Json::num_u64(row.frames_in)),
+        ("frames_processed", Json::num_u64(row.frames_processed)),
+        ("frames_dropped", Json::num_u64(row.frames_dropped)),
+        ("frames_refused", Json::num_u64(row.frames_refused)),
+        ("frames_discarded", Json::num_u64(row.frames_discarded)),
+        ("events_out", Json::num_u64(row.events_out)),
+        ("alarms_out", Json::num_u64(row.alarms_out)),
+        ("last_drain_tick", Json::num_u64(row.last_drain_tick)),
+        ("ewma_drain_us", Json::num_u64(row.ewma_drain_us)),
+        (
+            "scores",
+            Json::obj([
+                ("latency", Json::num_u64(row.score_latency)),
+                ("saturation", Json::num_u64(row.score_saturation)),
+                ("discard", Json::num_u64(row.score_discard)),
+            ]),
+        ),
+    ])
+}
+
+fn sessions_json(sessions: &WireSessionStats) -> Json {
+    let mut fields = vec![
+        ("enabled", Json::Bool(sessions.enabled)),
+        ("ticks", Json::num_u64(sessions.ticks)),
+        (
+            "top",
+            Json::Arr(sessions.top.iter().map(session_row_json).collect()),
+        ),
+    ];
+    if let Some(row) = &sessions.lookup {
+        fields.push(("lookup", session_row_json(row)));
+    }
+    Json::obj(fields)
 }
 
 fn stage_label(raw: u8) -> String {
@@ -265,6 +330,63 @@ fn print_health(health: &WireHealth) {
     }
 }
 
+/// The worst-sessions table: one row per heavy-hitter, worst combined
+/// score first, plus the lookup row when one was requested.
+fn print_sessions(sessions: &WireSessionStats) {
+    if !sessions.enabled {
+        println!("sessions        off (enable ServeConfig::sessions on the server)");
+        if let Some(row) = &sessions.lookup {
+            println!("lookup (counters only — no heavy-hitter scores while off):");
+            print_session_row(row, sessions.ticks);
+        }
+        return;
+    }
+    println!(
+        "sessions        {} heavy hitters after {} drain ticks",
+        sessions.top.len(),
+        sessions.ticks
+    );
+    if !sessions.top.is_empty() {
+        println!(
+            "session  patient        shard gen       in   processed  dropped discarded \
+             ewma_us last_tick    score"
+        );
+        for row in &sessions.top {
+            print_session_row(row, sessions.ticks);
+        }
+    }
+    if let Some(row) = &sessions.lookup {
+        println!("lookup:");
+        print_session_row(row, sessions.ticks);
+    }
+}
+
+fn print_session_row(row: &laelaps_serve::wire::WireSessionRow, ticks: u64) {
+    let combined = row
+        .score_latency
+        .saturating_add(row.score_saturation)
+        .saturating_add(row.score_discard);
+    let staleness = if row.last_drain_tick == 0 {
+        "never".to_string()
+    } else {
+        format!("-{}", ticks.saturating_sub(row.last_drain_tick))
+    };
+    println!(
+        "{:<8} {:<14} {:>5} {:>3} {:>8} {:>11} {:>8} {:>9} {:>7} {:>9} {:>8}",
+        row.session,
+        row.patient,
+        row.shard,
+        row.generation,
+        row.frames_in,
+        row.frames_processed,
+        row.frames_dropped,
+        row.frames_discarded,
+        row.ewma_drain_us,
+        staleness,
+        combined
+    );
+}
+
 /// One-character sparkline over a series column, scaled to the column's
 /// own maximum.
 fn sparkline(series: &[Vec<u64>], word: usize) -> String {
@@ -286,11 +408,16 @@ fn sparkline(series: &[Vec<u64>], word: usize) -> String {
 }
 
 /// The refreshing top-like view: service throughput, verdicts and burn
-/// rates, shard saturation, and sparklines over the health time-series.
-fn print_watch(stats: &WireStats, health: &WireHealth) {
+/// rates, shard saturation, the worst sessions, and sparklines over the
+/// health time-series.
+fn print_watch(stats: &WireStats, health: &WireHealth, sessions: &WireSessionStats) {
     print_stats(stats);
     println!();
     print_health(health);
+    if sessions.enabled {
+        println!();
+        print_sessions(sessions);
+    }
     if health.enabled && !health.series.is_empty() {
         let rows: Vec<Vec<u64>> = health.series.iter().map(|s| s.words.clone()).collect();
         println!();
@@ -377,19 +504,20 @@ fn main() {
     match command {
         "stats" => {
             if arg_present(&args, "--prom") {
-                let (stats, health) = fetch_stats_and_health(&addr);
-                print!("{}", prom::render(&stats, &health));
+                let (stats, health, sessions) = fetch_snapshots(&addr);
+                print!("{}", prom::render(&stats, &health, &sessions));
+                return;
+            }
+            if arg_present(&args, "--json") {
+                let (stats, _, sessions) = fetch_snapshots(&addr);
+                print!("{}", stats_json(&stats, &sessions).render_pretty());
                 return;
             }
             let reply = exchange(&addr, &Message::StatsRequest);
             let Message::StatsSnapshot { stats } = reply else {
                 fail(&format!("expected StatsSnapshot, got {reply:?}"));
             };
-            if arg_present(&args, "--json") {
-                print!("{}", stats_json(&stats).render_pretty());
-            } else {
-                print_stats(&stats);
-            }
+            print_stats(&stats);
         }
         "health" => {
             let reply = exchange(&addr, &Message::HealthRequest);
@@ -402,7 +530,19 @@ fn main() {
                 print_health(&health);
             }
         }
-        "watch" => {
+        "sessions" => {
+            let session = arg_value(&args, "--session").map(|v| {
+                v.parse::<u64>()
+                    .unwrap_or_else(|_| fail("--session takes a session id"))
+            });
+            let sessions = fetch_sessions(&addr, session);
+            if arg_present(&args, "--json") {
+                print!("{}", sessions_json(&sessions).render_pretty());
+            } else {
+                print_sessions(&sessions);
+            }
+        }
+        "watch" | "top" => {
             let interval = arg_value(&args, "--interval")
                 .map(|v| {
                     v.parse::<f64>()
@@ -418,12 +558,20 @@ fn main() {
                 .unwrap_or(0);
             let mut shown = 0usize;
             loop {
-                let (stats, health) = fetch_stats_and_health(&addr);
                 // Clear + home, like top: the view repaints in place.
-                print!("\x1b[2J\x1b[H");
-                println!("laelapsctl watch — {addr} (refresh {interval}s, ctrl-c to stop)");
-                println!();
-                print_watch(&stats, &health);
+                if command == "top" {
+                    let sessions = fetch_sessions(&addr, None);
+                    print!("\x1b[2J\x1b[H");
+                    println!("laelapsctl top — {addr} (refresh {interval}s, ctrl-c to stop)");
+                    println!();
+                    print_sessions(&sessions);
+                } else {
+                    let (stats, health, sessions) = fetch_snapshots(&addr);
+                    print!("\x1b[2J\x1b[H");
+                    println!("laelapsctl watch — {addr} (refresh {interval}s, ctrl-c to stop)");
+                    println!();
+                    print_watch(&stats, &health, &sessions);
+                }
                 use std::io::Write as _;
                 let _ = std::io::stdout().flush();
                 shown += 1;
@@ -461,7 +609,7 @@ fn main() {
             }
         }
         other => fail(&format!(
-            "unknown command {other:?}; use stats, trace, health, or watch"
+            "unknown command {other:?}; use stats, trace, health, sessions, watch, or top"
         )),
     }
 }

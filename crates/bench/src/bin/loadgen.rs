@@ -14,7 +14,7 @@
 //!     [--sessions 256] [--models 4] [--dim 1000] [--seconds 10]
 //!     [--arrival closed|open] [--rate 4] [--mode in-process|tcp]
 //!     [--per-frame] [--overhead-check] [--repeats 3]
-//!     [--health] [--prom-out health.prom]
+//!     [--health] [--per-session] [--prom-out health.prom]
 //!     [--trace-out trace.json] [--out BENCH_serve.json]
 //! ```
 //!
@@ -31,19 +31,26 @@
 //! ([`laelaps_serve::HealthConfig::enabled`]) for the main run; the
 //! final health snapshot lands in the artifact's `"health"` object
 //! (always present — `"enabled": false` when the flag is off).
-//! `--prom-out PATH` additionally writes the run's closing stats +
-//! health view as a Prometheus text-format scrape ([`prom`]).
+//! `--per-session` turns on the per-session observability layer
+//! ([`laelaps_serve::SessionObsConfig::enabled`]) for the main run;
+//! the closing heavy-hitter view lands in the artifact's
+//! `"session_obs"` object (always present — `"enabled": false` when
+//! the flag is off). `--prom-out PATH` additionally writes the run's
+//! closing stats + health + per-session view as a Prometheus
+//! text-format scrape ([`prom`]).
 //!
 //! `--overhead-check` additionally re-runs the closed-loop batched
-//! workload in four interleaved arms — telemetry off, telemetry on,
-//! telemetry + tracing, telemetry + health — one run per arm per
-//! `--repeats` round, and records the median throughput of each arm.
-//! The harness asserts telemetry stays within 2% of off, and tracing
-//! and health each within a further 3% of telemetry-only.
+//! workload in five interleaved arms — telemetry off, telemetry on,
+//! telemetry + tracing, telemetry + health, telemetry + per-session —
+//! one run per arm per `--repeats` round, and records the median
+//! throughput of each arm. The harness asserts telemetry stays within
+//! 2% of off, and tracing, health, and the per-session layer each
+//! within a further 3% of telemetry-only.
 //!
 //! The emitted `BENCH_serve.json` keeps the `laelaps-bench/serve-load/v1`
-//! schema; the per-shard `"shards"` gauges and the `"trace"` and
-//! `"health"` accounting objects are additive fields.
+//! schema; the per-shard `"shards"` gauges and the `"trace"`,
+//! `"health"`, and `"session_obs"` accounting objects are additive
+//! fields.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -56,10 +63,11 @@ use laelaps_eval::runner::{train_laelaps, PreparedPatient};
 use laelaps_ieeg::synth::demo_patient;
 use laelaps_ieeg::Recording;
 use laelaps_serve::net::{IngestClient, IngestServer};
-use laelaps_serve::wire::{WireHealth, WireStats};
+use laelaps_serve::wire::{WireHealth, WireSessionStats, WireStats};
 use laelaps_serve::{
     BatchConfig, BlockedBackend, DetectionService, HealthConfig, HealthSnapshot, ModelRegistry,
-    PushError, ServeConfig, ServiceStats, TelemetryConfig, TraceConfig, TraceSnapshot,
+    PushError, ServeConfig, ServiceStats, SessionObsConfig, SessionObsSnapshot, TelemetryConfig,
+    TraceConfig, TraceSnapshot,
 };
 
 const FS: usize = 512;
@@ -161,6 +169,9 @@ struct LoadSpec {
     /// SLO burn-rate evaluation (the health engine) with its default
     /// rule set.
     health: bool,
+    /// Per-session observability (accounting cells + heavy-hitter
+    /// sketches) with its default top-K.
+    per_session: bool,
     threads: usize,
 }
 
@@ -169,6 +180,7 @@ struct LoadReport {
     stats: ServiceStats,
     trace: TraceSnapshot,
     health: HealthSnapshot,
+    session_obs: SessionObsSnapshot,
 }
 
 impl LoadReport {
@@ -196,6 +208,11 @@ fn serve_config(spec: &LoadSpec) -> ServeConfig {
         } else {
             HealthConfig::default()
         },
+        sessions: if spec.per_session {
+            SessionObsConfig::enabled()
+        } else {
+            SessionObsConfig::default()
+        },
         ..ServeConfig::default()
     }
 }
@@ -214,13 +231,14 @@ fn run_in_process(spec: &LoadSpec, workload: &Workload) -> LoadReport {
 
     let drivers = spec.threads.clamp(1, spec.sessions);
     let start = Instant::now();
-    std::thread::scope(|scope| {
+    let session_obs = std::thread::scope(|scope| {
         let mut slots: Vec<Vec<(usize, _)>> = (0..drivers).map(|_| Vec::new()).collect();
         for (i, handle) in handles.into_iter().enumerate() {
             slots[i % drivers].push((i, handle));
         }
+        let mut workers = Vec::new();
         for mut owned in slots {
-            scope.spawn(move || {
+            workers.push(scope.spawn(move || {
                 let interval = spec
                     .open_rate
                     .map(|r| Duration::from_secs_f64(CHUNK_FRAMES as f64 / FS as f64 / r));
@@ -253,11 +271,22 @@ fn run_in_process(spec: &LoadSpec, workload: &Workload) -> LoadReport {
                         }
                     }
                 }
-                for (_, handle) in &mut owned {
-                    handle.close();
-                }
-            });
+                owned
+            }));
         }
+        // Drain, then sample the per-session view while the cohort is
+        // still registered — retired sessions drop out of the merged
+        // heavy-hitter ranking, so a post-close snapshot would be empty.
+        let mut owned: Vec<_> = workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("driver thread panicked"))
+            .collect();
+        service.flush();
+        let session_obs = service.session_obs_snapshot(None);
+        for (_, handle) in &mut owned {
+            handle.close();
+        }
+        session_obs
     });
     service.flush();
     let wall = start.elapsed();
@@ -266,6 +295,7 @@ fn run_in_process(spec: &LoadSpec, workload: &Workload) -> LoadReport {
         stats: service.stats(),
         trace: service.trace_snapshot(),
         health: service.health_snapshot(),
+        session_obs,
     }
 }
 
@@ -285,8 +315,15 @@ fn run_tcp(spec: &LoadSpec, workload: &Workload) -> LoadReport {
     let addr = server.local_addr();
 
     let start = Instant::now();
+    // Two rendezvous points bracket the per-session snapshot: all
+    // clients done streaming → sample while every session is still
+    // registered → clients close (retired sessions leave the ranking).
+    let streamed = std::sync::Barrier::new(spec.sessions + 1);
+    let sampled = std::sync::Barrier::new(spec.sessions + 1);
+    let mut session_obs = None;
     std::thread::scope(|scope| {
         for session in 0..spec.sessions {
+            let (streamed, sampled) = (&streamed, &sampled);
             scope.spawn(move || {
                 let patient = format!("M{:02}", session % workload.models.len());
                 let mut client = IngestClient::connect(addr, &patient, workload.electrodes as u32)
@@ -305,9 +342,15 @@ fn run_tcp(spec: &LoadSpec, workload: &Workload) -> LoadReport {
                         .send_chunk(workload.chunk(session, tick))
                         .expect("chunk sends");
                 }
+                streamed.wait();
+                sampled.wait();
                 client.finish().expect("clean close");
             });
         }
+        streamed.wait();
+        service.flush();
+        session_obs = Some(service.session_obs_snapshot(None));
+        sampled.wait();
     });
     service.flush();
     let wall = start.elapsed();
@@ -317,6 +360,7 @@ fn run_tcp(spec: &LoadSpec, workload: &Workload) -> LoadReport {
         stats: service.stats(),
         trace: service.trace_snapshot(),
         health: service.health_snapshot(),
+        session_obs: session_obs.expect("sampled inside the scope"),
     }
 }
 
@@ -433,6 +477,46 @@ fn health_obj(health: &HealthSnapshot) -> Json {
     ])
 }
 
+/// The run's closing per-session view: the heavy-hitter rows, worst
+/// combined score first. Always emitted — a disabled layer yields
+/// `"enabled": false` with an empty row list.
+fn session_obs_obj(obs: &SessionObsSnapshot) -> Json {
+    Json::obj([
+        ("enabled", Json::Bool(obs.enabled)),
+        ("ticks", Json::num_u64(obs.ticks)),
+        (
+            "top",
+            Json::Arr(
+                obs.top
+                    .iter()
+                    .map(|row| {
+                        Json::obj([
+                            ("session", Json::num_u64(row.session)),
+                            ("patient", Json::Str(row.patient.clone())),
+                            ("shard", Json::num_u64(row.shard as u64)),
+                            ("frames_in", Json::num_u64(row.stats.frames_in)),
+                            (
+                                "frames_processed",
+                                Json::num_u64(row.stats.frames_processed),
+                            ),
+                            ("frames_dropped", Json::num_u64(row.stats.frames_dropped)),
+                            (
+                                "frames_discarded",
+                                Json::num_u64(row.stats.frames_discarded),
+                            ),
+                            ("ewma_drain_us", Json::num_u64(row.stats.ewma_drain_us)),
+                            ("last_drain_tick", Json::num_u64(row.stats.last_drain_tick)),
+                            ("score_latency", Json::num_u64(row.scores.latency)),
+                            ("score_saturation", Json::num_u64(row.scores.saturation)),
+                            ("score_discard", Json::num_u64(row.scores.discard)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sessions = usize_arg(&args, "--sessions", 256).max(1);
@@ -447,6 +531,7 @@ fn main() {
     let batched = !arg_present(&args, "--per-frame");
     let overhead_check = arg_present(&args, "--overhead-check");
     let health = arg_present(&args, "--health");
+    let per_session = arg_present(&args, "--per-session");
     let trace_out = arg_value(&args, "--trace-out");
     let prom_out = arg_value(&args, "--prom-out");
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
@@ -477,6 +562,7 @@ fn main() {
         telemetry: true,
         trace: trace_out.is_some(),
         health,
+        per_session,
         threads,
     };
     eprintln!("loadgen: driving the cohort ...");
@@ -509,16 +595,18 @@ fn main() {
             telemetry: true,
             trace: false,
             health: false,
+            per_session: false,
             ..spec
         };
         eprintln!("loadgen: overhead check, {repeats} interleaved repeats per arm ...");
-        // Four arms, one run each per round so thermal / scheduler drift
+        // Five arms, one run each per round so thermal / scheduler drift
         // hits every arm equally; the median per arm keeps one slow
         // outlier run from deciding the comparison.
         let mut off_runs = Vec::with_capacity(repeats);
         let mut on_runs = Vec::with_capacity(repeats);
         let mut trace_runs = Vec::with_capacity(repeats);
         let mut health_runs = Vec::with_capacity(repeats);
+        let mut session_runs = Vec::with_capacity(repeats);
         for _ in 0..repeats {
             off_runs.push(
                 run(
@@ -554,19 +642,33 @@ fn main() {
                 )
                 .frames_per_sec(),
             );
+            session_runs.push(
+                run(
+                    &LoadSpec {
+                        per_session: true,
+                        ..base
+                    },
+                    &workload,
+                    false,
+                )
+                .frames_per_sec(),
+            );
         }
         let off = median(&mut off_runs);
         let on = median(&mut on_runs);
         let traced = median(&mut trace_runs);
         let healthy = median(&mut health_runs);
+        let per_session_on = median(&mut session_runs);
         let telemetry_pct = (off - on) / off * 100.0;
         let trace_pct = (on - traced) / on * 100.0;
         let health_pct = (on - healthy) / on * 100.0;
+        let session_pct = (on - per_session_on) / on * 100.0;
         eprintln!(
             "loadgen: median frames/s — telemetry off {off:.0}, \
              on {on:.0} ({telemetry_pct:+.2}%), \
              + tracing {traced:.0} ({trace_pct:+.2}% over telemetry), \
-             + health {healthy:.0} ({health_pct:+.2}% over telemetry)"
+             + health {healthy:.0} ({health_pct:+.2}% over telemetry), \
+             + sessions {per_session_on:.0} ({session_pct:+.2}% over telemetry)"
         );
         assert!(
             telemetry_pct <= 2.0,
@@ -580,17 +682,24 @@ fn main() {
             health_pct <= 3.0,
             "health overhead {health_pct:.2}% exceeds the 3% budget"
         );
+        assert!(
+            session_pct <= 3.0,
+            "per-session overhead {session_pct:.2}% exceeds the 3% budget"
+        );
         Json::obj([
             ("enabled_frames_per_sec", Json::Num(on.round())),
             ("disabled_frames_per_sec", Json::Num(off.round())),
             ("trace_frames_per_sec", Json::Num(traced.round())),
             ("health_frames_per_sec", Json::Num(healthy.round())),
+            ("session_frames_per_sec", Json::Num(per_session_on.round())),
             ("overhead_pct", round2(telemetry_pct)),
             ("trace_overhead_pct", round2(trace_pct)),
             ("health_overhead_pct", round2(health_pct)),
+            ("session_overhead_pct", round2(session_pct)),
             ("within_2pct", Json::Bool(true)),
             ("trace_within_3pct", Json::Bool(true)),
             ("health_within_3pct", Json::Bool(true)),
+            ("session_within_3pct", Json::Bool(true)),
         ])
     } else {
         Json::Null
@@ -641,6 +750,7 @@ fn main() {
         ("shards", shard_rows(&report.stats)),
         ("trace", trace_obj(&report.stats)),
         ("health", health_obj(&report.health)),
+        ("session_obs", session_obs_obj(&report.session_obs)),
         ("overhead_check", overhead),
     ]);
     std::fs::write(&out_path, doc.render_pretty()).expect("artifact writes");
@@ -650,6 +760,7 @@ fn main() {
         let scrape = prom::render(
             &WireStats::from_stats(&report.stats),
             &WireHealth::from_snapshot(&report.health),
+            &WireSessionStats::from_snapshot(&report.session_obs),
         );
         std::fs::write(&path, scrape).expect("prom artifact writes");
         eprintln!("loadgen: wrote {path}");

@@ -21,9 +21,14 @@
 //!   2 = critical), per-rule `slo_verdict{rule=…}` and
 //!   `slo_burn_rate{rule=…,window=fast|slow}`, and
 //!   `health_transitions_total`. `health_enabled 0` with no rule rows
-//!   means the server runs without health evaluation.
+//!   means the server runs without health evaluation;
+//! * the per-session layer (`laelaps_session_*`, session id as label):
+//!   **bounded** — only the heavy-hitter top-K rows render, never one
+//!   row per live session, so cardinality stays `O(shards × top_k)`
+//!   however many sessions stream. `session_obs_enabled 0` with no
+//!   session rows means the layer is off.
 
-use laelaps_serve::wire::{WireHealth, WireStats};
+use laelaps_serve::wire::{WireHealth, WireSessionStats, WireStats};
 use laelaps_serve::Stage;
 
 /// Renders `f` the way Prometheus expects: shortest round-trip decimal
@@ -85,10 +90,10 @@ impl Exposition {
     }
 }
 
-/// Renders one complete scrape: the service stats followed by the
-/// health view. Deterministic for fixed inputs — suitable for golden
-/// tests and for diffing two scrapes.
-pub fn render(stats: &WireStats, health: &WireHealth) -> String {
+/// Renders one complete scrape: the service stats, the health view,
+/// then the per-session heavy hitters. Deterministic for fixed inputs —
+/// suitable for golden tests and for diffing two scrapes.
+pub fn render(stats: &WireStats, health: &WireHealth, sessions: &WireSessionStats) -> String {
     let mut exp = Exposition::new();
 
     exp.family("sessions", "gauge", "Sessions currently registered.");
@@ -299,6 +304,85 @@ pub fn render(stats: &WireStats, health: &WireHealth) -> String {
         health.transitions.len() as f64,
     );
 
+    exp.family(
+        "session_obs_enabled",
+        "gauge",
+        "Whether the per-session observability layer is on (1) or off (0).",
+    );
+    exp.sample("session_obs_enabled", &[], sessions.enabled as u8 as f64);
+    exp.family(
+        "session_drain_ticks_total",
+        "counter",
+        "Shard-worker drain passes (the tick domain of session_last_drain_tick).",
+    );
+    exp.sample("session_drain_ticks_total", &[], sessions.ticks as f64);
+
+    exp.family(
+        "session_frames_total",
+        "counter",
+        "Heavy-hitter session frames by outcome (top-K rows only — bounded cardinality).",
+    );
+    for row in &sessions.top {
+        let id = row.session.to_string();
+        for (outcome, value) in [
+            ("in", row.frames_in),
+            ("processed", row.frames_processed),
+            ("dropped", row.frames_dropped),
+            ("discarded", row.frames_discarded),
+        ] {
+            exp.sample(
+                "session_frames_total",
+                &[("session", &id), ("outcome", outcome)],
+                value as f64,
+            );
+        }
+    }
+    exp.family(
+        "session_ewma_drain_us",
+        "gauge",
+        "Heavy-hitter session drain-latency EWMA, microseconds.",
+    );
+    for row in &sessions.top {
+        let id = row.session.to_string();
+        exp.sample(
+            "session_ewma_drain_us",
+            &[("session", &id)],
+            row.ewma_drain_us as f64,
+        );
+    }
+    exp.family(
+        "session_last_drain_tick",
+        "gauge",
+        "Drain tick of the session's last productive pass (compare with session_drain_ticks_total).",
+    );
+    for row in &sessions.top {
+        let id = row.session.to_string();
+        exp.sample(
+            "session_last_drain_tick",
+            &[("session", &id)],
+            row.last_drain_tick as f64,
+        );
+    }
+    exp.family(
+        "session_score",
+        "gauge",
+        "Heavy-hitter score by dimension (cumulative; higher = worse).",
+    );
+    for row in &sessions.top {
+        let id = row.session.to_string();
+        for (dimension, value) in [
+            ("latency", row.score_latency),
+            ("saturation", row.score_saturation),
+            ("discard", row.score_discard),
+        ] {
+            exp.sample(
+                "session_score",
+                &[("session", &id), ("dimension", dimension)],
+                value as f64,
+            );
+        }
+    }
+
     exp.out
 }
 
@@ -323,9 +407,18 @@ mod tests {
 
     #[test]
     fn disabled_health_still_renders_the_gauge() {
-        let text = render(&WireStats::default(), &WireHealth::default());
+        let text = render(
+            &WireStats::default(),
+            &WireHealth::default(),
+            &WireSessionStats::default(),
+        );
         assert!(text.contains("laelaps_health_enabled 0\n"));
         assert!(text.contains("laelaps_health_verdict 0\n"));
         assert!(!text.contains("slo_verdict{"), "no rules when disabled");
+        assert!(text.contains("laelaps_session_obs_enabled 0\n"));
+        assert!(
+            !text.contains("session_frames_total{"),
+            "no session rows when disabled"
+        );
     }
 }

@@ -76,3 +76,111 @@ fn laelapsctl_reads_live_stats_and_traces_over_tcp() {
     drop(server);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The per-session surface end-to-end: with the heavy-hitter layer on
+/// and one session streaming, `laelapsctl sessions` (text + `--json`,
+/// with and without `--session`) must rank it, and `stats --json` must
+/// carry the additive `session_obs` object.
+#[test]
+fn laelapsctl_ranks_live_sessions_over_tcp() {
+    use laelaps_core::{LaelapsConfig, Trainer, TrainingData};
+    use laelaps_serve::SessionObsConfig;
+
+    let config = LaelapsConfig::builder().dim(512).seed(91).build().unwrap();
+    let signal: Vec<Vec<f32>> = (0..4)
+        .map(|ch| {
+            (0..512 * 60)
+                .map(|t| ((t * (ch + 3)) % 97) as f32 / 97.0 - 0.5)
+                .collect()
+        })
+        .collect();
+    let data = TrainingData::new(&signal)
+        .ictal(512 * 40..512 * 55)
+        .interictal(512 * 5..512 * 35);
+    let model = Trainer::new(config).train(&data).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("laelaps-ctl-sess-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Arc::new(ModelRegistry::open(&dir).expect("registry opens"));
+    let service = Arc::new(DetectionService::new(ServeConfig {
+        workers: 1,
+        sessions: SessionObsConfig::enabled(),
+        ..ServeConfig::default()
+    }));
+    let server = IngestServer::bind("127.0.0.1:0", Arc::clone(&service), Arc::clone(&registry))
+        .expect("server binds");
+    let addr = server.local_addr().to_string();
+
+    let mut handle = service.open_session("C00", &model).expect("session opens");
+    let session_id = handle.id();
+    handle
+        .try_push_chunk(vec![0.0f32; 256 * 4].into_boxed_slice())
+        .expect("ring has room");
+    service.flush();
+
+    // `sessions --json`: the streaming session is the (only) heavy hitter.
+    let out = Command::new(env!("CARGO_BIN_EXE_laelapsctl"))
+        .args(["--addr", &addr, "sessions", "--json"])
+        .output()
+        .expect("laelapsctl runs");
+    assert!(
+        out.status.success(),
+        "sessions failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    assert_eq!(doc.get("enabled").and_then(Json::as_bool), Some(true));
+    let top = doc.get("top").and_then(Json::as_array).expect("top array");
+    assert_eq!(top.len(), 1, "one live session ranks");
+    assert_eq!(
+        top[0].get("session").and_then(Json::as_f64),
+        Some(session_id as f64)
+    );
+    assert_eq!(
+        top[0].get("frames_in").and_then(Json::as_f64),
+        Some(256.0 * 4.0 / 4.0)
+    );
+
+    // `--session <id>` lookup rides the same reply.
+    let out = Command::new(env!("CARGO_BIN_EXE_laelapsctl"))
+        .args([
+            "--addr",
+            &addr,
+            "sessions",
+            "--session",
+            &session_id.to_string(),
+            "--json",
+        ])
+        .output()
+        .expect("laelapsctl runs");
+    assert!(out.status.success());
+    let doc = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    let lookup = doc.get("lookup").expect("lookup row");
+    assert_eq!(
+        lookup.get("session").and_then(Json::as_f64),
+        Some(session_id as f64)
+    );
+
+    // Plain text rendering names the session and its patient.
+    let out = Command::new(env!("CARGO_BIN_EXE_laelapsctl"))
+        .args(["--addr", &addr, "sessions"])
+        .output()
+        .expect("laelapsctl runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("C00"), "text rendering: {text}");
+
+    // `stats --json` carries the additive session_obs object.
+    let out = Command::new(env!("CARGO_BIN_EXE_laelapsctl"))
+        .args(["--addr", &addr, "stats", "--json"])
+        .output()
+        .expect("laelapsctl runs");
+    assert!(out.status.success());
+    let stats = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    let obs = stats.get("session_obs").expect("session_obs object");
+    assert_eq!(obs.get("enabled").and_then(Json::as_bool), Some(true));
+
+    handle.close();
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,12 +1,14 @@
 //! Golden-file test for the Prometheus text exposition: a fixed
-//! [`WireStats`] + [`WireHealth`] fixture must render byte-for-byte to
-//! `tests/golden/health.prom`. If the renderer's output format changes
-//! deliberately, regenerate the golden by running this test and copying
-//! the printed actual output over the file.
+//! [`WireStats`] + [`WireHealth`] + [`WireSessionStats`] fixture must
+//! render byte-for-byte to `tests/golden/health.prom`. If the
+//! renderer's output format changes deliberately, regenerate the golden
+//! by running this test and copying the printed actual output over the
+//! file.
 
 use laelaps_bench::prom;
 use laelaps_serve::wire::{
-    WireHealth, WireHealthEvent, WireRuleEval, WireSeriesSample, WireShard, WireStage, WireStats,
+    WireHealth, WireHealthEvent, WireRuleEval, WireSeriesSample, WireSessionRow, WireSessionStats,
+    WireShard, WireStage, WireStats,
 };
 
 const GOLDEN: &str = include_str!("golden/health.prom");
@@ -114,9 +116,61 @@ fn fixture_health() -> WireHealth {
     }
 }
 
+fn fixture_sessions() -> WireSessionStats {
+    WireSessionStats {
+        enabled: true,
+        ticks: 9_120,
+        top: vec![
+            WireSessionRow {
+                session: 41,
+                shard: 0,
+                generation: 2,
+                patient: "chb07".into(),
+                frames_in: 20_480,
+                frames_dropped: 128,
+                frames_refused: 0,
+                frames_discarded: 64,
+                frames_processed: 20_224,
+                events_out: 79,
+                alarms_out: 2,
+                windows_batched: 79,
+                drains: 311,
+                max_drain_micros: 8_912,
+                last_drain_tick: 9_119,
+                ewma_drain_us: 412,
+                score_latency: 96_344,
+                score_saturation: 2_177,
+                score_discard: 64,
+            },
+            WireSessionRow {
+                session: 7,
+                shard: 1,
+                generation: 1,
+                patient: "chb01".into(),
+                frames_in: 10_240,
+                frames_dropped: 0,
+                frames_refused: 0,
+                frames_discarded: 0,
+                frames_processed: 10_240,
+                events_out: 40,
+                alarms_out: 0,
+                windows_batched: 40,
+                drains: 160,
+                max_drain_micros: 2_048,
+                last_drain_tick: 9_040,
+                ewma_drain_us: 96,
+                score_latency: 11_520,
+                score_saturation: 310,
+                score_discard: 0,
+            },
+        ],
+        lookup: None,
+    }
+}
+
 #[test]
 fn exposition_matches_the_golden_file() {
-    let actual = prom::render(&fixture_stats(), &fixture_health());
+    let actual = prom::render(&fixture_stats(), &fixture_health(), &fixture_sessions());
     if actual != GOLDEN {
         eprintln!("--- actual exposition ---\n{actual}\n--- end ---");
     }
@@ -135,4 +189,10 @@ fn golden_covers_the_ci_gate_patterns() {
     assert!(GOLDEN.contains("laelaps_slo_burn_rate{rule=\"drop_rate\",window=\"fast\"} 1.5\n"));
     assert!(GOLDEN.contains("laelaps_stage_latency_us{stage=\"classify\",quantile=\"0.99\"}"));
     assert!(GOLDEN.contains("laelaps_shard_ring_depth_chunks{shard=\"0\"} 7\n"));
+    assert!(GOLDEN.contains("laelaps_session_obs_enabled 1\n"));
+    assert!(
+        GOLDEN.contains("laelaps_session_frames_total{session=\"41\",outcome=\"dropped\"} 128\n")
+    );
+    assert!(GOLDEN.contains("laelaps_session_ewma_drain_us{session=\"41\"} 412\n"));
+    assert!(GOLDEN.contains("laelaps_session_score{session=\"41\",dimension=\"latency\"} 96344\n"));
 }

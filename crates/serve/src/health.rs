@@ -78,6 +78,13 @@ const W_STAGE0: usize = 6;
 /// a `watch` sparkline without bloating the wire frame).
 const SERIES_EXPORT: usize = 32;
 
+/// How many per-session samples one evaluation tick retains — the
+/// worst-looking sessions only, so the evaluator's per-tick state stays
+/// bounded no matter how many sessions are live. A stalled session's
+/// backlog grows monotonically, so it climbs into the sample set within
+/// a tick or two of wedging.
+pub(crate) const SESSION_SAMPLE_CAP: usize = 16;
+
 /// Stable label of sample word `index` (`None` past
 /// [`SAMPLE_WORDS`]) — what the Prometheus exposition and the `watch`
 /// view call each column.
@@ -206,6 +213,37 @@ pub enum SloRule {
         /// is allowed before it is declared stalled.
         max_missed: u32,
     },
+    /// Per-session liveness watchdog: a sampled *session* with queued
+    /// work whose `frames_processed` has not advanced for `max_missed`
+    /// consecutive ticks is `Critical` immediately (no burn windows) —
+    /// catches one patient's stream silently going dark while its shard
+    /// stays healthy. Transitions name the offender
+    /// (`"session_stall:<id>"`).
+    SessionStall {
+        /// Consecutive progress-less ticks (with work queued) a session
+        /// is allowed before it is declared stalled.
+        max_missed: u32,
+    },
+    /// The worst sampled session's cumulative discard rate — frames
+    /// discarded per 10 000 accepted *by that session* — must stay
+    /// under the ceiling. Cumulative, not windowed (discards follow a
+    /// terminal detector failure, so the rate only clears when the
+    /// failed session retires); both burn windows read the same value.
+    /// Transitions name the offender (`"session_discard_rate:<id>"`).
+    SessionDiscardRate {
+        /// Ceiling, in discarded frames per 10 000 accepted, per
+        /// session.
+        max_per_10k: u64,
+    },
+    /// The worst sampled session's EWMA drain latency must stay under
+    /// `ceiling_us` — one chronically slow session surfaces even while
+    /// service-wide percentiles look fine. Both burn windows read the
+    /// same (already-smoothed) value. Transitions name the offender
+    /// (`"session_latency:<id>"`).
+    SessionLatency {
+        /// Per-session EWMA drain-latency ceiling, µs.
+        ceiling_us: u64,
+    },
 }
 
 impl SloRule {
@@ -227,6 +265,11 @@ impl SloRule {
                 ceiling_us: 5_000_000,
             },
             SloRule::ShardStall { max_missed: 2 },
+            SloRule::SessionStall { max_missed: 4 },
+            SloRule::SessionDiscardRate { max_per_10k: 2_000 },
+            SloRule::SessionLatency {
+                ceiling_us: 1_000_000,
+            },
         ]
     }
 
@@ -241,6 +284,9 @@ impl SloRule {
             SloRule::RingSaturation { .. } => "ring_saturation".to_string(),
             SloRule::SwapStaleness { .. } => "swap_staleness".to_string(),
             SloRule::ShardStall { .. } => "shard_stall".to_string(),
+            SloRule::SessionStall { .. } => "session_stall".to_string(),
+            SloRule::SessionDiscardRate { .. } => "session_discard_rate".to_string(),
+            SloRule::SessionLatency { .. } => "session_latency".to_string(),
         }
     }
 }
@@ -337,7 +383,8 @@ pub struct HealthSnapshot {
 
 /// What one evaluation tick observes: the cumulative service counters,
 /// the cumulative stage histograms, the per-shard saturation gauges,
-/// and the per-shard heartbeat counters.
+/// the per-shard heartbeat counters, and a bounded set of per-session
+/// samples for the session-level rules.
 #[derive(Debug, Clone)]
 pub(crate) struct HealthInput {
     /// Cumulative `[in, processed, dropped, refused, discarded]`.
@@ -348,6 +395,32 @@ pub(crate) struct HealthInput {
     pub shards: Vec<ShardGauges>,
     /// Per-shard heartbeat counters (see [`HealthState::bump_heartbeat`]).
     pub heartbeats: Vec<u64>,
+    /// The worst-looking live sessions, at most [`SESSION_SAMPLE_CAP`]
+    /// of them (most in-flight first) — what the `Session*` rules
+    /// evaluate.
+    pub sessions: Vec<SessionHealthSample>,
+}
+
+/// One session's observation inside a [`HealthInput`]: cumulative frame
+/// counters plus the derived in-flight backlog and the drain-latency
+/// EWMA.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SessionHealthSample {
+    /// Session id (what a firing rule names in its transition).
+    pub session: u64,
+    /// Shard the session is pinned to.
+    pub shard: usize,
+    /// Cumulative frames accepted.
+    pub frames_in: u64,
+    /// Cumulative frames processed.
+    pub frames_processed: u64,
+    /// Cumulative frames discarded after a detector failure.
+    pub frames_discarded: u64,
+    /// Accepted frames not yet processed or discarded (the backlog that
+    /// arms the stall watchdog).
+    pub in_flight: u64,
+    /// EWMA drain latency, µs.
+    pub ewma_drain_us: u64,
 }
 
 /// One tick's deltas, kept for window evaluation.
@@ -383,6 +456,11 @@ struct EvalCore {
     rules: Vec<RuleState>,
     /// Consecutive heartbeat-less ticks (with work queued), per shard.
     missed: Vec<u32>,
+    /// Per-session stall watch, rebuilt each tick from the bounded
+    /// sample set: `(session, frames_processed at last tick, missed)`.
+    /// At most [`SESSION_SAMPLE_CAP`] entries, so evaluator memory
+    /// stays independent of the session count.
+    session_watch: Vec<(u64, u64, u32)>,
     latest: Vec<RuleEval>,
     verdict: HealthVerdict,
     journal: VecDeque<HealthTransition>,
@@ -430,6 +508,7 @@ impl HealthState {
                 window: VecDeque::new(),
                 rules,
                 missed: vec![0; shards],
+                session_watch: Vec::new(),
                 latest,
                 verdict: HealthVerdict::Ok,
                 journal: VecDeque::new(),
@@ -505,6 +584,31 @@ impl HealthState {
             }
         }
 
+        // Per-session stall bookkeeping, same shape as the shard
+        // watchdog: a sampled session with queued work whose
+        // `frames_processed` did not advance since the last tick misses
+        // a beat; progress (or an empty backlog, or dropping out of the
+        // sample set) clears it. Rebuilt each tick, bounded by the
+        // sample cap.
+        core.session_watch = input
+            .sessions
+            .iter()
+            .map(|s| {
+                let missed = core
+                    .session_watch
+                    .iter()
+                    .find(|(id, _, _)| *id == s.session)
+                    .map_or(0, |(_, last_processed, missed)| {
+                        if s.in_flight > 0 && s.frames_processed == *last_processed {
+                            missed.saturating_add(1)
+                        } else {
+                            0
+                        }
+                    });
+                (s.session, s.frames_processed, missed)
+            })
+            .collect();
+
         let ring_depth: u64 = input
             .shards
             .iter()
@@ -559,11 +663,19 @@ impl HealthState {
         let slow = self.config.slow_window.max(1);
         let mut latest = Vec::with_capacity(self.config.rules.len());
         for (index, rule) in self.config.rules.iter().enumerate() {
-            let (fast_burn, slow_burn) = burns(rule, &core.window, fast, slow, &core.missed);
+            let (fast_burn, slow_burn, offender) = burns(
+                rule,
+                &core.window,
+                fast,
+                slow,
+                &core.missed,
+                &core.session_watch,
+                &input.sessions,
+            );
             let computed = match rule {
-                // The watchdog is binary: missing the allowance is
+                // The watchdogs are binary: missing the allowance is
                 // Critical on the spot, windows play no part.
-                SloRule::ShardStall { .. } => {
+                SloRule::ShardStall { .. } | SloRule::SessionStall { .. } => {
                     if fast_burn >= 1.0 {
                         HealthVerdict::Critical
                     } else {
@@ -591,9 +703,17 @@ impl HealthState {
                 }
             }
             if state.verdict != held {
+                // A per-session rule names its worst offender on the
+                // way *up* ("session_stall:3"), so the journal and the
+                // bus say which patient stream to look at; downgrades
+                // use the plain rule name (the offender may be gone).
+                let rule_label = match offender {
+                    Some(id) if state.verdict > held => format!("{}:{id}", rule.name()),
+                    _ => rule.name(),
+                };
                 transitions.push(HealthTransition {
                     tick,
-                    rule: rule.name(),
+                    rule: rule_label,
                     from: held,
                     to: state.verdict,
                     fast_burn,
@@ -665,24 +785,28 @@ impl std::fmt::Debug for HealthState {
 }
 
 /// Burn rates of `rule` over the last `fast` and `slow` ticks of
-/// `window` (newest at the back).
+/// `window` (newest at the back). The third return is the worst
+/// offending session id, `Some` only for the per-session rules — what
+/// an upgrade transition appends to the rule name.
 fn burns(
     rule: &SloRule,
     window: &VecDeque<TickDelta>,
     fast: usize,
     slow: usize,
     missed: &[u32],
-) -> (f64, f64) {
+    session_watch: &[(u64, u64, u32)],
+    sessions: &[SessionHealthSample],
+) -> (f64, f64, Option<u64>) {
     match rule {
         SloRule::StageP99 { stage, ceiling_us } => {
             let burn = |n| windowed_p99(window, n, *stage) as f64 / (*ceiling_us).max(1) as f64;
-            (burn(fast), burn(slow))
+            (burn(fast), burn(slow), None)
         }
         SloRule::SwapStaleness { ceiling_us } => {
             let burn = |n| {
                 windowed_p99(window, n, Stage::AdaptPropagate) as f64 / (*ceiling_us).max(1) as f64
             };
-            (burn(fast), burn(slow))
+            (burn(fast), burn(slow), None)
         }
         SloRule::DropRate { max_per_10k } => rate_burns(window, fast, slow, 2, *max_per_10k),
         SloRule::DiscardRate { max_per_10k } => rate_burns(window, fast, slow, 4, *max_per_10k),
@@ -698,14 +822,48 @@ fn burns(
                     .unwrap_or(0);
                 worst as f64 / (*max_depth_chunks).max(1) as f64
             };
-            (burn(fast), burn(slow))
+            (burn(fast), burn(slow), None)
         }
         SloRule::ShardStall { max_missed } => {
             let worst = missed.iter().copied().max().unwrap_or(0);
             let burn = worst as f64 / (*max_missed).max(1) as f64;
-            (burn, burn)
+            (burn, burn, None)
+        }
+        SloRule::SessionStall { max_missed } => {
+            // Watchdog over the bounded stall watch; no windows — the
+            // missed counter is already "consecutive ticks".
+            let worst = session_watch.iter().max_by_key(|(_, _, m)| *m);
+            let burn = worst.map_or(0.0, |(_, _, m)| *m as f64 / (*max_missed).max(1) as f64);
+            (burn, burn, worst.map(|(id, _, _)| *id))
+        }
+        SloRule::SessionDiscardRate { max_per_10k } => {
+            // Cumulative per-session rate (discards follow a terminal
+            // failure; the rate clears when the session retires), so
+            // both windows read the same value.
+            let worst = sessions.iter().max_by(|a, b| {
+                per_10k(a.frames_discarded, a.frames_in)
+                    .total_cmp(&per_10k(b.frames_discarded, b.frames_in))
+            });
+            let burn = worst.map_or(0.0, |s| {
+                per_10k(s.frames_discarded, s.frames_in) / (*max_per_10k).max(1) as f64
+            });
+            (burn, burn, worst.map(|s| s.session))
+        }
+        SloRule::SessionLatency { ceiling_us } => {
+            // The EWMA is already smoothed, so both windows read it as
+            // is.
+            let worst = sessions.iter().max_by_key(|s| s.ewma_drain_us);
+            let burn = worst.map_or(0.0, |s| {
+                s.ewma_drain_us as f64 / (*ceiling_us).max(1) as f64
+            });
+            (burn, burn, worst.map(|s| s.session))
         }
     }
+}
+
+/// Cumulative events per 10 000 frames in.
+fn per_10k(hit: u64, base: u64) -> f64 {
+    hit as f64 * 10_000.0 / base.max(1) as f64
 }
 
 /// p99 of `stage` over the newest `n` ticks (per-tick delta histograms
@@ -726,17 +884,16 @@ fn rate_burns(
     slow: usize,
     index: usize,
     max_per_10k: u64,
-) -> (f64, f64) {
+) -> (f64, f64, Option<u64>) {
     let burn = |n: usize| {
         let (mut hit, mut base) = (0u64, 0u64);
         for tick in window.iter().rev().take(n) {
             hit += tick.frames[index];
             base += tick.frames[W_FRAMES_IN];
         }
-        let per_10k = hit as f64 * 10_000.0 / (base.max(1)) as f64;
-        per_10k / max_per_10k.max(1) as f64
+        per_10k(hit, base) / max_per_10k.max(1) as f64
     };
-    (burn(fast), burn(slow))
+    (burn(fast), burn(slow), None)
 }
 
 #[cfg(test)]
@@ -756,6 +913,33 @@ mod tests {
                 in_flight_frames: in_flight,
             }],
             heartbeats: vec![heartbeat],
+            sessions: Vec::new(),
+        }
+    }
+
+    /// [`input`] plus scripted per-session samples.
+    fn input_with_sessions(
+        frames: [u64; 5],
+        heartbeat: u64,
+        sessions: Vec<SessionHealthSample>,
+    ) -> HealthInput {
+        HealthInput {
+            sessions,
+            ..input(frames, 0, 0, heartbeat)
+        }
+    }
+
+    fn sample(session: u64, frames_in: u64, processed: u64, discarded: u64) -> SessionHealthSample {
+        SessionHealthSample {
+            session,
+            shard: 0,
+            frames_in,
+            frames_processed: processed,
+            frames_discarded: discarded,
+            in_flight: frames_in
+                .saturating_sub(processed)
+                .saturating_sub(discarded),
+            ewma_drain_us: 0,
         }
     }
 
@@ -885,6 +1069,85 @@ mod tests {
             state.tick(input([100, 100, 0, 0, 0], 0, 0, hb));
         }
         assert_eq!(state.snapshot().verdict, HealthVerdict::Ok);
+    }
+
+    #[test]
+    fn stalled_session_goes_critical_and_names_its_id() {
+        let state = HealthState::new(config(vec![SloRule::SessionStall { max_missed: 2 }]), 1);
+        // Session 7 has a backlog; session 8 keeps progressing. The
+        // heartbeat advances every tick — the *shard* is healthy.
+        let mut ups = Vec::new();
+        for hb in 1..=4u64 {
+            ups.extend(state.tick(input_with_sessions(
+                [200 + hb * 10, 60 + hb * 10, 0, 0, 0],
+                hb,
+                vec![sample(7, 100, 40, 0), sample(8, 100, 20 + hb * 10, 0)],
+            )));
+        }
+        // Session 7's backlog never moved: the allowance (2 ticks) ran
+        // out while session 8 and the shard heartbeat stayed healthy.
+        assert_eq!(state.snapshot().verdict, HealthVerdict::Critical);
+        assert!(
+            ups.iter()
+                .any(|t| t.rule == "session_stall:7" && t.to == HealthVerdict::Critical),
+            "offender named in the transition: {ups:?}"
+        );
+        // The session drains: progress clears the watch, recovery runs
+        // out the hysteresis, and the downgrade uses the plain name.
+        let mut all = Vec::new();
+        for hb in 5..12u64 {
+            all.extend(state.tick(input_with_sessions(
+                [260, 110 + hb, 0, 0, 0],
+                hb,
+                vec![sample(7, 100, 100, 0)],
+            )));
+        }
+        assert_eq!(state.snapshot().verdict, HealthVerdict::Ok);
+        assert!(all
+            .iter()
+            .any(|t| t.rule == "session_stall" && t.to == HealthVerdict::Ok));
+    }
+
+    #[test]
+    fn session_discard_rate_names_the_worst_offender() {
+        let state = HealthState::new(
+            config(vec![SloRule::SessionDiscardRate { max_per_10k: 100 }]),
+            1,
+        );
+        state.tick(input_with_sessions([0; 5], 0, Vec::new()));
+        // Session 3 discarded 5% of its frames (500/10k, 5× the
+        // ceiling); session 4 is clean. Cumulative rule: both windows
+        // breach at once → Critical immediately.
+        let transitions = state.tick(input_with_sessions(
+            [20_000, 19_000, 0, 0, 1_000],
+            1,
+            vec![sample(3, 10_000, 9_000, 500), sample(4, 10_000, 10_000, 0)],
+        ));
+        assert_eq!(state.snapshot().verdict, HealthVerdict::Critical);
+        assert!(transitions
+            .iter()
+            .any(|t| t.rule == "session_discard_rate:3" && t.to == HealthVerdict::Critical));
+    }
+
+    #[test]
+    fn session_latency_watches_the_worst_ewma() {
+        let state = HealthState::new(
+            config(vec![SloRule::SessionLatency { ceiling_us: 1_000 }]),
+            1,
+        );
+        state.tick(input_with_sessions([0; 5], 0, Vec::new()));
+        let slow = SessionHealthSample {
+            ewma_drain_us: 5_000,
+            ..sample(9, 1_000, 900, 0)
+        };
+        let transitions = state.tick(input_with_sessions([1_000, 900, 0, 0, 0], 1, vec![slow]));
+        assert_eq!(state.snapshot().verdict, HealthVerdict::Critical);
+        assert!(transitions
+            .iter()
+            .any(|t| t.rule == "session_latency:9" && t.to == HealthVerdict::Critical));
+        let eval = &state.snapshot().rules[0];
+        assert_eq!(eval.name, "session_latency", "latest keeps the plain name");
+        assert!((eval.fast_burn - 5.0).abs() < 1e-9);
     }
 
     #[test]

@@ -126,13 +126,45 @@
 //!   `laelapsctl` binary in `laelaps-bench` renders, and what
 //!   `loadgen --trace-out` exports as Chrome trace-event JSON for
 //!   Perfetto. Tracing defaults off and then performs zero clock reads.
+//!
+//!   [`ServeConfig::sessions`] adds the **per-session layer** on top:
+//!   every session carries a compact accounting cell
+//!   ([`laelaps_telemetry::SessionCell`] — frames in / processed /
+//!   dropped / discarded, the drain tick of its last productive pass,
+//!   and an EWMA of its drain latency; plain atomics, zero clock
+//!   reads), and each shard worker feeds a fixed-capacity
+//!   [`laelaps_telemetry::TopK`] heavy-hitter sketch triple (drain
+//!   latency / ring saturation / discards), so memory stays
+//!   `O(shards × 3 × top_k)` **no matter how many sessions stream**:
+//!
+//!   ```text
+//!   session drain ──> SessionCell (per session, plain atomics)
+//!        │                 │ ewma / depth / discards
+//!        │                 v
+//!        └────> shard TopK sketches (fixed K, wait-free add)
+//!                          │ merge on demand
+//!                          v
+//!        SessionObsSnapshot { top-K rows + lookup } ── wire v5
+//!               (`laelapsctl sessions` / `top`, Prometheus)
+//!   ```
+//!
+//!   Read it in process via [`DetectionService::session_obs_snapshot`],
+//!   or over the wire: `SessionStatsRequest` (wire v5, optional
+//!   single-session lookup) answers with `SessionStatsSnapshot` — what
+//!   `laelapsctl sessions` / `laelapsctl top` render and
+//!   `laelapsctl stats --prom` exposes as bounded `laelaps_session_*`
+//!   Prometheus families. The layer defaults **off**; enabled, the
+//!   loadgen overhead gate holds it within 3% of telemetry-only.
 //! * **Health & SLO** ([`ServeConfig::health`] / [`HealthSnapshot`]) —
 //!   a continuous judgment layer on top of the raw telemetry: a
 //!   dedicated evaluator thread samples the counters, gauges, and stage
 //!   histograms once per interval, stores the windowed deltas in an
 //!   allocation-free [`laelaps_telemetry::SeriesRing`], and evaluates
 //!   declarative [`SloRule`]s (stage p99 ceilings, drop/refusal/discard
-//!   rate ceilings, ring saturation, feedback-propagation staleness)
+//!   rate ceilings, ring saturation, feedback-propagation staleness,
+//!   and — when the per-session layer is on — per-session stall,
+//!   discard-rate, and latency rules whose verdicts **name the
+//!   offending session id** in the journal and on the bus)
 //!   over **fast and slow burn windows** with hysteresis, so a brief
 //!   spike degrades quickly but recovery requires sustained clean
 //!   evaluations — no verdict flapping under oscillating load. A
@@ -195,7 +227,8 @@ pub use persist::{
 pub use service::{AlarmRecord, DetectionService, ServeConfig, ServiceEvent};
 pub use session::{EventTap, PushError, SessionHandle, SessionId, SessionOutput};
 pub use stats::{
-    BatchingStats, RegistryStats, ServiceStats, SessionStats, SessionStatsEntry, ShardBatchStats,
+    BatchingStats, RegistryStats, ServiceStats, SessionObsConfig, SessionObsRow,
+    SessionObsSnapshot, SessionScores, SessionStats, SessionStatsEntry, ShardBatchStats,
     ShardGauges, TelemetrySnapshot, TraceStats,
 };
 

@@ -54,8 +54,8 @@ use crate::persist::ModelRegistry;
 use crate::service::DetectionService;
 use crate::session::{EventTap, PushError, SessionHandle, SessionOutput};
 use crate::wire::{
-    event_message, health_message, read_message, read_message_spanned, trace_dump_message,
-    write_message, Message, WireStats, MAX_PAYLOAD,
+    event_message, health_message, read_message, read_message_spanned, session_stats_message,
+    trace_dump_message, write_message, Message, WireStats, MAX_PAYLOAD,
 };
 
 /// How often a blocked socket read wakes to check for server shutdown.
@@ -319,7 +319,8 @@ fn serve_connection(
     if let Ok(Some((
         request @ (Message::StatsRequest
         | Message::TraceDumpRequest { .. }
-        | Message::HealthRequest),
+        | Message::HealthRequest
+        | Message::SessionStatsRequest { .. }),
         _decode_us,
     ))) = first
     {
@@ -430,8 +431,8 @@ fn open_from_hello(
 }
 
 /// Answers a read-only introspection exchange: the connection's first
-/// message was `StatsRequest`/`TraceDumpRequest`/`HealthRequest`, and
-/// every subsequent
+/// message was `StatsRequest`/`TraceDumpRequest`/`HealthRequest`/
+/// `SessionStatsRequest`, and every subsequent
 /// message must be another request (or `Close`/EOF to end it). Stats
 /// come from the engine when one is attached (registry + adaptation
 /// counters included) and from the service + registry otherwise — the
@@ -460,6 +461,9 @@ fn serve_introspection(
                 trace_dump_message(&service.trace_snapshot(), limit)
             }
             Message::HealthRequest => health_message(&service.health_snapshot()),
+            Message::SessionStatsRequest { session } => {
+                session_stats_message(&service.session_obs_snapshot(session))
+            }
             _ => unreachable!("serve_introspection dispatches only on requests"),
         };
         send(writer, &reply)?;
@@ -468,12 +472,13 @@ fn serve_introspection(
             Some(
                 next @ (Message::StatsRequest
                 | Message::TraceDumpRequest { .. }
-                | Message::HealthRequest),
+                | Message::HealthRequest
+                | Message::SessionStatsRequest { .. }),
             ) => next,
             Some(other) => {
                 let e = ServeError::Protocol {
                     reason: format!(
-                        "introspection connections accept only stats/trace/health \
+                        "introspection connections accept only stats/trace/health/session \
                          requests, got {other:?}"
                     ),
                 };

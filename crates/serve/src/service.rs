@@ -16,11 +16,15 @@ use laelaps_telemetry::{Stage, TelemetryConfig, TraceConfig, TraceHandle, TraceS
 
 use crate::batch::{BatchConfig, BatchRunner};
 use crate::error::Result;
+use crate::health::SessionHealthSample;
 use crate::health::{HealthConfig, HealthInput, HealthSnapshot, HealthState, HealthTransition};
 use crate::persist::ModelRegistry;
 use crate::ring;
 use crate::session::{SessionCore, SessionHandle, SessionId, WorkerState};
-use crate::stats::{RetiredStats, ServiceStats, ServiceTelemetry, SessionStatsEntry, ShardGauges};
+use crate::stats::{
+    RetiredStats, ServiceStats, ServiceTelemetry, SessionObsConfig, SessionObsRow,
+    SessionObsSnapshot, SessionScores, SessionStatsEntry, ShardGauges,
+};
 
 /// An alarm surfaced on the service-wide bus.
 #[derive(Debug, Clone)]
@@ -109,6 +113,13 @@ pub struct ServeConfig {
     /// [`DetectionService::health_snapshot`] or the wire
     /// `HealthRequest`.
     pub health: HealthConfig,
+    /// Per-session observability (default **off**). When enabled, shard
+    /// workers feed fixed-capacity heavy-hitter sketches — memory
+    /// `O(shards × top_k)`, never `O(sessions)` — ranking the worst
+    /// sessions by drain latency, ring saturation, and discards; query
+    /// with [`DetectionService::session_obs_snapshot`], the wire v5
+    /// `SessionStatsRequest`, or `laelapsctl sessions` / `top`.
+    pub sessions: SessionObsConfig,
 }
 
 impl Default for ServeConfig {
@@ -120,6 +131,7 @@ impl Default for ServeConfig {
             telemetry: TelemetryConfig::default(),
             trace: TraceConfig::default(),
             health: HealthConfig::default(),
+            sessions: SessionObsConfig::default(),
         }
     }
 }
@@ -217,6 +229,10 @@ impl ServiceInner {
             // no drain, no progress bump, no heartbeat.
             return false;
         }
+        // The shared pass counter: the tick domain sessions stamp into
+        // `last_drain_tick` on a productive drain. One Relaxed
+        // fetch_add per pass; never a clock read.
+        self.telemetry.drain_ticks.inc();
         let sessions: Vec<Arc<SessionCore>> = {
             let guard = self.shards[shard].lock().expect("shard lock poisoned");
             guard.clone()
@@ -369,7 +385,8 @@ impl ServiceInner {
 
     /// One health-evaluation observation: cumulative frame counters
     /// (live sessions + everything retired), cumulative stage
-    /// histograms, per-shard gauges, and the heartbeat counters.
+    /// histograms, per-shard gauges, the heartbeat counters, and a
+    /// bounded set of per-session samples for the session-level rules.
     fn health_input(&self, health: &HealthState) -> HealthInput {
         let retired = *self.retired.lock().expect("retired poisoned");
         let mut frames = [
@@ -379,6 +396,7 @@ impl ServiceInner {
             retired.totals.frames_refused,
             retired.totals.frames_discarded,
         ];
+        let mut samples: Vec<SessionHealthSample> = Vec::new();
         for core in self.all_sessions() {
             let s = core.counters.snapshot();
             frames[0] += s.frames_in;
@@ -386,12 +404,37 @@ impl ServiceInner {
             frames[2] += s.frames_dropped;
             frames[3] += s.frames_refused;
             frames[4] += s.frames_discarded;
+            samples.push(SessionHealthSample {
+                session: core.id,
+                shard: core.shard,
+                frames_in: s.frames_in,
+                frames_processed: s.frames_processed,
+                frames_discarded: s.frames_discarded,
+                in_flight: s
+                    .frames_in
+                    .saturating_sub(s.frames_processed)
+                    .saturating_sub(s.frames_discarded),
+                ewma_drain_us: s.ewma_drain_us,
+            });
         }
+        // Bound the evaluator's per-tick state: keep the worst-looking
+        // sessions only (most in-flight, then most discarded, then
+        // slowest). A stalled session's backlog grows, so it always
+        // climbs into the sample set within a tick or two.
+        samples.sort_by(|a, b| {
+            b.in_flight
+                .cmp(&a.in_flight)
+                .then(b.frames_discarded.cmp(&a.frames_discarded))
+                .then(b.ewma_drain_us.cmp(&a.ewma_drain_us))
+                .then(a.session.cmp(&b.session))
+        });
+        samples.truncate(crate::health::SESSION_SAMPLE_CAP);
         HealthInput {
             frames,
             stages: self.telemetry.stages.snapshot(),
             shards: self.shard_gauges(),
             heartbeats: health.heartbeat_counts(),
+            sessions: samples,
         }
     }
 }
@@ -499,7 +542,12 @@ impl DetectionService {
                 .batch
                 .as_ref()
                 .map(|batch| BatchRunner::new(batch, workers)),
-            telemetry: Arc::new(ServiceTelemetry::new(&config.telemetry, &config.trace)),
+            telemetry: Arc::new(ServiceTelemetry::new(
+                &config.telemetry,
+                &config.trace,
+                &config.sessions,
+                workers,
+            )),
             health: health.clone(),
             wedged: (0..workers).map(|_| AtomicBool::new(false)).collect(),
         });
@@ -561,6 +609,7 @@ impl DetectionService {
             generation: AtomicU64::new(model.generation()),
             failed_flag: Default::default(),
             done: Default::default(),
+            wedged: Default::default(),
         });
         self.inner.shards[shard]
             .lock()
@@ -781,6 +830,49 @@ impl DetectionService {
         }
     }
 
+    /// Point-in-time per-session observability view: the worst live
+    /// sessions by heavy-hitter score (bounded by `shards × 3 × top_k`
+    /// rows) plus an optional any-session lookup by id. With
+    /// [`ServeConfig::sessions`] disabled, `enabled` is `false` and
+    /// `top` is empty — but the lookup still answers, because every
+    /// session carries its accounting cell regardless.
+    pub fn session_obs_snapshot(&self, lookup: Option<SessionId>) -> SessionObsSnapshot {
+        let ticks = self.inner.telemetry.drain_ticks.get();
+        let scored: Vec<(u64, SessionScores)> = self
+            .inner
+            .telemetry
+            .session_obs
+            .as_ref()
+            .map(|obs| obs.merged())
+            .unwrap_or_default();
+        let top = scored
+            .iter()
+            // Retired sessions drop out of the view (their slots age out
+            // of the sketches as live sessions outweigh them).
+            .filter_map(|(id, scores)| {
+                self.inner
+                    .find_session(*id)
+                    .map(|core| session_obs_row(&core, *scores))
+            })
+            .collect();
+        let lookup = lookup.and_then(|id| {
+            self.inner.find_session(id).map(|core| {
+                let scores = scored
+                    .iter()
+                    .find(|(s, _)| *s == id)
+                    .map(|(_, scores)| *scores)
+                    .unwrap_or_default();
+                session_obs_row(&core, scores)
+            })
+        });
+        SessionObsSnapshot {
+            enabled: self.inner.telemetry.session_obs.is_some(),
+            ticks,
+            top,
+            lookup,
+        }
+    }
+
     /// Test-only hook: wedges (or un-wedges) one shard's worker. While
     /// wedged, the worker's drain pass returns immediately — no
     /// draining, no progress, **no heartbeat** — exactly what a stalled
@@ -794,6 +886,23 @@ impl DetectionService {
             // The worker may be parked on the pool condvar with work
             // still queued; wake it so recovery starts immediately.
             self.pool.notify();
+        }
+    }
+
+    /// Test-only hook: wedges (or un-wedges) **one session**, not its
+    /// shard. While wedged, both drain paths skip this session — its
+    /// frames stay queued (zero loss) while the shard keeps draining
+    /// its other sessions and heart-beating, so only the session-level
+    /// stall rule can fire, never the shard watchdog. Not part of the
+    /// stable API; exists so integration tests can prove per-session
+    /// stall detection end-to-end.
+    #[doc(hidden)]
+    pub fn debug_wedge_session(&self, session: SessionId, wedged: bool) {
+        if let Some(core) = self.inner.find_session(session) {
+            core.wedged.store(wedged, Ordering::Release);
+            if !wedged {
+                self.pool.notify();
+            }
         }
     }
 
@@ -826,6 +935,18 @@ impl DetectionService {
             stats.telemetry.batching = batch.stats();
         }
         stats
+    }
+}
+
+/// Builds one [`SessionObsRow`] for a live session.
+fn session_obs_row(core: &SessionCore, scores: SessionScores) -> SessionObsRow {
+    SessionObsRow {
+        session: core.id,
+        patient: core.patient.clone(),
+        shard: core.shard,
+        generation: core.generation.load(Ordering::Acquire),
+        stats: core.counters.snapshot(),
+        scores,
     }
 }
 

@@ -146,6 +146,12 @@ pub(crate) struct SessionCore {
     /// Set by the worker once the stream is closed and fully drained;
     /// the shard then retires the session.
     pub done: AtomicBool,
+    /// Debug-only wedge ([`crate::DetectionService::debug_wedge_session`]):
+    /// while set, both drain paths return without touching this
+    /// session's ring — frames stay queued (zero loss), the shard keeps
+    /// serving its other sessions and heart-beating, so only the
+    /// *session*-level stall rule can fire.
+    pub wedged: AtomicBool,
     /// Read-only occupancy view of this session's ring, for the
     /// per-shard saturation gauges in the telemetry snapshot.
     pub ring_depth: DepthGauge,
@@ -230,7 +236,7 @@ impl SessionCore {
         // frame) boundary. A chunk whose push races its own accounting
         // may land on the new-model side; the single-swap-point and
         // zero-drop guarantees are unaffected.
-        let barrier = self.counters.frames_in.load(Ordering::Acquire);
+        let barrier = self.counters.cell.accepted();
         self.pending_swap.stage(
             SwapRequest {
                 model: Arc::clone(model),
@@ -319,6 +325,9 @@ impl SessionCore {
     /// Drains queued chunks through the detector. Returns `true` if any
     /// work was done. Called only by the session's shard worker.
     pub fn drain(&self, bus: &Mutex<VecDeque<ServiceEvent>>) -> bool {
+        if self.wedged.load(Ordering::Acquire) {
+            return false;
+        }
         let mut state = self.worker.lock().expect("session worker lock poisoned");
         if self.done.load(Ordering::Relaxed) {
             return false;
@@ -333,7 +342,7 @@ impl SessionCore {
         let mut traced: Vec<TraceId> = Vec::new();
         // Stream position before this pass; only this worker advances the
         // counter, so base + frames_done is exact within the pass.
-        let base_processed = self.counters.frames_processed.load(Ordering::Acquire);
+        let base_processed = self.counters.cell.processed();
         // Frames of the aborted in-flight chunk lost to an error or panic;
         // accounted as drops so frames_in == processed + dropped holds.
         let mut aborted_tail: u64 = 0;
@@ -433,14 +442,14 @@ impl SessionCore {
         let worked = frames_done > 0 || newly_failed || discarded > 0 || !out.is_empty();
         self.publish_traced(out, bus, &traced);
         if worked {
-            self.counters.record_drain(timer.commit());
+            self.counters
+                .record_drain(timer.commit(), self.telemetry.drain_ticks.get());
             self.telemetry.record_frames(frames_done);
             // Publish progress only after events reached the outbox, so a
             // flush() that observes frames_processed == frames_in also
             // observes every resulting event.
-            self.counters
-                .frames_processed
-                .fetch_add(frames_done, Ordering::Release);
+            self.counters.cell.record_processed(frames_done);
+            self.feed_session_obs(discarded);
         }
         // Retire only once the producer side is closed and the ring is
         // empty — a failed session keeps discarding (and counting) frames
@@ -472,11 +481,27 @@ impl SessionCore {
             discarded += (chunk.samples.len() / self.electrodes) as u64;
         }
         if discarded > 0 {
-            self.counters
-                .frames_discarded
-                .fetch_add(discarded, Ordering::Relaxed);
+            self.counters.cell.record_discarded(discarded);
         }
         discarded
+    }
+
+    /// Feeds the per-session heavy-hitter sketches after a productive
+    /// drain pass — a no-op unless [`crate::ServeConfig::sessions`]
+    /// enabled the layer. Runs on the shard worker, which knows this
+    /// pass's deltas: the just-updated latency EWMA, the ring depth the
+    /// pass left behind, and the frames it discarded. Wait-free.
+    #[inline]
+    fn feed_session_obs(&self, discarded: u64) {
+        if let Some(obs) = &self.telemetry.session_obs {
+            obs.record(
+                self.shard,
+                self.id,
+                self.counters.cell.ewma_drain_us(),
+                self.ring_depth.get() as u64,
+                discarded,
+            );
+        }
     }
 
     /// [`SessionCore::publish_outputs`] plus a shared publish span: the
@@ -573,13 +598,16 @@ impl SessionCore {
     /// events reach the outbox, preserving the flush invariant).
     pub(crate) fn encode_backlog(&self, plan: &mut BatchPlan) -> SessionPending {
         let mut pending = SessionPending::default();
+        if self.wedged.load(Ordering::Acquire) {
+            return pending;
+        }
         let mut state = self.worker.lock().expect("session worker lock poisoned");
         if self.done.load(Ordering::Relaxed) {
             return pending;
         }
         // Committed only if the phase did work (mirrors drain()).
         let timer = self.telemetry.stages.timer(Stage::Encode);
-        let base_processed = self.counters.frames_processed.load(Ordering::Acquire);
+        let base_processed = self.counters.cell.processed();
         let mut frames_done: u64 = 0;
         let mut aborted_tail: u64 = 0;
         let mut items: Vec<PendingItem> = Vec::new();
@@ -792,8 +820,10 @@ impl SessionCore {
             || !out.is_empty();
         self.publish_traced(out, bus, &traced);
         if worked {
-            self.counters
-                .record_drain(encode_micros.saturating_add(timer.commit()));
+            self.counters.record_drain(
+                encode_micros.saturating_add(timer.commit()),
+                self.telemetry.drain_ticks.get(),
+            );
             self.telemetry.record_frames(frames_done);
             // Publish progress only after events reached the outbox, so a
             // flush() that observes frames_processed == frames_in also
@@ -806,9 +836,8 @@ impl SessionCore {
             // and counted it discarded — the split differs on this
             // failed-session edge, the sum and flush-termination do
             // not.)
-            self.counters
-                .frames_processed
-                .fetch_add(frames_done, Ordering::Release);
+            self.counters.cell.record_processed(frames_done);
+            self.feed_session_obs(encode_discarded.saturating_add(discarded));
         }
         if state.rx.is_finished() {
             self.done.store(true, Ordering::Release);
@@ -909,10 +938,7 @@ impl SessionHandle {
                         );
                     }
                 }
-                self.core
-                    .counters
-                    .frames_in
-                    .fetch_add(frames as u64, Ordering::Relaxed);
+                self.core.counters.cell.record_in(frames as u64);
                 // Wake the pool: without this, a fully idle pool only
                 // discovers the chunk on its idle-poll timeout. Chunks
                 // are coarse (hundreds of frames), so one notification
@@ -957,10 +983,7 @@ impl SessionHandle {
         };
         match self.tx.try_push(chunk) {
             Ok(()) => {
-                self.core
-                    .counters
-                    .frames_in
-                    .fetch_add(frames as u64, Ordering::Relaxed);
+                self.core.counters.cell.record_in(frames as u64);
                 self.waker.notify();
                 true
             }
@@ -978,10 +1001,7 @@ impl SessionHandle {
                     );
                     tracer.pin(t.id, PinReason::Drop);
                 }
-                self.core
-                    .counters
-                    .frames_dropped
-                    .fetch_add(frames as u64, Ordering::Relaxed);
+                self.core.counters.cell.record_dropped(frames as u64);
                 false
             }
         }
@@ -1269,11 +1289,14 @@ mod tests {
             telemetry: Arc::new(ServiceTelemetry::new(
                 &Default::default(),
                 &Default::default(),
+                &Default::default(),
+                1,
             )),
             pending_swap: SwapGate::new(),
             generation: Default::default(),
             failed_flag: Default::default(),
             done: Default::default(),
+            wedged: Default::default(),
         };
         (core, tx)
     }
@@ -1284,7 +1307,7 @@ mod tests {
         let bus = Mutex::new(VecDeque::new());
         for _ in 0..3 {
             tx.try_push(chunk(vec![0.0f32; 4 * 10])).unwrap();
-            core.counters.frames_in.fetch_add(10, Ordering::Relaxed);
+            core.counters.cell.record_in(10);
         }
         assert!(core.drain(&bus), "failing pass counts as work");
         assert!(core.failed_flag.load(Ordering::Acquire));
@@ -1299,7 +1322,7 @@ mod tests {
         // ...and frames arriving before the caller notices are discarded
         // on the next pass instead of stranding in the ring.
         tx.try_push(chunk(vec![0.0f32; 4 * 5])).unwrap();
-        core.counters.frames_in.fetch_add(5, Ordering::Relaxed);
+        core.counters.cell.record_in(5);
         assert!(core.drain(&bus), "discarding latecomers counts as work");
         assert_eq!(core.counters.snapshot().frames_discarded, 35);
         drop(tx);
@@ -1335,16 +1358,19 @@ mod tests {
             telemetry: Arc::new(ServiceTelemetry::new(
                 &Default::default(),
                 &Default::default(),
+                &Default::default(),
+                1,
             )),
             pending_swap: SwapGate::new(),
             generation: Default::default(),
             failed_flag: Default::default(),
             done: Default::default(),
+            wedged: Default::default(),
         };
         let bus = Mutex::new(VecDeque::new());
         for _ in 0..MAX_CHUNKS_PER_DRAIN + 8 {
             tx.try_push(chunk(vec![0.0f32; 2 * 4])).unwrap();
-            core.counters.frames_in.fetch_add(4, Ordering::Relaxed);
+            core.counters.cell.record_in(4);
         }
         assert!(core.drain(&bus));
         assert_eq!(

@@ -2,20 +2,27 @@
 
 use laelaps_check::sync::atomic::{AtomicU64, Ordering};
 use laelaps_telemetry::{
-    RateMeter, StageSet, StagesSnapshot, TelemetryConfig, TraceConfig, Tracer,
+    Counter, RateMeter, SessionCell, StageSet, StagesSnapshot, TelemetryConfig, TopK, TraceConfig,
+    Tracer,
 };
 
 use crate::adapt::AdaptStats;
 
 /// Lock-free per-session counters, updated by the producer side (frames
 /// in, drops) and the shard worker (events, alarms, latency).
+///
+/// Frame accounting and drain recency live in the embedded
+/// [`SessionCell`] — the same cell the per-session observability layer
+/// reads — so `laelapsctl sessions`, the session SLO rules, and the
+/// service totals all share one source of truth. The cell's memory
+/// orderings mirror the previous inline atomics exactly
+/// (`frames_processed` is `Release`/`Acquire` for the flush invariant;
+/// `frames_in` reads are `Acquire` for the swap barrier; the rest is
+/// `Relaxed`).
 #[derive(Debug, Default)]
 pub(crate) struct SessionCounters {
-    pub frames_in: AtomicU64,
-    pub frames_dropped: AtomicU64,
+    pub cell: SessionCell,
     pub frames_refused: AtomicU64,
-    pub frames_discarded: AtomicU64,
-    pub frames_processed: AtomicU64,
     pub events_out: AtomicU64,
     pub alarms_out: AtomicU64,
     pub windows_batched: AtomicU64,
@@ -26,22 +33,25 @@ pub(crate) struct SessionCounters {
 impl SessionCounters {
     pub fn snapshot(&self) -> SessionStats {
         SessionStats {
-            frames_in: self.frames_in.load(Ordering::Relaxed),
-            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+            frames_in: self.cell.accepted(),
+            frames_dropped: self.cell.dropped(),
             frames_refused: self.frames_refused.load(Ordering::Relaxed),
-            frames_discarded: self.frames_discarded.load(Ordering::Relaxed),
-            frames_processed: self.frames_processed.load(Ordering::Relaxed),
+            frames_discarded: self.cell.discarded(),
+            frames_processed: self.cell.processed(),
             events_out: self.events_out.load(Ordering::Relaxed),
             alarms_out: self.alarms_out.load(Ordering::Relaxed),
             windows_batched: self.windows_batched.load(Ordering::Relaxed),
             drains: self.drains.load(Ordering::Relaxed),
             max_drain_micros: self.max_drain_micros.load(Ordering::Relaxed),
+            last_drain_tick: self.cell.last_drain_tick(),
+            ewma_drain_us: self.cell.ewma_drain_us(),
         }
     }
 
-    pub fn record_drain(&self, micros: u64) {
+    pub fn record_drain(&self, micros: u64, tick: u64) {
         self.drains.fetch_add(1, Ordering::Relaxed);
         self.max_drain_micros.fetch_max(micros, Ordering::Relaxed);
+        self.cell.note_drain(tick, micros);
     }
 }
 
@@ -76,6 +86,14 @@ pub struct SessionStats {
     /// Worst-case wall time of one drain batch, microseconds — the
     /// service-side latency bound for this session.
     pub max_drain_micros: u64,
+    /// Service drain tick of this session's last productive drain pass
+    /// (0 = never drained). Ticks are the shard workers' shared pass
+    /// counter, not wall time — compare against
+    /// [`SessionObsSnapshot::ticks`] to judge staleness.
+    pub last_drain_tick: u64,
+    /// Exponentially weighted moving average of this session's drain
+    /// latency, microseconds (0 when telemetry is disabled).
+    pub ewma_drain_us: u64,
 }
 
 impl SessionStats {
@@ -90,6 +108,8 @@ impl SessionStats {
         self.windows_batched += other.windows_batched;
         self.drains += other.drains;
         self.max_drain_micros = self.max_drain_micros.max(other.max_drain_micros);
+        self.last_drain_tick = self.last_drain_tick.max(other.last_drain_tick);
+        self.ewma_drain_us = self.ewma_drain_us.max(other.ewma_drain_us);
     }
 }
 
@@ -209,6 +229,189 @@ impl BatchingStats {
     }
 }
 
+/// Configuration of the per-session observability layer
+/// ([`crate::ServeConfig::sessions`]).
+///
+/// When enabled, each shard worker feeds three fixed-capacity [`TopK`]
+/// heavy-hitter sketches (drain latency, ring saturation, discards) —
+/// total memory `O(shards × top_k)` regardless of how many sessions
+/// stream through. Disabled (the default), the layer costs nothing:
+/// sessions still carry their [`SessionCell`] (plain counters the stats
+/// path always maintained), but no sketches exist and drain passes skip
+/// the feed entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionObsConfig {
+    /// Whether shard workers feed the heavy-hitter sketches and the
+    /// wire `SessionStatsRequest` returns rows.
+    pub enabled: bool,
+    /// Slots per sketch (per shard, per dimension); clamped to ≥ 1.
+    pub top_k: usize,
+}
+
+impl Default for SessionObsConfig {
+    fn default() -> Self {
+        SessionObsConfig {
+            enabled: false,
+            top_k: 8,
+        }
+    }
+}
+
+impl SessionObsConfig {
+    /// An enabled configuration with the default sketch capacity.
+    pub fn enabled() -> Self {
+        SessionObsConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Heavy-hitter scores of one session, one per tracked dimension.
+///
+/// Scores are cumulative Space-Saving weights, not instantaneous
+/// levels: every productive drain pass adds the session's current EWMA
+/// drain latency (µs), its ring depth (chunks), and the frames it
+/// discarded. A chronically slow or saturated session therefore climbs
+/// monotonically, which is exactly the ranking signal `laelapsctl top`
+/// wants. Each score may overestimate by the sketch's inherited-minimum
+/// error (see [`laelaps_telemetry::TopKEntry::err`]); zero means "not
+/// resident in that sketch".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionScores {
+    /// Sum of EWMA drain latencies over productive passes, µs.
+    pub latency: u64,
+    /// Sum of observed ring depths over productive passes, chunks.
+    pub saturation: u64,
+    /// Total frames discarded, as seen by the discard sketch.
+    pub discard: u64,
+}
+
+impl SessionScores {
+    /// Combined ranking key: the sum of all three dimensions.
+    pub fn combined(&self) -> u64 {
+        self.latency
+            .saturating_add(self.saturation)
+            .saturating_add(self.discard)
+    }
+}
+
+/// The fixed-memory half of per-session observability: one sketch
+/// triple per shard, fed wait-free by that shard's worker from inside
+/// the drain paths. See [`SessionObsConfig`] for the memory bound.
+#[derive(Debug)]
+pub(crate) struct SessionObs {
+    shards: Vec<ShardSketches>,
+}
+
+#[derive(Debug)]
+struct ShardSketches {
+    latency: TopK,
+    saturation: TopK,
+    discard: TopK,
+}
+
+impl SessionObs {
+    pub fn new(config: &SessionObsConfig, workers: usize) -> Option<Self> {
+        if !config.enabled {
+            return None;
+        }
+        let k = config.top_k.max(1);
+        Some(SessionObs {
+            shards: (0..workers.max(1))
+                .map(|_| ShardSketches {
+                    latency: TopK::new(k),
+                    saturation: TopK::new(k),
+                    discard: TopK::new(k),
+                })
+                .collect(),
+        })
+    }
+
+    /// Feeds one productive drain pass: adds this pass's EWMA latency,
+    /// observed ring depth, and discarded-frame count for `session` to
+    /// the owning shard's sketches. Zero weights are no-ops inside the
+    /// sketch, so an idle dimension costs one branch.
+    #[inline]
+    pub fn record(
+        &self,
+        shard: usize,
+        session: u64,
+        ewma_us: u64,
+        queued_chunks: u64,
+        discarded: u64,
+    ) {
+        let Some(s) = self.shards.get(shard) else {
+            return;
+        };
+        s.latency.add(session, ewma_us);
+        s.saturation.add(session, queued_chunks);
+        s.discard.add(session, discarded);
+    }
+
+    /// Folds every shard's sketches into per-session [`SessionScores`],
+    /// worst combined score first. Bounded by `shards × 3 × top_k`
+    /// distinct sessions (in practice ≤ `shards × 3 × top_k` rows; each
+    /// session lives on one shard, so no cross-shard double counting).
+    pub fn merged(&self) -> Vec<(u64, SessionScores)> {
+        let mut by_session: std::collections::BTreeMap<u64, SessionScores> =
+            std::collections::BTreeMap::new();
+        for shard in &self.shards {
+            for e in shard.latency.snapshot() {
+                by_session.entry(e.key).or_default().latency += e.weight;
+            }
+            for e in shard.saturation.snapshot() {
+                by_session.entry(e.key).or_default().saturation += e.weight;
+            }
+            for e in shard.discard.snapshot() {
+                by_session.entry(e.key).or_default().discard += e.weight;
+            }
+        }
+        let mut rows: Vec<(u64, SessionScores)> = by_session.into_iter().collect();
+        rows.sort_by(|a, b| b.1.combined().cmp(&a.1.combined()).then(a.0.cmp(&b.0)));
+        rows
+    }
+}
+
+/// One row of a [`SessionObsSnapshot`]: a session's identity, its full
+/// counter snapshot (one source of truth with `laelapsctl sessions`),
+/// and its heavy-hitter scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionObsRow {
+    /// Session id.
+    pub session: crate::SessionId,
+    /// Patient id the session serves.
+    pub patient: String,
+    /// Worker shard the session is pinned to.
+    pub shard: usize,
+    /// Generation of the model the session is currently running.
+    pub generation: u64,
+    /// The session's counters, including `last_drain_tick` and
+    /// `ewma_drain_us`.
+    pub stats: SessionStats,
+    /// Heavy-hitter scores (zero for a pure lookup row that is not
+    /// resident in any sketch).
+    pub scores: SessionScores,
+}
+
+/// Snapshot returned by [`crate::DetectionService::session_obs_snapshot`]
+/// and carried by the wire v5 `SessionStatsSnapshot` message.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionObsSnapshot {
+    /// Whether the per-session layer is on
+    /// ([`SessionObsConfig::enabled`]); when `false`, `top` is empty.
+    pub enabled: bool,
+    /// Current service drain tick — compare with
+    /// [`SessionStats::last_drain_tick`] for staleness.
+    pub ticks: u64,
+    /// Worst sessions by combined heavy-hitter score, worst first,
+    /// bounded by `shards × 3 × top_k` (retired sessions drop out).
+    pub top: Vec<SessionObsRow>,
+    /// The explicitly requested session, if one was asked for and is
+    /// still live (scores may be zero if it never hit a sketch).
+    pub lookup: Option<SessionObsRow>,
+}
+
 /// The service's live telemetry state: per-stage latency histograms plus
 /// a trailing frame-rate meter, shared by every shard worker, session,
 /// and connection of one [`crate::DetectionService`].
@@ -224,14 +427,27 @@ pub(crate) struct ServiceTelemetry {
     pub tracer: Tracer,
     /// Frames drained across every session, trailing 5 s window.
     frames: RateMeter,
+    /// Shard-worker pass counter: bumped once per shard drain pass, the
+    /// tick domain of [`SessionStats::last_drain_tick`]. Not wall time.
+    pub drain_ticks: Counter,
+    /// The per-session heavy-hitter sketches; `None` unless
+    /// [`crate::ServeConfig::sessions`] enabled the layer.
+    pub session_obs: Option<SessionObs>,
 }
 
 impl ServiceTelemetry {
-    pub fn new(config: &TelemetryConfig, trace: &TraceConfig) -> Self {
+    pub fn new(
+        config: &TelemetryConfig,
+        trace: &TraceConfig,
+        sessions: &SessionObsConfig,
+        workers: usize,
+    ) -> Self {
         ServiceTelemetry {
             stages: StageSet::new(config),
             tracer: Tracer::new(trace),
             frames: RateMeter::per_5s(),
+            drain_ticks: Counter::new(),
+            session_obs: SessionObs::new(sessions, workers),
         }
     }
 
@@ -409,13 +625,41 @@ mod tests {
     #[test]
     fn snapshot_reflects_counters() {
         let counters = SessionCounters::default();
-        counters.frames_in.fetch_add(10, Ordering::Relaxed);
-        counters.record_drain(40);
-        counters.record_drain(15);
+        counters.cell.record_in(10);
+        counters.record_drain(40, 3);
+        counters.record_drain(15, 7);
         let stats = counters.snapshot();
         assert_eq!(stats.frames_in, 10);
         assert_eq!(stats.drains, 2);
         assert_eq!(stats.max_drain_micros, 40);
+        assert_eq!(stats.last_drain_tick, 7, "latest tick wins");
+        assert!(stats.ewma_drain_us > 0, "EWMA fed from record_drain");
+    }
+
+    #[test]
+    fn session_obs_merges_across_shards_worst_first() {
+        let obs = SessionObs::new(&SessionObsConfig::enabled(), 2).expect("enabled");
+        obs.record(0, 11, 500, 4, 0);
+        obs.record(0, 11, 500, 4, 0);
+        obs.record(1, 22, 10, 1, 64);
+        obs.record(5, 99, 1, 1, 1); // out-of-range shard: ignored
+        let rows = obs.merged();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 11, "worst combined score first");
+        assert_eq!(
+            rows[0].1,
+            SessionScores {
+                latency: 1000,
+                saturation: 8,
+                discard: 0
+            }
+        );
+        assert_eq!(rows[1].1.discard, 64);
+    }
+
+    #[test]
+    fn session_obs_disabled_builds_nothing() {
+        assert!(SessionObs::new(&SessionObsConfig::default(), 4).is_none());
     }
 
     #[test]

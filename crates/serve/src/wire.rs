@@ -39,6 +39,7 @@
 //! | 0x05 | `StatsRequest`     | c → s     | empty |
 //! | 0x06 | `TraceDumpRequest` | c → s     | `u32` span limit (0 = everything retained) |
 //! | 0x07 | `HealthRequest`    | c → s     | empty |
+//! | 0x08 | `SessionStatsRequest` | c → s  | `u8` lookup flag, then `u64` session id when the flag is 1 |
 //! | 0x81 | `Accepted`         | s → c     | `u64` session id, `u32` electrodes |
 //! | 0x82 | `Throttle`         | s → c     | `u32` queued chunks, `u32` queue capacity |
 //! | 0x83 | `Event`            | s → c     | one [`DetectorEvent`] (below), `alarm` absent |
@@ -47,6 +48,7 @@
 //! | 0x86 | `StatsSnapshot`    | s → c     | one [`WireStats`] (see its docs for the layout) |
 //! | 0x87 | `TraceDump`        | s → c     | `u64` recorded, `u64` dropped, `u32` span count, then 40-byte [`WireSpan`] records |
 //! | 0x88 | `HealthSnapshot`   | s → c     | one [`WireHealth`] (see its docs for the layout) |
+//! | 0x89 | `SessionStatsSnapshot` | s → c | one [`WireSessionStats`] (see its docs for the layout) |
 //! | 0xEE | `Error`            | either    | `u32` reason length, UTF-8 reason bytes |
 //!
 //! An event payload is `u64` index, `u64` end sample, `f64` time bits,
@@ -110,8 +112,9 @@ pub const WIRE_MAGIC: [u8; 2] = *b"LW";
 /// messages still go out as version 1, so an upgraded peer keeps
 /// interoperating with a not-yet-upgraded one until it actually uses a
 /// version-2 feature (`Feedback` / `ModelUpdated`), a version-3 one (the
-/// introspection messages), or a version-4 one (the health messages).
-pub const WIRE_VERSION: u8 = 4;
+/// introspection messages), a version-4 one (the health messages), or a
+/// version-5 one (the per-session stats messages).
+pub const WIRE_VERSION: u8 = 5;
 
 /// Frame header length: magic + version + tag + payload length.
 pub const HEADER_LEN: usize = 8;
@@ -132,6 +135,7 @@ const TAG_FEEDBACK: u8 = 0x04;
 const TAG_STATS_REQUEST: u8 = 0x05;
 const TAG_TRACE_DUMP_REQUEST: u8 = 0x06;
 const TAG_HEALTH_REQUEST: u8 = 0x07;
+const TAG_SESSION_STATS_REQUEST: u8 = 0x08;
 const TAG_ACCEPTED: u8 = 0x81;
 const TAG_THROTTLE: u8 = 0x82;
 const TAG_EVENT: u8 = 0x83;
@@ -140,6 +144,7 @@ const TAG_MODEL_UPDATED: u8 = 0x85;
 const TAG_STATS_SNAPSHOT: u8 = 0x86;
 const TAG_TRACE_DUMP: u8 = 0x87;
 const TAG_HEALTH_SNAPSHOT: u8 = 0x88;
+const TAG_SESSION_STATS_SNAPSHOT: u8 = 0x89;
 const TAG_ERROR: u8 = 0xEE;
 
 /// One ingest-protocol message; see the [module docs](self) for the
@@ -186,6 +191,14 @@ pub enum Message {
     /// introspection-only placement as [`Message::StatsRequest`]; the
     /// first version-4 message.
     HealthRequest,
+    /// Client → server: ask for the per-session observability view (the
+    /// heavy-hitter top-K plus an optional single-session lookup). Same
+    /// introspection-only placement as [`Message::StatsRequest`]; the
+    /// first version-5 message.
+    SessionStatsRequest {
+        /// A specific session id to look up alongside the top-K, if any.
+        session: Option<u64>,
+    },
     /// Server → client: the `Hello` was accepted and a session is live.
     Accepted {
         /// Session id within the serving process.
@@ -235,6 +248,13 @@ pub enum Message {
         /// The health view (boxed: it carries the series tail and only
         /// travels on the introspection path).
         health: Box<WireHealth>,
+    },
+    /// Server → client: the heavy-hitter sessions and optional lookup
+    /// row answering a [`Message::SessionStatsRequest`].
+    SessionStatsSnapshot {
+        /// The snapshot (boxed: it carries per-session rows and only
+        /// travels on the introspection path).
+        sessions: Box<WireSessionStats>,
     },
     /// Server → client: the flight recorder's retained spans answering a
     /// [`Message::TraceDumpRequest`].
@@ -785,6 +805,207 @@ impl WireHealth {
     }
 }
 
+/// One session's observability row on the wire (mirrors
+/// [`crate::SessionObsRow`]).
+///
+/// Layout: `u64` session id, `u32` shard, `u64` model generation, `u32`
+/// patient length + UTF-8 patient bytes, twelve `u64` counters (frames
+/// in / dropped / refused / discarded / processed, events, alarms,
+/// windows batched, drains, max drain µs, last drain tick, EWMA drain
+/// µs), three `u64` heavy-hitter scores (latency / saturation /
+/// discard).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireSessionRow {
+    /// Session id.
+    pub session: u64,
+    /// Worker shard the session is pinned to.
+    pub shard: u32,
+    /// Generation of the model the session is currently running.
+    pub generation: u64,
+    /// Patient id the session serves.
+    pub patient: String,
+    /// Frames accepted into the session's queue.
+    pub frames_in: u64,
+    /// Frames rejected by lossy pushes against a full queue.
+    pub frames_dropped: u64,
+    /// Frames offered after the session closed or failed.
+    pub frames_refused: u64,
+    /// Accepted frames thrown away after a detector failure.
+    pub frames_discarded: u64,
+    /// Frames run through the detector.
+    pub frames_processed: u64,
+    /// Classification events emitted.
+    pub events_out: u64,
+    /// Alarms raised.
+    pub alarms_out: u64,
+    /// Windows classified via the batched path.
+    pub windows_batched: u64,
+    /// Worker drain batches executed for this session.
+    pub drains: u64,
+    /// Worst-case wall time of one drain batch, microseconds.
+    pub max_drain_micros: u64,
+    /// Service drain tick of the last productive drain (0 = never);
+    /// compare with [`WireSessionStats::ticks`] for staleness.
+    pub last_drain_tick: u64,
+    /// EWMA of the session's drain latency, microseconds.
+    pub ewma_drain_us: u64,
+    /// Heavy-hitter latency score (sum of EWMAs over productive passes).
+    pub score_latency: u64,
+    /// Heavy-hitter saturation score (sum of observed ring depths).
+    pub score_saturation: u64,
+    /// Heavy-hitter discard score (total frames discarded as sketched).
+    pub score_discard: u64,
+}
+
+impl WireSessionRow {
+    fn from_row(row: &crate::SessionObsRow) -> Self {
+        let s = &row.stats;
+        WireSessionRow {
+            session: row.session,
+            shard: row.shard.min(u32::MAX as usize) as u32,
+            generation: row.generation,
+            patient: row.patient.clone(),
+            frames_in: s.frames_in,
+            frames_dropped: s.frames_dropped,
+            frames_refused: s.frames_refused,
+            frames_discarded: s.frames_discarded,
+            frames_processed: s.frames_processed,
+            events_out: s.events_out,
+            alarms_out: s.alarms_out,
+            windows_batched: s.windows_batched,
+            drains: s.drains,
+            max_drain_micros: s.max_drain_micros,
+            last_drain_tick: s.last_drain_tick,
+            ewma_drain_us: s.ewma_drain_us,
+            score_latency: row.scores.latency,
+            score_saturation: row.scores.saturation,
+            score_discard: row.scores.discard,
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.session.to_le_bytes());
+        out.extend_from_slice(&self.shard.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        encode_str(out, &self.patient);
+        for v in [
+            self.frames_in,
+            self.frames_dropped,
+            self.frames_refused,
+            self.frames_discarded,
+            self.frames_processed,
+            self.events_out,
+            self.alarms_out,
+            self.windows_batched,
+            self.drains,
+            self.max_drain_micros,
+            self.last_drain_tick,
+            self.ewma_drain_us,
+            self.score_latency,
+            self.score_saturation,
+            self.score_discard,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    fn decode(cursor: &mut Cursor<'_>) -> Result<Self> {
+        Ok(WireSessionRow {
+            session: cursor.u64()?,
+            shard: cursor.u32()?,
+            generation: cursor.u64()?,
+            patient: decode_str(cursor, "session patient id")?,
+            frames_in: cursor.u64()?,
+            frames_dropped: cursor.u64()?,
+            frames_refused: cursor.u64()?,
+            frames_discarded: cursor.u64()?,
+            frames_processed: cursor.u64()?,
+            events_out: cursor.u64()?,
+            alarms_out: cursor.u64()?,
+            windows_batched: cursor.u64()?,
+            drains: cursor.u64()?,
+            max_drain_micros: cursor.u64()?,
+            last_drain_tick: cursor.u64()?,
+            ewma_drain_us: cursor.u64()?,
+            score_latency: cursor.u64()?,
+            score_saturation: cursor.u64()?,
+            score_discard: cursor.u64()?,
+        })
+    }
+}
+
+/// The per-session payload of [`Message::SessionStatsSnapshot`]: the
+/// heavy-hitter top-K (worst combined score first) plus the optional
+/// single-session lookup row — everything `laelapsctl sessions` /
+/// `laelapsctl top` render, flattened from [`crate::SessionObsSnapshot`].
+///
+/// Layout: `u8` enabled, `u64` drain ticks, `u32` top-row count + that
+/// many [`WireSessionRow`] records, `u8` lookup flag + one
+/// [`WireSessionRow`] when the flag is 1.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireSessionStats {
+    /// Whether the per-session layer was on
+    /// ([`crate::ServeConfig::sessions`]); when `false`, `top` is empty
+    /// but `lookup` still answers.
+    pub enabled: bool,
+    /// Current service drain tick — compare with
+    /// [`WireSessionRow::last_drain_tick`] for staleness.
+    pub ticks: u64,
+    /// Worst sessions by combined heavy-hitter score, worst first.
+    pub top: Vec<WireSessionRow>,
+    /// The explicitly requested session, if asked for and still live.
+    pub lookup: Option<WireSessionRow>,
+}
+
+impl WireSessionStats {
+    /// Flattens a [`crate::SessionObsSnapshot`] into its wire form.
+    pub fn from_snapshot(snapshot: &crate::SessionObsSnapshot) -> Self {
+        WireSessionStats {
+            enabled: snapshot.enabled,
+            ticks: snapshot.ticks,
+            top: snapshot.top.iter().map(WireSessionRow::from_row).collect(),
+            lookup: snapshot.lookup.as_ref().map(WireSessionRow::from_row),
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.enabled as u8);
+        out.extend_from_slice(&self.ticks.to_le_bytes());
+        out.extend_from_slice(&(self.top.len() as u32).to_le_bytes());
+        for row in &self.top {
+            row.encode_into(out);
+        }
+        match &self.lookup {
+            Some(row) => {
+                out.push(1);
+                row.encode_into(out);
+            }
+            None => out.push(0),
+        }
+    }
+
+    fn decode(cursor: &mut Cursor<'_>) -> Result<Self> {
+        let enabled = cursor.u8()? != 0;
+        let ticks = cursor.u64()?;
+        let count = cursor.u32()?;
+        let mut top = Vec::new();
+        for _ in 0..count {
+            top.push(WireSessionRow::decode(cursor)?);
+        }
+        let lookup = match cursor.u8()? {
+            0 => None,
+            1 => Some(WireSessionRow::decode(cursor)?),
+            other => return Err(corrupt(format!("unknown lookup flag 0x{other:02x}"))),
+        };
+        Ok(WireSessionStats {
+            enabled,
+            ticks,
+            top,
+            lookup,
+        })
+    }
+}
+
 fn encode_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
@@ -801,6 +1022,14 @@ fn decode_str(cursor: &mut Cursor<'_>, what: &str) -> Result<String> {
 pub fn health_message(snapshot: &crate::HealthSnapshot) -> Message {
     Message::HealthSnapshot {
         health: Box::new(WireHealth::from_snapshot(snapshot)),
+    }
+}
+
+/// Builds the [`Message::SessionStatsSnapshot`] answering a
+/// [`Message::SessionStatsRequest`].
+pub fn session_stats_message(snapshot: &crate::SessionObsSnapshot) -> Message {
+    Message::SessionStatsSnapshot {
+        sessions: Box::new(WireSessionStats::from_snapshot(snapshot)),
     }
 }
 
@@ -847,6 +1076,7 @@ impl Message {
             Message::StatsRequest => TAG_STATS_REQUEST,
             Message::TraceDumpRequest { .. } => TAG_TRACE_DUMP_REQUEST,
             Message::HealthRequest => TAG_HEALTH_REQUEST,
+            Message::SessionStatsRequest { .. } => TAG_SESSION_STATS_REQUEST,
             Message::Accepted { .. } => TAG_ACCEPTED,
             Message::Throttle { .. } => TAG_THROTTLE,
             Message::Event { .. } => TAG_EVENT,
@@ -855,6 +1085,7 @@ impl Message {
             Message::StatsSnapshot { .. } => TAG_STATS_SNAPSHOT,
             Message::TraceDump { .. } => TAG_TRACE_DUMP,
             Message::HealthSnapshot { .. } => TAG_HEALTH_SNAPSHOT,
+            Message::SessionStatsSnapshot { .. } => TAG_SESSION_STATS_SNAPSHOT,
             Message::Error { .. } => TAG_ERROR,
         }
     }
@@ -915,6 +1146,13 @@ impl Message {
                 out.extend_from_slice(&limit.to_le_bytes());
             }
             Message::HealthRequest => {}
+            Message::SessionStatsRequest { session } => match session {
+                Some(id) => {
+                    out.push(1);
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+                None => out.push(0),
+            },
             Message::ModelUpdated { generation } => {
                 out.extend_from_slice(&generation.to_le_bytes());
             }
@@ -923,6 +1161,9 @@ impl Message {
             }
             Message::HealthSnapshot { health } => {
                 health.encode_into(&mut out);
+            }
+            Message::SessionStatsSnapshot { sessions } => {
+                sessions.encode_into(&mut out);
             }
             Message::TraceDump {
                 recorded,
@@ -957,6 +1198,7 @@ fn corrupt(reason: impl Into<String>) -> ServeError {
 /// by version-1 peers (rolling upgrades).
 fn version_for_tag(tag: u8) -> u8 {
     match tag {
+        TAG_SESSION_STATS_REQUEST | TAG_SESSION_STATS_SNAPSHOT => 5,
         TAG_HEALTH_REQUEST | TAG_HEALTH_SNAPSHOT => 4,
         TAG_STATS_REQUEST | TAG_TRACE_DUMP_REQUEST | TAG_STATS_SNAPSHOT | TAG_TRACE_DUMP => 3,
         TAG_FEEDBACK | TAG_MODEL_UPDATED => 2,
@@ -1256,6 +1498,14 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message> {
             limit: cursor.u32()?,
         },
         TAG_HEALTH_REQUEST => Message::HealthRequest,
+        TAG_SESSION_STATS_REQUEST => {
+            let session = match cursor.u8()? {
+                0 => None,
+                1 => Some(cursor.u64()?),
+                other => return Err(corrupt(format!("unknown lookup flag 0x{other:02x}"))),
+            };
+            Message::SessionStatsRequest { session }
+        }
         TAG_MODEL_UPDATED => Message::ModelUpdated {
             generation: cursor.u64()?,
         },
@@ -1264,6 +1514,9 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Message> {
         },
         TAG_HEALTH_SNAPSHOT => Message::HealthSnapshot {
             health: Box::new(WireHealth::decode(&mut cursor)?),
+        },
+        TAG_SESSION_STATS_SNAPSHOT => Message::SessionStatsSnapshot {
+            sessions: Box::new(WireSessionStats::decode(&mut cursor)?),
         },
         TAG_TRACE_DUMP => {
             let recorded = cursor.u64()?;
@@ -1416,6 +1669,42 @@ mod tests {
         }
     }
 
+    fn sample_session_stats() -> WireSessionStats {
+        WireSessionStats {
+            enabled: true,
+            ticks: 4_811,
+            top: vec![
+                WireSessionRow {
+                    session: 7,
+                    shard: 1,
+                    generation: 2,
+                    patient: "chb03".into(),
+                    frames_in: 4096,
+                    frames_dropped: 12,
+                    frames_refused: 1,
+                    frames_discarded: 256,
+                    frames_processed: 3828,
+                    events_out: 14,
+                    alarms_out: 1,
+                    windows_batched: 14,
+                    drains: 31,
+                    max_drain_micros: 977,
+                    last_drain_tick: 4_810,
+                    ewma_drain_us: 412,
+                    score_latency: 9_001,
+                    score_saturation: 77,
+                    score_discard: 256,
+                },
+                WireSessionRow::default(),
+            ],
+            lookup: Some(WireSessionRow {
+                session: 11,
+                patient: "chb01".into(),
+                ..Default::default()
+            }),
+        }
+    }
+
     #[test]
     fn every_variant_roundtrips() {
         let messages = [
@@ -1484,6 +1773,16 @@ mod tests {
             Message::HealthSnapshot {
                 health: Box::default(),
             },
+            Message::SessionStatsRequest { session: None },
+            Message::SessionStatsRequest {
+                session: Some(u64::MAX),
+            },
+            Message::SessionStatsSnapshot {
+                sessions: Box::new(sample_session_stats()),
+            },
+            Message::SessionStatsSnapshot {
+                sessions: Box::default(),
+            },
             Message::Error {
                 reason: "no model for patient".into(),
             },
@@ -1497,6 +1796,20 @@ mod tests {
             assert_eq!(read_message(&mut reader).unwrap().as_ref(), Some(message));
         }
         assert_eq!(read_message(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn session_stats_frames_are_stamped_version_5() {
+        // Older messages must keep their original stamp so v5 builds
+        // stay readable by not-yet-upgraded peers.
+        let frame = encode_message(&Message::SessionStatsRequest { session: None });
+        assert_eq!(frame[2], 5);
+        let frame = encode_message(&session_stats_message(&Default::default()));
+        assert_eq!(frame[2], 5);
+        let frame = encode_message(&Message::HealthRequest);
+        assert_eq!(frame[2], 4);
+        let frame = encode_message(&Message::StatsRequest);
+        assert_eq!(frame[2], 3);
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn config(batched: bool, telemetry: bool) -> ServeConfig {
         telemetry: TelemetryConfig { enabled: telemetry },
         trace: laelaps_serve::TraceConfig::default(),
         health: laelaps_serve::HealthConfig::default(),
+        sessions: laelaps_serve::SessionObsConfig::default(),
     }
 }
 

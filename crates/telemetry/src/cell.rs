@@ -1,0 +1,188 @@
+//! Compact per-session accounting cell.
+//!
+//! One [`SessionCell`] rides inside every live session of the serving
+//! layer: four plain frame counters (in / processed / dropped /
+//! discarded), the tick of the last productive drain, and an EWMA of
+//! the session's drain latency. Everything is a relaxed-or-better
+//! atomic through the `laelaps_check` facade — no locks, no
+//! allocation, and **no clock reads ever**: the EWMA is fed the
+//! microseconds the stage timers already measured (zero when telemetry
+//! is disabled), and the drain tick is the shard worker's pass
+//! counter, not wall time.
+//!
+//! Memory-ordering contract (the serving layer's drain/flush protocol
+//! leans on it):
+//!
+//! * [`record_processed`](SessionCell::record_processed) is `Release`
+//!   and [`processed`](SessionCell::processed) /
+//!   [`accepted`](SessionCell::accepted) are `Acquire`, so an observer
+//!   that sees `processed == accepted` also sees every output the
+//!   drain published before bumping the counter;
+//! * everything else is `Relaxed` — monotonic counters read for
+//!   monitoring, where lag is fine and tearing is impossible on a
+//!   single word.
+//!
+//! [`note_drain`](SessionCell::note_drain) has a single writer (the
+//! session's shard worker), so its read-modify-write EWMA needs no
+//! stronger ordering.
+
+use laelaps_check::sync::atomic::{AtomicU64, Ordering};
+
+/// EWMA smoothing: `new = (old * 7 + sample) / 8`, integer microseconds.
+const EWMA_WEIGHT: u64 = 8;
+
+/// Per-session accounting: frame counters, last-productive-drain tick,
+/// and EWMA drain latency. See the module docs for the ordering
+/// contract; construction is `const` so the cell embeds for free.
+#[derive(Debug, Default)]
+pub struct SessionCell {
+    frames_in: AtomicU64,
+    frames_processed: AtomicU64,
+    frames_dropped: AtomicU64,
+    frames_discarded: AtomicU64,
+    last_drain_tick: AtomicU64,
+    ewma_drain_us: AtomicU64,
+}
+
+impl SessionCell {
+    /// A zeroed cell.
+    pub const fn new() -> Self {
+        SessionCell {
+            frames_in: AtomicU64::new(0),
+            frames_processed: AtomicU64::new(0),
+            frames_dropped: AtomicU64::new(0),
+            frames_discarded: AtomicU64::new(0),
+            last_drain_tick: AtomicU64::new(0),
+            ewma_drain_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Counts `frames` accepted into the session's queue.
+    #[inline]
+    pub fn record_in(&self, frames: u64) {
+        self.frames_in.fetch_add(frames, Ordering::Relaxed);
+    }
+
+    /// Frames accepted so far (`Acquire` — pairs with the producer's
+    /// enqueue so swap barriers taken against it are conservative).
+    #[inline]
+    pub fn accepted(&self) -> u64 {
+        self.frames_in.load(Ordering::Acquire)
+    }
+
+    /// Counts `frames` run through the detector. `Release`: callers
+    /// publish outputs *before* this, so `processed == accepted`
+    /// implies the outputs are visible too.
+    #[inline]
+    pub fn record_processed(&self, frames: u64) {
+        self.frames_processed.fetch_add(frames, Ordering::Release);
+    }
+
+    /// Frames processed so far (`Acquire`, see
+    /// [`record_processed`](SessionCell::record_processed)).
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.frames_processed.load(Ordering::Acquire)
+    }
+
+    /// Counts `frames` shed at the queue door (never entered the ring).
+    #[inline]
+    pub fn record_dropped(&self, frames: u64) {
+        self.frames_dropped.fetch_add(frames, Ordering::Relaxed);
+    }
+
+    /// Frames dropped so far.
+    #[inline]
+    pub fn dropped(&self) -> u64 {
+        self.frames_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Counts accepted `frames` thrown away after a session failure.
+    #[inline]
+    pub fn record_discarded(&self, frames: u64) {
+        self.frames_discarded.fetch_add(frames, Ordering::Relaxed);
+    }
+
+    /// Frames discarded so far.
+    #[inline]
+    pub fn discarded(&self) -> u64 {
+        self.frames_discarded.load(Ordering::Relaxed)
+    }
+
+    /// Marks a productive drain pass: stamps `tick` (the worker's pass
+    /// counter — *not* wall time) and folds `micros` into the latency
+    /// EWMA. `micros` comes from a stage timer that already ran, so
+    /// this never reads a clock; with telemetry disabled the timers
+    /// hand in 0 and the EWMA decays to 0. Single writer: the
+    /// session's shard worker.
+    #[inline]
+    pub fn note_drain(&self, tick: u64, micros: u64) {
+        self.last_drain_tick.store(tick, Ordering::Relaxed);
+        let old = self.ewma_drain_us.load(Ordering::Relaxed);
+        let new = (old * (EWMA_WEIGHT - 1) + micros) / EWMA_WEIGHT;
+        // Round up from zero so a first nonzero sample registers even
+        // when it is smaller than the divisor.
+        let new = if new == 0 && micros > 0 { 1 } else { new };
+        self.ewma_drain_us.store(new, Ordering::Relaxed);
+    }
+
+    /// Pass-counter tick of the last productive drain (0 = never).
+    #[inline]
+    pub fn last_drain_tick(&self) -> u64 {
+        self.last_drain_tick.load(Ordering::Relaxed)
+    }
+
+    /// Exponentially weighted moving average of drain latency,
+    /// microseconds (0 when telemetry is disabled or nothing drained).
+    #[inline]
+    pub fn ewma_drain_us(&self) -> u64 {
+        self.ewma_drain_us.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_independently() {
+        let cell = SessionCell::new();
+        cell.record_in(10);
+        cell.record_processed(6);
+        cell.record_dropped(2);
+        cell.record_discarded(1);
+        assert_eq!(cell.accepted(), 10);
+        assert_eq!(cell.processed(), 6);
+        assert_eq!(cell.dropped(), 2);
+        assert_eq!(cell.discarded(), 1);
+    }
+
+    #[test]
+    fn ewma_tracks_and_decays() {
+        let cell = SessionCell::new();
+        assert_eq!(cell.ewma_drain_us(), 0);
+        cell.note_drain(1, 800);
+        let first = cell.ewma_drain_us();
+        assert!(first >= 100, "one sample registers: {first}");
+        for tick in 2..40 {
+            cell.note_drain(tick, 800);
+        }
+        let settled = cell.ewma_drain_us();
+        assert!(
+            (700..=800).contains(&settled),
+            "EWMA converges toward the steady sample: {settled}"
+        );
+        for tick in 40..200 {
+            cell.note_drain(tick, 0);
+        }
+        assert_eq!(cell.ewma_drain_us(), 0, "EWMA decays to zero");
+        assert_eq!(cell.last_drain_tick(), 199);
+    }
+
+    #[test]
+    fn tiny_samples_still_register() {
+        let cell = SessionCell::new();
+        cell.note_drain(1, 1);
+        assert_eq!(cell.ewma_drain_us(), 1, "rounded up from zero");
+    }
+}

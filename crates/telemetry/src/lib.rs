@@ -6,9 +6,12 @@
 //! windowed [`RateMeter`]s, a [`StageTimer`] API that attributes
 //! wall time to named hot-path [`Stage`]s, and a per-chunk causal
 //! tracing layer ([`Tracer`]) backed by a wait-free [`FlightRecorder`]
-//! ring with tail-based pinning of anomalous traces, and a fixed-width
+//! ring with tail-based pinning of anomalous traces, a fixed-width
 //! metric time-series ring ([`SeriesRing`]) that health evaluators fill
-//! with periodic windowed deltas of all of the above.
+//! with periodic windowed deltas of all of the above, and a per-session
+//! layer — a compact [`SessionCell`] accounting cell plus a
+//! fixed-capacity [`TopK`] heavy-hitter sketch — that keeps per-session
+//! observability memory independent of the session count.
 //!
 //! Every primitive is safe to hammer from many threads at once: all
 //! mutation is `Relaxed` atomics, nothing blocks, and recording a sample
@@ -52,18 +55,22 @@
 #![warn(missing_debug_implementations)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+mod cell;
 mod hist;
 mod rate;
 mod recorder;
 mod series;
 mod stage;
+mod topk;
 mod trace;
 
+pub use cell::SessionCell;
 pub use hist::{Histogram, HistogramSnapshot};
 pub use rate::RateMeter;
 pub use recorder::{FlightRecorder, RecorderEntry, RECORD_WORDS};
 pub use series::{SeriesRing, SeriesSample};
 pub use stage::{Stage, StageSet, StageTimer, StagesSnapshot};
+pub use topk::{TopK, TopKEntry};
 pub use trace::{
     PinReason, PinnedTrace, SpanContext, SpanRecord, TraceConfig, TraceHandle, TraceId,
     TraceSnapshot, Tracer,

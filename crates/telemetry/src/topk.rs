@@ -1,0 +1,300 @@
+//! Fixed-capacity heavy-hitter sketch (Space-Saving) over `u64` keys.
+//!
+//! [`TopK`] answers "which sessions are the worst offenders" without
+//! per-session state: it keeps exactly `capacity` weighted slots, and
+//! an [`add`](TopK::add) for a key that is not resident evicts the
+//! *minimum-weight* slot, inheriting its weight as the classic
+//! Space-Saving overestimate. Memory is `O(capacity)` forever — the
+//! serving layer gives each shard one sketch per tracked dimension, so
+//! per-session observability stays `O(shards × K)` no matter how many
+//! sessions stream through.
+//!
+//! Guarantees (single updater, the production shape — one shard worker
+//! owns each sketch):
+//!
+//! * conservation: the sum of resident weights equals the total weight
+//!   ever added;
+//! * no undercount: a resident key's weight ≥ its true added weight;
+//! * bounded overcount: `weight - err ≤ true ≤ weight` — `err` is the
+//!   evicted minimum inherited at (re-)insertion;
+//! * coverage: any key whose true weight exceeds the current minimum
+//!   resident weight *is* resident.
+//!
+//! The proptest oracle in `tests/properties.rs` checks all four against
+//! a reference `BTreeMap` heavy hitter.
+//!
+//! ## Concurrency
+//!
+//! Each slot is a tiny seqlock (the [`FlightRecorder`] /
+//! [`SeriesRing`](crate::SeriesRing) protocol): a writer claims the
+//! slot by CAS-ing its version even→odd (`Acquire`), publishes the
+//! `(key, weight, err)` words with `Release` stores, and re-publishes
+//! the version at even+2 (`Release`). A writer that loses the claim
+//! race *drops the update* (counted in [`dropped`](TopK::dropped)) —
+//! the sketch is an observability aid, never a blocking dependency of
+//! the hot path. Readers retry a torn slot once and otherwise skip it:
+//! a snapshot can lag, but it can never observe a torn
+//! `(key, weight, err)` triple, and a resident key's weight is
+//! monotonically non-decreasing across snapshots. Model-checked in
+//! `tests/model.rs` (`top_k_snapshot_never_observes_a_torn_entry`).
+//!
+//! [`FlightRecorder`]: crate::FlightRecorder
+
+use laelaps_check::sync::atomic::{AtomicU64, Ordering};
+
+/// One resident `(key, weight, err)` triple from a [`TopK::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopKEntry {
+    /// The tracked key (a session id, in the serving layer).
+    pub key: u64,
+    /// Estimated total weight: never below the true added weight,
+    /// above it by at most [`err`](TopKEntry::err).
+    pub weight: u64,
+    /// Overestimate inherited from the evicted minimum at insertion.
+    pub err: u64,
+}
+
+impl TopKEntry {
+    /// The guaranteed lower bound on the key's true weight.
+    pub fn lower_bound(&self) -> u64 {
+        self.weight.saturating_sub(self.err)
+    }
+}
+
+/// One seqlock-protected slot: `ver == 0` is never-written, odd is
+/// mid-write, even ≥ 2 publishes the three payload words.
+#[derive(Debug)]
+struct Slot {
+    ver: AtomicU64,
+    key: AtomicU64,
+    weight: AtomicU64,
+    err: AtomicU64,
+}
+
+impl Slot {
+    const fn new() -> Self {
+        Slot {
+            ver: AtomicU64::new(0),
+            key: AtomicU64::new(0),
+            weight: AtomicU64::new(0),
+            err: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Fixed-capacity Space-Saving heavy-hitter sketch. See the module
+/// docs for the estimation guarantees and the seqlock protocol.
+#[derive(Debug)]
+pub struct TopK {
+    slots: Box<[Slot]>,
+    /// Updates abandoned because another writer held the slot claim.
+    dropped: AtomicU64,
+}
+
+impl TopK {
+    /// A sketch tracking at most `capacity` keys (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TopK {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The fixed slot count — the sketch never grows past it.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Updates abandoned to a claim collision (racing writers only —
+    /// zero with the production single-writer-per-sketch shape).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Adds `weight` to `key`, evicting the minimum-weight resident if
+    /// the sketch is full and `key` is not already resident. Zero
+    /// weights are ignored, so an occupied slot always has weight ≥ 1.
+    /// Wait-free: a lost claim race drops the update and returns.
+    pub fn add(&self, key: u64, weight: u64) {
+        if weight == 0 {
+            return;
+        }
+        // Read pass: find the key, or an empty slot, or the minimum.
+        // Pure loads — the write below re-validates under the claim.
+        let mut resident = None;
+        let mut empty = None;
+        let mut min: Option<(usize, u64)> = None;
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let ver = slot.ver.load(Ordering::Acquire);
+            if ver == 0 {
+                if empty.is_none() {
+                    empty = Some(idx);
+                }
+                continue;
+            }
+            let slot_key = slot.key.load(Ordering::Acquire);
+            let slot_weight = slot.weight.load(Ordering::Acquire);
+            if slot_key == key && slot_weight > 0 {
+                resident = Some(idx);
+                break;
+            }
+            if min.is_none_or(|(_, w)| slot_weight < w) {
+                min = Some((idx, slot_weight));
+            }
+        }
+        let target = resident.or(empty).or(min.map(|(idx, _)| idx)).unwrap_or(0);
+
+        // Claim the slot even→odd; a failed claim means another writer
+        // owns it mid-update — drop rather than wait.
+        let slot = &self.slots[target];
+        let ver = slot.ver.load(Ordering::Relaxed);
+        if ver & 1 == 1
+            || slot
+                .ver
+                .compare_exchange(ver, ver + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+
+        // Claimed: re-read the slot's current content (the read pass
+        // above raced other writers and may be stale) and apply the
+        // Space-Saving transition against what is actually there.
+        let cur_key = slot.key.load(Ordering::Relaxed);
+        let cur_weight = slot.weight.load(Ordering::Relaxed);
+        let (new_key, new_weight, new_err) = if cur_weight == 0 {
+            // Empty slot: plain insert.
+            (key, weight, 0)
+        } else if cur_key == key {
+            // Resident: accumulate.
+            (
+                key,
+                cur_weight.saturating_add(weight),
+                slot.err.load(Ordering::Relaxed),
+            )
+        } else {
+            // Evict: inherit the displaced weight as the overestimate.
+            (key, cur_weight.saturating_add(weight), cur_weight)
+        };
+        slot.key.store(new_key, Ordering::Release);
+        slot.weight.store(new_weight, Ordering::Release);
+        slot.err.store(new_err, Ordering::Release);
+        slot.ver.store(ver + 2, Ordering::Release);
+    }
+
+    /// Point-in-time view of the resident entries, heaviest first.
+    /// Never blocks writers: a slot torn mid-update is retried once and
+    /// then skipped, so the snapshot may lag but never tears.
+    pub fn snapshot(&self) -> Vec<TopKEntry> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            for _attempt in 0..2 {
+                let v1 = slot.ver.load(Ordering::Acquire);
+                if v1 == 0 {
+                    break; // never written
+                }
+                if v1 & 1 == 1 {
+                    continue; // mid-write: retry once
+                }
+                let entry = TopKEntry {
+                    key: slot.key.load(Ordering::Acquire),
+                    weight: slot.weight.load(Ordering::Acquire),
+                    err: slot.err.load(Ordering::Acquire),
+                };
+                let v2 = slot.ver.load(Ordering::Acquire);
+                if v1 == v2 {
+                    if entry.weight > 0 {
+                        out.push(entry);
+                    }
+                    break;
+                }
+            }
+        }
+        out.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.key.cmp(&b.key)));
+        out
+    }
+
+    /// The current minimum resident weight, or 0 while a slot is still
+    /// free — the eviction threshold and the absent-key weight bound.
+    pub fn min_weight(&self) -> u64 {
+        if self.snapshot().len() < self.capacity() {
+            return 0;
+        }
+        self.snapshot().last().map(|e| e.weight).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resident_keys_accumulate() {
+        let k = TopK::new(4);
+        k.add(7, 10);
+        k.add(7, 5);
+        k.add(9, 1);
+        let snap = k.snapshot();
+        assert_eq!(
+            snap[0],
+            TopKEntry {
+                key: 7,
+                weight: 15,
+                err: 0
+            }
+        );
+        assert_eq!(
+            snap[1],
+            TopKEntry {
+                key: 9,
+                weight: 1,
+                err: 0
+            }
+        );
+    }
+
+    #[test]
+    fn eviction_inherits_the_minimum_as_err() {
+        let k = TopK::new(2);
+        k.add(1, 10);
+        k.add(2, 3);
+        // 3 is the min; key 4 displaces it and inherits weight 3.
+        k.add(4, 5);
+        let snap = k.snapshot();
+        assert_eq!(snap.len(), 2, "capacity never grows");
+        let four = snap.iter().find(|e| e.key == 4).expect("key 4 resident");
+        assert_eq!(four.weight, 8);
+        assert_eq!(four.err, 3);
+        assert_eq!(four.lower_bound(), 5);
+        // Conservation: resident weights sum to the total added.
+        assert_eq!(snap.iter().map(|e| e.weight).sum::<u64>(), 18);
+    }
+
+    #[test]
+    fn zero_weight_is_a_no_op() {
+        let k = TopK::new(2);
+        k.add(1, 0);
+        assert!(k.snapshot().is_empty());
+        assert_eq!(k.dropped(), 0);
+    }
+
+    #[test]
+    fn heavy_hitters_survive_a_churning_tail() {
+        // One heavy key plus a long tail of one-shot keys: the heavy
+        // key must stay resident (its weight exceeds the minimum).
+        let k = TopK::new(4);
+        for round in 0..256u64 {
+            k.add(1_000, 8);
+            k.add(round, 1);
+        }
+        let snap = k.snapshot();
+        let heavy = snap
+            .iter()
+            .find(|e| e.key == 1_000)
+            .expect("heavy key resident");
+        assert!(heavy.weight >= 256 * 8, "no undercount");
+        assert!(snap.len() <= 4);
+    }
+}

@@ -11,6 +11,11 @@
 //! * The series ring: the same seqlock invariant for the health
 //!   time-series — a snapshot racing pushers never accepts a torn
 //!   sample row.
+//! * The heavy-hitter sketch: racing updaters and a concurrent
+//!   snapshotter must never tear an entry — every accepted `(key,
+//!   weight, err)` triple satisfies the Space-Saving bounds, slot
+//!   weights are monotone, and adds that lose a claim race are counted
+//!   dropped, never silently lost.
 //!
 //! Compiled (and meaningful) only under `RUSTFLAGS="--cfg laelaps_check"`.
 #![cfg(laelaps_check)]
@@ -18,7 +23,7 @@
 use std::sync::Arc;
 
 use laelaps_check::{thread, Checker};
-use laelaps_telemetry::{FlightRecorder, Histogram, SeriesRing, RECORD_WORDS};
+use laelaps_telemetry::{FlightRecorder, Histogram, SeriesRing, TopK, RECORD_WORDS};
 
 #[test]
 fn histogram_accounting_survives_racing_pushers_and_samplers() {
@@ -167,5 +172,70 @@ fn series_ring_snapshot_never_observes_a_torn_sample() {
                     "torn sample after join: {sample:?}"
                 );
             }
+        });
+}
+
+#[test]
+fn top_k_snapshot_never_observes_a_torn_entry() {
+    // Capacity 1 forces both updaters onto the same slot, so the
+    // schedules cover claim races (CAS failure → dropped add) as well
+    // as the reader racing a mid-write slot. Contribution weights are
+    // distinct powers of two, so the slot's accumulated weight says
+    // exactly which adds landed (empty, same-key, and evict writes all
+    // accumulate additively).
+    Checker::new()
+        .dfs_budget(4_000)
+        .random_iters(25)
+        .max_steps(50_000)
+        .check(|| {
+            let topk = Arc::new(TopK::new(1));
+            let (u1, u2) = (Arc::clone(&topk), Arc::clone(&topk));
+            let t1 = thread::spawn(move || {
+                u1.add(1, 1);
+                u1.add(1, 2);
+            });
+            let t2 = thread::spawn(move || u2.add(2, 4));
+            // Mid-race snapshots: partial is fine, torn is not. Every
+            // accepted entry must satisfy the Space-Saving bounds
+            // against the true per-key totals (key 1 ≤ 3, key 2 ≤ 4).
+            let s1 = topk.snapshot();
+            let s2 = topk.snapshot();
+            for entry in s1.iter().chain(s2.iter()) {
+                assert!([1, 2].contains(&entry.key), "invented key: {entry:?}");
+                assert!(entry.weight <= 7, "weight beyond what was added: {entry:?}");
+                assert!(entry.err <= entry.weight, "error above weight: {entry:?}");
+                let true_total = if entry.key == 1 { 3 } else { 4 };
+                assert!(
+                    entry.lower_bound() <= true_total,
+                    "lower bound above the true total: {entry:?}"
+                );
+            }
+            // Slot weights are monotone, so two sequential snapshots
+            // that both accepted the slot must agree on direction.
+            if let (Some(a), Some(b)) = (s1.first(), s2.first()) {
+                assert!(
+                    b.weight >= a.weight,
+                    "weight went backwards: {a:?} -> {b:?}"
+                );
+            }
+            t1.join().unwrap();
+            t2.join().unwrap();
+            // Joined: at least one add won its claim, and every add
+            // either landed (its power of two is present in the
+            // accumulated weight) or was counted dropped — conservation,
+            // no silent loss.
+            let end = topk.snapshot();
+            assert_eq!(end.len(), 1, "the slot was written at least once: {end:?}");
+            let landed = u64::from(end[0].weight.count_ones());
+            assert_eq!(
+                landed + topk.dropped(),
+                3,
+                "landed + dropped must cover every add: {end:?}"
+            );
+            let true_total = if end[0].key == 1 { 3 } else { 4 };
+            assert!(
+                end[0].lower_bound() <= true_total,
+                "lower bound above the true total after join: {end:?}"
+            );
         });
 }

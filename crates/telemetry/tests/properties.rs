@@ -105,3 +105,75 @@ proptest! {
         }
     }
 }
+
+/// Add streams for the heavy-hitter sketch: a handful of keys (so small
+/// capacities actually evict) with weights spanning ticks to big bursts.
+fn arb_adds() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..8, 1u64..100), 1..300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn top_k_respects_the_space_saving_bounds(
+        adds in arb_adds(),
+        capacity in 1usize..6,
+    ) {
+        // Oracle: exact per-key totals in a BTreeMap.
+        let topk = laelaps_telemetry::TopK::new(capacity);
+        let mut oracle = std::collections::BTreeMap::<u64, u64>::new();
+        let mut total = 0u64;
+        for &(key, weight) in &adds {
+            topk.add(key, weight);
+            *oracle.entry(key).or_default() += weight;
+            total += weight;
+        }
+
+        // A single updater never loses a claim race.
+        prop_assert_eq!(topk.dropped(), 0);
+
+        let snapshot = topk.snapshot();
+        prop_assert!(snapshot.len() <= capacity);
+
+        // Conservation: every added unit of weight is resident in some
+        // slot (evictions fold the victim's weight into the newcomer).
+        let resident: u64 = snapshot.iter().map(|e| e.weight).sum();
+        prop_assert_eq!(resident, total);
+
+        for entry in &snapshot {
+            let true_total = oracle.get(&entry.key).copied().unwrap_or(0);
+            // No undercount: the estimate dominates the true total.
+            prop_assert!(
+                entry.weight >= true_total,
+                "estimate {} below true total {} for key {}",
+                entry.weight, true_total, entry.key
+            );
+            // Bounded overcount: weight − err never exceeds the truth.
+            prop_assert!(
+                entry.lower_bound() <= true_total,
+                "lower bound {} above true total {} for key {}",
+                entry.lower_bound(), true_total, entry.key
+            );
+        }
+
+        // Coverage: any key whose true total beats the smallest resident
+        // weight must itself be resident (the Space-Saving guarantee the
+        // worst-sessions ranking leans on).
+        let floor = topk.min_weight();
+        for (&key, &true_total) in &oracle {
+            if true_total > floor {
+                prop_assert!(
+                    snapshot.iter().any(|e| e.key == key),
+                    "key {} with total {} > floor {} missing from {:?}",
+                    key, true_total, floor, snapshot
+                );
+            }
+        }
+
+        // Worst-first: the snapshot is ordered by weight descending.
+        for pair in snapshot.windows(2) {
+            prop_assert!(pair[0].weight >= pair[1].weight);
+        }
+    }
+}

@@ -44,6 +44,8 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/serve/src/health.rs",
     "crates/telemetry/src/hist.rs",
     "crates/telemetry/src/series.rs",
+    "crates/telemetry/src/cell.rs",
+    "crates/telemetry/src/topk.rs",
 ];
 
 /// Files under rule 3: everything migrated to the `laelaps_check::sync`
@@ -61,6 +63,8 @@ const FACADE_FILES: &[&str] = &[
     "crates/telemetry/src/trace.rs",
     "crates/telemetry/src/recorder.rs",
     "crates/telemetry/src/series.rs",
+    "crates/telemetry/src/cell.rs",
+    "crates/telemetry/src/topk.rs",
     "crates/eval/src/pool.rs",
 ];
 
@@ -422,6 +426,29 @@ fn f(ptr: *const u8) -> u8 {
         for file in [
             "crates/serve/src/health.rs",
             "crates/telemetry/src/series.rs",
+        ] {
+            assert_eq!(
+                rules_hit(file, "let t = Instant::now();\n"),
+                vec!["hot-path-clock"],
+                "{file} must be under the clock rule"
+            );
+            assert_eq!(
+                rules_hit(file, "use std::sync::atomic::{AtomicU64, Ordering};\n"),
+                vec!["facade-import"],
+                "{file} must be under the facade rule"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_violations_in_the_session_observability_modules_fail() {
+        // The per-session cell and the TopK heavy-hitter sketch promise
+        // zero clock reads (the EWMA is fed already-measured micros,
+        // the drain tick is a pass counter) and facade-only atomics —
+        // both files sit under rules 2 and 3.
+        for file in [
+            "crates/telemetry/src/cell.rs",
+            "crates/telemetry/src/topk.rs",
         ] {
             assert_eq!(
                 rules_hit(file, "let t = Instant::now();\n"),
